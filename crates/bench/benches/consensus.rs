@@ -1,0 +1,43 @@
+//! E3 micro-bench: wall-clock cost of simulating consensus rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prever_consensus::paxos::{self, PaxosMsg};
+use prever_consensus::pbft::{self, PbftMsg};
+use prever_consensus::Command;
+use prever_sim::{NetConfig, Simulation};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_consensus");
+    group.sample_size(10);
+
+    for n in [4usize, 7] {
+        group.bench_with_input(BenchmarkId::new("pbft_20cmds", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulation::new(pbft::cluster(n), NetConfig::default(), 1);
+                for i in 0..20u64 {
+                    sim.inject(0, 0, PbftMsg::Request(Command::new(i, "x")), 1 + i * 100);
+                }
+                let ok = sim.run_until_pred(10_000_000, |nodes| {
+                    nodes[0].core.executed_commands() >= 20
+                });
+                assert!(ok);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("paxos_20cmds", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulation::new(paxos::cluster(n), NetConfig::default(), 1);
+                sim.run_until(50_000);
+                let base = sim.now();
+                for i in 0..20u64 {
+                    sim.inject(0, 0, PaxosMsg::ClientRequest(Command::new(i, "x")), base + 1 + i * 100);
+                }
+                let ok = sim.run_until_pred(10_000_000, |nodes| nodes[0].decided().len() >= 20);
+                assert!(ok);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

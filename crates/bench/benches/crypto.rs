@@ -1,0 +1,105 @@
+//! Cryptographic-primitive ablation: the cost of every building block
+//! the deployments compose, including the demo-vs-production key-size
+//! sweep that justifies DESIGN.md's parameter choices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prever_crypto::bignum::BigUint;
+use prever_crypto::schnorr::{self, RangeProof, SchnorrGroup};
+use prever_crypto::sha256::sha256;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // SHA-256 throughput.
+    {
+        let mut group = c.benchmark_group("crypto_sha256");
+        for size in [64usize, 1024, 65_536] {
+            let data = vec![0xabu8; size];
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(BenchmarkId::new("digest", size), &size, |b, _| {
+                b.iter(|| sha256(&data));
+            });
+        }
+        group.finish();
+    }
+
+    // Modular exponentiation by modulus size — the inner loop of
+    // Paillier, RSA and Schnorr; the key-size ablation.
+    {
+        let mut group = c.benchmark_group("crypto_modexp");
+        for bits in [256usize, 512, 1024, 2048] {
+            let m = BigUint::random_bits(bits, &mut rng);
+            let base = BigUint::random_below(&m, &mut rng);
+            let exp = BigUint::random_bits(bits, &mut rng);
+            group.bench_with_input(BenchmarkId::new("modexp", bits), &bits, |b, _| {
+                b.iter(|| base.mod_exp(&exp, &m).unwrap());
+            });
+        }
+        group.finish();
+    }
+
+    // Paillier at the two parameter points (demo 96-bit primes vs
+    // heavier 256-bit primes).
+    {
+        let mut group = c.benchmark_group("crypto_paillier");
+        group.sample_size(10);
+        for prime_bits in [96usize, 256] {
+            let key = prever_crypto::paillier::keygen(prime_bits, &mut rng);
+            group.bench_with_input(BenchmarkId::new("encrypt", prime_bits), &prime_bits, |b, _| {
+                b.iter(|| key.public.encrypt_u64(40, &mut rng).unwrap());
+            });
+            let ct = key.public.encrypt_u64(40, &mut rng).unwrap();
+            group.bench_with_input(BenchmarkId::new("decrypt", prime_bits), &prime_bits, |b, _| {
+                b.iter(|| key.decrypt(&ct).unwrap());
+            });
+            let c2 = key.public.encrypt_u64(2, &mut rng).unwrap();
+            group.bench_with_input(BenchmarkId::new("hom_add", prime_bits), &prime_bits, |b, _| {
+                b.iter(|| key.public.add(&ct, &c2).unwrap());
+            });
+        }
+        group.finish();
+    }
+
+    // Blind-signature token issuance roundtrip.
+    {
+        let mut group = c.benchmark_group("crypto_blindsig");
+        group.sample_size(10);
+        let key = prever_crypto::rsa::keygen(96, &mut rng);
+        group.bench_function("blind_sign_unblind", |b| {
+            b.iter(|| {
+                let (blinded, state) =
+                    prever_crypto::rsa::blind(&key.public, b"token", &mut rng).unwrap();
+                let bs = key.sign_blinded(&blinded).unwrap();
+                prever_crypto::rsa::unblind(&key.public, &bs, &state).unwrap()
+            });
+        });
+        group.finish();
+    }
+
+    // Range proof size sweep: proof cost is linear in the bit width.
+    {
+        let mut group = c.benchmark_group("crypto_rangeproof");
+        group.sample_size(10);
+        let group256 = SchnorrGroup::test_group_256();
+        for bits in [4usize, 6, 8] {
+            let m = BigUint::from_u64(5);
+            let (commitment, r) = schnorr::commit(&group256, &m, &mut rng).unwrap();
+            group.bench_with_input(BenchmarkId::new("prove", bits), &bits, |b, &bits| {
+                b.iter(|| {
+                    RangeProof::prove(&group256, &commitment, &m, &r, bits, b"bench", &mut rng)
+                        .unwrap()
+                });
+            });
+            let proof =
+                RangeProof::prove(&group256, &commitment, &m, &r, bits, b"bench", &mut rng).unwrap();
+            group.bench_with_input(BenchmarkId::new("verify", bits), &bits, |b, &bits| {
+                b.iter(|| proof.verify(&group256, &commitment, bits, b"bench").unwrap());
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

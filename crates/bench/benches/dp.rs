@@ -1,0 +1,26 @@
+//! E9 micro-bench: continual-release counter updates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prever_dp::{NaiveCounter, TreeCounter};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_dp");
+
+    group.bench_function("naive_update", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counter = NaiveCounter::new(1.0, u64::MAX / 2).unwrap();
+        b.iter(|| counter.update(1, &mut rng).unwrap());
+    });
+
+    group.bench_function("tree_update_t4096", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counter = TreeCounter::new(1.0, 1 << 62).unwrap();
+        b.iter(|| counter.update(1, &mut rng).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

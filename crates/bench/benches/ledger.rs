@@ -1,0 +1,43 @@
+//! E6 micro-bench: ledger append, proof generation, verification.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prever_ledger::Journal;
+
+fn journal_of(n: usize) -> Journal {
+    let mut j = Journal::new();
+    for i in 0..n {
+        j.append(i as u64, Bytes::from(format!("update-{i}")));
+    }
+    j
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_ledger");
+
+    group.bench_function("append", |b| {
+        let mut j = Journal::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            j.append(i, Bytes::from_static(b"update-payload"));
+            i += 1;
+        });
+    });
+
+    for n in [1024usize, 16_384, 65_536] {
+        let j = journal_of(n);
+        let digest = j.digest();
+        group.bench_with_input(BenchmarkId::new("prove_inclusion", n), &n, |b, &n| {
+            b.iter(|| j.prove_inclusion((n / 2) as u64, digest.size).unwrap());
+        });
+        let proof = j.prove_inclusion((n / 2) as u64, digest.size).unwrap();
+        let entry = j.entry((n / 2) as u64).unwrap().clone();
+        group.bench_with_input(BenchmarkId::new("verify_inclusion", n), &n, |b, _| {
+            b.iter(|| Journal::verify_inclusion(&entry, &proof, &digest).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E8 micro-bench: MPC primitives and the federated bound check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prever_crypto::Fp61;
+use prever_mpc::beaver::Dealer;
+use prever_mpc::protocol::{self, MpcStats};
+use prever_mpc::FederatedBoundCheck;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_mpc");
+
+    group.bench_function("share_input_4p", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stats = MpcStats::default();
+        b.iter(|| protocol::share_input(Fp61::new(42), 4, &mut stats, &mut rng).unwrap());
+    });
+
+    group.bench_function("beaver_mul_4p", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut dealer = Dealer::new();
+        let mut stats = MpcStats::default();
+        let x = protocol::share_input(Fp61::new(30), 4, &mut stats, &mut rng).unwrap();
+        let y = protocol::share_input(Fp61::new(12), 4, &mut stats, &mut rng).unwrap();
+        b.iter(|| {
+            let triple = dealer.deal(4, &mut rng);
+            protocol::mul_shares(&x, &y, &triple, &mut stats).unwrap()
+        });
+    });
+
+    for parties in [3usize, 6, 10] {
+        group.bench_with_input(
+            BenchmarkId::new("bound_check", parties),
+            &parties,
+            |b, &n| {
+                let mut rng = StdRng::seed_from_u64(3);
+                let mut check = FederatedBoundCheck::new();
+                let inputs: Vec<i64> = (0..n as i64).collect();
+                b.iter(|| check.check_upper_bound(&inputs, 1, 1000, &mut rng).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

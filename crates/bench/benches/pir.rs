@@ -1,0 +1,38 @@
+//! E5 micro-bench: PIR queries across database sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prever_pir::cpir::{retrieve as cpir_retrieve, CpirClient, CpirServer};
+use prever_pir::xor::{retrieve as xor_retrieve, XorServer};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_pir");
+
+    for n in [1024usize, 4096, 16_384] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("xor_query", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let records: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; 32]).collect();
+            let mut s1 = XorServer::new(records.clone(), 32).unwrap();
+            let mut s2 = XorServer::new(records, 32).unwrap();
+            b.iter(|| xor_retrieve(&mut s1, &mut s2, n / 2, &mut rng).unwrap());
+        });
+    }
+
+    group.finish();
+
+    let mut group2 = c.benchmark_group("e5_cpir");
+    group2.sample_size(10);
+    for n in [128usize, 512] {
+        group2.bench_with_input(BenchmarkId::new("cpir_query", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let client = CpirClient::new(96, &mut rng);
+            let mut server = CpirServer::new((1..=n as u64).collect());
+            b.iter(|| cpir_retrieve(&client, &mut server, n / 2, &mut rng).unwrap());
+        });
+    }
+    group2.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

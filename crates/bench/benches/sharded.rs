@@ -1,0 +1,47 @@
+//! E7 micro-bench: sharded consensus runs (intra vs cross-shard).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prever_consensus::sharded::{cluster, submit, Topology};
+use prever_consensus::Command;
+use prever_sim::{NetConfig, Simulation};
+
+fn run(shards: usize, cross: bool, txs: u64) {
+    let topology = Topology { n_shards: shards, replicas_per_shard: 4 };
+    let mut sim = Simulation::new(cluster(topology), NetConfig::default(), 1);
+    for i in 0..txs {
+        let home = (i % shards as u64) as usize;
+        let involved = if cross && shards > 1 {
+            vec![home, (home + 1) % shards]
+        } else {
+            vec![home]
+        };
+        submit(&mut sim, topology, Command::new(i, "tx"), involved, 1 + i * 200);
+    }
+    let done = sim.run_until_pred(60_000_000, |nodes| {
+        (0..shards).all(|s| {
+            let member = topology.members(s)[0];
+            let mine = (0..txs).filter(|i| (*i % shards as u64) as usize == s).count();
+            nodes[member].completed_count() >= mine
+        })
+    });
+    assert!(done);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_sharded");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("intra_12tx", shards), &shards, |b, &s| {
+            b.iter(|| run(s, false, 12));
+        });
+        if shards > 1 {
+            group.bench_with_input(BenchmarkId::new("cross_12tx", shards), &shards, |b, &s| {
+                b.iter(|| run(s, true, 12));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

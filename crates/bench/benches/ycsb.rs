@@ -1,0 +1,69 @@
+//! E1 micro-bench: per-operation cost of the three engines on YCSB-A.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use prever_crypto::paillier;
+use prever_storage::{Column, ColumnType, Database, Key, Row, Schema, Value};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn db_with(records: u64) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(
+            vec![Column::new("k", ColumnType::Uint), Column::new("v", ColumnType::Bytes)],
+            &["k"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    for k in 0..records {
+        db.insert("t", Row::new(vec![Value::Uint(k), Value::Bytes(vec![0xab; 16])]))
+            .unwrap();
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_ycsb");
+
+    let db = db_with(1000);
+    group.bench_function("plain_read", |b| {
+        let key = Key(vec![Value::Uint(500)]);
+        b.iter(|| db.get("t", &key).unwrap());
+    });
+
+    group.bench_function("plain_upsert", |b| {
+        let mut db = db_with(1000);
+        b.iter(|| {
+            db.upsert("t", Row::new(vec![Value::Uint(500), Value::Bytes(vec![1; 16])]))
+                .unwrap();
+        });
+    });
+
+    group.bench_function("ledger_upsert", |b| {
+        let mut db = db_with(1000);
+        let mut journal = prever_ledger::Journal::new();
+        b.iter(|| {
+            let change = db
+                .upsert("t", Row::new(vec![Value::Uint(500), Value::Bytes(vec![1; 16])]))
+                .unwrap();
+            let payload = bytes::Bytes::from(change.encode());
+            journal.append(0, payload);
+        });
+    });
+
+    group.bench_function("paillier_encrypt_value", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let key = paillier::keygen(96, &mut rng);
+        b.iter_batched(
+            || (),
+            |_| key.public.encrypt_u64(12345, &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Prints every experiment table (E1–E10).
+//!
+//! `cargo run --release -p prever-bench --bin report` — full parameters.
+//! `cargo run --release -p prever-bench --bin report -- --quick` — small.
+
+use prever_bench::experiments as e;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!(
+        "# PReVer experiment report ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+    let tables = [
+        e::e1_ycsb::run(quick),
+        e::e2_private_verify::run(quick),
+        e::e3_consensus::run(quick),
+        e::e4_tokens::run(quick),
+        e::e5_pir::run(quick),
+        e::e6_ledger::run(quick),
+        e::e7_sharded::run(quick),
+        e::e8_mpc::run(quick),
+        e::e9_dp::run(quick),
+        e::e10_tpcc::run(quick),
+    ];
+    for t in &tables {
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,166 @@
+//! E10 — §6 "TPC": TPC-C-lite new-order throughput, unregulated vs
+//! regulated, reference vs incremental verification.
+//!
+//! The regulation: a per-customer sliding-window quantity cap (a credit
+//! limit), checked three ways:
+//! * `unregulated`          — plain inserts (the non-private baseline);
+//! * `regulated-scan`       — reference evaluator, O(rows) per order;
+//! * `regulated-incremental`— maintained aggregate, O(log g) per order.
+
+use crate::experiments::{ops_per_sec, time_once};
+use crate::Table;
+use prever_constraints::{AggFunc, Constraint, ConstraintScope, MaintainedAggregate};
+use prever_core::{Pipeline, Update};
+use prever_storage::{Column, ColumnType, Row, Schema, Value};
+use prever_workloads::tpcc::{TpccConfig, TpccWorkload};
+use rand::{rngs::StdRng, SeedableRng};
+
+const WINDOW: u64 = 100_000;
+const CREDIT_CAP: u64 = 120;
+
+fn orders_schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::new("id", ColumnType::Uint),
+            Column::new("customer", ColumnType::Uint),
+            Column::new("quantity", ColumnType::Uint),
+            Column::new("ts", ColumnType::Timestamp),
+        ],
+        &["id"],
+    )
+    .expect("static schema")
+}
+
+fn order_row(id: u64, customer: u64, quantity: u64, ts: u64) -> Row {
+    Row::new(vec![
+        Value::Uint(id),
+        Value::Uint(customer),
+        Value::Uint(quantity),
+        Value::Timestamp(ts),
+    ])
+}
+
+/// Runs E10.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E10 — TPC-C-lite new-order throughput (tx/s), credit-cap regulation",
+        &["mode", "warehouses", "orders", "tx/s", "accepted", "rejected"],
+    );
+    let n_orders = if quick { 150 } else { 1_500 };
+    let warehouses = if quick { 2 } else { 4 };
+    let config = TpccConfig { warehouses, customers: 40, ..Default::default() };
+
+    // Shared order stream.
+    let mut wrng = StdRng::seed_from_u64(10);
+    let orders = TpccWorkload::new(config).batch(n_orders, &mut wrng);
+
+    // Unregulated baseline.
+    {
+        let mut p = Pipeline::new();
+        p.create_table("orders", orders_schema()).expect("table");
+        let secs = time_once(|| {
+            for o in &orders {
+                let u = Update::new(
+                    o.id,
+                    "orders",
+                    order_row(o.id, o.customer, o.total_quantity(), o.ts),
+                    o.ts,
+                    "tpcc",
+                );
+                p.submit(&u).expect("submit");
+            }
+        });
+        let (a, r) = p.stats();
+        table.row(vec![
+            "unregulated".into(),
+            warehouses.to_string(),
+            n_orders.to_string(),
+            ops_per_sec(n_orders, secs),
+            a.to_string(),
+            r.to_string(),
+        ]);
+    }
+
+    // Regulated via reference evaluator (full scan).
+    {
+        let mut p = Pipeline::new();
+        p.create_table("orders", orders_schema()).expect("table");
+        p.register_constraint(
+            Constraint::parse(
+                "credit-cap",
+                ConstraintScope::Internal,
+                &format!(
+                    "COUNT(orders WHERE orders.customer = $customer WITHIN {WINDOW} OF orders.ts) = 0 \
+                     OR SUM(orders.quantity WHERE orders.customer = $customer WITHIN {WINDOW} OF orders.ts) \
+                     + $quantity <= {CREDIT_CAP}"
+                ),
+            )
+            .expect("parses"),
+        );
+        let secs = time_once(|| {
+            for o in &orders {
+                let u = Update::new(
+                    o.id,
+                    "orders",
+                    order_row(o.id, o.customer, o.total_quantity(), o.ts),
+                    o.ts,
+                    "tpcc",
+                );
+                p.submit(&u).expect("submit");
+            }
+        });
+        let (a, r) = p.stats();
+        table.row(vec![
+            "regulated-scan".into(),
+            warehouses.to_string(),
+            n_orders.to_string(),
+            ops_per_sec(n_orders, secs),
+            a.to_string(),
+            r.to_string(),
+        ]);
+    }
+
+    // Regulated via maintained aggregate.
+    {
+        let mut p = Pipeline::new();
+        p.create_table("orders", orders_schema()).expect("table");
+        // customer col 1, quantity col 2, ts col 3.
+        let mut agg = MaintainedAggregate::new("orders", AggFunc::Sum, 1, Some(2), Some((3, WINDOW)))
+            .expect("agg");
+        let mut applied = 0u64;
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        let secs = time_once(|| {
+            for o in &orders {
+                let qty = o.total_quantity();
+                let ok = agg.check_upper_bound(
+                    &Value::Uint(o.customer),
+                    qty as i128,
+                    o.ts,
+                    CREDIT_CAP as i128,
+                );
+                if !ok {
+                    rejected += 1;
+                    continue;
+                }
+                let u = Update::new(o.id, "orders", order_row(o.id, o.customer, qty, o.ts), o.ts, "tpcc");
+                p.submit(&u).expect("submit");
+                accepted += 1;
+                for c in p.database().changes_since(applied).to_vec() {
+                    agg.apply(&c).expect("apply");
+                }
+                applied = p.database().version();
+            }
+        });
+        table.row(vec![
+            "regulated-incremental".into(),
+            warehouses.to_string(),
+            n_orders.to_string(),
+            ops_per_sec(n_orders, secs),
+            accepted.to_string(),
+            rejected.to_string(),
+        ]);
+    }
+
+    table
+}

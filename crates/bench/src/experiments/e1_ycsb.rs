@@ -1,0 +1,158 @@
+//! E1 — YCSB: the cost of integrity and privacy vs a non-private
+//! baseline (paper §6: "comparisons should be performed with respect to
+//! non-private solutions using standardized database benchmarks like
+//! TPC and YCSB").
+//!
+//! Engines compared on the same operation stream:
+//! * `plain`    — the bare storage engine (non-private baseline);
+//! * `ledger`   — storage + journaled changes (integrity, RC4);
+//! * `private`  — storage + journal + Paillier-encrypted values
+//!   (integrity + confidentiality, RC1).
+
+use crate::experiments::{ops_per_sec, time_once};
+use crate::Table;
+use bytes::Bytes;
+use prever_crypto::paillier;
+use prever_ledger::Journal;
+use prever_storage::{Column, ColumnType, Database, Key, Row, Schema, Value};
+use prever_workloads::ycsb::{YcsbOp, YcsbWorkload, YcsbWorkloadKind};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![Column::new("k", ColumnType::Uint), Column::new("v", ColumnType::Bytes)],
+        &["k"],
+    )
+    .expect("static schema")
+}
+
+#[allow(clippy::large_enum_variant)] // three short-lived engines per run
+enum Engine {
+    Plain(Database),
+    Ledger(Database, Journal),
+    Private(Database, Journal, paillier::PrivateKey, StdRng),
+}
+
+impl Engine {
+    fn preload(&mut self, keys: impl Iterator<Item = u64>, value: &[u8]) {
+        for k in keys {
+            self.apply(&YcsbOp::Insert(k, value.to_vec()));
+        }
+    }
+
+    fn apply(&mut self, op: &YcsbOp) {
+        match self {
+            Engine::Plain(db) => {
+                apply_plain(db, op, |v| Value::Bytes(v.to_vec()));
+            }
+            Engine::Ledger(db, journal) => {
+                let change = apply_plain(db, op, |v| Value::Bytes(v.to_vec()));
+                if let Some(encoded) = change {
+                    journal.append(0, Bytes::from(encoded));
+                }
+            }
+            Engine::Private(db, journal, key, rng) => {
+                // Encrypt the value under the owner's key first: the
+                // manager stores only ciphertext.
+                let pk = key.public.clone();
+                let change = apply_plain(db, op, |v| {
+                    let m = prever_crypto::BigUint::from_bytes_be(&v[..8.min(v.len())]);
+                    let c = pk.encrypt(&m, rng).expect("value < n");
+                    Value::Bytes(c.as_biguint().to_bytes_be())
+                });
+                if let Some(encoded) = change {
+                    journal.append(0, Bytes::from(encoded));
+                }
+            }
+        }
+    }
+}
+
+/// Applies one YCSB op; returns the encoded change record for writes.
+fn apply_plain(
+    db: &mut Database,
+    op: &YcsbOp,
+    encode_value: impl FnOnce(&[u8]) -> Value,
+) -> Option<Vec<u8>> {
+    match op {
+        YcsbOp::Read(k) => {
+            let key = Key(vec![Value::Uint(*k)]);
+            let _ = db.get("t", &key).expect("table exists");
+            None
+        }
+        YcsbOp::Scan(k, len) => {
+            let t = db.table("t").expect("table exists");
+            let _ = t
+                .scan()
+                .skip_while(|(key, _)| key.0[0] < Value::Uint(*k))
+                .take(*len)
+                .count();
+            None
+        }
+        YcsbOp::Update(k, v) | YcsbOp::Insert(k, v) | YcsbOp::ReadModifyWrite(k, v) => {
+            if matches!(op, YcsbOp::ReadModifyWrite(_, _)) {
+                let key = Key(vec![Value::Uint(*k)]);
+                let _ = db.get("t", &key).expect("table exists");
+            }
+            let row = Row::new(vec![Value::Uint(*k), encode_value(v)]);
+            let change = db.upsert("t", row).expect("upsert");
+            Some(change.encode())
+        }
+    }
+}
+
+fn build_engine(which: usize) -> Engine {
+    let mut db = Database::new();
+    db.create_table("t", schema()).expect("fresh db");
+    match which {
+        0 => Engine::Plain(db),
+        1 => Engine::Ledger(db, Journal::new()),
+        _ => {
+            let mut rng = StdRng::seed_from_u64(1);
+            let key = paillier::keygen(96, &mut rng);
+            Engine::Private(db, Journal::new(), key, StdRng::seed_from_u64(2))
+        }
+    }
+}
+
+/// Runs E1.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E1 — YCSB throughput: non-private baseline vs integrity vs privacy (ops/s)",
+        &["workload", "records", "ops", "plain", "ledger", "private"],
+    );
+    let records: u64 = if quick { 200 } else { 2_000 };
+    let n_ops: usize = if quick { 300 } else { 3_000 };
+    let kinds = [
+        (YcsbWorkloadKind::A, "A (50r/50u)"),
+        (YcsbWorkloadKind::B, "B (95r/5u)"),
+        (YcsbWorkloadKind::C, "C (100r)"),
+        (YcsbWorkloadKind::F, "F (50r/50rmw)"),
+    ];
+    for (kind, label) in kinds {
+        let mut rates = Vec::new();
+        for engine_idx in 0..3 {
+            let mut engine = build_engine(engine_idx);
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut workload = YcsbWorkload::new(kind, records, 0.99, 16);
+            let preload_value = vec![0xabu8; 16];
+            engine.preload(workload.preload_keys(), &preload_value);
+            let ops = workload.batch(n_ops, &mut rng);
+            let secs = time_once(|| {
+                for op in &ops {
+                    engine.apply(op);
+                }
+            });
+            rates.push(ops_per_sec(n_ops, secs));
+        }
+        table.row(vec![
+            label.to_string(),
+            records.to_string(),
+            n_ops.to_string(),
+            rates[0].clone(),
+            rates[1].clone(),
+            rates[2].clone(),
+        ]);
+    }
+    table
+}

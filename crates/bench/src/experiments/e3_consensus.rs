@@ -1,0 +1,113 @@
+//! E3 — §6: throughput and latency of the federated substrate vs the
+//! standard fault-tolerant baselines, Paxos and PBFT.
+//!
+//! Both protocols run on the deterministic simulator (1 ms RTT LAN
+//! profile), so the numbers isolate protocol cost from host noise:
+//! virtual-time throughput (commands per simulated second), mean
+//! decision latency, and message complexity.
+
+use crate::Table;
+use prever_consensus::paxos::{self, PaxosMsg};
+use prever_consensus::pbft::{self, PbftMsg};
+use prever_consensus::Command;
+use prever_sim::{NetConfig, Simulation};
+
+struct RunResult {
+    vthroughput: f64,
+    mean_latency_us: f64,
+    messages: u64,
+}
+
+fn net() -> NetConfig {
+    // 20 µs of CPU per message: the O(n) vs O(n²) message complexity of
+    // Paxos vs PBFT becomes visible as a throughput gap.
+    NetConfig { processing: 20, ..NetConfig::default() }
+}
+
+fn run_paxos(n: usize, commands: u64) -> RunResult {
+    let mut sim = Simulation::new(paxos::cluster(n), net(), 42);
+    sim.run_until(50_000);
+    let base = sim.now();
+    let mut submit_at = vec![0u64; commands as usize];
+    for i in 0..commands {
+        let at = base + 1 + i; // burst: saturate the cluster
+        submit_at[i as usize] = at;
+        sim.inject(0, 0, PaxosMsg::ClientRequest(Command::new(i, "x")), at);
+    }
+    let done = sim.run_until_pred(20_000_000, |nodes| {
+        nodes[0].decided().len() as u64 >= commands
+    });
+    assert!(done, "paxos n={n} did not finish");
+    let latencies: Vec<u64> = sim
+        .node(0)
+        .decided_log()
+        .iter()
+        .filter(|d| (d.command.id as usize) < submit_at.len())
+        .map(|d| d.at.saturating_sub(submit_at[d.command.id as usize]))
+        .collect();
+    let span = sim.node(0).decided_log().last().map(|d| d.at).unwrap_or(base) - base;
+    RunResult {
+        vthroughput: commands as f64 / (span as f64 / 1e6),
+        mean_latency_us: latencies.iter().sum::<u64>() as f64 / latencies.len() as f64,
+        messages: sim.stats().messages_sent,
+    }
+}
+
+fn run_pbft(n: usize, commands: u64) -> RunResult {
+    let mut sim = Simulation::new(pbft::cluster(n), net(), 42);
+    let mut submit_at = vec![0u64; commands as usize];
+    for i in 0..commands {
+        let at = 1 + i; // burst: saturate the cluster
+        submit_at[i as usize] = at;
+        sim.inject(0, 0, PbftMsg::Request(Command::new(i, "x")), at);
+    }
+    let done = sim.run_until_pred(40_000_000, |nodes| {
+        nodes[0].core.executed_commands() as u64 >= commands
+    });
+    assert!(done, "pbft n={n} did not finish");
+    let executed = sim.node(0).executed();
+    let latencies: Vec<u64> = executed
+        .iter()
+        .filter(|d| (d.command.id as usize) < submit_at.len())
+        .map(|d| d.at.saturating_sub(submit_at[d.command.id as usize]))
+        .collect();
+    let span = executed.last().map(|d| d.at).unwrap_or(1);
+    RunResult {
+        vthroughput: commands as f64 / (span as f64 / 1e6),
+        mean_latency_us: latencies.iter().sum::<u64>() as f64 / latencies.len() as f64,
+        messages: sim.stats().messages_sent,
+    }
+}
+
+/// Runs E3.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E3 — consensus throughput/latency: Paxos vs PBFT (simulated 1 ms RTT)",
+        &["protocol", "n", "cmds", "throughput (cmd/vsec)", "mean latency (µs)", "messages"],
+    );
+    let commands: u64 = if quick { 40 } else { 200 };
+    let sizes: &[usize] = if quick { &[4, 7] } else { &[4, 7, 10, 13] };
+    for &n in sizes {
+        let r = run_paxos(n, commands);
+        table.row(vec![
+            "paxos".into(),
+            n.to_string(),
+            commands.to_string(),
+            format!("{:.0}", r.vthroughput),
+            format!("{:.0}", r.mean_latency_us),
+            r.messages.to_string(),
+        ]);
+    }
+    for &n in sizes {
+        let r = run_pbft(n, commands);
+        table.row(vec![
+            "pbft".into(),
+            n.to_string(),
+            commands.to_string(),
+            format!("{:.0}", r.vthroughput),
+            format!("{:.0}", r.mean_latency_us),
+            r.messages.to_string(),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,84 @@
+//! E4 — §5/RC2: cost of the Separ token mechanism.
+//!
+//! Issuance (blind-sign + unblind per token), verification + spend on
+//! the shared ledger, and end-to-end regulated task admission as the
+//! platform count grows.
+
+use crate::experiments::{ops_per_sec, time_once};
+use crate::Table;
+use prever_core::federated::{FederatedDeployment, RegulationStrategy};
+use prever_ledger::LedgerKv;
+use prever_tokens::{Platform, TokenAuthority, Wallet};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Runs E4.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E4 — Separ token mechanism: issuance, verification, end-to-end admission",
+        &["platforms", "tokens", "issue (tok/s)", "verify+spend (tok/s)", "e2e tasks/s"],
+    );
+    let tokens: u64 = if quick { 20 } else { 200 };
+    let platform_counts: &[usize] = if quick { &[2, 4] } else { &[2, 4, 6, 8] };
+    let prime_bits = 96;
+
+    for &n_platforms in platform_counts {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut authority = TokenAuthority::new(prime_bits, tokens, &mut rng);
+        let mut wallet = Wallet::new("worker");
+
+        // Issuance.
+        let issue_secs = time_once(|| {
+            let got = wallet.request_tokens(&mut authority, 1, tokens, &mut rng).expect("issue");
+            assert_eq!(got, tokens);
+        });
+
+        // Verify + spend round-robin across platforms.
+        let mut ledger = LedgerKv::new();
+        let mut platforms: Vec<Platform> = (0..n_platforms)
+            .map(|i| Platform::new(&format!("p{i}"), authority.public_key().clone()))
+            .collect();
+        let spend_secs = time_once(|| {
+            for i in 0..tokens {
+                let t = wallet.spend(1).expect("wallet has tokens");
+                platforms[(i as usize) % n_platforms]
+                    .verify_and_spend(&t, 1, &mut ledger, i)
+                    .expect("valid spend");
+            }
+        });
+
+        // End-to-end federated task admission (token strategy).
+        let names: Vec<String> = (0..n_platforms).map(|i| format!("p{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let mut deployment = FederatedDeployment::new(
+            &name_refs,
+            RegulationStrategy::Tokens,
+            40,
+            604_800,
+            prime_bits,
+            &mut rng,
+        );
+        let n_tasks = (tokens / 4).max(4) as usize;
+        let e2e_secs = time_once(|| {
+            for i in 0..n_tasks {
+                deployment
+                    .submit_task(
+                        i % n_platforms,
+                        &format!("w{}", i % 8),
+                        2,
+                        i as u64 * 1000,
+                        &mut rng,
+                    )
+                    .expect("submit");
+            }
+        });
+
+        table.row(vec![
+            n_platforms.to_string(),
+            tokens.to_string(),
+            ops_per_sec(tokens as usize, issue_secs),
+            ops_per_sec(tokens as usize, spend_secs),
+            ops_per_sec(n_tasks, e2e_secs),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,86 @@
+//! E5 — RC3: PIR query and private-update cost vs database size.
+//!
+//! 2-server XOR PIR (information-theoretic, O(n) XORs) vs single-server
+//! computational PIR (O(n) modular exponentiations) — the trade-off the
+//! paper's PIR discussion turns on — plus the k-anonymous write batch
+//! cost as the anonymity set grows.
+
+use crate::experiments::time_per_op;
+use crate::Table;
+use prever_pir::cpir::{retrieve as cpir_retrieve, CpirClient, CpirServer};
+use prever_pir::matrix::{retrieve as matrix_retrieve, MatrixServer};
+use prever_pir::private_update::{Write, WriteBatch};
+use prever_pir::xor::{retrieve as xor_retrieve, XorServer};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Runs E5.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E5 — PIR query / private update latency vs database size",
+        &["scheme", "db size", "µs/op"],
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let record_size = 32;
+
+    let xor_sizes: &[usize] = if quick { &[256, 1024] } else { &[1024, 4096, 16_384, 65_536] };
+    for &n in xor_sizes {
+        let records: Vec<Vec<u8>> = (0..n).map(|i| {
+            let mut r = vec![0u8; record_size];
+            r[..8].copy_from_slice(&(i as u64).to_be_bytes());
+            r
+        }).collect();
+        let mut s1 = XorServer::new(records.clone(), record_size).expect("server");
+        let mut s2 = XorServer::new(records, record_size).expect("server");
+        let iters = if quick { 10 } else { 50 };
+        let us = time_per_op(iters, || {
+            let _ = xor_retrieve(&mut s1, &mut s2, n / 2, &mut rng).expect("retrieve");
+        });
+        table.row(vec!["xor-pir (2 servers)".into(), n.to_string(), format!("{us:.1}")]);
+    }
+
+    for &n in xor_sizes {
+        let records: Vec<Vec<u8>> = (0..n).map(|i| {
+            let mut r = vec![0u8; record_size];
+            r[..8].copy_from_slice(&(i as u64).to_be_bytes());
+            r
+        }).collect();
+        let mut s1 = MatrixServer::new(records.clone(), record_size).expect("server");
+        let mut s2 = MatrixServer::new(records, record_size).expect("server");
+        let iters = if quick { 10 } else { 50 };
+        let us = time_per_op(iters, || {
+            let _ = matrix_retrieve(&mut s1, &mut s2, n / 2, &mut rng).expect("retrieve");
+        });
+        table.row(vec!["matrix-pir (√n up)".into(), n.to_string(), format!("{us:.1}")]);
+    }
+
+    let cpir_sizes: &[usize] = if quick { &[64, 256] } else { &[256, 1024, 4096] };
+    for &n in cpir_sizes {
+        let client = CpirClient::new(96, &mut rng);
+        let mut server = CpirServer::new((1..=n as u64).collect());
+        let iters = if quick { 2 } else { 5 };
+        let us = time_per_op(iters, || {
+            let _ = cpir_retrieve(&client, &mut server, n / 2, &mut rng).expect("retrieve");
+        });
+        table.row(vec!["cpir (1 server)".into(), n.to_string(), format!("{us:.0}")]);
+    }
+
+    // k-anonymous private writes: cost grows linearly in k.
+    let n = if quick { 1024 } else { 16_384 };
+    let records: Vec<Vec<u8>> = (0..n).map(|_| vec![7u8; record_size]).collect();
+    let mut server = XorServer::new(records.clone(), record_size).expect("server");
+    for k in [1usize, 4, 16, 64] {
+        let iters = if quick { 10 } else { 50 };
+        let us = time_per_op(iters, || {
+            let batch = WriteBatch::build(
+                Write { index: 12, record: vec![9u8; record_size] },
+                &records,
+                k,
+                &mut rng,
+            )
+            .expect("batch");
+            batch.apply(&mut server).expect("apply");
+        });
+        table.row(vec![format!("k-anon write (k={k})"), n.to_string(), format!("{us:.1}")]);
+    }
+    table
+}

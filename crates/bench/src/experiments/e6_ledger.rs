@@ -1,0 +1,57 @@
+//! E6 — RC4: ledger proof size and verification time vs ledger length.
+//!
+//! The claim behind "the ledger model seems quite versatile" is that
+//! verification is logarithmic: inclusion/consistency proofs and their
+//! verification should grow with log(n), while full-chain audits grow
+//! linearly. This experiment charts both.
+
+use crate::experiments::{ops_per_sec, time_once, time_per_op};
+use crate::Table;
+use bytes::Bytes;
+use prever_ledger::Journal;
+
+/// Runs E6.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E6 — ledger: append rate, proof size and verification vs length",
+        &[
+            "entries",
+            "append (entry/s)",
+            "incl. proof (nodes)",
+            "incl. verify (µs)",
+            "cons. proof (nodes)",
+            "full audit (ms)",
+        ],
+    );
+    let sizes: &[usize] = if quick { &[256, 1024] } else { &[256, 1024, 4096, 16_384, 65_536] };
+    for &n in sizes {
+        let mut journal = Journal::new();
+        let append_secs = time_once(|| {
+            for i in 0..n {
+                journal.append(i as u64, Bytes::from(format!("update-{i}")));
+            }
+        });
+        let digest = journal.digest();
+        let mid = (n / 2) as u64;
+        let proof = journal.prove_inclusion(mid, digest.size).expect("proof");
+        let entry = journal.entry(mid).expect("entry").clone();
+        let verify_us = time_per_op(if quick { 50 } else { 500 }, || {
+            Journal::verify_inclusion(&entry, &proof, &digest).expect("verify");
+        });
+        let cons = journal
+            .prove_consistency((n / 2) as u64, n as u64)
+            .expect("consistency");
+        let audit_ms = time_once(|| {
+            Journal::verify_chain(journal.entries(), &digest).expect("audit");
+        }) * 1e3;
+        table.row(vec![
+            n.to_string(),
+            ops_per_sec(n, append_secs),
+            proof.path.len().to_string(),
+            format!("{verify_us:.1}"),
+            cons.path.len().to_string(),
+            format!("{audit_ms:.2}"),
+        ]);
+    }
+    table
+}

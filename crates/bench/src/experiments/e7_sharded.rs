@@ -1,0 +1,82 @@
+//! E7 — RC4/Separ: SharPer-style sharding — throughput vs shard count
+//! and cross-shard transaction ratio.
+//!
+//! Expected shape (SharPer's headline result): intra-shard workloads
+//! scale near-linearly with shards; cross-shard coordination erodes the
+//! gain as the cross ratio grows.
+
+use crate::Table;
+use prever_consensus::sharded::{cluster, submit, Topology};
+use prever_consensus::Command;
+use prever_sim::{NetConfig, Simulation};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn run_config(shards: usize, cross_ratio: f64, txs: u64) -> (f64, u64) {
+    let topology = Topology { n_shards: shards, replicas_per_shard: 4 };
+    // Per-message service time makes replicas finite-capacity servers —
+    // without it the simulated cluster has infinite parallelism and
+    // sharding cannot show its benefit.
+    let cfg = NetConfig { processing: 30, ..NetConfig::default() };
+    let mut sim = Simulation::new(cluster(topology), cfg, 7);
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..txs {
+        let home = (i % shards as u64) as usize;
+        let involved = if shards > 1 && rng.gen::<f64>() < cross_ratio {
+            let mut other = rng.gen_range(0..shards - 1);
+            if other >= home {
+                other += 1;
+            }
+            vec![home, other]
+        } else {
+            vec![home]
+        };
+        // Burst injection: offered load saturates the cluster.
+        submit(&mut sim, topology, Command::new(i, "tx"), involved, 1 + i);
+    }
+    // Completion: every tx completed at its home shard's first replica.
+    let per_home: Vec<u64> = (0..shards)
+        .map(|s| (0..txs).filter(|i| (*i % shards as u64) as usize == s).count() as u64)
+        .collect();
+    let done = sim.run_until_pred(60_000_000, |nodes| {
+        (0..shards).all(|s| {
+            let member = topology.members(s)[0];
+            nodes[member].completed_count() as u64 >= per_home[s]
+        })
+    });
+    assert!(done, "sharded run (shards={shards}, cross={cross_ratio}) did not finish");
+    let finish = (0..shards)
+        .map(|s| {
+            let member = topology.members(s)[0];
+            sim.node(member).completed().last().map(|d| d.at).unwrap_or(1)
+        })
+        .max()
+        .unwrap_or(1);
+    (txs as f64 / (finish as f64 / 1e6), sim.stats().messages_sent)
+}
+
+/// Runs E7.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E7 — SharPer-style sharding: throughput vs shards and cross-shard ratio",
+        &["shards", "cross-shard %", "txs", "throughput (tx/vsec)", "messages"],
+    );
+    let txs: u64 = if quick { 24 } else { 120 };
+    let shard_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let ratios: &[f64] = if quick { &[0.0, 0.5] } else { &[0.0, 0.1, 0.5, 1.0] };
+    for &shards in shard_counts {
+        for &ratio in ratios {
+            if shards == 1 && ratio > 0.0 {
+                continue; // no cross-shard possible
+            }
+            let (tput, messages) = run_config(shards, ratio, txs);
+            table.row(vec![
+                shards.to_string(),
+                format!("{:.0}", ratio * 100.0),
+                txs.to_string(),
+                format!("{tput:.0}"),
+                messages.to_string(),
+            ]);
+        }
+    }
+    table
+}

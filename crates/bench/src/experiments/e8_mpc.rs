@@ -1,0 +1,38 @@
+//! E8 — RC2: MPC bound-check cost vs party count.
+//!
+//! The federated verification protocol's communication (rounds × field
+//! elements) grows quadratically in the number of data managers — the
+//! scalability pressure the paper cites against naive MPC deployment.
+
+use crate::experiments::time_per_op;
+use crate::Table;
+use prever_mpc::protocol::MpcStats;
+use prever_mpc::FederatedBoundCheck;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Runs E8.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E8 — MPC federated bound check vs party count",
+        &["parties", "µs/check", "rounds/check", "elements/check", "triples/check"],
+    );
+    let party_counts: &[usize] = if quick { &[2, 4] } else { &[2, 3, 4, 6, 8, 10] };
+    let iters = if quick { 20 } else { 200 };
+    for &n in party_counts {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut check = FederatedBoundCheck::new();
+        let inputs: Vec<i64> = (0..n as i64).map(|i| i * 3).collect();
+        let us = time_per_op(iters, || {
+            let _ = check.check_upper_bound(&inputs, 1, 1_000, &mut rng).expect("check");
+        });
+        let MpcStats { rounds, elements_sent, triples_used } = check.stats;
+        table.row(vec![
+            n.to_string(),
+            format!("{us:.1}"),
+            format!("{:.1}", rounds as f64 / triples_used as f64),
+            format!("{:.0}", elements_sent as f64 / triples_used as f64),
+            "1".into(),
+        ]);
+    }
+    table
+}

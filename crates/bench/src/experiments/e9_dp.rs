@@ -1,0 +1,57 @@
+//! E9 — RC1: differential-privacy budget exhaustion under update rates.
+//!
+//! The paper: naive DP usage under frequent updates "results either in
+//! an impossibility to support additional updates or in an uncontrolled
+//! increase of the noise magnitude." Chart: mean absolute error of the
+//! naive (budget-split) counter vs the binary-tree mechanism as the
+//! stream grows, at fixed ε = 1.
+
+use crate::Table;
+use prever_dp::{NaiveCounter, TreeCounter};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn mae(noisy: &[f64]) -> f64 {
+    noisy
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v - (i as f64 + 1.0)).abs())
+        .sum::<f64>()
+        / noisy.len() as f64
+}
+
+/// Runs E9.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E9 — continual-release counters at ε = 1: naive vs tree mechanism (MAE)",
+        &["stream length T", "naive MAE", "tree MAE", "naive/tree"],
+    );
+    let lengths: &[u64] = if quick { &[64, 256] } else { &[64, 256, 1024, 4096, 16_384] };
+    let epsilon = 1.0;
+    let trials = if quick { 3 } else { 10 };
+    for &t_len in lengths {
+        let mut naive_mae = 0.0;
+        let mut tree_mae = 0.0;
+        for trial in 0..trials {
+            let mut rng = StdRng::seed_from_u64(900 + trial);
+            let mut naive = NaiveCounter::new(epsilon, t_len).expect("naive");
+            let mut tree = TreeCounter::new(epsilon, t_len).expect("tree");
+            let mut naive_out = Vec::with_capacity(t_len as usize);
+            let mut tree_out = Vec::with_capacity(t_len as usize);
+            for _ in 0..t_len {
+                naive_out.push(naive.update(1, &mut rng).expect("update"));
+                tree_out.push(tree.update(1, &mut rng).expect("update"));
+            }
+            naive_mae += mae(&naive_out);
+            tree_mae += mae(&tree_out);
+        }
+        naive_mae /= trials as f64;
+        tree_mae /= trials as f64;
+        table.row(vec![
+            t_len.to_string(),
+            format!("{naive_mae:.1}"),
+            format!("{tree_mae:.1}"),
+            format!("{:.1}x", naive_mae / tree_mae),
+        ]);
+    }
+    table
+}

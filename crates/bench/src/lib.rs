@@ -1,0 +1,23 @@
+//! # prever-bench
+//!
+//! The benchmark harness reproducing every experiment in EXPERIMENTS.md.
+//!
+//! The paper (§6) prescribes the evaluation any PReVer instantiation
+//! should run: standardized database benchmarks (YCSB, TPC-style)
+//! compared against non-private baselines, and distributed deployments
+//! compared against Paxos and PBFT on throughput and latency. Each
+//! experiment lives in [`experiments`] as a plain function returning
+//! printable rows, shared by:
+//!
+//! * the `report` binary (`cargo run --release -p prever-bench --bin
+//!   report`) which prints every table, and
+//! * the Criterion benches (`cargo bench`) which measure the underlying
+//!   hot operations with statistical rigor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

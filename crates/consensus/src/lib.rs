@@ -1,0 +1,67 @@
+//! # prever-consensus
+//!
+//! Replicated-log consensus protocols over the [`prever_sim`] simulator.
+//!
+//! PReVer's federated deployments need "establishing consensus among all
+//! involved data managers" (RC4), and §6 of the paper fixes the baseline
+//! set: *"the distributed solutions should be compared in terms of
+//! throughput and latency with standard distributed fault-tolerant
+//! protocols, e.g., Paxos and PBFT."* This crate implements all three
+//! systems the comparison needs:
+//!
+//! * [`paxos`] — Multi-Paxos with a stable leader, the crash-fault
+//!   baseline (the "trusted but unreliable" end of the spectrum);
+//! * [`pbft`] — Practical Byzantine Fault Tolerance with the full
+//!   three-phase protocol, view changes, and pluggable Byzantine
+//!   behaviors for fault-injection testing — the substrate the paper's
+//!   permissioned-blockchain infrastructure (Hyperledger Fabric,
+//!   SharPer, Qanaat) builds on;
+//! * [`sharded`] — a SharPer-style sharded deployment: independent PBFT
+//!   clusters per shard with cross-shard transactions executed under a
+//!   cross-shard commit barrier (see DESIGN.md for the fidelity note).
+//!
+//! All protocols expose the same observable: an ordered, executed log of
+//! [`Command`]s with per-command decision timestamps, which the benches
+//! turn into the throughput/latency series of experiments E3 and E7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paxos;
+pub mod pbft;
+pub mod sharded;
+
+/// An opaque replicated command (e.g. an encoded PReVer update).
+///
+/// Commands carry a client-assigned id so benches can match decisions
+/// back to submissions.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Command {
+    /// Client-assigned unique id.
+    pub id: u64,
+    /// Opaque payload.
+    pub payload: Vec<u8>,
+}
+
+impl Command {
+    /// Builds a command.
+    pub fn new(id: u64, payload: impl Into<Vec<u8>>) -> Self {
+        Command { id, payload: payload.into() }
+    }
+
+    /// A content digest used where PBFT messages carry `D(m)`.
+    pub fn digest(&self) -> prever_crypto::Digest {
+        prever_crypto::sha256::sha256_concat(&[&self.id.to_be_bytes(), &self.payload])
+    }
+}
+
+/// One executed log entry with its decision time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decided {
+    /// Log position.
+    pub slot: u64,
+    /// The command.
+    pub command: Command,
+    /// Virtual time (µs) at which this node learned the decision.
+    pub at: u64,
+}

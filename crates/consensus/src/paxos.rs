@@ -1,0 +1,559 @@
+//! Multi-Paxos with a stable leader.
+//!
+//! The crash-fault-tolerant baseline of experiment E3 (paper §6 names
+//! Paxos explicitly). One ballot-ordered leader drives phase 2 for a
+//! sequence of slots after winning phase 1 once; followers forward client
+//! requests to the leader and monitor it with heartbeats, electing a new
+//! leader (higher ballot) on silence.
+//!
+//! Ballot numbering: `ballot = round * n + node_id`, so every node owns an
+//! unbounded supply of unique ballots and `ballot % n` identifies the
+//! would-be leader.
+
+use crate::{Command, Decided};
+use prever_sim::{Actor, Ctx, NodeId, VoteSet};
+use std::collections::BTreeMap;
+
+/// Paxos protocol messages.
+#[derive(Clone, Debug)]
+pub enum PaxosMsg {
+    /// A client submits a command (injected by the harness or forwarded).
+    ClientRequest(Command),
+    /// Phase 1a.
+    Prepare {
+        /// Proposer's ballot.
+        ballot: u64,
+    },
+    /// Phase 1b: promise not to accept lower ballots; reports previously
+    /// accepted (slot, ballot, command) triples.
+    Promise {
+        /// The promised ballot.
+        ballot: u64,
+        /// Previously accepted values.
+        accepted: Vec<(u64, u64, Command)>,
+    },
+    /// Phase 2a.
+    Accept {
+        /// Leader's ballot.
+        ballot: u64,
+        /// Slot being decided.
+        slot: u64,
+        /// Proposed command.
+        command: Command,
+    },
+    /// Phase 2b.
+    Accepted {
+        /// Ballot of the acceptance.
+        ballot: u64,
+        /// Slot.
+        slot: u64,
+    },
+    /// Decision broadcast (learners).
+    Decide {
+        /// Slot.
+        slot: u64,
+        /// Decided command.
+        command: Command,
+    },
+    /// Leader liveness beacon; carries the decision frontier so
+    /// followers can detect gaps from dropped Decide messages.
+    Heartbeat {
+        /// Leader's ballot.
+        ballot: u64,
+        /// One past the highest slot the leader has decided.
+        decided_up_to: u64,
+    },
+    /// A follower asks the leader to re-send specific decisions.
+    LearnRequest {
+        /// Slots the follower is missing.
+        missing: Vec<u64>,
+    },
+}
+
+const TIMER_HEARTBEAT: u64 = 1;
+const TIMER_LEADER_TIMEOUT: u64 = 2;
+
+const HEARTBEAT_EVERY: u64 = 20_000; // 20 ms
+const LEADER_TIMEOUT: u64 = 100_000; // 100 ms
+
+/// Per-slot acceptor state.
+#[derive(Clone, Debug)]
+struct AcceptedEntry {
+    ballot: u64,
+    command: Command,
+}
+
+/// A Multi-Paxos node (proposer + acceptor + learner).
+#[derive(Clone, Debug)]
+pub struct PaxosNode {
+    id: NodeId,
+    n: usize,
+    /// Highest ballot promised (acceptor).
+    promised: u64,
+    /// Accepted values per slot (acceptor).
+    accepted: BTreeMap<u64, AcceptedEntry>,
+    /// Decided log (learner).
+    decided: BTreeMap<u64, Command>,
+    /// Decision times for the bench.
+    decided_log: Vec<Decided>,
+    /// Leader state: Some(ballot) once phase 1 is complete.
+    leading: Option<u64>,
+    /// Ballot this node is currently trying to win (phase 1 in flight).
+    campaigning: Option<u64>,
+    promises: VoteSet,
+    /// Values learned from promises during the campaign.
+    campaign_accepted: BTreeMap<u64, AcceptedEntry>,
+    /// Next free slot when leading.
+    next_slot: u64,
+    /// Client commands awaiting proposal.
+    backlog: Vec<Command>,
+    /// Per-slot accept votes when leading.
+    votes: BTreeMap<u64, VoteSet>,
+    /// In-flight proposals (slot → command) when leading.
+    proposing: BTreeMap<u64, Command>,
+    /// Last heartbeat seen from a leader (ballot).
+    seen_ballot: u64,
+    heard_from_leader: bool,
+}
+
+impl PaxosNode {
+    /// Creates node `id` of `n`.
+    pub fn new(id: NodeId, n: usize) -> Self {
+        PaxosNode {
+            id,
+            n,
+            promised: 0,
+            accepted: BTreeMap::new(),
+            decided: BTreeMap::new(),
+            decided_log: Vec::new(),
+            leading: None,
+            campaigning: None,
+            promises: VoteSet::new(),
+            campaign_accepted: BTreeMap::new(),
+            next_slot: 0,
+            backlog: Vec::new(),
+            votes: BTreeMap::new(),
+            proposing: BTreeMap::new(),
+            seen_ballot: 0,
+            heard_from_leader: false,
+        }
+    }
+
+    /// The decided log (slot-ordered, possibly with gaps while running).
+    pub fn decided(&self) -> &BTreeMap<u64, Command> {
+        &self.decided
+    }
+
+    /// Decision events in arrival order (bench latency extraction).
+    pub fn decided_log(&self) -> &[Decided] {
+        &self.decided_log
+    }
+
+    /// True iff this node currently believes it leads.
+    pub fn is_leader(&self) -> bool {
+        self.leading.is_some()
+    }
+
+    fn majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    fn start_campaign(&mut self, ctx: &mut Ctx<PaxosMsg>) {
+        // Next ballot owned by this node above everything seen.
+        let round = self.seen_ballot / self.n as u64 + 1;
+        let ballot = round * self.n as u64 + self.id as u64;
+        self.campaigning = Some(ballot);
+        self.promises = VoteSet::new();
+        self.campaign_accepted.clear();
+        self.seen_ballot = ballot;
+        // Self-promise.
+        self.handle_prepare_locally(ballot);
+        self.promises.add(self.id);
+        for (slot, e) in &self.accepted {
+            self.campaign_accepted.insert(*slot, e.clone());
+        }
+        ctx.broadcast(PaxosMsg::Prepare { ballot });
+    }
+
+    fn handle_prepare_locally(&mut self, ballot: u64) {
+        if ballot > self.promised {
+            self.promised = ballot;
+        }
+    }
+
+    fn become_leader(&mut self, ballot: u64, ctx: &mut Ctx<PaxosMsg>) {
+        self.campaigning = None;
+        self.leading = Some(ballot);
+        // Re-propose every accepted-but-undecided value we learned.
+        let mut max_slot = self.decided.keys().next_back().copied().map(|s| s + 1).unwrap_or(0);
+        let to_repropose: Vec<(u64, Command)> = self
+            .campaign_accepted
+            .iter()
+            .filter(|(slot, _)| !self.decided.contains_key(*slot))
+            .map(|(slot, e)| (*slot, e.command.clone()))
+            .collect();
+        for (slot, _) in &to_repropose {
+            max_slot = max_slot.max(slot + 1);
+        }
+        self.next_slot = max_slot;
+        for (slot, command) in to_repropose {
+            self.propose_at(slot, command, ctx);
+        }
+        // Propose the backlog (retained until decided).
+        for command in self.backlog.clone() {
+            if self.already_known(&command) {
+                continue;
+            }
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            self.propose_at(slot, command, ctx);
+        }
+        ctx.set_timer(HEARTBEAT_EVERY, TIMER_HEARTBEAT);
+    }
+
+    fn propose_at(&mut self, slot: u64, command: Command, ctx: &mut Ctx<PaxosMsg>) {
+        let ballot = self.leading.expect("propose_at requires leadership");
+        self.proposing.insert(slot, command.clone());
+        let mut votes = VoteSet::new();
+        votes.add(self.id); // self-accept below
+        self.votes.insert(slot, votes);
+        self.accepted.insert(slot, AcceptedEntry { ballot, command: command.clone() });
+        ctx.broadcast(PaxosMsg::Accept { ballot, slot, command });
+    }
+
+    fn decide(&mut self, slot: u64, command: Command, ctx: &mut Ctx<PaxosMsg>) {
+        if self.decided.contains_key(&slot) {
+            return;
+        }
+        self.backlog.retain(|c| c.id != command.id);
+        self.decided.insert(slot, command.clone());
+        self.decided_log.push(Decided { slot, command, at: ctx.now() });
+        self.votes.remove(&slot);
+        self.proposing.remove(&slot);
+    }
+
+    /// True iff the command is already decided or being proposed.
+    fn already_known(&self, command: &Command) -> bool {
+        self.decided.values().any(|c| c.id == command.id)
+            || self.proposing.values().any(|c| c.id == command.id)
+    }
+}
+
+impl Actor for PaxosNode {
+    type Msg = PaxosMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<PaxosMsg>) {
+        if self.id == 0 {
+            // Node 0 bootstraps leadership; others wait on their timeout.
+            self.start_campaign(ctx);
+        }
+        ctx.set_timer(LEADER_TIMEOUT + (self.id as u64) * 10_000, TIMER_LEADER_TIMEOUT);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: PaxosMsg, ctx: &mut Ctx<PaxosMsg>) {
+        match msg {
+            PaxosMsg::ClientRequest(command) => {
+                if self.already_known(&command) {
+                    return;
+                }
+                if self.leading.is_some() {
+                    let slot = self.next_slot;
+                    self.next_slot += 1;
+                    self.propose_at(slot, command, ctx);
+                } else {
+                    // Retain until decided (the leader may crash with the
+                    // forwarded copy), and forward to the believed leader.
+                    if !self.backlog.iter().any(|c| c.id == command.id) {
+                        self.backlog.push(command.clone());
+                    }
+                    let believed = (self.seen_ballot % self.n as u64) as NodeId;
+                    if believed != self.id && self.seen_ballot > 0 {
+                        ctx.send(believed, PaxosMsg::ClientRequest(command));
+                    }
+                }
+            }
+            PaxosMsg::Prepare { ballot } => {
+                if ballot > self.promised {
+                    self.promised = ballot;
+                    self.seen_ballot = self.seen_ballot.max(ballot);
+                    // Stepping down if we led under a lower ballot.
+                    if self.leading.is_some_and(|b| b < ballot) {
+                        self.leading = None;
+                    }
+                    let accepted = self
+                        .accepted
+                        .iter()
+                        .map(|(slot, e)| (*slot, e.ballot, e.command.clone()))
+                        .collect();
+                    ctx.send(from, PaxosMsg::Promise { ballot, accepted });
+                }
+            }
+            PaxosMsg::Promise { ballot, accepted } => {
+                if self.campaigning != Some(ballot) {
+                    return;
+                }
+                for (slot, b, command) in accepted {
+                    let replace = self
+                        .campaign_accepted
+                        .get(&slot)
+                        .is_none_or(|e| e.ballot < b);
+                    if replace {
+                        self.campaign_accepted.insert(slot, AcceptedEntry { ballot: b, command });
+                    }
+                }
+                if self.promises.add(from) && self.promises.len() >= self.majority() {
+                    self.become_leader(ballot, ctx);
+                }
+            }
+            PaxosMsg::Accept { ballot, slot, command } => {
+                if ballot >= self.promised {
+                    self.promised = ballot;
+                    self.seen_ballot = self.seen_ballot.max(ballot);
+                    self.heard_from_leader = true;
+                    if self.leading.is_some_and(|b| b < ballot) {
+                        self.leading = None;
+                    }
+                    self.accepted.insert(slot, AcceptedEntry { ballot, command });
+                    ctx.send(from, PaxosMsg::Accepted { ballot, slot });
+                }
+            }
+            PaxosMsg::Accepted { ballot, slot } => {
+                if self.leading != Some(ballot) {
+                    return;
+                }
+                let Some(votes) = self.votes.get_mut(&slot) else {
+                    return;
+                };
+                votes.add(from);
+                if votes.len() >= self.majority() {
+                    if let Some(command) = self.proposing.get(&slot).cloned() {
+                        ctx.broadcast(PaxosMsg::Decide { slot, command: command.clone() });
+                        self.decide(slot, command, ctx);
+                    }
+                }
+            }
+            PaxosMsg::Decide { slot, command } => {
+                self.heard_from_leader = true;
+                self.decide(slot, command, ctx);
+            }
+            PaxosMsg::Heartbeat { ballot, decided_up_to } => {
+                if ballot >= self.seen_ballot {
+                    self.seen_ballot = ballot;
+                    self.heard_from_leader = true;
+                    if self.leading.is_some_and(|b| b < ballot) {
+                        self.leading = None;
+                    }
+                    if self.leading.is_none() {
+                        let leader = (ballot % self.n as u64) as NodeId;
+                        // Re-forward undecided backlog to the live
+                        // leader (kept locally until a Decide arrives).
+                        for command in self.backlog.clone() {
+                            ctx.send(leader, PaxosMsg::ClientRequest(command));
+                        }
+                        // Ask for decisions lost to the network.
+                        let missing: Vec<u64> = (0..decided_up_to)
+                            .filter(|s| !self.decided.contains_key(s))
+                            .take(64)
+                            .collect();
+                        if !missing.is_empty() {
+                            ctx.send(leader, PaxosMsg::LearnRequest { missing });
+                        }
+                    }
+                }
+            }
+            PaxosMsg::LearnRequest { missing } => {
+                for slot in missing {
+                    if let Some(command) = self.decided.get(&slot).cloned() {
+                        ctx.send(from, PaxosMsg::Decide { slot, command });
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: u64, ctx: &mut Ctx<PaxosMsg>) {
+        match timer {
+            TIMER_HEARTBEAT => {
+                if let Some(ballot) = self.leading {
+                    let decided_up_to =
+                        self.decided.keys().next_back().map(|s| s + 1).unwrap_or(0);
+                    ctx.broadcast(PaxosMsg::Heartbeat { ballot, decided_up_to });
+                    // Retransmit undecided proposals: with a lossy
+                    // network, dropped Accept/Accepted messages would
+                    // otherwise stall their slots forever. Acceptors
+                    // treat re-Accepts idempotently.
+                    for (slot, command) in self.proposing.clone() {
+                        ctx.broadcast(PaxosMsg::Accept { ballot, slot, command });
+                    }
+                    ctx.set_timer(HEARTBEAT_EVERY, TIMER_HEARTBEAT);
+                }
+            }
+            TIMER_LEADER_TIMEOUT => {
+                let am_leader = self.leading.is_some();
+                // A stalled campaign (no majority reachable) is restarted
+                // with a fresh, higher ballot rather than waited on.
+                if !am_leader && !self.heard_from_leader {
+                    self.start_campaign(ctx);
+                }
+                self.heard_from_leader = false;
+                // Stagger re-arm by id to avoid dueling proposers.
+                ctx.set_timer(LEADER_TIMEOUT + (self.id as u64) * 10_000, TIMER_LEADER_TIMEOUT);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Builds an `n`-node Paxos cluster.
+pub fn cluster(n: usize) -> Vec<PaxosNode> {
+    (0..n).map(|id| PaxosNode::new(id, n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prever_sim::{NetConfig, Simulation};
+
+    fn run_cluster(
+        n: usize,
+        commands: usize,
+        seed: u64,
+        f: impl FnOnce(&mut Simulation<PaxosNode>),
+    ) -> Simulation<PaxosNode> {
+        let mut sim = Simulation::new(cluster(n), NetConfig::default(), seed);
+        // Let leadership settle.
+        sim.run_until(50_000);
+        for i in 0..commands {
+            let target = i % n;
+            sim.inject(
+                target,
+                target,
+                PaxosMsg::ClientRequest(Command::new(i as u64, format!("cmd-{i}"))),
+                sim.now() + 1 + i as u64 * 100,
+            );
+        }
+        f(&mut sim);
+        sim
+    }
+
+    fn all_decided(sim: &Simulation<PaxosNode>, n_cmds: usize, live: &[usize]) {
+        // Every live node decides the same log covering all commands.
+        let reference = sim.node(live[0]).decided().clone();
+        assert!(reference.len() >= n_cmds, "only {} of {} decided", reference.len(), n_cmds);
+        let mut seen: Vec<u64> = reference.values().map(|c| c.id).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), n_cmds, "some commands missing or duplicated");
+        for &id in live {
+            assert_eq!(sim.node(id).decided(), &reference, "node {id} diverged");
+        }
+    }
+
+    #[test]
+    fn decides_commands_on_clean_run() {
+        let n = 5;
+        let sim_done = {
+            let mut sim = run_cluster(n, 20, 1, |sim| {
+                let ok = sim.run_until_pred(2_000_000, |nodes| {
+                    nodes.iter().all(|nd| nd.decided().len() >= 20)
+                });
+                assert!(ok, "not all nodes decided in time");
+            });
+            sim.run_until(sim.now() + 10_000);
+            sim
+        };
+        all_decided(&sim_done, 20, &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nodes_agree_on_order() {
+        let mut sim = run_cluster(3, 30, 7, |sim| {
+            assert!(sim.run_until_pred(2_000_000, |nodes| {
+                nodes.iter().all(|nd| nd.decided().len() >= 30)
+            }));
+        });
+        sim.run_until(sim.now() + 10_000);
+        let a: Vec<_> = sim.node(0).decided().values().map(|c| c.id).collect();
+        let b: Vec<_> = sim.node(1).decided().values().map(|c| c.id).collect();
+        let c: Vec<_> = sim.node(2).decided().values().map(|c| c.id).collect();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn survives_leader_crash() {
+        let n = 5;
+        let mut sim = Simulation::new(cluster(n), NetConfig::default(), 3);
+        sim.run_until(50_000);
+        // First batch through the initial leader.
+        for i in 0..5u64 {
+            sim.inject(1, 1, PaxosMsg::ClientRequest(Command::new(i, "pre")), sim.now() + 1 + i);
+        }
+        assert!(sim.run_until_pred(1_000_000, |nodes| nodes[1].decided().len() >= 5));
+        // Find and crash the leader.
+        let leader = (0..n).find(|&i| sim.node(i).is_leader()).expect("a leader exists");
+        sim.crash(leader);
+        // New commands must still get decided by the survivors.
+        let submit_to = (leader + 1) % n;
+        for i in 5..10u64 {
+            sim.inject(
+                submit_to,
+                submit_to,
+                PaxosMsg::ClientRequest(Command::new(i, "post")),
+                sim.now() + 1000 + i,
+            );
+        }
+        let ok = sim.run_until_pred(5_000_000, move |nodes| {
+            (0..n).filter(|&i| i != leader).all(|i| {
+                let ids: std::collections::HashSet<u64> =
+                    nodes[i].decided().values().map(|c| c.id).collect();
+                (0..10).all(|c| ids.contains(&c))
+            })
+        });
+        assert!(ok, "survivors failed to decide post-crash commands");
+        // Safety: pre-crash decisions preserved identically.
+        let live: Vec<usize> = (0..n).filter(|&i| i != leader).collect();
+        let reference = sim.node(live[0]).decided().clone();
+        for &i in &live {
+            assert_eq!(sim.node(i).decided(), &reference);
+        }
+    }
+
+    #[test]
+    fn minority_partition_makes_no_progress() {
+        let n = 5;
+        let mut sim = Simulation::new(cluster(n), NetConfig::default(), 9);
+        sim.run_until(50_000);
+        // Partition nodes {0,1} away from {2,3,4}.
+        sim.set_partition(vec![0, 0, 1, 1, 1]);
+        // Submit to the minority side (where the initial leader 0 lives).
+        for i in 0..3u64 {
+            sim.inject(0, 0, PaxosMsg::ClientRequest(Command::new(i, "x")), sim.now() + 1 + i);
+        }
+        sim.run_until(sim.now() + 400_000);
+        // Minority cannot decide new commands (node 1 sees nothing new).
+        assert_eq!(sim.node(1).decided().len(), 0);
+        // Majority side elects its own leader and can process commands.
+        for i in 10..13u64 {
+            sim.inject(2, 2, PaxosMsg::ClientRequest(Command::new(i, "y")), sim.now() + 1 + i);
+        }
+        let ok = sim.run_until_pred(5_000_000, |nodes| nodes[3].decided().len() >= 3);
+        assert!(ok, "majority partition failed to decide");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed| {
+            let mut sim = run_cluster(3, 10, seed, |sim| {
+                sim.run_until(3_000_000);
+            });
+            sim.run_until(3_100_000);
+            sim.node(0)
+                .decided_log()
+                .iter()
+                .map(|d| (d.slot, d.command.id, d.at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

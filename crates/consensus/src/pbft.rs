@@ -1,0 +1,923 @@
+//! Practical Byzantine Fault Tolerance (Castro & Liskov, OSDI '99).
+//!
+//! The Byzantine-fault-tolerant substrate for PReVer's federated
+//! deployments, where data managers are *mutually distrustful* (paper
+//! §1, RC4): the permissioned-blockchain systems the paper builds on
+//! (Hyperledger Fabric's ordering service, SharPer, Qanaat) all reduce
+//! to PBFT-family consensus. Implemented:
+//!
+//! * the three-phase normal path (pre-prepare → prepare → commit) with
+//!   `2f + 1` quorums over `n = 3f + 1` replicas;
+//! * view changes carrying prepared certificates, so a faulty primary is
+//!   replaced without losing prepared requests;
+//! * in-order execution with per-command decision timestamps;
+//! * pluggable [`Byzantine`] behaviors (silent replica, equivocating
+//!   primary) for fault-injection tests.
+//!
+//! Implemented in full: the three-phase normal path, view changes, and
+//! **stable checkpoints** (2f + 1 matching state-digest votes every
+//! [`CHECKPOINT_INTERVAL`] executions truncate the in-memory log).
+//! Remaining simplifications, chosen because they do not affect the
+//! throughput/latency *shape* E3 measures: no MAC/signature
+//! authentication (the simulator delivers messages unforged; the crypto
+//! exists in `prever-crypto` and is charged in the E2 bench), and
+//! new-view messages are trusted structurally rather than re-verified.
+//!
+//! The protocol state machine lives in [`PbftCore`], which is sans-IO
+//! (inputs in, `(destination, message)` pairs out) so the sharded
+//! deployment can embed per-shard instances; [`PbftNode`] adapts it to
+//! the simulator.
+
+use crate::{Command, Decided};
+use prever_crypto::Digest;
+use prever_sim::{Actor, Ctx, NodeId, VoteSet};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// PBFT protocol messages.
+#[derive(Clone, Debug)]
+pub enum PbftMsg {
+    /// Client request (injected or forwarded to the primary).
+    Request(Command),
+    /// Phase 1: the primary assigns `seq` to `command` in `view`.
+    PrePrepare {
+        /// View.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Proposed command.
+        command: Command,
+    },
+    /// Phase 2 vote.
+    Prepare {
+        /// View.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Digest of the pre-prepared command.
+        digest: Digest,
+    },
+    /// Phase 3 vote.
+    Commit {
+        /// View.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Digest.
+        digest: Digest,
+    },
+    /// View-change vote with prepared certificates.
+    ViewChange {
+        /// Proposed new view.
+        new_view: u64,
+        /// Prepared (seq, view, command) triples above the last execution.
+        prepared: Vec<(u64, u64, Command)>,
+    },
+    /// New primary's installation message.
+    NewView {
+        /// The installed view.
+        new_view: u64,
+        /// Re-proposed (seq, command) pairs.
+        proposals: Vec<(u64, Command)>,
+    },
+    /// Periodic checkpoint vote: "my state after executing `seq`
+    /// commands has this digest". `2f + 1` matching votes make the
+    /// checkpoint *stable* and let replicas truncate their logs.
+    Checkpoint {
+        /// Executed sequence number the digest covers.
+        seq: u64,
+        /// Chained digest of the execution history up to `seq`.
+        state_digest: Digest,
+    },
+}
+
+/// Executed-command count between checkpoint votes.
+pub const CHECKPOINT_INTERVAL: u64 = 16;
+
+/// Byzantine behavior injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Byzantine {
+    /// Honest replica.
+    #[default]
+    Honest,
+    /// Crashes silently: emits no messages (but the process looks alive).
+    Silent,
+    /// As primary, sends conflicting pre-prepares to different halves of
+    /// the replica set.
+    EquivocatingPrimary,
+}
+
+/// The command used to fill view-change gaps.
+pub const NOOP_ID: u64 = u64::MAX;
+
+/// A prepared certificate carried in view-change messages:
+/// `(sequence, view, command)`.
+pub type PreparedCert = (u64, u64, Command);
+
+fn noop() -> Command {
+    Command::new(NOOP_ID, Vec::new())
+}
+
+#[derive(Clone, Debug, Default)]
+struct Slot {
+    view: u64,
+    digest: Option<Digest>,
+    command: Option<Command>,
+    prepares: VoteSet,
+    commits: VoteSet,
+    sent_commit: bool,
+    committed: bool,
+    executed: bool,
+}
+
+/// The sans-IO PBFT state machine for one replica within a member set.
+#[derive(Clone, Debug)]
+pub struct PbftCore {
+    id: NodeId,
+    /// Sorted member ids; `members[view % m]` is the view's primary.
+    members: Vec<NodeId>,
+    view: u64,
+    /// Next sequence number to assign (primary only).
+    next_seq: u64,
+    /// Highest executed sequence number (0 = nothing; seqs start at 1).
+    last_exec: u64,
+    log: BTreeMap<u64, Slot>,
+    executed: Vec<Decided>,
+    executed_ids: HashSet<u64>,
+    /// Requests awaiting execution (liveness tracking at backups).
+    pending: VecDeque<(Command, u64)>,
+    /// View-change votes: new_view → voters and their prepared sets.
+    vc_votes: BTreeMap<u64, BTreeMap<NodeId, Vec<PreparedCert>>>,
+    /// Set while this replica has abandoned `view` and waits for NewView.
+    view_changing: bool,
+    /// Chained digest over the executed history (the checkpoint state).
+    running_state: Digest,
+    /// Checkpoint votes: (seq, digest) → distinct voters.
+    checkpoint_votes: BTreeMap<(u64, Digest), VoteSet>,
+    /// Highest stable (2f+1-certified) checkpoint.
+    stable_seq: u64,
+    byz: Byzantine,
+}
+
+/// `(destination, message)` pairs a core step wants sent.
+pub type Outbox = Vec<(NodeId, PbftMsg)>;
+
+impl PbftCore {
+    /// Creates the core for `id` within `members`.
+    pub fn new(id: NodeId, mut members: Vec<NodeId>, byz: Byzantine) -> Self {
+        members.sort_unstable();
+        assert!(members.contains(&id), "replica must be a member");
+        PbftCore {
+            id,
+            members,
+            view: 0,
+            next_seq: 0,
+            last_exec: 0,
+            log: BTreeMap::new(),
+            executed: Vec::new(),
+            executed_ids: HashSet::new(),
+            pending: VecDeque::new(),
+            vc_votes: BTreeMap::new(),
+            view_changing: false,
+            running_state: Digest::ZERO,
+            checkpoint_votes: BTreeMap::new(),
+            stable_seq: 0,
+            byz,
+        }
+    }
+
+    /// The current view.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Member count.
+    pub fn m(&self) -> usize {
+        self.members.len()
+    }
+
+    fn f(&self) -> usize {
+        (self.m() - 1) / 3
+    }
+
+    fn quorum(&self) -> usize {
+        2 * self.f() + 1
+    }
+
+    /// The primary of the current view.
+    pub fn primary(&self) -> NodeId {
+        self.members[(self.view as usize) % self.m()]
+    }
+
+    /// True iff this replica is the current primary.
+    pub fn is_primary(&self) -> bool {
+        self.primary() == self.id
+    }
+
+    /// Executed commands in order.
+    pub fn executed(&self) -> &[Decided] {
+        &self.executed
+    }
+
+    /// Highest stable checkpoint sequence (0 before the first).
+    pub fn stable_seq(&self) -> u64 {
+        self.stable_seq
+    }
+
+    /// Current in-memory log size (bounded by checkpoint truncation).
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Number of non-noop commands executed.
+    pub fn executed_commands(&self) -> usize {
+        self.executed.iter().filter(|d| d.command.id != NOOP_ID).count()
+    }
+
+    /// True iff a request is pending past `deadline`-aged entries.
+    pub fn has_stale_pending(&self, now: u64, timeout: u64) -> bool {
+        self.pending
+            .front()
+            .is_some_and(|(_, since)| now.saturating_sub(*since) > timeout)
+    }
+
+    fn broadcast(&self, out: &mut Outbox, msg: PbftMsg) {
+        if self.byz == Byzantine::Silent {
+            return;
+        }
+        for &m in &self.members {
+            if m != self.id {
+                out.push((m, msg.clone()));
+            }
+        }
+    }
+
+    fn send(&self, out: &mut Outbox, to: NodeId, msg: PbftMsg) {
+        if self.byz == Byzantine::Silent {
+            return;
+        }
+        out.push((to, msg));
+    }
+
+    /// Handles a client request arriving at this replica (client entry
+    /// point). The request is relayed to every replica so that all of
+    /// them track it as pending — the standard PBFT liveness rule that
+    /// lets backups accumulate view-change quorums when the primary is
+    /// faulty.
+    pub fn on_request(&mut self, command: Command, now: u64) -> Outbox {
+        let mut out = Outbox::new();
+        if self.executed_ids.contains(&command.id) {
+            return out;
+        }
+        let newly_pending = !self.pending.iter().any(|(c, _)| c.id == command.id);
+        if newly_pending {
+            self.pending.push_back((command.clone(), now));
+            self.broadcast(&mut out, PbftMsg::Request(command.clone()));
+        }
+        if self.is_primary() && !self.view_changing {
+            self.propose(command, &mut out);
+        }
+        out
+    }
+
+    /// Handles a request relayed by a peer replica: track it as pending
+    /// (for the view-change timeout) and propose it if we lead.
+    fn on_relayed_request(&mut self, command: Command, now: u64) -> Outbox {
+        let mut out = Outbox::new();
+        if self.executed_ids.contains(&command.id) {
+            return out;
+        }
+        if !self.pending.iter().any(|(c, _)| c.id == command.id) {
+            self.pending.push_back((command.clone(), now));
+        }
+        if self.is_primary() && !self.view_changing {
+            self.propose(command, &mut out);
+        }
+        out
+    }
+
+    fn propose(&mut self, command: Command, out: &mut Outbox) {
+        // Skip if already in-flight or executed.
+        if self.executed_ids.contains(&command.id)
+            || self
+                .log
+                .values()
+                .any(|s| s.command.as_ref().is_some_and(|c| c.id == command.id) && !s.executed)
+        {
+            return;
+        }
+        self.next_seq = self.next_seq.max(self.last_exec) + 1;
+        let seq = self.next_seq;
+        let digest = command.digest();
+
+        if self.byz == Byzantine::EquivocatingPrimary {
+            // Send command A to the first half, a conflicting command to
+            // the rest. Both claim the same (view, seq).
+            let mut evil = command.clone();
+            evil.payload.extend_from_slice(b"-equivocated");
+            let others: Vec<NodeId> =
+                self.members.iter().copied().filter(|&m| m != self.id).collect();
+            for (i, &m) in others.iter().enumerate() {
+                let c = if i < others.len() / 2 { command.clone() } else { evil.clone() };
+                out.push((m, PbftMsg::PrePrepare { view: self.view, seq, command: c }));
+            }
+        } else {
+            self.broadcast(out, PbftMsg::PrePrepare { view: self.view, seq, command: command.clone() });
+        }
+
+        // The primary's pre-prepare doubles as its prepare vote.
+        let slot = self.log.entry(seq).or_default();
+        slot.view = self.view;
+        slot.digest = Some(digest);
+        slot.command = Some(command);
+        slot.prepares.add(self.id);
+    }
+
+    /// Handles a protocol message. `now` is virtual time for execution
+    /// timestamps.
+    pub fn on_message(&mut self, from: NodeId, msg: PbftMsg, now: u64) -> Outbox {
+        let mut out = Outbox::new();
+        if !self.members.contains(&from) {
+            return out;
+        }
+        match msg {
+            PbftMsg::Request(command) => {
+                // By convention the simulator injects client requests with
+                // `from == self`; peer relays carry the peer's id.
+                if from == self.id {
+                    return self.on_request(command, now);
+                }
+                return self.on_relayed_request(command, now);
+            }
+            PbftMsg::PrePrepare { view, seq, command } => {
+                if view != self.view || self.view_changing || from != self.primary() {
+                    return out;
+                }
+                if seq <= self.last_exec {
+                    return out;
+                }
+                let digest = command.digest();
+                let slot = self.log.entry(seq).or_default();
+                if let Some(existing) = slot.digest {
+                    if existing != digest {
+                        // Equivocation observed: refuse the second one.
+                        return out;
+                    }
+                } else {
+                    slot.view = view;
+                    slot.digest = Some(digest);
+                    slot.command = Some(command.clone());
+                }
+                // Track the request for liveness if not already pending.
+                if !self.executed_ids.contains(&command.id)
+                    && !self.pending.iter().any(|(c, _)| c.id == command.id)
+                {
+                    self.pending.push_back((command, now));
+                }
+                // Pre-prepare counts as the primary's prepare vote; add
+                // ours and broadcast it.
+                slot.prepares.add(from);
+                slot.prepares.add(self.id);
+                self.broadcast(&mut out, PbftMsg::Prepare { view, seq, digest });
+                self.try_advance(seq, now, &mut out);
+            }
+            PbftMsg::Prepare { view, seq, digest } => {
+                if view != self.view || self.view_changing || seq <= self.last_exec {
+                    return out;
+                }
+                let slot = self.log.entry(seq).or_default();
+                if slot.digest.is_some_and(|d| d != digest) {
+                    return out;
+                }
+                slot.prepares.add(from);
+                self.try_advance(seq, now, &mut out);
+            }
+            PbftMsg::Commit { view, seq, digest } => {
+                if view != self.view || self.view_changing || seq <= self.last_exec {
+                    return out;
+                }
+                let slot = self.log.entry(seq).or_default();
+                if slot.digest.is_some_and(|d| d != digest) {
+                    return out;
+                }
+                slot.commits.add(from);
+                self.try_advance(seq, now, &mut out);
+            }
+            PbftMsg::ViewChange { new_view, prepared } => {
+                if new_view <= self.view && !(new_view == self.view && self.view_changing) {
+                    return out;
+                }
+                let votes = self.vc_votes.entry(new_view).or_default();
+                votes.insert(from, prepared);
+                let votes_len = votes.len();
+                // Join the view change once f + 1 replicas demand it.
+                if votes_len > self.f() && !(self.view_changing && self.view >= new_view) {
+                    self.start_view_change(new_view, &mut out);
+                }
+                self.maybe_install_view(new_view, now, &mut out);
+            }
+            PbftMsg::Checkpoint { seq, state_digest } => {
+                self.record_checkpoint_vote(from, seq, state_digest);
+            }
+            PbftMsg::NewView { new_view, proposals } => {
+                if new_view < self.view {
+                    return out;
+                }
+                let expected_primary = self.members[(new_view as usize) % self.m()];
+                if from != expected_primary {
+                    return out;
+                }
+                self.adopt_view(new_view);
+                // Process the re-proposals exactly like pre-prepares.
+                for (seq, command) in proposals {
+                    let o = self.on_message(
+                        expected_primary,
+                        PbftMsg::PrePrepare { view: new_view, seq, command },
+                        now,
+                    );
+                    out.extend(o);
+                }
+                // Re-submit pending requests to the new primary.
+                let pending: Vec<Command> =
+                    self.pending.iter().map(|(c, _)| c.clone()).collect();
+                for c in pending {
+                    let primary = self.primary();
+                    if primary != self.id {
+                        self.send(&mut out, primary, PbftMsg::Request(c));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn try_advance(&mut self, seq: u64, now: u64, out: &mut Outbox) {
+        let quorum = self.quorum();
+        let view = self.view;
+        let Some(slot) = self.log.get_mut(&seq) else { return };
+        let Some(digest) = slot.digest else { return };
+        // Prepared: 2f + 1 matching prepares (incl. primary's implicit
+        // and our own).
+        if slot.prepares.len() >= quorum && !slot.sent_commit {
+            slot.sent_commit = true;
+            slot.commits.add(self.id);
+            let msg = PbftMsg::Commit { view, seq, digest };
+            self.broadcast(out, msg);
+        }
+        let Some(slot) = self.log.get_mut(&seq) else { return };
+        if slot.commits.len() >= quorum && !slot.committed {
+            slot.committed = true;
+        }
+        self.execute_ready(now, out);
+    }
+
+    fn execute_ready(&mut self, now: u64, out: &mut Outbox) {
+        loop {
+            let next = self.last_exec + 1;
+            let Some(slot) = self.log.get_mut(&next) else { break };
+            if !slot.committed || slot.executed {
+                break;
+            }
+            slot.executed = true;
+            let command = slot.command.clone().expect("committed slot has a command");
+            self.last_exec = next;
+            self.executed_ids.insert(command.id);
+            self.pending.retain(|(c, _)| c.id != command.id);
+            // Chain the state digest (deterministic across replicas).
+            self.running_state = prever_crypto::sha256::sha256_concat(&[
+                self.running_state.as_bytes(),
+                command.digest().as_bytes(),
+            ]);
+            self.executed.push(Decided { slot: next, command, at: now });
+            if self.last_exec % CHECKPOINT_INTERVAL == 0 {
+                let msg = PbftMsg::Checkpoint {
+                    seq: self.last_exec,
+                    state_digest: self.running_state,
+                };
+                self.broadcast(out, msg);
+                self.record_checkpoint_vote(self.id, self.last_exec, self.running_state);
+            }
+        }
+    }
+
+    fn record_checkpoint_vote(&mut self, from: NodeId, seq: u64, state_digest: Digest) {
+        if seq <= self.stable_seq {
+            return;
+        }
+        let votes = self.checkpoint_votes.entry((seq, state_digest)).or_default();
+        votes.add(from);
+        if votes.len() >= self.quorum() {
+            // Stable: truncate everything at or below it.
+            self.stable_seq = seq;
+            self.log.retain(|s, slot| *s > seq || !slot.executed);
+            self.checkpoint_votes.retain(|(s, _), _| *s > seq);
+        }
+    }
+
+    /// Initiates (or joins) a view change towards `new_view`.
+    pub fn start_view_change(&mut self, new_view: u64, out: &mut Outbox) {
+        if new_view <= self.view && self.view_changing {
+            return;
+        }
+        self.view = new_view;
+        self.view_changing = true;
+        // Prepared certificates above last_exec.
+        let prepared: Vec<(u64, u64, Command)> = self
+            .log
+            .iter()
+            .filter(|(seq, s)| {
+                **seq > self.last_exec && s.prepares.len() >= self.quorum() && !s.executed
+            })
+            .filter_map(|(seq, s)| s.command.clone().map(|c| (*seq, s.view, c)))
+            .collect();
+        let msg = PbftMsg::ViewChange { new_view, prepared: prepared.clone() };
+        self.broadcast(out, msg);
+        // Record our own vote.
+        self.vc_votes.entry(new_view).or_default().insert(self.id, prepared);
+    }
+
+    fn maybe_install_view(&mut self, new_view: u64, now: u64, out: &mut Outbox) {
+        let expected_primary = self.members[(new_view as usize) % self.m()];
+        if expected_primary != self.id {
+            return;
+        }
+        let Some(votes) = self.vc_votes.get(&new_view) else { return };
+        if votes.len() < self.quorum() {
+            return;
+        }
+        if !self.view_changing && self.view == new_view {
+            return; // already installed
+        }
+        // Merge prepared certificates: per seq keep the highest view.
+        let mut merged: BTreeMap<u64, (u64, Command)> = BTreeMap::new();
+        for prepared in votes.values() {
+            for (seq, view, command) in prepared {
+                if *seq <= self.last_exec {
+                    continue;
+                }
+                let replace = merged.get(seq).is_none_or(|(v, _)| v < view);
+                if replace {
+                    merged.insert(*seq, (*view, command.clone()));
+                }
+            }
+        }
+        // Fill gaps with no-ops up to the max re-proposed seq.
+        let max_seq = merged.keys().next_back().copied().unwrap_or(self.last_exec);
+        let proposals: Vec<(u64, Command)> = (self.last_exec + 1..=max_seq)
+            .map(|seq| {
+                let cmd = merged.get(&seq).map(|(_, c)| c.clone()).unwrap_or_else(noop);
+                (seq, cmd)
+            })
+            .collect();
+        self.adopt_view(new_view);
+        self.next_seq = max_seq.max(self.last_exec);
+        let msg = PbftMsg::NewView { new_view, proposals: proposals.clone() };
+        self.broadcast(out, msg);
+        // Apply the proposals locally as pre-prepares.
+        for (seq, command) in proposals {
+            let digest = command.digest();
+            let slot = self.log.entry(seq).or_default();
+            slot.view = new_view;
+            slot.digest = Some(digest);
+            slot.command = Some(command);
+            slot.prepares.add(self.id);
+        }
+        // Propose any pending requests afresh.
+        let pending: Vec<Command> = self.pending.iter().map(|(c, _)| c.clone()).collect();
+        for c in pending {
+            self.propose(c, out);
+        }
+        let _ = now;
+    }
+
+    fn adopt_view(&mut self, new_view: u64) {
+        self.view = new_view;
+        self.view_changing = false;
+        // Drop un-prepared slot state from older views; prepared entries
+        // are re-established via the NewView proposals.
+        let last_exec = self.last_exec;
+        self.log.retain(|seq, s| *seq <= last_exec || s.executed || s.committed);
+        for s in self.log.values_mut() {
+            if !s.executed && !s.committed {
+                s.prepares = VoteSet::new();
+                s.commits = VoteSet::new();
+                s.sent_commit = false;
+            }
+        }
+        self.vc_votes.retain(|v, _| *v > new_view);
+    }
+
+    /// Liveness tick: returns view-change messages if a pending request
+    /// has been stuck longer than `timeout`.
+    pub fn on_tick(&mut self, now: u64, timeout: u64) -> Outbox {
+        let mut out = Outbox::new();
+        if self.byz == Byzantine::Silent {
+            return out;
+        }
+        if self.has_stale_pending(now, timeout) {
+            // Refresh pending timestamps so we escalate one view per
+            // timeout period rather than every tick.
+            for p in self.pending.iter_mut() {
+                p.1 = now;
+            }
+            let next = self.view + 1;
+            self.start_view_change(next, &mut out);
+        }
+        out
+    }
+}
+
+const TIMER_TICK: u64 = 1;
+const TICK_EVERY: u64 = 25_000; // 25 ms
+/// Request-staleness threshold before a replica votes for a view change.
+pub const VIEW_TIMEOUT: u64 = 150_000; // 150 ms
+
+/// Simulator adapter around [`PbftCore`] for a full-membership cluster.
+#[derive(Clone, Debug)]
+pub struct PbftNode {
+    /// The protocol core (public for test inspection).
+    pub core: PbftCore,
+}
+
+impl PbftNode {
+    /// Creates replica `id` of an `n`-replica cluster.
+    pub fn new(id: NodeId, n: usize, byz: Byzantine) -> Self {
+        PbftNode { core: PbftCore::new(id, (0..n).collect(), byz) }
+    }
+
+    /// Executed commands (excluding no-ops).
+    pub fn executed(&self) -> Vec<&Decided> {
+        self.core.executed().iter().filter(|d| d.command.id != NOOP_ID).collect()
+    }
+}
+
+impl Actor for PbftNode {
+    type Msg = PbftMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<PbftMsg>) {
+        ctx.set_timer(TICK_EVERY, TIMER_TICK);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: PbftMsg, ctx: &mut Ctx<PbftMsg>) {
+        // Client injections use `from == self` by convention; map them to
+        // the request path.
+        let out = self.core.on_message(from, msg, ctx.now());
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+    }
+
+    fn on_timer(&mut self, timer: u64, ctx: &mut Ctx<PbftMsg>) {
+        if timer == TIMER_TICK {
+            let out = self.core.on_tick(ctx.now(), VIEW_TIMEOUT);
+            for (to, m) in out {
+                ctx.send(to, m);
+            }
+            ctx.set_timer(TICK_EVERY, TIMER_TICK);
+        }
+    }
+}
+
+/// Builds an honest `n`-replica PBFT cluster.
+pub fn cluster(n: usize) -> Vec<PbftNode> {
+    (0..n).map(|id| PbftNode::new(id, n, Byzantine::Honest)).collect()
+}
+
+/// Builds a cluster with per-replica behaviors.
+pub fn cluster_with(behaviors: &[Byzantine]) -> Vec<PbftNode> {
+    let n = behaviors.len();
+    behaviors
+        .iter()
+        .enumerate()
+        .map(|(id, &b)| PbftNode::new(id, n, b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prever_sim::{NetConfig, Simulation};
+
+    fn submit(sim: &mut Simulation<PbftNode>, to: NodeId, id: u64) {
+        sim.inject(to, to, PbftMsg::Request(Command::new(id, format!("cmd-{id}"))), sim.now() + 1);
+    }
+
+    fn ids_of(node: &PbftNode) -> Vec<u64> {
+        node.executed().iter().map(|d| d.command.id).collect()
+    }
+
+    #[test]
+    fn commits_on_clean_run() {
+        let n = 4;
+        let mut sim = Simulation::new(cluster(n), NetConfig::default(), 1);
+        for i in 0..20 {
+            submit(&mut sim, 0, i);
+        }
+        let ok = sim.run_until_pred(1_000_000, |nodes| {
+            nodes.iter().all(|nd| nd.core.executed_commands() >= 20)
+        });
+        assert!(ok, "not all replicas executed all commands");
+        let reference = ids_of(sim.node(0));
+        assert_eq!(reference.len(), 20);
+        for i in 1..n {
+            assert_eq!(ids_of(sim.node(i)), reference, "replica {i} diverged");
+        }
+    }
+
+    #[test]
+    fn requests_to_backups_are_forwarded() {
+        let n = 4;
+        let mut sim = Simulation::new(cluster(n), NetConfig::default(), 2);
+        for i in 0..8 {
+            submit(&mut sim, (i % n as u64) as usize, i);
+        }
+        let ok = sim.run_until_pred(1_000_000, |nodes| {
+            nodes.iter().all(|nd| nd.core.executed_commands() >= 8)
+        });
+        assert!(ok);
+    }
+
+    #[test]
+    fn tolerates_f_silent_replicas() {
+        // n = 7, f = 2: two silent replicas must not block progress.
+        let behaviors = [
+            Byzantine::Honest,
+            Byzantine::Honest,
+            Byzantine::Silent,
+            Byzantine::Honest,
+            Byzantine::Silent,
+            Byzantine::Honest,
+            Byzantine::Honest,
+        ];
+        let mut sim = Simulation::new(cluster_with(&behaviors), NetConfig::default(), 3);
+        for i in 0..10 {
+            submit(&mut sim, 0, i);
+        }
+        let ok = sim.run_until_pred(3_000_000, |nodes| {
+            nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| behaviors[*i] == Byzantine::Honest)
+                .all(|(_, nd)| nd.core.executed_commands() >= 10)
+        });
+        assert!(ok, "honest replicas failed to execute with f silent nodes");
+    }
+
+    #[test]
+    fn view_change_replaces_crashed_primary() {
+        let n = 4;
+        let mut sim = Simulation::new(cluster(n), NetConfig::default(), 4);
+        // Commit a first batch under primary 0.
+        for i in 0..3 {
+            submit(&mut sim, 0, i);
+        }
+        assert!(sim.run_until_pred(1_000_000, |nodes| nodes[1].core.executed_commands() >= 3));
+        // Crash the primary; submit to a backup.
+        sim.crash(0);
+        for i in 3..6 {
+            submit(&mut sim, 1, i);
+        }
+        let ok = sim.run_until_pred(20_000_000, |nodes| {
+            (1..4).all(|i| nodes[i].core.executed_commands() >= 6)
+        });
+        assert!(ok, "view change failed to restore progress");
+        // All survivors in the same, higher view with identical logs.
+        let v = sim.node(1).core.view();
+        assert!(v >= 1, "view should have advanced");
+        let reference = ids_of(sim.node(1));
+        for i in 2..4 {
+            assert_eq!(ids_of(sim.node(i)), reference);
+        }
+    }
+
+    #[test]
+    fn safety_under_equivocating_primary() {
+        // Primary 0 equivocates. Safety: no two honest replicas execute
+        // different commands at the same slot. Liveness: a view change
+        // eventually replaces the primary and the request commits.
+        let behaviors = [
+            Byzantine::EquivocatingPrimary,
+            Byzantine::Honest,
+            Byzantine::Honest,
+            Byzantine::Honest,
+        ];
+        let mut sim = Simulation::new(cluster_with(&behaviors), NetConfig::default(), 5);
+        for i in 0..4 {
+            submit(&mut sim, 1, i);
+        }
+        sim.run_until(30_000_000);
+        // Safety check across honest replicas.
+        for slot in 1..=10u64 {
+            let mut seen: Option<u64> = None;
+            for i in 1..4 {
+                if let Some(d) = sim
+                    .node(i)
+                    .core
+                    .executed()
+                    .iter()
+                    .find(|d| d.slot == slot)
+                {
+                    if let Some(prev) = seen {
+                        assert_eq!(
+                            prev, d.command.id,
+                            "replicas diverged at slot {slot}"
+                        );
+                    }
+                    seen = Some(d.command.id);
+                }
+            }
+        }
+        // Liveness: all four commands execute at the honest replicas.
+        for i in 1..4 {
+            assert!(
+                sim.node(i).core.executed_commands() >= 4,
+                "replica {i} executed only {} commands",
+                sim.node(i).core.executed_commands()
+            );
+        }
+        assert!(sim.node(1).core.view() >= 1, "equivocation should force a view change");
+    }
+
+    #[test]
+    fn no_duplicate_execution_of_reinjected_requests() {
+        let n = 4;
+        let mut sim = Simulation::new(cluster(n), NetConfig::default(), 6);
+        // The same command id submitted to several replicas.
+        for target in 0..n {
+            sim.inject(target, target, PbftMsg::Request(Command::new(42, "dup")), sim.now() + 1);
+        }
+        sim.run_until(2_000_000);
+        for i in 0..n {
+            let count = sim
+                .node(i)
+                .core
+                .executed()
+                .iter()
+                .filter(|d| d.command.id == 42)
+                .count();
+            assert_eq!(count, 1, "replica {i} executed the command {count} times");
+        }
+    }
+
+    #[test]
+    fn checkpoints_truncate_the_log() {
+        let n = 4;
+        let mut sim = Simulation::new(cluster(n), NetConfig::default(), 31);
+        let total = 5 * CHECKPOINT_INTERVAL; // 80 commands
+        for i in 0..total {
+            submit(&mut sim, 0, i);
+        }
+        let ok = sim.run_until_pred(20_000_000, |nodes| {
+            nodes.iter().all(|nd| nd.core.executed_commands() as u64 >= total)
+        });
+        assert!(ok);
+        // Drain in-flight checkpoint votes.
+        let deadline = sim.now() + 100_000;
+        sim.run_until(deadline);
+        for r in 0..n {
+            let core = &sim.node(r).core;
+            assert!(
+                core.stable_seq() >= total - CHECKPOINT_INTERVAL,
+                "replica {r}: stable at {}",
+                core.stable_seq()
+            );
+            assert!(
+                core.log_len() as u64 <= 2 * CHECKPOINT_INTERVAL,
+                "replica {r}: log holds {} entries after {total} commands",
+                core.log_len()
+            );
+            // Execution record intact.
+            assert_eq!(core.executed_commands() as u64, total);
+        }
+    }
+
+    #[test]
+    fn checkpoint_digests_agree_across_replicas() {
+        // The chained state digest is deterministic: replicas reach the
+        // same stable checkpoint, proving identical execution order.
+        let mut sim = Simulation::new(cluster(4), NetConfig::default(), 32);
+        for i in 0..CHECKPOINT_INTERVAL {
+            submit(&mut sim, (i % 4) as usize, i);
+        }
+        assert!(sim.run_until_pred(10_000_000, |nodes| {
+            nodes.iter().all(|nd| nd.core.stable_seq() >= CHECKPOINT_INTERVAL)
+        }));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed| {
+            let mut sim = Simulation::new(cluster(4), NetConfig::default(), seed);
+            for i in 0..10 {
+                submit(&mut sim, 0, i);
+            }
+            sim.run_until(2_000_000);
+            sim.node(2)
+                .core
+                .executed()
+                .iter()
+                .map(|d| (d.slot, d.command.id, d.at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,846 @@
+//! The reference evaluator: expressions over (snapshot, update).
+//!
+//! Semantics follow SQL where SQL has an answer: arithmetic and
+//! comparisons propagate NULL, `AND`/`OR` are three-valued, and a
+//! constraint whose top-level result is NULL **rejects** the update
+//! (unknown is not permission). Aggregates over zero rows follow SQL:
+//! `COUNT` is 0, `SUM`/`MIN`/`MAX`/`AVG` are NULL.
+
+use crate::ast::{AggFunc, BinOp, Expr, GroupReduce};
+use crate::{Constraint, ConstraintError, Result};
+use prever_storage::{Row, Schema, Snapshot, Value};
+
+/// The incoming update, as seen by constraint evaluation.
+///
+/// `$field` references resolve against `row` via `schema`; the sliding
+/// windows of temporal regulations anchor at `timestamp`.
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateContext<'a> {
+    /// Table the update targets.
+    pub table: &'a str,
+    /// The proposed new row.
+    pub row: &'a Row,
+    /// Schema of the targeted table.
+    pub schema: &'a Schema,
+    /// The update's logical timestamp.
+    pub timestamp: u64,
+}
+
+impl<'a> UpdateContext<'a> {
+    /// Resolves `$name` against the update row.
+    pub fn field(&self, name: &str) -> Result<&'a Value> {
+        let idx = self
+            .schema
+            .column_index(name)
+            .map_err(|_| ConstraintError::UnknownField(name.to_string()))?;
+        Ok(&self.row.values[idx])
+    }
+}
+
+/// Evaluates a constraint: `Ok(true)` accepts the update.
+///
+/// NULL at the top level rejects (returns `Ok(false)`).
+pub fn evaluate(
+    constraint: &Constraint,
+    snapshot: &Snapshot<'_>,
+    update: &UpdateContext<'_>,
+) -> Result<bool> {
+    match evaluate_expr(&constraint.expr, snapshot, update)? {
+        Value::Bool(b) => Ok(b),
+        Value::Null => Ok(false),
+        other => Err(ConstraintError::TypeMismatch {
+            op: "constraint",
+            detail: format!("constraint must be boolean, got {}", other.type_name()),
+        }),
+    }
+}
+
+/// Evaluates an expression with no row bound (aggregates scan the
+/// snapshot; bare `table.column` references are an error here).
+pub fn evaluate_expr(
+    expr: &Expr,
+    snapshot: &Snapshot<'_>,
+    update: &UpdateContext<'_>,
+) -> Result<Value> {
+    eval(expr, snapshot, update, &[])
+}
+
+/// Row binding for `table.column` references inside aggregate filters.
+/// Nested scans push onto a stack; references resolve innermost-first,
+/// which is what makes correlated `EXISTS` (semi-joins) work.
+#[derive(Clone, Copy)]
+struct RowBinding<'a> {
+    table: &'a str,
+    schema: &'a Schema,
+    row: &'a Row,
+}
+
+fn eval(
+    expr: &Expr,
+    snapshot: &Snapshot<'_>,
+    update: &UpdateContext<'_>,
+    bound: &[RowBinding<'_>],
+) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Field(name) => Ok(update.field(name)?.clone()),
+        Expr::Column { table, column } => {
+            // Innermost matching scan wins (correlated references reach
+            // enclosing scans by table name).
+            let b = bound.iter().rev().find(|b| b.table == table).ok_or_else(|| {
+                ConstraintError::TypeMismatch {
+                    op: "column reference",
+                    detail: format!("{table}.{column} does not match any enclosing scan"),
+                }
+            })?;
+            let idx = b.schema.column_index(column)?;
+            Ok(b.row.values[idx].clone())
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            // Three-valued AND/OR need lazy handling of NULL.
+            match op {
+                BinOp::And | BinOp::Or => {
+                    let l = eval(lhs, snapshot, update, bound)?;
+                    let r = eval(rhs, snapshot, update, bound)?;
+                    eval_logic(*op, &l, &r)
+                }
+                _ => {
+                    let l = eval(lhs, snapshot, update, bound)?;
+                    let r = eval(rhs, snapshot, update, bound)?;
+                    eval_binary(*op, &l, &r)
+                }
+            }
+        }
+        Expr::Not(e) => match eval(e, snapshot, update, bound)? {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            Value::Null => Ok(Value::Null),
+            other => Err(ConstraintError::TypeMismatch {
+                op: "NOT",
+                detail: format!("expected boolean, got {}", other.type_name()),
+            }),
+        },
+        Expr::Neg(e) => match eval(e, snapshot, update, bound)? {
+            Value::Null => Ok(Value::Null),
+            v => {
+                let n = v.as_i128().ok_or_else(|| ConstraintError::TypeMismatch {
+                    op: "negation",
+                    detail: format!("expected numeric, got {}", v.type_name()),
+                })?;
+                int_value(-n)
+            }
+        },
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, snapshot, update, bound)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Aggregate { func, table, column, filter, window } => eval_aggregate(
+            *func,
+            table,
+            column.as_deref(),
+            filter.as_deref(),
+            window.as_ref(),
+            snapshot,
+            update,
+            bound,
+        ),
+        Expr::Exists { table, filter } => {
+            eval_exists(table, filter.as_deref(), snapshot, update, bound)
+        }
+        Expr::GroupedAggregate { func, table, column, group_by, filter, window, reduce } => {
+            eval_grouped(
+                *func,
+                table,
+                column.as_deref(),
+                group_by,
+                filter.as_deref(),
+                window.as_ref(),
+                *reduce,
+                snapshot,
+                update,
+                bound,
+            )
+        }
+    }
+}
+
+fn eval_exists(
+    table: &str,
+    filter: Option<&Expr>,
+    snapshot: &Snapshot<'_>,
+    update: &UpdateContext<'_>,
+    bound: &[RowBinding<'_>],
+) -> Result<Value> {
+    let schema = snapshot.schema(table)?;
+    for (_key, row) in snapshot.scan(table)? {
+        match filter {
+            None => return Ok(Value::Bool(true)),
+            Some(f) => {
+                let mut stack: Vec<RowBinding<'_>> = bound.to_vec();
+                stack.push(RowBinding { table, schema, row });
+                match eval(f, snapshot, update, &stack)? {
+                    Value::Bool(true) => return Ok(Value::Bool(true)),
+                    Value::Bool(false) | Value::Null => continue,
+                    other => {
+                        return Err(ConstraintError::TypeMismatch {
+                            op: "EXISTS WHERE",
+                            detail: format!("filter must be boolean, got {}", other.type_name()),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    Ok(Value::Bool(false))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_grouped(
+    func: AggFunc,
+    table: &str,
+    column: Option<&str>,
+    group_by: &str,
+    filter: Option<&Expr>,
+    window: Option<&crate::ast::TimeWindow>,
+    reduce: GroupReduce,
+    snapshot: &Snapshot<'_>,
+    update: &UpdateContext<'_>,
+    bound: &[RowBinding<'_>],
+) -> Result<Value> {
+    let schema = snapshot.schema(table)?;
+    let col_idx = column.map(|c| schema.column_index(c)).transpose()?;
+    let group_idx = schema.column_index(group_by)?;
+    let window_idx = window.map(|w| schema.column_index(&w.column)).transpose()?;
+    let mut groups: std::collections::BTreeMap<Value, i128> = std::collections::BTreeMap::new();
+    for (_key, row) in snapshot.scan(table)? {
+        if let (Some(w), Some(widx)) = (window, window_idx) {
+            let ts = row.values[widx].as_i128().ok_or_else(|| ConstraintError::TypeMismatch {
+                op: "window",
+                detail: format!("window column {} is not numeric", w.column),
+            })?;
+            let anchor = update.timestamp as i128;
+            if ts <= anchor - w.duration as i128 || ts > anchor {
+                continue;
+            }
+        }
+        if let Some(f) = filter {
+            let mut stack: Vec<RowBinding<'_>> = bound.to_vec();
+            stack.push(RowBinding { table, schema, row });
+            match eval(f, snapshot, update, &stack)? {
+                Value::Bool(true) => {}
+                Value::Bool(false) | Value::Null => continue,
+                other => {
+                    return Err(ConstraintError::TypeMismatch {
+                        op: "WHERE",
+                        detail: format!("filter must be boolean, got {}", other.type_name()),
+                    })
+                }
+            }
+        }
+        let contribution = match func {
+            AggFunc::Count => 1,
+            AggFunc::Sum => {
+                let idx = col_idx.expect("parser enforces a column for SUM");
+                let v = &row.values[idx];
+                if v.is_null() {
+                    continue;
+                }
+                v.as_i128().ok_or_else(|| ConstraintError::TypeMismatch {
+                    op: "MAXSUM/MINSUM",
+                    detail: format!("non-numeric column value {v}"),
+                })?
+            }
+            other => {
+                return Err(ConstraintError::TypeMismatch {
+                    op: "grouped aggregate",
+                    detail: format!("{} cannot be grouped", other.name()),
+                })
+            }
+        };
+        let entry = groups.entry(row.values[group_idx].clone()).or_insert(0);
+        *entry = entry.checked_add(contribution).ok_or(ConstraintError::Overflow)?;
+    }
+    let reduced = match reduce {
+        GroupReduce::Max => groups.values().max(),
+        GroupReduce::Min => groups.values().min(),
+    };
+    match reduced {
+        None => Ok(Value::Null),
+        Some(v) => int_value(*v),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_aggregate(
+    func: AggFunc,
+    table: &str,
+    column: Option<&str>,
+    filter: Option<&Expr>,
+    window: Option<&crate::ast::TimeWindow>,
+    snapshot: &Snapshot<'_>,
+    update: &UpdateContext<'_>,
+    bound: &[RowBinding<'_>],
+) -> Result<Value> {
+    let schema = snapshot.schema(table)?;
+    let col_idx = column.map(|c| schema.column_index(c)).transpose()?;
+    let window_idx = window.map(|w| schema.column_index(&w.column)).transpose()?;
+
+    let mut count: i128 = 0;
+    let mut sum: i128 = 0;
+    let mut min: Option<Value> = None;
+    let mut max: Option<Value> = None;
+
+    for (_key, row) in snapshot.scan(table)? {
+        // Sliding window: (update_ts − duration, update_ts].
+        if let (Some(w), Some(widx)) = (window, window_idx) {
+            let ts = row.values[widx].as_i128().ok_or_else(|| ConstraintError::TypeMismatch {
+                op: "window",
+                detail: format!("window column {} is not numeric", w.column),
+            })?;
+            let anchor = update.timestamp as i128;
+            if ts <= anchor - w.duration as i128 || ts > anchor {
+                continue;
+            }
+        }
+        if let Some(f) = filter {
+            let mut stack: Vec<RowBinding<'_>> = bound.to_vec();
+            stack.push(RowBinding { table, schema, row });
+            match eval(f, snapshot, update, &stack)? {
+                Value::Bool(true) => {}
+                Value::Bool(false) | Value::Null => continue,
+                other => {
+                    return Err(ConstraintError::TypeMismatch {
+                        op: "WHERE",
+                        detail: format!("filter must be boolean, got {}", other.type_name()),
+                    })
+                }
+            }
+        }
+        count += 1;
+        if let Some(idx) = col_idx {
+            let v = &row.values[idx];
+            if v.is_null() {
+                // SQL semantics: NULLs are ignored by aggregates.
+                count -= 1;
+                continue;
+            }
+            match func {
+                AggFunc::Sum | AggFunc::Avg => {
+                    let n = v.as_i128().ok_or_else(|| ConstraintError::TypeMismatch {
+                        op: "SUM",
+                        detail: format!("non-numeric column value {v}"),
+                    })?;
+                    sum = sum.checked_add(n).ok_or(ConstraintError::Overflow)?;
+                }
+                AggFunc::Min => {
+                    if min.as_ref().is_none_or(|m| v < m) {
+                        min = Some(v.clone());
+                    }
+                }
+                AggFunc::Max => {
+                    if max.as_ref().is_none_or(|m| v > m) {
+                        max = Some(v.clone());
+                    }
+                }
+                AggFunc::Count => {}
+            }
+        }
+    }
+
+    match func {
+        AggFunc::Count => int_value(count),
+        AggFunc::Sum => {
+            if count == 0 {
+                Ok(Value::Null)
+            } else {
+                int_value(sum)
+            }
+        }
+        AggFunc::Avg => {
+            if count == 0 {
+                Ok(Value::Null)
+            } else {
+                int_value(sum / count)
+            }
+        }
+        AggFunc::Min => Ok(min.unwrap_or(Value::Null)),
+        AggFunc::Max => Ok(max.unwrap_or(Value::Null)),
+    }
+}
+
+fn eval_logic(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    let lb = logic_operand(l)?;
+    let rb = logic_operand(r)?;
+    // Kleene three-valued logic.
+    let out = match op {
+        BinOp::And => match (lb, rb) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        BinOp::Or => match (lb, rb) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        _ => unreachable!("eval_logic called with non-logic op"),
+    };
+    Ok(out.map(Value::Bool).unwrap_or(Value::Null))
+}
+
+fn logic_operand(v: &Value) -> Result<Option<bool>> {
+    match v {
+        Value::Bool(b) => Ok(Some(*b)),
+        Value::Null => Ok(None),
+        other => Err(ConstraintError::TypeMismatch {
+            op: "AND/OR",
+            detail: format!("expected boolean, got {}", other.type_name()),
+        }),
+    }
+}
+
+fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            let (a, b) = numeric_pair(op, l, r)?;
+            let out = match op {
+                BinOp::Add => a.checked_add(b),
+                BinOp::Sub => a.checked_sub(b),
+                BinOp::Mul => a.checked_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err(ConstraintError::DivisionByZero);
+                    }
+                    a.checked_div(b)
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        return Err(ConstraintError::DivisionByZero);
+                    }
+                    a.checked_rem(b)
+                }
+                _ => unreachable!(),
+            }
+            .ok_or(ConstraintError::Overflow)?;
+            int_value(out)
+        }
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let ord = l.compare(r).ok_or_else(|| ConstraintError::TypeMismatch {
+                op: "comparison",
+                detail: format!("cannot compare {} with {}", l.type_name(), r.type_name()),
+            })?;
+            let out = match op {
+                BinOp::Eq => ord.is_eq(),
+                BinOp::Ne => ord.is_ne(),
+                BinOp::Lt => ord.is_lt(),
+                BinOp::Le => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                BinOp::Ge => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(out))
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled by eval_logic"),
+    }
+}
+
+fn numeric_pair(op: BinOp, l: &Value, r: &Value) -> Result<(i128, i128)> {
+    match (l.as_i128(), r.as_i128()) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(ConstraintError::TypeMismatch {
+            op: op.symbol(),
+            detail: format!("expected numeric operands, got {} and {}", l.type_name(), r.type_name()),
+        }),
+    }
+}
+
+fn int_value(v: i128) -> Result<Value> {
+    i64::try_from(v)
+        .map(Value::Int)
+        .map_err(|_| ConstraintError::Overflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Constraint, ConstraintScope};
+    use prever_storage::{Column, ColumnType, Database, Row, Schema};
+
+    /// A crowdworking task-completion database (paper §2.3 / §5).
+    fn tasks_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "tasks",
+            Schema::new(
+                vec![
+                    Column::new("id", ColumnType::Uint),
+                    Column::new("worker", ColumnType::Str),
+                    Column::new("hours", ColumnType::Uint),
+                    Column::new("ts", ColumnType::Timestamp),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn task(id: u64, worker: &str, hours: u64, ts: u64) -> Row {
+        Row::new(vec![id.into(), worker.into(), hours.into(), Value::Timestamp(ts)])
+    }
+
+    /// The COUNT-guarded FLSA form: SUM over zero rows is NULL (SQL), so
+    /// production regulations guard the empty-window case explicitly.
+    fn flsa() -> Constraint {
+        Constraint::parse(
+            "FLSA-40h",
+            ConstraintScope::Regulation,
+            "$hours <= 40 AND (COUNT(tasks WHERE tasks.worker = $worker WITHIN 604800 OF tasks.ts) = 0 \
+             OR SUM(tasks.hours WHERE tasks.worker = $worker WITHIN 604800 OF tasks.ts) + $hours <= 40)",
+        )
+        .unwrap()
+    }
+
+    /// The naive (unguarded) form, used to document NULL semantics.
+    fn flsa_unguarded() -> Constraint {
+        Constraint::parse(
+            "FLSA-40h-naive",
+            ConstraintScope::Regulation,
+            "SUM(tasks.hours WHERE tasks.worker = $worker WITHIN 604800 OF tasks.ts) + $hours <= 40",
+        )
+        .unwrap()
+    }
+
+    fn check(db: &Database, c: &Constraint, row: &Row, ts: u64) -> bool {
+        let snapshot = db.snapshot();
+        let schema = db.table("tasks").unwrap().schema();
+        let update = UpdateContext { table: "tasks", row, schema, timestamp: ts };
+        evaluate(c, &snapshot, &update).unwrap()
+    }
+
+    #[test]
+    fn flsa_accepts_under_limit() {
+        let mut db = tasks_db();
+        db.insert("tasks", task(1, "w1", 20, 100)).unwrap();
+        db.insert("tasks", task(2, "w1", 10, 200)).unwrap();
+        // 30 existing + 10 new = 40 <= 40: accept.
+        assert!(check(&db, &flsa(), &task(3, "w1", 10, 300), 300));
+    }
+
+    #[test]
+    fn flsa_rejects_over_limit() {
+        let mut db = tasks_db();
+        db.insert("tasks", task(1, "w1", 20, 100)).unwrap();
+        db.insert("tasks", task(2, "w1", 15, 200)).unwrap();
+        // 35 existing + 6 new = 41 > 40: reject.
+        assert!(!check(&db, &flsa(), &task(3, "w1", 6, 300), 300));
+    }
+
+    #[test]
+    fn flsa_counts_only_this_worker() {
+        let mut db = tasks_db();
+        db.insert("tasks", task(1, "other", 40, 100)).unwrap();
+        assert!(check(&db, &flsa(), &task(2, "w1", 40, 200), 200));
+    }
+
+    #[test]
+    fn flsa_window_excludes_old_hours() {
+        let mut db = tasks_db();
+        let week = 604_800u64;
+        // Worked 40h last week (outside the window of the new update).
+        db.insert("tasks", task(1, "w1", 40, 100)).unwrap();
+        let now = 100 + week + 1;
+        assert!(check(&db, &flsa(), &task(2, "w1", 40, now), now));
+        // The window is (anchor − duration, anchor]: at anchor = 100 + week
+        // the old entry sits exactly on the open lower bound and drops out.
+        assert!(check(&db, &flsa(), &task(3, "w1", 40, 100 + week), 100 + week));
+        // One tick earlier it is still inside and the update is rejected.
+        assert!(!check(&db, &flsa(), &task(4, "w1", 1, 99 + week), 99 + week));
+    }
+
+    #[test]
+    fn empty_table_sum_is_null_and_rejected_safely() {
+        let db = tasks_db();
+        // SUM over empty set is NULL; NULL + hours is NULL; NULL <= 40 is
+        // NULL; top-level NULL rejects. Unknown is not permission.
+        assert!(!check(&db, &flsa_unguarded(), &task(1, "w1", 1, 100), 100));
+        // The robust form guards with COUNT and accepts.
+        assert!(check(&db, &flsa(), &task(1, "w1", 1, 100), 100));
+    }
+
+    #[test]
+    fn count_aggregate() {
+        let mut db = tasks_db();
+        for i in 0..5 {
+            db.insert("tasks", task(i, "w1", 1, 100 + i)).unwrap();
+        }
+        let c = Constraint::parse(
+            "cap",
+            ConstraintScope::Internal,
+            "COUNT(tasks WHERE tasks.worker = $worker) < 5",
+        )
+        .unwrap();
+        assert!(!check(&db, &c, &task(9, "w1", 1, 999), 999));
+        assert!(check(&db, &c, &task(9, "w2", 1, 999), 999));
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let mut db = tasks_db();
+        for (i, h) in [2u64, 4, 6].iter().enumerate() {
+            db.insert("tasks", task(i as u64, "w1", *h, 100)).unwrap();
+        }
+        let snapshot = db.snapshot();
+        let schema = db.table("tasks").unwrap().schema();
+        let row = task(9, "w1", 1, 200);
+        let update = UpdateContext { table: "tasks", row: &row, schema, timestamp: 200 };
+        let cases = [
+            ("MIN(tasks.hours)", Value::Uint(2)),
+            ("MAX(tasks.hours)", Value::Uint(6)),
+            ("AVG(tasks.hours)", Value::Int(4)),
+            ("SUM(tasks.hours)", Value::Int(12)),
+            ("COUNT(tasks)", Value::Int(3)),
+        ];
+        for (src, expected) in cases {
+            let e = crate::parse::parse(src).unwrap();
+            assert_eq!(evaluate_expr(&e, &snapshot, &update).unwrap(), expected, "{src}");
+        }
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let db = tasks_db();
+        let snapshot = db.snapshot();
+        let schema = db.table("tasks").unwrap().schema();
+        let row = task(1, "w", 1, 1);
+        let update = UpdateContext { table: "tasks", row: &row, schema, timestamp: 1 };
+        let cases = [
+            ("NULL AND TRUE", Value::Null),
+            ("NULL AND FALSE", Value::Bool(false)),
+            ("NULL OR TRUE", Value::Bool(true)),
+            ("NULL OR FALSE", Value::Null),
+            ("NOT NULL", Value::Null),
+            ("NULL = 1", Value::Null),
+            ("NULL IS NULL", Value::Bool(true)),
+            ("1 IS NOT NULL", Value::Bool(true)),
+        ];
+        for (src, expected) in cases {
+            let e = crate::parse::parse(src).unwrap();
+            assert_eq!(evaluate_expr(&e, &snapshot, &update).unwrap(), expected, "{src}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_errors() {
+        let db = tasks_db();
+        let snapshot = db.snapshot();
+        let schema = db.table("tasks").unwrap().schema();
+        let row = task(1, "w", 1, 1);
+        let update = UpdateContext { table: "tasks", row: &row, schema, timestamp: 1 };
+        let div = crate::parse::parse("1 / 0").unwrap();
+        assert_eq!(
+            evaluate_expr(&div, &snapshot, &update).unwrap_err(),
+            ConstraintError::DivisionByZero
+        );
+        let ty = crate::parse::parse("'a' + 1").unwrap();
+        assert!(matches!(
+            evaluate_expr(&ty, &snapshot, &update),
+            Err(ConstraintError::TypeMismatch { .. })
+        ));
+        let cmp = crate::parse::parse("'a' < 1").unwrap();
+        assert!(matches!(
+            evaluate_expr(&cmp, &snapshot, &update),
+            Err(ConstraintError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_field_is_an_error() {
+        let db = tasks_db();
+        let snapshot = db.snapshot();
+        let schema = db.table("tasks").unwrap().schema();
+        let row = task(1, "w", 1, 1);
+        let update = UpdateContext { table: "tasks", row: &row, schema, timestamp: 1 };
+        let e = crate::parse::parse("$nope = 1").unwrap();
+        assert_eq!(
+            evaluate_expr(&e, &snapshot, &update).unwrap_err(),
+            ConstraintError::UnknownField("nope".into())
+        );
+    }
+
+    #[test]
+    fn column_outside_aggregate_is_an_error() {
+        let db = tasks_db();
+        let snapshot = db.snapshot();
+        let schema = db.table("tasks").unwrap().schema();
+        let row = task(1, "w", 1, 1);
+        let update = UpdateContext { table: "tasks", row: &row, schema, timestamp: 1 };
+        let e = crate::parse::parse("tasks.hours = 1").unwrap();
+        assert!(matches!(
+            evaluate_expr(&e, &snapshot, &update),
+            Err(ConstraintError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_boolean_constraint_is_an_error() {
+        let mut db = tasks_db();
+        db.insert("tasks", task(1, "w1", 3, 1)).unwrap();
+        let c = Constraint::parse("bad", ConstraintScope::Internal, "1 + 1").unwrap();
+        let snapshot = db.snapshot();
+        let schema = db.table("tasks").unwrap().schema();
+        let row = task(9, "w1", 1, 2);
+        let update = UpdateContext { table: "tasks", row: &row, schema, timestamp: 2 };
+        assert!(matches!(
+            evaluate(&c, &snapshot, &update),
+            Err(ConstraintError::TypeMismatch { .. })
+        ));
+    }
+
+    /// Adds a `certs` table (worker certification) for join-style tests.
+    fn add_certs(db: &mut Database, certified: &[&str]) {
+        db.create_table(
+            "certs",
+            Schema::new(
+                vec![
+                    Column::new("worker", ColumnType::Str),
+                    Column::new("level", ColumnType::Uint),
+                ],
+                &["worker"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for (i, w) in certified.iter().enumerate() {
+            db.insert("certs", Row::new(vec![(*w).into(), (i as u64).into()]))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn exists_semi_join_against_second_table() {
+        // Paper §5 future work: constraints with JOIN expressions. A
+        // task is only admissible if the worker holds a certification —
+        // an EXISTS semi-join between the update and the certs table.
+        let mut db = tasks_db();
+        add_certs(&mut db, &["w1", "w2"]);
+        let c = Constraint::parse(
+            "certified-only",
+            ConstraintScope::Internal,
+            "EXISTS(certs WHERE certs.worker = $worker)",
+        )
+        .unwrap();
+        assert!(check(&db, &c, &task(1, "w1", 5, 100), 100));
+        assert!(!check(&db, &c, &task(2, "w9", 5, 100), 100));
+    }
+
+    #[test]
+    fn correlated_exists_joins_scanned_row() {
+        // Correlated form: count only tasks whose worker is certified.
+        // The inner EXISTS references the *outer* scan's row.
+        let mut db = tasks_db();
+        add_certs(&mut db, &["w1"]);
+        db.insert("tasks", task(1, "w1", 5, 100)).unwrap();
+        db.insert("tasks", task(2, "w2", 5, 100)).unwrap();
+        db.insert("tasks", task(3, "w1", 5, 100)).unwrap();
+        let snapshot = db.snapshot();
+        let schema = db.table("tasks").unwrap().schema();
+        let row = task(9, "w1", 1, 200);
+        let update = UpdateContext { table: "tasks", row: &row, schema, timestamp: 200 };
+        let e = crate::parse::parse(
+            "COUNT(tasks WHERE EXISTS(certs WHERE certs.worker = tasks.worker))",
+        )
+        .unwrap();
+        assert_eq!(evaluate_expr(&e, &snapshot, &update).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn exists_without_filter_is_nonempty_check() {
+        let mut db = tasks_db();
+        let e = crate::parse::parse("EXISTS(tasks)").unwrap();
+        {
+            let snapshot = db.snapshot();
+            let schema = db.table("tasks").unwrap().schema();
+            let row = task(1, "w", 1, 1);
+            let update = UpdateContext { table: "tasks", row: &row, schema, timestamp: 1 };
+            assert_eq!(evaluate_expr(&e, &snapshot, &update).unwrap(), Value::Bool(false));
+        }
+        db.insert("tasks", task(1, "w", 1, 1)).unwrap();
+        let snapshot = db.snapshot();
+        let schema = db.table("tasks").unwrap().schema();
+        let row = task(2, "w", 1, 1);
+        let update = UpdateContext { table: "tasks", row: &row, schema, timestamp: 1 };
+        assert_eq!(evaluate_expr(&e, &snapshot, &update).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn grouped_aggregate_states_per_group_invariant() {
+        // MAXSUM: "no worker's total exceeds the bound" as a single
+        // state invariant (paper §5: GROUP BY regulations).
+        let mut db = tasks_db();
+        db.insert("tasks", task(1, "w1", 30, 100)).unwrap();
+        db.insert("tasks", task(2, "w1", 8, 200)).unwrap();
+        db.insert("tasks", task(3, "w2", 12, 300)).unwrap();
+        let snapshot = db.snapshot();
+        let schema = db.table("tasks").unwrap().schema();
+        let row = task(9, "w1", 1, 400);
+        let update = UpdateContext { table: "tasks", row: &row, schema, timestamp: 400 };
+        let cases = [
+            ("MAXSUM(tasks.hours BY tasks.worker)", Value::Int(38)),
+            ("MINSUM(tasks.hours BY tasks.worker)", Value::Int(12)),
+            ("MAXCOUNT(tasks BY tasks.worker)", Value::Int(2)),
+            ("MINCOUNT(tasks BY tasks.worker)", Value::Int(1)),
+            (
+                "MAXSUM(tasks.hours BY tasks.worker WITHIN 150 OF tasks.ts)",
+                Value::Int(12), // anchor 400: only ts=300 qualifies
+            ),
+            (
+                "MAXSUM(tasks.hours BY tasks.worker WHERE tasks.worker = 'w2')",
+                Value::Int(12),
+            ),
+        ];
+        for (src, expected) in cases {
+            let e = crate::parse::parse(src).unwrap();
+            assert_eq!(evaluate_expr(&e, &snapshot, &update).unwrap(), expected, "{src}");
+        }
+        // As a constraint: the invariant gates further w1 work.
+        let c = Constraint::parse(
+            "flsa-invariant",
+            ConstraintScope::Regulation,
+            "MAXSUM(tasks.hours BY tasks.worker) + $hours <= 40",
+        )
+        .unwrap();
+        assert!(check(&db, &c, &task(9, "w1", 2, 400), 400));
+        assert!(!check(&db, &c, &task(9, "w1", 3, 400), 400));
+    }
+
+    #[test]
+    fn grouped_aggregate_over_empty_table_is_null() {
+        let db = tasks_db();
+        let snapshot = db.snapshot();
+        let schema = db.table("tasks").unwrap().schema();
+        let row = task(1, "w", 1, 1);
+        let update = UpdateContext { table: "tasks", row: &row, schema, timestamp: 1 };
+        let e = crate::parse::parse("MAXSUM(tasks.hours BY tasks.worker)").unwrap();
+        assert_eq!(evaluate_expr(&e, &snapshot, &update).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn constraint_over_snapshot_not_live_state() {
+        // Evaluation against an older snapshot ignores newer rows.
+        let mut db = tasks_db();
+        db.insert("tasks", task(1, "w1", 30, 100)).unwrap();
+        let v1 = db.version();
+        db.insert("tasks", task(2, "w1", 30, 200)).unwrap();
+        let old_snapshot = db.snapshot_at(v1).unwrap();
+        let schema = db.table("tasks").unwrap().schema();
+        let row = task(3, "w1", 10, 300);
+        let update = UpdateContext { table: "tasks", row: &row, schema, timestamp: 300 };
+        // Against v1 (30h existing): accept. Against live (60h): reject.
+        assert!(evaluate(&flsa(), &old_snapshot, &update).unwrap());
+        assert!(!evaluate(&flsa(), &db.snapshot(), &update).unwrap());
+    }
+}

@@ -1,0 +1,361 @@
+//! Incrementally maintained aggregates.
+//!
+//! Research Challenge 2 notes that "in a dynamic setting, PReVer can
+//! benefit from the efficient incremental techniques". Re-scanning the
+//! table per update makes constraint verification O(n); a maintained
+//! aggregate answers the dominant constraint shape — a grouped
+//! SUM/COUNT compared against a bound — in O(log g) per update, where
+//! `g` is the number of groups.
+//!
+//! The ablation bench (E2/E10) compares this path against the reference
+//! evaluator on identical workloads.
+
+use crate::ast::AggFunc;
+use crate::{ConstraintError, Result};
+use prever_storage::{ChangeKind, ChangeRecord, Value};
+use std::collections::BTreeMap;
+
+/// A maintained `SUM`/`COUNT` over a table, grouped by one column,
+/// optionally restricted to a sliding time window.
+///
+/// Windowed mode keeps per-group event lists and prunes lazily; the
+/// unwindowed mode keeps one scalar per group.
+#[derive(Clone, Debug)]
+pub struct MaintainedAggregate {
+    table: String,
+    func: AggFunc,
+    group_column: usize,
+    value_column: Option<usize>,
+    window: Option<WindowState>,
+    totals: BTreeMap<Value, i128>,
+}
+
+#[derive(Clone, Debug)]
+struct WindowState {
+    ts_column: usize,
+    duration: u64,
+    /// Per group: (timestamp, contribution) events, oldest first.
+    events: BTreeMap<Value, Vec<(u64, i128)>>,
+}
+
+impl MaintainedAggregate {
+    /// Creates a maintained aggregate.
+    ///
+    /// * `table` — table to watch in the change stream;
+    /// * `func` — `Sum` or `Count` (others need full recomputation and
+    ///   are rejected);
+    /// * `group_column` — index of the grouping column;
+    /// * `value_column` — index of the summed column (`None` for COUNT);
+    /// * `window` — optional `(timestamp_column_index, duration)`.
+    pub fn new(
+        table: &str,
+        func: AggFunc,
+        group_column: usize,
+        value_column: Option<usize>,
+        window: Option<(usize, u64)>,
+    ) -> Result<Self> {
+        match func {
+            AggFunc::Sum | AggFunc::Count => {}
+            other => {
+                return Err(ConstraintError::TypeMismatch {
+                    op: "maintained aggregate",
+                    detail: format!("{} cannot be maintained incrementally", other.name()),
+                })
+            }
+        }
+        if func == AggFunc::Sum && value_column.is_none() {
+            return Err(ConstraintError::TypeMismatch {
+                op: "maintained aggregate",
+                detail: "SUM requires a value column".into(),
+            });
+        }
+        Ok(MaintainedAggregate {
+            table: table.to_string(),
+            func,
+            group_column,
+            value_column,
+            window: window.map(|(ts_column, duration)| WindowState {
+                ts_column,
+                duration,
+                events: BTreeMap::new(),
+            }),
+            totals: BTreeMap::new(),
+        })
+    }
+
+    /// Applies one change record from the database change log.
+    /// Changes to other tables are ignored.
+    pub fn apply(&mut self, change: &ChangeRecord) -> Result<()> {
+        if change.table != self.table {
+            return Ok(());
+        }
+        if let Some(before) = &change.before {
+            if matches!(change.kind, ChangeKind::Update | ChangeKind::Delete) {
+                let (group, contribution, ts) = self.extract(before)?;
+                self.retract(group, contribution, ts);
+            }
+        }
+        if let Some(after) = &change.after {
+            if matches!(change.kind, ChangeKind::Insert | ChangeKind::Update) {
+                let (group, contribution, ts) = self.extract(after)?;
+                self.add(group, contribution, ts);
+            }
+        }
+        Ok(())
+    }
+
+    fn extract(&self, row: &prever_storage::Row) -> Result<(Value, i128, u64)> {
+        let group = row.values[self.group_column].clone();
+        let contribution = match self.func {
+            AggFunc::Count => 1,
+            AggFunc::Sum => {
+                let idx = self.value_column.expect("checked in new");
+                row.values[idx]
+                    .as_i128()
+                    .ok_or_else(|| ConstraintError::TypeMismatch {
+                        op: "maintained SUM",
+                        detail: format!("non-numeric value {}", row.values[idx]),
+                    })?
+            }
+            _ => unreachable!("checked in new"),
+        };
+        let ts = match &self.window {
+            Some(w) => row.values[w.ts_column]
+                .as_i128()
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| ConstraintError::TypeMismatch {
+                    op: "maintained window",
+                    detail: "non-numeric timestamp".into(),
+                })?,
+            None => 0,
+        };
+        Ok((group, contribution, ts))
+    }
+
+    fn add(&mut self, group: Value, contribution: i128, ts: u64) {
+        if let Some(w) = &mut self.window {
+            w.events.entry(group).or_default().push((ts, contribution));
+        } else {
+            *self.totals.entry(group).or_insert(0) += contribution;
+        }
+    }
+
+    fn retract(&mut self, group: Value, contribution: i128, ts: u64) {
+        if let Some(w) = &mut self.window {
+            if let Some(events) = w.events.get_mut(&group) {
+                if let Some(pos) = events.iter().position(|&(t, c)| t == ts && c == contribution) {
+                    events.remove(pos);
+                }
+            }
+        } else {
+            *self.totals.entry(group).or_insert(0) -= contribution;
+        }
+    }
+
+    /// The aggregate value for `group`, evaluated `at` the given anchor
+    /// timestamp (only meaningful for windowed aggregates; pass the
+    /// update's timestamp). Zero for unseen groups.
+    pub fn value(&self, group: &Value, at: u64) -> i128 {
+        match &self.window {
+            None => self.totals.get(group).copied().unwrap_or(0),
+            Some(w) => {
+                let lo = at.saturating_sub(w.duration);
+                w.events
+                    .get(group)
+                    .map(|events| {
+                        events
+                            .iter()
+                            .filter(|&&(t, _)| t > lo && t <= at)
+                            .map(|&(_, c)| c)
+                            .sum()
+                    })
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// Checks a bound constraint in O(group): would adding
+    /// `new_contribution` for `group` at time `at` keep the aggregate
+    /// `<= bound`?
+    pub fn check_upper_bound(&self, group: &Value, new_contribution: i128, at: u64, bound: i128) -> bool {
+        self.value(group, at) + new_contribution <= bound
+    }
+
+    /// Prunes window events older than `horizon − duration` (call
+    /// periodically with a low-watermark timestamp).
+    pub fn prune(&mut self, horizon: u64) {
+        if let Some(w) = &mut self.window {
+            let cutoff = horizon.saturating_sub(w.duration);
+            for events in w.events.values_mut() {
+                events.retain(|&(t, _)| t > cutoff);
+            }
+            w.events.retain(|_, v| !v.is_empty());
+        }
+    }
+
+    /// Number of groups currently tracked.
+    pub fn group_count(&self) -> usize {
+        match &self.window {
+            Some(w) => w.events.len(),
+            None => self.totals.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prever_storage::{Column, ColumnType, Database, Key, Row, Schema};
+
+    fn tasks_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "tasks",
+            Schema::new(
+                vec![
+                    Column::new("id", ColumnType::Uint),
+                    Column::new("worker", ColumnType::Str),
+                    Column::new("hours", ColumnType::Uint),
+                    Column::new("ts", ColumnType::Timestamp),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn task(id: u64, worker: &str, hours: u64, ts: u64) -> Row {
+        Row::new(vec![id.into(), worker.into(), hours.into(), Value::Timestamp(ts)])
+    }
+
+    /// worker column = 1, hours = 2, ts = 3.
+    fn flsa_aggregate() -> MaintainedAggregate {
+        MaintainedAggregate::new("tasks", AggFunc::Sum, 1, Some(2), Some((3, 604_800))).unwrap()
+    }
+
+    #[test]
+    fn rejects_unmaintainable_functions() {
+        assert!(MaintainedAggregate::new("t", AggFunc::Min, 0, Some(1), None).is_err());
+        assert!(MaintainedAggregate::new("t", AggFunc::Sum, 0, None, None).is_err());
+        assert!(MaintainedAggregate::new("t", AggFunc::Count, 0, None, None).is_ok());
+    }
+
+    #[test]
+    fn tracks_inserts_updates_deletes() {
+        let mut db = tasks_db();
+        let mut agg = MaintainedAggregate::new("tasks", AggFunc::Sum, 1, Some(2), None).unwrap();
+        db.insert("tasks", task(1, "w1", 10, 100)).unwrap();
+        db.insert("tasks", task(2, "w1", 5, 200)).unwrap();
+        db.insert("tasks", task(3, "w2", 7, 200)).unwrap();
+        for c in db.change_log().to_vec() {
+            agg.apply(&c).unwrap();
+        }
+        assert_eq!(agg.value(&Value::Str("w1".into()), 0), 15);
+        assert_eq!(agg.value(&Value::Str("w2".into()), 0), 7);
+        assert_eq!(agg.value(&Value::Str("unknown".into()), 0), 0);
+
+        let v = db.version();
+        db.update("tasks", &Key(vec![Value::Uint(1)]), task(1, "w1", 20, 100)).unwrap();
+        db.delete("tasks", &Key(vec![Value::Uint(2)])).unwrap();
+        for c in db.changes_since(v).to_vec() {
+            agg.apply(&c).unwrap();
+        }
+        assert_eq!(agg.value(&Value::Str("w1".into()), 0), 20);
+    }
+
+    #[test]
+    fn windowed_aggregate_matches_reference_evaluator() {
+        // The incremental path must agree with the full-scan path on a
+        // randomized-ish workload.
+        let mut db = tasks_db();
+        let mut agg = flsa_aggregate();
+        let week = 604_800u64;
+        let mut id = 0u64;
+        for (worker, hours, ts) in [
+            ("w1", 8, 100),
+            ("w1", 9, week / 2),
+            ("w2", 40, week / 2),
+            ("w1", 7, week + 50),
+            ("w1", 3, week + 200),
+        ] {
+            id += 1;
+            db.insert("tasks", task(id, worker, hours, ts)).unwrap();
+        }
+        for c in db.change_log().to_vec() {
+            agg.apply(&c).unwrap();
+        }
+        // Reference: evaluate the FLSA SUM at various anchors.
+        let reference = |worker: &str, at: u64| -> i128 {
+            db.snapshot()
+                .scan("tasks")
+                .unwrap()
+                .filter(|(_, r)| r.values[1] == Value::Str(worker.into()))
+                .filter(|(_, r)| {
+                    let ts = r.values[3].as_i128().unwrap() as u64;
+                    ts > at.saturating_sub(week) && ts <= at
+                })
+                .map(|(_, r)| r.values[2].as_i128().unwrap())
+                .sum()
+        };
+        for worker in ["w1", "w2", "w3"] {
+            for at in [0, 100, week / 2, week, week + 100, week + 500, 2 * week + 300] {
+                assert_eq!(
+                    agg.value(&Value::Str(worker.into()), at),
+                    reference(worker, at),
+                    "worker={worker} at={at}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn check_upper_bound_is_the_flsa_gate() {
+        let mut db = tasks_db();
+        let mut agg = flsa_aggregate();
+        db.insert("tasks", task(1, "w1", 35, 1000)).unwrap();
+        for c in db.change_log().to_vec() {
+            agg.apply(&c).unwrap();
+        }
+        let w1 = Value::Str("w1".into());
+        assert!(agg.check_upper_bound(&w1, 5, 2000, 40));
+        assert!(!agg.check_upper_bound(&w1, 6, 2000, 40));
+        // After the window slides past the old entry, the budget resets.
+        assert!(agg.check_upper_bound(&w1, 40, 1000 + 604_801, 40));
+    }
+
+    #[test]
+    fn prune_discards_expired_events_without_changing_answers() {
+        let mut db = tasks_db();
+        let mut agg = flsa_aggregate();
+        let week = 604_800u64;
+        db.insert("tasks", task(1, "w1", 10, 100)).unwrap();
+        db.insert("tasks", task(2, "w1", 10, 2 * week)).unwrap();
+        for c in db.change_log().to_vec() {
+            agg.apply(&c).unwrap();
+        }
+        let w1 = Value::Str("w1".into());
+        let now = 2 * week + 10;
+        let before = agg.value(&w1, now);
+        agg.prune(now);
+        assert_eq!(agg.value(&w1, now), before);
+        assert_eq!(before, 10);
+    }
+
+    #[test]
+    fn ignores_other_tables() {
+        let mut db = tasks_db();
+        db.create_table(
+            "other",
+            Schema::new(vec![Column::new("k", ColumnType::Uint)], &["k"]).unwrap(),
+        )
+        .unwrap();
+        let mut agg = MaintainedAggregate::new("tasks", AggFunc::Count, 1, None, None).unwrap();
+        db.insert("other", Row::new(vec![Value::Uint(1)])).unwrap();
+        for c in db.change_log().to_vec() {
+            agg.apply(&c).unwrap();
+        }
+        assert_eq!(agg.group_count(), 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Auditing and covert-adversary deterrence (Research Challenge 4).
+//!
+//! §3.3 defines the covert adversary: it "deviate\[s\] from the
+//! algorithm only if they are not detected (with a probability above a
+//! given threshold)". The defense PReVer's ledger layer enables is
+//! *sampling audits*: producers keep receipts for submitted updates; an
+//! auditor samples receipts and demands inclusion proofs against the
+//! published digest. A manager that silently dropped `t` updates is
+//! caught when any sampled receipt has no valid proof:
+//!
+//! `P(detect) = 1 − (1 − s)^t` for sampling rate `s` per dropped update.
+//!
+//! [`deters`] inverts that into the design question: given a covert
+//! adversary's risk tolerance, what sampling rate removes its incentive?
+
+use crate::participant::ThreatModel;
+use prever_ledger::{Journal, LedgerDigest};
+use rand::Rng;
+
+/// Probability a sampling audit at rate `sample_rate` detects at least
+/// one of `tampered` dropped/modified updates.
+pub fn detection_probability(sample_rate: f64, tampered: u64) -> f64 {
+    let s = sample_rate.clamp(0.0, 1.0);
+    1.0 - (1.0 - s).powi(tampered.min(i32::MAX as u64) as i32)
+}
+
+/// The minimum sampling rate that pushes detection probability above a
+/// covert adversary's risk tolerance for even a single tampered update.
+pub fn deterring_sample_rate(risk_tolerance: f64) -> f64 {
+    // P(detect 1 tamper) = s > risk_tolerance.
+    risk_tolerance.clamp(0.0, 1.0)
+}
+
+/// Whether a sampling-audit policy deters a given threat model from
+/// `planned_tampers` deviations.
+pub fn deters(threat: &ThreatModel, sample_rate: f64, planned_tampers: u64) -> bool {
+    match threat {
+        ThreatModel::Honest | ThreatModel::HonestButCurious => true, // nothing to deter
+        ThreatModel::Covert { risk_tolerance } => {
+            detection_probability(sample_rate, planned_tampers) > *risk_tolerance
+        }
+        // A malicious adversary is not deterred by detection; it must be
+        // prevented (BFT replication), not audited.
+        ThreatModel::Malicious => false,
+    }
+}
+
+/// A producer-side receipt: "an update with this payload was accepted".
+///
+/// The receipt is payload-addressed, not sequence-addressed: a covert
+/// manager that drops updates renumbers the survivors, so the auditor
+/// asks "prove this *payload* is journaled", which the manager answers
+/// by locating it in its own journal — or cannot.
+#[derive(Clone, Debug)]
+pub struct Receipt {
+    /// The payload as submitted.
+    pub payload: Vec<u8>,
+}
+
+/// Outcome of one sampling audit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AuditOutcome {
+    /// Receipts sampled.
+    pub sampled: usize,
+    /// Receipts whose proof failed or was refused.
+    pub violations: usize,
+}
+
+impl AuditOutcome {
+    /// True iff tampering was detected.
+    pub fn detected(&self) -> bool {
+        self.violations > 0
+    }
+}
+
+/// Runs a sampling audit: for each receipt, with probability
+/// `sample_rate`, demand an inclusion proof from the (possibly
+/// dishonest) manager's journal, verified against the digest the
+/// manager itself published (whose append-only evolution the auditor
+/// separately tracks with consistency proofs).
+///
+/// `served` is the journal as the manager serves it — a manager that
+/// dropped updates simply has no valid entry/proof for those receipts.
+pub fn sampling_audit<R: Rng + ?Sized>(
+    receipts: &[Receipt],
+    served: &Journal,
+    digest: &LedgerDigest,
+    sample_rate: f64,
+    rng: &mut R,
+) -> AuditOutcome {
+    let mut sampled = 0;
+    let mut violations = 0;
+    for receipt in receipts {
+        if rng.gen::<f64>() >= sample_rate {
+            continue;
+        }
+        sampled += 1;
+        let ok = (|| {
+            // The manager locates the payload in its own journal.
+            let entry = served
+                .entries()
+                .iter()
+                .find(|e| e.payload.as_ref() == receipt.payload.as_slice())?;
+            let proof = served.prove_inclusion(entry.seq, digest.size).ok()?;
+            Journal::verify_inclusion(entry, &proof, digest).ok()
+        })();
+        if ok.is_none() {
+            violations += 1;
+        }
+    }
+    AuditOutcome { sampled, violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn detection_probability_math() {
+        assert!((detection_probability(0.1, 1) - 0.1).abs() < 1e-12);
+        assert!((detection_probability(0.1, 10) - (1.0 - 0.9f64.powi(10))).abs() < 1e-12);
+        assert_eq!(detection_probability(0.0, 100), 0.0);
+        assert_eq!(detection_probability(1.0, 1), 1.0);
+        // Monotone in both arguments.
+        assert!(detection_probability(0.2, 5) > detection_probability(0.1, 5));
+        assert!(detection_probability(0.1, 10) > detection_probability(0.1, 5));
+    }
+
+    #[test]
+    fn deterrence_by_threat_model() {
+        let covert = ThreatModel::Covert { risk_tolerance: 0.5 };
+        assert!(!deters(&covert, 0.05, 10)); // P ≈ 0.40 < 0.5
+        assert!(deters(&covert, 0.10, 10)); // P ≈ 0.65 > 0.5
+        assert!(deters(&ThreatModel::Honest, 0.0, 100));
+        assert!(!deters(&ThreatModel::Malicious, 1.0, 1));
+        assert!((deterring_sample_rate(0.3) - 0.3).abs() < 1e-12);
+    }
+
+    fn build_world(drop_every: Option<usize>) -> (Vec<Receipt>, Journal, LedgerDigest) {
+        // The covert manager acknowledges every update (producers hold
+        // receipts) but silently omits some from its journal; the digest
+        // it publishes covers only what it journaled.
+        let mut served = Journal::new();
+        let mut receipts = Vec::new();
+        for i in 0..50u64 {
+            let payload = Bytes::from(format!("update-{i}"));
+            receipts.push(Receipt { payload: payload.to_vec() });
+            let dropped = drop_every.is_some_and(|k| (i as usize).is_multiple_of(k));
+            if !dropped {
+                served.append(i, payload);
+            }
+        }
+        let digest = served.digest();
+        (receipts, served, digest)
+    }
+
+    #[test]
+    fn audit_passes_honest_manager() {
+        let (receipts, served, digest) = build_world(None);
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = sampling_audit(&receipts, &served, &digest, 0.5, &mut rng);
+        assert!(outcome.sampled > 10);
+        assert!(!outcome.detected());
+    }
+
+    #[test]
+    fn audit_catches_dropping_manager() {
+        let (receipts, served, digest) = build_world(Some(5)); // 10 tampered
+        let mut rng = StdRng::seed_from_u64(2);
+        let outcome = sampling_audit(&receipts, &served, &digest, 0.5, &mut rng);
+        assert!(outcome.detected(), "50% sampling over 10 tampers should detect");
+    }
+
+    #[test]
+    fn empirical_detection_matches_theory() {
+        // Frequency of detection over many audit runs ≈ 1-(1-s)^t.
+        let (receipts, served, digest) = build_world(Some(10)); // t = 5
+        let s = 0.2;
+        let runs = 400;
+        let mut detected = 0;
+        for seed in 0..runs {
+            let mut rng = StdRng::seed_from_u64(seed);
+            if sampling_audit(&receipts, &served, &digest, s, &mut rng).detected() {
+                detected += 1;
+            }
+        }
+        let empirical = detected as f64 / runs as f64;
+        let theory = detection_probability(s, 5);
+        assert!(
+            (empirical - theory).abs() < 0.1,
+            "empirical {empirical:.2} vs theory {theory:.2}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_detects_nothing() {
+        let (receipts, served, digest) = build_world(Some(2));
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = sampling_audit(&receipts, &served, &digest, 0.0, &mut rng);
+        assert_eq!(outcome.sampled, 0);
+        assert!(!outcome.detected());
+    }
+}

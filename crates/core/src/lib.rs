@@ -1,0 +1,114 @@
+//! # prever-core
+//!
+//! **PReVer: a universal framework for managing regulated dynamic data
+//! in a privacy-preserving manner** — the Rust realization of the EDBT
+//! 2022 vision paper.
+//!
+//! The paper's model (§3) has four participant roles — data producers,
+//! data owners, data managers, authorities — and a pipeline (Figure 2):
+//!
+//! > (0) Authorities define constraints and regulations, (1) the data
+//! > producer sends an update, (2) the update is verified with respect
+//! > to regulations and constraints, and (3) the update is incorporated
+//! > into data.
+//!
+//! Every deployment in this crate implements that pipeline; they differ
+//! in *which* techniques realize step (2) and step (3) under a given
+//! [`PrivacyConfig`] (the `{data, updates, constraints} ×
+//! {private, public}` matrix of §1) and [`ThreatModel`] (§3.3):
+//!
+//! | Module | Paper setting | Step-2 technique | Step-3 substrate |
+//! |---|---|---|---|
+//! | [`pipeline`] | trusted reference | plaintext evaluation (`prever-constraints`) | versioned DB + ledger journal |
+//! | [`single`] | single private DB, untrusted manager (RC1) | Paillier homomorphic aggregates + owner verdicts, ZK range proofs on updates | ledger journal, client auditor |
+//! | [`public_db`] | public DB, private updates (RC3) | plaintext constraints on public data | 2-server XOR PIR reads, k-anonymous writes |
+//! | [`federated`] | federated private DBs (RC2) | Separ tokens **or** MPC bound checks | per-platform DBs + shared spent-token ledger |
+//!
+//! Orthogonal pieces: [`participant`] (roles, threat models),
+//! [`privacy`] (the visibility matrix and the [`LeakageLog`] that makes
+//! "understanding information leakage" a first-class artifact),
+//! [`audit`] (covert-adversary detection probabilities, RC4 auditing),
+//! and [`collusion`] (which privacy properties survive which
+//! coalitions — the paper's "participants may or may not collude" made
+//! analyzable).
+//!
+//! [`LeakageLog`]: privacy::LeakageLog
+//! [`PrivacyConfig`]: privacy::PrivacyConfig
+//! [`ThreatModel`]: participant::ThreatModel
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod collusion;
+pub mod federated;
+pub mod participant;
+pub mod pipeline;
+pub mod privacy;
+pub mod public_db;
+pub mod single;
+pub mod update;
+
+pub use participant::{Participant, Role, ThreatModel};
+pub use pipeline::Pipeline;
+pub use privacy::{LeakageEvent, LeakageLog, PrivacyConfig, Visibility};
+pub use update::{Update, UpdateOutcome};
+
+/// Errors surfaced by the framework.
+#[derive(Debug)]
+pub enum PreverError {
+    /// Storage-layer failure.
+    Storage(prever_storage::StorageError),
+    /// Constraint evaluation failure (not a rejection — an error).
+    Constraint(prever_constraints::ConstraintError),
+    /// Ledger failure or tamper detection.
+    Ledger(prever_ledger::LedgerError),
+    /// Cryptographic failure.
+    Crypto(prever_crypto::CryptoError),
+    /// Token-mechanism failure.
+    Token(prever_tokens::TokenError),
+    /// MPC failure.
+    Mpc(prever_mpc::MpcError),
+    /// PIR failure.
+    Pir(prever_pir::PirError),
+    /// A deployment invariant was violated.
+    Invariant(&'static str),
+}
+
+macro_rules! impl_from {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for PreverError {
+            fn from(e: $ty) -> Self {
+                PreverError::$variant(e)
+            }
+        }
+    };
+}
+
+impl_from!(Storage, prever_storage::StorageError);
+impl_from!(Constraint, prever_constraints::ConstraintError);
+impl_from!(Ledger, prever_ledger::LedgerError);
+impl_from!(Crypto, prever_crypto::CryptoError);
+impl_from!(Token, prever_tokens::TokenError);
+impl_from!(Mpc, prever_mpc::MpcError);
+impl_from!(Pir, prever_pir::PirError);
+
+impl std::fmt::Display for PreverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PreverError::Storage(e) => write!(f, "storage: {e}"),
+            PreverError::Constraint(e) => write!(f, "constraint: {e}"),
+            PreverError::Ledger(e) => write!(f, "ledger: {e}"),
+            PreverError::Crypto(e) => write!(f, "crypto: {e}"),
+            PreverError::Token(e) => write!(f, "token: {e}"),
+            PreverError::Mpc(e) => write!(f, "mpc: {e}"),
+            PreverError::Pir(e) => write!(f, "pir: {e}"),
+            PreverError::Invariant(w) => write!(f, "invariant violated: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for PreverError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, PreverError>;

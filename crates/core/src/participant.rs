@@ -1,0 +1,126 @@
+//! Participant roles and threat models (paper §3.1, §3.3).
+
+/// The four participant roles. A single entity may hold several (§3.1:
+/// "a single entity might assume multiple participant roles").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Produces updates (clients, sensors, workers…).
+    DataProducer,
+    /// Owns the data; may outsource management.
+    DataOwner,
+    /// Stores and manages data on behalf of owners; verifies and
+    /// incorporates updates.
+    DataManager,
+    /// Defines constraints (internal) or regulations (external).
+    Authority,
+}
+
+/// Adversarial models (§3.3), in increasing strength.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ThreatModel {
+    /// Follows the protocol; no inference attempts.
+    Honest,
+    /// Follows the protocol but infers whatever it can from its view
+    /// ("a dubious outsourced data manager").
+    HonestButCurious,
+    /// Deviates only if the probability of being caught stays below its
+    /// risk tolerance.
+    Covert {
+        /// The deviation is abandoned if detection probability exceeds
+        /// this threshold.
+        risk_tolerance: f64,
+    },
+    /// Deviates arbitrarily.
+    Malicious,
+}
+
+impl ThreatModel {
+    /// Whether integrity mechanisms (ledgers/consensus) are required for
+    /// this adversary: anything beyond honest needs tamper evidence.
+    pub fn needs_integrity_protection(&self) -> bool {
+        !matches!(self, ThreatModel::Honest)
+    }
+
+    /// Whether Byzantine consensus (vs crash-fault Paxos) is required.
+    pub fn needs_bft(&self) -> bool {
+        matches!(self, ThreatModel::Covert { .. } | ThreatModel::Malicious)
+    }
+}
+
+/// A participant: identity, roles, threat model, collusion group.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Participant {
+    /// Unique name.
+    pub name: String,
+    /// Roles held.
+    pub roles: Vec<Role>,
+    /// Adversarial model this participant is assumed to follow.
+    pub threat: ThreatModel,
+    /// Collusion group id: participants sharing a group are assumed to
+    /// pool their views (§3.3: "participants may or may not collude").
+    pub collusion_group: Option<u32>,
+}
+
+impl Participant {
+    /// An honest participant with the given roles.
+    pub fn honest(name: &str, roles: &[Role]) -> Self {
+        Participant {
+            name: name.to_string(),
+            roles: roles.to_vec(),
+            threat: ThreatModel::Honest,
+            collusion_group: None,
+        }
+    }
+
+    /// An honest-but-curious participant.
+    pub fn curious(name: &str, roles: &[Role]) -> Self {
+        Participant { threat: ThreatModel::HonestButCurious, ..Self::honest(name, roles) }
+    }
+
+    /// True iff this participant holds `role`.
+    pub fn has_role(&self, role: Role) -> bool {
+        self.roles.contains(&role)
+    }
+
+    /// True iff two participants can pool views.
+    pub fn colludes_with(&self, other: &Participant) -> bool {
+        match (self.collusion_group, other.collusion_group) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_and_threats() {
+        let owner = Participant::honest("acme", &[Role::DataOwner, Role::Authority]);
+        assert!(owner.has_role(Role::DataOwner));
+        assert!(owner.has_role(Role::Authority));
+        assert!(!owner.has_role(Role::DataManager));
+        assert!(!owner.threat.needs_integrity_protection());
+
+        let cloud = Participant::curious("cloud", &[Role::DataManager]);
+        assert!(cloud.threat.needs_integrity_protection());
+        assert!(!cloud.threat.needs_bft());
+
+        let covert = ThreatModel::Covert { risk_tolerance: 0.01 };
+        assert!(covert.needs_bft());
+        assert!(ThreatModel::Malicious.needs_bft());
+    }
+
+    #[test]
+    fn collusion_groups() {
+        let mut a = Participant::curious("a", &[Role::DataManager]);
+        let mut b = Participant::curious("b", &[Role::DataManager]);
+        let c = Participant::curious("c", &[Role::DataManager]);
+        assert!(!a.colludes_with(&b));
+        a.collusion_group = Some(1);
+        b.collusion_group = Some(1);
+        assert!(a.colludes_with(&b));
+        assert!(!a.colludes_with(&c));
+    }
+}

@@ -1,0 +1,238 @@
+//! The Figure-2 pipeline: the trusted reference deployment.
+//!
+//! One trusted data manager, plaintext data, plaintext constraints.
+//! Every other deployment preserves this pipeline's *semantics* while
+//! changing who may see what; benches use it as the non-private
+//! baseline the paper's §6 asks to compare against.
+
+use crate::update::{Update, UpdateOutcome};
+use crate::{PreverError, Result};
+use bytes::Bytes;
+use prever_constraints::{evaluate, Constraint, UpdateContext};
+use prever_ledger::{Journal, LedgerDigest};
+use prever_storage::{Database, Schema};
+
+/// The reference pipeline: storage + constraints + ledger journal.
+pub struct Pipeline {
+    db: Database,
+    constraints: Vec<Constraint>,
+    journal: Journal,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl Pipeline {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        Pipeline {
+            db: Database::new(),
+            constraints: Vec::new(),
+            journal: Journal::new(),
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Creates a table (schema definition is the owner's act).
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
+        self.db.create_table(name, schema)?;
+        Ok(())
+    }
+
+    /// Step 0: an authority registers a constraint or regulation.
+    pub fn register_constraint(&mut self, constraint: Constraint) {
+        self.constraints.push(constraint);
+    }
+
+    /// The registered constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Steps 1–3 for one update: verify against every constraint on a
+    /// snapshot, then incorporate and journal atomically.
+    pub fn submit(&mut self, update: &Update) -> Result<UpdateOutcome> {
+        // Step 2: verify.
+        {
+            let snapshot = self.db.snapshot();
+            let schema = self.db.table(&update.table)?.schema();
+            let ctx = UpdateContext {
+                table: &update.table,
+                row: &update.row,
+                schema,
+                timestamp: update.timestamp,
+            };
+            for c in &self.constraints {
+                if !evaluate(c, &snapshot, &ctx)? {
+                    self.rejected += 1;
+                    return Ok(UpdateOutcome::Rejected { constraint: c.name.clone() });
+                }
+            }
+        }
+        // Step 3: incorporate + journal.
+        let change = self.db.upsert(&update.table, update.row.clone())?;
+        let version = change.version;
+        let payload = Bytes::from(change.encode());
+        let seq = self.journal.append(update.timestamp, payload).seq;
+        self.accepted += 1;
+        Ok(UpdateOutcome::Accepted { version, ledger_seq: seq })
+    }
+
+    /// Read access for queries (queries are out of scope per §3.1; this
+    /// is for tests/examples).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The integrity journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The current ledger digest (published to auditors).
+    pub fn digest(&self) -> LedgerDigest {
+        self.journal.digest()
+    }
+
+    /// (accepted, rejected) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.accepted, self.rejected)
+    }
+
+    /// Full self-audit: replays the journal chain against the digest.
+    pub fn audit(&self) -> Result<()> {
+        Journal::verify_chain(self.journal.entries(), &self.digest())
+            .map_err(PreverError::Ledger)
+    }
+
+    /// Answers a read-only query (aggregates, grouped aggregates,
+    /// EXISTS) anchored at `as_of_ts`, returning the value together
+    /// with the ledger digest it was computed under — the "freshness
+    /// anchor" a client checks against the digests its auditor tracks.
+    pub fn query(&self, src: &str, as_of_ts: u64) -> Result<(prever_storage::Value, LedgerDigest)> {
+        let snapshot = self.db.snapshot();
+        let value = prever_constraints::query(src, &snapshot, as_of_ts)?;
+        Ok((value, self.digest()))
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prever_constraints::ConstraintScope;
+    use prever_storage::{Column, ColumnType, Row, Value};
+
+    fn pipeline() -> Pipeline {
+        let mut p = Pipeline::new();
+        p.create_table(
+            "tasks",
+            Schema::new(
+                vec![
+                    Column::new("id", ColumnType::Uint),
+                    Column::new("worker", ColumnType::Str),
+                    Column::new("hours", ColumnType::Uint),
+                    Column::new("ts", ColumnType::Timestamp),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        p.register_constraint(
+            Constraint::parse(
+                "FLSA-40h",
+                ConstraintScope::Regulation,
+                "$hours <= 40 AND (COUNT(tasks WHERE tasks.worker = $worker WITHIN 604800 OF tasks.ts) = 0 \
+                 OR SUM(tasks.hours WHERE tasks.worker = $worker WITHIN 604800 OF tasks.ts) + $hours <= 40)",
+            )
+            .unwrap(),
+        );
+        p
+    }
+
+    fn task(id: u64, worker: &str, hours: u64, ts: u64) -> Update {
+        Update::new(
+            id,
+            "tasks",
+            Row::new(vec![id.into(), worker.into(), hours.into(), Value::Timestamp(ts)]),
+            ts,
+            worker,
+        )
+    }
+
+    #[test]
+    fn accepts_then_rejects_at_the_bound() {
+        let mut p = pipeline();
+        assert!(p.submit(&task(1, "w1", 30, 100)).unwrap().is_accepted());
+        assert!(p.submit(&task(2, "w1", 10, 200)).unwrap().is_accepted());
+        let outcome = p.submit(&task(3, "w1", 1, 300)).unwrap();
+        assert_eq!(outcome, UpdateOutcome::Rejected { constraint: "FLSA-40h".into() });
+        assert_eq!(p.stats(), (2, 1));
+        // Rejected updates leave no trace in DB or journal.
+        assert_eq!(p.database().table("tasks").unwrap().len(), 2);
+        assert_eq!(p.journal().len(), 2);
+    }
+
+    #[test]
+    fn journal_covers_every_accepted_update() {
+        let mut p = pipeline();
+        for i in 0..5 {
+            p.submit(&task(i, &format!("w{i}"), 10, 100 + i)).unwrap();
+        }
+        assert_eq!(p.journal().len(), 5);
+        p.audit().unwrap();
+        // Each entry is provable under the digest.
+        let digest = p.digest();
+        for seq in 0..5u64 {
+            let proof = p.journal().prove_inclusion(seq, digest.size).unwrap();
+            Journal::verify_inclusion(p.journal().entry(seq).unwrap(), &proof, &digest).unwrap();
+        }
+    }
+
+    #[test]
+    fn multiple_constraints_all_must_pass() {
+        let mut p = pipeline();
+        p.register_constraint(
+            Constraint::parse("positive-hours", ConstraintScope::Internal, "$hours > 0").unwrap(),
+        );
+        assert!(p.submit(&task(1, "w1", 5, 100)).unwrap().is_accepted());
+        let zero = p.submit(&task(2, "w1", 0, 200)).unwrap();
+        assert_eq!(zero, UpdateOutcome::Rejected { constraint: "positive-hours".into() });
+    }
+
+    #[test]
+    fn queries_return_values_with_freshness_anchor() {
+        let mut p = pipeline();
+        p.submit(&task(1, "w1", 10, 100)).unwrap();
+        p.submit(&task(2, "w1", 20, 200)).unwrap();
+        let (v, digest) = p.query("SUM(tasks.hours WHERE tasks.worker = 'w1')", 300).unwrap();
+        assert_eq!(v, Value::Int(30));
+        assert_eq!(digest, p.digest(), "anchored at the current digest");
+        let (v, _) = p.query("MAXSUM(tasks.hours BY tasks.worker)", 300).unwrap();
+        assert_eq!(v, Value::Int(30));
+        // Update-field references are a query error.
+        assert!(p.query("SUM(tasks.hours) + $hours", 300).is_err());
+    }
+
+    #[test]
+    fn unknown_table_is_an_error_not_a_rejection() {
+        let mut p = pipeline();
+        let u = Update::new(1, "nope", Row::new(vec![Value::Uint(1)]), 1, "w");
+        assert!(p.submit(&u).is_err());
+    }
+
+    #[test]
+    fn constraint_errors_propagate() {
+        let mut p = pipeline();
+        p.register_constraint(
+            Constraint::parse("bad", ConstraintScope::Internal, "$nonexistent_field = 1").unwrap(),
+        );
+        assert!(p.submit(&task(1, "w1", 5, 100)).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! The privacy matrix and the leakage log.
+//!
+//! §1: "depending on the application and the underlying infrastructure,
+//! the content of the stored data, the content of the updates, and the
+//! constraints may be private or public." [`PrivacyConfig`] is that
+//! three-axis matrix; deployments assert the combinations they support.
+//!
+//! §6: "PReVer thus requires a better understanding of information
+//! leakage due to the enforcement of constraints on updates." The
+//! [`LeakageLog`] turns that requirement into an artifact: every
+//! deployment records what each observer learns, per update, and tests
+//! assert the log's contents.
+
+/// Visibility of one axis of the matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Visibility {
+    /// Hidden from the data manager (and other non-owners).
+    Private,
+    /// World-readable.
+    Public,
+}
+
+/// The `{data, updates, constraints}` visibility matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PrivacyConfig {
+    /// Stored data.
+    pub data: Visibility,
+    /// Incoming updates.
+    pub updates: Visibility,
+    /// Constraints / regulations.
+    pub constraints: Visibility,
+}
+
+impl PrivacyConfig {
+    /// Fig. 1(a) environmental sustainability: private data and updates,
+    /// public regulation.
+    pub fn sustainability() -> Self {
+        PrivacyConfig {
+            data: Visibility::Private,
+            updates: Visibility::Private,
+            constraints: Visibility::Public,
+        }
+    }
+
+    /// Fig. 1(b) conference participation: public data, private updates,
+    /// public constraints.
+    pub fn conference() -> Self {
+        PrivacyConfig {
+            data: Visibility::Public,
+            updates: Visibility::Private,
+            constraints: Visibility::Public,
+        }
+    }
+
+    /// Fig. 1(c) multi-platform crowdworking (Separ): private data and
+    /// updates, public regulations.
+    pub fn crowdworking() -> Self {
+        Self::sustainability()
+    }
+
+    /// Fig. 1(d) supply chain: everything private.
+    pub fn supply_chain() -> Self {
+        PrivacyConfig {
+            data: Visibility::Private,
+            updates: Visibility::Private,
+            constraints: Visibility::Private,
+        }
+    }
+
+    /// Fully public (the trusted reference pipeline).
+    pub fn all_public() -> Self {
+        PrivacyConfig {
+            data: Visibility::Public,
+            updates: Visibility::Public,
+            constraints: Visibility::Public,
+        }
+    }
+}
+
+/// Who observed a disclosure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Observer {
+    /// The data manager (or a specific one, by name).
+    DataManager(String),
+    /// The data owner.
+    DataOwner(String),
+    /// The external authority.
+    Authority(String),
+    /// Everyone (published).
+    Public,
+}
+
+/// One disclosure event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeakageEvent {
+    /// Logical time of the disclosure.
+    pub at: u64,
+    /// Who learned something.
+    pub observer: Observer,
+    /// Category tag (e.g. "verdict", "blinded-difference",
+    /// "update-pattern", "token-spend").
+    pub kind: &'static str,
+    /// Free-form detail, bounded to what was actually revealed.
+    pub detail: String,
+}
+
+/// The leakage log: an append-only record of every disclosure a
+/// deployment makes.
+#[derive(Clone, Debug, Default)]
+pub struct LeakageLog {
+    events: Vec<LeakageEvent>,
+}
+
+impl LeakageLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a disclosure.
+    pub fn record(&mut self, at: u64, observer: Observer, kind: &'static str, detail: String) {
+        self.events.push(LeakageEvent { at, observer, kind, detail });
+    }
+
+    /// All events.
+    pub fn events(&self) -> &[LeakageEvent] {
+        &self.events
+    }
+
+    /// Events of a given kind.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a LeakageEvent> + 'a {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Events visible to a given observer.
+    pub fn seen_by<'a>(&'a self, observer: &'a Observer) -> impl Iterator<Item = &'a LeakageEvent> {
+        self.events.iter().filter(move |e| &e.observer == observer)
+    }
+
+    /// Asserts no event's detail contains `needle` — the test predicate
+    /// for "this value never leaked".
+    pub fn never_discloses(&self, needle: &str) -> bool {
+        self.events.iter().all(|e| !e.detail.contains(needle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_presets_match_figure_1() {
+        assert_eq!(PrivacyConfig::sustainability().data, Visibility::Private);
+        assert_eq!(PrivacyConfig::sustainability().constraints, Visibility::Public);
+        assert_eq!(PrivacyConfig::conference().data, Visibility::Public);
+        assert_eq!(PrivacyConfig::conference().updates, Visibility::Private);
+        assert_eq!(PrivacyConfig::supply_chain().constraints, Visibility::Private);
+        assert_eq!(PrivacyConfig::all_public().updates, Visibility::Public);
+    }
+
+    #[test]
+    fn log_queries() {
+        let mut log = LeakageLog::new();
+        log.record(1, Observer::DataManager("cloud".into()), "verdict", "accepted".into());
+        log.record(2, Observer::Public, "token-spend", "nonce ab12".into());
+        log.record(3, Observer::DataManager("cloud".into()), "verdict", "rejected".into());
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.of_kind("verdict").count(), 2);
+        assert_eq!(log.seen_by(&Observer::Public).count(), 1);
+        assert!(log.never_discloses("worker-7"));
+        assert!(!log.never_discloses("nonce"));
+    }
+}

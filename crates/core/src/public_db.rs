@@ -1,0 +1,280 @@
+//! The public-database deployment (Research Challenge 3).
+//!
+//! The paper's in-person-conference application (§2.2): the attendee
+//! list is **public**, the updates (vaccination credentials) are
+//! **private**, the constraints (valid credential, venue capacity) are
+//! **public**.
+//!
+//! Construction:
+//!
+//! * The health **authority** issues vaccination credentials as
+//!   blind-signed single-use tokens (`prever-tokens`), so presenting one
+//!   proves vaccination without identifying the holder — the update's
+//!   private content never reaches the conference.
+//! * The **registry** (data manager) verifies the credential and the
+//!   public capacity constraint, then appends the attendee's chosen
+//!   public alias to the list. The list is replicated on two XOR-PIR
+//!   servers so *reads* are private too (nobody learns whose attendance
+//!   you checked), and every registration is journaled (RC4).
+//! * Each accepted registration is a **k-anonymous write**: the registry
+//!   pads the batch with dummy rewrites so a network observer watching
+//!   server traffic cannot tell which slot changed.
+
+use crate::privacy::{LeakageLog, Observer};
+use crate::update::UpdateOutcome;
+use crate::Result;
+use bytes::Bytes;
+use prever_ledger::{Journal, LedgerDigest, LedgerKv};
+use prever_pir::private_update::{Write, WriteBatch};
+use prever_pir::xor::{retrieve, XorServer};
+use prever_tokens::{Platform, Token, TokenAuthority};
+use rand::Rng;
+
+/// Fixed public record width (aliases padded/truncated to this).
+pub const RECORD_SIZE: usize = 24;
+
+/// The public conference registry.
+pub struct ConferenceRegistry {
+    /// Venue capacity (public constraint).
+    pub capacity: usize,
+    /// Anonymity-set size for writes.
+    pub write_anonymity: usize,
+    verifier: Platform,
+    spent: LedgerKv,
+    servers: (XorServer, XorServer),
+    registered: usize,
+    journal: Journal,
+    /// Disclosure record.
+    pub leakage: LeakageLog,
+}
+
+fn pad_alias(alias: &str) -> Vec<u8> {
+    let mut rec = alias.as_bytes().to_vec();
+    rec.truncate(RECORD_SIZE);
+    rec.resize(RECORD_SIZE, 0);
+    rec
+}
+
+impl ConferenceRegistry {
+    /// Creates a registry with `capacity` pre-allocated empty slots.
+    pub fn new(
+        capacity: usize,
+        write_anonymity: usize,
+        authority: &TokenAuthority,
+    ) -> Result<Self> {
+        let empty: Vec<Vec<u8>> = vec![vec![0u8; RECORD_SIZE]; capacity];
+        let s1 = XorServer::new(empty.clone(), RECORD_SIZE)?;
+        let s2 = XorServer::new(empty, RECORD_SIZE)?;
+        Ok(ConferenceRegistry {
+            capacity,
+            write_anonymity,
+            verifier: Platform::new("conference", authority.public_key().clone()),
+            spent: LedgerKv::new(),
+            servers: (s1, s2),
+            registered: 0,
+            journal: Journal::new(),
+            leakage: LeakageLog::new(),
+        })
+    }
+
+    /// Registers an attendee: verifies the (private) vaccination
+    /// credential and the (public) capacity constraint, then performs a
+    /// k-anonymous write of the alias into the public list.
+    pub fn register<R: Rng + ?Sized>(
+        &mut self,
+        credential: &Token,
+        alias: &str,
+        window: u64,
+        now: u64,
+        rng: &mut R,
+    ) -> Result<UpdateOutcome> {
+        // Public constraint first: capacity.
+        if self.registered >= self.capacity {
+            return Ok(UpdateOutcome::Rejected { constraint: "capacity".into() });
+        }
+        // Private update verification: the credential proves vaccination
+        // without identifying the participant.
+        if let Err(e) = self
+            .verifier
+            .verify_and_spend(credential, window, &mut self.spent, now)
+        {
+            self.leakage.record(
+                now,
+                Observer::DataManager("conference".into()),
+                "verdict",
+                format!("credential rejected: {e}"),
+            );
+            return Ok(UpdateOutcome::Rejected { constraint: format!("credential: {e}") });
+        }
+        // k-anonymous write of the alias into the next free slot.
+        let slot = self.registered;
+        let current: Vec<Vec<u8>> = (0..self.capacity)
+            .map(|i| self.servers.0.record(i).expect("slot exists").to_vec())
+            .collect();
+        let batch = WriteBatch::build(
+            Write { index: slot, record: pad_alias(alias) },
+            &current,
+            self.write_anonymity.min(self.capacity),
+            rng,
+        )?;
+        batch.apply(&mut self.servers.0)?;
+        batch.apply(&mut self.servers.1)?;
+        self.registered += 1;
+        // The public list itself is the disclosure: alias, not identity.
+        self.leakage.record(
+            now,
+            Observer::Public,
+            "public-record",
+            format!("alias '{alias}' appears in the attendee list"),
+        );
+        let seq = self
+            .journal
+            .append(now, Bytes::from(format!("register:{alias}@{slot}")))
+            .seq;
+        Ok(UpdateOutcome::Accepted { version: self.registered as u64, ledger_seq: seq })
+    }
+
+    /// Privately reads slot `index` (2-server PIR): neither server
+    /// learns which attendance was checked.
+    pub fn private_lookup<R: Rng + ?Sized>(&mut self, index: usize, rng: &mut R) -> Result<String> {
+        let rec = retrieve(&mut self.servers.0, &mut self.servers.1, index, rng)?;
+        Ok(String::from_utf8_lossy(&rec)
+            .trim_end_matches('\0')
+            .to_string())
+    }
+
+    /// Number of registered attendees.
+    pub fn registered(&self) -> usize {
+        self.registered
+    }
+
+    /// The integrity journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Published digest.
+    pub fn digest(&self) -> LedgerDigest {
+        self.journal.digest()
+    }
+
+    /// Direct (public) read of the list — the data *is* public.
+    pub fn public_list(&self) -> Vec<String> {
+        (0..self.registered)
+            .filter_map(|i| self.servers.0.record(i))
+            .map(|r| String::from_utf8_lossy(r).trim_end_matches('\0').to_string())
+            .collect()
+    }
+}
+
+/// Builds the health authority that issues vaccination credentials:
+/// each person may hold `1` credential per window.
+pub fn health_authority<R: Rng + ?Sized>(prime_bits: usize, rng: &mut R) -> TokenAuthority {
+    TokenAuthority::new(prime_bits, 1, rng)
+}
+
+// Re-export for examples' convenience.
+pub use prever_tokens::Wallet;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    struct World {
+        authority: TokenAuthority,
+        registry: ConferenceRegistry,
+        rng: StdRng,
+    }
+
+    fn world(capacity: usize) -> World {
+        let mut rng = StdRng::seed_from_u64(3);
+        let authority = health_authority(96, &mut rng);
+        let registry = ConferenceRegistry::new(capacity, 4, &authority).unwrap();
+        World { authority, registry, rng }
+    }
+
+    fn credential(w: &mut World, person: &str, window: u64) -> Token {
+        let mut wallet = Wallet::new(person);
+        wallet.request_tokens(&mut w.authority, window, 1, &mut w.rng).unwrap();
+        wallet.spend(window).unwrap()
+    }
+
+    #[test]
+    fn valid_credential_registers() {
+        let mut w = world(10);
+        let cred = credential(&mut w, "alice@real-identity", 1);
+        let outcome = w.registry.register(&cred, "pseudonym-a", 1, 100, &mut w.rng).unwrap();
+        assert!(outcome.is_accepted());
+        assert_eq!(w.registry.public_list(), vec!["pseudonym-a"]);
+    }
+
+    #[test]
+    fn credential_cannot_be_reused() {
+        let mut w = world(10);
+        let cred = credential(&mut w, "alice", 1);
+        assert!(w.registry.register(&cred, "a", 1, 100, &mut w.rng).unwrap().is_accepted());
+        let second = w.registry.register(&cred, "b", 1, 101, &mut w.rng).unwrap();
+        assert!(!second.is_accepted());
+        assert_eq!(w.registry.registered(), 1);
+    }
+
+    #[test]
+    fn capacity_constraint_enforced() {
+        let mut w = world(2);
+        for (i, name) in ["p", "q"].iter().enumerate() {
+            let cred = credential(&mut w, name, 1);
+            assert!(w
+                .registry
+                .register(&cred, name, 1, 100 + i as u64, &mut w.rng)
+                .unwrap()
+                .is_accepted());
+        }
+        let cred = credential(&mut w, "r", 1);
+        let outcome = w.registry.register(&cred, "r", 1, 200, &mut w.rng).unwrap();
+        assert_eq!(outcome, UpdateOutcome::Rejected { constraint: "capacity".into() });
+    }
+
+    #[test]
+    fn forged_credential_rejected() {
+        let mut w = world(10);
+        let mut cred = credential(&mut w, "alice", 1);
+        cred.nonce[0] ^= 1;
+        let outcome = w.registry.register(&cred, "a", 1, 100, &mut w.rng).unwrap();
+        assert!(!outcome.is_accepted());
+        assert_eq!(w.registry.registered(), 0);
+    }
+
+    #[test]
+    fn identity_never_reaches_public_artifacts() {
+        let mut w = world(10);
+        let cred = credential(&mut w, "alice@real-identity", 1);
+        w.registry.register(&cred, "pseudonym-a", 1, 100, &mut w.rng).unwrap();
+        assert!(w.registry.leakage.never_discloses("alice@real-identity"));
+        for e in w.registry.journal().entries() {
+            assert!(!String::from_utf8_lossy(&e.payload).contains("alice@real-identity"));
+        }
+    }
+
+    #[test]
+    fn private_lookup_returns_records() {
+        let mut w = world(10);
+        for name in ["x", "y", "z"] {
+            let cred = credential(&mut w, name, 1);
+            w.registry.register(&cred, name, 1, 100, &mut w.rng).unwrap();
+        }
+        assert_eq!(w.registry.private_lookup(0, &mut w.rng).unwrap(), "x");
+        assert_eq!(w.registry.private_lookup(2, &mut w.rng).unwrap(), "z");
+        assert_eq!(w.registry.private_lookup(5, &mut w.rng).unwrap(), "");
+    }
+
+    #[test]
+    fn journal_records_registrations() {
+        let mut w = world(10);
+        let cred = credential(&mut w, "p", 1);
+        w.registry.register(&cred, "p", 1, 100, &mut w.rng).unwrap();
+        let digest = w.registry.digest();
+        assert_eq!(digest.size, 1);
+        Journal::verify_chain(w.registry.journal().entries(), &digest).unwrap();
+    }
+}

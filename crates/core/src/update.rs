@@ -1,0 +1,72 @@
+//! Updates and their outcomes.
+
+use prever_storage::Row;
+
+/// An incoming update (paper §3.2: "an update may involve several
+/// participants including at least a data producer and a data
+/// manager").
+#[derive(Clone, Debug, PartialEq)]
+pub struct Update {
+    /// Producer-assigned unique id.
+    pub id: u64,
+    /// Target table.
+    pub table: String,
+    /// The proposed row (insert/upsert semantics per deployment).
+    pub row: Row,
+    /// Logical timestamp — the anchor for sliding-window regulations.
+    pub timestamp: u64,
+    /// The submitting producer's name.
+    pub producer: String,
+}
+
+impl Update {
+    /// Builds an update.
+    pub fn new(id: u64, table: &str, row: Row, timestamp: u64, producer: &str) -> Self {
+        Update { id, table: table.to_string(), row, timestamp, producer: producer.to_string() }
+    }
+}
+
+/// What happened to an update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// Verified and incorporated.
+    Accepted {
+        /// Database version the update created.
+        version: u64,
+        /// Journal sequence number of its ledger entry.
+        ledger_seq: u64,
+    },
+    /// Rejected by a constraint.
+    Rejected {
+        /// Name of the violated constraint.
+        constraint: String,
+    },
+}
+
+impl UpdateOutcome {
+    /// True iff accepted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, UpdateOutcome::Accepted { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prever_storage::Value;
+
+    #[test]
+    fn outcome_predicates() {
+        let a = UpdateOutcome::Accepted { version: 1, ledger_seq: 0 };
+        let r = UpdateOutcome::Rejected { constraint: "FLSA-40h".into() };
+        assert!(a.is_accepted());
+        assert!(!r.is_accepted());
+    }
+
+    #[test]
+    fn update_construction() {
+        let u = Update::new(7, "tasks", Row::new(vec![Value::Uint(1)]), 100, "worker-1");
+        assert_eq!(u.table, "tasks");
+        assert_eq!(u.timestamp, 100);
+    }
+}

@@ -1,0 +1,948 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! A deliberately compact big-integer implementation: little-endian `u64`
+//! limbs, schoolbook multiplication, Knuth Algorithm D division, binary
+//! square-and-multiply modular exponentiation, extended-Euclid modular
+//! inversion, and Miller–Rabin primality testing. It is sized for the
+//! demo-scale moduli PReVer's experiments use (256–2048 bits), not for
+//! general-purpose numerics.
+
+use crate::{CryptoError, Result};
+use rand::Rng;
+use std::cmp::Ordering;
+
+/// Limb count above which multiplication switches to Karatsuba
+/// (16 limbs = 1024 bits; tuned roughly, validated by the crypto bench).
+const KARATSUBA_THRESHOLD: usize = 16;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Invariant: `limbs` is little-endian and *normalized* — the most
+/// significant limb is non-zero. Zero is represented by an empty vector.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Constructs from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Constructs from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut n = BigUint { limbs: vec![lo, hi] };
+        n.normalize();
+        n
+    }
+
+    /// Constructs from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Serializes to minimal-length big-endian bytes (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zeros of the top limb.
+                let first = bytes.iter().position(|&b| b != 0).unwrap_or(7);
+                out.extend_from_slice(&bytes[first..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Parses a hexadecimal string (no prefix).
+    pub fn from_hex(hex: &str) -> Result<Self> {
+        let hex = hex.trim();
+        let mut nibbles = Vec::with_capacity(hex.len());
+        for c in hex.chars() {
+            if c == '_' || c.is_whitespace() {
+                continue;
+            }
+            let d = c.to_digit(16).ok_or(CryptoError::Malformed("invalid hex digit"))?;
+            nibbles.push(d as u8);
+        }
+        let mut bytes = Vec::with_capacity(nibbles.len() / 2 + 1);
+        let mut iter = nibbles.iter();
+        if nibbles.len() % 2 == 1 {
+            bytes.push(*iter.next().unwrap());
+        }
+        while let Some(&hi) = iter.next() {
+            let lo = *iter.next().unwrap();
+            bytes.push((hi << 4) | lo);
+        }
+        Ok(Self::from_bytes_be(&bytes))
+    }
+
+    /// Renders as lowercase hexadecimal ("0" for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::new();
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        s
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True iff the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian indexing).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Converts to `u64`, if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128`, if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | ((self.limbs[1] as u128) << 64)),
+            _ => None,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for (i, &a) in long.iter().enumerate() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`; returns an error if `other > self`.
+    pub fn checked_sub(&self, other: &BigUint) -> Result<BigUint> {
+        if self.cmp_to(other) == Ordering::Less {
+            return Err(CryptoError::OutOfRange("subtraction underflow"));
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        Ok(n)
+    }
+
+    /// `self - other`; panics on underflow (use when ordering is known).
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        self.checked_sub(other).expect("BigUint::sub underflow")
+    }
+
+    /// Multiplication: schoolbook below the Karatsuba threshold (16 limbs),
+    /// Karatsuba above it (O(n^1.585) vs O(n²) — matters for the n²
+    /// arithmetic of Paillier at production key sizes).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        if self.limbs.len().min(other.limbs.len()) >= KARATSUBA_THRESHOLD {
+            return self.mul_karatsuba(other);
+        }
+        self.mul_schoolbook(other)
+    }
+
+    fn mul_schoolbook(&self, other: &BigUint) -> BigUint {
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Karatsuba: split both operands at `m` limbs; then
+    /// `a·b = z2·B^{2m} + z1·B^m + z0` with three recursive products,
+    /// where `z1 = (a0+a1)(b0+b1) − z0 − z2`.
+    fn mul_karatsuba(&self, other: &BigUint) -> BigUint {
+        let m = self.limbs.len().max(other.limbs.len()) / 2;
+        let (a0, a1) = self.split_at_limb(m);
+        let (b0, b1) = other.split_at_limb(m);
+        let z0 = a0.mul(&b0);
+        let z2 = a1.mul(&b1);
+        let z1 = a0.add(&a1).mul(&b0.add(&b1)).sub(&z0).sub(&z2);
+        z2.shl(2 * m * 64).add(&z1.shl(m * 64)).add(&z0)
+    }
+
+    /// Splits into (low `m` limbs, remaining high limbs), normalized.
+    fn split_at_limb(&self, m: usize) -> (BigUint, BigUint) {
+        if self.limbs.len() <= m {
+            return (self.clone(), BigUint::zero());
+        }
+        let mut lo = BigUint { limbs: self.limbs[..m].to_vec() };
+        lo.normalize();
+        let mut hi = BigUint { limbs: self.limbs[m..].to_vec() };
+        hi.normalize();
+        (lo, hi)
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Total-order comparison.
+    pub fn cmp_to(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Quotient and remainder; returns an error on division by zero.
+    ///
+    /// Knuth TAOCP vol. 2, Algorithm 4.3.1 D, with `u64` limbs.
+    pub fn div_rem(&self, divisor: &BigUint) -> Result<(BigUint, BigUint)> {
+        if divisor.is_zero() {
+            return Err(CryptoError::OutOfRange("division by zero"));
+        }
+        match self.cmp_to(divisor) {
+            Ordering::Less => return Ok((BigUint::zero(), self.clone())),
+            Ordering::Equal => return Ok((BigUint::one(), BigUint::zero())),
+            Ordering::Greater => {}
+        }
+        // Single-limb fast path.
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0];
+            let mut q = vec![0u64; self.limbs.len()];
+            let mut rem = 0u128;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 64) | self.limbs[i] as u128;
+                q[i] = (cur / d as u128) as u64;
+                rem = cur % d as u128;
+            }
+            let mut quot = BigUint { limbs: q };
+            quot.normalize();
+            return Ok((quot, BigUint::from_u64(rem as u64)));
+        }
+
+        // Normalize so the top limb of the divisor has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let v = divisor.shl(shift);
+        let u = self.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        // Working copy of the dividend with one extra high limb.
+        let mut un = u.limbs.clone();
+        un.push(0);
+        let vn = &v.limbs;
+        let mut q = vec![0u64; m + 1];
+
+        let v_top = vn[n - 1];
+        let v_next = vn[n - 2];
+
+        for j in (0..=m).rev() {
+            // Estimate qhat from the top two limbs of the current remainder.
+            let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut qhat = num / v_top as u128;
+            let mut rhat = num % v_top as u128;
+            // Correct qhat (at most two decrements per Knuth).
+            while qhat >> 64 != 0
+                || qhat * v_next as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v_top as u128;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+            // Multiply and subtract: un[j..j+n+1] -= qhat * vn.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let t = un[i + j] as i128 - (p as u64) as i128 + borrow;
+                un[i + j] = t as u64;
+                borrow = t >> 64; // arithmetic shift: 0 or -1
+            }
+            let t = un[j + n] as i128 - carry as i128 + borrow;
+            un[j + n] = t as u64;
+            borrow = t >> 64;
+
+            q[j] = qhat as u64;
+            if borrow < 0 {
+                // qhat was one too large: add back.
+                q[j] -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let t = un[i + j] as u128 + vn[i] as u128 + carry;
+                    un[i + j] = t as u64;
+                    carry = t >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry as u64);
+            }
+        }
+
+        let mut quot = BigUint { limbs: q };
+        quot.normalize();
+        let mut rem = BigUint { limbs: un[..n].to_vec() };
+        rem.normalize();
+        Ok((quot, rem.shr(shift)))
+    }
+
+    /// `self mod modulus`.
+    pub fn rem(&self, modulus: &BigUint) -> Result<BigUint> {
+        Ok(self.div_rem(modulus)?.1)
+    }
+
+    /// `(self + other) mod modulus`, assuming both operands are reduced.
+    pub fn add_mod(&self, other: &BigUint, modulus: &BigUint) -> Result<BigUint> {
+        let s = self.add(other);
+        if s.cmp_to(modulus) == Ordering::Less {
+            Ok(s)
+        } else {
+            s.checked_sub(modulus)
+        }
+    }
+
+    /// `(self - other) mod modulus`, assuming both operands are reduced.
+    pub fn sub_mod(&self, other: &BigUint, modulus: &BigUint) -> Result<BigUint> {
+        if self.cmp_to(other) != Ordering::Less {
+            self.checked_sub(other)
+        } else {
+            self.add(modulus).checked_sub(other)
+        }
+    }
+
+    /// `(self * other) mod modulus`.
+    pub fn mul_mod(&self, other: &BigUint, modulus: &BigUint) -> Result<BigUint> {
+        self.mul(other).rem(modulus)
+    }
+
+    /// `self^exp mod modulus` by binary square-and-multiply.
+    pub fn mod_exp(&self, exp: &BigUint, modulus: &BigUint) -> Result<BigUint> {
+        if modulus.is_zero() {
+            return Err(CryptoError::OutOfRange("zero modulus"));
+        }
+        if modulus.is_one() {
+            return Ok(BigUint::zero());
+        }
+        let mut base = self.rem(modulus)?;
+        let mut result = BigUint::one();
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                result = result.mul_mod(&base, modulus)?;
+            }
+            if i + 1 < exp.bits() {
+                base = base.mul_mod(&base, modulus)?;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Greatest common divisor (binary-free Euclid via div_rem).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b).expect("b nonzero");
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse: `self^-1 mod modulus`.
+    ///
+    /// Extended Euclid with explicitly signed Bézout coefficients.
+    pub fn mod_inv(&self, modulus: &BigUint) -> Result<BigUint> {
+        if modulus.is_zero() || modulus.is_one() {
+            return Err(CryptoError::OutOfRange("modulus must be > 1"));
+        }
+        let a = self.rem(modulus)?;
+        if a.is_zero() {
+            return Err(CryptoError::NotInvertible);
+        }
+        // (old_r, r), (old_s, s) where s coefficients carry a sign flag.
+        let mut old_r = a;
+        let mut r = modulus.clone();
+        let mut old_s = (BigUint::one(), false); // (magnitude, negative?)
+        let mut s = (BigUint::zero(), false);
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r).expect("r nonzero");
+            old_r = std::mem::replace(&mut r, rem);
+            // new_s = old_s - q * s (signed arithmetic on magnitudes).
+            let qs = q.mul(&s.0);
+            let new_s = signed_sub(&old_s, &(qs, s.1));
+            old_s = std::mem::replace(&mut s, new_s);
+        }
+        if !old_r.is_one() {
+            return Err(CryptoError::NotInvertible);
+        }
+        let (mag, neg) = old_s;
+        let mag = mag.rem(modulus)?;
+        if neg && !mag.is_zero() {
+            modulus.checked_sub(&mag)
+        } else {
+            Ok(mag)
+        }
+    }
+
+    /// Uniformly random value in `[0, bound)`. `bound` must be non-zero.
+    pub fn random_below<R: Rng + ?Sized>(bound: &BigUint, rng: &mut R) -> BigUint {
+        assert!(!bound.is_zero(), "random_below bound must be non-zero");
+        let bits = bound.bits();
+        loop {
+            let candidate = Self::random_bits(bits, rng);
+            if candidate.cmp_to(bound) == Ordering::Less {
+                return candidate;
+            }
+        }
+    }
+
+    /// Uniformly random value with at most `bits` bits.
+    pub fn random_bits<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+        let limbs_needed = bits.div_ceil(64);
+        let mut limbs = Vec::with_capacity(limbs_needed);
+        for _ in 0..limbs_needed {
+            limbs.push(rng.gen::<u64>());
+        }
+        let extra = limbs_needed * 64 - bits;
+        if extra > 0 {
+            if let Some(top) = limbs.last_mut() {
+                *top >>= extra;
+            }
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random bases.
+    pub fn is_probable_prime<R: Rng + ?Sized>(&self, rounds: usize, rng: &mut R) -> bool {
+        const SMALL_PRIMES: [u64; 18] =
+            [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61];
+        if self.bits() <= 6 {
+            let v = self.to_u64().unwrap();
+            return SMALL_PRIMES.contains(&v);
+        }
+        for &p in &SMALL_PRIMES {
+            let pb = BigUint::from_u64(p);
+            if self.rem(&pb).expect("nonzero").is_zero() {
+                return false;
+            }
+        }
+        // Write self - 1 = d * 2^s.
+        let one = BigUint::one();
+        let n_minus_1 = self.sub(&one);
+        let mut d = n_minus_1.clone();
+        let mut s = 0usize;
+        while d.is_even() {
+            d = d.shr(1);
+            s += 1;
+        }
+        let two = BigUint::from_u64(2);
+        let upper = self.sub(&BigUint::from_u64(3));
+        'witness: for _ in 0..rounds {
+            let a = BigUint::random_below(&upper, rng).add(&two);
+            let mut x = a.mod_exp(&d, self).expect("modulus > 1");
+            if x.is_one() || x == n_minus_1 {
+                continue;
+            }
+            for _ in 0..s - 1 {
+                x = x.mul_mod(&x, self).expect("modulus > 1");
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Generates a random probable prime with exactly `bits` bits.
+    pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+        assert!(bits >= 8, "prime size too small");
+        loop {
+            let mut candidate = Self::random_bits(bits, rng);
+            // Force top and bottom bits: exact size and odd.
+            let top = BigUint::one().shl(bits - 1);
+            candidate = candidate.add(&top).rem(&top.shl(1)).unwrap();
+            if candidate.cmp_to(&top) == Ordering::Less {
+                candidate = candidate.add(&top);
+            }
+            if candidate.is_even() {
+                candidate = candidate.add(&BigUint::one());
+            }
+            if candidate.is_probable_prime(20, rng) {
+                return candidate;
+            }
+        }
+    }
+
+    /// Generates a safe prime `p = 2q + 1` (both prime) with `bits` bits.
+    ///
+    /// Safe primes back the Schnorr group; generation is slow for large
+    /// sizes, so [`crate::schnorr::SchnorrGroup::rfc2409_1024`] provides a
+    /// hardcoded production-size group.
+    pub fn gen_safe_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+        loop {
+            let q = Self::gen_prime(bits - 1, rng);
+            let p = q.shl(1).add(&BigUint::one());
+            if p.is_probable_prime(20, rng) {
+                return p;
+            }
+        }
+    }
+}
+
+/// Signed subtraction of (magnitude, negative?) pairs: `a - b`.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a - b with both non-negative.
+        (false, false) => {
+            if a.0.cmp_to(&b.0) != Ordering::Less {
+                (a.0.sub(&b.0), false)
+            } else {
+                (b.0.sub(&a.0), true)
+            }
+        }
+        // a - (-b) = a + b.
+        (false, true) => (a.0.add(&b.0), false),
+        // (-a) - b = -(a + b).
+        (true, false) => (a.0.add(&b.0), true),
+        // (-a) - (-b) = b - a.
+        (true, true) => {
+            if b.0.cmp_to(&a.0) != Ordering::Less {
+                (b.0.sub(&a.0), false)
+            } else {
+                (a.0.sub(&b.0), true)
+            }
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_to(other)
+    }
+}
+
+impl std::fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl std::fmt::Display for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn basic_arithmetic_u128_agreement() {
+        let cases: [(u128, u128); 6] = [
+            (0, 0),
+            (1, 1),
+            (u64::MAX as u128, 1),
+            (u64::MAX as u128, u64::MAX as u128),
+            (1 << 100, (1 << 60) + 12345),
+            (u128::MAX / 2, u128::MAX / 3),
+        ];
+        for (x, y) in cases {
+            assert_eq!(b(x).add(&b(y)).to_u128(), x.checked_add(y));
+            if x >= y {
+                assert_eq!(b(x).sub(&b(y)).to_u128(), Some(x - y));
+            }
+            if let Some(p) = x.checked_mul(y) {
+                assert_eq!(b(x).mul(&b(y)).to_u128(), Some(p));
+            }
+            if y != 0 {
+                let (q, r) = b(x).div_rem(&b(y)).unwrap();
+                assert_eq!(q.to_u128(), Some(x / y));
+                assert_eq!(r.to_u128(), Some(x % y));
+            }
+        }
+    }
+
+    #[test]
+    fn sub_underflow_errors() {
+        assert!(b(1).checked_sub(&b(2)).is_err());
+        assert!(b(0).checked_sub(&b(1)).is_err());
+        assert_eq!(b(2).checked_sub(&b(2)).unwrap(), BigUint::zero());
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        assert!(b(10).div_rem(&BigUint::zero()).is_err());
+    }
+
+    #[test]
+    fn shifts() {
+        let x = b(0xdead_beef);
+        assert_eq!(x.shl(64).shr(64), x);
+        assert_eq!(x.shl(3).to_u128(), Some(0xdead_beef << 3));
+        assert_eq!(x.shr(100), BigUint::zero());
+        assert_eq!(BigUint::zero().shl(100), BigUint::zero());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let x = BigUint::from_hex("deadbeefcafebabe0123456789abcdef00").unwrap();
+        assert_eq!(BigUint::from_bytes_be(&x.to_bytes_be()), x);
+        assert_eq!(x.to_hex(), "deadbeefcafebabe0123456789abcdef00");
+    }
+
+    #[test]
+    fn hex_roundtrip_zero() {
+        assert_eq!(BigUint::zero().to_hex(), "0");
+        assert_eq!(BigUint::from_hex("0").unwrap(), BigUint::zero());
+        assert_eq!(BigUint::from_hex("00000").unwrap(), BigUint::zero());
+        assert!(BigUint::from_hex("xyz").is_err());
+    }
+
+    #[test]
+    fn mod_exp_known_values() {
+        // 2^10 mod 1000 = 24
+        assert_eq!(
+            b(2).mod_exp(&b(10), &b(1000)).unwrap(),
+            b(24)
+        );
+        // Fermat: a^(p-1) = 1 mod p for prime p.
+        let p = b(1_000_000_007);
+        for a in [2u128, 3, 123456, 999999999] {
+            assert_eq!(b(a).mod_exp(&p.sub(&b(1)), &p).unwrap(), BigUint::one());
+        }
+        // Anything mod 1 is 0.
+        assert_eq!(b(5).mod_exp(&b(5), &b(1)).unwrap(), BigUint::zero());
+    }
+
+    #[test]
+    fn mod_inv_known_values() {
+        // 3 * 4 = 12 = 1 mod 11.
+        assert_eq!(b(3).mod_inv(&b(11)).unwrap(), b(4));
+        // Non-invertible.
+        assert_eq!(b(6).mod_inv(&b(9)).unwrap_err(), CryptoError::NotInvertible);
+        assert_eq!(b(0).mod_inv(&b(7)).unwrap_err(), CryptoError::NotInvertible);
+    }
+
+    #[test]
+    fn primality_known_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for p in [2u128, 3, 5, 101, 65537, 1_000_000_007, 2_305_843_009_213_693_951] {
+            assert!(b(p).is_probable_prime(20, &mut rng), "{p} should be prime");
+        }
+        for c in [1u128, 4, 100, 65541, 1_000_000_008, (1 << 61) + 1] {
+            assert!(!b(c).is_probable_prime(20, &mut rng), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn gen_prime_has_exact_bits() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for bits in [16usize, 32, 64, 128] {
+            let p = BigUint::gen_prime(bits, &mut rng);
+            assert_eq!(p.bits(), bits);
+            assert!(p.is_probable_prime(20, &mut rng));
+        }
+    }
+
+    #[test]
+    fn gen_safe_prime_small() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = BigUint::gen_safe_prime(48, &mut rng);
+        let q = p.sub(&BigUint::one()).shr(1);
+        assert!(p.is_probable_prime(20, &mut rng));
+        assert!(q.is_probable_prime(20, &mut rng));
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bound = BigUint::from_hex("ffffffffffffffffffffffffffff").unwrap();
+        for _ in 0..100 {
+            let x = BigUint::random_below(&bound, &mut rng);
+            assert!(x < bound);
+        }
+    }
+
+    // ---- property-based tests ----
+
+    fn arb_biguint() -> impl Strategy<Value = BigUint> {
+        proptest::collection::vec(any::<u64>(), 0..6).prop_map(|limbs| {
+            let mut n = BigUint { limbs };
+            n.normalize();
+            n
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in arb_biguint(), x in arb_biguint()) {
+            prop_assert_eq!(a.add(&x), x.add(&a));
+        }
+
+        #[test]
+        fn prop_add_sub_roundtrip(a in arb_biguint(), x in arb_biguint()) {
+            prop_assert_eq!(a.add(&x).sub(&x), a);
+        }
+
+        #[test]
+        fn prop_mul_commutative(a in arb_biguint(), x in arb_biguint()) {
+            prop_assert_eq!(a.mul(&x), x.mul(&a));
+        }
+
+        /// Karatsuba must agree with schoolbook at and around the
+        /// threshold, including asymmetric operand sizes.
+        #[test]
+        fn prop_karatsuba_matches_schoolbook(
+            a in proptest::collection::vec(any::<u64>(), 1..80),
+            b in proptest::collection::vec(any::<u64>(), 1..80),
+        ) {
+            let mut a = BigUint { limbs: a };
+            a.normalize();
+            let mut b = BigUint { limbs: b };
+            b.normalize();
+            prop_assume!(!a.is_zero() && !b.is_zero());
+            prop_assert_eq!(a.mul_karatsuba(&b), a.mul_schoolbook(&b));
+        }
+
+        #[test]
+        fn prop_div_rem_identity(a in arb_biguint(), d in arb_biguint()) {
+            prop_assume!(!d.is_zero());
+            let (q, r) = a.div_rem(&d).unwrap();
+            prop_assert!(r < d);
+            prop_assert_eq!(q.mul(&d).add(&r), a);
+        }
+
+        #[test]
+        fn prop_mul_div_exact(a in arb_biguint(), d in arb_biguint()) {
+            prop_assume!(!d.is_zero());
+            let (q, r) = a.mul(&d).div_rem(&d).unwrap();
+            prop_assert_eq!(q, a);
+            prop_assert!(r.is_zero());
+        }
+
+        #[test]
+        fn prop_bytes_roundtrip(a in arb_biguint()) {
+            prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a.clone());
+            prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+        }
+
+        #[test]
+        fn prop_shift_roundtrip(a in arb_biguint(), s in 0usize..200) {
+            prop_assert_eq!(a.shl(s).shr(s), a);
+        }
+
+        #[test]
+        fn prop_mod_inv_correct(a in arb_biguint()) {
+            // A fixed prime modulus larger than most generated values.
+            let p = BigUint::from_hex("ffffffffffffffffffffffffffffff61").unwrap(); // 2^128 - 159, prime
+            let a = a.rem(&p).unwrap();
+            prop_assume!(!a.is_zero());
+            let inv = a.mod_inv(&p).unwrap();
+            prop_assert_eq!(a.mul_mod(&inv, &p).unwrap(), BigUint::one());
+        }
+
+        #[test]
+        fn prop_mod_exp_multiplicative(a in arb_biguint(), e1 in 0u64..50, e2 in 0u64..50) {
+            let m = BigUint::from_hex("fffffffffffffffffffffffffffffffeffffffffffffffff").unwrap();
+            let a = a.rem(&m).unwrap();
+            let lhs = a.mod_exp(&BigUint::from_u64(e1 + e2), &m).unwrap();
+            let rhs = a
+                .mod_exp(&BigUint::from_u64(e1), &m).unwrap()
+                .mul_mod(&a.mod_exp(&BigUint::from_u64(e2), &m).unwrap(), &m).unwrap();
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn prop_gcd_divides(a in arb_biguint(), x in arb_biguint()) {
+            prop_assume!(!a.is_zero() && !x.is_zero());
+            let g = a.gcd(&x);
+            prop_assert!(a.rem(&g).unwrap().is_zero());
+            prop_assert!(x.rem(&g).unwrap().is_zero());
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The prime field F_p for p = 2^61 − 1 (a Mersenne prime).
+//!
+//! Secret sharing and MPC in PReVer operate over this field: it is large
+//! enough to hold any realistic regulated quantity (hours worked, money
+//! earned, emission counts) with room for sums across parties, and the
+//! Mersenne structure makes reduction branch-light and fast.
+
+use rand::Rng;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The field modulus, 2^61 − 1 = 2305843009213693951 (prime).
+pub const P: u64 = (1u64 << 61) - 1;
+
+/// An element of F_{2^61 − 1}, always kept reduced to `[0, P)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Fp61(u64);
+
+impl Fp61 {
+    /// The additive identity.
+    pub const ZERO: Fp61 = Fp61(0);
+    /// The multiplicative identity.
+    pub const ONE: Fp61 = Fp61(1);
+
+    /// Constructs an element, reducing `v` mod p.
+    pub fn new(v: u64) -> Self {
+        Fp61(reduce64(v))
+    }
+
+    /// Constructs from an `i64`, mapping negatives to `p - |v|`.
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Fp61::new(v as u64)
+        } else {
+            -Fp61::new(v.unsigned_abs())
+        }
+    }
+
+    /// The canonical representative in `[0, P)`.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Interprets the element as a signed value in `(-p/2, p/2]`.
+    ///
+    /// Useful after MPC subtraction: `x - y` for small `x, y` lands near 0
+    /// or near `p`, and this maps it back to a signed integer.
+    pub fn to_i64(self) -> i64 {
+        if self.0 > P / 2 {
+            -((P - self.0) as i64)
+        } else {
+            self.0 as i64
+        }
+    }
+
+    /// A uniformly random field element.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let v = rng.gen::<u64>() & ((1u64 << 61) - 1);
+            if v < P {
+                return Fp61(v);
+            }
+        }
+    }
+
+    /// `self^e` by square-and-multiply.
+    pub fn pow(self, mut e: u64) -> Self {
+        let mut base = self;
+        let mut acc = Fp61::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse; `None` for zero.
+    pub fn inv(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            // Fermat: a^(p-2) = a^-1 mod p.
+            Some(self.pow(P - 2))
+        }
+    }
+
+    /// True iff this is the zero element.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Reduces a value `< 2^64` modulo `p = 2^61 - 1`.
+#[inline]
+fn reduce64(v: u64) -> u64 {
+    // v = hi * 2^61 + lo  =>  v ≡ hi + lo (mod p).
+    let r = (v >> 61) + (v & P);
+    if r >= P {
+        r - P
+    } else {
+        r
+    }
+}
+
+/// Reduces a 128-bit product modulo `p = 2^61 - 1`.
+#[inline]
+fn reduce128(v: u128) -> u64 {
+    // Split at 61 bits; both halves ≤ 2^67, recurse once more.
+    let lo = (v & P as u128) as u64;
+    let hi = v >> 61;
+    let hi_lo = (hi & P as u128) as u64;
+    let hi_hi = (hi >> 61) as u64;
+    reduce64(reduce64(lo + hi_lo) + hi_hi)
+}
+
+impl Add for Fp61 {
+    type Output = Fp61;
+    fn add(self, rhs: Fp61) -> Fp61 {
+        let s = self.0 + rhs.0; // both < 2^61, no overflow
+        Fp61(if s >= P { s - P } else { s })
+    }
+}
+
+impl AddAssign for Fp61 {
+    fn add_assign(&mut self, rhs: Fp61) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Fp61 {
+    type Output = Fp61;
+    fn sub(self, rhs: Fp61) -> Fp61 {
+        Fp61(if self.0 >= rhs.0 { self.0 - rhs.0 } else { self.0 + P - rhs.0 })
+    }
+}
+
+impl SubAssign for Fp61 {
+    fn sub_assign(&mut self, rhs: Fp61) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Fp61 {
+    type Output = Fp61;
+    fn mul(self, rhs: Fp61) -> Fp61 {
+        Fp61(reduce128(self.0 as u128 * rhs.0 as u128))
+    }
+}
+
+impl MulAssign for Fp61 {
+    fn mul_assign(&mut self, rhs: Fp61) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Fp61 {
+    type Output = Fp61;
+    fn neg(self) -> Fp61 {
+        if self.0 == 0 {
+            self
+        } else {
+            Fp61(P - self.0)
+        }
+    }
+}
+
+impl std::iter::Sum for Fp61 {
+    fn sum<I: Iterator<Item = Fp61>>(iter: I) -> Fp61 {
+        iter.fold(Fp61::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Debug for Fp61 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::fmt::Display for Fp61 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Fp61 {
+    fn from(v: u64) -> Self {
+        Fp61::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn modulus_is_prime_shape() {
+        assert_eq!(P, 2_305_843_009_213_693_951);
+        assert_eq!(P, (1u64 << 61) - 1);
+    }
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(Fp61::new(P - 1) + Fp61::ONE, Fp61::ZERO);
+        assert_eq!(Fp61::new(P) , Fp61::ZERO);
+        assert_eq!(Fp61::new(u64::MAX).value(), reduce64(u64::MAX));
+    }
+
+    #[test]
+    fn sub_wraps() {
+        assert_eq!(Fp61::ZERO - Fp61::ONE, Fp61::new(P - 1));
+        assert_eq!(Fp61::new(5) - Fp61::new(3), Fp61::new(2));
+    }
+
+    #[test]
+    fn neg_of_zero_is_zero() {
+        assert_eq!(-Fp61::ZERO, Fp61::ZERO);
+        assert_eq!(-Fp61::ONE, Fp61::new(P - 1));
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(Fp61::from_i64(-5).to_i64(), -5);
+        assert_eq!(Fp61::from_i64(42).to_i64(), 42);
+        assert_eq!((Fp61::new(3) - Fp61::new(10)).to_i64(), -7);
+    }
+
+    #[test]
+    fn pow_and_inv() {
+        let a = Fp61::new(123456789);
+        assert_eq!(a.pow(0), Fp61::ONE);
+        assert_eq!(a.pow(1), a);
+        assert_eq!(a.pow(2), a * a);
+        assert_eq!(a.inv().unwrap() * a, Fp61::ONE);
+        assert_eq!(Fp61::ZERO.inv(), None);
+        // Fermat's little theorem.
+        assert_eq!(a.pow(P - 1), Fp61::ONE);
+    }
+
+    #[test]
+    fn random_is_reduced() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(Fp61::random(&mut rng).value() < P);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_field_axioms(a in 0u64..P, b in 0u64..P, c in 0u64..P) {
+            let (a, b, c) = (Fp61::new(a), Fp61::new(b), Fp61::new(c));
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+            prop_assert_eq!(a * b, b * a);
+            prop_assert_eq!((a * b) * c, a * (b * c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+            prop_assert_eq!(a + Fp61::ZERO, a);
+            prop_assert_eq!(a * Fp61::ONE, a);
+            prop_assert_eq!(a - a, Fp61::ZERO);
+            prop_assert_eq!(a + (-a), Fp61::ZERO);
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in 0u64..P, b in 0u64..P) {
+            let expected = ((a as u128 * b as u128) % P as u128) as u64;
+            prop_assert_eq!((Fp61::new(a) * Fp61::new(b)).value(), expected);
+        }
+
+        #[test]
+        fn prop_inv(a in 1u64..P) {
+            let a = Fp61::new(a);
+            prop_assert_eq!(a * a.inv().unwrap(), Fp61::ONE);
+        }
+    }
+}

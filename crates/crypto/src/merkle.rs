@@ -1,0 +1,485 @@
+//! Append-only Merkle trees with inclusion and consistency proofs.
+//!
+//! This is the authenticated data structure behind Research Challenge 4
+//! ("enable any participant to verify the integrity of stored data"):
+//! `prever-ledger` hashes every journal entry into one of these trees, and
+//! auditors verify (a) that an entry is present under a published digest
+//! (inclusion) and (b) that a later digest extends an earlier one without
+//! rewriting history (consistency).
+//!
+//! The construction follows RFC 6962 (Certificate Transparency): leaves are
+//! hashed with a `0x00` prefix and interior nodes with a `0x01` prefix
+//! (domain separation prevents second-preimage splicing), and trees of
+//! non-power-of-two size are split at the largest power of two strictly
+//! less than the size.
+
+use crate::sha256::{sha256_concat, Digest};
+use crate::{CryptoError, Result};
+
+/// Hashes a leaf value with domain separation.
+pub fn leaf_hash(data: &[u8]) -> Digest {
+    sha256_concat(&[&[0x00], data])
+}
+
+/// Hashes two child digests into their parent.
+pub fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    sha256_concat(&[&[0x01], left.as_bytes(), right.as_bytes()])
+}
+
+/// An append-only Merkle tree over byte-string leaves.
+///
+/// Stores every leaf hash; roots and proofs are computed over the RFC 6962
+/// tree shape. Appending is O(1) amortized (the tree shape is implicit).
+#[derive(Clone, Debug, Default)]
+pub struct MerkleTree {
+    leaves: Vec<Digest>,
+}
+
+impl MerkleTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        MerkleTree { leaves: Vec::new() }
+    }
+
+    /// Creates a tree from existing leaf data.
+    pub fn from_leaves<'a, I: IntoIterator<Item = &'a [u8]>>(leaves: I) -> Self {
+        let mut t = Self::new();
+        for l in leaves {
+            t.append(l);
+        }
+        t
+    }
+
+    /// Appends a leaf; returns its index.
+    pub fn append(&mut self, data: &[u8]) -> usize {
+        self.leaves.push(leaf_hash(data));
+        self.leaves.len() - 1
+    }
+
+    /// Appends a precomputed leaf hash; returns its index.
+    pub fn append_leaf_hash(&mut self, hash: Digest) -> usize {
+        self.leaves.push(hash);
+        self.leaves.len() - 1
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True iff the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// The root digest over all leaves (SHA-256 of empty string for an
+    /// empty tree, per RFC 6962).
+    pub fn root(&self) -> Digest {
+        self.root_of_range(0, self.leaves.len())
+    }
+
+    /// The root the tree had when it contained only the first `n` leaves.
+    pub fn root_at(&self, n: usize) -> Result<Digest> {
+        if n > self.leaves.len() {
+            return Err(CryptoError::OutOfRange("root_at beyond tree size"));
+        }
+        Ok(self.root_of_range(0, n))
+    }
+
+    fn root_of_range(&self, lo: usize, hi: usize) -> Digest {
+        match hi - lo {
+            0 => crate::sha256::sha256(b""),
+            1 => self.leaves[lo],
+            n => {
+                let k = largest_power_of_two_below(n);
+                let left = self.root_of_range(lo, lo + k);
+                let right = self.root_of_range(lo + k, hi);
+                node_hash(&left, &right)
+            }
+        }
+    }
+
+    /// Produces an inclusion proof for leaf `index` in the tree of the
+    /// first `tree_size` leaves.
+    pub fn prove_inclusion(&self, index: usize, tree_size: usize) -> Result<InclusionProof> {
+        if tree_size > self.leaves.len() {
+            return Err(CryptoError::OutOfRange("tree_size beyond tree"));
+        }
+        if index >= tree_size {
+            return Err(CryptoError::OutOfRange("leaf index beyond tree_size"));
+        }
+        let mut path = Vec::new();
+        self.inclusion_path(index, 0, tree_size, &mut path);
+        Ok(InclusionProof { leaf_index: index, tree_size, path })
+    }
+
+    fn inclusion_path(&self, index: usize, lo: usize, hi: usize, out: &mut Vec<Digest>) {
+        let n = hi - lo;
+        if n == 1 {
+            return;
+        }
+        let k = largest_power_of_two_below(n);
+        if index < lo + k {
+            self.inclusion_path(index, lo, lo + k, out);
+            out.push(self.root_of_range(lo + k, hi));
+        } else {
+            self.inclusion_path(index, lo + k, hi, out);
+            out.push(self.root_of_range(lo, lo + k));
+        }
+    }
+
+    /// Produces a consistency proof showing the tree of size `new_size`
+    /// extends the tree of size `old_size`.
+    pub fn prove_consistency(&self, old_size: usize, new_size: usize) -> Result<ConsistencyProof> {
+        if new_size > self.leaves.len() || old_size > new_size {
+            return Err(CryptoError::OutOfRange("invalid consistency sizes"));
+        }
+        let mut path = Vec::new();
+        if old_size > 0 && old_size < new_size {
+            self.consistency_path(old_size, 0, new_size, true, &mut path);
+        }
+        Ok(ConsistencyProof { old_size, new_size, path })
+    }
+
+    /// RFC 6962 SUBPROOF. `complete` tracks whether the old tree occupies a
+    /// complete subtree of the current range.
+    fn consistency_path(
+        &self,
+        m: usize,
+        lo: usize,
+        hi: usize,
+        complete: bool,
+        out: &mut Vec<Digest>,
+    ) {
+        let n = hi - lo;
+        if m == n {
+            if !complete {
+                out.push(self.root_of_range(lo, hi));
+            }
+            return;
+        }
+        let k = largest_power_of_two_below(n);
+        if m <= k {
+            self.consistency_path(m, lo, lo + k, complete, out);
+            out.push(self.root_of_range(lo + k, hi));
+        } else {
+            self.consistency_path(m - k, lo + k, hi, false, out);
+            out.push(self.root_of_range(lo, lo + k));
+        }
+    }
+}
+
+/// Proof that a leaf is included under a root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InclusionProof {
+    /// Index of the proven leaf.
+    pub leaf_index: usize,
+    /// Size of the tree the proof was generated against.
+    pub tree_size: usize,
+    /// Sibling digests from leaf to root.
+    pub path: Vec<Digest>,
+}
+
+impl InclusionProof {
+    /// Verifies the proof: does `leaf_data` at `leaf_index` hash up to
+    /// `root` in a tree of `tree_size` leaves?
+    pub fn verify(&self, leaf_data: &[u8], root: &Digest) -> Result<()> {
+        self.verify_leaf_hash(leaf_hash(leaf_data), root)
+    }
+
+    /// Verifies against a precomputed leaf hash.
+    pub fn verify_leaf_hash(&self, leaf: Digest, root: &Digest) -> Result<()> {
+        if self.leaf_index >= self.tree_size {
+            return Err(CryptoError::Malformed("leaf_index >= tree_size"));
+        }
+        let computed = self.compute_root(leaf)?;
+        if &computed == root {
+            Ok(())
+        } else {
+            Err(CryptoError::VerificationFailed("inclusion proof"))
+        }
+    }
+
+    fn compute_root(&self, leaf: Digest) -> Result<Digest> {
+        // Walk back up, reconstructing the split decisions.
+        let mut splits = Vec::with_capacity(self.path.len());
+        let mut lo = 0usize;
+        let mut hi = self.tree_size;
+        while hi - lo > 1 {
+            let k = largest_power_of_two_below(hi - lo);
+            if self.leaf_index < lo + k {
+                splits.push(true); // we are the left child
+                hi = lo + k;
+            } else {
+                splits.push(false);
+                lo += k;
+            }
+        }
+        if splits.len() != self.path.len() {
+            return Err(CryptoError::Malformed("inclusion path length"));
+        }
+        let mut acc = leaf;
+        for (is_left, sibling) in splits.iter().rev().zip(self.path.iter()) {
+            acc = if *is_left {
+                node_hash(&acc, sibling)
+            } else {
+                node_hash(sibling, &acc)
+            };
+        }
+        Ok(acc)
+    }
+}
+
+/// Proof that one tree is a prefix of a larger tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsistencyProof {
+    /// Size of the earlier tree.
+    pub old_size: usize,
+    /// Size of the later tree.
+    pub new_size: usize,
+    /// Node digests per RFC 6962 §2.1.2.
+    pub path: Vec<Digest>,
+}
+
+impl ConsistencyProof {
+    /// Verifies that `new_root` (over `new_size` leaves) is an append-only
+    /// extension of `old_root` (over `old_size` leaves).
+    pub fn verify(&self, old_root: &Digest, new_root: &Digest) -> Result<()> {
+        if self.old_size == self.new_size {
+            if !self.path.is_empty() {
+                return Err(CryptoError::Malformed("nonempty path for equal sizes"));
+            }
+            return if old_root == new_root {
+                Ok(())
+            } else {
+                Err(CryptoError::VerificationFailed("consistency: equal-size roots differ"))
+            };
+        }
+        if self.old_size == 0 {
+            // Any tree extends the empty tree.
+            return Ok(());
+        }
+        if self.old_size > self.new_size {
+            return Err(CryptoError::Malformed("old_size > new_size"));
+        }
+
+        // RFC 6962 verification algorithm.
+        let mut node = self.old_size - 1;
+        let mut last_node = self.new_size - 1;
+        while node % 2 == 1 {
+            node /= 2;
+            last_node /= 2;
+        }
+        let mut path = self.path.iter();
+        let (mut old_hash, mut new_hash) = if node > 0 {
+            let first = *path.next().ok_or(CryptoError::Malformed("empty consistency path"))?;
+            (first, first)
+        } else {
+            (*old_root, *old_root)
+        };
+        while node > 0 || last_node > 0 {
+            if node % 2 == 1 {
+                let p = *path.next().ok_or(CryptoError::Malformed("short consistency path"))?;
+                old_hash = node_hash(&p, &old_hash);
+                new_hash = node_hash(&p, &new_hash);
+            } else if node < last_node {
+                let p = *path.next().ok_or(CryptoError::Malformed("short consistency path"))?;
+                new_hash = node_hash(&new_hash, &p);
+            }
+            node /= 2;
+            last_node /= 2;
+        }
+        if path.next().is_some() {
+            return Err(CryptoError::Malformed("long consistency path"));
+        }
+        if &old_hash != old_root {
+            return Err(CryptoError::VerificationFailed("consistency: old root"));
+        }
+        if &new_hash != new_root {
+            return Err(CryptoError::VerificationFailed("consistency: new root"));
+        }
+        Ok(())
+    }
+}
+
+/// Largest power of two strictly less than `n` (n ≥ 2).
+fn largest_power_of_two_below(n: usize) -> usize {
+    debug_assert!(n >= 2);
+    let mut k = 1;
+    while k * 2 < n {
+        k *= 2;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tree_of(n: usize) -> MerkleTree {
+        let mut t = MerkleTree::new();
+        for i in 0..n {
+            t.append(format!("leaf-{i}").as_bytes());
+        }
+        t
+    }
+
+    #[test]
+    fn empty_tree_root_is_hash_of_empty() {
+        assert_eq!(MerkleTree::new().root(), crate::sha256::sha256(b""));
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let mut t = MerkleTree::new();
+        t.append(b"x");
+        assert_eq!(t.root(), leaf_hash(b"x"));
+    }
+
+    /// RFC 6962 test vectors for the CT hash of small trees.
+    #[test]
+    fn rfc6962_roots() {
+        let inputs: [&[u8]; 7] = [
+            b"",
+            &[0x00],
+            &[0x10],
+            &[0x20, 0x21],
+            &[0x30, 0x31],
+            &[0x40, 0x41, 0x42, 0x43],
+            &[0x50, 0x51, 0x52, 0x53, 0x54, 0x55, 0x56, 0x57],
+        ];
+        let mut t = MerkleTree::new();
+        for i in &inputs {
+            t.append(i);
+        }
+        assert_eq!(
+            t.root().to_hex(),
+            "ddb89be403809e325750d3d263cd78929c2942b7942a34b77e122c9594a74c8c"
+        );
+        assert_eq!(
+            t.root_at(3).unwrap().to_hex(),
+            "aeb6bcfe274b70a14fb067a5e5578264db0fa9b51af5e0ba159158f329e06e77"
+        );
+    }
+
+    #[test]
+    fn inclusion_all_sizes() {
+        for n in 1..=33usize {
+            let t = tree_of(n);
+            let root = t.root();
+            for i in 0..n {
+                let proof = t.prove_inclusion(i, n).unwrap();
+                proof
+                    .verify(format!("leaf-{i}").as_bytes(), &root)
+                    .unwrap_or_else(|e| panic!("n={n} i={i}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn inclusion_rejects_wrong_leaf() {
+        let t = tree_of(10);
+        let proof = t.prove_inclusion(3, 10).unwrap();
+        assert!(proof.verify(b"not-the-leaf", &t.root()).is_err());
+    }
+
+    #[test]
+    fn inclusion_rejects_wrong_root() {
+        let t = tree_of(10);
+        let proof = t.prove_inclusion(3, 10).unwrap();
+        let wrong = crate::sha256::sha256(b"wrong");
+        assert!(proof.verify(b"leaf-3", &wrong).is_err());
+    }
+
+    #[test]
+    fn inclusion_rejects_tampered_path() {
+        let t = tree_of(16);
+        let mut proof = t.prove_inclusion(5, 16).unwrap();
+        proof.path[0] = crate::sha256::sha256(b"evil");
+        assert!(proof.verify(b"leaf-5", &t.root()).is_err());
+    }
+
+    #[test]
+    fn inclusion_out_of_range() {
+        let t = tree_of(4);
+        assert!(t.prove_inclusion(4, 4).is_err());
+        assert!(t.prove_inclusion(0, 5).is_err());
+    }
+
+    #[test]
+    fn consistency_all_size_pairs() {
+        let t = tree_of(20);
+        for old in 0..=20usize {
+            for new in old..=20usize {
+                let proof = t.prove_consistency(old, new).unwrap();
+                let old_root = t.root_at(old).unwrap();
+                let new_root = t.root_at(new).unwrap();
+                proof
+                    .verify(&old_root, &new_root)
+                    .unwrap_or_else(|e| panic!("old={old} new={new}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn consistency_detects_rewrite() {
+        // Build two trees that agree on size but differ in an early leaf.
+        let honest = tree_of(8);
+        let mut tampered = MerkleTree::new();
+        for i in 0..8 {
+            if i == 2 {
+                tampered.append(b"REWRITTEN");
+            } else {
+                tampered.append(format!("leaf-{i}").as_bytes());
+            }
+        }
+        let proof = tampered.prove_consistency(4, 8).unwrap();
+        // Old root from the honest tree: the tampered extension must fail.
+        let old_root = honest.root_at(4).unwrap();
+        let new_root = tampered.root();
+        assert!(proof.verify(&old_root, &new_root).is_err());
+    }
+
+    #[test]
+    fn append_changes_root() {
+        let mut t = tree_of(5);
+        let r1 = t.root();
+        t.append(b"another");
+        assert_ne!(t.root(), r1);
+        assert_eq!(t.root_at(5).unwrap(), r1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_inclusion_roundtrip(n in 1usize..64, seed in any::<u64>()) {
+            let i = (seed as usize) % n;
+            let t = tree_of(n);
+            let proof = t.prove_inclusion(i, n).unwrap();
+            let leaf = format!("leaf-{i}");
+            prop_assert!(proof.verify(leaf.as_bytes(), &t.root()).is_ok());
+        }
+
+        #[test]
+        fn prop_consistency_roundtrip(n in 1usize..64, frac in 0.0f64..1.0) {
+            let old = ((n as f64) * frac) as usize;
+            let t = tree_of(n);
+            let proof = t.prove_consistency(old, n).unwrap();
+            prop_assert!(proof
+                .verify(&t.root_at(old).unwrap(), &t.root())
+                .is_ok());
+        }
+
+        #[test]
+        fn prop_distinct_leaves_distinct_roots(a in "[a-z]{1,8}", b in "[a-z]{1,8}") {
+            prop_assume!(a != b);
+            let mut t1 = MerkleTree::new();
+            t1.append(a.as_bytes());
+            let mut t2 = MerkleTree::new();
+            t2.append(b.as_bytes());
+            prop_assert_ne!(t1.root(), t2.root());
+        }
+    }
+}

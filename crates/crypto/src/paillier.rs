@@ -1,0 +1,288 @@
+//! Paillier additively homomorphic encryption.
+//!
+//! PReVer's Research Challenge 1 proposes fully homomorphic encryption so
+//! an *untrusted data manager* can verify updates against constraints over
+//! data it cannot read. The constraints PReVer and its Separ instantiation
+//! actually evaluate are linear-arithmetic bounds (SUM/COUNT vs threshold),
+//! for which additive homomorphism suffices; Paillier therefore exercises
+//! the same architectural path (encrypted state, homomorphic accumulation,
+//! owner-side decryption/threshold check) at realistic cost. See DESIGN.md
+//! for the substitution argument.
+//!
+//! Scheme (Paillier 1999): `n = p·q`, ciphertext `c = g^m · r^n mod n²`
+//! with `g = n + 1`, decryption via the Carmichael function `λ`.
+
+use crate::bignum::BigUint;
+use crate::{CryptoError, Result};
+use rand::Rng;
+
+/// Paillier public key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PublicKey {
+    /// Modulus `n = p·q`.
+    pub n: BigUint,
+    n_squared: BigUint,
+}
+
+/// Paillier private key.
+#[derive(Clone, Debug)]
+pub struct PrivateKey {
+    /// The public part.
+    pub public: PublicKey,
+    /// `λ = lcm(p−1, q−1)`.
+    lambda: BigUint,
+    /// `μ = (L(g^λ mod n²))^−1 mod n`.
+    mu: BigUint,
+}
+
+/// A Paillier ciphertext (value in `Z*_{n²}`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ciphertext(BigUint);
+
+impl Ciphertext {
+    /// The raw group element (for serialization).
+    pub fn as_biguint(&self) -> &BigUint {
+        &self.0
+    }
+
+    /// Reconstructs a ciphertext from its raw value under `pk`.
+    pub fn from_biguint(pk: &PublicKey, v: BigUint) -> Result<Self> {
+        if v.is_zero() || v.cmp_to(&pk.n_squared) != std::cmp::Ordering::Less {
+            return Err(CryptoError::OutOfRange("ciphertext outside Z_{n^2}"));
+        }
+        Ok(Ciphertext(v))
+    }
+}
+
+/// Generates a Paillier keypair with `bits`-bit primes (modulus `2·bits`).
+///
+/// Demo-scale sizes (256-bit primes) keep the benchmarks responsive; a
+/// production deployment would use ≥ 1536-bit primes.
+pub fn keygen<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> PrivateKey {
+    loop {
+        let p = BigUint::gen_prime(bits, rng);
+        let q = BigUint::gen_prime(bits, rng);
+        if p == q {
+            continue;
+        }
+        let n = p.mul(&q);
+        let one = BigUint::one();
+        let p1 = p.sub(&one);
+        let q1 = q.sub(&one);
+        // λ = lcm(p-1, q-1) = (p-1)(q-1)/gcd(p-1, q-1).
+        let g = p1.gcd(&q1);
+        let lambda = p1.mul(&q1).div_rem(&g).expect("gcd nonzero").0;
+        let n_squared = n.mul(&n);
+        // g = n + 1 makes L(g^λ mod n²) = λ mod n, so μ = λ^{-1} mod n.
+        let g_lambda = n.add(&one).mod_exp(&lambda, &n_squared).expect("n² > 1");
+        let l = l_function(&g_lambda, &n).expect("structure of g^λ");
+        let mu = match l.mod_inv(&n) {
+            Ok(m) => m,
+            Err(_) => continue, // pathological p, q; retry
+        };
+        let public = PublicKey { n, n_squared };
+        return PrivateKey { public, lambda, mu };
+    }
+}
+
+/// `L(x) = (x − 1) / n`, defined for `x ≡ 1 (mod n)`.
+fn l_function(x: &BigUint, n: &BigUint) -> Result<BigUint> {
+    let x1 = x.checked_sub(&BigUint::one())?;
+    let (q, r) = x1.div_rem(n)?;
+    if !r.is_zero() {
+        return Err(CryptoError::Malformed("L-function: x != 1 mod n"));
+    }
+    Ok(q)
+}
+
+impl PublicKey {
+    /// Encrypts `m ∈ [0, n)`.
+    pub fn encrypt<R: Rng + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Result<Ciphertext> {
+        if m.cmp_to(&self.n) != std::cmp::Ordering::Less {
+            return Err(CryptoError::OutOfRange("plaintext >= n"));
+        }
+        let r = loop {
+            let r = BigUint::random_below(&self.n, rng);
+            if !r.is_zero() && r.gcd(&self.n).is_one() {
+                break r;
+            }
+        };
+        // c = (n+1)^m * r^n mod n²  =  (1 + m·n) · r^n mod n².
+        let one = BigUint::one();
+        let gm = one.add(&m.mul(&self.n)).rem(&self.n_squared)?;
+        let rn = r.mod_exp(&self.n, &self.n_squared)?;
+        Ok(Ciphertext(gm.mul_mod(&rn, &self.n_squared)?))
+    }
+
+    /// Encrypts a `u64` convenience value.
+    pub fn encrypt_u64<R: Rng + ?Sized>(&self, m: u64, rng: &mut R) -> Result<Ciphertext> {
+        self.encrypt(&BigUint::from_u64(m), rng)
+    }
+
+    /// Homomorphic addition: `Dec(add(c1, c2)) = m1 + m2 mod n`.
+    pub fn add(&self, c1: &Ciphertext, c2: &Ciphertext) -> Result<Ciphertext> {
+        Ok(Ciphertext(c1.0.mul_mod(&c2.0, &self.n_squared)?))
+    }
+
+    /// Homomorphic addition of a plaintext: `Dec(...) = m + k mod n`.
+    pub fn add_plain(&self, c: &Ciphertext, k: &BigUint) -> Result<Ciphertext> {
+        // c * (n+1)^k = c * (1 + k·n) mod n².
+        let gk = BigUint::one().add(&k.rem(&self.n)?.mul(&self.n)).rem(&self.n_squared)?;
+        Ok(Ciphertext(c.0.mul_mod(&gk, &self.n_squared)?))
+    }
+
+    /// Homomorphic scalar multiplication: `Dec(mul_plain(c, k)) = k·m mod n`.
+    pub fn mul_plain(&self, c: &Ciphertext, k: &BigUint) -> Result<Ciphertext> {
+        Ok(Ciphertext(c.0.mod_exp(k, &self.n_squared)?))
+    }
+
+    /// Homomorphic negation: `Dec(neg(c)) = n − m mod n`.
+    pub fn neg(&self, c: &Ciphertext) -> Result<Ciphertext> {
+        let inv = c.0.mod_inv(&self.n_squared)?;
+        Ok(Ciphertext(inv))
+    }
+
+    /// Homomorphic subtraction: `Dec(sub(c1, c2)) = m1 − m2 mod n`.
+    pub fn sub(&self, c1: &Ciphertext, c2: &Ciphertext) -> Result<Ciphertext> {
+        self.add(c1, &self.neg(c2)?)
+    }
+
+    /// Re-randomizes a ciphertext (same plaintext, fresh randomness) so
+    /// the data manager cannot link it to its origin.
+    pub fn rerandomize<R: Rng + ?Sized>(&self, c: &Ciphertext, rng: &mut R) -> Result<Ciphertext> {
+        let zero = self.encrypt(&BigUint::zero(), rng)?;
+        self.add(c, &zero)
+    }
+}
+
+impl PrivateKey {
+    /// Decrypts a ciphertext to `m ∈ [0, n)`.
+    pub fn decrypt(&self, c: &Ciphertext) -> Result<BigUint> {
+        let pk = &self.public;
+        let c_lambda = c.0.mod_exp(&self.lambda, &pk.n_squared)?;
+        let l = l_function(&c_lambda, &pk.n)?;
+        l.mul_mod(&self.mu, &pk.n)
+    }
+
+    /// Decrypts and interprets the result as a signed value in
+    /// `(−n/2, n/2]` — the natural reading after homomorphic subtraction.
+    pub fn decrypt_signed(&self, c: &Ciphertext) -> Result<i128> {
+        let m = self.decrypt(&c.clone())?;
+        let half = self.public.n.shr(1);
+        if m.cmp_to(&half) == std::cmp::Ordering::Greater {
+            let mag = self.public.n.sub(&m);
+            let v = mag.to_u128().ok_or(CryptoError::OutOfRange("signed value too large"))?;
+            Ok(-(v as i128))
+        } else {
+            let v = m.to_u128().ok_or(CryptoError::OutOfRange("signed value too large"))?;
+            Ok(v as i128)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn key() -> PrivateKey {
+        let mut rng = StdRng::seed_from_u64(7);
+        keygen(96, &mut rng) // small primes: fast tests
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(8);
+        for m in [0u64, 1, 40, 123456789, u32::MAX as u64] {
+            let c = sk.public.encrypt_u64(m, &mut rng).unwrap();
+            assert_eq!(sk.decrypt(&c).unwrap(), BigUint::from_u64(m));
+        }
+    }
+
+    #[test]
+    fn plaintext_out_of_range_rejected() {
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(sk.public.encrypt(&sk.public.n, &mut rng).is_err());
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(9);
+        let c1 = sk.public.encrypt_u64(30, &mut rng).unwrap();
+        let c2 = sk.public.encrypt_u64(12, &mut rng).unwrap();
+        let sum = sk.public.add(&c1, &c2).unwrap();
+        assert_eq!(sk.decrypt(&sum).unwrap(), BigUint::from_u64(42));
+    }
+
+    #[test]
+    fn homomorphic_scalar_mul_and_plain_add() {
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(10);
+        let c = sk.public.encrypt_u64(7, &mut rng).unwrap();
+        let c3 = sk.public.mul_plain(&c, &BigUint::from_u64(6)).unwrap();
+        assert_eq!(sk.decrypt(&c3).unwrap(), BigUint::from_u64(42));
+        let cp = sk.public.add_plain(&c, &BigUint::from_u64(35)).unwrap();
+        assert_eq!(sk.decrypt(&cp).unwrap(), BigUint::from_u64(42));
+    }
+
+    #[test]
+    fn homomorphic_subtraction_signed() {
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(11);
+        // The RC1 pattern: encrypted total hours minus the 40-hour bound.
+        let total = sk.public.encrypt_u64(38, &mut rng).unwrap();
+        let bound = sk.public.encrypt_u64(40, &mut rng).unwrap();
+        let diff = sk.public.sub(&total, &bound).unwrap();
+        assert_eq!(sk.decrypt_signed(&diff).unwrap(), -2);
+        let diff2 = sk.public.sub(&bound, &total).unwrap();
+        assert_eq!(sk.decrypt_signed(&diff2).unwrap(), 2);
+    }
+
+    #[test]
+    fn rerandomize_changes_ciphertext_not_plaintext() {
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(12);
+        let c = sk.public.encrypt_u64(5, &mut rng).unwrap();
+        let c2 = sk.public.rerandomize(&c, &mut rng).unwrap();
+        assert_ne!(c, c2);
+        assert_eq!(sk.decrypt(&c2).unwrap(), BigUint::from_u64(5));
+    }
+
+    #[test]
+    fn ciphertexts_are_probabilistic() {
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(13);
+        let c1 = sk.public.encrypt_u64(5, &mut rng).unwrap();
+        let c2 = sk.public.encrypt_u64(5, &mut rng).unwrap();
+        assert_ne!(c1, c2, "same plaintext must encrypt differently");
+    }
+
+    #[test]
+    fn ciphertext_raw_roundtrip() {
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(14);
+        let c = sk.public.encrypt_u64(99, &mut rng).unwrap();
+        let raw = c.as_biguint().clone();
+        let c2 = Ciphertext::from_biguint(&sk.public, raw).unwrap();
+        assert_eq!(sk.decrypt(&c2).unwrap(), BigUint::from_u64(99));
+        assert!(Ciphertext::from_biguint(&sk.public, BigUint::zero()).is_err());
+    }
+
+    #[test]
+    fn accumulator_pattern() {
+        // Homomorphic running total, as the single-database deployment
+        // maintains encrypted aggregates per regulated subject.
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut acc = sk.public.encrypt_u64(0, &mut rng).unwrap();
+        let hours = [8u64, 9, 7, 8, 6];
+        for h in hours {
+            let c = sk.public.encrypt_u64(h, &mut rng).unwrap();
+            acc = sk.public.add(&acc, &c).unwrap();
+        }
+        assert_eq!(sk.decrypt(&acc).unwrap(), BigUint::from_u64(38));
+    }
+}

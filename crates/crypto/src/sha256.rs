@@ -1,0 +1,330 @@
+//! SHA-256 (FIPS 180-4), implemented from scratch.
+//!
+//! This is the only hash function used in the workspace: Merkle trees,
+//! HMAC, Fiat–Shamir transcripts, full-domain-hash signatures, and ledger
+//! digests all bottom out here.
+
+/// A 32-byte SHA-256 digest.
+///
+/// Wraps `[u8; 32]` so digests get `Display` (lowercase hex) and a
+/// collision-resistant, order-preserving `Ord` for use as map keys.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as a sentinel (e.g. the hash "before" a
+    /// ledger's genesis entry).
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Returns the digest as a byte slice.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Renders the digest as lowercase hex.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parses a 64-character hex string into a digest.
+    pub fn from_hex(hex: &str) -> Option<Digest> {
+        let hex = hex.trim();
+        if hex.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, chunk) in hex.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+
+    /// XOR-combines two digests (used by XOR-PIR response aggregation).
+    pub fn xor(&self, other: &Digest) -> Digest {
+        let mut out = [0u8; 32];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(&other.0)) {
+            *o = a ^ b;
+        }
+        Digest(out)
+    }
+}
+
+impl std::fmt::Debug for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Digest({}…)", &self.to_hex()[..12])
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+///
+/// ```
+/// use prever_crypto::sha256::Sha256;
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// assert_eq!(
+///     h.finalize().to_hex(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 { state: H0, buf: [0u8; 64], buf_len: 0, total_len: 0 }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finishes the hash and returns the digest, consuming the hasher.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80 then zeros then 8-byte big-endian bit length.
+        self.update_padding(bit_len);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn update_padding(&mut self, bit_len: u64) {
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 56 { 56 - self.buf_len } else { 120 - self.buf_len };
+        pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        // Bypass total_len accounting: padding is not message data.
+        let data = pad[..pad_len + 8].to_vec();
+        let mut rest = &data[..];
+        while !rest.is_empty() {
+            let take = (64 - self.buf_len).min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        debug_assert_eq!(self.buf_len, 0);
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([block[4 * i], block[4 * i + 1], block[4 * i + 2], block[4 * i + 3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256 of `data`.
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// One-shot SHA-256 over the concatenation of several slices, without
+/// intermediate allocation.
+pub fn sha256_concat(parts: &[&[u8]]) -> Digest {
+    let mut h = Sha256::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NIST / well-known test vectors.
+    #[test]
+    fn empty_string() {
+        assert_eq!(
+            sha256(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            sha256(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256(&data).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        for chunk in [1usize, 3, 7, 63, 64, 65, 1000] {
+            let mut h = Sha256::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), sha256(&data), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn exact_block_boundary_lengths() {
+        // Lengths around the padding edge cases: 55, 56, 63, 64, 119, 120.
+        for len in [0usize, 1, 55, 56, 57, 63, 64, 65, 119, 120, 121, 128] {
+            let data = vec![0xabu8; len];
+            let mut h = Sha256::new();
+            h.update(&data);
+            let d1 = h.finalize();
+            let d2 = sha256(&data);
+            assert_eq!(d1, d2, "len {len}");
+        }
+    }
+
+    #[test]
+    fn concat_equals_joined() {
+        let d1 = sha256_concat(&[b"hello, ", b"world"]);
+        let d2 = sha256(b"hello, world");
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = sha256(b"roundtrip");
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Digest::from_hex("zz"), None);
+        assert_eq!(Digest::from_hex(&"0".repeat(63)), None);
+    }
+
+    #[test]
+    fn xor_is_involutive() {
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        assert_eq!(a.xor(&b).xor(&b), a);
+        assert_eq!(a.xor(&a), Digest::ZERO);
+    }
+}

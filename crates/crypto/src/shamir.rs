@@ -1,0 +1,234 @@
+//! Secret sharing over [`Fp61`]: Shamir threshold sharing and additive
+//! n-of-n sharing.
+//!
+//! Research Challenge 2 asks federated data managers to "verify distributed
+//! constraints over distributed private data". The MPC substrate
+//! (`prever-mpc`) splits every private value into shares with this module:
+//! additive shares for linear protocols (secure sum) and Shamir shares when
+//! a threshold-t reconstruction or multiplication-friendly degree structure
+//! is needed.
+
+use crate::field::Fp61;
+use crate::{CryptoError, Result};
+use rand::Rng;
+
+/// One Shamir share: the polynomial evaluated at point `x`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Share {
+    /// Evaluation point (never zero — zero is the secret itself).
+    pub x: Fp61,
+    /// Polynomial value at `x`.
+    pub y: Fp61,
+}
+
+/// Splits `secret` into `n` Shamir shares with reconstruction threshold
+/// `t` (any `t` shares reconstruct; `t − 1` reveal nothing).
+///
+/// Shares are issued at points `x = 1..=n`.
+pub fn share<R: Rng + ?Sized>(
+    secret: Fp61,
+    t: usize,
+    n: usize,
+    rng: &mut R,
+) -> Result<Vec<Share>> {
+    if t == 0 || t > n {
+        return Err(CryptoError::OutOfRange("threshold must satisfy 1 <= t <= n"));
+    }
+    if n as u64 >= crate::field::P {
+        return Err(CryptoError::OutOfRange("too many shares for field"));
+    }
+    // Random polynomial of degree t-1 with constant term = secret.
+    let mut coeffs = Vec::with_capacity(t);
+    coeffs.push(secret);
+    for _ in 1..t {
+        coeffs.push(Fp61::random(rng));
+    }
+    let mut shares = Vec::with_capacity(n);
+    for i in 1..=n {
+        let x = Fp61::new(i as u64);
+        shares.push(Share { x, y: eval_poly(&coeffs, x) });
+    }
+    Ok(shares)
+}
+
+fn eval_poly(coeffs: &[Fp61], x: Fp61) -> Fp61 {
+    // Horner's rule.
+    let mut acc = Fp61::ZERO;
+    for &c in coeffs.iter().rev() {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+/// Reconstructs the secret from at least `t` shares by Lagrange
+/// interpolation at zero.
+pub fn reconstruct(shares: &[Share], t: usize) -> Result<Fp61> {
+    if shares.len() < t {
+        return Err(CryptoError::InsufficientShares { needed: t, got: shares.len() });
+    }
+    let shares = &shares[..t];
+    for (i, a) in shares.iter().enumerate() {
+        if a.x.is_zero() {
+            return Err(CryptoError::Malformed("share at x = 0"));
+        }
+        for b in &shares[i + 1..] {
+            if a.x == b.x {
+                return Err(CryptoError::DuplicateShare);
+            }
+        }
+    }
+    let mut secret = Fp61::ZERO;
+    for (i, si) in shares.iter().enumerate() {
+        // Lagrange basis at zero: prod_{j != i} x_j / (x_j - x_i).
+        let mut num = Fp61::ONE;
+        let mut den = Fp61::ONE;
+        for (j, sj) in shares.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num *= sj.x;
+            den *= sj.x - si.x;
+        }
+        let basis = num * den.inv().ok_or(CryptoError::DuplicateShare)?;
+        secret += si.y * basis;
+    }
+    Ok(secret)
+}
+
+/// Splits `secret` into `n` additive shares (all `n` required).
+pub fn share_additive<R: Rng + ?Sized>(secret: Fp61, n: usize, rng: &mut R) -> Vec<Fp61> {
+    assert!(n >= 1, "need at least one additive share");
+    let mut shares = Vec::with_capacity(n);
+    let mut sum = Fp61::ZERO;
+    for _ in 0..n - 1 {
+        let s = Fp61::random(rng);
+        sum += s;
+        shares.push(s);
+    }
+    shares.push(secret - sum);
+    shares
+}
+
+/// Reconstructs an additively shared secret (sum of all shares).
+pub fn reconstruct_additive(shares: &[Fp61]) -> Fp61 {
+    shares.iter().copied().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn roundtrip_basic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let secret = Fp61::new(40); // hours worked this week
+        let shares = share(secret, 3, 5, &mut rng).unwrap();
+        assert_eq!(shares.len(), 5);
+        assert_eq!(reconstruct(&shares[..3], 3).unwrap(), secret);
+        assert_eq!(reconstruct(&shares[2..], 3).unwrap(), secret);
+        assert_eq!(reconstruct(&shares, 3).unwrap(), secret);
+    }
+
+    #[test]
+    fn too_few_shares_error() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let shares = share(Fp61::new(7), 3, 5, &mut rng).unwrap();
+        assert_eq!(
+            reconstruct(&shares[..2], 3).unwrap_err(),
+            CryptoError::InsufficientShares { needed: 3, got: 2 }
+        );
+    }
+
+    #[test]
+    fn wrong_subset_of_t_minus_1_gives_no_information() {
+        // Two different secrets can produce identical share prefixes under
+        // suitable polynomials; here we check the weaker, testable fact
+        // that t-1 shares reconstruct to *something else* than forcing the
+        // secret (interpolating t-1 points with threshold t-1 yields an
+        // unrelated value).
+        let mut rng = StdRng::seed_from_u64(99);
+        let secret = Fp61::new(1234);
+        let shares = share(secret, 3, 5, &mut rng).unwrap();
+        let guess = reconstruct(&shares[..2], 2).unwrap();
+        assert_ne!(guess, secret);
+    }
+
+    #[test]
+    fn duplicate_share_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let shares = share(Fp61::new(7), 2, 3, &mut rng).unwrap();
+        let dup = [shares[0], shares[0]];
+        assert_eq!(reconstruct(&dup, 2).unwrap_err(), CryptoError::DuplicateShare);
+    }
+
+    #[test]
+    fn invalid_threshold_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(share(Fp61::new(1), 0, 5, &mut rng).is_err());
+        assert!(share(Fp61::new(1), 6, 5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn shamir_is_linear() {
+        // Share-wise addition of two sharings reconstructs to the sum —
+        // the property secure aggregation relies on.
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Fp61::new(30);
+        let b = Fp61::new(12);
+        let sa = share(a, 3, 5, &mut rng).unwrap();
+        let sb = share(b, 3, 5, &mut rng).unwrap();
+        let sum: Vec<Share> = sa
+            .iter()
+            .zip(&sb)
+            .map(|(x, y)| Share { x: x.x, y: x.y + y.y })
+            .collect();
+        assert_eq!(reconstruct(&sum, 3).unwrap(), a + b);
+    }
+
+    #[test]
+    fn additive_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in 1..10 {
+            let secret = Fp61::new(424242);
+            let shares = share_additive(secret, n, &mut rng);
+            assert_eq!(shares.len(), n);
+            assert_eq!(reconstruct_additive(&shares), secret);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_shamir_roundtrip(secret in 0u64..crate::field::P, t in 1usize..6, extra in 0usize..4, seed in any::<u64>()) {
+            let n = t + extra;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = Fp61::new(secret);
+            let shares = share(s, t, n, &mut rng).unwrap();
+            prop_assert_eq!(reconstruct(&shares, t).unwrap(), s);
+        }
+
+        #[test]
+        fn prop_additive_roundtrip(secret in 0u64..crate::field::P, n in 1usize..12, seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = Fp61::new(secret);
+            let shares = share_additive(s, n, &mut rng);
+            prop_assert_eq!(reconstruct_additive(&shares), s);
+        }
+
+        #[test]
+        fn prop_additive_single_share_leaks_nothing_structurally(
+            secret in 0u64..crate::field::P, seed in any::<u64>()
+        ) {
+            // With n >= 2 the first share is a uniform field element
+            // independent of the secret; we can at least check it varies
+            // with the RNG and not with the secret.
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let s1 = share_additive(Fp61::new(secret), 3, &mut r1);
+            let s2 = share_additive(Fp61::new(secret ^ 1), 3, &mut r2);
+            prop_assert_eq!(s1[0], s2[0]);
+            prop_assert_eq!(s1[1], s2[1]);
+        }
+    }
+}

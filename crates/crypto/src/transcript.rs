@@ -1,0 +1,143 @@
+//! Fiat–Shamir transcripts.
+//!
+//! A transcript deterministically derives sigma-protocol challenges from
+//! everything both prover and verifier have seen, turning the interactive
+//! zero-knowledge proofs in [`crate::schnorr`] into non-interactive ones.
+//! Each absorbed item is framed as `label || len(data) || data` so that
+//! distinct message sequences can never collide.
+
+use crate::bignum::BigUint;
+use crate::sha256::{Digest, Sha256};
+
+/// A running Fiat–Shamir transcript.
+#[derive(Clone)]
+pub struct Transcript {
+    hasher: Sha256,
+}
+
+impl Transcript {
+    /// Starts a transcript under a protocol domain-separation label.
+    pub fn new(domain: &str) -> Self {
+        let mut hasher = Sha256::new();
+        absorb(&mut hasher, b"domain", domain.as_bytes());
+        Transcript { hasher }
+    }
+
+    /// Absorbs labeled bytes.
+    pub fn append_bytes(&mut self, label: &str, data: &[u8]) {
+        absorb(&mut self.hasher, label.as_bytes(), data);
+    }
+
+    /// Absorbs a labeled big integer.
+    pub fn append_biguint(&mut self, label: &str, v: &BigUint) {
+        self.append_bytes(label, &v.to_bytes_be());
+    }
+
+    /// Absorbs a labeled `u64`.
+    pub fn append_u64(&mut self, label: &str, v: u64) {
+        self.append_bytes(label, &v.to_be_bytes());
+    }
+
+    /// Derives a 32-byte challenge, folding it back into the transcript so
+    /// later challenges depend on earlier ones.
+    pub fn challenge_bytes(&mut self, label: &str) -> Digest {
+        let mut fork = self.hasher.clone();
+        absorb(&mut fork, b"challenge", label.as_bytes());
+        let digest = fork.finalize();
+        self.append_bytes("chained-challenge", digest.as_bytes());
+        digest
+    }
+
+    /// Derives a challenge reduced into `[0, bound)`.
+    ///
+    /// Concatenates enough challenge blocks to exceed `bound` by 128 bits,
+    /// making the modular reduction bias negligible.
+    pub fn challenge_below(&mut self, label: &str, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero(), "challenge bound must be non-zero");
+        let need_bytes = bound.bits().div_ceil(8) + 16;
+        let mut material = Vec::with_capacity(need_bytes);
+        let mut counter = 0u64;
+        while material.len() < need_bytes {
+            let mut fork = self.hasher.clone();
+            absorb(&mut fork, b"challenge", label.as_bytes());
+            absorb(&mut fork, b"counter", &counter.to_be_bytes());
+            material.extend_from_slice(fork.finalize().as_bytes());
+            counter += 1;
+        }
+        let digest = crate::sha256::sha256(&material);
+        self.append_bytes("chained-challenge", digest.as_bytes());
+        BigUint::from_bytes_be(&material)
+            .rem(bound)
+            .expect("bound checked non-zero")
+    }
+}
+
+fn absorb(hasher: &mut Sha256, label: &[u8], data: &[u8]) {
+    hasher.update(&(label.len() as u64).to_be_bytes());
+    hasher.update(label);
+    hasher.update(&(data.len() as u64).to_be_bytes());
+    hasher.update(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut t1 = Transcript::new("test");
+        let mut t2 = Transcript::new("test");
+        t1.append_bytes("m", b"hello");
+        t2.append_bytes("m", b"hello");
+        assert_eq!(t1.challenge_bytes("c"), t2.challenge_bytes("c"));
+    }
+
+    #[test]
+    fn domain_separation() {
+        let mut t1 = Transcript::new("proto-a");
+        let mut t2 = Transcript::new("proto-b");
+        assert_ne!(t1.challenge_bytes("c"), t2.challenge_bytes("c"));
+    }
+
+    #[test]
+    fn framing_prevents_ambiguity() {
+        // ("ab", "c") vs ("a", "bc") must diverge.
+        let mut t1 = Transcript::new("t");
+        t1.append_bytes("x", b"ab");
+        t1.append_bytes("y", b"c");
+        let mut t2 = Transcript::new("t");
+        t2.append_bytes("x", b"a");
+        t2.append_bytes("y", b"bc");
+        assert_ne!(t1.challenge_bytes("c"), t2.challenge_bytes("c"));
+    }
+
+    #[test]
+    fn challenges_are_chained() {
+        let mut t = Transcript::new("t");
+        let c1 = t.challenge_bytes("c");
+        let c2 = t.challenge_bytes("c");
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn challenge_below_in_range() {
+        let bound = BigUint::from_hex("abcdef0123456789").unwrap();
+        let mut t = Transcript::new("t");
+        for i in 0..50 {
+            t.append_u64("i", i);
+            let c = t.challenge_below("c", &bound);
+            assert!(c < bound);
+        }
+    }
+
+    #[test]
+    fn message_order_matters() {
+        let mut t1 = Transcript::new("t");
+        t1.append_u64("a", 1);
+        t1.append_u64("b", 2);
+        let mut t2 = Transcript::new("t");
+        t2.append_u64("b", 2);
+        t2.append_u64("a", 1);
+        assert_ne!(t1.challenge_bytes("c"), t2.challenge_bytes("c"));
+    }
+}

@@ -1,0 +1,67 @@
+//! The Laplace mechanism.
+
+use crate::{DpError, Result};
+use rand::Rng;
+
+/// Samples Laplace(0, scale) noise by inverse-CDF transform.
+pub fn laplace_noise<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
+    // u uniform in (-1/2, 1/2); X = -scale * sgn(u) * ln(1 - 2|u|).
+    let u: f64 = rng.gen::<f64>() - 0.5;
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// Releases `value + Laplace(sensitivity/ε)` — the ε-DP Laplace
+/// mechanism for a query of the given L1 sensitivity.
+pub fn laplace_mechanism<R: Rng + ?Sized>(
+    value: f64,
+    sensitivity: f64,
+    epsilon: f64,
+    rng: &mut R,
+) -> Result<f64> {
+    if epsilon <= 0.0 || !epsilon.is_finite() {
+        return Err(DpError::InvalidEpsilon(epsilon));
+    }
+    Ok(value + laplace_noise(sensitivity / epsilon, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn noise_is_centered_and_scaled() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scale = 3.0;
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| laplace_noise(scale, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        // Laplace(b): mean 0, variance 2b².
+        assert!(mean.abs() < 0.2, "mean {mean}");
+        assert!((var - 2.0 * scale * scale).abs() < 2.0, "variance {var}");
+    }
+
+    #[test]
+    fn smaller_epsilon_means_more_noise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spread = |eps: f64, rng: &mut StdRng| {
+            let mut acc = 0.0;
+            for _ in 0..2000 {
+                acc += laplace_mechanism(0.0, 1.0, eps, rng).unwrap().abs();
+            }
+            acc / 2000.0
+        };
+        let tight = spread(10.0, &mut rng);
+        let loose = spread(0.1, &mut rng);
+        assert!(loose > tight * 10.0, "ε=0.1 spread {loose} vs ε=10 spread {tight}");
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(laplace_mechanism(1.0, 1.0, 0.0, &mut rng).is_err());
+        assert!(laplace_mechanism(1.0, 1.0, -1.0, &mut rng).is_err());
+        assert!(laplace_mechanism(1.0, 1.0, f64::NAN, &mut rng).is_err());
+    }
+}

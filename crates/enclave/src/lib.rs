@@ -1,0 +1,323 @@
+//! # prever-enclave
+//!
+//! A software-simulated trusted execution environment.
+//!
+//! Research Challenge 1 lists "secure hardware, i.e., hardware protected
+//! computation" (Cipherbase, TrustedDB, EnclaveDB, enclave-native
+//! storage engines) as the performant alternative to cryptographic
+//! constraint checking, while noting its scalability limits. No SGX-class
+//! hardware is available here, so this crate simulates the architectural
+//! contract (see DESIGN.md's substitution table):
+//!
+//! * **sealed state** — enclave memory is represented encrypted-at-rest
+//!   (HKDF-derived keystream + HMAC authentication), so host code cannot
+//!   read or tamper with it undetected;
+//! * **measurement & attestation** — the enclave reports
+//!   `HMAC(platform_key, measurement ‖ nonce)`, verifiable by a relying
+//!   party holding the platform key (the simulation's stand-in for the
+//!   attestation service);
+//! * **a transition cost model** — every ecall/ocall pays a fixed
+//!   virtual-cycle toll, the dominant real-world cost that experiment E2
+//!   charges when comparing enclave-based constraint checking against
+//!   Paillier and plaintext paths.
+//!
+//! The enclave's one workload in PReVer is [`Enclave::check_bound`]:
+//! maintain per-subject aggregates in sealed state and verify bound
+//! regulations on plaintext *inside* the boundary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use prever_crypto::hmac::{hkdf, hmac_sha256};
+use prever_crypto::sha256::{sha256, Digest};
+use std::collections::BTreeMap;
+
+/// Virtual cycles charged per enclave transition (ecall or ocall).
+/// Order-of-magnitude of published SGX transition costs (~8k cycles).
+pub const TRANSITION_CYCLES: u64 = 8_000;
+
+/// Errors from the simulated enclave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnclaveError {
+    /// Sealed blob failed authentication (host tampering).
+    SealTampered,
+    /// Attestation verification failed.
+    AttestationInvalid,
+}
+
+impl std::fmt::Display for EnclaveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnclaveError::SealTampered => write!(f, "sealed state failed authentication"),
+            EnclaveError::AttestationInvalid => write!(f, "attestation report invalid"),
+        }
+    }
+}
+
+impl std::error::Error for EnclaveError {}
+
+/// A sealed (encrypted + authenticated) state blob as the host sees it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SealedBlob {
+    ciphertext: Vec<u8>,
+    tag: Digest,
+}
+
+/// An attestation report binding a measurement to a relying party's
+/// nonce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttestationReport {
+    /// The enclave's code measurement.
+    pub measurement: Digest,
+    /// The relying party's nonce.
+    pub nonce: [u8; 32],
+    /// `HMAC(platform_key, measurement ‖ nonce)`.
+    pub mac: Digest,
+}
+
+impl AttestationReport {
+    /// Verifies the report under the platform key.
+    pub fn verify(&self, platform_key: &[u8]) -> Result<(), EnclaveError> {
+        let mut msg = Vec::with_capacity(64);
+        msg.extend_from_slice(self.measurement.as_bytes());
+        msg.extend_from_slice(&self.nonce);
+        if hmac_sha256(platform_key, &msg) == self.mac {
+            Ok(())
+        } else {
+            Err(EnclaveError::AttestationInvalid)
+        }
+    }
+}
+
+/// The simulated enclave: per-subject bound aggregates in sealed state.
+pub struct Enclave {
+    measurement: Digest,
+    seal_key: Vec<u8>,
+    platform_key: Vec<u8>,
+    /// In-enclave plaintext state: subject → accumulated total.
+    state: BTreeMap<String, i64>,
+    /// Virtual cycles consumed by transitions.
+    pub cycles: u64,
+    /// Number of ecalls serviced.
+    pub ecalls: u64,
+}
+
+impl Enclave {
+    /// "Loads" an enclave: the measurement is the hash of the (simulated)
+    /// code identity; keys derive from the platform secret.
+    pub fn load(code_identity: &[u8], platform_secret: &[u8]) -> Self {
+        let measurement = sha256(code_identity);
+        let seal_key = hkdf(platform_secret, measurement.as_bytes(), b"seal", 32);
+        let platform_key = hkdf(platform_secret, b"", b"attest", 32);
+        Enclave {
+            measurement,
+            seal_key,
+            platform_key,
+            state: BTreeMap::new(),
+            cycles: 0,
+            ecalls: 0,
+        }
+    }
+
+    /// The enclave's measurement.
+    pub fn measurement(&self) -> Digest {
+        self.measurement
+    }
+
+    fn transition(&mut self) {
+        self.cycles += TRANSITION_CYCLES;
+        self.ecalls += 1;
+    }
+
+    /// Produces an attestation report for `nonce`.
+    pub fn attest(&mut self, nonce: [u8; 32]) -> AttestationReport {
+        self.transition();
+        let mut msg = Vec::with_capacity(64);
+        msg.extend_from_slice(self.measurement.as_bytes());
+        msg.extend_from_slice(&nonce);
+        AttestationReport {
+            measurement: self.measurement,
+            nonce,
+            mac: hmac_sha256(&self.platform_key, &msg),
+        }
+    }
+
+    /// The platform verification key a relying party would obtain from
+    /// the attestation service.
+    pub fn platform_verification_key(&self) -> &[u8] {
+        &self.platform_key
+    }
+
+    /// Ecall: add `amount` for `subject` iff the new total stays
+    /// ≤ `bound`. Returns whether the update was admitted. This is the
+    /// enclave path of private constraint verification: the host never
+    /// sees `amount`, `subject` totals, or anything but the verdict.
+    pub fn check_bound(&mut self, subject: &str, amount: i64, bound: i64) -> bool {
+        self.transition();
+        let total = self.state.get(subject).copied().unwrap_or(0);
+        if total + amount <= bound {
+            self.state.insert(subject.to_string(), total + amount);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Seals the current state for host storage.
+    pub fn seal(&mut self) -> SealedBlob {
+        self.transition();
+        let mut plaintext = Vec::new();
+        plaintext.extend_from_slice(&(self.state.len() as u64).to_be_bytes());
+        for (k, v) in &self.state {
+            plaintext.extend_from_slice(&(k.len() as u64).to_be_bytes());
+            plaintext.extend_from_slice(k.as_bytes());
+            plaintext.extend_from_slice(&v.to_be_bytes());
+        }
+        let ciphertext = keystream_xor(&self.seal_key, &plaintext);
+        let tag = hmac_sha256(&self.seal_key, &ciphertext);
+        SealedBlob { ciphertext, tag }
+    }
+
+    /// Unseals host-provided state, rejecting tampered blobs.
+    pub fn unseal(&mut self, blob: &SealedBlob) -> Result<(), EnclaveError> {
+        self.transition();
+        if hmac_sha256(&self.seal_key, &blob.ciphertext) != blob.tag {
+            return Err(EnclaveError::SealTampered);
+        }
+        let plaintext = keystream_xor(&self.seal_key, &blob.ciphertext);
+        let mut state = BTreeMap::new();
+        let mut cur = &plaintext[..];
+        let n = read_u64(&mut cur).ok_or(EnclaveError::SealTampered)?;
+        for _ in 0..n {
+            let klen = read_u64(&mut cur).ok_or(EnclaveError::SealTampered)? as usize;
+            if cur.len() < klen + 8 {
+                return Err(EnclaveError::SealTampered);
+            }
+            let key = String::from_utf8(cur[..klen].to_vec())
+                .map_err(|_| EnclaveError::SealTampered)?;
+            cur = &cur[klen..];
+            let mut vb = [0u8; 8];
+            vb.copy_from_slice(&cur[..8]);
+            cur = &cur[8..];
+            state.insert(key, i64::from_be_bytes(vb));
+        }
+        self.state = state;
+        Ok(())
+    }
+
+    /// In-enclave total for a subject (test oracle; a real enclave would
+    /// not export this).
+    #[doc(hidden)]
+    pub fn debug_total(&self, subject: &str) -> i64 {
+        self.state.get(subject).copied().unwrap_or(0)
+    }
+}
+
+fn read_u64(cur: &mut &[u8]) -> Option<u64> {
+    if cur.len() < 8 {
+        return None;
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&cur[..8]);
+    *cur = &cur[8..];
+    Some(u64::from_be_bytes(b))
+}
+
+/// HKDF-expanded keystream XOR (stream cipher for the simulation).
+fn keystream_xor(key: &[u8], data: &[u8]) -> Vec<u8> {
+    let stream = hkdf(key, b"keystream", b"enclave-seal", data.len().max(1));
+    data.iter().zip(stream).map(|(d, s)| d ^ s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enclave() -> Enclave {
+        Enclave::load(b"prever-bound-checker-v1", b"platform-secret")
+    }
+
+    #[test]
+    fn bound_checking_inside_enclave() {
+        let mut e = enclave();
+        assert!(e.check_bound("worker-1", 20, 40));
+        assert!(e.check_bound("worker-1", 20, 40));
+        assert!(!e.check_bound("worker-1", 1, 40), "41st hour rejected");
+        assert!(e.check_bound("worker-2", 40, 40), "per-subject state");
+        assert_eq!(e.debug_total("worker-1"), 40);
+    }
+
+    #[test]
+    fn transition_costs_accrue() {
+        let mut e = enclave();
+        let before = e.cycles;
+        e.check_bound("w", 1, 10);
+        e.check_bound("w", 1, 10);
+        assert_eq!(e.cycles - before, 2 * TRANSITION_CYCLES);
+        assert_eq!(e.ecalls, 2);
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let mut e = enclave();
+        e.check_bound("w1", 12, 40);
+        e.check_bound("w2", 7, 40);
+        let blob = e.seal();
+        // A fresh enclave with the same identity restores the state.
+        let mut e2 = enclave();
+        e2.unseal(&blob).unwrap();
+        assert_eq!(e2.debug_total("w1"), 12);
+        assert_eq!(e2.debug_total("w2"), 7);
+    }
+
+    #[test]
+    fn sealed_blob_is_ciphertext() {
+        let mut e = enclave();
+        e.check_bound("super-secret-subject", 12, 40);
+        let blob = e.seal();
+        let haystack = blob.ciphertext.clone();
+        assert!(
+            !contains(&haystack, b"super-secret-subject"),
+            "subject id leaked in sealed blob"
+        );
+    }
+
+    #[test]
+    fn tampered_blob_rejected() {
+        let mut e = enclave();
+        e.check_bound("w", 5, 40);
+        let mut blob = e.seal();
+        blob.ciphertext[0] ^= 1;
+        assert_eq!(e.unseal(&blob).unwrap_err(), EnclaveError::SealTampered);
+    }
+
+    #[test]
+    fn different_enclave_identity_cannot_unseal() {
+        let mut e = enclave();
+        e.check_bound("w", 5, 40);
+        let blob = e.seal();
+        let mut other = Enclave::load(b"different-code", b"platform-secret");
+        assert_eq!(other.unseal(&blob).unwrap_err(), EnclaveError::SealTampered);
+    }
+
+    #[test]
+    fn attestation_roundtrip() {
+        let mut e = enclave();
+        let nonce = [7u8; 32];
+        let report = e.attest(nonce);
+        report.verify(e.platform_verification_key()).unwrap();
+        // Wrong key fails.
+        assert_eq!(
+            report.verify(b"not-the-platform-key").unwrap_err(),
+            EnclaveError::AttestationInvalid
+        );
+        // Tampered measurement fails.
+        let mut bad = report.clone();
+        bad.measurement = sha256(b"evil");
+        assert!(bad.verify(e.platform_verification_key()).is_err());
+    }
+
+    fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+        haystack.windows(needle.len()).any(|w| w == needle)
+    }
+}

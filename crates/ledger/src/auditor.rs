@@ -1,0 +1,157 @@
+//! The auditor state machine: continuous, client-side ledger verification.
+//!
+//! Any PReVer participant — data owner, producer, or external regulator —
+//! can run an [`Auditor`]. It stores only the latest digest it has
+//! accepted (O(1) state) and refuses to advance unless the data manager
+//! supplies a valid consistency proof, which makes history rewrites
+//! detectable the moment the manager publishes its next digest.
+
+use crate::journal::{Journal, JournalEntry, LedgerDigest};
+use crate::{LedgerError, Result};
+use prever_crypto::merkle::{ConsistencyProof, InclusionProof};
+
+/// A client-side ledger auditor.
+#[derive(Clone, Debug, Default)]
+pub struct Auditor {
+    trusted: Option<LedgerDigest>,
+    digests_accepted: u64,
+    tampers_detected: u64,
+}
+
+impl Auditor {
+    /// A fresh auditor that has seen nothing yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The digest the auditor currently trusts.
+    pub fn trusted_digest(&self) -> Option<&LedgerDigest> {
+        self.trusted.as_ref()
+    }
+
+    /// Number of digests accepted so far.
+    pub fn digests_accepted(&self) -> u64 {
+        self.digests_accepted
+    }
+
+    /// Number of verification failures observed.
+    pub fn tampers_detected(&self) -> u64 {
+        self.tampers_detected
+    }
+
+    /// Observes a new digest with its consistency proof from the trusted
+    /// digest. The first digest is trusted on first use (TOFU), as with
+    /// ledger databases in practice.
+    pub fn observe(&mut self, new: LedgerDigest, proof: &ConsistencyProof) -> Result<()> {
+        match &self.trusted {
+            None => {
+                self.trusted = Some(new);
+                self.digests_accepted += 1;
+                Ok(())
+            }
+            Some(old) => match Journal::verify_consistency(old, &new, proof) {
+                Ok(()) => {
+                    self.trusted = Some(new);
+                    self.digests_accepted += 1;
+                    Ok(())
+                }
+                Err(e) => {
+                    self.tampers_detected += 1;
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// Checks that an entry is included under the trusted digest.
+    pub fn check_entry(&mut self, entry: &JournalEntry, proof: &InclusionProof) -> Result<()> {
+        let digest = self
+            .trusted
+            .as_ref()
+            .ok_or(LedgerError::OutOfRange("auditor has no trusted digest"))?;
+        match Journal::verify_inclusion(entry, proof, digest) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.tampers_detected += 1;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn journal_of(n: usize) -> Journal {
+        let mut j = Journal::new();
+        for i in 0..n {
+            j.append(i as u64, Bytes::from(format!("u{i}")));
+        }
+        j
+    }
+
+    #[test]
+    fn follows_honest_ledger() {
+        let mut j = Journal::new();
+        let mut auditor = Auditor::new();
+        for round in 0..5u64 {
+            for i in 0..3 {
+                j.append(round * 3 + i, Bytes::from(format!("u{round}-{i}")));
+            }
+            let new = j.digest();
+            let old_size = auditor.trusted_digest().map(|d| d.size).unwrap_or(0);
+            let proof = j.prove_consistency(old_size, new.size).unwrap();
+            auditor.observe(new, &proof).unwrap();
+        }
+        assert_eq!(auditor.digests_accepted(), 5);
+        assert_eq!(auditor.tampers_detected(), 0);
+        assert_eq!(auditor.trusted_digest().unwrap().size, 15);
+    }
+
+    #[test]
+    fn detects_rewrite_between_digests() {
+        let honest = journal_of(6);
+        let mut auditor = Auditor::new();
+        let d = honest.digest();
+        let p = honest.prove_consistency(0, 6).unwrap();
+        auditor.observe(d, &p).unwrap();
+
+        // The manager rewrites entry 1 and re-journals.
+        let mut evil = Journal::new();
+        for i in 0..8 {
+            let payload = if i == 1 { "EVIL".to_string() } else { format!("u{i}") };
+            evil.append(i as u64, Bytes::from(payload));
+        }
+        let new = evil.digest();
+        let proof = evil.prove_consistency(6, 8).unwrap();
+        assert!(auditor.observe(new, &proof).is_err());
+        assert_eq!(auditor.tampers_detected(), 1);
+        // Trusted digest unchanged.
+        assert_eq!(auditor.trusted_digest().unwrap().size, 6);
+    }
+
+    #[test]
+    fn check_entry_against_trusted_digest() {
+        let j = journal_of(10);
+        let mut auditor = Auditor::new();
+        let d = j.digest();
+        auditor.observe(d.clone(), &j.prove_consistency(0, 10).unwrap()).unwrap();
+        let proof = j.prove_inclusion(7, d.size).unwrap();
+        auditor.check_entry(j.entry(7).unwrap(), &proof).unwrap();
+        // Forged entry fails and is counted.
+        let mut forged = j.entry(7).unwrap().clone();
+        forged.payload = Bytes::from_static(b"FORGED");
+        assert!(auditor.check_entry(&forged, &proof).is_err());
+        assert_eq!(auditor.tampers_detected(), 1);
+    }
+
+    #[test]
+    fn check_entry_requires_a_digest() {
+        let j = journal_of(3);
+        let mut auditor = Auditor::new();
+        let proof = j.prove_inclusion(0, 3).unwrap();
+        assert!(auditor.check_entry(j.entry(0).unwrap(), &proof).is_err());
+    }
+}

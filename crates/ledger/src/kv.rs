@@ -1,0 +1,303 @@
+//! A verifiable key-value state over the journal (QLDB-style).
+//!
+//! Every `put`/`delete` journals a [`KvOp`]; the current state and each
+//! key's full revision history are derived views. Any revision can be
+//! proven present under a published digest.
+
+use crate::journal::{Journal, LedgerDigest};
+use crate::{LedgerError, Result};
+use bytes::Bytes;
+use prever_crypto::merkle::InclusionProof;
+use std::collections::BTreeMap;
+
+/// A journaled key-value operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvOp {
+    /// Set `key` to `value`.
+    Put {
+        /// Key.
+        key: String,
+        /// New value.
+        value: Bytes,
+    },
+    /// Remove `key`.
+    Delete {
+        /// Key.
+        key: String,
+    },
+}
+
+impl KvOp {
+    /// Stable binary encoding journaled as the entry payload.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::new();
+        match self {
+            KvOp::Put { key, value } => {
+                out.push(0);
+                out.extend_from_slice(&(key.len() as u64).to_be_bytes());
+                out.extend_from_slice(key.as_bytes());
+                out.extend_from_slice(&(value.len() as u64).to_be_bytes());
+                out.extend_from_slice(value);
+            }
+            KvOp::Delete { key } => {
+                out.push(1);
+                out.extend_from_slice(&(key.len() as u64).to_be_bytes());
+                out.extend_from_slice(key.as_bytes());
+            }
+        }
+        Bytes::from(out)
+    }
+
+    /// Decodes an encoded op (auditor replay).
+    pub fn decode(bytes: &[u8]) -> Result<KvOp> {
+        fn take_len(b: &[u8]) -> Result<(usize, &[u8])> {
+            if b.len() < 8 {
+                return Err(LedgerError::OutOfRange("truncated op"));
+            }
+            let mut len = [0u8; 8];
+            len.copy_from_slice(&b[..8]);
+            Ok((u64::from_be_bytes(len) as usize, &b[8..]))
+        }
+        let (&tag, rest) = bytes
+            .split_first()
+            .ok_or(LedgerError::OutOfRange("empty op"))?;
+        let (klen, rest) = take_len(rest)?;
+        if rest.len() < klen {
+            return Err(LedgerError::OutOfRange("truncated key"));
+        }
+        let key = String::from_utf8(rest[..klen].to_vec())
+            .map_err(|_| LedgerError::OutOfRange("non-utf8 key"))?;
+        let rest = &rest[klen..];
+        match tag {
+            0 => {
+                let (vlen, rest) = take_len(rest)?;
+                if rest.len() < vlen {
+                    return Err(LedgerError::OutOfRange("truncated value"));
+                }
+                Ok(KvOp::Put { key, value: Bytes::copy_from_slice(&rest[..vlen]) })
+            }
+            1 => Ok(KvOp::Delete { key }),
+            _ => Err(LedgerError::OutOfRange("unknown op tag")),
+        }
+    }
+}
+
+/// One revision of a key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Revision {
+    /// Revision number of this key (0-based).
+    pub revision: u64,
+    /// Journal sequence number of the op that created it.
+    pub seq: u64,
+    /// Value (`None` = deletion).
+    pub value: Option<Bytes>,
+}
+
+/// A verifiable key-value store with journaled history.
+#[derive(Clone, Debug, Default)]
+pub struct LedgerKv {
+    journal: Journal,
+    state: BTreeMap<String, Bytes>,
+    history: BTreeMap<String, Vec<Revision>>,
+}
+
+impl LedgerKv {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `key` to `value` at logical time `timestamp`.
+    pub fn put(&mut self, timestamp: u64, key: &str, value: Bytes) -> u64 {
+        let op = KvOp::Put { key: key.to_string(), value: value.clone() };
+        let seq = self.journal.append(timestamp, op.encode()).seq;
+        let revs = self.history.entry(key.to_string()).or_default();
+        revs.push(Revision { revision: revs.len() as u64, seq, value: Some(value.clone()) });
+        self.state.insert(key.to_string(), value);
+        seq
+    }
+
+    /// Deletes `key` (journaled even if absent — the journal records the
+    /// attempt, matching ledger-database semantics).
+    pub fn delete(&mut self, timestamp: u64, key: &str) -> u64 {
+        let op = KvOp::Delete { key: key.to_string() };
+        let seq = self.journal.append(timestamp, op.encode()).seq;
+        let revs = self.history.entry(key.to_string()).or_default();
+        revs.push(Revision { revision: revs.len() as u64, seq, value: None });
+        self.state.remove(key);
+        seq
+    }
+
+    /// Current value of `key`.
+    pub fn get(&self, key: &str) -> Option<&Bytes> {
+        self.state.get(key)
+    }
+
+    /// Full revision history of `key` (oldest first).
+    pub fn history(&self, key: &str) -> &[Revision] {
+        self.history.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// True iff no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// The underlying journal (digests, audits).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Current digest.
+    pub fn digest(&self) -> LedgerDigest {
+        self.journal.digest()
+    }
+
+    /// Proves that revision `revision` of `key` is journaled under
+    /// `digest`. Returns the proof and the journal entry sequence.
+    pub fn prove_revision(
+        &self,
+        key: &str,
+        revision: u64,
+        digest: &LedgerDigest,
+    ) -> Result<(InclusionProof, u64)> {
+        let revs = self.history.get(key).ok_or(LedgerError::NoSuchRevision {
+            key: key.to_string(),
+            revision,
+        })?;
+        let rev = revs
+            .get(revision as usize)
+            .ok_or(LedgerError::NoSuchRevision { key: key.to_string(), revision })?;
+        let proof = self.journal.prove_inclusion(rev.seq, digest.size)?;
+        Ok((proof, rev.seq))
+    }
+
+    /// Rebuilds state by replaying a journal, verifying the chain against
+    /// `digest` first. This is what an auditor (or a recovering replica)
+    /// runs to obtain a trusted current state.
+    pub fn replay(journal: Journal, digest: &LedgerDigest) -> Result<LedgerKv> {
+        Journal::verify_chain(journal.entries(), digest)?;
+        let mut kv = LedgerKv { journal: Journal::new(), ..Default::default() };
+        for e in journal.entries() {
+            let op = KvOp::decode(&e.payload)?;
+            match op {
+                KvOp::Put { key, value } => {
+                    kv.put(e.timestamp, &key, value);
+                }
+                KvOp::Delete { key } => {
+                    kv.delete(e.timestamp, &key);
+                }
+            }
+        }
+        // The replayed journal must reproduce the same digest.
+        if kv.digest() != *digest {
+            return Err(LedgerError::TamperDetected("replay digest mismatch"));
+        }
+        Ok(kv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Journal;
+
+    #[test]
+    fn put_get_delete() {
+        let mut kv = LedgerKv::new();
+        kv.put(1, "cert:acme", Bytes::from_static(b"gold"));
+        assert_eq!(kv.get("cert:acme").unwrap().as_ref(), b"gold");
+        kv.put(2, "cert:acme", Bytes::from_static(b"platinum"));
+        assert_eq!(kv.get("cert:acme").unwrap().as_ref(), b"platinum");
+        kv.delete(3, "cert:acme");
+        assert!(kv.get("cert:acme").is_none());
+        assert_eq!(kv.len(), 0);
+    }
+
+    #[test]
+    fn history_records_all_revisions() {
+        let mut kv = LedgerKv::new();
+        kv.put(1, "k", Bytes::from_static(b"v1"));
+        kv.put(2, "k", Bytes::from_static(b"v2"));
+        kv.delete(3, "k");
+        let h = kv.history("k");
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[0].value.as_deref(), Some(b"v1".as_ref()));
+        assert_eq!(h[1].value.as_deref(), Some(b"v2".as_ref()));
+        assert_eq!(h[2].value, None);
+        assert_eq!(h[2].revision, 2);
+        assert!(kv.history("missing").is_empty());
+    }
+
+    #[test]
+    fn prove_revision_roundtrip() {
+        let mut kv = LedgerKv::new();
+        kv.put(1, "a", Bytes::from_static(b"1"));
+        kv.put(2, "b", Bytes::from_static(b"2"));
+        kv.put(3, "a", Bytes::from_static(b"3"));
+        let digest = kv.digest();
+        let (proof, seq) = kv.prove_revision("a", 1, &digest).unwrap();
+        assert_eq!(seq, 2);
+        let entry = kv.journal().entry(seq).unwrap();
+        Journal::verify_inclusion(entry, &proof, &digest).unwrap();
+        // Entry payload decodes to the revision's op.
+        assert_eq!(
+            KvOp::decode(&entry.payload).unwrap(),
+            KvOp::Put { key: "a".into(), value: Bytes::from_static(b"3") }
+        );
+    }
+
+    #[test]
+    fn prove_missing_revision_errors() {
+        let kv = LedgerKv::new();
+        let digest = kv.digest();
+        assert!(matches!(
+            kv.prove_revision("nope", 0, &digest),
+            Err(LedgerError::NoSuchRevision { .. })
+        ));
+    }
+
+    #[test]
+    fn op_encoding_roundtrip() {
+        for op in [
+            KvOp::Put { key: "k".into(), value: Bytes::from_static(b"v") },
+            KvOp::Put { key: String::new(), value: Bytes::new() },
+            KvOp::Delete { key: "k2".into() },
+        ] {
+            assert_eq!(KvOp::decode(&op.encode()).unwrap(), op);
+        }
+        assert!(KvOp::decode(&[]).is_err());
+        assert!(KvOp::decode(&[9, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn replay_reconstructs_state() {
+        let mut kv = LedgerKv::new();
+        kv.put(1, "a", Bytes::from_static(b"1"));
+        kv.put(2, "b", Bytes::from_static(b"2"));
+        kv.delete(3, "a");
+        kv.put(4, "b", Bytes::from_static(b"2b"));
+        let digest = kv.digest();
+        let replayed = LedgerKv::replay(kv.journal().clone(), &digest).unwrap();
+        assert_eq!(replayed.get("a"), None);
+        assert_eq!(replayed.get("b").unwrap().as_ref(), b"2b");
+        assert_eq!(replayed.history("a").len(), 2);
+        assert_eq!(replayed.digest(), digest);
+    }
+
+    #[test]
+    fn replay_rejects_tampered_journal() {
+        let mut kv = LedgerKv::new();
+        kv.put(1, "a", Bytes::from_static(b"1"));
+        let digest = kv.digest();
+        // Forge a different journal claiming the same digest.
+        let mut forged = Journal::new();
+        forged.append(1, KvOp::Put { key: "a".into(), value: Bytes::from_static(b"EVIL") }.encode());
+        assert!(LedgerKv::replay(forged, &digest).is_err());
+    }
+}

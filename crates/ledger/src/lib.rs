@@ -1,0 +1,87 @@
+//! # prever-ledger
+//!
+//! A centralized ledger database in the style of Amazon QLDB and Alibaba
+//! LedgerDB — the single-database infrastructure PReVer's Research
+//! Challenge 4 calls for:
+//!
+//! > "data needs to be stored in an immutable and verifiable manner. …
+//! > When there is a single database maintained by a single data manager,
+//! > the centralized ledger technology can be used as the infrastructure
+//! > of PReVer."
+//!
+//! Three layers:
+//!
+//! * [`journal`] — the append-only [`Journal`]: every committed change is
+//!   an entry in a hash chain *and* a leaf of a Merkle tree. Digests
+//!   published from the journal support inclusion proofs ("this update is
+//!   in the ledger") and consistency proofs ("this digest extends the one
+//!   I saw yesterday — history was not rewritten").
+//! * [`kv`] — [`LedgerKv`]: a verifiable key-value state built over the
+//!   journal with per-key revision history, the shape of QLDB's
+//!   current-state + history views.
+//! * [`auditor`] — [`Auditor`]: the client-side verification state machine
+//!   any PReVer participant runs to continuously check ledger integrity
+//!   (the "enable any participant to verify" half of RC4).
+//! * [`signed`] — [`SignedDigest`] / [`CoSignedDigest`]: non-repudiable
+//!   (co-)signed checkpoints, the accountability layer for covert
+//!   adversaries and federated checkpoint certificates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auditor;
+pub mod journal;
+pub mod kv;
+pub mod signed;
+
+pub use auditor::Auditor;
+pub use journal::{Journal, JournalEntry, LedgerDigest};
+pub use kv::LedgerKv;
+pub use signed::{CoSignedDigest, SignedDigest};
+
+use prever_crypto::CryptoError;
+
+/// Errors produced by the ledger layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerError {
+    /// A proof or digest failed verification — evidence of tampering.
+    TamperDetected(&'static str),
+    /// A sequence number or size was out of range.
+    OutOfRange(&'static str),
+    /// An underlying cryptographic failure.
+    Crypto(CryptoError),
+    /// A key has no revision at the requested number.
+    NoSuchRevision {
+        /// The key queried.
+        key: String,
+        /// The revision requested.
+        revision: u64,
+    },
+}
+
+impl From<CryptoError> for LedgerError {
+    fn from(e: CryptoError) -> Self {
+        match e {
+            CryptoError::VerificationFailed(w) => LedgerError::TamperDetected(w),
+            other => LedgerError::Crypto(other),
+        }
+    }
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::TamperDetected(what) => write!(f, "tamper detected: {what}"),
+            LedgerError::OutOfRange(what) => write!(f, "out of range: {what}"),
+            LedgerError::Crypto(e) => write!(f, "crypto error: {e}"),
+            LedgerError::NoSuchRevision { key, revision } => {
+                write!(f, "no revision {revision} for key {key}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, LedgerError>;

@@ -1,0 +1,204 @@
+//! Signed digests: non-repudiable ledger checkpoints.
+//!
+//! A Merkle digest proves *what* the ledger contains; a **signed**
+//! digest additionally proves *who* vouched for it. Two uses in PReVer:
+//!
+//! * single-database (RC1/RC4): the outsourced manager signs every
+//!   digest it publishes, so a digest that later fails a consistency
+//!   proof is non-repudiable evidence of tampering — the accountability
+//!   a covert adversary fears;
+//! * federated (RC2/RC4): mutually distrustful managers **co-sign** a
+//!   shared digest. A [`CoSignedDigest`] carrying `2f + 1` signatures is
+//!   a checkpoint certificate in the PBFT sense: at least `f + 1`
+//!   honest managers attested the same state.
+
+use crate::journal::LedgerDigest;
+use crate::{LedgerError, Result};
+use prever_crypto::schnorr::{self, KeyPair, SchnorrGroup, SchnorrSignature};
+use prever_crypto::BigUint;
+use rand::Rng;
+
+/// Canonical byte encoding of a digest for signing.
+fn digest_message(digest: &LedgerDigest) -> Vec<u8> {
+    let mut m = Vec::with_capacity(8 + 64 + 20);
+    m.extend_from_slice(b"prever-ledger-digest");
+    m.extend_from_slice(&digest.size.to_be_bytes());
+    m.extend_from_slice(digest.root.as_bytes());
+    m.extend_from_slice(digest.head_hash.as_bytes());
+    m
+}
+
+/// A digest signed by one data manager.
+#[derive(Clone, Debug)]
+pub struct SignedDigest {
+    /// The digest.
+    pub digest: LedgerDigest,
+    /// The signer's public key.
+    pub signer: BigUint,
+    /// Schnorr signature over the canonical digest encoding.
+    pub signature: SchnorrSignature,
+}
+
+impl SignedDigest {
+    /// Signs `digest` with the manager's key.
+    pub fn sign<R: Rng + ?Sized>(
+        group: &SchnorrGroup,
+        key: &KeyPair,
+        digest: LedgerDigest,
+        rng: &mut R,
+    ) -> Self {
+        let signature = schnorr::sign(group, key, &digest_message(&digest), rng);
+        SignedDigest { digest, signer: key.public.clone(), signature }
+    }
+
+    /// Verifies signer and signature.
+    pub fn verify(&self, group: &SchnorrGroup) -> Result<()> {
+        schnorr::verify(group, &self.signer, &digest_message(&self.digest), &self.signature)?;
+        Ok(())
+    }
+}
+
+/// A digest co-signed by multiple federated managers.
+#[derive(Clone, Debug, Default)]
+pub struct CoSignedDigest {
+    /// The digest, once the first signature is attached.
+    pub digest: Option<LedgerDigest>,
+    /// (signer, signature) pairs; signers must be distinct.
+    pub signatures: Vec<(BigUint, SchnorrSignature)>,
+}
+
+impl CoSignedDigest {
+    /// Starts an empty certificate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a manager's signature. All signatures must cover the same
+    /// digest; duplicate signers are rejected.
+    pub fn add<R: Rng + ?Sized>(
+        &mut self,
+        group: &SchnorrGroup,
+        key: &KeyPair,
+        digest: &LedgerDigest,
+        rng: &mut R,
+    ) -> Result<()> {
+        match &self.digest {
+            None => self.digest = Some(digest.clone()),
+            Some(existing) if existing == digest => {}
+            Some(_) => return Err(LedgerError::TamperDetected("co-signing divergent digests")),
+        }
+        if self.signatures.iter().any(|(signer, _)| signer == &key.public) {
+            return Err(LedgerError::OutOfRange("duplicate co-signer"));
+        }
+        let sig = schnorr::sign(group, key, &digest_message(digest), rng);
+        self.signatures.push((key.public.clone(), sig));
+        Ok(())
+    }
+
+    /// Verifies the certificate: every signature valid, every signer a
+    /// member of `managers`, and at least `threshold` distinct signers.
+    pub fn verify(
+        &self,
+        group: &SchnorrGroup,
+        managers: &[BigUint],
+        threshold: usize,
+    ) -> Result<()> {
+        let digest = self
+            .digest
+            .as_ref()
+            .ok_or(LedgerError::OutOfRange("empty certificate"))?;
+        if self.signatures.len() < threshold {
+            return Err(LedgerError::TamperDetected("below co-signing threshold"));
+        }
+        let msg = digest_message(digest);
+        for (signer, sig) in &self.signatures {
+            if !managers.contains(signer) {
+                return Err(LedgerError::TamperDetected("co-signer not a known manager"));
+            }
+            schnorr::verify(group, signer, &msg, sig)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Journal;
+    use bytes::Bytes;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn setup(n: usize) -> (SchnorrGroup, Vec<KeyPair>, LedgerDigest, StdRng) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let group = SchnorrGroup::test_group_256();
+        let keys = (0..n).map(|_| KeyPair::generate(&group, &mut rng)).collect();
+        let mut journal = Journal::new();
+        for i in 0..5u64 {
+            journal.append(i, Bytes::from(format!("u{i}")));
+        }
+        (group, keys, journal.digest(), rng)
+    }
+
+    #[test]
+    fn signed_digest_roundtrip() {
+        let (group, keys, digest, mut rng) = setup(1);
+        let signed = SignedDigest::sign(&group, &keys[0], digest, &mut rng);
+        signed.verify(&group).unwrap();
+    }
+
+    #[test]
+    fn tampered_digest_fails_signature() {
+        let (group, keys, digest, mut rng) = setup(1);
+        let mut signed = SignedDigest::sign(&group, &keys[0], digest, &mut rng);
+        signed.digest.size += 1;
+        assert!(signed.verify(&group).is_err());
+    }
+
+    #[test]
+    fn co_signing_reaches_threshold() {
+        let (group, keys, digest, mut rng) = setup(4);
+        let managers: Vec<BigUint> = keys.iter().map(|k| k.public.clone()).collect();
+        let mut cert = CoSignedDigest::new();
+        for k in &keys[..3] {
+            cert.add(&group, k, &digest, &mut rng).unwrap();
+        }
+        // 3 of 4 = 2f + 1 for f = 1.
+        cert.verify(&group, &managers, 3).unwrap();
+        assert!(cert.verify(&group, &managers, 4).is_err(), "threshold 4 unmet");
+    }
+
+    #[test]
+    fn divergent_digest_rejected_at_signing() {
+        let (group, keys, digest, mut rng) = setup(2);
+        let mut other = digest.clone();
+        other.size += 1;
+        let mut cert = CoSignedDigest::new();
+        cert.add(&group, &keys[0], &digest, &mut rng).unwrap();
+        assert!(matches!(
+            cert.add(&group, &keys[1], &other, &mut rng),
+            Err(LedgerError::TamperDetected(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_signers_rejected() {
+        let (group, keys, digest, mut rng) = setup(3);
+        let managers: Vec<BigUint> = keys[..2].iter().map(|k| k.public.clone()).collect();
+        let mut cert = CoSignedDigest::new();
+        cert.add(&group, &keys[0], &digest, &mut rng).unwrap();
+        assert!(cert.add(&group, &keys[0], &digest, &mut rng).is_err(), "duplicate");
+        // keys[2] is not in the manager set.
+        cert.add(&group, &keys[2], &digest, &mut rng).unwrap();
+        assert!(matches!(
+            cert.verify(&group, &managers, 1),
+            Err(LedgerError::TamperDetected(_))
+        ));
+    }
+
+    #[test]
+    fn empty_certificate_rejected() {
+        let (group, _, _, _) = setup(1);
+        let cert = CoSignedDigest::new();
+        assert!(cert.verify(&group, &[], 0).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Federated regulation verification: the PReVer-facing MPC API.
+//!
+//! One call checks a distributed bound regulation across `n` data
+//! managers — "the money earned monthly by a crowdworker across multiple
+//! crowdworking platforms" (§3.2), "the total work hours of a worker …
+//! per week may not exceed 40 hours" (§2.3) — and returns the verdict
+//! together with a [`LeakageRecord`] naming exactly what every party
+//! learned.
+
+use crate::beaver::Dealer;
+use crate::protocol::{self, MpcStats};
+use crate::Result;
+use prever_crypto::Fp61;
+use rand::Rng;
+
+/// What one protocol run disclosed, and to whom.
+///
+/// The paper: "PReVer thus requires a better understanding of
+/// information leakage due to the enforcement of constraints on
+/// updates." Every run of the federated check produces one of these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeakageRecord {
+    /// The regulation verdict — always revealed, by design: whether the
+    /// update may proceed.
+    pub verdict: bool,
+    /// The blinded scaled difference all parties observed.
+    pub blinded_difference: i64,
+    /// Human-readable description of the leakage class.
+    pub description: &'static str,
+}
+
+/// Verifies `Σ private_inputs + new_contribution ≤ bound` across the
+/// parties, leaking only the verdict and a blinded difference.
+#[derive(Debug)]
+pub struct FederatedBoundCheck {
+    dealer: Dealer,
+    /// Accumulated protocol statistics across runs.
+    pub stats: MpcStats,
+}
+
+impl Default for FederatedBoundCheck {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FederatedBoundCheck {
+    /// Creates the checker with its offline-phase dealer.
+    pub fn new() -> Self {
+        FederatedBoundCheck { dealer: Dealer::new(), stats: MpcStats::default() }
+    }
+
+    /// Runs the upper-bound check: may a new contribution of
+    /// `new_contribution` be admitted given each party's private total?
+    pub fn check_upper_bound<R: Rng + ?Sized>(
+        &mut self,
+        private_inputs: &[i64],
+        new_contribution: i64,
+        bound: i64,
+        rng: &mut R,
+    ) -> Result<LeakageRecord> {
+        let n = private_inputs.len();
+        let shared = protocol::shared_sum(private_inputs, &mut self.stats, rng)?;
+        let with_new = protocol::add_public(&shared, Fp61::from_i64(new_contribution));
+        let triple = self.dealer.deal(n, rng);
+        let (verdict, blinded_difference) =
+            protocol::blinded_le(&with_new, bound, &triple, &mut self.stats, rng)?;
+        Ok(LeakageRecord {
+            verdict,
+            blinded_difference,
+            description: "verdict + sign-preserving randomly-scaled difference",
+        })
+    }
+
+    /// Runs a lower-bound check (`Σ inputs ≥ bound`; Separ's footnote 4
+    /// notes lower-bound regulations, e.g. minimum wage per period).
+    pub fn check_lower_bound<R: Rng + ?Sized>(
+        &mut self,
+        private_inputs: &[i64],
+        bound: i64,
+        rng: &mut R,
+    ) -> Result<LeakageRecord> {
+        let n = private_inputs.len();
+        let shared = protocol::shared_sum(private_inputs, &mut self.stats, rng)?;
+        // Σ ≥ bound  ⟺  −Σ ≤ −bound.
+        let negated = protocol::neg_shares(&shared);
+        let triple = self.dealer.deal(n, rng);
+        let (verdict, blinded_difference) =
+            protocol::blinded_le(&negated, -bound, &triple, &mut self.stats, rng)?;
+        Ok(LeakageRecord {
+            verdict,
+            blinded_difference,
+            description: "verdict + sign-preserving randomly-scaled difference",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn flsa_upper_bound_across_platforms() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut check = FederatedBoundCheck::new();
+        // Uber: 20h, Lyft: 15h this week. New 5h task → exactly 40: ok.
+        let rec = check.check_upper_bound(&[20, 15], 5, 40, &mut rng).unwrap();
+        assert!(rec.verdict);
+        // New 6h task → 41 > 40: rejected.
+        let rec = check.check_upper_bound(&[20, 15], 6, 40, &mut rng).unwrap();
+        assert!(!rec.verdict);
+    }
+
+    #[test]
+    fn minimum_earnings_lower_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut check = FederatedBoundCheck::new();
+        // Earned 600 + 500 across platforms, minimum 1000 → satisfied.
+        assert!(check.check_lower_bound(&[600, 500], 1000, &mut rng).unwrap().verdict);
+        // Minimum 1200 → violated.
+        assert!(!check.check_lower_bound(&[600, 500], 1200, &mut rng).unwrap().verdict);
+        // Boundary: exactly the bound satisfies ≥.
+        assert!(check.check_lower_bound(&[600, 400], 1000, &mut rng).unwrap().verdict);
+    }
+
+    #[test]
+    fn leakage_record_is_blinded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut check = FederatedBoundCheck::new();
+        let rec = check.check_upper_bound(&[10, 10], 5, 40, &mut rng).unwrap();
+        // True difference is 15; the leaked value must be a positive
+        // multiple of it.
+        assert!(rec.verdict);
+        assert_eq!(rec.blinded_difference % 15, 0);
+        assert!(rec.blinded_difference >= 15);
+    }
+
+    #[test]
+    fn repeated_checks_accumulate_stats() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut check = FederatedBoundCheck::new();
+        for _ in 0..5 {
+            check.check_upper_bound(&[1, 2, 3], 1, 100, &mut rng).unwrap();
+        }
+        assert_eq!(check.stats.triples_used, 5);
+        assert!(check.stats.rounds >= 5 * 4);
+    }
+}

@@ -1,0 +1,204 @@
+//! Single-server computational PIR over Paillier.
+//!
+//! The client sends a vector of ciphertexts — `Enc(1)` at the target
+//! index, `Enc(0)` elsewhere. The server computes the homomorphic dot
+//! product `Π cᵢ^{recordᵢ}`, which decrypts to the target record. The
+//! server learns nothing under the DCR assumption; the cost is `n`
+//! modular exponentiations per query, the linear-server-work baseline
+//! that XPIR/SealPIR-style systems amortize (paper RC3 discussion).
+//!
+//! Records are `u64` values (e.g. packed attendance flags or record
+//! pointers); wider records chunk across queries.
+
+use crate::{PirError, Result};
+use prever_crypto::bignum::BigUint;
+use prever_crypto::paillier::{Ciphertext, PrivateKey, PublicKey};
+use rand::Rng;
+
+/// The single PIR server.
+#[derive(Clone, Debug)]
+pub struct CpirServer {
+    records: Vec<u64>,
+    /// Modular exponentiations performed (cost accounting for E5).
+    pub exp_ops: u64,
+}
+
+impl CpirServer {
+    /// Builds the server over `records`.
+    pub fn new(records: Vec<u64>) -> Self {
+        CpirServer { records, exp_ops: 0 }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Public write.
+    pub fn write(&mut self, index: usize, value: u64) -> Result<()> {
+        if index >= self.records.len() {
+            return Err(PirError::IndexOutOfRange { index, size: self.records.len() });
+        }
+        self.records[index] = value;
+        Ok(())
+    }
+
+    /// Answers an encrypted query vector with the homomorphic dot
+    /// product.
+    pub fn answer(&mut self, pk: &PublicKey, query: &[Ciphertext]) -> Result<Ciphertext> {
+        if query.len() != self.records.len() {
+            return Err(PirError::MalformedQuery);
+        }
+        // Π cᵢ^{rᵢ}  (skip zero records: cᵢ^0 = 1).
+        let mut acc: Option<Ciphertext> = None;
+        for (c, &r) in query.iter().zip(&self.records) {
+            if r == 0 {
+                continue;
+            }
+            self.exp_ops += 1;
+            let term = pk.mul_plain(c, &BigUint::from_u64(r))?;
+            acc = Some(match acc {
+                None => term,
+                Some(a) => pk.add(&a, &term)?,
+            });
+        }
+        match acc {
+            Some(a) => Ok(a),
+            // All-zero database: return Enc(0) deterministically derived
+            // from the first query element times 0 — i.e. compute 0·c₀.
+            None => Ok(pk.mul_plain(&query[0], &BigUint::zero())?),
+        }
+    }
+}
+
+/// Client-side query builder/decoder.
+#[derive(Debug)]
+pub struct CpirClient {
+    key: PrivateKey,
+}
+
+impl CpirClient {
+    /// Creates a client with a fresh Paillier keypair (`prime_bits`-bit
+    /// primes; 96–256 for tests/benches, larger for realism).
+    pub fn new<R: Rng + ?Sized>(prime_bits: usize, rng: &mut R) -> Self {
+        CpirClient { key: prever_crypto::paillier::keygen(prime_bits, rng) }
+    }
+
+    /// The public key the server computes under.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.key.public
+    }
+
+    /// Builds the encrypted selection vector for `index`.
+    pub fn query<R: Rng + ?Sized>(
+        &self,
+        index: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Ciphertext>> {
+        if index >= n {
+            return Err(PirError::IndexOutOfRange { index, size: n });
+        }
+        let pk = &self.key.public;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let bit = u64::from(i == index);
+            out.push(pk.encrypt_u64(bit, rng)?);
+        }
+        Ok(out)
+    }
+
+    /// Decrypts the server's response to the record value.
+    pub fn decode(&self, response: &Ciphertext) -> Result<u64> {
+        let m = self.key.decrypt(response)?;
+        m.to_u64().ok_or(PirError::MalformedQuery)
+    }
+}
+
+/// End-to-end convenience: privately reads `records[index]`.
+pub fn retrieve<R: Rng + ?Sized>(
+    client: &CpirClient,
+    server: &mut CpirServer,
+    index: usize,
+    rng: &mut R,
+) -> Result<u64> {
+    let query = client.query(index, server.len(), rng)?;
+    let response = server.answer(client.public_key(), &query)?;
+    client.decode(&response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn retrieves_each_record() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let client = CpirClient::new(96, &mut rng);
+        let mut server = CpirServer::new(vec![11, 0, 33, 44, 55]);
+        for (i, expected) in [11u64, 0, 33, 44, 55].iter().enumerate() {
+            assert_eq!(retrieve(&client, &mut server, i, &mut rng).unwrap(), *expected);
+        }
+    }
+
+    #[test]
+    fn server_sees_only_ciphertexts() {
+        // Queries for different indices must be computationally
+        // indistinguishable; structurally, all elements are valid
+        // ciphertexts and two queries for the same index differ.
+        let mut rng = StdRng::seed_from_u64(2);
+        let client = CpirClient::new(96, &mut rng);
+        let q1 = client.query(2, 5, &mut rng).unwrap();
+        let q2 = client.query(2, 5, &mut rng).unwrap();
+        assert_ne!(
+            q1.iter().map(|c| c.as_biguint().clone()).collect::<Vec<_>>(),
+            q2.iter().map(|c| c.as_biguint().clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn updates_visible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let client = CpirClient::new(96, &mut rng);
+        let mut server = CpirServer::new(vec![1, 2, 3]);
+        server.write(1, 99).unwrap();
+        assert_eq!(retrieve(&client, &mut server, 1, &mut rng).unwrap(), 99);
+        assert!(server.write(5, 1).is_err());
+    }
+
+    #[test]
+    fn query_size_checked() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let client = CpirClient::new(96, &mut rng);
+        let mut server = CpirServer::new(vec![1, 2, 3]);
+        let q = client.query(0, 2, &mut rng).unwrap();
+        assert!(matches!(
+            server.answer(client.public_key(), &q),
+            Err(PirError::MalformedQuery)
+        ));
+        assert!(client.query(9, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn all_zero_database() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let client = CpirClient::new(96, &mut rng);
+        let mut server = CpirServer::new(vec![0, 0, 0]);
+        assert_eq!(retrieve(&client, &mut server, 1, &mut rng).unwrap(), 0);
+    }
+
+    #[test]
+    fn work_scales_with_nonzero_records() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let client = CpirClient::new(96, &mut rng);
+        let mut server = CpirServer::new((1..=32).collect());
+        retrieve(&client, &mut server, 0, &mut rng).unwrap();
+        assert_eq!(server.exp_ops, 32);
+    }
+}

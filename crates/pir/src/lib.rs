@@ -1,0 +1,87 @@
+//! # prever-pir
+//!
+//! Private information retrieval — and private *updates* — over public
+//! databases.
+//!
+//! Research Challenge 3: *"Enable a data manager to verify updates
+//! against constraints over public data and execute the updates with
+//! sound privacy guarantees on the updates."* The paper notes two gaps
+//! in classic PIR it wants closed: computational capability beyond
+//! single-item retrieval, and update support. This crate provides:
+//!
+//! * [`xor`] — two-server information-theoretic XOR PIR (Chor et al.),
+//!   the fast path when two non-colluding servers host replicas;
+//! * [`matrix`] — the square-root-communication matrix layout over the
+//!   same two-server scheme (upload O(√n) instead of O(n));
+//! * [`cpir`] — single-server computational PIR over Paillier, the
+//!   paper's "recent attempts to improve the performance of PIR"
+//!   lineage (XPIR/SealPIR use lattice HE; Paillier exercises the same
+//!   homomorphic-dot-product structure with the crypto we built);
+//! * [`private_update`] — the update extension: k-anonymous private
+//!   writes, where the real write hides inside a batch of `k − 1`
+//!   indistinguishable dummy writes (the conference-participation
+//!   application: registering reveals *that* someone registered, not
+//!   *who* among the batch).
+//!
+//! All servers report operation counts so E5 can chart query/update cost
+//! against database size.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpir;
+pub mod matrix;
+pub mod private_update;
+pub mod xor;
+
+/// Errors from the PIR layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PirError {
+    /// Index beyond the database size.
+    IndexOutOfRange {
+        /// Requested index.
+        index: usize,
+        /// Database size.
+        size: usize,
+    },
+    /// Record length did not match the database's record size.
+    RecordSizeMismatch {
+        /// Provided length.
+        got: usize,
+        /// Required length.
+        expected: usize,
+    },
+    /// Query vector malformed (wrong length).
+    MalformedQuery,
+    /// Underlying cryptographic failure.
+    Crypto(prever_crypto::CryptoError),
+    /// Batch parameters invalid (k larger than database, zero k…).
+    BadBatch(&'static str),
+}
+
+impl From<prever_crypto::CryptoError> for PirError {
+    fn from(e: prever_crypto::CryptoError) -> Self {
+        PirError::Crypto(e)
+    }
+}
+
+impl std::fmt::Display for PirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PirError::IndexOutOfRange { index, size } => {
+                write!(f, "index {index} out of range for database of {size}")
+            }
+            PirError::RecordSizeMismatch { got, expected } => {
+                write!(f, "record of {got} bytes, database stores {expected}")
+            }
+            PirError::MalformedQuery => write!(f, "malformed query vector"),
+            PirError::Crypto(e) => write!(f, "crypto error: {e}"),
+            PirError::BadBatch(w) => write!(f, "bad batch: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for PirError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, PirError>;

@@ -1,0 +1,180 @@
+//! Private updates on public data: k-anonymous write batches.
+//!
+//! RC3's second gap: "while PIR techniques are designed primarily to
+//! support private retrieval of information, in PReVer, these
+//! techniques need to be extended to support updates." The paper's
+//! conference application makes the need concrete — the attendance list
+//! is public, but *which* registration an update corresponds to should
+//! not be linkable to the submitting participant.
+//!
+//! The construction here is the deployable baseline: a writer hides its
+//! real write among `k − 1` dummy writes sampled uniformly from the
+//! database, shuffles the batch, and submits it. A dummy write rewrites
+//! a record with its current value (a no-op in content but
+//! indistinguishable on the wire), so the server's posterior over "which
+//! position changed" has support of size `k`. The anonymity set size is
+//! the privacy parameter the E5 bench sweeps.
+
+use crate::xor::XorServer;
+use crate::{PirError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One write in a batch: position and new content.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Write {
+    /// Target record index.
+    pub index: usize,
+    /// New record content.
+    pub record: Vec<u8>,
+}
+
+/// A k-anonymous write batch as submitted to the server(s).
+#[derive(Clone, Debug)]
+pub struct WriteBatch {
+    writes: Vec<Write>,
+}
+
+impl WriteBatch {
+    /// Builds a batch hiding `real` among `k − 1` dummy rewrites sampled
+    /// from `current` (the public database contents).
+    ///
+    /// `k` must be ≥ 1 and ≤ the database size.
+    pub fn build<R: Rng + ?Sized>(
+        real: Write,
+        current: &[Vec<u8>],
+        k: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let n = current.len();
+        if k == 0 {
+            return Err(PirError::BadBatch("k must be at least 1"));
+        }
+        if k > n {
+            return Err(PirError::BadBatch("k exceeds database size"));
+        }
+        if real.index >= n {
+            return Err(PirError::IndexOutOfRange { index: real.index, size: n });
+        }
+        // Sample k − 1 distinct dummy positions ≠ real.index.
+        let mut positions: Vec<usize> = (0..n).filter(|&i| i != real.index).collect();
+        positions.shuffle(rng);
+        let mut writes: Vec<Write> = positions
+            .into_iter()
+            .take(k - 1)
+            .map(|i| Write { index: i, record: current[i].clone() })
+            .collect();
+        writes.push(real);
+        writes.shuffle(rng);
+        Ok(WriteBatch { writes })
+    }
+
+    /// The batch's writes in submission order.
+    pub fn writes(&self) -> &[Write] {
+        &self.writes
+    }
+
+    /// Anonymity-set size.
+    pub fn k(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Applies the batch to a server replica.
+    pub fn apply(&self, server: &mut XorServer) -> Result<()> {
+        for w in &self.writes {
+            server.write(w.index, w.record.clone())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn records(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("rec-{i:03}-xx").into_bytes()).collect()
+    }
+
+    #[test]
+    fn batch_contains_real_write_and_k_minus_1_dummies() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let db = records(20);
+        let real = Write { index: 7, record: b"rec-007-NW".to_vec() };
+        let batch = WriteBatch::build(real.clone(), &db, 5, &mut rng).unwrap();
+        assert_eq!(batch.k(), 5);
+        assert_eq!(batch.writes().iter().filter(|w| **w == real).count(), 1);
+        // Dummies rewrite current content.
+        for w in batch.writes() {
+            if w.index != 7 {
+                assert_eq!(w.record, db[w.index]);
+            }
+        }
+        // Distinct positions.
+        let mut idx: Vec<usize> = batch.writes().iter().map(|w| w.index).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), 5);
+    }
+
+    #[test]
+    fn applying_batch_changes_only_the_real_record() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let db = records(10);
+        let size = db[0].len();
+        let mut server = XorServer::new(db.clone(), size).unwrap();
+        let real = Write { index: 3, record: b"rec-003-NW".to_vec() };
+        let batch = WriteBatch::build(real, &db, 4, &mut rng).unwrap();
+        batch.apply(&mut server).unwrap();
+        for (i, original) in db.iter().enumerate() {
+            let expected = if i == 3 { b"rec-003-NW".to_vec() } else { original.clone() };
+            assert_eq!(server.record(i).unwrap(), expected.as_slice(), "record {i}");
+        }
+    }
+
+    #[test]
+    fn batch_order_is_shuffled() {
+        // The real write must not systematically be last.
+        let mut rng = StdRng::seed_from_u64(3);
+        let db = records(30);
+        let mut last_count = 0;
+        for _ in 0..50 {
+            let real = Write { index: 4, record: b"rec-004-ZZ".to_vec() };
+            let batch = WriteBatch::build(real.clone(), &db, 10, &mut rng).unwrap();
+            if batch.writes().last() == Some(&real) {
+                last_count += 1;
+            }
+        }
+        assert!(last_count < 20, "real write placed last {last_count}/50 times");
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let db = records(5);
+        let real = Write { index: 0, record: db[0].clone() };
+        assert!(matches!(
+            WriteBatch::build(real.clone(), &db, 0, &mut rng),
+            Err(PirError::BadBatch(_))
+        ));
+        assert!(matches!(
+            WriteBatch::build(real.clone(), &db, 6, &mut rng),
+            Err(PirError::BadBatch(_))
+        ));
+        let oob = Write { index: 9, record: db[0].clone() };
+        assert!(matches!(
+            WriteBatch::build(oob, &db, 2, &mut rng),
+            Err(PirError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn k_equals_one_is_a_plain_write() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let db = records(5);
+        let real = Write { index: 2, record: b"rec-002-!!".to_vec() };
+        let batch = WriteBatch::build(real.clone(), &db, 1, &mut rng).unwrap();
+        assert_eq!(batch.writes(), &[real]);
+    }
+}

@@ -1,0 +1,671 @@
+//! # prever-sim
+//!
+//! A deterministic discrete-event network simulator.
+//!
+//! PReVer's federated deployments run consensus (PBFT, Paxos, sharded
+//! PBFT) among mutually distrustful data managers. The paper's §6 asks
+//! for throughput/latency comparisons against these protocols; measuring
+//! them reproducibly requires a network whose latencies, drops, and
+//! partitions are simulated under a seeded PRNG rather than borrowed from
+//! the host machine. Every consensus test and bench in the workspace runs
+//! on this simulator, so results are bit-for-bit reproducible.
+//!
+//! The model: a fixed set of [`Actor`] nodes exchanging typed messages
+//! through a virtual network with configurable latency, jitter, drop
+//! rate, crashed nodes, and partitions. Time is virtual (microseconds);
+//! an event loop pops the earliest event, dispatches it, and collects the
+//! outputs. Determinism invariant: identical (actors, config, seed,
+//! injected events) ⇒ identical executions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifies a node in the simulation (dense, 0-based).
+pub type NodeId = usize;
+
+/// Buffered outputs of one actor dispatch: `(to, msg)` sends and
+/// `(delay, timer-id)` timer arms.
+type DispatchOutputs<M> = (Vec<(NodeId, M)>, Vec<(u64, u64)>);
+
+/// A simulated node.
+pub trait Actor {
+    /// Message type exchanged between nodes.
+    type Msg: Clone;
+
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Ctx<Self::Msg>) {}
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<Self::Msg>);
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _timer: u64, _ctx: &mut Ctx<Self::Msg>) {}
+}
+
+/// Per-dispatch context: lets an actor read the clock, send messages and
+/// arm timers. Outputs are buffered and scheduled by the simulator after
+/// the handler returns.
+pub struct Ctx<'a, M> {
+    now: u64,
+    self_id: NodeId,
+    n_nodes: usize,
+    sends: &'a mut Vec<(NodeId, M)>,
+    timers: &'a mut Vec<(u64, u64)>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current virtual time (µs).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Number of nodes in the simulation.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Sends `msg` to `to` (subject to network latency/drops).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Sends `msg` to every node except self.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for to in 0..self.n_nodes {
+            if to != self.self_id {
+                self.sends.push((to, msg.clone()));
+            }
+        }
+    }
+
+    /// Sends `msg` to self through the network (useful for yielding).
+    pub fn send_self(&mut self, msg: M) {
+        self.sends.push((self.self_id, msg));
+    }
+
+    /// Arms a timer that fires after `delay` µs with identifier `timer`.
+    pub fn set_timer(&mut self, delay: u64, timer: u64) {
+        self.timers.push((delay, timer));
+    }
+}
+
+/// Network behavior configuration.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Minimum one-way latency in µs.
+    pub base_latency: u64,
+    /// Maximum extra jitter in µs (uniform).
+    pub jitter: u64,
+    /// Probability a message is silently dropped (0.0–1.0).
+    pub drop_rate: f64,
+    /// Per-message processing (service) time at the receiving node, in
+    /// µs. With 0 (the default) nodes have infinite parallelism — fine
+    /// for protocol-logic tests; throughput experiments set this so
+    /// load actually serializes on CPUs (each node is an M/D/1-style
+    /// server and messages queue behind each other).
+    pub processing: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        // 500 µs one-way ≈ 1 ms RTT: a LAN/metro-area cluster, the
+        // deployment the paper's permissioned-blockchain systems target.
+        NetConfig { base_latency: 500, jitter: 100, drop_rate: 0.0, processing: 0 }
+    }
+}
+
+enum EventKind<M> {
+    Deliver { from: NodeId, msg: M },
+    Timer { timer: u64 },
+}
+
+struct Event<M> {
+    at: u64,
+    seq: u64,
+    to: NodeId,
+    kind: EventKind<M>,
+}
+
+// Order events by (time, seq): seq breaks ties deterministically.
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Simulation statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages handed to the network.
+    pub messages_sent: u64,
+    /// Messages delivered to a live node.
+    pub messages_delivered: u64,
+    /// Messages dropped (random drops + partitions + crashed targets).
+    pub messages_dropped: u64,
+    /// Timer firings delivered.
+    pub timers_fired: u64,
+}
+
+/// The discrete-event simulator.
+pub struct Simulation<A: Actor> {
+    nodes: Vec<A>,
+    crashed: Vec<bool>,
+    /// partition\[i\] = group id of node i; messages cross groups only if
+    /// no partition is active.
+    partition: Option<Vec<usize>>,
+    queue: BinaryHeap<Reverse<Event<A::Msg>>>,
+    cfg: NetConfig,
+    rng: StdRng,
+    now: u64,
+    seq: u64,
+    started: bool,
+    stats: SimStats,
+    /// Earliest time each node can accept its next message (service
+    /// queue model; only advances when `cfg.processing > 0`).
+    busy_until: Vec<u64>,
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Creates a simulation over `nodes` with network `cfg` and RNG `seed`.
+    pub fn new(nodes: Vec<A>, cfg: NetConfig, seed: u64) -> Self {
+        let n = nodes.len();
+        Simulation {
+            nodes,
+            crashed: vec![false; n],
+            partition: None,
+            queue: BinaryHeap::new(),
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            now: 0,
+            seq: 0,
+            started: false,
+            stats: SimStats::default(),
+            busy_until: vec![0; n],
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Immutable access to a node (assertions, result extraction).
+    pub fn node(&self, id: NodeId) -> &A {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a node (test setup).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut A {
+        &mut self.nodes[id]
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Crashes a node: it receives no further events.
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed[node] = true;
+    }
+
+    /// Recovers a crashed node (state intact, as after a fast restart).
+    pub fn recover(&mut self, node: NodeId) {
+        self.crashed[node] = false;
+    }
+
+    /// True iff the node is crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node]
+    }
+
+    /// Installs a partition: `groups[i]` is node `i`'s side. Messages
+    /// between different sides are dropped.
+    pub fn set_partition(&mut self, groups: Vec<usize>) {
+        assert_eq!(groups.len(), self.nodes.len());
+        self.partition = Some(groups);
+    }
+
+    /// Removes any partition.
+    pub fn heal_partition(&mut self) {
+        self.partition = None;
+    }
+
+    /// Injects an external (client) message to `to`, arriving at absolute
+    /// time `at` (must be ≥ current time). `from` is recorded as the
+    /// sender id; use an out-of-range id for true externals if the actor
+    /// protocol distinguishes clients.
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: A::Msg, at: u64) {
+        assert!(at >= self.now, "cannot inject into the past");
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Event { at, seq, to, kind: EventKind::Deliver { from, msg } }));
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Runs until the queue is empty or `deadline` (virtual µs) passes.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: u64) -> u64 {
+        self.ensure_started();
+        let mut processed = 0;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.now = ev.at;
+            self.dispatch(ev);
+            processed += 1;
+        }
+        self.now = self.now.max(deadline.min(self.peek_time().unwrap_or(deadline)));
+        processed
+    }
+
+    /// Runs until no events remain. Panics after `max_events` as a
+    /// runaway guard.
+    pub fn run_to_idle(&mut self, max_events: u64) -> u64 {
+        self.ensure_started();
+        let mut processed = 0;
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            self.now = ev.at;
+            self.dispatch(ev);
+            processed += 1;
+            assert!(processed <= max_events, "simulation exceeded {max_events} events");
+        }
+        processed
+    }
+
+    /// Runs until `pred` over the node slice holds (checked after every
+    /// event) or the queue empties / `max_events` passes. Returns true if
+    /// the predicate held.
+    pub fn run_until_pred(&mut self, max_events: u64, mut pred: impl FnMut(&[A]) -> bool) -> bool {
+        self.ensure_started();
+        if pred(&self.nodes) {
+            return true;
+        }
+        let mut processed = 0;
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            self.now = ev.at;
+            self.dispatch(ev);
+            processed += 1;
+            if pred(&self.nodes) {
+                return true;
+            }
+            if processed >= max_events {
+                return false;
+            }
+        }
+        false
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        self.queue.peek().map(|Reverse(e)| e.at)
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for id in 0..self.nodes.len() {
+            if self.crashed[id] {
+                continue;
+            }
+            let (sends, timers) = self.with_ctx(id, |node, ctx| node.on_start(ctx));
+            self.schedule_outputs(id, sends, timers);
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event<A::Msg>) {
+        let to = ev.to;
+        if self.crashed[to] {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        match ev.kind {
+            EventKind::Deliver { from, msg } => {
+                self.stats.messages_delivered += 1;
+                let (sends, timers) =
+                    self.with_ctx(to, |node, ctx| node.on_message(from, msg, ctx));
+                self.schedule_outputs(to, sends, timers);
+            }
+            EventKind::Timer { timer } => {
+                self.stats.timers_fired += 1;
+                let (sends, timers) = self.with_ctx(to, |node, ctx| node.on_timer(timer, ctx));
+                self.schedule_outputs(to, sends, timers);
+            }
+        }
+    }
+
+    fn with_ctx(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut A, &mut Ctx<A::Msg>),
+    ) -> DispatchOutputs<A::Msg> {
+        let mut sends = Vec::new();
+        let mut timers = Vec::new();
+        let n_nodes = self.nodes.len();
+        let mut ctx = Ctx {
+            now: self.now,
+            self_id: id,
+            n_nodes,
+            sends: &mut sends,
+            timers: &mut timers,
+        };
+        f(&mut self.nodes[id], &mut ctx);
+        (sends, timers)
+    }
+
+    fn schedule_outputs(
+        &mut self,
+        from: NodeId,
+        sends: Vec<(NodeId, A::Msg)>,
+        timers: Vec<(u64, u64)>,
+    ) {
+        for (to, msg) in sends {
+            self.stats.messages_sent += 1;
+            if to >= self.nodes.len() {
+                // Actor bug guard: a send to a nonexistent node is
+                // counted as dropped rather than crashing the run.
+                self.stats.messages_dropped += 1;
+                continue;
+            }
+            // Partition check.
+            if let Some(groups) = &self.partition {
+                if groups[from] != groups[to] {
+                    self.stats.messages_dropped += 1;
+                    continue;
+                }
+            }
+            // Random drop (self-sends are reliable: local queue).
+            if to != from && self.cfg.drop_rate > 0.0 && self.rng.gen::<f64>() < self.cfg.drop_rate
+            {
+                self.stats.messages_dropped += 1;
+                continue;
+            }
+            let latency = if to == from {
+                1
+            } else {
+                self.cfg.base_latency
+                    + if self.cfg.jitter > 0 { self.rng.gen_range(0..=self.cfg.jitter) } else { 0 }
+            };
+            let mut at = self.now + latency;
+            if self.cfg.processing > 0 {
+                // Serialize on the receiver: queue behind its backlog.
+                at = at.max(self.busy_until[to]);
+                self.busy_until[to] = at + self.cfg.processing;
+            }
+            let seq = self.next_seq();
+            self.queue.push(Reverse(Event { at, seq, to, kind: EventKind::Deliver { from, msg } }));
+        }
+        for (delay, timer) in timers {
+            let at = self.now + delay.max(1);
+            let seq = self.next_seq();
+            self.queue.push(Reverse(Event { at, seq, to: from, kind: EventKind::Timer { timer } }));
+        }
+    }
+
+    /// Consumes the simulation, returning the nodes (final-state checks).
+    pub fn into_nodes(self) -> Vec<A> {
+        self.nodes
+    }
+}
+
+/// Utility: asserts a set of node ids forms a quorum of `n` (majority).
+pub fn is_majority(count: usize, n: usize) -> bool {
+    count * 2 > n
+}
+
+/// Utility: the PBFT quorum size `2f + 1` for `n = 3f + 1` nodes.
+pub fn bft_quorum(n: usize) -> usize {
+    let f = (n - 1) / 3;
+    2 * f + 1
+}
+
+/// Utility: maximum tolerated Byzantine faults for `n` nodes.
+pub fn bft_max_faults(n: usize) -> usize {
+    (n - 1) / 3
+}
+
+/// A helper collecting distinct voters (ids) for quorum counting.
+#[derive(Clone, Debug, Default)]
+pub struct VoteSet {
+    voters: HashSet<NodeId>,
+}
+
+impl VoteSet {
+    /// Empty vote set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a vote; returns true if it was new.
+    pub fn add(&mut self, voter: NodeId) -> bool {
+        self.voters.insert(voter)
+    }
+
+    /// Number of distinct voters.
+    pub fn len(&self) -> usize {
+        self.voters.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.voters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ping-pong actor: node 0 sends `count` pings to 1, which echoes.
+    #[derive(Clone)]
+    struct PingPong {
+        pings_to_send: u32,
+        pings_received: u32,
+        pongs_received: u32,
+        last_delivery: u64,
+    }
+
+    #[derive(Clone)]
+    enum PP {
+        Ping,
+        Pong,
+    }
+
+    impl Actor for PingPong {
+        type Msg = PP;
+
+        fn on_start(&mut self, ctx: &mut Ctx<PP>) {
+            if ctx.id() == 0 {
+                for _ in 0..self.pings_to_send {
+                    ctx.send(1, PP::Ping);
+                }
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: PP, ctx: &mut Ctx<PP>) {
+            self.last_delivery = ctx.now();
+            match msg {
+                PP::Ping => {
+                    self.pings_received += 1;
+                    ctx.send(from, PP::Pong);
+                }
+                PP::Pong => self.pongs_received += 1,
+            }
+        }
+    }
+
+    fn pp(pings: u32) -> Vec<PingPong> {
+        vec![
+            PingPong { pings_to_send: pings, pings_received: 0, pongs_received: 0, last_delivery: 0 };
+            2
+        ]
+    }
+
+    #[test]
+    fn ping_pong_delivers_everything() {
+        let mut sim = Simulation::new(pp(10), NetConfig::default(), 42);
+        sim.run_to_idle(10_000);
+        assert_eq!(sim.node(1).pings_received, 10);
+        assert_eq!(sim.node(0).pongs_received, 10);
+        let s = sim.stats();
+        assert_eq!(s.messages_sent, 20);
+        assert_eq!(s.messages_delivered, 20);
+        assert_eq!(s.messages_dropped, 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_execution() {
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(pp(50), NetConfig { jitter: 400, ..Default::default() }, seed);
+            sim.run_to_idle(100_000);
+            (sim.now(), sim.node(0).last_delivery, sim.node(1).last_delivery)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ with jitter");
+    }
+
+    #[test]
+    fn drops_lose_messages() {
+        let cfg = NetConfig { drop_rate: 0.5, ..Default::default() };
+        let mut sim = Simulation::new(pp(100), cfg, 3);
+        sim.run_to_idle(100_000);
+        let s = sim.stats();
+        assert!(s.messages_dropped > 10, "expected many drops, got {}", s.messages_dropped);
+        assert!(sim.node(1).pings_received < 100);
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing() {
+        let mut sim = Simulation::new(pp(5), NetConfig::default(), 1);
+        sim.crash(1);
+        sim.run_to_idle(10_000);
+        assert_eq!(sim.node(1).pings_received, 0);
+        assert_eq!(sim.stats().messages_dropped, 5);
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        let mut sim = Simulation::new(pp(5), NetConfig::default(), 1);
+        sim.set_partition(vec![0, 1]);
+        sim.run_to_idle(10_000);
+        assert_eq!(sim.node(1).pings_received, 0);
+        // Heal and re-inject.
+        sim.heal_partition();
+        sim.inject(0, 1, PP::Ping, sim.now() + 10);
+        sim.run_to_idle(10_000);
+        assert_eq!(sim.node(1).pings_received, 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerActor {
+            fired: Vec<u64>,
+        }
+        impl Actor for TimerActor {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<()>) {
+                ctx.set_timer(300, 3);
+                ctx.set_timer(100, 1);
+                ctx.set_timer(200, 2);
+            }
+            fn on_message(&mut self, _: NodeId, _: (), _: &mut Ctx<()>) {}
+            fn on_timer(&mut self, timer: u64, _: &mut Ctx<()>) {
+                self.fired.push(timer);
+            }
+        }
+        let mut sim = Simulation::new(vec![TimerActor { fired: vec![] }], NetConfig::default(), 0);
+        sim.run_to_idle(100);
+        assert_eq!(sim.node(0).fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulation::new(pp(10), NetConfig { base_latency: 1000, jitter: 0, drop_rate: 0.0, processing: 0 }, 0);
+        let processed = sim.run_until(500);
+        assert_eq!(processed, 0, "nothing arrives before 1000µs");
+        sim.run_until(2_000);
+        assert_eq!(sim.node(1).pings_received, 10, "pings arrive at 1000µs");
+    }
+
+    #[test]
+    fn run_until_pred_stops_early() {
+        let mut sim = Simulation::new(pp(10), NetConfig::default(), 0);
+        let ok = sim.run_until_pred(10_000, |nodes| nodes[1].pings_received >= 3);
+        assert!(ok);
+        assert!(sim.node(1).pings_received >= 3);
+        assert!(sim.node(1).pings_received < 10, "should stop before all deliveries");
+    }
+
+    #[test]
+    fn processing_time_serializes_a_node() {
+        // 10 pings sent simultaneously; with a 100 µs service time the
+        // last delivery lands ≥ 900 µs after the first.
+        let cfg = NetConfig { base_latency: 500, jitter: 0, drop_rate: 0.0, processing: 100 };
+        let mut sim = Simulation::new(pp(10), cfg, 0);
+        sim.run_to_idle(10_000);
+        assert_eq!(sim.node(1).pings_received, 10);
+        // First ping at 500, 10th at ≥ 500 + 9·100.
+        assert!(
+            sim.node(1).last_delivery >= 500 + 900,
+            "last delivery at {}",
+            sim.node(1).last_delivery
+        );
+        // Without processing, all arrive at 500.
+        let mut sim0 = Simulation::new(
+            pp(10),
+            NetConfig { base_latency: 500, jitter: 0, drop_rate: 0.0, processing: 0 },
+            0,
+        );
+        sim0.run_until(600);
+        assert_eq!(sim0.node(1).pings_received, 10);
+    }
+
+    #[test]
+    fn quorum_helpers() {
+        assert!(is_majority(3, 5));
+        assert!(!is_majority(2, 5));
+        assert_eq!(bft_quorum(4), 3);
+        assert_eq!(bft_quorum(7), 5);
+        assert_eq!(bft_max_faults(4), 1);
+        assert_eq!(bft_max_faults(10), 3);
+        let mut v = VoteSet::new();
+        assert!(v.add(1));
+        assert!(!v.add(1));
+        assert_eq!(v.len(), 1);
+    }
+}

@@ -1,0 +1,413 @@
+//! The database: named tables, a global version counter, snapshots, and
+//! the change log the ledger layer consumes.
+
+use crate::table::{Key, Row, Schema, Table};
+use crate::value::Value;
+use crate::{Result, StorageError};
+use std::collections::BTreeMap;
+
+/// What a change did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// Row inserted.
+    Insert,
+    /// Row replaced (old row retained in `before`).
+    Update,
+    /// Row deleted (old row retained in `before`).
+    Delete,
+}
+
+/// One entry of the change log — the unit the ledger journals (RC4) and
+/// incremental constraint evaluation consumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChangeRecord {
+    /// Database version this change created.
+    pub version: u64,
+    /// Table changed.
+    pub table: String,
+    /// Primary key affected.
+    pub key: Key,
+    /// Change kind.
+    pub kind: ChangeKind,
+    /// Prior row (updates and deletes).
+    pub before: Option<Row>,
+    /// New row (inserts and updates).
+    pub after: Option<Row>,
+}
+
+impl ChangeRecord {
+    /// Stable binary encoding, suitable for hashing into a ledger entry.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.version.to_be_bytes());
+        out.extend_from_slice(&(self.table.len() as u64).to_be_bytes());
+        out.extend_from_slice(self.table.as_bytes());
+        out.push(match self.kind {
+            ChangeKind::Insert => 0,
+            ChangeKind::Update => 1,
+            ChangeKind::Delete => 2,
+        });
+        out.extend_from_slice(&(self.key.0.len() as u64).to_be_bytes());
+        for v in &self.key.0 {
+            v.encode_into(&mut out);
+        }
+        for opt in [&self.before, &self.after] {
+            match opt {
+                None => out.push(0),
+                Some(row) => {
+                    out.push(1);
+                    out.extend_from_slice(&row.encode());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A versioned multi-table database.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    version: u64,
+    change_log: Vec<ChangeRecord>,
+}
+
+impl Database {
+    /// An empty database at version 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current version (increments on every mutation).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Creates a table.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
+        if self.tables.contains_key(name) {
+            return Err(StorageError::TableExists(name.to_string()));
+        }
+        self.tables.insert(name.to_string(), Table::new(schema));
+        Ok(())
+    }
+
+    /// Returns a table by name.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    /// Returns a mutable table by name (index creation etc.).
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    /// Table names in order.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    /// Inserts `row` into `table`; returns the change record.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<&ChangeRecord> {
+        let next = self.version + 1;
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        let key = t.insert(row.clone(), next)?;
+        self.version = next;
+        self.change_log.push(ChangeRecord {
+            version: next,
+            table: table.to_string(),
+            key,
+            kind: ChangeKind::Insert,
+            before: None,
+            after: Some(row),
+        });
+        Ok(self.change_log.last().expect("just pushed"))
+    }
+
+    /// Replaces the row with `key` in `table`.
+    pub fn update(&mut self, table: &str, key: &Key, row: Row) -> Result<&ChangeRecord> {
+        let next = self.version + 1;
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        let old = t.update(key, row.clone(), next)?;
+        self.version = next;
+        self.change_log.push(ChangeRecord {
+            version: next,
+            table: table.to_string(),
+            key: key.clone(),
+            kind: ChangeKind::Update,
+            before: Some(old),
+            after: Some(row),
+        });
+        Ok(self.change_log.last().expect("just pushed"))
+    }
+
+    /// Inserts or replaces the row (by its own primary key).
+    pub fn upsert(&mut self, table: &str, row: Row) -> Result<&ChangeRecord> {
+        let key = {
+            let t = self.table(table)?;
+            t.schema().validate(&row)?;
+            t.schema().key_of(&row)
+        };
+        if self.table(table)?.get(&key).is_some() {
+            self.update(table, &key, row)
+        } else {
+            self.insert(table, row)
+        }
+    }
+
+    /// Deletes the row with `key` from `table`.
+    pub fn delete(&mut self, table: &str, key: &Key) -> Result<&ChangeRecord> {
+        let next = self.version + 1;
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        let old = t.delete(key, next)?;
+        self.version = next;
+        self.change_log.push(ChangeRecord {
+            version: next,
+            table: table.to_string(),
+            key: key.clone(),
+            kind: ChangeKind::Delete,
+            before: Some(old),
+            after: None,
+        });
+        Ok(self.change_log.last().expect("just pushed"))
+    }
+
+    /// Convenience: live row by key.
+    pub fn get(&self, table: &str, key: &Key) -> Result<Option<&Row>> {
+        Ok(self.table(table)?.get(key))
+    }
+
+    /// A consistent snapshot at the current version.
+    pub fn snapshot(&self) -> Snapshot<'_> {
+        Snapshot { db: self, version: self.version }
+    }
+
+    /// A snapshot at a specific past version.
+    pub fn snapshot_at(&self, version: u64) -> Result<Snapshot<'_>> {
+        if version > self.version {
+            return Err(StorageError::VersionOutOfRange {
+                requested: version,
+                current: self.version,
+            });
+        }
+        Ok(Snapshot { db: self, version })
+    }
+
+    /// The full change log.
+    pub fn change_log(&self) -> &[ChangeRecord] {
+        &self.change_log
+    }
+
+    /// Change records with version > `after_version`.
+    pub fn changes_since(&self, after_version: u64) -> &[ChangeRecord] {
+        let start = self.change_log.partition_point(|c| c.version <= after_version);
+        &self.change_log[start..]
+    }
+}
+
+/// A read view of the database at a fixed version.
+#[derive(Clone, Copy, Debug)]
+pub struct Snapshot<'a> {
+    db: &'a Database,
+    version: u64,
+}
+
+impl<'a> Snapshot<'a> {
+    /// The snapshot's version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Row by key as of the snapshot.
+    pub fn get(&self, table: &str, key: &Key) -> Result<Option<&'a Row>> {
+        Ok(self.db.table(table)?.get_at(key, self.version))
+    }
+
+    /// All rows of `table` as of the snapshot.
+    pub fn scan(&self, table: &str) -> Result<impl Iterator<Item = (&'a Key, &'a Row)>> {
+        Ok(self.db.table(table)?.scan_at(self.version))
+    }
+
+    /// Rows of `table` where `column == value`, as of the snapshot.
+    ///
+    /// Note: index lookups reflect the *live* table; for historical
+    /// snapshots this filters a scan instead, trading speed for
+    /// correctness.
+    pub fn filter_eq(
+        &self,
+        table: &str,
+        column: &str,
+        value: &Value,
+    ) -> Result<Vec<(&'a Key, &'a Row)>> {
+        let t = self.db.table(table)?;
+        let col = t.schema().column_index(column)?;
+        if self.version == self.db.version() {
+            // Live snapshot: the secondary index is exact.
+            let keys = t.lookup_eq(column, value)?;
+            let mut out = Vec::with_capacity(keys.len());
+            for key in keys {
+                if let Some((k, r)) = t.get_key_value(&key) {
+                    out.push((k, r));
+                }
+            }
+            return Ok(out);
+        }
+        Ok(t.scan_at(self.version)
+            .filter(|(_, r)| r.values[col] == *value)
+            .collect())
+    }
+
+    /// The table's schema.
+    pub fn schema(&self, table: &str) -> Result<&'a Schema> {
+        Ok(self.db.table(table)?.schema())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, ColumnType};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "tasks",
+            Schema::new(
+                vec![
+                    Column::new("id", ColumnType::Uint),
+                    Column::new("worker", ColumnType::Str),
+                    Column::new("hours", ColumnType::Uint),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn task(id: u64, worker: &str, hours: u64) -> Row {
+        Row::new(vec![id.into(), worker.into(), hours.into()])
+    }
+
+    #[test]
+    fn version_increments_per_mutation() {
+        let mut d = db();
+        assert_eq!(d.version(), 0);
+        d.insert("tasks", task(1, "w1", 8)).unwrap();
+        assert_eq!(d.version(), 1);
+        let key = Key(vec![Value::Uint(1)]);
+        d.update("tasks", &key, task(1, "w1", 9)).unwrap();
+        assert_eq!(d.version(), 2);
+        d.delete("tasks", &key).unwrap();
+        assert_eq!(d.version(), 3);
+    }
+
+    #[test]
+    fn failed_mutation_does_not_bump_version() {
+        let mut d = db();
+        d.insert("tasks", task(1, "w1", 8)).unwrap();
+        let v = d.version();
+        assert!(d.insert("tasks", task(1, "w2", 9)).is_err());
+        assert!(d.insert("nope", task(2, "w2", 9)).is_err());
+        assert_eq!(d.version(), v);
+        assert_eq!(d.change_log().len(), 1);
+    }
+
+    #[test]
+    fn change_log_records_everything() {
+        let mut d = db();
+        d.insert("tasks", task(1, "w1", 8)).unwrap();
+        let key = Key(vec![Value::Uint(1)]);
+        d.update("tasks", &key, task(1, "w1", 9)).unwrap();
+        d.delete("tasks", &key).unwrap();
+        let log = d.change_log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].kind, ChangeKind::Insert);
+        assert_eq!(log[0].before, None);
+        assert_eq!(log[1].kind, ChangeKind::Update);
+        assert_eq!(log[1].before.as_ref().unwrap().values[2], Value::Uint(8));
+        assert_eq!(log[2].kind, ChangeKind::Delete);
+        assert_eq!(log[2].after, None);
+    }
+
+    #[test]
+    fn changes_since_partitions_correctly() {
+        let mut d = db();
+        for i in 1..=5 {
+            d.insert("tasks", task(i, "w", i)).unwrap();
+        }
+        assert_eq!(d.changes_since(0).len(), 5);
+        assert_eq!(d.changes_since(3).len(), 2);
+        assert_eq!(d.changes_since(5).len(), 0);
+        assert_eq!(d.changes_since(100).len(), 0);
+    }
+
+    #[test]
+    fn snapshot_isolation() {
+        let mut d = db();
+        d.insert("tasks", task(1, "w1", 8)).unwrap();
+        let v1 = d.version();
+        d.insert("tasks", task(2, "w2", 9)).unwrap();
+        let snap_old = d.snapshot_at(v1).unwrap();
+        let snap_new = d.snapshot();
+        assert_eq!(snap_old.scan("tasks").unwrap().count(), 1);
+        assert_eq!(snap_new.scan("tasks").unwrap().count(), 2);
+        assert!(d.snapshot_at(99).is_err());
+    }
+
+    #[test]
+    fn snapshot_filter_eq_current_and_past() {
+        let mut d = db();
+        d.table_mut("tasks").unwrap().create_index("worker").unwrap();
+        d.insert("tasks", task(1, "w1", 8)).unwrap();
+        let v1 = d.version();
+        d.insert("tasks", task(2, "w1", 9)).unwrap();
+        let w1 = Value::Str("w1".into());
+        assert_eq!(d.snapshot().filter_eq("tasks", "worker", &w1).unwrap().len(), 2);
+        assert_eq!(
+            d.snapshot_at(v1).unwrap().filter_eq("tasks", "worker", &w1).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn upsert_inserts_then_updates() {
+        let mut d = db();
+        d.upsert("tasks", task(1, "w1", 8)).unwrap();
+        d.upsert("tasks", task(1, "w1", 10)).unwrap();
+        let key = Key(vec![Value::Uint(1)]);
+        assert_eq!(d.get("tasks", &key).unwrap().unwrap().values[2], Value::Uint(10));
+        assert_eq!(d.change_log()[1].kind, ChangeKind::Update);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut d = db();
+        let schema = Schema::new(vec![Column::new("a", ColumnType::Int)], &["a"]).unwrap();
+        assert!(matches!(d.create_table("tasks", schema), Err(StorageError::TableExists(_))));
+    }
+
+    #[test]
+    fn change_record_encoding_is_stable_and_distinct() {
+        let mut d = db();
+        d.insert("tasks", task(1, "w1", 8)).unwrap();
+        d.insert("tasks", task(2, "w1", 8)).unwrap();
+        let log = d.change_log();
+        assert_ne!(log[0].encode(), log[1].encode());
+        assert_eq!(log[0].encode(), log[0].encode());
+    }
+}

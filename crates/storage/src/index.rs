@@ -1,0 +1,93 @@
+//! Secondary indexes: value → set of primary keys.
+
+use crate::table::Key;
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An ordered secondary index over one column.
+#[derive(Clone, Debug, Default)]
+pub struct SecondaryIndex {
+    column: usize,
+    map: BTreeMap<Value, BTreeSet<Key>>,
+}
+
+impl SecondaryIndex {
+    /// Creates an empty index over schema column `column`.
+    pub fn new(column: usize) -> Self {
+        SecondaryIndex { column, map: BTreeMap::new() }
+    }
+
+    /// The indexed column position.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Adds a (value, key) entry.
+    pub fn insert(&mut self, value: Value, key: Key) {
+        self.map.entry(value).or_default().insert(key);
+    }
+
+    /// Removes a (value, key) entry.
+    pub fn remove(&mut self, value: &Value, key: &Key) {
+        if let Some(set) = self.map.get_mut(value) {
+            set.remove(key);
+            if set.is_empty() {
+                self.map.remove(value);
+            }
+        }
+    }
+
+    /// Keys with exactly `value`.
+    pub fn get(&self, value: &Value) -> Vec<Key> {
+        self.map.get(value).map(|s| s.iter().cloned().collect()).unwrap_or_default()
+    }
+
+    /// Keys with values in `[lo, hi]` (inclusive).
+    pub fn range(&self, lo: &Value, hi: &Value) -> Vec<Key> {
+        self.map
+            .range(lo.clone()..=hi.clone())
+            .flat_map(|(_, keys)| keys.iter().cloned())
+            .collect()
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_values(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> Key {
+        Key(vec![Value::Str(s.into())])
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut ix = SecondaryIndex::new(0);
+        ix.insert(Value::Uint(10), key("a"));
+        ix.insert(Value::Uint(10), key("b"));
+        ix.insert(Value::Uint(20), key("c"));
+        assert_eq!(ix.get(&Value::Uint(10)).len(), 2);
+        assert_eq!(ix.distinct_values(), 2);
+        ix.remove(&Value::Uint(10), &key("a"));
+        assert_eq!(ix.get(&Value::Uint(10)), vec![key("b")]);
+        ix.remove(&Value::Uint(10), &key("b"));
+        assert_eq!(ix.distinct_values(), 1);
+        // Removing a missing entry is a no-op.
+        ix.remove(&Value::Uint(99), &key("zz"));
+    }
+
+    #[test]
+    fn range_query() {
+        let mut ix = SecondaryIndex::new(0);
+        for (i, v) in [5u64, 10, 15, 20].iter().enumerate() {
+            ix.insert(Value::Uint(*v), key(&format!("k{i}")));
+        }
+        assert_eq!(ix.range(&Value::Uint(10), &Value::Uint(15)).len(), 2);
+        assert_eq!(ix.range(&Value::Uint(0), &Value::Uint(100)).len(), 4);
+        assert_eq!(ix.range(&Value::Uint(6), &Value::Uint(9)).len(), 0);
+    }
+}

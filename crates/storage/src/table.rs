@@ -1,0 +1,582 @@
+//! Schemas, rows and multi-versioned tables.
+
+use crate::index::SecondaryIndex;
+use crate::value::Value;
+use crate::{Result, StorageError};
+use std::collections::BTreeMap;
+
+/// Column type tags, used for schema validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    /// Signed integer.
+    Int,
+    /// Unsigned integer.
+    Uint,
+    /// UTF-8 string.
+    Str,
+    /// Opaque bytes.
+    Bytes,
+    /// Boolean.
+    Bool,
+    /// Event timestamp.
+    Timestamp,
+}
+
+impl ColumnType {
+    fn matches(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Uint, Value::Uint(_))
+                | (ColumnType::Str, Value::Str(_))
+                | (ColumnType::Bytes, Value::Bytes(_))
+                | (ColumnType::Bool, Value::Bool(_))
+                | (ColumnType::Timestamp, Value::Timestamp(_))
+        )
+    }
+}
+
+/// One column definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ty: ColumnType,
+    /// Whether NULL is accepted.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A non-nullable column.
+    pub fn new(name: &str, ty: ColumnType) -> Self {
+        Column { name: name.to_string(), ty, nullable: false }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: &str, ty: ColumnType) -> Self {
+        Column { name: name.to_string(), ty, nullable: true }
+    }
+}
+
+/// A table schema: ordered columns plus the primary-key column set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+    key_indices: Vec<usize>,
+}
+
+impl Schema {
+    /// Builds a schema; `key_columns` name the primary-key columns (must
+    /// be non-nullable and exist).
+    pub fn new(columns: Vec<Column>, key_columns: &[&str]) -> Result<Self> {
+        if key_columns.is_empty() {
+            return Err(StorageError::SchemaViolation("empty primary key".into()));
+        }
+        let mut key_indices = Vec::with_capacity(key_columns.len());
+        for k in key_columns {
+            let idx = columns
+                .iter()
+                .position(|c| c.name == *k)
+                .ok_or_else(|| StorageError::NoSuchColumn(k.to_string()))?;
+            if columns[idx].nullable {
+                return Err(StorageError::SchemaViolation(format!(
+                    "primary key column {k} is nullable"
+                )));
+            }
+            if key_indices.contains(&idx) {
+                return Err(StorageError::SchemaViolation(format!("duplicate key column {k}")));
+            }
+            key_indices.push(idx);
+        }
+        // Reject duplicate column names.
+        for (i, a) in columns.iter().enumerate() {
+            if columns[i + 1..].iter().any(|b| b.name == a.name) {
+                return Err(StorageError::SchemaViolation(format!(
+                    "duplicate column name {}",
+                    a.name
+                )));
+            }
+        }
+        Ok(Schema { columns, key_indices })
+    }
+
+    /// The ordered columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| StorageError::NoSuchColumn(name.to_string()))
+    }
+
+    /// Indices of the primary-key columns.
+    pub fn key_indices(&self) -> &[usize] {
+        &self.key_indices
+    }
+
+    /// Validates a row against this schema.
+    pub fn validate(&self, row: &Row) -> Result<()> {
+        if row.values.len() != self.columns.len() {
+            return Err(StorageError::SchemaViolation(format!(
+                "expected {} columns, got {}",
+                self.columns.len(),
+                row.values.len()
+            )));
+        }
+        for (col, v) in self.columns.iter().zip(&row.values) {
+            if v.is_null() {
+                if !col.nullable {
+                    return Err(StorageError::SchemaViolation(format!(
+                        "NULL in non-nullable column {}",
+                        col.name
+                    )));
+                }
+            } else if !col.ty.matches(v) {
+                return Err(StorageError::SchemaViolation(format!(
+                    "column {} expects {:?}, got {}",
+                    col.name,
+                    col.ty,
+                    v.type_name()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts the primary key values from a row.
+    pub fn key_of(&self, row: &Row) -> Key {
+        Key(self.key_indices.iter().map(|&i| row.values[i].clone()).collect())
+    }
+}
+
+/// A row: one value per schema column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Cell values, in schema column order.
+    pub values: Vec<Value>,
+}
+
+impl Row {
+    /// Builds a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// Stable binary encoding (for ledger hashing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.values.len() as u64).to_be_bytes());
+        for v in &self.values {
+            v.encode_into(&mut out);
+        }
+        out
+    }
+}
+
+/// A primary key (ordered key-column values).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(pub Vec<Value>);
+
+impl std::fmt::Display for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// One version of a row: `None` payload means deleted at that version.
+#[derive(Clone, Debug)]
+struct RowVersion {
+    version: u64,
+    row: Option<Row>,
+}
+
+/// A multi-versioned table.
+///
+/// Each key maps to its version chain (ascending). Reads at version `v`
+/// see the newest version `≤ v`.
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: Schema,
+    rows: BTreeMap<Key, Vec<RowVersion>>,
+    indexes: Vec<SecondaryIndex>,
+    live_count: usize,
+}
+
+impl Table {
+    /// Creates an empty table with `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Table { schema, rows: BTreeMap::new(), indexes: Vec::new(), live_count: 0 }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live (not deleted) rows at the latest version.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// True iff no live rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Creates a secondary index on `column`. Existing rows are indexed.
+    pub fn create_index(&mut self, column: &str) -> Result<()> {
+        let col = self.schema.column_index(column)?;
+        if self.indexes.iter().any(|ix| ix.column() == col) {
+            return Ok(()); // idempotent
+        }
+        let mut ix = SecondaryIndex::new(col);
+        for (key, versions) in &self.rows {
+            if let Some(row) = latest(versions) {
+                ix.insert(row.values[col].clone(), key.clone());
+            }
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// Inserts a row at `version`. Fails on duplicate live key.
+    pub fn insert(&mut self, row: Row, version: u64) -> Result<Key> {
+        self.schema.validate(&row)?;
+        let key = self.schema.key_of(&row);
+        let versions = self.rows.entry(key.clone()).or_default();
+        if latest(versions).is_some() {
+            return Err(StorageError::DuplicateKey(key.to_string()));
+        }
+        for ix in &mut self.indexes {
+            ix.insert(row.values[ix.column()].clone(), key.clone());
+        }
+        versions.push(RowVersion { version, row: Some(row) });
+        self.live_count += 1;
+        Ok(key)
+    }
+
+    /// Replaces the live row with `key` at `version`.
+    pub fn update(&mut self, key: &Key, row: Row, version: u64) -> Result<Row> {
+        self.schema.validate(&row)?;
+        let new_key = self.schema.key_of(&row);
+        if &new_key != key {
+            return Err(StorageError::SchemaViolation(
+                "update must not change the primary key".into(),
+            ));
+        }
+        let versions = self
+            .rows
+            .get_mut(key)
+            .ok_or_else(|| StorageError::NoSuchKey(key.to_string()))?;
+        let old = latest(versions)
+            .cloned()
+            .ok_or_else(|| StorageError::NoSuchKey(key.to_string()))?;
+        for ix in &mut self.indexes {
+            ix.remove(&old.values[ix.column()], key);
+            ix.insert(row.values[ix.column()].clone(), key.clone());
+        }
+        versions.push(RowVersion { version, row: Some(row) });
+        Ok(old)
+    }
+
+    /// Deletes the live row with `key` at `version`; returns the old row.
+    pub fn delete(&mut self, key: &Key, version: u64) -> Result<Row> {
+        let versions = self
+            .rows
+            .get_mut(key)
+            .ok_or_else(|| StorageError::NoSuchKey(key.to_string()))?;
+        let old = latest(versions)
+            .cloned()
+            .ok_or_else(|| StorageError::NoSuchKey(key.to_string()))?;
+        for ix in &mut self.indexes {
+            ix.remove(&old.values[ix.column()], key);
+        }
+        versions.push(RowVersion { version, row: None });
+        self.live_count -= 1;
+        Ok(old)
+    }
+
+    /// The live row for `key` (latest version).
+    pub fn get(&self, key: &Key) -> Option<&Row> {
+        self.rows.get(key).and_then(|v| latest(v))
+    }
+
+    /// The live (key, row) pair for `key`, borrowing the stored key.
+    pub fn get_key_value(&self, key: &Key) -> Option<(&Key, &Row)> {
+        self.rows
+            .get_key_value(key)
+            .and_then(|(k, v)| latest(v).map(|r| (k, r)))
+    }
+
+    /// The row for `key` as of `version`.
+    pub fn get_at(&self, key: &Key, version: u64) -> Option<&Row> {
+        self.rows.get(key).and_then(|v| at_version(v, version))
+    }
+
+    /// Iterates live rows in key order.
+    pub fn scan(&self) -> impl Iterator<Item = (&Key, &Row)> {
+        self.rows.iter().filter_map(|(k, v)| latest(v).map(|r| (k, r)))
+    }
+
+    /// Iterates rows as of `version` in key order.
+    pub fn scan_at(&self, version: u64) -> impl Iterator<Item = (&Key, &Row)> {
+        self.rows
+            .iter()
+            .filter_map(move |(k, v)| at_version(v, version).map(|r| (k, r)))
+    }
+
+    /// Keys whose indexed `column` equals `value`. Falls back to a scan if
+    /// no index exists.
+    pub fn lookup_eq(&self, column: &str, value: &Value) -> Result<Vec<Key>> {
+        let col = self.schema.column_index(column)?;
+        if let Some(ix) = self.indexes.iter().find(|ix| ix.column() == col) {
+            return Ok(ix.get(value));
+        }
+        Ok(self
+            .scan()
+            .filter(|(_, r)| &r.values[col] == value)
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    /// Keys whose indexed `column` lies in `[lo, hi]`. Falls back to scan.
+    pub fn lookup_range(&self, column: &str, lo: &Value, hi: &Value) -> Result<Vec<Key>> {
+        let col = self.schema.column_index(column)?;
+        if let Some(ix) = self.indexes.iter().find(|ix| ix.column() == col) {
+            return Ok(ix.range(lo, hi));
+        }
+        Ok(self
+            .scan()
+            .filter(|(_, r)| {
+                let v = &r.values[col];
+                v >= lo && v <= hi
+            })
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    /// Number of stored row versions across all keys (for GC diagnostics).
+    pub fn version_count(&self) -> usize {
+        self.rows.values().map(|v| v.len()).sum()
+    }
+
+    /// Drops versions older than `horizon` that are shadowed by newer
+    /// versions (snapshot reads below the horizon become unavailable).
+    pub fn gc(&mut self, horizon: u64) {
+        for versions in self.rows.values_mut() {
+            // Keep the newest version <= horizon plus everything after it.
+            let keep_from = versions
+                .iter()
+                .rposition(|rv| rv.version <= horizon)
+                .unwrap_or(0);
+            if keep_from > 0 {
+                versions.drain(..keep_from);
+            }
+        }
+        self.rows.retain(|_, v| !(v.len() == 1 && v[0].row.is_none()));
+    }
+}
+
+fn latest(versions: &[RowVersion]) -> Option<&Row> {
+    versions.last().and_then(|rv| rv.row.as_ref())
+}
+
+fn at_version(versions: &[RowVersion], version: u64) -> Option<&Row> {
+    versions
+        .iter()
+        .rev()
+        .find(|rv| rv.version <= version)
+        .and_then(|rv| rv.row.as_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worker_schema() -> Schema {
+        Schema::new(
+            vec![
+                Column::new("worker", ColumnType::Str),
+                Column::new("week", ColumnType::Uint),
+                Column::new("hours", ColumnType::Uint),
+                Column::nullable("note", ColumnType::Str),
+            ],
+            &["worker", "week"],
+        )
+        .unwrap()
+    }
+
+    fn row(worker: &str, week: u64, hours: u64) -> Row {
+        Row::new(vec![worker.into(), week.into(), hours.into(), Value::Null])
+    }
+
+    #[test]
+    fn schema_rejects_bad_definitions() {
+        assert!(Schema::new(vec![Column::new("a", ColumnType::Int)], &[]).is_err());
+        assert!(Schema::new(vec![Column::new("a", ColumnType::Int)], &["b"]).is_err());
+        assert!(
+            Schema::new(vec![Column::nullable("a", ColumnType::Int)], &["a"]).is_err(),
+            "nullable key must be rejected"
+        );
+        assert!(Schema::new(
+            vec![Column::new("a", ColumnType::Int), Column::new("a", ColumnType::Str)],
+            &["a"]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = Table::new(worker_schema());
+        let key = t.insert(row("w1", 23, 38), 1).unwrap();
+        assert_eq!(t.get(&key).unwrap().values[2], Value::Uint(38));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut t = Table::new(worker_schema());
+        t.insert(row("w1", 23, 38), 1).unwrap();
+        assert!(matches!(t.insert(row("w1", 23, 12), 2), Err(StorageError::DuplicateKey(_))));
+    }
+
+    #[test]
+    fn schema_validation_on_insert() {
+        let mut t = Table::new(worker_schema());
+        // Wrong arity.
+        assert!(t.insert(Row::new(vec!["w1".into()]), 1).is_err());
+        // Wrong type.
+        assert!(t
+            .insert(Row::new(vec!["w1".into(), "x".into(), 38u64.into(), Value::Null]), 1)
+            .is_err());
+        // NULL in non-nullable.
+        assert!(t
+            .insert(Row::new(vec![Value::Null, 23u64.into(), 38u64.into(), Value::Null]), 1)
+            .is_err());
+        // NULL in nullable is fine.
+        assert!(t.insert(row("w1", 23, 38), 1).is_ok());
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut t = Table::new(worker_schema());
+        let key = t.insert(row("w1", 23, 38), 1).unwrap();
+        let old = t.update(&key, row("w1", 23, 40), 2).unwrap();
+        assert_eq!(old.values[2], Value::Uint(38));
+        assert_eq!(t.get(&key).unwrap().values[2], Value::Uint(40));
+        let old = t.delete(&key, 3).unwrap();
+        assert_eq!(old.values[2], Value::Uint(40));
+        assert!(t.get(&key).is_none());
+        assert_eq!(t.len(), 0);
+        assert!(matches!(t.delete(&key, 4), Err(StorageError::NoSuchKey(_))));
+    }
+
+    #[test]
+    fn update_cannot_change_key() {
+        let mut t = Table::new(worker_schema());
+        let key = t.insert(row("w1", 23, 38), 1).unwrap();
+        assert!(t.update(&key, row("w2", 23, 38), 2).is_err());
+    }
+
+    #[test]
+    fn mvcc_reads_past_versions() {
+        let mut t = Table::new(worker_schema());
+        let key = t.insert(row("w1", 23, 10), 1).unwrap();
+        t.update(&key, row("w1", 23, 20), 5).unwrap();
+        t.delete(&key, 9).unwrap();
+        assert!(t.get_at(&key, 0).is_none());
+        assert_eq!(t.get_at(&key, 1).unwrap().values[2], Value::Uint(10));
+        assert_eq!(t.get_at(&key, 4).unwrap().values[2], Value::Uint(10));
+        assert_eq!(t.get_at(&key, 5).unwrap().values[2], Value::Uint(20));
+        assert_eq!(t.get_at(&key, 8).unwrap().values[2], Value::Uint(20));
+        assert!(t.get_at(&key, 9).is_none());
+        assert!(t.get_at(&key, 100).is_none());
+    }
+
+    #[test]
+    fn scan_at_version() {
+        let mut t = Table::new(worker_schema());
+        t.insert(row("w1", 1, 10), 1).unwrap();
+        t.insert(row("w2", 1, 20), 2).unwrap();
+        t.insert(row("w3", 1, 30), 3).unwrap();
+        assert_eq!(t.scan_at(2).count(), 2);
+        assert_eq!(t.scan_at(3).count(), 3);
+        assert_eq!(t.scan().count(), 3);
+    }
+
+    #[test]
+    fn index_lookup_and_maintenance() {
+        let mut t = Table::new(worker_schema());
+        t.create_index("hours").unwrap();
+        let k1 = t.insert(row("w1", 1, 10), 1).unwrap();
+        t.insert(row("w2", 1, 10), 2).unwrap();
+        t.insert(row("w3", 1, 30), 3).unwrap();
+        assert_eq!(t.lookup_eq("hours", &Value::Uint(10)).unwrap().len(), 2);
+        t.update(&k1, row("w1", 1, 30), 4).unwrap();
+        assert_eq!(t.lookup_eq("hours", &Value::Uint(10)).unwrap().len(), 1);
+        assert_eq!(t.lookup_eq("hours", &Value::Uint(30)).unwrap().len(), 2);
+        t.delete(&k1, 5).unwrap();
+        assert_eq!(t.lookup_eq("hours", &Value::Uint(30)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn index_created_after_rows_exist() {
+        let mut t = Table::new(worker_schema());
+        t.insert(row("w1", 1, 10), 1).unwrap();
+        t.insert(row("w2", 1, 20), 2).unwrap();
+        t.create_index("hours").unwrap();
+        assert_eq!(t.lookup_eq("hours", &Value::Uint(20)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn range_lookup_with_and_without_index() {
+        let mut t = Table::new(worker_schema());
+        for (i, h) in [5u64, 10, 15, 20, 25].iter().enumerate() {
+            t.insert(row(&format!("w{i}"), 1, *h), i as u64 + 1).unwrap();
+        }
+        let unindexed = t.lookup_range("hours", &Value::Uint(10), &Value::Uint(20)).unwrap();
+        t.create_index("hours").unwrap();
+        let indexed = t.lookup_range("hours", &Value::Uint(10), &Value::Uint(20)).unwrap();
+        assert_eq!(unindexed.len(), 3);
+        let mut a = unindexed.clone();
+        let mut b = indexed.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gc_drops_shadowed_versions() {
+        let mut t = Table::new(worker_schema());
+        let key = t.insert(row("w1", 1, 10), 1).unwrap();
+        for v in 2..10 {
+            t.update(&key, row("w1", 1, 10 + v), v).unwrap();
+        }
+        assert_eq!(t.version_count(), 9);
+        t.gc(8);
+        assert!(t.version_count() <= 2);
+        // Latest still readable.
+        assert_eq!(t.get(&key).unwrap().values[2], Value::Uint(19));
+    }
+
+    #[test]
+    fn gc_removes_fully_deleted_keys() {
+        let mut t = Table::new(worker_schema());
+        let key = t.insert(row("w1", 1, 10), 1).unwrap();
+        t.delete(&key, 2).unwrap();
+        t.gc(10);
+        assert_eq!(t.version_count(), 0);
+    }
+}

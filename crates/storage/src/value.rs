@@ -1,0 +1,305 @@
+//! Typed cell values.
+
+use std::cmp::Ordering;
+
+/// A single cell value.
+///
+/// The variant set covers what PReVer's applications store: counters and
+/// amounts (`Int`/`Uint`), identifiers (`Str`), opaque encrypted payloads
+/// (`Bytes` — e.g. a Paillier ciphertext serialized by the core crate),
+/// flags (`Bool`), event times for temporal regulations (`Timestamp`), and
+/// SQL-style `Null`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Signed 64-bit integer.
+    Int(i64),
+    /// Unsigned 64-bit integer.
+    Uint(u64),
+    /// UTF-8 string.
+    Str(String),
+    /// Opaque bytes (encrypted payloads, commitments, digests).
+    Bytes(Vec<u8>),
+    /// Boolean.
+    Bool(bool),
+    /// Seconds since an application-defined epoch; the unit temporal
+    /// regulations ("40 hours per week") are expressed in.
+    Timestamp(u64),
+}
+
+impl Value {
+    /// A short name for the value's runtime type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int",
+            Value::Uint(_) => "uint",
+            Value::Str(_) => "str",
+            Value::Bytes(_) => "bytes",
+            Value::Bool(_) => "bool",
+            Value::Timestamp(_) => "timestamp",
+        }
+    }
+
+    /// Numeric view as `i128` (ints, uints, timestamps, bools).
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Int(v) => Some(*v as i128),
+            Value::Uint(v) => Some(*v as i128),
+            Value::Timestamp(v) => Some(*v as i128),
+            Value::Bool(b) => Some(*b as i128),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Bytes view.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// True iff the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL-style three-valued comparison: `None` when either side is NULL
+    /// or the types are incomparable.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bytes(a), Value::Bytes(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => match (self.as_i128(), other.as_i128()) {
+                (Some(a), Some(b)) => Some(a.cmp(&b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Stable binary encoding used for hashing rows into the ledger.
+    ///
+    /// Tagged and length-prefixed, so distinct values never share an
+    /// encoding.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0),
+            Value::Int(v) => {
+                out.push(1);
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            Value::Uint(v) => {
+                out.push(2);
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            Value::Str(s) => {
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u64).to_be_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                out.push(4);
+                out.extend_from_slice(&(b.len() as u64).to_be_bytes());
+                out.extend_from_slice(b);
+            }
+            Value::Bool(b) => {
+                out.push(5);
+                out.push(*b as u8);
+            }
+            Value::Timestamp(v) => {
+                out.push(6);
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+        }
+    }
+
+    /// Stable binary encoding as a fresh vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+// Ordering for use as a BTreeMap key: totally ordered across variants by
+// (variant tag, then value). NULLs sort first, like most SQL engines.
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn tag(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) => 1,
+                Value::Uint(_) => 2,
+                Value::Str(_) => 3,
+                Value::Bytes(_) => 4,
+                Value::Bool(_) => 5,
+                Value::Timestamp(_) => 6,
+            }
+        }
+        // Numeric variants compare numerically across Int/Uint/Timestamp
+        // so indexes behave intuitively; otherwise compare by tag.
+        if let (Some(a), Some(b)) = (self.as_i128(), other.as_i128()) {
+            if !matches!(self, Value::Bool(_)) && !matches!(other, Value::Bool(_)) {
+                return a.cmp(&b).then_with(|| tag(self).cmp(&tag(other)));
+            }
+        }
+        match tag(self).cmp(&tag(other)) {
+            Ordering::Equal => match (self, other) {
+                (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                (Value::Bytes(a), Value::Bytes(b)) => a.cmp(b),
+                (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+                _ => Ordering::Equal,
+            },
+            o => o,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Uint(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bytes(b) => write!(f, "x'{}'", b.iter().map(|x| format!("{x:02x}")).collect::<String>()),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Timestamp(v) => write!(f, "@{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Uint(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(Value::Int(-1).compare(&Value::Uint(0)), Some(Ordering::Less));
+        assert_eq!(Value::Uint(5).compare(&Value::Timestamp(5)), Some(Ordering::Equal));
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Str("a".into()).compare(&Value::Int(1)), None);
+        assert_eq!(
+            Value::Str("a".into()).compare(&Value::Str("b".into())),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn total_order_mixes_numerics() {
+        let mut vals = vec![Value::Uint(5), Value::Int(-3), Value::Timestamp(1), Value::Int(2)];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![Value::Int(-3), Value::Timestamp(1), Value::Int(2), Value::Uint(5)]
+        );
+    }
+
+    #[test]
+    fn encoding_is_injective_across_variants() {
+        let values = [
+            Value::Null,
+            Value::Int(0),
+            Value::Uint(0),
+            Value::Str(String::new()),
+            Value::Bytes(Vec::new()),
+            Value::Bool(false),
+            Value::Timestamp(0),
+            Value::Int(1),
+            Value::Str("1".into()),
+            Value::Bytes(vec![1]),
+        ];
+        let encodings: Vec<Vec<u8>> = values.iter().map(|v| v.encode()).collect();
+        for i in 0..encodings.len() {
+            for j in i + 1..encodings.len() {
+                assert_ne!(encodings[i], encodings[j], "{:?} vs {:?}", values[i], values[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_length_prefix_prevents_splicing() {
+        // ("ab", "c") vs ("a", "bc") as consecutive encodings must differ.
+        let mut e1 = Vec::new();
+        Value::Str("ab".into()).encode_into(&mut e1);
+        Value::Str("c".into()).encode_into(&mut e1);
+        let mut e2 = Vec::new();
+        Value::Str("a".into()).encode_into(&mut e2);
+        Value::Str("bc".into()).encode_into(&mut e2);
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::Str("x".into()).to_string(), "'x'");
+        assert_eq!(Value::Bytes(vec![0xde, 0xad]).to_string(), "x'dead'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::Bool(true).as_i128(), Some(1));
+        assert_eq!(Value::Str("s".into()).as_i128(), None);
+    }
+}

@@ -1,0 +1,146 @@
+//! Model-based property test: the MVCC database against a naive model.
+//!
+//! Random operation sequences run against both the real [`Database`]
+//! and a trivially correct model (a map per version). Every live read,
+//! historical snapshot read, scan, and change-log entry must agree.
+
+use prever_storage::{Column, ColumnType, Database, Key, Row, Schema, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Upsert { key: u8, val: u8 },
+    Delete { key: u8 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..8, any::<u8>()).prop_map(|(key, val)| Op::Upsert { key, val }),
+            (0u8..8).prop_map(|key| Op::Delete { key }),
+        ],
+        1..80,
+    )
+}
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![Column::new("k", ColumnType::Uint), Column::new("v", ColumnType::Uint)],
+        &["k"],
+    )
+    .unwrap()
+}
+
+fn row(key: u8, val: u8) -> Row {
+    Row::new(vec![Value::Uint(key as u64), Value::Uint(val as u64)])
+}
+
+fn key_of(key: u8) -> Key {
+    Key(vec![Value::Uint(key as u64)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn database_agrees_with_model(ops in arb_ops()) {
+        let mut db = Database::new();
+        db.create_table("t", schema()).unwrap();
+        // Model: live map, plus model state captured at every version.
+        let mut model: BTreeMap<u8, u8> = BTreeMap::new();
+        let mut history: Vec<BTreeMap<u8, u8>> = vec![model.clone()]; // index = version
+        let mut changes = 0usize;
+
+        for op in &ops {
+            match op {
+                Op::Upsert { key, val } => {
+                    db.upsert("t", row(*key, *val)).unwrap();
+                    model.insert(*key, *val);
+                    history.push(model.clone());
+                    changes += 1;
+                }
+                Op::Delete { key } => {
+                    let existed = model.contains_key(key);
+                    let result = db.delete("t", &key_of(*key));
+                    prop_assert_eq!(result.is_ok(), existed, "delete existence mismatch");
+                    if existed {
+                        model.remove(key);
+                        history.push(model.clone());
+                        changes += 1;
+                    }
+                }
+            }
+            // Live reads agree after every op.
+            for k in 0u8..8 {
+                let got = db.get("t", &key_of(k)).unwrap().map(|r| r.values[1].clone());
+                let expected = model.get(&k).map(|v| Value::Uint(*v as u64));
+                prop_assert_eq!(got, expected, "live get({}) mismatch", k);
+            }
+        }
+
+        // Final invariants.
+        prop_assert_eq!(db.version() as usize, changes);
+        prop_assert_eq!(db.change_log().len(), changes);
+        prop_assert_eq!(db.table("t").unwrap().len(), model.len());
+
+        // Every historical version replays exactly.
+        for (version, snapshot_model) in history.iter().enumerate() {
+            let snap = db.snapshot_at(version as u64).unwrap();
+            let live: BTreeMap<u8, u8> = snap
+                .scan("t")
+                .unwrap()
+                .map(|(k, r)| {
+                    let key = match &k.0[0] {
+                        Value::Uint(v) => *v as u8,
+                        other => panic!("unexpected key {other:?}"),
+                    };
+                    let val = match &r.values[1] {
+                        Value::Uint(v) => *v as u8,
+                        other => panic!("unexpected value {other:?}"),
+                    };
+                    (key, val)
+                })
+                .collect();
+            prop_assert_eq!(&live, snapshot_model, "snapshot at version {} diverged", version);
+        }
+    }
+
+    #[test]
+    fn change_log_replay_reconstructs_state(ops in arb_ops()) {
+        // Replaying the change log's `after` images into a fresh map
+        // must reproduce the live state — the property the ledger layer
+        // depends on when journaling change records.
+        let mut db = Database::new();
+        db.create_table("t", schema()).unwrap();
+        for op in &ops {
+            match op {
+                Op::Upsert { key, val } => {
+                    db.upsert("t", row(*key, *val)).unwrap();
+                }
+                Op::Delete { key } => {
+                    let _ = db.delete("t", &key_of(*key));
+                }
+            }
+        }
+        let mut replayed: BTreeMap<Value, Row> = BTreeMap::new();
+        for c in db.change_log() {
+            match (&c.before, &c.after) {
+                (_, Some(after)) => {
+                    replayed.insert(c.key.0[0].clone(), after.clone());
+                }
+                (Some(_), None) => {
+                    replayed.remove(&c.key.0[0]);
+                }
+                (None, None) => prop_assert!(false, "change with neither image"),
+            }
+        }
+        let live: BTreeMap<Value, Row> = db
+            .table("t")
+            .unwrap()
+            .scan()
+            .map(|(k, r)| (k.0[0].clone(), r.clone()))
+            .collect();
+        prop_assert_eq!(replayed, live);
+    }
+}

@@ -1,0 +1,150 @@
+//! The multi-platform crowdworking workload (paper §2.3, §5).
+//!
+//! A stream of task completions: Zipf-popular workers splitting time
+//! across platforms, with hours drawn so a tunable fraction of workers
+//! pushes against the FLSA bound (the interesting regime for regulation
+//! enforcement).
+
+use crate::Zipfian;
+use rand::Rng;
+
+/// One completed task — the paper's §5 update: "(task completed, time
+/// spent, requester, platform)".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskCompletion {
+    /// Task id.
+    pub id: u64,
+    /// Worker (data producer & owner).
+    pub worker: String,
+    /// Platform that brokered the task (data manager).
+    pub platform: usize,
+    /// Requester who posted the task.
+    pub requester: String,
+    /// Hours worked (1–8).
+    pub hours: u64,
+    /// Completion timestamp (seconds).
+    pub ts: u64,
+}
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CrowdworkingConfig {
+    /// Worker population.
+    pub workers: usize,
+    /// Number of platforms.
+    pub platforms: usize,
+    /// Requester population.
+    pub requesters: usize,
+    /// Worker-popularity skew (θ): busy workers complete most tasks and
+    /// are the ones that hit the 40-hour bound.
+    pub worker_skew: f64,
+    /// Mean seconds between consecutive completions.
+    pub mean_interarrival: u64,
+}
+
+impl Default for CrowdworkingConfig {
+    fn default() -> Self {
+        CrowdworkingConfig {
+            workers: 100,
+            platforms: 2,
+            requesters: 50,
+            worker_skew: 0.9,
+            mean_interarrival: 3600,
+        }
+    }
+}
+
+/// The workload generator.
+#[derive(Clone, Debug)]
+pub struct CrowdworkingWorkload {
+    /// Configuration in force.
+    pub config: CrowdworkingConfig,
+    worker_zipf: Zipfian,
+    next_id: u64,
+    clock: u64,
+}
+
+impl CrowdworkingWorkload {
+    /// Creates a generator.
+    pub fn new(config: CrowdworkingConfig) -> Self {
+        CrowdworkingWorkload {
+            worker_zipf: Zipfian::new(config.workers, config.worker_skew),
+            config,
+            next_id: 0,
+            clock: 0,
+        }
+    }
+
+    /// Generates the next task completion.
+    pub fn next_task<R: Rng + ?Sized>(&mut self, rng: &mut R) -> TaskCompletion {
+        self.next_id += 1;
+        // Exponential-ish interarrival via geometric sampling.
+        self.clock += 1 + rng.gen_range(0..=2 * self.config.mean_interarrival);
+        TaskCompletion {
+            id: self.next_id,
+            worker: format!("worker-{}", self.worker_zipf.sample(rng)),
+            platform: rng.gen_range(0..self.config.platforms),
+            requester: format!("requester-{}", rng.gen_range(0..self.config.requesters)),
+            hours: rng.gen_range(1..=8),
+            ts: self.clock,
+        }
+    }
+
+    /// Generates a batch of `n` completions (timestamps increasing).
+    pub fn batch<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> Vec<TaskCompletion> {
+        (0..n).map(|_| self.next_task(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::collections::HashMap;
+
+    #[test]
+    fn tasks_are_well_formed_and_ordered() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = CrowdworkingWorkload::new(CrowdworkingConfig::default());
+        let tasks = w.batch(500, &mut rng);
+        let mut last = 0;
+        for t in &tasks {
+            assert!(t.hours >= 1 && t.hours <= 8);
+            assert!(t.platform < 2);
+            assert!(t.ts > last);
+            last = t.ts;
+        }
+    }
+
+    #[test]
+    fn busy_workers_dominate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = CrowdworkingWorkload::new(CrowdworkingConfig {
+            workers: 50,
+            worker_skew: 0.95,
+            ..Default::default()
+        });
+        let tasks = w.batch(5000, &mut rng);
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for t in &tasks {
+            *counts.entry(t.worker.as_str()).or_default() += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 5000 / 50 * 3, "hottest worker should be ≫ uniform share, got {max}");
+    }
+
+    #[test]
+    fn workers_use_multiple_platforms() {
+        // The premise of the application: the same worker appears on
+        // more than one platform.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut w = CrowdworkingWorkload::new(CrowdworkingConfig::default());
+        let tasks = w.batch(2000, &mut rng);
+        let mut platforms: HashMap<&str, std::collections::HashSet<usize>> = HashMap::new();
+        for t in &tasks {
+            platforms.entry(t.worker.as_str()).or_default().insert(t.platform);
+        }
+        let multi = platforms.values().filter(|s| s.len() > 1).count();
+        assert!(multi > 10, "workers on multiple platforms: {multi}");
+    }
+}

@@ -1,0 +1,141 @@
+//! # prever-workloads
+//!
+//! Workload generators for PReVer's evaluation.
+//!
+//! §6 of the paper fixes the methodology: *"comparisons should be
+//! performed with respect to non-private solutions using standardized
+//! database benchmarks like TPC and YCSB."* This crate provides
+//! from-scratch generators preserving the access-pattern and
+//! transaction-mix characteristics of those suites (DESIGN.md documents
+//! the substitution for the official kits), plus domain generators for
+//! the paper's four motivating applications (§2):
+//!
+//! * [`ycsb`] — YCSB core workloads A–F with Zipfian/uniform/latest key
+//!   distributions;
+//! * [`tpcc`] — TPC-C-lite: the new-order transaction path over
+//!   warehouses/districts/customers;
+//! * [`crowdworking`] — multi-platform task completions under FLSA
+//!   (Fig. 1c);
+//! * [`domain`] — sustainability reports (Fig. 1a), conference
+//!   registrations (Fig. 1b), and supply-chain shipments (Fig. 1d).
+//!
+//! All generators are deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crowdworking;
+pub mod domain;
+pub mod tpcc;
+pub mod ycsb;
+
+pub use crowdworking::{CrowdworkingWorkload, TaskCompletion};
+pub use ycsb::{YcsbOp, YcsbWorkload, YcsbWorkloadKind};
+
+use rand::Rng;
+
+/// A Zipfian generator over `[0, n)` with parameter `theta`
+/// (Gray et al.; YCSB's default skew is θ = 0.99).
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Builds a generator over `n` items with skew `theta ∈ (0, 1)`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipfian needs at least one item");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    fn zeta(n: usize, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Next sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread = self.eta * u - self.eta + 1.0;
+        ((self.n as f64) * spread.powf(self.alpha)) as usize % self.n
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The ζ(2, θ) constant (exposed for tests).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = Zipfian::new(1000, 0.99);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Hot head: the top item dominates.
+        let head = counts[0];
+        let tail: u64 = counts[500..].iter().sum();
+        assert!(head > 5_000, "head {head}");
+        assert!(head as f64 > tail as f64 * 0.5, "head {head} vs tail {tail}");
+        // Everything in range.
+        assert_eq!(counts.iter().sum::<u64>(), 100_000);
+    }
+
+    #[test]
+    fn zipfian_low_theta_is_flatter() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let skewed = Zipfian::new(100, 0.99);
+        let flat = Zipfian::new(100, 0.1);
+        let head_freq = |z: &Zipfian, rng: &mut StdRng| {
+            let mut head = 0;
+            for _ in 0..20_000 {
+                if z.sample(rng) == 0 {
+                    head += 1;
+                }
+            }
+            head
+        };
+        let hs = head_freq(&skewed, &mut rng);
+        let hf = head_freq(&flat, &mut rng);
+        assert!(hs > hf * 2, "skewed head {hs} vs flat head {hf}");
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn zipfian_rejects_bad_theta() {
+        Zipfian::new(10, 1.5);
+    }
+}

@@ -1,0 +1,204 @@
+//! TPC-C-lite: the new-order transaction path.
+//!
+//! A reduced TPC-C preserving what matters for E10: per-warehouse
+//! partitioning (→ shardable), the new-order item mix (1% remote
+//! warehouse accesses in full TPC-C — configurable here as the
+//! cross-shard knob), and order lines as the regulated updates.
+
+use rand::Rng;
+
+/// Scale configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TpccConfig {
+    /// Number of warehouses (the TPC-C scale unit).
+    pub warehouses: usize,
+    /// Districts per warehouse.
+    pub districts: usize,
+    /// Customers per district.
+    pub customers: usize,
+    /// Item catalog size.
+    pub items: usize,
+    /// Probability an order line references a remote warehouse
+    /// (TPC-C spec: 0.01).
+    pub remote_prob: f64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig { warehouses: 4, districts: 10, customers: 3000, items: 1000, remote_prob: 0.01 }
+    }
+}
+
+/// One order line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrderLine {
+    /// Item ordered.
+    pub item: u64,
+    /// Supplying warehouse (usually the home warehouse).
+    pub supply_warehouse: usize,
+    /// Quantity (1–10).
+    pub quantity: u64,
+}
+
+/// A new-order transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NewOrder {
+    /// Transaction id.
+    pub id: u64,
+    /// Home warehouse.
+    pub warehouse: usize,
+    /// District within the warehouse.
+    pub district: usize,
+    /// Ordering customer.
+    pub customer: u64,
+    /// 5–15 order lines.
+    pub lines: Vec<OrderLine>,
+    /// Logical timestamp.
+    pub ts: u64,
+}
+
+impl NewOrder {
+    /// Warehouses this transaction touches (home + remote suppliers).
+    pub fn touched_warehouses(&self) -> Vec<usize> {
+        let mut ws = vec![self.warehouse];
+        for l in &self.lines {
+            if !ws.contains(&l.supply_warehouse) {
+                ws.push(l.supply_warehouse);
+            }
+        }
+        ws.sort_unstable();
+        ws
+    }
+
+    /// True iff any line supplies from a remote warehouse.
+    pub fn is_cross_warehouse(&self) -> bool {
+        self.lines.iter().any(|l| l.supply_warehouse != self.warehouse)
+    }
+
+    /// Total quantity across lines (the regulated aggregate in E10's
+    /// credit-limit constraint).
+    pub fn total_quantity(&self) -> u64 {
+        self.lines.iter().map(|l| l.quantity).sum()
+    }
+}
+
+/// The new-order generator.
+#[derive(Clone, Debug)]
+pub struct TpccWorkload {
+    /// The configuration in force.
+    pub config: TpccConfig,
+    next_id: u64,
+    clock: u64,
+}
+
+impl TpccWorkload {
+    /// Creates a generator.
+    pub fn new(config: TpccConfig) -> Self {
+        TpccWorkload { config, next_id: 0, clock: 0 }
+    }
+
+    /// Generates the next new-order transaction.
+    pub fn next_order<R: Rng + ?Sized>(&mut self, rng: &mut R) -> NewOrder {
+        self.next_id += 1;
+        self.clock += rng.gen_range(1..=100);
+        let warehouse = rng.gen_range(0..self.config.warehouses);
+        let n_lines = rng.gen_range(5..=15);
+        let lines = (0..n_lines)
+            .map(|_| {
+                let remote = self.config.warehouses > 1 && rng.gen::<f64>() < self.config.remote_prob;
+                let supply_warehouse = if remote {
+                    // Any warehouse other than home.
+                    let mut w = rng.gen_range(0..self.config.warehouses - 1);
+                    if w >= warehouse {
+                        w += 1;
+                    }
+                    w
+                } else {
+                    warehouse
+                };
+                OrderLine {
+                    item: rng.gen_range(0..self.config.items as u64),
+                    supply_warehouse,
+                    quantity: rng.gen_range(1..=10),
+                }
+            })
+            .collect();
+        NewOrder {
+            id: self.next_id,
+            warehouse,
+            district: rng.gen_range(0..self.config.districts),
+            customer: rng.gen_range(0..self.config.customers as u64),
+            lines,
+            ts: self.clock,
+        }
+    }
+
+    /// Generates a batch of `n` orders.
+    pub fn batch<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> Vec<NewOrder> {
+        (0..n).map(|_| self.next_order(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn orders_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = TpccWorkload::new(TpccConfig::default());
+        let mut last_ts = 0;
+        for _ in 0..1000 {
+            let o = w.next_order(&mut rng);
+            assert!(o.warehouse < 4);
+            assert!(o.district < 10);
+            assert!((5..=15).contains(&o.lines.len()));
+            assert!(o.lines.iter().all(|l| l.quantity >= 1 && l.quantity <= 10));
+            assert!(o.ts > last_ts);
+            last_ts = o.ts;
+        }
+    }
+
+    #[test]
+    fn remote_probability_controls_cross_warehouse_rate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rate = |p: f64, rng: &mut StdRng| {
+            let mut w = TpccWorkload::new(TpccConfig { remote_prob: p, ..Default::default() });
+            let orders = w.batch(2000, rng);
+            orders.iter().filter(|o| o.is_cross_warehouse()).count() as f64 / 2000.0
+        };
+        assert_eq!(rate(0.0, &mut rng), 0.0);
+        let r01 = rate(0.01, &mut rng);
+        // ~10 lines/order → P(cross) ≈ 1-(0.99)^10 ≈ 0.096.
+        assert!(r01 > 0.04 && r01 < 0.2, "rate {r01}");
+        let r50 = rate(0.5, &mut rng);
+        assert!(r50 > 0.9, "rate {r50}");
+    }
+
+    #[test]
+    fn touched_warehouses_sorted_unique() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut w = TpccWorkload::new(TpccConfig { remote_prob: 0.5, ..Default::default() });
+        for _ in 0..200 {
+            let o = w.next_order(&mut rng);
+            let t = o.touched_warehouses();
+            let mut s = t.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(t, s);
+            assert!(t.contains(&o.warehouse));
+        }
+    }
+
+    #[test]
+    fn single_warehouse_never_cross() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut w = TpccWorkload::new(TpccConfig {
+            warehouses: 1,
+            remote_prob: 0.9,
+            ..Default::default()
+        });
+        assert!(w.batch(500, &mut rng).iter().all(|o| !o.is_cross_warehouse()));
+    }
+}

@@ -1,0 +1,227 @@
+//! YCSB core workloads A–F.
+//!
+//! Operation mixes follow the YCSB core-workload definitions:
+//!
+//! | Workload | Mix |
+//! |---|---|
+//! | A | 50% read / 50% update |
+//! | B | 95% read / 5% update |
+//! | C | 100% read |
+//! | D | 95% read (latest) / 5% insert |
+//! | E | 95% scan / 5% insert |
+//! | F | 50% read / 50% read-modify-write |
+
+use crate::Zipfian;
+use rand::Rng;
+
+/// The six core workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum YcsbWorkloadKind {
+    /// Update-heavy.
+    A,
+    /// Read-mostly.
+    B,
+    /// Read-only.
+    C,
+    /// Read-latest.
+    D,
+    /// Short-range scans.
+    E,
+    /// Read-modify-write.
+    F,
+}
+
+/// One generated operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum YcsbOp {
+    /// Point read.
+    Read(u64),
+    /// Full-record update.
+    Update(u64, Vec<u8>),
+    /// Insert of a new record.
+    Insert(u64, Vec<u8>),
+    /// Range scan of `len` records from `start`.
+    Scan(u64, usize),
+    /// Read-modify-write.
+    ReadModifyWrite(u64, Vec<u8>),
+}
+
+impl YcsbOp {
+    /// True for operations that mutate.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, YcsbOp::Read(_) | YcsbOp::Scan(_, _))
+    }
+}
+
+/// The workload generator.
+#[derive(Clone, Debug)]
+pub struct YcsbWorkload {
+    kind: YcsbWorkloadKind,
+    zipf: Zipfian,
+    record_count: u64,
+    inserted: u64,
+    value_size: usize,
+}
+
+impl YcsbWorkload {
+    /// A workload over `record_count` preloaded records with Zipfian
+    /// skew `theta` and `value_size`-byte values.
+    pub fn new(kind: YcsbWorkloadKind, record_count: u64, theta: f64, value_size: usize) -> Self {
+        YcsbWorkload {
+            kind,
+            zipf: Zipfian::new(record_count as usize, theta),
+            record_count,
+            inserted: 0,
+            value_size,
+        }
+    }
+
+    /// Keys to preload before running the operation stream.
+    pub fn preload_keys(&self) -> impl Iterator<Item = u64> {
+        0..self.record_count
+    }
+
+    /// The value payload for preloading/updates.
+    pub fn value<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u8> {
+        let mut v = vec![0u8; self.value_size];
+        rng.fill(&mut v[..]);
+        v
+    }
+
+    fn key<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self.kind {
+            // Workload D reads the *latest* keys.
+            YcsbWorkloadKind::D => {
+                let newest = self.record_count + self.inserted;
+                let back = self.zipf.sample(rng) as u64;
+                newest.saturating_sub(back + 1)
+            }
+            _ => self.zipf.sample(rng) as u64,
+        }
+    }
+
+    /// Generates the next operation.
+    pub fn next_op<R: Rng + ?Sized>(&mut self, rng: &mut R) -> YcsbOp {
+        let p: f64 = rng.gen();
+        match self.kind {
+            YcsbWorkloadKind::A => {
+                if p < 0.5 {
+                    YcsbOp::Read(self.key(rng))
+                } else {
+                    YcsbOp::Update(self.key(rng), self.value(rng))
+                }
+            }
+            YcsbWorkloadKind::B => {
+                if p < 0.95 {
+                    YcsbOp::Read(self.key(rng))
+                } else {
+                    YcsbOp::Update(self.key(rng), self.value(rng))
+                }
+            }
+            YcsbWorkloadKind::C => YcsbOp::Read(self.key(rng)),
+            YcsbWorkloadKind::D => {
+                if p < 0.95 {
+                    YcsbOp::Read(self.key(rng))
+                } else {
+                    self.inserted += 1;
+                    YcsbOp::Insert(self.record_count + self.inserted - 1, self.value(rng))
+                }
+            }
+            YcsbWorkloadKind::E => {
+                if p < 0.95 {
+                    let len = rng.gen_range(1..=100);
+                    YcsbOp::Scan(self.key(rng), len)
+                } else {
+                    self.inserted += 1;
+                    YcsbOp::Insert(self.record_count + self.inserted - 1, self.value(rng))
+                }
+            }
+            YcsbWorkloadKind::F => {
+                if p < 0.5 {
+                    YcsbOp::Read(self.key(rng))
+                } else {
+                    YcsbOp::ReadModifyWrite(self.key(rng), self.value(rng))
+                }
+            }
+        }
+    }
+
+    /// Generates a batch of `n` operations.
+    pub fn batch<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> Vec<YcsbOp> {
+        (0..n).map(|_| self.next_op(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn mix(kind: YcsbWorkloadKind) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = YcsbWorkload::new(kind, 1000, 0.99, 16);
+        let ops = w.batch(10_000, &mut rng);
+        let writes = ops.iter().filter(|o| o.is_write()).count() as f64 / ops.len() as f64;
+        let scans = ops
+            .iter()
+            .filter(|o| matches!(o, YcsbOp::Scan(_, _)))
+            .count() as f64
+            / ops.len() as f64;
+        (writes, scans)
+    }
+
+    #[test]
+    fn workload_mixes_match_spec() {
+        let (wa, _) = mix(YcsbWorkloadKind::A);
+        assert!((wa - 0.5).abs() < 0.03, "A writes {wa}");
+        let (wb, _) = mix(YcsbWorkloadKind::B);
+        assert!((wb - 0.05).abs() < 0.02, "B writes {wb}");
+        let (wc, _) = mix(YcsbWorkloadKind::C);
+        assert_eq!(wc, 0.0);
+        let (_, se) = mix(YcsbWorkloadKind::E);
+        assert!((se - 0.95).abs() < 0.02, "E scans {se}");
+        let (wf, _) = mix(YcsbWorkloadKind::F);
+        assert!((wf - 0.5).abs() < 0.03, "F writes {wf}");
+    }
+
+    #[test]
+    fn inserts_use_fresh_keys() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = YcsbWorkload::new(YcsbWorkloadKind::D, 100, 0.9, 8);
+        let mut insert_keys = Vec::new();
+        for _ in 0..5_000 {
+            if let YcsbOp::Insert(k, _) = w.next_op(&mut rng) {
+                insert_keys.push(k);
+            }
+        }
+        assert!(!insert_keys.is_empty());
+        let mut sorted = insert_keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), insert_keys.len(), "insert keys must be unique");
+        assert!(insert_keys.iter().all(|&k| k >= 100));
+    }
+
+    #[test]
+    fn keys_within_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut w = YcsbWorkload::new(YcsbWorkloadKind::A, 50, 0.99, 8);
+        for _ in 0..1000 {
+            match w.next_op(&mut rng) {
+                YcsbOp::Read(k) | YcsbOp::Update(k, _) => assert!(k < 50),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut w = YcsbWorkload::new(YcsbWorkloadKind::A, 100, 0.99, 8);
+            w.batch(100, &mut rng)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: the PReVer pipeline of Figure 2, end to end.
+//!
+//! (0) An authority defines a regulation, (1) producers send updates,
+//! (2) updates are verified against the regulation, (3) verified
+//! updates are incorporated and journaled — then anyone audits the
+//! ledger.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use prever_constraints::{Constraint, ConstraintScope};
+use prever_core::{Pipeline, Update};
+use prever_ledger::Journal;
+use prever_storage::{Column, ColumnType, Row, Schema, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut pipeline = Pipeline::new();
+    pipeline.create_table(
+        "tasks",
+        Schema::new(
+            vec![
+                Column::new("id", ColumnType::Uint),
+                Column::new("worker", ColumnType::Str),
+                Column::new("hours", ColumnType::Uint),
+                Column::new("ts", ColumnType::Timestamp),
+            ],
+            &["id"],
+        )?,
+    )?;
+
+    // Step 0: the external authority registers the FLSA regulation —
+    // at most 40 hours per worker per sliding week.
+    let flsa = Constraint::parse(
+        "FLSA-40h",
+        ConstraintScope::Regulation,
+        "$hours <= 40 AND (COUNT(tasks WHERE tasks.worker = $worker WITHIN 604800 OF tasks.ts) = 0 \
+         OR SUM(tasks.hours WHERE tasks.worker = $worker WITHIN 604800 OF tasks.ts) + $hours <= 40)",
+    )?;
+    println!("(0) authority registered regulation: {}", flsa.name);
+    pipeline.register_constraint(flsa);
+
+    // Steps 1–3: a stream of task-completion updates.
+    let submissions = [
+        (1u64, "ada", 30u64, 1_000u64),
+        (2, "ada", 10, 2_000),  // exactly 40 now
+        (3, "ada", 1, 3_000),   // 41st hour → rejected
+        (4, "bob", 40, 4_000),  // other worker, fine
+        (5, "ada", 5, 700_000), // next week, budget reset
+    ];
+    for (id, worker, hours, ts) in submissions {
+        let row = Row::new(vec![
+            Value::Uint(id),
+            Value::Str(worker.into()),
+            Value::Uint(hours),
+            Value::Timestamp(ts),
+        ]);
+        let update = Update::new(id, "tasks", row, ts, worker);
+        let outcome = pipeline.submit(&update)?;
+        println!("(1-3) update {id}: {worker} +{hours}h at t={ts} → {outcome:?}");
+    }
+
+    let (accepted, rejected) = pipeline.stats();
+    println!("\naccepted: {accepted}, rejected: {rejected}");
+
+    // Anyone can audit: replay the journal against the published digest
+    // and spot-check an entry with a logarithmic inclusion proof.
+    let digest = pipeline.digest();
+    pipeline.audit()?;
+    println!("full audit over {} journal entries: OK", digest.size);
+    let proof = pipeline.journal().prove_inclusion(0, digest.size)?;
+    Journal::verify_inclusion(pipeline.journal().entry(0)?, &proof, &digest)?;
+    println!(
+        "inclusion proof for entry 0 verified ({} siblings for {} entries)",
+        proof.path.len(),
+        digest.size
+    );
+
+    // Read side: a query with a ledger-anchored answer.
+    let (value, anchor) = pipeline.query("MAXSUM(tasks.hours BY tasks.worker)", 800_000)?;
+    println!("query MAXSUM(hours BY worker) = {value} (anchored at digest size {})", anchor.size);
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Cross-crate integration tests for the PReVer workspace.
+//!
+//! The library target is intentionally empty; all content lives in the
+//! `tests/` directory of this package (one file per end-to-end scenario).

@@ -1,0 +1,122 @@
+//! Integration across the crypto stack: tokens built from blind
+//! signatures verified on a ledger, range proofs gating Paillier
+//! accumulators, MPC agreeing with plaintext, enclave agreeing with
+//! everything else.
+
+use prever_crypto::bignum::BigUint;
+use prever_enclave::Enclave;
+use prever_mpc::FederatedBoundCheck;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// The same regulation decided by four independent mechanisms must
+/// agree: plaintext, Paillier+owner, MPC, and the simulated enclave.
+#[test]
+fn four_mechanisms_agree_on_bound_decisions() {
+    let mut rng = StdRng::seed_from_u64(2001);
+    let bound = 40u64;
+
+    // Mechanism 1: plaintext oracle.
+    let mut plain_total = 0u64;
+    // Mechanism 2: Paillier single-DB deployment.
+    let mut owner = prever_core::single::DataOwner::new(96, &mut rng);
+    let mut manager = prever_core::single::OutsourcedManager::new(owner.public_params(), bound);
+    // Mechanism 3: MPC with the total held by one party.
+    let mut mpc = FederatedBoundCheck::new();
+    let mut mpc_total = 0i64;
+    // Mechanism 4: enclave.
+    let mut enclave = Enclave::load(b"bound-checker", b"secret");
+
+    let amounts = [10u64, 15, 10, 4, 1, 1, 1, 7];
+    for (i, &amount) in amounts.iter().enumerate() {
+        let plain_ok = plain_total + amount <= bound;
+
+        let update = prever_core::single::produce_update(
+            &owner.public_params(),
+            i as u64 + 1,
+            "subject",
+            0,
+            amount,
+            i as u64,
+            &mut rng,
+        )
+        .unwrap();
+        let paillier_ok = manager
+            .submit(&update, &mut owner, &mut rng)
+            .unwrap()
+            .is_accepted();
+
+        let mpc_ok = mpc
+            .check_upper_bound(&[mpc_total, 0, 0], amount as i64, bound as i64, &mut rng)
+            .unwrap()
+            .verdict;
+
+        let enclave_ok = enclave.check_bound("subject", amount as i64, bound as i64);
+
+        assert_eq!(plain_ok, paillier_ok, "paillier diverged at step {i}");
+        assert_eq!(plain_ok, mpc_ok, "mpc diverged at step {i}");
+        assert_eq!(plain_ok, enclave_ok, "enclave diverged at step {i}");
+
+        if plain_ok {
+            plain_total += amount;
+            mpc_total += amount as i64;
+        }
+    }
+    assert_eq!(plain_total, 40, "the schedule should land exactly on the bound");
+}
+
+/// Tokens spent on a ledger can be audited end to end: the authority's
+/// issuance count, the wallet's balance, the ledger's spend count and
+/// the journal digest all reconcile.
+#[test]
+fn token_ledger_reconciliation() {
+    let mut rng = StdRng::seed_from_u64(2002);
+    let mut authority = prever_tokens::TokenAuthority::new(96, 10, &mut rng);
+    let mut wallet = prever_tokens::Wallet::new("worker");
+    let mut ledger = prever_ledger::LedgerKv::new();
+    let mut p1 = prever_tokens::Platform::new("p1", authority.public_key().clone());
+    let mut p2 = prever_tokens::Platform::new("p2", authority.public_key().clone());
+
+    let issued = wallet.request_tokens(&mut authority, 5, 10, &mut rng).unwrap();
+    assert_eq!(issued, 10);
+    for i in 0..6 {
+        let t = wallet.spend(5).unwrap();
+        let platform = if i % 2 == 0 { &mut p1 } else { &mut p2 };
+        platform.verify_and_spend(&t, 5, &mut ledger, i).unwrap();
+    }
+    // Reconciliation.
+    assert_eq!(authority.issued_to("worker", 5), 10);
+    assert_eq!(wallet.balance(5), 4);
+    assert_eq!(p1.accepted() + p2.accepted(), 6);
+    assert_eq!(ledger.journal().len(), 6);
+    prever_ledger::Journal::verify_chain(ledger.journal().entries(), &ledger.digest()).unwrap();
+    // Replay from the journal reconstructs identical spent-state.
+    let replayed = prever_ledger::LedgerKv::replay(ledger.journal().clone(), &ledger.digest()).unwrap();
+    assert_eq!(replayed.len(), 6);
+}
+
+/// Paillier ciphertexts, commitments, and MPC shares all encode the
+/// same value and round-trip consistently.
+#[test]
+fn value_representations_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(2003);
+    let value = 37u64;
+
+    // Paillier.
+    let sk = prever_crypto::paillier::keygen(96, &mut rng);
+    let c = sk.public.encrypt_u64(value, &mut rng).unwrap();
+    assert_eq!(sk.decrypt(&c).unwrap(), BigUint::from_u64(value));
+
+    // Pedersen commitment + opening.
+    let group = prever_crypto::schnorr::SchnorrGroup::test_group_256();
+    let m = BigUint::from_u64(value);
+    let (commitment, r) = prever_crypto::schnorr::commit(&group, &m, &mut rng).unwrap();
+    prever_crypto::schnorr::open(&group, &commitment, &m, &r).unwrap();
+
+    // Shamir shares.
+    let shares =
+        prever_crypto::shamir::share(prever_crypto::Fp61::new(value), 2, 3, &mut rng).unwrap();
+    assert_eq!(
+        prever_crypto::shamir::reconstruct(&shares, 2).unwrap(),
+        prever_crypto::Fp61::new(value)
+    );
+}

@@ -1,0 +1,84 @@
+//! Integration: the federated deployment under both regulation
+//! strategies must make identical accept/reject decisions on identical
+//! workloads — tokens and MPC are interchangeable enforcement engines
+//! for the same regulation (RC2).
+
+use prever_core::federated::{FederatedDeployment, RegulationStrategy};
+use prever_workloads::crowdworking::{CrowdworkingConfig, CrowdworkingWorkload};
+use rand::{rngs::StdRng, SeedableRng};
+
+const WEEK: u64 = 604_800;
+
+fn decisions(strategy: RegulationStrategy, seed: u64) -> Vec<bool> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = FederatedDeployment::new(&["p0", "p1", "p2"], strategy, 40, WEEK, 96, &mut rng);
+    // Workload must be generated identically: use a separate, fixed rng.
+    let mut wrng = StdRng::seed_from_u64(4242);
+    let mut workload = CrowdworkingWorkload::new(CrowdworkingConfig {
+        workers: 6,
+        platforms: 3,
+        mean_interarrival: WEEK / 60,
+        ..Default::default()
+    });
+    workload
+        .batch(150, &mut wrng)
+        .into_iter()
+        .map(|t| {
+            d.submit_task(t.platform, &t.worker, t.hours, t.ts, &mut rng)
+                .unwrap()
+                .is_accepted()
+        })
+        .collect()
+}
+
+#[test]
+fn tokens_and_mpc_agree_on_every_decision() {
+    let tokens = decisions(RegulationStrategy::Tokens, 1);
+    let mpc = decisions(RegulationStrategy::Mpc, 2);
+    assert_eq!(tokens.len(), mpc.len());
+    for (i, (t, m)) in tokens.iter().zip(&mpc).enumerate() {
+        assert_eq!(t, m, "strategies disagree on task {i}");
+    }
+    // The workload actually exercises both outcomes.
+    assert!(tokens.iter().any(|&b| b), "no task accepted");
+    assert!(tokens.iter().any(|&b| !b), "no task rejected — bound never hit");
+}
+
+#[test]
+fn global_bound_holds_under_either_strategy() {
+    for strategy in [RegulationStrategy::Tokens, RegulationStrategy::Mpc] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut d = FederatedDeployment::new(&["a", "b"], strategy, 40, WEEK, 96, &mut rng);
+        let mut wrng = StdRng::seed_from_u64(77);
+        let mut workload = CrowdworkingWorkload::new(CrowdworkingConfig {
+            workers: 4,
+            platforms: 2,
+            mean_interarrival: WEEK / 80,
+            ..Default::default()
+        });
+        let mut accepted_hours: std::collections::HashMap<(String, u64), u64> = Default::default();
+        for t in workload.batch(200, &mut wrng) {
+            let window = d.window_of(t.ts);
+            if d.submit_task(t.platform, &t.worker, t.hours, t.ts, &mut rng)
+                .unwrap()
+                .is_accepted()
+            {
+                *accepted_hours.entry((t.worker.clone(), window)).or_default() += t.hours;
+            }
+        }
+        // Invariant: no (worker, window) ever exceeds 40 accepted hours.
+        for ((worker, window), hours) in &accepted_hours {
+            assert!(
+                *hours <= 40,
+                "{strategy:?}: {worker} window {window} accumulated {hours}h"
+            );
+        }
+        // Cross-platform sum matches the deployment's own accounting.
+        for ((worker, window), hours) in &accepted_hours {
+            let total: i64 =
+                (0..2).map(|p| d.platform_total(p, worker, *window)).sum();
+            assert_eq!(total as u64, *hours);
+        }
+        d.audit_all().unwrap();
+    }
+}

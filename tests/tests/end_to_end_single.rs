@@ -1,0 +1,107 @@
+//! End-to-end integration: the single-private-database deployment
+//! (RC1 + RC4) across prever-crypto, prever-ledger and prever-core.
+
+use prever_core::single::{produce_update, DataOwner, OutsourcedManager};
+use prever_ledger::{Auditor, Journal};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn setup() -> (DataOwner, OutsourcedManager, StdRng) {
+    let mut rng = StdRng::seed_from_u64(1001);
+    let owner = DataOwner::new(96, &mut rng);
+    let manager = OutsourcedManager::new(owner.public_params(), 40);
+    (owner, manager, rng)
+}
+
+#[test]
+fn full_lifecycle_with_continuous_audit() {
+    let (mut owner, mut manager, mut rng) = setup();
+    let mut auditor = Auditor::new();
+    let mut last_size = 0u64;
+
+    // Interleave updates with audit checkpoints.
+    let schedule: &[(&str, u64, u64)] = &[
+        ("w1", 0, 10),
+        ("w1", 0, 20),
+        ("w2", 0, 40),
+        ("w1", 0, 10), // w1 at exactly 40
+        ("w1", 0, 1),  // rejected
+        ("w1", 1, 35), // new window
+    ];
+    for (i, &(subject, window, amount)) in schedule.iter().enumerate() {
+        let update = produce_update(
+            &owner.public_params(),
+            i as u64 + 1,
+            subject,
+            window,
+            amount,
+            i as u64 * 100,
+            &mut rng,
+        )
+        .unwrap();
+        let _ = manager.submit(&update, &mut owner, &mut rng).unwrap();
+        // The auditor follows every published digest.
+        let digest = manager.digest();
+        let proof = manager
+            .journal()
+            .prove_consistency(last_size, digest.size)
+            .unwrap();
+        auditor.observe(digest.clone(), &proof).unwrap();
+        last_size = digest.size;
+    }
+    assert_eq!(manager.stats(), (5, 1));
+    assert_eq!(auditor.tampers_detected(), 0);
+    // Every journaled entry spot-checks.
+    let digest = manager.digest();
+    for seq in 0..digest.size {
+        let proof = manager.journal().prove_inclusion(seq, digest.size).unwrap();
+        auditor.check_entry(manager.journal().entry(seq).unwrap(), &proof).unwrap();
+    }
+}
+
+#[test]
+fn owner_totals_match_plaintext_accounting() {
+    let (mut owner, mut manager, mut rng) = setup();
+    let mut expected: std::collections::HashMap<(String, u64), u64> = Default::default();
+    let amounts = [(5u64, "a"), (7, "b"), (11, "a"), (3, "a"), (40, "c")];
+    for (i, (amount, subject)) in amounts.iter().enumerate() {
+        let update = produce_update(
+            &owner.public_params(),
+            i as u64 + 1,
+            subject,
+            0,
+            *amount,
+            i as u64,
+            &mut rng,
+        )
+        .unwrap();
+        let outcome = manager.submit(&update, &mut owner, &mut rng).unwrap();
+        if outcome.is_accepted() {
+            *expected.entry((subject.to_string(), 0)).or_default() += amount;
+        }
+    }
+    for ((subject, window), total) in expected {
+        let acc = manager.accumulator(&subject, window).unwrap();
+        assert_eq!(
+            owner.decrypt(acc).unwrap(),
+            prever_crypto::BigUint::from_u64(total),
+            "{subject}"
+        );
+    }
+}
+
+#[test]
+fn journal_tamper_detected_by_replay() {
+    let (mut owner, mut manager, mut rng) = setup();
+    for i in 0..4u64 {
+        let update =
+            produce_update(&owner.public_params(), i + 1, "s", 0, 5, i, &mut rng).unwrap();
+        manager.submit(&update, &mut owner, &mut rng).unwrap();
+    }
+    let digest = manager.digest();
+    // Clone and forge the served entries.
+    let mut entries = manager.journal().entries().to_vec();
+    entries[2].payload = bytes::Bytes::from_static(b"FORGED");
+    assert!(Journal::verify_chain(&entries, &digest).is_err());
+    // Honest entries still verify.
+    Journal::verify_chain(manager.journal().entries(), &digest).unwrap();
+}

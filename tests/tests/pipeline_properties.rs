@@ -1,0 +1,160 @@
+//! Property-based integration tests: the reference pipeline's safety
+//! invariants hold for arbitrary update streams.
+
+use prever_constraints::{Constraint, ConstraintScope};
+use prever_core::{Pipeline, Update};
+use prever_storage::{Column, ColumnType, Row, Schema, Value};
+use proptest::prelude::*;
+
+const WEEK: u64 = 604_800;
+
+fn pipeline(bound: u64) -> Pipeline {
+    let mut p = Pipeline::new();
+    p.create_table(
+        "tasks",
+        Schema::new(
+            vec![
+                Column::new("id", ColumnType::Uint),
+                Column::new("worker", ColumnType::Str),
+                Column::new("hours", ColumnType::Uint),
+                Column::new("ts", ColumnType::Timestamp),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    p.register_constraint(
+        Constraint::parse(
+            "bound",
+            ConstraintScope::Regulation,
+            &format!(
+                "$hours <= {bound} AND (COUNT(tasks WHERE tasks.worker = $worker WITHIN {WEEK} OF tasks.ts) = 0 \
+                 OR SUM(tasks.hours WHERE tasks.worker = $worker WITHIN {WEEK} OF tasks.ts) + $hours <= {bound})"
+            ),
+        )
+        .unwrap(),
+    );
+    p
+}
+
+#[derive(Debug, Clone)]
+struct Task {
+    worker: u8,
+    hours: u64,
+    gap: u64,
+}
+
+fn arb_tasks() -> impl Strategy<Value = Vec<Task>> {
+    proptest::collection::vec(
+        (0u8..4, 1u64..20, 0u64..(WEEK / 2)).prop_map(|(worker, hours, gap)| Task {
+            worker,
+            hours,
+            gap,
+        }),
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The regulated aggregate never exceeds the bound in the accepted
+    /// state, for any stream.
+    #[test]
+    fn accepted_state_always_satisfies_regulation(tasks in arb_tasks()) {
+        let bound = 40u64;
+        let mut p = pipeline(bound);
+        let mut ts = 0u64;
+        let mut accepted: Vec<(u8, u64, u64)> = Vec::new(); // (worker, hours, ts)
+        for (i, t) in tasks.iter().enumerate() {
+            ts += t.gap;
+            let row = Row::new(vec![
+                Value::Uint(i as u64),
+                Value::Str(format!("w{}", t.worker)),
+                Value::Uint(t.hours),
+                Value::Timestamp(ts),
+            ]);
+            let u = Update::new(i as u64, "tasks", row, ts, "p");
+            if p.submit(&u).unwrap().is_accepted() {
+                accepted.push((t.worker, t.hours, ts));
+            }
+            // Invariant: for every worker, the sliding-window sum of
+            // accepted hours anchored at *this* timestamp is ≤ bound.
+            for w in 0u8..4 {
+                let sum: u64 = accepted
+                    .iter()
+                    .filter(|(aw, _, ats)| *aw == w && *ats > ts.saturating_sub(WEEK) && *ats <= ts)
+                    .map(|(_, h, _)| h)
+                    .sum();
+                prop_assert!(sum <= bound, "worker {w} at {sum} > {bound}");
+            }
+        }
+    }
+
+    /// Journal length equals the number of accepted updates, and the
+    /// journal always passes a full audit.
+    #[test]
+    fn journal_matches_accept_count(tasks in arb_tasks()) {
+        let mut p = pipeline(40);
+        let mut ts = 0u64;
+        let mut accepted = 0u64;
+        for (i, t) in tasks.iter().enumerate() {
+            ts += t.gap;
+            let row = Row::new(vec![
+                Value::Uint(i as u64),
+                Value::Str(format!("w{}", t.worker)),
+                Value::Uint(t.hours),
+                Value::Timestamp(ts),
+            ]);
+            let u = Update::new(i as u64, "tasks", row, ts, "p");
+            if p.submit(&u).unwrap().is_accepted() {
+                accepted += 1;
+            }
+        }
+        prop_assert_eq!(p.journal().len() as u64, accepted);
+        prop_assert_eq!(p.database().table("tasks").unwrap().len() as u64, accepted);
+        p.audit().unwrap();
+    }
+
+    /// Incremental (maintained-aggregate) evaluation agrees with the
+    /// reference evaluator decision-for-decision.
+    #[test]
+    fn incremental_agrees_with_reference(tasks in arb_tasks()) {
+        use prever_constraints::{AggFunc, MaintainedAggregate};
+        let bound = 40i64;
+        let mut p = pipeline(bound as u64);
+        // worker column index 1, hours 2, ts 3.
+        let mut agg =
+            MaintainedAggregate::new("tasks", AggFunc::Sum, 1, Some(2), Some((3, WEEK))).unwrap();
+        let mut ts = 0u64;
+        let mut applied_version = 0u64;
+        for (i, t) in tasks.iter().enumerate() {
+            ts += t.gap;
+            let worker = format!("w{}", t.worker);
+            // Incremental decision first (constraint also caps a single
+            // task at `bound`, mirroring the text form).
+            let inc_decision = t.hours as i64 <= bound
+                && agg.check_upper_bound(
+                    &Value::Str(worker.clone()),
+                    t.hours as i128,
+                    ts,
+                    bound as i128,
+                );
+            let row = Row::new(vec![
+                Value::Uint(i as u64),
+                Value::Str(worker),
+                Value::Uint(t.hours),
+                Value::Timestamp(ts),
+            ]);
+            let u = Update::new(i as u64, "tasks", row, ts, "p");
+            let ref_decision = p.submit(&u).unwrap().is_accepted();
+            prop_assert_eq!(inc_decision, ref_decision, "task {}", i);
+            // Feed accepted changes into the maintained aggregate.
+            for c in p.database().changes_since(applied_version).to_vec() {
+                agg.apply(&c).unwrap();
+            }
+            applied_version = p.database().version();
+        }
+    }
+}
