@@ -23,13 +23,32 @@ fn bench(c: &mut Criterion) {
 
     let mut group2 = c.benchmark_group("e5_cpir");
     group2.sample_size(10);
-    for n in [128usize, 512] {
-        group2.bench_with_input(BenchmarkId::new("cpir_query", n), &n, |b, &n| {
-            let mut rng = StdRng::seed_from_u64(2);
-            let client = CpirClient::new(96, &mut rng);
-            let mut server = CpirServer::new((1..=n as u64).collect());
-            b.iter(|| cpir_retrieve(&client, &mut server, n / 2, &mut rng).unwrap());
-        });
+    for prime_bits in [96usize, 256] {
+        for n in [128usize, 512] {
+            group2.bench_with_input(
+                BenchmarkId::new(format!("cpir_query_p{prime_bits}"), n),
+                &n,
+                |b, &n| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    let client = CpirClient::new(prime_bits, &mut rng);
+                    let mut server = CpirServer::new((1..=n as u64).collect());
+                    b.iter(|| cpir_retrieve(&client, &mut server, n / 2, &mut rng).unwrap());
+                },
+            );
+            // Server-side dot product alone (the linear-work hot loop),
+            // with the query vector built once outside the timer.
+            group2.bench_with_input(
+                BenchmarkId::new(format!("cpir_answer_p{prime_bits}"), n),
+                &n,
+                |b, &n| {
+                    let mut rng = StdRng::seed_from_u64(3);
+                    let client = CpirClient::new(prime_bits, &mut rng);
+                    let mut server = CpirServer::new((1..=n as u64).collect());
+                    let query = client.query(n / 2, n, &mut rng).unwrap();
+                    b.iter(|| server.answer(client.public_key(), &query).unwrap());
+                },
+            );
+        }
     }
     group2.finish();
 }

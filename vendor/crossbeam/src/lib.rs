@@ -1,0 +1,43 @@
+//! Vendored offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` as a thin wrapper over
+//! `std::thread::scope` (stable since Rust 1.63), preserving crossbeam's
+//! `Result`-returning signature so call sites read like the real crate.
+//! Spawned closures take no scope argument (std style) — the one local
+//! deviation from crossbeam 0.8's `|_|` convention.
+
+/// Scoped threads.
+pub mod thread {
+    /// Result alias matching `crossbeam::thread::scope`'s return type.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before `scope` returns.
+    ///
+    /// Panics in spawned threads propagate when the scope joins them
+    /// (std semantics), so the `Ok` wrapper is always returned; callers
+    /// keep crossbeam's familiar `.unwrap()` at the call site.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

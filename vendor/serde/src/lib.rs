@@ -1,0 +1,16 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The workspace declares serde but no code path currently serializes
+//! through it; this crate exists so the dependency graph resolves
+//! offline. Only marker traits are provided — adding real serialization
+//! means replacing this stub (or regaining network access and using the
+//! real crate; the root manifest documents the swap).
+
+/// Marker for serializable types (no-op stand-in).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no-op stand-in).
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
