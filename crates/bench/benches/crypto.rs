@@ -29,7 +29,12 @@ fn bench(c: &mut Criterion) {
     {
         let mut group = c.benchmark_group("crypto_modexp");
         for bits in [256usize, 512, 1024, 2048] {
-            let m = BigUint::random_bits(bits, &mut rng);
+            // Force an odd modulus: real crypto moduli (RSA/Paillier n,
+            // safe primes) are odd, and odd is the Montgomery fast path.
+            let mut m = BigUint::random_bits(bits, &mut rng);
+            if m.is_even() {
+                m = m.add(&BigUint::one());
+            }
             let base = BigUint::random_below(&m, &mut rng);
             let exp = BigUint::random_bits(bits, &mut rng);
             group.bench_with_input(BenchmarkId::new("modexp", bits), &bits, |b, _| {

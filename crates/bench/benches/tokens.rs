@@ -30,7 +30,7 @@ fn bench(c: &mut Criterion) {
         let mut ledger = LedgerKv::new();
         let mut i = 0usize;
         b.iter(|| {
-            if i % tokens.len() == 0 {
+            if i.is_multiple_of(tokens.len()) {
                 ledger = LedgerKv::new(); // reset so the pool stays spendable
             }
             platform

@@ -488,7 +488,7 @@ impl PbftCore {
                 command.digest().as_bytes(),
             ]);
             self.executed.push(Decided { slot: next, command, at: now });
-            if self.last_exec % CHECKPOINT_INTERVAL == 0 {
+            if self.last_exec.is_multiple_of(CHECKPOINT_INTERVAL) {
                 let msg = PbftMsg::Checkpoint {
                     seq: self.last_exec,
                     state_digest: self.running_state,

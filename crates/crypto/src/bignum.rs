@@ -1,9 +1,14 @@
 //! Arbitrary-precision unsigned integers.
 //!
 //! A deliberately compact big-integer implementation: little-endian `u64`
-//! limbs, schoolbook multiplication, Knuth Algorithm D division, binary
-//! square-and-multiply modular exponentiation, extended-Euclid modular
-//! inversion, and Miller–Rabin primality testing. It is sized for the
+//! limbs, schoolbook multiplication with a Karatsuba path for large
+//! operands, Knuth Algorithm D division, extended-Euclid modular
+//! inversion, and Miller–Rabin primality testing. Modular
+//! exponentiation dispatches on the modulus: odd moduli use the
+//! division-free Montgomery engine in [`crate::montgomery`] (CIOS
+//! reduction plus sliding 4-bit-window exponentiation), while even
+//! moduli fall back to binary square-and-multiply with one division
+//! per step ([`BigUint::mod_exp_schoolbook`]). It is sized for the
 //! demo-scale moduli PReVer's experiments use (256–2048 bits), not for
 //! general-purpose numerics.
 
@@ -181,6 +186,18 @@ impl BigUint {
         while self.limbs.last() == Some(&0) {
             self.limbs.pop();
         }
+    }
+
+    /// Little-endian limb view (no trailing zero limbs).
+    pub(crate) fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Constructs from little-endian limbs, normalizing.
+    pub(crate) fn from_limbs(limbs: Vec<u64>) -> BigUint {
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
     }
 
     /// `self + other`.
@@ -478,8 +495,33 @@ impl BigUint {
         self.mul(other).rem(modulus)
     }
 
-    /// `self^exp mod modulus` by binary square-and-multiply.
+    /// `self^exp mod modulus`.
+    ///
+    /// Odd moduli go through the division-free Montgomery path
+    /// ([`crate::montgomery::MontgomeryCtx`]); even moduli fall back to
+    /// [`BigUint::mod_exp_schoolbook`]. Callers that exponentiate by
+    /// the same modulus repeatedly should hold their own
+    /// `MontgomeryCtx` to amortize its setup division.
     pub fn mod_exp(&self, exp: &BigUint, modulus: &BigUint) -> Result<BigUint> {
+        if modulus.is_zero() {
+            return Err(CryptoError::OutOfRange("zero modulus"));
+        }
+        if modulus.is_one() {
+            return Ok(BigUint::zero());
+        }
+        if modulus.is_even() {
+            return self.mod_exp_schoolbook(exp, modulus);
+        }
+        crate::montgomery::MontgomeryCtx::new(modulus)?.pow(self, exp)
+    }
+
+    /// `self^exp mod modulus` by binary square-and-multiply, one
+    /// Knuth division per step.
+    ///
+    /// Kept as the fallback for even moduli (where Montgomery
+    /// reduction does not apply) and as the reference implementation
+    /// the Montgomery path is property-tested against.
+    pub fn mod_exp_schoolbook(&self, exp: &BigUint, modulus: &BigUint) -> Result<BigUint> {
         if modulus.is_zero() {
             return Err(CryptoError::OutOfRange("zero modulus"));
         }

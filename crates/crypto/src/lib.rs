@@ -41,6 +41,7 @@ pub mod bignum;
 pub mod field;
 pub mod hmac;
 pub mod merkle;
+pub mod montgomery;
 pub mod paillier;
 pub mod rsa;
 pub mod schnorr;

@@ -1,0 +1,494 @@
+//! Montgomery-form modular arithmetic for odd moduli.
+//!
+//! The schoolbook [`BigUint::mod_exp`] pays a full Knuth division per
+//! multiplication. A [`MontgomeryCtx`] precomputes, once per modulus,
+//! everything needed to replace those divisions with CIOS (coarsely
+//! integrated operand scanning) Montgomery multiplications: the word
+//! inverse `n0 = -n^-1 mod 2^64`, `R mod n`, and `R^2 mod n` where
+//! `R = 2^(64k)` for a `k`-limb modulus.
+//!
+//! All arithmetic here operates on fixed-width little-endian `u64`
+//! limb vectors of length `k`; values enter and leave as [`BigUint`].
+//! Exponentiation uses a sliding 4-bit window with a table of the 8
+//! odd powers of the base, cutting multiplications by ~4x over binary
+//! square-and-multiply on top of the per-step division savings.
+//!
+//! Montgomery reduction requires `gcd(n, 2^64) = 1`, so even moduli
+//! are rejected at construction; callers (see [`BigUint::mod_exp`])
+//! fall back to the schoolbook path for them.
+
+use crate::bignum::BigUint;
+use crate::{CryptoError, Result};
+
+/// Precomputed per-modulus state for Montgomery arithmetic.
+///
+/// Construction costs one big-number division (for `R^2 mod n`);
+/// every subsequent multiplication avoids division entirely, so cache
+/// a context wherever the same modulus is used repeatedly (Paillier
+/// `n^2`, RSA `n`/`p`/`q`, Schnorr `p`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MontgomeryCtx {
+    /// The (odd, > 1) modulus.
+    n: BigUint,
+    /// Modulus limbs, little-endian, exactly `k` words.
+    n_limbs: Vec<u64>,
+    /// Limb count of the modulus.
+    k: usize,
+    /// `-n^-1 mod 2^64`.
+    n0: u64,
+    /// `R mod n` — the Montgomery form of 1.
+    r1: Vec<u64>,
+    /// `R^2 mod n` — multiplier that maps a value into Montgomery form.
+    r2: Vec<u64>,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for an odd modulus `n > 1`.
+    ///
+    /// Returns [`CryptoError::OutOfRange`] for even moduli (Montgomery
+    /// reduction needs `n` coprime to the `2^64` radix) and for
+    /// `n <= 1` (no residue system to work in).
+    pub fn new(n: &BigUint) -> Result<MontgomeryCtx> {
+        if n.is_zero() || n.is_one() {
+            return Err(CryptoError::OutOfRange("montgomery modulus must be > 1"));
+        }
+        if n.is_even() {
+            return Err(CryptoError::OutOfRange("montgomery modulus must be odd"));
+        }
+        let n_limbs = n.limbs().to_vec();
+        let k = n_limbs.len();
+
+        // Word inverse by Newton iteration: for odd x, x*x = 1 mod 8,
+        // and each step doubles the number of correct low bits
+        // (3 -> 6 -> 12 -> 24 -> 48 -> 96 >= 64).
+        let x = n_limbs[0];
+        let mut inv = x;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(x.wrapping_mul(inv), 1);
+        let n0 = inv.wrapping_neg();
+
+        // R = 2^(64k): one shifted division each for R mod n and
+        // R^2 mod n. These are the only divisions the context ever does.
+        let r1_big = BigUint::one().shl(64 * k).rem(n)?;
+        let r2_big = BigUint::one().shl(128 * k).rem(n)?;
+
+        Ok(MontgomeryCtx {
+            n: n.clone(),
+            n_limbs,
+            k,
+            n0,
+            r1: pad(&r1_big, k),
+            r2: pad(&r2_big, k),
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// CIOS Montgomery multiplication: `a * b * R^-1 mod n`.
+    ///
+    /// Inputs are `k`-limb vectors representing values `< n`; the
+    /// output is likewise `< n` (at most one trailing subtraction is
+    /// needed because `a, b < n` keeps the accumulator below `2n`).
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k;
+        let n = &self.n_limbs;
+        let mut t = vec![0u64; k + 2];
+
+        for &bi in b.iter().take(k) {
+            // t += a * b[i]
+            let mut carry: u64 = 0;
+            for j in 0..k {
+                let s = t[j] as u128 + a[j] as u128 * bi as u128 + carry as u128;
+                t[j] = s as u64;
+                carry = (s >> 64) as u64;
+            }
+            let s = t[k] as u128 + carry as u128;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+
+            // t = (t + m*n) / 2^64 with m chosen so the low word cancels
+            let m = t[0].wrapping_mul(self.n0);
+            let s = t[0] as u128 + m as u128 * n[0] as u128;
+            let mut carry = (s >> 64) as u64;
+            for j in 1..k {
+                let s = t[j] as u128 + m as u128 * n[j] as u128 + carry as u128;
+                t[j - 1] = s as u64;
+                carry = (s >> 64) as u64;
+            }
+            let s = t[k] as u128 + carry as u128;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1] + (s >> 64) as u64;
+            t[k + 1] = 0;
+        }
+
+        if t[k] != 0 || !limbs_lt(&t[..k], n) {
+            limbs_sub_in_place(&mut t, n);
+        }
+        t.truncate(k);
+        t
+    }
+
+    /// Maps a reduced value into Montgomery form: `a * R mod n`.
+    fn to_mont(&self, a: &[u64]) -> Vec<u64> {
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// Maps a Montgomery-form value back: `a * R^-1 mod n`.
+    fn redc(&self, a: &[u64]) -> Vec<u64> {
+        let mut one = vec![0u64; self.k];
+        one[0] = 1;
+        self.mont_mul(a, &one)
+    }
+
+    /// `(a * b) mod n` without division.
+    ///
+    /// Only one operand needs the Montgomery conversion: mapping `a`
+    /// to `aR` and multiplying by plain `b` yields `aR * b * R^-1 =
+    /// ab mod n` directly.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> Result<BigUint> {
+        let a = pad(&a.rem(&self.n)?, self.k);
+        let b = pad(&b.rem(&self.n)?, self.k);
+        let am = self.to_mont(&a);
+        Ok(BigUint::from_limbs(self.mont_mul(&am, &b)))
+    }
+
+    /// `base^exp mod n` by sliding-window Montgomery exponentiation.
+    ///
+    /// Window width is 4 bits with a precomputed table of the 8 odd
+    /// powers `base^1, base^3, ..., base^15` (all in Montgomery form),
+    /// so long runs of exponent bits cost squarings plus one table
+    /// multiplication per window.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> Result<BigUint> {
+        if exp.is_zero() {
+            return Ok(BigUint::one());
+        }
+        let base = pad(&base.rem(&self.n)?, self.k);
+        let bm = self.to_mont(&base);
+
+        // Short exponents (scalar weights, small plaintexts): the
+        // 8-entry window table would cost more multiplications than it
+        // saves, so run plain left-to-right square-and-multiply.
+        let bits = exp.bits();
+        if bits <= 8 {
+            let mut acc = bm.clone();
+            for i in (0..bits - 1).rev() {
+                acc = self.mont_mul(&acc, &acc);
+                if exp.bit(i) {
+                    acc = self.mont_mul(&acc, &bm);
+                }
+            }
+            return Ok(BigUint::from_limbs(self.redc(&acc)));
+        }
+
+        // Odd powers: table[i] = base^(2i+1) in Montgomery form.
+        let b2 = self.mont_mul(&bm, &bm);
+        let mut table: Vec<Vec<u64>> = Vec::with_capacity(8);
+        table.push(bm);
+        for i in 1..8 {
+            let next = self.mont_mul(&table[i - 1], &b2);
+            table.push(next);
+        }
+
+        let mut acc = self.r1.clone();
+        let mut i = bits as isize - 1;
+        while i >= 0 {
+            if !exp.bit(i as usize) {
+                acc = self.mont_mul(&acc, &acc);
+                i -= 1;
+                continue;
+            }
+            // Greedy window: extend down to 4 bits, then shrink back so
+            // the window ends on a set bit (keeps the table odd-only).
+            let mut lo = (i - 3).max(0);
+            while !exp.bit(lo as usize) {
+                lo += 1;
+            }
+            let mut val: u64 = 0;
+            for b in (lo..=i).rev() {
+                val = (val << 1) | exp.bit(b as usize) as u64;
+            }
+            for _ in lo..=i {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            acc = self.mont_mul(&acc, &table[((val - 1) / 2) as usize]);
+            i = lo - 1;
+        }
+
+        Ok(BigUint::from_limbs(self.redc(&acc)))
+    }
+
+    /// Simultaneous multi-exponentiation (Straus): `Π bᵢ^{eᵢ} mod n`
+    /// for small `u64` exponents.
+    ///
+    /// All bases share one squaring chain — the accumulator is squared
+    /// once per bit of the *longest* exponent (≤ 64 squarings total),
+    /// and each base multiplies in only at its set bits. For a PIR-style
+    /// dot product over thousands of bases this replaces a full
+    /// exponentiation per base with ~popcount(eᵢ) multiplications per
+    /// base, plus one Montgomery conversion each.
+    pub fn multi_pow_u64(&self, bases: &[&BigUint], exps: &[u64]) -> Result<BigUint> {
+        if bases.len() != exps.len() {
+            return Err(CryptoError::OutOfRange("multi_pow operand length mismatch"));
+        }
+        let bases_m: Vec<Vec<u64>> = bases
+            .iter()
+            .map(|b| Ok(self.to_mont(&pad(&b.rem(&self.n)?, self.k))))
+            .collect::<Result<_>>()?;
+        let max_bits = exps.iter().map(|e| 64 - e.leading_zeros()).max().unwrap_or(0);
+
+        let mut acc = self.r1.clone();
+        for bit in (0..max_bits).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            for (bm, &e) in bases_m.iter().zip(exps) {
+                if (e >> bit) & 1 == 1 {
+                    acc = self.mont_mul(&acc, bm);
+                }
+            }
+        }
+        Ok(BigUint::from_limbs(self.redc(&acc)))
+    }
+}
+
+/// Pads a reduced value out to exactly `k` limbs.
+fn pad(v: &BigUint, k: usize) -> Vec<u64> {
+    let mut limbs = v.limbs().to_vec();
+    debug_assert!(limbs.len() <= k);
+    limbs.resize(k, 0);
+    limbs
+}
+
+/// `a < b` over equal-length limb slices.
+fn limbs_lt(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+/// `a -= b` in place; `a` may be longer than `b` (borrow propagates).
+fn limbs_sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let rhs = if i < b.len() { b[i] } else { 0 };
+        let (d1, o1) = a[i].overflowing_sub(rhs);
+        let (d2, o2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (o1 | o2) as u64;
+    }
+    debug_assert_eq!(borrow, 0, "montgomery subtraction underflow");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn ctx(hex: &str) -> MontgomeryCtx {
+        MontgomeryCtx::new(&BigUint::from_hex(hex).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn rejects_even_and_trivial_moduli() {
+        assert!(MontgomeryCtx::new(&BigUint::zero()).is_err());
+        assert!(MontgomeryCtx::new(&BigUint::one()).is_err());
+        assert!(MontgomeryCtx::new(&BigUint::from_u64(100)).is_err());
+        assert!(MontgomeryCtx::new(&BigUint::from_u64(101)).is_ok());
+    }
+
+    #[test]
+    fn word_inverse_is_correct() {
+        for n in [3u64, 0xffff_ffff_ffff_ffff, 0x1234_5678_9abc_def1] {
+            let ctx = MontgomeryCtx::new(&BigUint::from_u64(n)).unwrap();
+            assert_eq!(n.wrapping_mul(ctx.n0), u64::MAX); // n * (-n^-1) = -1
+        }
+    }
+
+    #[test]
+    fn mul_matches_schoolbook_small() {
+        let m = ctx("fffffffb"); // prime
+        for a in [0u64, 1, 2, 0x1234, 0xfffffffa] {
+            for b in [0u64, 1, 3, 0xffff, 0xfffffffa] {
+                let want = BigUint::from_u64(a)
+                    .mul_mod(&BigUint::from_u64(b), m.modulus())
+                    .unwrap();
+                let got = m
+                    .mul_mod(&BigUint::from_u64(a), &BigUint::from_u64(b))
+                    .unwrap();
+                assert_eq!(got, want, "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_schoolbook_multi_limb() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = BigUint::gen_prime(192, &mut rng);
+        let mctx = MontgomeryCtx::new(&m).unwrap();
+        for _ in 0..10 {
+            let base = BigUint::random_below(&m, &mut rng);
+            let exp = BigUint::random_bits(192, &mut rng);
+            let want = base.mod_exp_schoolbook(&exp, &m).unwrap();
+            let got = mctx.pow(&base, &exp).unwrap();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn dispatch_edge_cases() {
+        // mod_exp must keep its edge semantics across the dispatch:
+        // modulus 1 -> 0, exponent 0 -> 1, even modulus -> schoolbook.
+        let b = BigUint::from_u64(7);
+        let e = BigUint::from_u64(3);
+        assert_eq!(b.mod_exp(&e, &BigUint::one()).unwrap(), BigUint::zero());
+        assert!(b.mod_exp(&e, &BigUint::zero()).is_err());
+        assert_eq!(
+            b.mod_exp(&BigUint::zero(), &BigUint::from_u64(10)).unwrap(),
+            BigUint::one()
+        );
+        let even = BigUint::from_u64(100);
+        assert_eq!(
+            b.mod_exp(&e, &even).unwrap(),
+            b.mod_exp_schoolbook(&e, &even).unwrap()
+        );
+        assert_eq!(b.mod_exp(&e, &even).unwrap(), BigUint::from_u64(43));
+    }
+
+    #[test]
+    fn pow_edge_exponents() {
+        let m = ctx("10000000000000001f"); // odd, > 1 limb boundary
+        let b = BigUint::from_u64(0xdead_beef);
+        assert_eq!(m.pow(&b, &BigUint::zero()).unwrap(), BigUint::one());
+        assert_eq!(m.pow(&b, &BigUint::one()).unwrap(), b);
+        assert_eq!(
+            m.pow(&BigUint::zero(), &BigUint::from_u64(5)).unwrap(),
+            BigUint::zero()
+        );
+        // base >= n gets reduced first
+        let big_base = m.modulus().add(&b);
+        assert_eq!(
+            m.pow(&big_base, &BigUint::from_u64(3)).unwrap(),
+            b.mod_exp_schoolbook(&BigUint::from_u64(3), m.modulus())
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn multi_pow_matches_per_base_pow() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = BigUint::gen_prime(160, &mut rng);
+        let mctx = MontgomeryCtx::new(&m).unwrap();
+        let bases: Vec<BigUint> =
+            (0..20).map(|_| BigUint::random_below(&m, &mut rng)).collect();
+        let exps: Vec<u64> = (0..20).map(|i| [0u64, 1, 7, 64, 513, u64::MAX][i % 6]).collect();
+        let mut want = BigUint::one();
+        for (b, &e) in bases.iter().zip(&exps) {
+            let term = mctx.pow(b, &BigUint::from_u64(e)).unwrap();
+            want = want.mul_mod(&term, &m).unwrap();
+        }
+        let refs: Vec<&BigUint> = bases.iter().collect();
+        assert_eq!(mctx.multi_pow_u64(&refs, &exps).unwrap(), want);
+        // Empty product is 1.
+        assert_eq!(mctx.multi_pow_u64(&[], &[]).unwrap(), BigUint::one());
+        // Length mismatch is rejected.
+        assert!(mctx.multi_pow_u64(&refs, &exps[1..]).is_err());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random value of up to `max_limbs` limbs (possibly zero).
+        fn arb_biguint(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+            proptest::collection::vec(any::<u64>(), 0..=max_limbs)
+                .prop_map(BigUint::from_limbs)
+        }
+
+        /// Random odd modulus of 1..=`max_limbs` limbs, always > 1.
+        fn arb_odd_modulus(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+            proptest::collection::vec(any::<u64>(), 1..=max_limbs).prop_map(|mut limbs| {
+                limbs[0] |= 1; // force odd (also rules out zero)
+                let n = BigUint::from_limbs(limbs);
+                if n.is_one() {
+                    BigUint::from_u64(3)
+                } else {
+                    n
+                }
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            // Full-width agreement on products: odd moduli up to 40
+            // limbs (2560 bits), operands a shade wider than the
+            // modulus so reduction-on-entry is exercised too.
+            #[test]
+            fn prop_mul_mod_matches_schoolbook(
+                m in arb_odd_modulus(40),
+                a in arb_biguint(42),
+                b in arb_biguint(42),
+            ) {
+                let ctx = MontgomeryCtx::new(&m).unwrap();
+                prop_assert_eq!(
+                    ctx.mul_mod(&a, &b).unwrap(),
+                    a.mul_mod(&b, &m).unwrap()
+                );
+            }
+
+            // Exponentiation agreement. The schoolbook reference pays a
+            // division per exponent bit, so keep exponents to one limb
+            // while still ranging moduli up to 40 limbs.
+            #[test]
+            fn prop_pow_matches_schoolbook(
+                m in arb_odd_modulus(40),
+                base in arb_biguint(41),
+                e in any::<u64>(),
+            ) {
+                let ctx = MontgomeryCtx::new(&m).unwrap();
+                let e = BigUint::from_u64(e);
+                prop_assert_eq!(
+                    ctx.pow(&base, &e).unwrap(),
+                    base.mod_exp_schoolbook(&e, &m).unwrap()
+                );
+            }
+
+            // Wider exponents at narrower moduli, through the public
+            // mod_exp dispatch (which picks the Montgomery path for
+            // these odd moduli).
+            #[test]
+            fn prop_mod_exp_dispatch_matches_schoolbook(
+                m in arb_odd_modulus(6),
+                base in arb_biguint(7),
+                e in arb_biguint(3),
+            ) {
+                prop_assert_eq!(
+                    base.mod_exp(&e, &m).unwrap(),
+                    base.mod_exp_schoolbook(&e, &m).unwrap()
+                );
+            }
+
+            // Even moduli must keep working through the fallback.
+            #[test]
+            fn prop_even_modulus_fallback(
+                m in arb_biguint(4).prop_filter("modulus > 1 and even", |m| {
+                    m.is_even() && !m.is_zero()
+                }),
+                base in arb_biguint(5),
+                e in any::<u64>(),
+            ) {
+                let e = BigUint::from_u64(e);
+                prop_assert_eq!(
+                    base.mod_exp(&e, &m).unwrap(),
+                    base.mod_exp_schoolbook(&e, &m).unwrap()
+                );
+            }
+        }
+    }
+}

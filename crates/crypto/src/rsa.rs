@@ -11,17 +11,51 @@
 //! counter-mode MGF, so signatures cover the whole group.
 
 use crate::bignum::BigUint;
+use crate::montgomery::MontgomeryCtx;
 use crate::sha256::Sha256;
 use crate::{CryptoError, Result};
 use rand::Rng;
 
 /// RSA public key `(n, e)`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Caches a [`MontgomeryCtx`] for `n` so verification and blinding
+/// reuse the same precomputed reduction state.
+#[derive(Clone, Debug)]
 pub struct PublicKey {
     /// Modulus.
     pub n: BigUint,
     /// Public exponent (65537).
     pub e: BigUint,
+    mont_n: MontgomeryCtx,
+}
+
+impl PartialEq for PublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // (n, e) determine the Montgomery precomputation.
+        self.n == other.n && self.e == other.e
+    }
+}
+
+impl Eq for PublicKey {}
+
+/// Precomputed CRT state for signing: exponentiate mod `p` and `q`
+/// separately (half-width, ~4x cheaper) and recombine with Garner.
+#[derive(Clone, Debug)]
+struct RsaCrt {
+    /// Prime factor `p`.
+    p: BigUint,
+    /// Prime factor `q`.
+    q: BigUint,
+    /// `d mod (p−1)`.
+    d_p: BigUint,
+    /// `d mod (q−1)`.
+    d_q: BigUint,
+    /// `q^{−1} mod p`, for Garner recombination.
+    q_inv: BigUint,
+    /// Montgomery state for `p`.
+    mont_p: MontgomeryCtx,
+    /// Montgomery state for `q`.
+    mont_q: MontgomeryCtx,
 }
 
 /// RSA private key.
@@ -29,7 +63,12 @@ pub struct PublicKey {
 pub struct PrivateKey {
     /// The public part.
     pub public: PublicKey,
+    /// The private exponent. Signing goes through the CRT state, but
+    /// `d` stays the canonical secret (and the reference the CRT path
+    /// is tested against).
+    #[allow(dead_code)]
     d: BigUint,
+    crt: RsaCrt,
 }
 
 /// An RSA-FDH signature.
@@ -47,12 +86,49 @@ pub fn keygen<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> PrivateKey {
         }
         let n = p.mul(&q);
         let one = BigUint::one();
-        let phi = p.sub(&one).mul(&q.sub(&one));
+        let p1 = p.sub(&one);
+        let q1 = q.sub(&one);
+        let phi = p1.mul(&q1);
         let d = match e.mod_inv(&phi) {
             Ok(d) => d,
             Err(_) => continue, // gcd(e, phi) != 1; retry with new primes
         };
-        return PrivateKey { public: PublicKey { n, e }, d };
+        let crt = match RsaCrt::new(&p, &q, &d) {
+            Ok(crt) => crt,
+            Err(_) => continue,
+        };
+        let mont_n = match MontgomeryCtx::new(&n) {
+            Ok(ctx) => ctx, // n odd for any odd primes
+            Err(_) => continue,
+        };
+        let public = PublicKey { n, e: e.clone(), mont_n };
+        return PrivateKey { public, d, crt };
+    }
+}
+
+impl RsaCrt {
+    fn new(p: &BigUint, q: &BigUint, d: &BigUint) -> Result<RsaCrt> {
+        let one = BigUint::one();
+        Ok(RsaCrt {
+            p: p.clone(),
+            q: q.clone(),
+            d_p: d.rem(&p.sub(&one))?,
+            d_q: d.rem(&q.sub(&one))?,
+            q_inv: q.mod_inv(p)?,
+            mont_p: MontgomeryCtx::new(p)?,
+            mont_q: MontgomeryCtx::new(q)?,
+        })
+    }
+
+    /// `x^d mod n` via half-width exponentiations and Garner's formula.
+    fn pow_d(&self, x: &BigUint) -> Result<BigUint> {
+        let m1 = self.mont_p.pow(x, &self.d_p)?;
+        let m2 = self.mont_q.pow(x, &self.d_q)?;
+        // sig = m2 + q · ((m1 − m2) · q^{-1} mod p).
+        let h = m1
+            .sub_mod(&m2.rem(&self.p)?, &self.p)?
+            .mul_mod(&self.q_inv, &self.p)?;
+        Ok(m2.add(&self.q.mul(&h)))
     }
 }
 
@@ -73,10 +149,10 @@ pub fn full_domain_hash(msg: &[u8], n: &BigUint) -> BigUint {
 }
 
 impl PrivateKey {
-    /// Signs `msg` with RSA-FDH: `sig = H(msg)^d mod n`.
+    /// Signs `msg` with RSA-FDH: `sig = H(msg)^d mod n` (via CRT).
     pub fn sign(&self, msg: &[u8]) -> Result<Signature> {
         let h = full_domain_hash(msg, &self.public.n);
-        Ok(Signature(h.mod_exp(&self.d, &self.public.n)?))
+        Ok(Signature(self.crt.pow_d(&h)?))
     }
 
     /// Signs a *blinded* element directly (the authority's role in the
@@ -85,7 +161,7 @@ impl PrivateKey {
         if blinded.cmp_to(&self.public.n) != std::cmp::Ordering::Less {
             return Err(CryptoError::OutOfRange("blinded element >= n"));
         }
-        blinded.mod_exp(&self.d, &self.public.n)
+        self.crt.pow_d(blinded)
     }
 }
 
@@ -95,7 +171,7 @@ impl PublicKey {
         if sig.0.cmp_to(&self.n) != std::cmp::Ordering::Less {
             return Err(CryptoError::OutOfRange("signature >= n"));
         }
-        let recovered = sig.0.mod_exp(&self.e, &self.n)?;
+        let recovered = self.mont_n.pow(&sig.0, &self.e)?;
         if recovered == full_domain_hash(msg, &self.n) {
             Ok(())
         } else {
@@ -128,8 +204,8 @@ pub fn blind<R: Rng + ?Sized>(
             break r;
         }
     };
-    let re = r.mod_exp(&pk.e, &pk.n)?;
-    let blinded = msg_hash.mul_mod(&re, &pk.n)?;
+    let re = pk.mont_n.pow(&r, &pk.e)?;
+    let blinded = pk.mont_n.mul_mod(&msg_hash, &re)?;
     Ok((blinded, BlindingState { r, msg_hash }))
 }
 
@@ -138,9 +214,9 @@ pub fn blind<R: Rng + ?Sized>(
 /// message. Verifies the result before returning it.
 pub fn unblind(pk: &PublicKey, blind_sig: &BigUint, state: &BlindingState) -> Result<Signature> {
     let r_inv = state.r.mod_inv(&pk.n)?;
-    let sig = blind_sig.mul_mod(&r_inv, &pk.n)?;
+    let sig = pk.mont_n.mul_mod(blind_sig, &r_inv)?;
     // Sanity-check against the stored hash (catches a cheating authority).
-    let recovered = sig.mod_exp(&pk.e, &pk.n)?;
+    let recovered = pk.mont_n.pow(&sig, &pk.e)?;
     if recovered != state.msg_hash {
         return Err(CryptoError::VerificationFailed("unblinded signature"));
     }
@@ -232,6 +308,16 @@ mod tests {
         let sig = unblind(&sk.public, &blind_sig, &state).unwrap();
         assert_ne!(sig.0, blind_sig);
         assert_ne!(sig.0, blinded);
+    }
+
+    #[test]
+    fn crt_sign_matches_plain_exponentiation() {
+        let sk = key();
+        for msg in [b"crt-a".as_slice(), b"crt-b", b""] {
+            let h = full_domain_hash(msg, &sk.public.n);
+            let plain = h.mod_exp_schoolbook(&sk.d, &sk.public.n).unwrap();
+            assert_eq!(sk.crt.pow_d(&h).unwrap(), plain);
+        }
     }
 
     #[test]

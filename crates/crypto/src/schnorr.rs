@@ -20,13 +20,17 @@
 //! `p = 2q + 1`; exponents live in `Z_q`.
 
 use crate::bignum::BigUint;
+use crate::montgomery::MontgomeryCtx;
 use crate::transcript::Transcript;
 use crate::{CryptoError, Result};
 use rand::Rng;
 use std::cmp::Ordering;
 
 /// A Schnorr group: the order-`q` subgroup of `Z_p^*`, `p = 2q + 1` safe.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Caches a [`MontgomeryCtx`] for `p`, so all group exponentiations
+/// share one precomputed reduction state.
+#[derive(Clone, Debug)]
 pub struct SchnorrGroup {
     /// Safe prime modulus.
     pub p: BigUint,
@@ -36,7 +40,17 @@ pub struct SchnorrGroup {
     pub g: BigUint,
     /// Second generator with unknown discrete log w.r.t. `g` (for Pedersen).
     pub h: BigUint,
+    mont_p: MontgomeryCtx,
 }
+
+impl PartialEq for SchnorrGroup {
+    fn eq(&self, other: &Self) -> bool {
+        // (p, q, g, h) determine the Montgomery precomputation.
+        self.p == other.p && self.q == other.q && self.g == other.g && self.h == other.h
+    }
+}
+
+impl Eq for SchnorrGroup {}
 
 impl SchnorrGroup {
     /// Generates a fresh group with a `bits`-bit safe prime. Slow for
@@ -84,27 +98,28 @@ impl SchnorrGroup {
             // Astronomically unlikely; fall back to g² to stay well-defined.
             h = g.mul_mod(&g, &p).expect("p > 1");
         }
-        SchnorrGroup { p, q, g, h }
+        let mont_p = MontgomeryCtx::new(&p).expect("safe prime is odd and > 1");
+        SchnorrGroup { p, q, g, h, mont_p }
     }
 
     /// `g^e mod p`.
     pub fn pow_g(&self, e: &BigUint) -> BigUint {
-        self.g.mod_exp(e, &self.p).expect("p > 1")
+        self.mont_p.pow(&self.g, e).expect("p > 1")
     }
 
     /// `h^e mod p`.
     pub fn pow_h(&self, e: &BigUint) -> BigUint {
-        self.h.mod_exp(e, &self.p).expect("p > 1")
+        self.mont_p.pow(&self.h, e).expect("p > 1")
     }
 
     /// `base^e mod p`.
     pub fn pow(&self, base: &BigUint, e: &BigUint) -> BigUint {
-        base.mod_exp(e, &self.p).expect("p > 1")
+        self.mont_p.pow(base, e).expect("p > 1")
     }
 
     /// Product in the group.
     pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
-        a.mul_mod(b, &self.p).expect("p > 1")
+        self.mont_p.mul_mod(a, b).expect("p > 1")
     }
 
     /// Inverse in the group.

@@ -15,6 +15,10 @@ use prever_crypto::bignum::BigUint;
 use prever_crypto::paillier::{Ciphertext, PrivateKey, PublicKey};
 use rand::Rng;
 
+/// Below this many nonzero records the dot product stays sequential —
+/// thread spawn/join overhead outweighs the exponentiation work.
+const PARALLEL_THRESHOLD: usize = 64;
+
 /// The single PIR server.
 #[derive(Clone, Debug)]
 pub struct CpirServer {
@@ -50,29 +54,66 @@ impl CpirServer {
 
     /// Answers an encrypted query vector with the homomorphic dot
     /// product.
+    ///
+    /// The per-record exponentiations are independent, so above
+    /// [`PARALLEL_THRESHOLD`] nonzero records the work is chunked
+    /// across scoped threads, each folding its slice into a partial
+    /// product; partials combine in chunk order, so the answer is
+    /// identical to the sequential fold.
     pub fn answer(&mut self, pk: &PublicKey, query: &[Ciphertext]) -> Result<Ciphertext> {
         if query.len() != self.records.len() {
             return Err(PirError::MalformedQuery);
         }
         // Π cᵢ^{rᵢ}  (skip zero records: cᵢ^0 = 1).
-        let mut acc: Option<Ciphertext> = None;
-        for (c, &r) in query.iter().zip(&self.records) {
-            if r == 0 {
-                continue;
-            }
-            self.exp_ops += 1;
-            let term = pk.mul_plain(c, &BigUint::from_u64(r))?;
-            acc = Some(match acc {
-                None => term,
-                Some(a) => pk.add(&a, &term)?,
-            });
-        }
-        match acc {
-            Some(a) => Ok(a),
+        let nonzero: Vec<(&Ciphertext, u64)> = query
+            .iter()
+            .zip(&self.records)
+            .filter(|&(_, &r)| r != 0)
+            .map(|(c, &r)| (c, r))
+            .collect();
+        self.exp_ops += nonzero.len() as u64;
+        if nonzero.is_empty() {
             // All-zero database: return Enc(0) deterministically derived
             // from the first query element times 0 — i.e. compute 0·c₀.
-            None => Ok(pk.mul_plain(&query[0], &BigUint::zero())?),
+            return Ok(pk.mul_plain(&query[0], &BigUint::zero())?);
         }
+
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if threads <= 1 || nonzero.len() < PARALLEL_THRESHOLD {
+            return Self::fold_terms(pk, &nonzero);
+        }
+
+        let chunk_len = nonzero.len().div_ceil(threads);
+        let partials: Vec<Result<Ciphertext>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = nonzero
+                .chunks(chunk_len)
+                .map(|chunk| s.spawn(move || Self::fold_terms(pk, chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cpir worker panicked"))
+                .collect()
+        })
+        .expect("cpir thread scope");
+
+        let mut acc: Option<Ciphertext> = None;
+        for partial in partials {
+            let partial = partial?;
+            acc = Some(match acc {
+                None => partial,
+                Some(a) => pk.add(&a, &partial)?,
+            });
+        }
+        Ok(acc.expect("at least one chunk"))
+    }
+
+    /// Folds `Π cᵢ^{rᵢ}` over one slice of nonzero terms via
+    /// simultaneous multi-exponentiation (one shared squaring chain for
+    /// the whole slice instead of a chain per record).
+    fn fold_terms(pk: &PublicKey, terms: &[(&Ciphertext, u64)]) -> Result<Ciphertext> {
+        Ok(pk.weighted_sum(terms)?)
     }
 }
 
@@ -191,6 +232,21 @@ mod tests {
         let client = CpirClient::new(96, &mut rng);
         let mut server = CpirServer::new(vec![0, 0, 0]);
         assert_eq!(retrieve(&client, &mut server, 1, &mut rng).unwrap(), 0);
+    }
+
+    #[test]
+    fn parallel_answer_path_retrieves_correctly() {
+        // 128 nonzero records crosses PARALLEL_THRESHOLD, exercising the
+        // chunked scoped-thread fold; the result must match what the
+        // sequential fold would produce (same record value back).
+        let mut rng = StdRng::seed_from_u64(7);
+        let client = CpirClient::new(96, &mut rng);
+        let n = 2 * PARALLEL_THRESHOLD;
+        let mut server = CpirServer::new((1..=n as u64).collect());
+        for i in [0usize, n / 2, n - 1] {
+            assert_eq!(retrieve(&client, &mut server, i, &mut rng).unwrap(), (i + 1) as u64);
+        }
+        assert_eq!(server.exp_ops, 3 * n as u64);
     }
 
     #[test]

@@ -61,9 +61,9 @@ impl MatrixServer {
                 continue;
             }
             self.ops += 1;
-            for col in 0..self.cols {
+            for (col, out_col) in out.iter_mut().enumerate() {
                 let rec = &self.records[row * self.cols + col];
-                for (o, b) in out[col].iter_mut().zip(rec) {
+                for (o, b) in out_col.iter_mut().zip(rec) {
                     *o ^= b;
                 }
             }
