@@ -1,0 +1,169 @@
+//! `obs` — exercise every instrumented subsystem end-to-end, then print
+//! and export what the observability layer saw.
+//!
+//! Phases: a 4-replica PBFT burst on the deterministic simulator, the
+//! E1 YCSB comparison (plain / ledger / Paillier-private engines), a
+//! Paillier encrypt–decrypt loop, a CPIR retrieval, a ledger
+//! append + Merkle-root pass, and a DP budget drain. Afterwards the
+//! global registry snapshot is rendered as the aligned metrics table,
+//! as `BENCHJSON`/`OBSJSON` lines, and as a `BENCH_obs.json` document
+//! with a consensus-vs-crypto-vs-storage phase breakdown.
+//!
+//! `cargo run --release -p prever-bench --bin obs -- --quick`
+//! `cargo run --release -p prever-bench --bin obs -- --json out.json`
+//!
+//! Exits nonzero if the snapshot is empty or any of the must-have spans
+//! recorded no samples — CI leans on this as the "instrumentation still
+//! wired up" check.
+
+use bytes::Bytes;
+use prever_bench::experiments as e;
+use prever_consensus::pbft::{self, PbftMsg};
+use prever_consensus::Command;
+use prever_crypto::paillier;
+use prever_dp::BudgetAccountant;
+use prever_ledger::Journal;
+use prever_obs::export;
+use prever_obs::registry::Snapshot;
+use prever_pir::cpir::{retrieve as cpir_retrieve, CpirClient, CpirServer};
+use prever_sim::{NetConfig, Simulation};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Spans that must have recorded at least one sample for the run to
+/// count as instrumented.
+const REQUIRED_SPANS: [&str; 5] =
+    ["pbft.prepare", "pbft.commit", "paillier.encrypt", "pir.answer", "ledger.append"];
+
+fn run_consensus(quick: bool) {
+    let commands: u64 = if quick { 10 } else { 50 };
+    let mut sim = Simulation::new(pbft::cluster(4), NetConfig::default(), 42);
+    for i in 0..commands {
+        sim.inject(0, 0, PbftMsg::Request(Command::new(i, "x")), 1 + i);
+    }
+    let done = sim.run_until_pred(40_000_000, |nodes| {
+        nodes[0].core.executed_commands() as u64 >= commands
+    });
+    assert!(done, "pbft burst did not finish");
+    // Drain in-flight traffic so checkpoint votes land and stabilize —
+    // the predicate fires the instant the last command executes, before
+    // the checkpoint round-trip completes.
+    let drain_until = sim.now() + 200_000;
+    sim.run_until(drain_until);
+    prever_obs::log!(Info, "consensus phase: {commands} commands executed on 4 replicas");
+}
+
+fn run_crypto(quick: bool) {
+    let iters = if quick { 10 } else { 50 };
+    let mut rng = StdRng::seed_from_u64(11);
+    let key = paillier::keygen(96, &mut rng);
+    for i in 0..iters {
+        let c = key.public.encrypt_u64(i, &mut rng).expect("encrypt");
+        let m = key.decrypt(&c).expect("decrypt");
+        assert_eq!(m.to_u64(), Some(i));
+    }
+    prever_obs::log!(Info, "crypto phase: {iters} Paillier encrypt/decrypt round trips");
+}
+
+fn run_pir(quick: bool) {
+    let n: usize = if quick { 64 } else { 256 };
+    let iters = if quick { 2 } else { 5 };
+    let mut rng = StdRng::seed_from_u64(12);
+    let client = CpirClient::new(96, &mut rng);
+    let mut server = CpirServer::new((1..=n as u64).collect());
+    for i in 0..iters {
+        let got = cpir_retrieve(&client, &mut server, (n / 2 + i) % n, &mut rng).expect("retrieve");
+        assert_eq!(got, (((n / 2 + i) % n) + 1) as u64);
+    }
+    prever_obs::log!(Info, "pir phase: {iters} CPIR retrievals over {n} records");
+}
+
+fn run_storage(quick: bool) {
+    let n: usize = if quick { 256 } else { 2_048 };
+    let mut journal = Journal::new();
+    for i in 0..n {
+        journal.append(i as u64, Bytes::from(format!("obs-update-{i}")));
+    }
+    let digest = journal.digest();
+    let proof = journal.prove_inclusion((n / 2) as u64, digest.size).expect("proof");
+    let entry = journal.entry((n / 2) as u64).expect("entry").clone();
+    Journal::verify_inclusion(&entry, &proof, &digest).expect("verify");
+    prever_obs::log!(Info, "storage phase: {n} journal appends, root recomputed and proven");
+}
+
+fn run_dp() {
+    let mut budget = BudgetAccountant::new(1.0).expect("budget");
+    for _ in 0..10 {
+        budget.spend(0.1).expect("within budget");
+    }
+    // One overdraw on purpose: exercises the denial counter and warning.
+    let _ = budget.spend(0.1);
+}
+
+/// Total histogram time (ns) across all spans whose name starts with one
+/// of `prefixes`.
+fn phase_ns(s: &Snapshot, prefixes: &[&str]) -> u64 {
+    s.histograms
+        .iter()
+        .filter(|h| prefixes.iter().any(|p| h.name.starts_with(p)))
+        .map(|h| h.sum)
+        .sum()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone())
+        .unwrap_or_else(|| "BENCH_obs.json".to_string());
+    let mode = if quick { "quick" } else { "full" };
+    prever_obs::log!(Info, "obs run starting ({mode} mode)");
+
+    let sw = prever_obs::Stopwatch::start();
+    run_consensus(quick);
+    let ycsb_table = e::e1_ycsb::run(quick);
+    run_crypto(quick);
+    run_pir(quick);
+    run_storage(quick);
+    run_dp();
+    let total_ns = sw.elapsed_ns();
+
+    let snap = prever_obs::snapshot();
+    println!("# PReVer observability run ({mode} mode)\n");
+    println!("{}", ycsb_table.render());
+    print!("{}", export::render_table(&snap));
+    print!("{}", export::render_jsonl(&snap));
+
+    let consensus_ns = phase_ns(&snap, &["pbft.", "paxos.", "sharded."]);
+    let crypto_ns = phase_ns(&snap, &["paillier.", "pir."]);
+    let storage_ns = phase_ns(&snap, &["ledger.", "pipeline."]);
+    let extra = [
+        ("mode", format!("\"{mode}\"")),
+        ("total_wall_ns", total_ns.to_string()),
+        (
+            "phase_breakdown_ns",
+            format!(
+                "{{\"consensus\":{consensus_ns},\"crypto\":{crypto_ns},\"storage\":{storage_ns}}}"
+            ),
+        ),
+    ];
+    let doc = export::render_json_document("PReVer observability run", &extra, &snap);
+    std::fs::write(&json_path, &doc)
+        .unwrap_or_else(|err| panic!("writing {json_path}: {err}"));
+    println!("\nwrote {json_path}");
+
+    if snap.is_empty() {
+        eprintln!("obs: metrics snapshot is empty — instrumentation is not wired up");
+        std::process::exit(1);
+    }
+    let missing: Vec<&str> = REQUIRED_SPANS
+        .iter()
+        .copied()
+        .filter(|name| snap.histogram(name).is_none_or(|h| h.count == 0))
+        .collect();
+    if !missing.is_empty() {
+        eprintln!("obs: required spans recorded no samples: {missing:?}");
+        std::process::exit(1);
+    }
+}

@@ -58,7 +58,7 @@ pub fn run(quick: bool) -> Table {
     {
         let mut p = Pipeline::new();
         p.create_table("orders", orders_schema()).expect("table");
-        let secs = time_once(|| {
+        let secs = time_once("bench.e10.unregulated", || {
             for o in &orders {
                 let u = Update::new(
                     o.id,
@@ -97,7 +97,7 @@ pub fn run(quick: bool) -> Table {
             )
             .expect("parses"),
         );
-        let secs = time_once(|| {
+        let secs = time_once("bench.e10.regulated_scan", || {
             for o in &orders {
                 let u = Update::new(
                     o.id,
@@ -130,7 +130,7 @@ pub fn run(quick: bool) -> Table {
         let mut applied = 0u64;
         let mut accepted = 0u64;
         let mut rejected = 0u64;
-        let secs = time_once(|| {
+        let secs = time_once("bench.e10.regulated_incremental", || {
             for o in &orders {
                 let qty = o.total_quantity();
                 let ok = agg.check_upper_bound(

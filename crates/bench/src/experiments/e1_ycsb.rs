@@ -129,16 +129,20 @@ pub fn run(quick: bool) -> Table {
         (YcsbWorkloadKind::C, "C (100r)"),
         (YcsbWorkloadKind::F, "F (50r/50rmw)"),
     ];
+    // One histogram per engine so the obs exporter can break the YCSB
+    // cost down by integrity/privacy level.
+    const METRICS: [&str; 3] =
+        ["bench.e1.ycsb.plain", "bench.e1.ycsb.ledger", "bench.e1.ycsb.private"];
     for (kind, label) in kinds {
         let mut rates = Vec::new();
-        for engine_idx in 0..3 {
+        for (engine_idx, metric) in METRICS.iter().enumerate() {
             let mut engine = build_engine(engine_idx);
             let mut rng = StdRng::seed_from_u64(7);
             let mut workload = YcsbWorkload::new(kind, records, 0.99, 16);
             let preload_value = vec![0xabu8; 16];
             engine.preload(workload.preload_keys(), &preload_value);
             let ops = workload.batch(n_ops, &mut rng);
-            let secs = time_once(|| {
+            let secs = time_once(metric, || {
                 for op in &ops {
                     engine.apply(op);
                 }

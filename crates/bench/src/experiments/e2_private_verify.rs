@@ -85,7 +85,7 @@ pub fn run(quick: bool) -> Table {
         let schema = db.table("tasks").expect("table").schema();
         let snapshot = db.snapshot();
         let ctx = UpdateContext { table: "tasks", row: &row, schema, timestamp: rows as u64 * 60 };
-        let us = time_per_op(iters, || {
+        let us = time_per_op("bench.e2.plaintext_scan", iters, || {
             let _ = evaluate(&constraint, &snapshot, &ctx).expect("eval");
         });
         table.row(vec!["plaintext-scan".into(), rows.to_string(), format!("{us:.1}")]);
@@ -101,7 +101,7 @@ pub fn run(quick: bool) -> Table {
         }
         let worker = Value::Str("w7".into());
         let at = rows as u64 * 60;
-        let us = time_per_op(iters * 10, || {
+        let us = time_per_op("bench.e2.incremental", iters * 10, || {
             let _ = agg.check_upper_bound(&worker, 3, at, 40);
         });
         table.row(vec!["incremental".into(), rows.to_string(), format!("{us:.3}")]);
@@ -111,7 +111,7 @@ pub fn run(quick: bool) -> Table {
     // measured cost is the software path).
     {
         let mut enclave = Enclave::load(b"bound", b"secret");
-        let us = time_per_op(iters * 10, || {
+        let us = time_per_op("bench.e2.enclave_sim", iters * 10, || {
             let _ = enclave.check_bound("w7", 0, 1 << 40);
         });
         table.row(vec!["enclave-sim".into(), "-".into(), format!("{us:.3}")]);
@@ -121,7 +121,7 @@ pub fn run(quick: bool) -> Table {
     {
         let mut rng = StdRng::seed_from_u64(3);
         let mut check = FederatedBoundCheck::new();
-        let us = time_per_op(iters, || {
+        let us = time_per_op("bench.e2.mpc_3p", iters, || {
             let _ = check.check_upper_bound(&[10, 12, 8], 3, 40, &mut rng).expect("mpc");
         });
         table.row(vec!["mpc-3p".into(), "-".into(), format!("{us:.1}")]);
@@ -133,7 +133,7 @@ pub fn run(quick: bool) -> Table {
         let key = prever_crypto::paillier::keygen(96, &mut rng);
         let acc = key.public.encrypt_u64(30, &mut rng).expect("enc");
         let update = key.public.encrypt_u64(3, &mut rng).expect("enc");
-        let us = time_per_op(iters, || {
+        let us = time_per_op("bench.e2.paillier", iters, || {
             let candidate = key.public.add(&acc, &update).expect("add");
             let total = key.decrypt(&candidate).expect("dec");
             let _ = total <= BigUint::from_u64(40);
@@ -146,7 +146,7 @@ pub fn run(quick: bool) -> Table {
         let mut rng = StdRng::seed_from_u64(5);
         let group = SchnorrGroup::test_group_256();
         let m = BigUint::from_u64(37);
-        let us = time_per_op(iters.min(50), || {
+        let us = time_per_op("bench.e2.zk_range", iters.min(50), || {
             let (c, r) = schnorr::commit(&group, &m, &mut rng).expect("commit");
             let proof = RangeProof::prove(&group, &c, &m, &r, 6, b"e2", &mut rng).expect("prove");
             proof.verify(&group, &c, 6, b"e2").expect("verify");

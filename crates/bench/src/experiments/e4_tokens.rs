@@ -27,7 +27,7 @@ pub fn run(quick: bool) -> Table {
         let mut wallet = Wallet::new("worker");
 
         // Issuance.
-        let issue_secs = time_once(|| {
+        let issue_secs = time_once("bench.e4.token_issue", || {
             let got = wallet.request_tokens(&mut authority, 1, tokens, &mut rng).expect("issue");
             assert_eq!(got, tokens);
         });
@@ -37,7 +37,7 @@ pub fn run(quick: bool) -> Table {
         let mut platforms: Vec<Platform> = (0..n_platforms)
             .map(|i| Platform::new(&format!("p{i}"), authority.public_key().clone()))
             .collect();
-        let spend_secs = time_once(|| {
+        let spend_secs = time_once("bench.e4.token_spend", || {
             for i in 0..tokens {
                 let t = wallet.spend(1).expect("wallet has tokens");
                 platforms[(i as usize) % n_platforms]
@@ -58,7 +58,7 @@ pub fn run(quick: bool) -> Table {
             &mut rng,
         );
         let n_tasks = (tokens / 4).max(4) as usize;
-        let e2e_secs = time_once(|| {
+        let e2e_secs = time_once("bench.e4.task_admission", || {
             for i in 0..n_tasks {
                 deployment
                     .submit_task(

@@ -32,7 +32,7 @@ pub fn run(quick: bool) -> Table {
         let mut s1 = XorServer::new(records.clone(), record_size).expect("server");
         let mut s2 = XorServer::new(records, record_size).expect("server");
         let iters = if quick { 10 } else { 50 };
-        let us = time_per_op(iters, || {
+        let us = time_per_op("bench.e5.xor_pir", iters, || {
             let _ = xor_retrieve(&mut s1, &mut s2, n / 2, &mut rng).expect("retrieve");
         });
         table.row(vec!["xor-pir (2 servers)".into(), n.to_string(), format!("{us:.1}")]);
@@ -47,7 +47,7 @@ pub fn run(quick: bool) -> Table {
         let mut s1 = MatrixServer::new(records.clone(), record_size).expect("server");
         let mut s2 = MatrixServer::new(records, record_size).expect("server");
         let iters = if quick { 10 } else { 50 };
-        let us = time_per_op(iters, || {
+        let us = time_per_op("bench.e5.matrix_pir", iters, || {
             let _ = matrix_retrieve(&mut s1, &mut s2, n / 2, &mut rng).expect("retrieve");
         });
         table.row(vec!["matrix-pir (√n up)".into(), n.to_string(), format!("{us:.1}")]);
@@ -58,7 +58,7 @@ pub fn run(quick: bool) -> Table {
         let client = CpirClient::new(96, &mut rng);
         let mut server = CpirServer::new((1..=n as u64).collect());
         let iters = if quick { 2 } else { 5 };
-        let us = time_per_op(iters, || {
+        let us = time_per_op("bench.e5.cpir", iters, || {
             let _ = cpir_retrieve(&client, &mut server, n / 2, &mut rng).expect("retrieve");
         });
         table.row(vec!["cpir (1 server)".into(), n.to_string(), format!("{us:.0}")]);
@@ -70,7 +70,7 @@ pub fn run(quick: bool) -> Table {
     let mut server = XorServer::new(records.clone(), record_size).expect("server");
     for k in [1usize, 4, 16, 64] {
         let iters = if quick { 10 } else { 50 };
-        let us = time_per_op(iters, || {
+        let us = time_per_op("bench.e5.kanon_write", iters, || {
             let batch = WriteBatch::build(
                 Write { index: 12, record: vec![9u8; record_size] },
                 &records,

@@ -26,7 +26,7 @@ pub fn run(quick: bool) -> Table {
     let sizes: &[usize] = if quick { &[256, 1024] } else { &[256, 1024, 4096, 16_384, 65_536] };
     for &n in sizes {
         let mut journal = Journal::new();
-        let append_secs = time_once(|| {
+        let append_secs = time_once("bench.e6.append_batch", || {
             for i in 0..n {
                 journal.append(i as u64, Bytes::from(format!("update-{i}")));
             }
@@ -35,13 +35,13 @@ pub fn run(quick: bool) -> Table {
         let mid = (n / 2) as u64;
         let proof = journal.prove_inclusion(mid, digest.size).expect("proof");
         let entry = journal.entry(mid).expect("entry").clone();
-        let verify_us = time_per_op(if quick { 50 } else { 500 }, || {
+        let verify_us = time_per_op("bench.e6.incl_verify", if quick { 50 } else { 500 }, || {
             Journal::verify_inclusion(&entry, &proof, &digest).expect("verify");
         });
         let cons = journal
             .prove_consistency((n / 2) as u64, n as u64)
             .expect("consistency");
-        let audit_ms = time_once(|| {
+        let audit_ms = time_once("bench.e6.full_audit", || {
             Journal::verify_chain(journal.entries(), &digest).expect("audit");
         }) * 1e3;
         table.row(vec![

@@ -22,7 +22,7 @@ pub fn run(quick: bool) -> Table {
         let mut rng = StdRng::seed_from_u64(8);
         let mut check = FederatedBoundCheck::new();
         let inputs: Vec<i64> = (0..n as i64).map(|i| i * 3).collect();
-        let us = time_per_op(iters, || {
+        let us = time_per_op("bench.e8.mpc_check", iters, || {
             let _ = check.check_upper_bound(&inputs, 1, 1_000, &mut rng).expect("check");
         });
         let MpcStats { rounds, elements_sent, triples_used } = check.stats;

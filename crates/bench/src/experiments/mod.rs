@@ -16,23 +16,30 @@ pub mod e8_mpc;
 pub mod e9_dp;
 pub mod e10_tpcc;
 
-use std::time::Instant;
-
 /// Times `f` over `iters` iterations; returns mean µs per iteration.
-pub fn time_per_op(iters: usize, mut f: impl FnMut()) -> f64 {
+///
+/// The mean per-op latency (in ns) is also recorded into the `metric`
+/// histogram, so bench timings flow through the same registry as the
+/// runtime spans and show up in `prever_obs::export` output.
+pub fn time_per_op(metric: &str, iters: usize, mut f: impl FnMut()) -> f64 {
     assert!(iters > 0);
-    let start = Instant::now();
+    let sw = prever_obs::Stopwatch::start();
     for _ in 0..iters {
         f();
     }
-    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+    let total_ns = sw.elapsed_ns();
+    prever_obs::observe_ns(metric, total_ns / iters as u64);
+    total_ns as f64 / 1e3 / iters as f64
 }
 
-/// Times `f` once; returns elapsed seconds.
-pub fn time_once(f: impl FnOnce()) -> f64 {
-    let start = Instant::now();
+/// Times `f` once; returns elapsed seconds. The elapsed ns are recorded
+/// into the `metric` histogram (one sample per call).
+pub fn time_once(metric: &str, f: impl FnOnce()) -> f64 {
+    let sw = prever_obs::Stopwatch::start();
     f();
-    start.elapsed().as_secs_f64()
+    let ns = sw.elapsed_ns();
+    prever_obs::observe_ns(metric, ns);
+    ns as f64 / 1e9
 }
 
 /// Formats ops/sec from (ops, seconds).

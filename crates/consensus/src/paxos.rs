@@ -70,6 +70,23 @@ pub enum PaxosMsg {
     },
 }
 
+impl PaxosMsg {
+    /// The span name timing this message kind's handler (wall-clock
+    /// handling time recorded into the histogram of the same name).
+    fn span_name(&self) -> &'static str {
+        match self {
+            PaxosMsg::ClientRequest(_) => "paxos.client_request",
+            PaxosMsg::Prepare { .. } => "paxos.prepare",
+            PaxosMsg::Promise { .. } => "paxos.promise",
+            PaxosMsg::Accept { .. } => "paxos.accept",
+            PaxosMsg::Accepted { .. } => "paxos.accepted",
+            PaxosMsg::Decide { .. } => "paxos.decide",
+            PaxosMsg::Heartbeat { .. } => "paxos.heartbeat",
+            PaxosMsg::LearnRequest { .. } => "paxos.learn_request",
+        }
+    }
+}
+
 const TIMER_HEARTBEAT: u64 = 1;
 const TIMER_LEADER_TIMEOUT: u64 = 2;
 
@@ -182,6 +199,8 @@ impl PaxosNode {
     }
 
     fn become_leader(&mut self, ballot: u64, ctx: &mut Ctx<PaxosMsg>) {
+        prever_obs::log!(Info, "node {} leads with ballot {ballot}", self.id);
+        prever_obs::counter("paxos.leader_elections").inc();
         self.campaigning = None;
         self.leading = Some(ballot);
         // Re-propose every accepted-but-undecided value we learned.
@@ -225,6 +244,7 @@ impl PaxosNode {
         if self.decided.contains_key(&slot) {
             return;
         }
+        prever_obs::counter("paxos.decided").inc();
         self.backlog.retain(|c| c.id != command.id);
         self.decided.insert(slot, command.clone());
         self.decided_log.push(Decided { slot, command, at: ctx.now() });
@@ -251,6 +271,7 @@ impl Actor for PaxosNode {
     }
 
     fn on_message(&mut self, from: NodeId, msg: PaxosMsg, ctx: &mut Ctx<PaxosMsg>) {
+        let _span = prever_obs::span!(msg.span_name());
         match msg {
             PaxosMsg::ClientRequest(command) => {
                 if self.already_known(&command) {

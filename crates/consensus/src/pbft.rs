@@ -93,6 +93,107 @@ pub enum PbftMsg {
 /// Executed-command count between checkpoint votes.
 pub const CHECKPOINT_INTERVAL: u64 = 16;
 
+/// Number of distinct [`PbftMsg`] kinds (stats array arity).
+const N_KINDS: usize = 7;
+
+/// Message-kind suffixes, indexed by [`PbftMsg::kind_idx`]; also the
+/// tail of the registry counter names (`pbft.msg.sent.<kind>`).
+const KIND_NAMES: [&str; N_KINDS] =
+    ["request", "pre_prepare", "prepare", "commit", "view_change", "new_view", "checkpoint"];
+
+/// Span names per message kind (histograms of wall-clock handling time).
+const SPAN_NAMES: [&str; N_KINDS] = [
+    "pbft.request",
+    "pbft.pre_prepare",
+    "pbft.prepare",
+    "pbft.commit",
+    "pbft.view_change",
+    "pbft.new_view",
+    "pbft.checkpoint",
+];
+
+/// Registry counters for messages sent, by kind.
+const SENT_COUNTERS: [&str; N_KINDS] = [
+    "pbft.msg.sent.request",
+    "pbft.msg.sent.pre_prepare",
+    "pbft.msg.sent.prepare",
+    "pbft.msg.sent.commit",
+    "pbft.msg.sent.view_change",
+    "pbft.msg.sent.new_view",
+    "pbft.msg.sent.checkpoint",
+];
+
+/// Registry counters for messages received, by kind.
+const RECV_COUNTERS: [&str; N_KINDS] = [
+    "pbft.msg.recv.request",
+    "pbft.msg.recv.pre_prepare",
+    "pbft.msg.recv.prepare",
+    "pbft.msg.recv.commit",
+    "pbft.msg.recv.view_change",
+    "pbft.msg.recv.new_view",
+    "pbft.msg.recv.checkpoint",
+];
+
+impl PbftMsg {
+    /// Compact kind index into the per-type stats arrays.
+    fn kind_idx(&self) -> usize {
+        match self {
+            PbftMsg::Request(_) => 0,
+            PbftMsg::PrePrepare { .. } => 1,
+            PbftMsg::Prepare { .. } => 2,
+            PbftMsg::Commit { .. } => 3,
+            PbftMsg::ViewChange { .. } => 4,
+            PbftMsg::NewView { .. } => 5,
+            PbftMsg::Checkpoint { .. } => 6,
+        }
+    }
+
+    /// The message-kind name (`"pre_prepare"`, `"commit"`, …).
+    pub fn kind(&self) -> &'static str {
+        KIND_NAMES[self.kind_idx()]
+    }
+}
+
+/// Per-replica message counts by type: a deterministic, test-friendly
+/// mirror of the global `pbft.msg.{sent,recv}.*` registry counters
+/// (the registry aggregates across every replica in the process; this
+/// struct is per [`PbftCore`], so tests can assert exact counts).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MsgStats {
+    sent: [u64; N_KINDS],
+    recv: [u64; N_KINDS],
+}
+
+impl MsgStats {
+    fn idx(kind: &str) -> usize {
+        KIND_NAMES
+            .iter()
+            .position(|k| *k == kind)
+            .unwrap_or_else(|| panic!("unknown PBFT message kind `{kind}`"))
+    }
+
+    /// Messages of `kind` sent by this replica.
+    pub fn sent(&self, kind: &str) -> u64 {
+        self.sent[Self::idx(kind)]
+    }
+
+    /// Messages of `kind` received by this replica (client injections,
+    /// which arrive with `from == self`, are not counted).
+    pub fn recv(&self, kind: &str) -> u64 {
+        self.recv[Self::idx(kind)]
+    }
+
+    /// Total messages sent.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Total messages received.
+    pub fn total_recv(&self) -> u64 {
+        self.recv.iter().sum()
+    }
+}
+
 /// Byzantine behavior injection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Byzantine {
@@ -155,6 +256,8 @@ pub struct PbftCore {
     checkpoint_votes: BTreeMap<(u64, Digest), VoteSet>,
     /// Highest stable (2f+1-certified) checkpoint.
     stable_seq: u64,
+    /// Per-type message send/receive counts.
+    stats: MsgStats,
     byz: Byzantine,
 }
 
@@ -181,6 +284,7 @@ impl PbftCore {
             running_state: Digest::ZERO,
             checkpoint_votes: BTreeMap::new(),
             stable_seq: 0,
+            stats: MsgStats::default(),
             byz,
         }
     }
@@ -233,6 +337,11 @@ impl PbftCore {
         self.executed.iter().filter(|d| d.command.id != NOOP_ID).count()
     }
 
+    /// Per-type message send/receive counts for this replica.
+    pub fn msg_stats(&self) -> &MsgStats {
+        &self.stats
+    }
+
     /// True iff a request is pending past `deadline`-aged entries.
     pub fn has_stale_pending(&self, now: u64, timeout: u64) -> bool {
         self.pending
@@ -240,21 +349,34 @@ impl PbftCore {
             .is_some_and(|(_, since)| now.saturating_sub(*since) > timeout)
     }
 
-    fn broadcast(&self, out: &mut Outbox, msg: PbftMsg) {
+    /// Records `n` sends of message kind `kind` (per-core stats plus
+    /// the process-global registry counter).
+    fn note_sent(&mut self, kind: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.stats.sent[kind] += n;
+        prever_obs::counter(SENT_COUNTERS[kind]).add(n);
+    }
+
+    fn broadcast(&mut self, out: &mut Outbox, msg: PbftMsg) {
         if self.byz == Byzantine::Silent {
             return;
         }
+        let kind = msg.kind_idx();
         for &m in &self.members {
             if m != self.id {
                 out.push((m, msg.clone()));
             }
         }
+        self.note_sent(kind, self.m() as u64 - 1);
     }
 
-    fn send(&self, out: &mut Outbox, to: NodeId, msg: PbftMsg) {
+    fn send(&mut self, out: &mut Outbox, to: NodeId, msg: PbftMsg) {
         if self.byz == Byzantine::Silent {
             return;
         }
+        self.note_sent(msg.kind_idx(), 1);
         out.push((to, msg));
     }
 
@@ -320,6 +442,7 @@ impl PbftCore {
                 let c = if i < others.len() / 2 { command.clone() } else { evil.clone() };
                 out.push((m, PbftMsg::PrePrepare { view: self.view, seq, command: c }));
             }
+            self.note_sent(1, others.len() as u64); // kind 1 = pre_prepare
         } else {
             self.broadcast(out, PbftMsg::PrePrepare { view: self.view, seq, command: command.clone() });
         }
@@ -339,6 +462,17 @@ impl PbftCore {
         if !self.members.contains(&from) {
             return out;
         }
+        let kind = msg.kind_idx();
+        // Client injections arrive with `from == self` by convention and
+        // are not network receives; everything else is counted. NewView
+        // re-proposals are processed by recursing into this method and
+        // therefore count as received pre-prepares, which matches the
+        // protocol reading (a NewView is a batch of pre-prepares).
+        if from != self.id {
+            self.stats.recv[kind] += 1;
+            prever_obs::counter(RECV_COUNTERS[kind]).add(1);
+        }
+        let _span = prever_obs::span!(SPAN_NAMES[kind]);
         match msg {
             PbftMsg::Request(command) => {
                 // By convention the simulator injects client requests with
@@ -488,6 +622,7 @@ impl PbftCore {
                 command.digest().as_bytes(),
             ]);
             self.executed.push(Decided { slot: next, command, at: now });
+            prever_obs::counter("pbft.executed").inc();
             if self.last_exec.is_multiple_of(CHECKPOINT_INTERVAL) {
                 let msg = PbftMsg::Checkpoint {
                     seq: self.last_exec,
@@ -507,6 +642,7 @@ impl PbftCore {
         votes.add(from);
         if votes.len() >= self.quorum() {
             // Stable: truncate everything at or below it.
+            prever_obs::log!(Debug, "replica {} stable checkpoint at seq {seq}", self.id);
             self.stable_seq = seq;
             self.log.retain(|s, slot| *s > seq || !slot.executed);
             self.checkpoint_votes.retain(|(s, _), _| *s > seq);
@@ -518,6 +654,8 @@ impl PbftCore {
         if new_view <= self.view && self.view_changing {
             return;
         }
+        prever_obs::log!(Warn, "replica {} abandons view {} for view {new_view}", self.id, self.view);
+        prever_obs::counter("pbft.view_changes.started").inc();
         self.view = new_view;
         self.view_changing = true;
         // Prepared certificates above last_exec.
@@ -568,6 +706,12 @@ impl PbftCore {
                 (seq, cmd)
             })
             .collect();
+        prever_obs::log!(
+            Info,
+            "replica {} installs view {new_view} with {} re-proposals",
+            self.id,
+            proposals.len()
+        );
         self.adopt_view(new_view);
         self.next_seq = max_seq.max(self.last_exec);
         let msg = PbftMsg::NewView { new_view, proposals: proposals.clone() };
@@ -721,6 +865,55 @@ mod tests {
         for i in 1..n {
             assert_eq!(ids_of(sim.node(i)), reference, "replica {i} diverged");
         }
+    }
+
+    #[test]
+    fn happy_path_message_counts() {
+        // A clean 4-replica run has a fully predictable message budget;
+        // any retransmit, duplicate, or silent loss shifts these counts.
+        let n = 4;
+        let cmds = 5u64; // below CHECKPOINT_INTERVAL: no checkpoint traffic
+        let mut sim = Simulation::new(cluster(n), NetConfig::default(), 77);
+        for i in 0..cmds {
+            submit(&mut sim, 0, i);
+        }
+        let ok = sim.run_until_pred(1_000_000, |nodes| {
+            nodes.iter().all(|nd| nd.core.executed_commands() as u64 >= cmds)
+        });
+        assert!(ok, "run did not complete");
+        // Drain in-flight traffic so every sent message is received.
+        let deadline = sim.now() + 200_000;
+        sim.run_until(deadline);
+        for i in 0..n {
+            assert_eq!(sim.node(i).core.view(), 0, "no view change expected");
+        }
+        // Primary: relays each request to the 3 backups, pre-prepares
+        // each command once, and commits; its pre-prepare doubles as its
+        // prepare vote, so it sends no explicit prepares.
+        let s0 = sim.node(0).core.msg_stats();
+        assert_eq!(s0.sent("request"), 3 * cmds);
+        assert_eq!(s0.sent("pre_prepare"), 3 * cmds);
+        assert_eq!(s0.sent("prepare"), 0);
+        assert_eq!(s0.sent("commit"), 3 * cmds);
+        assert_eq!(s0.recv("prepare"), 3 * cmds, "one prepare per backup per command");
+        assert_eq!(s0.recv("commit"), 3 * cmds);
+        // Backups: one pre-prepare in, one prepare broadcast (3 peers),
+        // one commit broadcast per command; no pre-prepares out.
+        for i in 1..n {
+            let s = sim.node(i).core.msg_stats();
+            assert_eq!(s.recv("request"), cmds, "backup {i} relayed-request count");
+            assert_eq!(s.recv("pre_prepare"), cmds, "backup {i}");
+            assert_eq!(s.sent("pre_prepare"), 0, "backup {i}");
+            assert_eq!(s.sent("prepare"), 3 * cmds, "backup {i}");
+            assert_eq!(s.sent("commit"), 3 * cmds, "backup {i}");
+            assert_eq!(s.recv("prepare"), 2 * cmds, "backup {i} hears the other two backups");
+            assert_eq!(s.recv("commit"), 3 * cmds, "backup {i}");
+        }
+        // Conservation: with no drops and no crashes, every message sent
+        // is received exactly once (client injections are not receives).
+        let total_sent: u64 = (0..n).map(|i| sim.node(i).core.msg_stats().total_sent()).sum();
+        let total_recv: u64 = (0..n).map(|i| sim.node(i).core.msg_stats().total_recv()).sum();
+        assert_eq!(total_sent, total_recv, "messages were lost or duplicated");
     }
 
     #[test]

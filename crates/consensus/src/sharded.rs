@@ -228,6 +228,12 @@ impl ShardedNode {
             self.completed_ids.insert(tx_id);
             let slot = self.completed.len() as u64 + 1;
             self.completed.push(Decided { slot, command, at: now });
+            if involved.len() > 1 {
+                prever_obs::counter("sharded.completed.cross_shard").inc();
+                prever_obs::log!(Debug, "cross-shard tx {tx_id} passed the commit barrier");
+            } else {
+                prever_obs::counter("sharded.completed.intra_shard").inc();
+            }
         }
     }
 }
@@ -240,6 +246,11 @@ impl Actor for ShardedNode {
     }
 
     fn on_message(&mut self, from: NodeId, msg: ShardedMsg, ctx: &mut Ctx<ShardedMsg>) {
+        let _span = prever_obs::span!(match &msg {
+            ShardedMsg::Request { .. } => "sharded.request",
+            ShardedMsg::Pbft(_) => "sharded.pbft",
+            ShardedMsg::ShardCommitted { .. } => "sharded.shard_committed",
+        });
         match msg {
             ShardedMsg::Request { command, involved } => {
                 let is_client = from == ctx.id();

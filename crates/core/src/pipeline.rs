@@ -52,8 +52,10 @@ impl Pipeline {
     /// Steps 1–3 for one update: verify against every constraint on a
     /// snapshot, then incorporate and journal atomically.
     pub fn submit(&mut self, update: &Update) -> Result<UpdateOutcome> {
+        let _submit = prever_obs::span!("pipeline.submit");
         // Step 2: verify.
         {
+            let _span = prever_obs::span!("pipeline.verify");
             let snapshot = self.db.snapshot();
             let schema = self.db.table(&update.table)?.schema();
             let ctx = UpdateContext {
@@ -65,16 +67,25 @@ impl Pipeline {
             for c in &self.constraints {
                 if !evaluate(c, &snapshot, &ctx)? {
                     self.rejected += 1;
+                    prever_obs::counter("pipeline.rejected").inc();
+                    prever_obs::log!(
+                        Debug,
+                        "update {} rejected by constraint `{}`",
+                        update.id,
+                        c.name
+                    );
                     return Ok(UpdateOutcome::Rejected { constraint: c.name.clone() });
                 }
             }
         }
         // Step 3: incorporate + journal.
+        let _span = prever_obs::span!("pipeline.incorporate");
         let change = self.db.upsert(&update.table, update.row.clone())?;
         let version = change.version;
         let payload = Bytes::from(change.encode());
         let seq = self.journal.append(update.timestamp, payload).seq;
         self.accepted += 1;
+        prever_obs::counter("pipeline.accepted").inc();
         Ok(UpdateOutcome::Accepted { version, ledger_seq: seq })
     }
 
@@ -110,6 +121,7 @@ impl Pipeline {
     /// with the ledger digest it was computed under — the "freshness
     /// anchor" a client checks against the digests its auditor tracks.
     pub fn query(&self, src: &str, as_of_ts: u64) -> Result<(prever_storage::Value, LedgerDigest)> {
+        let _span = prever_obs::span!("pipeline.query");
         let snapshot = self.db.snapshot();
         let value = prever_constraints::query(src, &snapshot, as_of_ts)?;
         Ok((value, self.digest()))

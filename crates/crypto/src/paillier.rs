@@ -99,6 +99,7 @@ impl Ciphertext {
 /// Demo-scale sizes (256-bit primes) keep the benchmarks responsive; a
 /// production deployment would use ≥ 1536-bit primes.
 pub fn keygen<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> PrivateKey {
+    let _span = prever_obs::span!("paillier.keygen");
     loop {
         let p = BigUint::gen_prime(bits, rng);
         let q = BigUint::gen_prime(bits, rng);
@@ -187,6 +188,7 @@ fn l_function(x: &BigUint, n: &BigUint) -> Result<BigUint> {
 impl PublicKey {
     /// Encrypts `m ∈ [0, n)`.
     pub fn encrypt<R: Rng + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Result<Ciphertext> {
+        let _span = prever_obs::span!("paillier.encrypt");
         if m.cmp_to(&self.n) != std::cmp::Ordering::Less {
             return Err(CryptoError::OutOfRange("plaintext >= n"));
         }
@@ -234,6 +236,7 @@ impl PublicKey {
     /// PIR server's dot product is the intended caller. An empty term
     /// list yields the (unrandomized) identity `Enc(0) = 1`.
     pub fn weighted_sum(&self, terms: &[(&Ciphertext, u64)]) -> Result<Ciphertext> {
+        let _span = prever_obs::span!("paillier.weighted_sum");
         let bases: Vec<&BigUint> = terms.iter().map(|(c, _)| &c.0).collect();
         let exps: Vec<u64> = terms.iter().map(|&(_, k)| k).collect();
         Ok(Ciphertext(self.mont_n2.multi_pow_u64(&bases, &exps)?))
@@ -265,6 +268,7 @@ impl PrivateKey {
     /// and property-tested against — the textbook `λ`/`μ` path in
     /// [`PrivateKey::decrypt_lambda`].
     pub fn decrypt(&self, c: &Ciphertext) -> Result<BigUint> {
+        let _span = prever_obs::span!("paillier.decrypt");
         self.crt.decrypt(&c.0)
     }
 

@@ -25,10 +25,18 @@ impl BudgetAccountant {
 
     /// Attempts to spend `epsilon`; errs if it would overdraw.
     pub fn spend(&mut self, epsilon: f64) -> Result<()> {
+        let _span = prever_obs::span!("dp.budget.spend");
         if epsilon <= 0.0 || !epsilon.is_finite() {
             return Err(DpError::InvalidEpsilon(epsilon));
         }
         if self.spent + epsilon > self.total + 1e-12 {
+            prever_obs::counter("dp.budget.denied").inc();
+            prever_obs::log!(
+                Warn,
+                "dp budget exhausted: spent {:.4}/{:.4}, requested {epsilon:.4}",
+                self.spent,
+                self.total
+            );
             return Err(DpError::BudgetExhausted {
                 total: self.total,
                 spent: self.spent,
@@ -37,6 +45,11 @@ impl BudgetAccountant {
         }
         self.spent += epsilon;
         self.releases += 1;
+        prever_obs::counter("dp.budget.spends").inc();
+        // Remaining budget in micro-ε so the level survives integer
+        // gauge semantics.
+        prever_obs::gauge("dp.budget.remaining_micro_eps")
+            .set((self.remaining() * 1e6) as i64);
         Ok(())
     }
 

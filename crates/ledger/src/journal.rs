@@ -73,6 +73,8 @@ impl Journal {
 
     /// Appends a payload; returns the committed entry.
     pub fn append(&mut self, timestamp: u64, payload: Bytes) -> &JournalEntry {
+        let _span = prever_obs::span!("ledger.append");
+        prever_obs::counter("ledger.appends").inc();
         let seq = self.entries.len() as u64;
         let prev_hash = self
             .entries
@@ -110,6 +112,7 @@ impl Journal {
 
     /// The current digest.
     pub fn digest(&self) -> LedgerDigest {
+        let _span = prever_obs::span!("ledger.merkle_root");
         LedgerDigest {
             size: self.entries.len() as u64,
             root: self.tree.root(),

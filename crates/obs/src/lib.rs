@@ -1,0 +1,46 @@
+//! # prever-obs
+//!
+//! The zero-dependency observability layer: every PReVer subsystem
+//! records *where time goes* — PBFT phases, Paillier operations, PIR
+//! answer computation, ledger appends — into one process-global
+//! registry, so any run can print a per-phase latency breakdown instead
+//! of a bare end-to-end wall clock. The paper's evaluation mandate (§6)
+//! is comparative throughput/latency analysis; this crate is the
+//! permanent instrumentation that analysis runs on.
+//!
+//! Three layers, all `std`-only (the workspace builds hermetically):
+//!
+//! * [`registry`] — lock-sharded global metrics: atomic [`Counter`]s,
+//!   [`Gauge`]s, and log-bucketed [`Histogram`]s with p50/p95/p99/max
+//!   queries;
+//! * [`span`] — `span!("pbft.prepare")` RAII guards that time a region
+//!   into the histogram of the same name, with thread-local parent
+//!   tracking for nested spans;
+//! * [`logger`] — a `PREVER_LOG`-gated structured logger with the
+//!   [`log!`] macro.
+//!
+//! [`export`] renders a [`Snapshot`] as an aligned text table or as
+//! BENCHJSON-compatible JSON lines.
+//!
+//! ## Cost when off
+//!
+//! Recording is guarded by one relaxed atomic load; call
+//! [`set_enabled`]`(false)` to make every span/counter a near-no-op at
+//! runtime, or build with the `disabled` cargo feature to compile the
+//! whole layer out (the guard becomes a constant `false`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod logger;
+pub mod registry;
+pub mod span;
+
+pub use export::{render_json_document, render_jsonl, render_table};
+pub use logger::{log_enabled, max_level, set_max_level, Level};
+pub use registry::{
+    counter, enabled, gauge, global, histogram, observe_ns, set_enabled, snapshot, Counter, Gauge,
+    Histogram, HistogramSnapshot, Registry, Snapshot,
+};
+pub use span::{current_span, parent_of, Span, Stopwatch};

@@ -1,0 +1,196 @@
+//! Env-gated structured logging.
+//!
+//! The maximum level is read once from `PREVER_LOG` (`error`, `warn`,
+//! `info`, `debug`, `trace`; unset or `off` disables logging entirely)
+//! and can be overridden programmatically with [`set_max_level`].
+//! Records go to stderr as one `key=value`-prefixed line each:
+//!
+//! ```text
+//! PREVERLOG t=+0.004213s level=INFO target=prever_consensus::pbft msg="view change to 2"
+//! ```
+//!
+//! Use the [`log!`](crate::log!) macro (or check [`log_enabled`] first
+//! for expensive formats); when the level is filtered out the cost is
+//! one relaxed atomic load and no formatting.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or protocol-violating conditions.
+    Error = 1,
+    /// Suspicious but tolerated conditions.
+    Warn = 2,
+    /// High-level lifecycle events.
+    Info = 3,
+    /// Per-operation detail.
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    /// The canonical uppercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    /// Parses a `PREVER_LOG` value; `None` means logging off.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" | "1" => Some(Level::Error),
+            "warn" | "warning" | "2" => Some(Level::Warn),
+            "info" | "3" => Some(Level::Info),
+            "debug" | "4" => Some(Level::Debug),
+            "trace" | "5" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// 0 = off, 1..=5 = max level, `UNINIT` = not yet read from the env.
+const UNINIT: u8 = u8::MAX;
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+static START: OnceLock<Instant> = OnceLock::new();
+
+fn start() -> Instant {
+    *START.get_or_init(Instant::now)
+}
+
+fn level_from_env() -> u8 {
+    std::env::var("PREVER_LOG")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+        .map(|l| l as u8)
+        .unwrap_or(0)
+}
+
+/// The active maximum level (`None` = logging off).
+pub fn max_level() -> Option<Level> {
+    let raw = MAX_LEVEL.load(Ordering::Relaxed);
+    let raw = if raw == UNINIT {
+        let from_env = level_from_env();
+        // Racing initializers compute the same value; last store wins.
+        MAX_LEVEL.store(from_env, Ordering::Relaxed);
+        from_env
+    } else {
+        raw
+    };
+    match raw {
+        1 => Some(Level::Error),
+        2 => Some(Level::Warn),
+        3 => Some(Level::Info),
+        4 => Some(Level::Debug),
+        5 => Some(Level::Trace),
+        _ => None,
+    }
+}
+
+/// Overrides the env-derived maximum level (tests, embedding tools).
+pub fn set_max_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map(|l| l as u8).unwrap_or(0), Ordering::Relaxed);
+}
+
+/// True iff a record at `level` would be emitted.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    max_level().is_some_and(|max| level <= max)
+}
+
+/// Writes one record; callers go through the [`log!`](crate::log!)
+/// macro, which performs the level check without formatting.
+pub fn write_record(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    let t = start().elapsed().as_secs_f64();
+    let msg = args.to_string();
+    // Lock stderr once so concurrent records don't interleave.
+    let stderr = std::io::stderr();
+    let mut out = stderr.lock();
+    let _ = writeln!(
+        out,
+        "PREVERLOG t=+{t:.6}s level={} target={target} msg=\"{}\"",
+        level.as_str(),
+        msg.replace('\\', "\\\\").replace('"', "\\\""),
+    );
+}
+
+/// Logs a formatted record at the given level ident (`Error`, `Warn`,
+/// `Info`, `Debug`, `Trace`); the target is the calling module path.
+///
+/// ```
+/// prever_obs::log!(Info, "committed {} commands", 42);
+/// ```
+#[macro_export]
+macro_rules! log {
+    ($lvl:ident, $($arg:tt)+) => {
+        if $crate::logger::log_enabled($crate::logger::Level::$lvl) {
+            $crate::logger::write_record(
+                $crate::logger::Level::$lvl,
+                module_path!(),
+                format_args!($($arg)+),
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_level_and_rejects_junk() {
+        assert_eq!(Level::parse("error"), Some(Level::Error));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse(" info "), Some(Level::Info));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("trace"), Some(Level::Trace));
+        assert_eq!(Level::parse("5"), Some(Level::Trace));
+        assert_eq!(Level::parse("off"), None);
+        assert_eq!(Level::parse(""), None);
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn level_filtering_honors_the_configured_max() {
+        // `set_max_level` is process-global; this test owns the whole
+        // matrix so ordering within it is deterministic.
+        set_max_level(Some(Level::Warn));
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Debug));
+        assert!(!log_enabled(Level::Trace));
+
+        set_max_level(Some(Level::Trace));
+        assert!(log_enabled(Level::Trace));
+
+        set_max_level(None);
+        assert!(!log_enabled(Level::Error));
+
+        set_max_level(Some(Level::Debug));
+        assert!(log_enabled(Level::Debug));
+        assert!(!log_enabled(Level::Trace));
+        // Emitting through the macro at an enabled level must not panic.
+        crate::log!(Debug, "logger self-test value={}", 7);
+        set_max_level(None);
+    }
+
+    #[test]
+    fn severity_ordering_matches_filtering_semantics() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+}

@@ -1,0 +1,229 @@
+//! Lightweight span tracing.
+//!
+//! A span is an RAII guard over a region of code: entering pushes the
+//! span name onto a thread-local stack (so nested spans know their
+//! parent), dropping records the elapsed wall-clock nanoseconds into
+//! the global histogram of the same name. Usage:
+//!
+//! ```
+//! {
+//!     let _span = prever_obs::span!("pbft.prepare");
+//!     // ... phase work ...
+//! } // elapsed ns recorded into histogram "pbft.prepare" here
+//! ```
+//!
+//! Span names follow the `crate.component.phase` convention (DESIGN.md
+//! §8). Parent edges are remembered per child name and queryable via
+//! [`parent_of`], which is how the exporter can reconstruct e.g. that
+//! `ledger.append` time was spent under `pipeline.incorporate`.
+
+use crate::registry;
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Observed parent edges: child span name → most recent parent name.
+static PARENTS: OnceLock<Mutex<HashMap<String, String>>> = OnceLock::new();
+
+fn parents() -> &'static Mutex<HashMap<String, String>> {
+    PARENTS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The most recently observed parent of span `name`, if it was ever
+/// entered nested inside another span.
+pub fn parent_of(name: &str) -> Option<String> {
+    parents().lock().expect("span parents poisoned").get(name).cloned()
+}
+
+/// The name of the innermost active span on this thread.
+pub fn current_span() -> Option<String> {
+    STACK.with(|s| s.borrow().last().cloned())
+}
+
+/// Creates a span guard; prefer the [`span!`](crate::span!) macro.
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<ActiveSpan>,
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    name: Cow<'static, str>,
+    parent: Option<String>,
+    start: Instant,
+    depth: usize,
+}
+
+impl Span {
+    /// Enters a span named `name`. When recording is disabled the guard
+    /// is inert and costs one atomic load.
+    pub fn enter(name: impl Into<Cow<'static, str>>) -> Span {
+        if !registry::enabled() {
+            return Span { inner: None };
+        }
+        let name = name.into();
+        let (parent, depth) = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let parent = stack.last().cloned();
+            let depth = stack.len();
+            stack.push(name.to_string());
+            (parent, depth)
+        });
+        if let Some(p) = &parent {
+            let mut map = parents().lock().expect("span parents poisoned");
+            if map.get(name.as_ref()).map(String::as_str) != Some(p.as_str()) {
+                map.insert(name.to_string(), p.clone());
+            }
+        }
+        Span {
+            inner: Some(ActiveSpan { name, parent, start: Instant::now(), depth }),
+        }
+    }
+
+    /// The parent span active when this one was entered.
+    pub fn parent(&self) -> Option<&str> {
+        self.inner.as_ref().and_then(|a| a.parent.as_deref())
+    }
+
+    /// This span's name (`None` when recording is disabled).
+    pub fn name(&self) -> Option<&str> {
+        self.inner.as_ref().map(|a| a.name.as_ref())
+    }
+
+    /// Elapsed nanoseconds so far (0 when disabled).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|a| a.start.elapsed().as_nanos() as u64)
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.inner.take() else { return };
+        let ns = active.start.elapsed().as_nanos() as u64;
+        registry::histogram(active.name.as_ref()).record(ns);
+        // Guards drop LIFO under normal control flow; truncating to the
+        // entry depth also heals the stack if a guard outlived siblings.
+        STACK.with(|s| s.borrow_mut().truncate(active.depth));
+    }
+}
+
+/// Enters a named span; the returned guard records elapsed nanoseconds
+/// into the histogram of the same name when dropped.
+///
+/// ```
+/// let _guard = prever_obs::span!("pir.answer");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::Span::enter($name)
+    };
+}
+
+/// A started wall-clock timer: *the* timing primitive for code that
+/// needs an explicit elapsed value (benches) rather than a scoped span.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    pub fn start() -> Stopwatch {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Elapsed nanoseconds.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Elapsed seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Stops, recording the elapsed nanoseconds into the global
+    /// histogram `name`; returns the elapsed nanoseconds.
+    pub fn stop_into(self, name: &str) -> u64 {
+        let ns = self.elapsed_ns();
+        registry::observe_ns(name, ns);
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_span_parent_attribution() {
+        let outer = Span::enter("test.span.outer");
+        assert_eq!(outer.parent(), None);
+        assert_eq!(current_span().as_deref(), Some("test.span.outer"));
+        {
+            let inner = Span::enter("test.span.inner");
+            assert_eq!(inner.parent(), Some("test.span.outer"));
+            assert_eq!(current_span().as_deref(), Some("test.span.inner"));
+            {
+                let leaf = Span::enter("test.span.leaf");
+                assert_eq!(leaf.parent(), Some("test.span.inner"));
+            }
+            assert_eq!(current_span().as_deref(), Some("test.span.inner"));
+        }
+        drop(outer);
+        assert_eq!(current_span(), None);
+        // Recorded edges survive the spans.
+        assert_eq!(parent_of("test.span.inner").as_deref(), Some("test.span.outer"));
+        assert_eq!(parent_of("test.span.leaf").as_deref(), Some("test.span.inner"));
+        assert_eq!(parent_of("test.span.outer"), None);
+        // Each drop recorded one observation.
+        let s = registry::snapshot();
+        for name in ["test.span.outer", "test.span.inner", "test.span.leaf"] {
+            assert!(s.histogram(name).is_some_and(|h| h.count >= 1), "{name} not recorded");
+        }
+    }
+
+    #[test]
+    fn spans_are_per_thread() {
+        let _outer = Span::enter("test.span.main_thread");
+        std::thread::spawn(|| {
+            // The other thread's stack is empty: no parent leaks across.
+            let inner = Span::enter("test.span.other_thread");
+            assert_eq!(inner.parent(), None);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn span_macro_records_elapsed() {
+        {
+            let guard = crate::span!("test.span.macro");
+            assert_eq!(guard.name(), Some("test.span.macro"));
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let h = registry::snapshot();
+        let snap = h.histogram("test.span.macro").expect("recorded");
+        assert!(snap.max >= 1_000_000, "slept 2ms but max is {}ns", snap.max);
+    }
+
+    #[test]
+    fn stopwatch_records_into_histogram() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let ns = sw.stop_into("test.span.stopwatch");
+        assert!(ns >= 500_000);
+        assert!(registry::snapshot().histogram("test.span.stopwatch").is_some());
+    }
+}

@@ -61,6 +61,7 @@ impl CpirServer {
     /// product; partials combine in chunk order, so the answer is
     /// identical to the sequential fold.
     pub fn answer(&mut self, pk: &PublicKey, query: &[Ciphertext]) -> Result<Ciphertext> {
+        let _span = prever_obs::span!("pir.answer");
         if query.len() != self.records.len() {
             return Err(PirError::MalformedQuery);
         }
@@ -72,6 +73,8 @@ impl CpirServer {
             .map(|(c, &r)| (c, r))
             .collect();
         self.exp_ops += nonzero.len() as u64;
+        prever_obs::counter("pir.exp_ops").add(nonzero.len() as u64);
+        prever_obs::counter("pir.queries").inc();
         if nonzero.is_empty() {
             // All-zero database: return Enc(0) deterministically derived
             // from the first query element times 0 — i.e. compute 0·c₀.
@@ -145,6 +148,7 @@ impl CpirClient {
         if index >= n {
             return Err(PirError::IndexOutOfRange { index, size: n });
         }
+        let _span = prever_obs::span!("pir.query_build");
         let pk = &self.key.public;
         let mut out = Vec::with_capacity(n);
         for i in 0..n {

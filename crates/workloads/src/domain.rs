@@ -29,9 +29,10 @@ pub fn emission_stream<R: Rng + ?Sized>(
     bound: u64,
     rng: &mut R,
 ) -> Vec<EmissionReport> {
+    let _span = prever_obs::span!("workloads.emission_stream");
     let metrics = ["co2-tons", "kwh", "water-m3"];
     let mut clock = 0u64;
-    (0..reports)
+    let stream: Vec<EmissionReport> = (0..reports)
         .map(|i| {
             clock += rng.gen_range(100..10_000);
             EmissionReport {
@@ -42,7 +43,10 @@ pub fn emission_stream<R: Rng + ?Sized>(
                 ts: clock,
             }
         })
-        .collect()
+        .collect();
+    prever_obs::counter("workloads.emissions.generated").add(stream.len() as u64);
+    prever_obs::log!(Debug, "generated {} emission reports across {orgs} orgs", stream.len());
+    stream
 }
 
 /// A conference registration attempt (Fig. 1b).
@@ -66,8 +70,9 @@ pub fn registration_stream<R: Rng + ?Sized>(
     vaccinated_fraction: f64,
     rng: &mut R,
 ) -> Vec<Registration> {
+    let _span = prever_obs::span!("workloads.registration_stream");
     let mut clock = 0u64;
-    (0..n)
+    let stream: Vec<Registration> = (0..n)
         .map(|i| {
             clock += rng.gen_range(1..600);
             Registration {
@@ -77,7 +82,10 @@ pub fn registration_stream<R: Rng + ?Sized>(
                 ts: clock,
             }
         })
-        .collect()
+        .collect();
+    prever_obs::counter("workloads.registrations.generated").add(stream.len() as u64);
+    prever_obs::log!(Debug, "generated {} registration attempts", stream.len());
+    stream
 }
 
 /// A supply-chain shipment between enterprises (Fig. 1d).
@@ -104,8 +112,9 @@ pub fn shipment_stream<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<Shipment> {
     assert!(enterprises >= 2);
+    let _span = prever_obs::span!("workloads.shipment_stream");
     let mut clock = 0u64;
-    (0..shipments)
+    let stream: Vec<Shipment> = (0..shipments)
         .map(|i| {
             clock += rng.gen_range(60..3600);
             let from = rng.gen_range(0..enterprises);
@@ -121,7 +130,10 @@ pub fn shipment_stream<R: Rng + ?Sized>(
                 ts: clock,
             }
         })
-        .collect()
+        .collect();
+    prever_obs::counter("workloads.shipments.generated").add(stream.len() as u64);
+    prever_obs::log!(Debug, "generated {} shipments across {enterprises} enterprises", stream.len());
+    stream
 }
 
 #[cfg(test)]
