@@ -1,0 +1,165 @@
+//! Chaos runner: sweeps seeded fault schedules over the consensus
+//! protocols and checks safety/liveness invariants on every run.
+//!
+//! Sweep mode (default):
+//!
+//! ```text
+//! cargo run --release -p prever-bench --bin chaos
+//! cargo run --release -p prever-bench --bin chaos -- --seeds 200
+//! cargo run --release -p prever-bench --bin chaos -- --protocol pbft
+//! ```
+//!
+//! Replay mode — reproduce one run (e.g. a seed the sweep flagged, or a
+//! seed CI printed) and dump its event-trace tail:
+//!
+//! ```text
+//! cargo run --release -p prever-bench --bin chaos -- --protocol pbft --seed 17
+//! ```
+//!
+//! Exit code is non-zero iff any run violated an invariant, so the
+//! binary doubles as a CI gate (see `.github/workflows/ci.yml`).
+
+use prever_bench::chaos::{run_seed, sweep, ChaosOutcome, Protocol};
+use prever_bench::Table;
+
+struct Args {
+    protocols: Vec<Protocol>,
+    seed: Option<u64>,
+    seeds: Option<u64>,
+    commands: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { protocols: Protocol::ALL.to_vec(), seed: None, seeds: None, commands: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--protocol" => {
+                let v = value("--protocol");
+                let p = Protocol::ALL
+                    .into_iter()
+                    .find(|p| p.name() == v)
+                    .unwrap_or_else(|| die(&format!("unknown protocol {v:?} (pbft|paxos|sharded)")));
+                args.protocols = vec![p];
+            }
+            "--seed" => args.seed = Some(parse_u64(&value("--seed"))),
+            "--seeds" => args.seeds = Some(parse_u64(&value("--seeds"))),
+            "--commands" => args.commands = Some(parse_u64(&value("--commands"))),
+            "--help" | "-h" => {
+                println!(
+                    "usage: chaos [--protocol pbft|paxos|sharded] [--seed N] \
+                     [--seeds N] [--commands N]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    args
+}
+
+fn parse_u64(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| die(&format!("not a number: {s:?}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("chaos: {msg}");
+    std::process::exit(2);
+}
+
+/// Default sweep widths and workload sizes per protocol.
+fn defaults(protocol: Protocol) -> (u64, u64) {
+    match protocol {
+        Protocol::Pbft => (50, 30),
+        Protocol::Paxos => (20, 25),
+        Protocol::Sharded => (10, 12),
+    }
+}
+
+fn report_violation(outcome: &ChaosOutcome) {
+    println!();
+    println!(
+        "VIOLATION  protocol={} seed={} ({} commands)",
+        outcome.protocol, outcome.seed, outcome.commands
+    );
+    for v in &outcome.violations {
+        println!("  - {v}");
+    }
+    if !outcome.trace_tail.is_empty() {
+        println!("  event trace tail ({} events):", outcome.trace_tail.len());
+        for line in &outcome.trace_tail {
+            println!("    {line}");
+        }
+    }
+    println!(
+        "  reproduce: cargo run --release -p prever-bench --bin chaos -- \
+         --protocol {} --seed {} --commands {}",
+        outcome.protocol, outcome.seed, outcome.commands
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let mut violations = 0usize;
+
+    if let Some(seed) = args.seed {
+        // Replay mode: one seed, one protocol, full detail.
+        if args.protocols.len() != 1 {
+            die("--seed requires --protocol");
+        }
+        let protocol = args.protocols[0];
+        let commands = args.commands.unwrap_or(defaults(protocol).1);
+        let outcome = run_seed(protocol, seed, commands);
+        println!(
+            "protocol={} seed={} commands={} executed={} synced={}",
+            outcome.protocol, outcome.seed, outcome.commands, outcome.executed, outcome.synced
+        );
+        println!("stats: {:?}", outcome.stats);
+        println!("history ({} entries): {:?}", outcome.history.len(), outcome.history);
+        if outcome.ok() {
+            println!("all invariants held");
+        } else {
+            report_violation(&outcome);
+            violations += 1;
+        }
+    } else {
+        let mut table = Table::new(
+            "chaos sweep",
+            &["protocol", "seeds", "violations", "crashes", "restarts", "dropped", "corrupted"],
+        );
+        for &protocol in &args.protocols {
+            let (default_seeds, default_commands) = defaults(protocol);
+            let seeds = args.seeds.unwrap_or(default_seeds);
+            let commands = args.commands.unwrap_or(default_commands);
+            let outcomes = sweep(protocol, 0, seeds, commands);
+            let bad: Vec<&ChaosOutcome> = outcomes.iter().filter(|o| !o.ok()).collect();
+            for outcome in &bad {
+                report_violation(outcome);
+            }
+            violations += bad.len();
+            table.row(vec![
+                protocol.name().to_string(),
+                seeds.to_string(),
+                bad.len().to_string(),
+                outcomes.iter().map(|o| o.stats.crashes).sum::<u64>().to_string(),
+                outcomes
+                    .iter()
+                    .map(|o| o.stats.recoveries + o.stats.restarts_with_loss)
+                    .sum::<u64>()
+                    .to_string(),
+                outcomes.iter().map(|o| o.stats.messages_dropped).sum::<u64>().to_string(),
+                outcomes.iter().map(|o| o.stats.messages_corrupted).sum::<u64>().to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+
+    if violations > 0 {
+        eprintln!("chaos: {violations} run(s) violated invariants");
+        std::process::exit(1);
+    }
+    println!("chaos: all runs upheld safety and liveness invariants");
+}

@@ -1,4 +1,4 @@
-//! Prints every experiment table (E1–E10).
+//! Prints every experiment table (E1–E11).
 //!
 //! `cargo run --release -p prever-bench --bin report` — full parameters.
 //! `cargo run --release -p prever-bench --bin report -- --quick` — small.
@@ -22,6 +22,7 @@ fn main() {
         e::e8_mpc::run(quick),
         e::e9_dp::run(quick),
         e::e10_tpcc::run(quick),
+        e::e11_chaos::run(quick),
     ];
     for t in &tables {
         println!("{}", t.render());

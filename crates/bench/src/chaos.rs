@@ -1,0 +1,580 @@
+//! Deterministic chaos harness: seeded fault sweeps over the three
+//! consensus protocols with safety/liveness invariant checking.
+//!
+//! Each scenario derives a [`prever_sim::FaultPlan`] (per-link
+//! drop/delay/duplication/reordering/corruption, scheduled crashes,
+//! restarts-with-state-loss, partitions) *and* the workload from a
+//! single seed, runs the protocol under it, and then checks:
+//!
+//! * **Safety** — no two correct replicas commit different commands at
+//!   the same sequence number; the committed prefix matches the durable
+//!   ledger (journal replay digest == in-memory chained state digest).
+//! * **Liveness after heal** — once the scheduled faults clear, every
+//!   submitted command executes at every correct replica.
+//! * **Recovery** — a replica restarted with state loss provably catches
+//!   up via state transfer (its executed-history digest matches the
+//!   quorum's).
+//!
+//! Everything is deterministic: the same seed replays the same
+//! execution bit-for-bit (see `chaos_runs_are_bit_identical`), so a
+//! violating seed printed by the `chaos` binary is a complete
+//! reproduction recipe. Corruption runs in *detected* mode (no
+//! corruptor hook): PBFT's base premise is that messages are
+//! authenticated, so damaged bytes surface as drops, not forgeries.
+
+use prever_consensus::durable::DurableLog;
+use prever_consensus::paxos::{self, PaxosMsg, PaxosNode};
+use prever_consensus::pbft::{chain_digest, Byzantine, PbftMsg, PbftNode};
+use prever_consensus::sharded::{self, ShardedMsg, ShardedNode, Topology};
+use prever_consensus::Command;
+use prever_crypto::Digest;
+use prever_sim::{FaultPlan, LinkFault, NetConfig, SimStats, Simulation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seed-mixing constant (splitmix64 increment) so scenario RNG streams
+/// differ from the simulator's own seeded stream.
+const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The protocols the harness can exercise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// PBFT with an equivocating replica and a restart-with-loss.
+    Pbft,
+    /// Multi-Paxos with a partition window and a leader crash/recover.
+    Paxos,
+    /// Sharded PBFT with an inter-shard partition and a blank restart.
+    Sharded,
+}
+
+impl Protocol {
+    /// All protocols, sweep order.
+    pub const ALL: [Protocol; 3] = [Protocol::Pbft, Protocol::Paxos, Protocol::Sharded];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Pbft => "pbft",
+            Protocol::Paxos => "paxos",
+            Protocol::Sharded => "sharded",
+        }
+    }
+}
+
+/// The outcome of one seeded chaos run.
+///
+/// `PartialEq` on the whole struct is what the determinism regression
+/// test asserts: two runs of the same seed must produce identical
+/// outcomes, including commit histories, sim stats, and the trace tail.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosOutcome {
+    /// The seed that generated faults and workload.
+    pub seed: u64,
+    /// Protocol under test.
+    pub protocol: &'static str,
+    /// Commands submitted.
+    pub commands: u64,
+    /// Commands executed at the reference correct replica.
+    pub executed: u64,
+    /// Commands the restarted replica applied via state transfer.
+    pub synced: u64,
+    /// Invariant violations (empty = the run passed).
+    pub violations: Vec<String>,
+    /// Simulator fault/delivery counters.
+    pub stats: SimStats,
+    /// Reference replica's commit history as `(slot, command id)`.
+    pub history: Vec<(u64, u64)>,
+    /// Tail of the replayable event trace (only captured on violation).
+    pub trace_tail: Vec<String>,
+}
+
+impl ChaosOutcome {
+    /// True iff no invariant was violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs one seeded scenario for `protocol`.
+pub fn run_seed(protocol: Protocol, seed: u64, commands: u64) -> ChaosOutcome {
+    match protocol {
+        Protocol::Pbft => pbft_chaos(seed, commands),
+        Protocol::Paxos => paxos_chaos(seed, commands),
+        Protocol::Sharded => sharded_chaos(seed, commands),
+    }
+}
+
+/// Draws a moderately hostile link-fault profile.
+fn rough_link(rng: &mut StdRng) -> LinkFault {
+    LinkFault {
+        drop: rng.gen::<f64>() * 0.04,
+        delay_max: rng.gen_range(0..1_500),
+        duplicate: rng.gen::<f64>() * 0.05,
+        reorder: rng.gen::<f64>() * 0.3,
+        reorder_window: rng.gen_range(0..2_000),
+        corrupt: rng.gen::<f64>() * 0.02,
+    }
+}
+
+/// Installs an independently drawn fault profile on every directed link.
+fn rough_links(mut plan: FaultPlan, n: usize, rng: &mut StdRng) -> FaultPlan {
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                plan = plan.link(a, b, rough_link(rng));
+            }
+        }
+    }
+    plan
+}
+
+/// PBFT acceptance scenario: n = 4 with replica 0 equivocating whenever
+/// it holds the primary role (f = 1 Byzantine), plus a scheduled
+/// crash-and-restart-with-state-loss of correct replica 2, under rough
+/// links. Honest replicas persist to durable journals; the restarted
+/// replica is rebuilt from its journal and catches up via state
+/// transfer.
+pub fn pbft_chaos(seed: u64, commands: u64) -> ChaosOutcome {
+    const N: usize = 4;
+    const VICTIM: usize = 2;
+    let correct = [1usize, 2, 3];
+    let mut rng = StdRng::seed_from_u64(seed ^ SEED_MIX);
+
+    let logs: Vec<DurableLog> = (0..N).map(|_| DurableLog::new()).collect();
+    let nodes: Vec<PbftNode> = (0..N)
+        .map(|id| {
+            if id == 0 {
+                PbftNode::new(id, N, Byzantine::EquivocatingPrimary)
+            } else {
+                PbftNode::with_durable(id, N, Byzantine::Honest, logs[id].clone())
+            }
+        })
+        .collect();
+
+    let crash_at = 80_000 + rng.gen_range(0..220_000u64);
+    let restart_at = crash_at + 80_000 + rng.gen_range(0..220_000u64);
+    let heal_at = restart_at + 150_000;
+    let plan = rough_links(FaultPlan::new(), N, &mut rng)
+        .crash_at(crash_at, VICTIM)
+        .restart_with_loss_at(restart_at, VICTIM)
+        .clear_links_at(heal_at);
+
+    let mut sim = Simulation::new(nodes, NetConfig::default(), seed);
+    sim.set_fault_plan(plan);
+    let factory_logs = logs.clone();
+    sim.set_node_factory(move |id| {
+        PbftNode::recover_with(id, N, Byzantine::Honest, factory_logs[id].clone())
+    });
+    sim.enable_trace(|m: &PbftMsg| m.kind().to_string(), 256);
+
+    for i in 0..commands {
+        let at = 1 + rng.gen_range(0..400_000u64);
+        sim.inject(1, 1, PbftMsg::Request(Command::new(i, format!("chaos-{i}"))), at);
+    }
+
+    sim.run_until(heal_at);
+    // Liveness after heal: every correct replica executes everything.
+    // Count *distinct* ids — an equivocating primary can get the same
+    // command committed at two slots, and the raw entry count would
+    // then declare victory while the real workload is still in flight.
+    let live = sim.run_until_pred(3_000_000, |nodes| {
+        correct.iter().all(|&i| nodes[i].core.distinct_executed_commands() as u64 >= commands)
+    });
+    if live {
+        // Settle: the predicate fires the instant the last correct
+        // replica catches up, which can leave a trailing slot's commits
+        // still in flight to a subset of replicas. Drain them before
+        // comparing whole-history digests.
+        let settle_until = sim.now() + 2_000_000;
+        sim.run_until(settle_until);
+    }
+
+    let mut violations = Vec::new();
+    // Safety: no two correct replicas commit different commands at the
+    // same sequence number.
+    for (ai, &a) in correct.iter().enumerate() {
+        for &b in &correct[ai + 1..] {
+            let other = sim.node(b).core.executed();
+            for (da, db) in sim.node(a).core.executed().iter().zip(other) {
+                if da.slot != db.slot || da.command.digest() != db.command.digest() {
+                    violations.push(format!(
+                        "safety: replicas {a} and {b} diverge at slot {} ({} vs {})",
+                        da.slot, da.command.id, db.command.id
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    // Committed prefix matches the ledger: replay the journal, verify
+    // the hash chain, recompute the chained digest.
+    for &i in &correct {
+        match logs[i].replay() {
+            Ok(replayed) => {
+                let mut d = Digest::ZERO;
+                for (_, c, _) in &replayed.entries {
+                    d = chain_digest(d, c);
+                }
+                if d != sim.node(i).core.state_digest() {
+                    violations.push(format!("ledger: replica {i} journal digest mismatch"));
+                }
+                if replayed.entries.len() != sim.node(i).core.executed().len() {
+                    violations.push(format!(
+                        "ledger: replica {i} journal has {} entries, memory has {}",
+                        replayed.entries.len(),
+                        sim.node(i).core.executed().len()
+                    ));
+                }
+            }
+            Err(e) => violations.push(format!("ledger: replica {i} replay failed: {e:?}")),
+        }
+    }
+    if !live {
+        for &i in &correct {
+            let got = sim.node(i).core.distinct_executed_commands() as u64;
+            if got < commands {
+                violations
+                    .push(format!("liveness: replica {i} executed {got}/{commands} after heal"));
+            }
+        }
+    }
+    // Provable catch-up: the restarted replica's executed-history digest
+    // matches the quorum's.
+    let reference = sim.node(1).core.state_digest();
+    if live && sim.node(VICTIM).core.state_digest() != reference {
+        violations.push(format!(
+            "recovery: restarted replica {VICTIM} state digest differs from the quorum's"
+        ));
+    }
+
+    if !violations.is_empty() && std::env::var("CHAOS_DEBUG").is_ok() {
+        eprintln!("crash_at={crash_at} restart_at={restart_at} heal_at={heal_at} now={}", sim.now());
+        for i in 0..N {
+            let log: Vec<String> = sim
+                .node(i)
+                .core
+                .executed()
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{}:{}{}",
+                        d.slot,
+                        d.command.id,
+                        if d.command.payload.ends_with(b"equivocated") { "*" } else { "" }
+                    )
+                })
+                .collect();
+            eprintln!(
+                "node {i} view={} {} executed: {}",
+                sim.node(i).core.view(),
+                sim.node(i).core.debug_probe(),
+                log.join(" ")
+            );
+        }
+    }
+    let trace_tail = if violations.is_empty() { Vec::new() } else { sim.trace_tail(80) };
+    ChaosOutcome {
+        seed,
+        protocol: "pbft",
+        commands,
+        executed: sim.node(1).core.executed_commands() as u64,
+        synced: sim.node(VICTIM).core.synced(),
+        violations,
+        stats: sim.stats(),
+        history: sim
+            .node(1)
+            .core
+            .executed()
+            .iter()
+            .map(|d| (d.slot, d.command.id))
+            .collect(),
+        trace_tail,
+    }
+}
+
+/// Paxos scenario: n = 5 under rough links with a minority-partition
+/// window and a crash/recover of node 0 (state intact — Paxos acceptor
+/// promises are not persisted, so a restart-with-loss would be unsound;
+/// see DESIGN.md).
+pub fn paxos_chaos(seed: u64, commands: u64) -> ChaosOutcome {
+    const N: usize = 5;
+    let mut rng = StdRng::seed_from_u64(seed ^ SEED_MIX);
+
+    let part_at = 60_000 + rng.gen_range(0..150_000u64);
+    let part_heal = part_at + 100_000 + rng.gen_range(0..200_000u64);
+    let crash_at = 40_000 + rng.gen_range(0..150_000u64);
+    let recover_at = crash_at + 80_000 + rng.gen_range(0..200_000u64);
+    let clear_at = part_heal.max(recover_at) + 100_000;
+
+    let plan = rough_links(FaultPlan::new(), N, &mut rng)
+        .partition_at(part_at, vec![0, 0, 1, 1, 1])
+        .heal_at(part_heal)
+        .crash_at(crash_at, 0)
+        .recover_at(recover_at, 0)
+        .clear_links_at(clear_at);
+
+    let mut sim = Simulation::new(paxos::cluster(N), NetConfig::default(), seed);
+    sim.set_fault_plan(plan);
+    sim.enable_trace(|m: &PaxosMsg| m.span_name().to_string(), 256);
+
+    for i in 0..commands {
+        let at = 1 + rng.gen_range(0..400_000u64);
+        sim.inject(3, 3, PaxosMsg::ClientRequest(Command::new(i, format!("chaos-{i}"))), at);
+    }
+
+    sim.run_until(clear_at);
+    let live = sim.run_until_pred(3_000_000, |nodes: &[PaxosNode]| {
+        nodes.iter().all(|nd| nd.decided().len() as u64 >= commands)
+    });
+
+    let mut violations = Vec::new();
+    // Safety: every pair of nodes agrees on every slot both decided.
+    for a in 0..N {
+        for b in a + 1..N {
+            for (slot, cmd) in sim.node(a).decided() {
+                if let Some(other) = sim.node(b).decided().get(slot) {
+                    if other.id != cmd.id {
+                        violations.push(format!(
+                            "safety: nodes {a} and {b} diverge at slot {slot} ({} vs {})",
+                            cmd.id, other.id
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    // No duplicate command ids within one log.
+    for i in 0..N {
+        let mut ids: Vec<u64> = sim.node(i).decided().values().map(|c| c.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        if ids.len() != before {
+            violations.push(format!("safety: node {i} decided a command twice"));
+        }
+    }
+    if !live {
+        for i in 0..N {
+            let got = sim.node(i).decided().len() as u64;
+            if got < commands {
+                violations.push(format!("liveness: node {i} decided {got}/{commands} after heal"));
+            }
+        }
+    }
+
+    let trace_tail = if violations.is_empty() { Vec::new() } else { sim.trace_tail(80) };
+    ChaosOutcome {
+        seed,
+        protocol: "paxos",
+        commands,
+        executed: sim.node(3).decided().len() as u64,
+        synced: 0,
+        violations,
+        stats: sim.stats(),
+        history: sim.node(3).decided().iter().map(|(s, c)| (*s, c.id)).collect(),
+        trace_tail,
+    }
+}
+
+/// Sharded scenario: 2 shards × 4 replicas under rough links, an
+/// inter-shard partition window, and a blank restart (full state loss,
+/// no durable journal) of a shard-1 backup — which must recover through
+/// PBFT state transfer plus the TxQuery/TxInfo peer-query path.
+pub fn sharded_chaos(seed: u64, txs: u64) -> ChaosOutcome {
+    let topo = Topology { n_shards: 2, replicas_per_shard: 4 };
+    let n = topo.n_nodes();
+    const VICTIM: usize = 5;
+    let mut rng = StdRng::seed_from_u64(seed ^ SEED_MIX);
+
+    let part_at = 60_000 + rng.gen_range(0..120_000u64);
+    let part_heal = part_at + 100_000 + rng.gen_range(0..150_000u64);
+    let crash_at = 40_000 + rng.gen_range(0..120_000u64);
+    let restart_at = crash_at + 80_000 + rng.gen_range(0..150_000u64);
+    let clear_at = part_heal.max(restart_at) + 100_000;
+
+    let groups: Vec<usize> = (0..n).map(|id| topo.shard_of(id)).collect();
+    let plan = rough_links(FaultPlan::new(), n, &mut rng)
+        .partition_at(part_at, groups)
+        .heal_at(part_heal)
+        .crash_at(crash_at, VICTIM)
+        .restart_with_loss_at(restart_at, VICTIM)
+        .clear_links_at(clear_at);
+
+    let mut sim = Simulation::new(sharded::cluster(topo), NetConfig::default(), seed);
+    sim.set_fault_plan(plan);
+    sim.set_node_factory(move |id| ShardedNode::new(id, topo, Byzantine::Honest));
+    sim.enable_trace(
+        |m: &ShardedMsg| {
+            match m {
+                ShardedMsg::Request { .. } => "request",
+                ShardedMsg::Pbft(p) => p.kind(),
+                ShardedMsg::ShardCommitted { .. } => "shard_committed",
+                ShardedMsg::TxQuery { .. } => "tx_query",
+                ShardedMsg::TxInfo { .. } => "tx_info",
+            }
+            .to_string()
+        },
+        256,
+    );
+
+    // Mixed workload: i % 3 == 2 → cross-shard, else intra-shard.
+    let involved_of = |i: u64| -> Vec<usize> {
+        match i % 3 {
+            0 => vec![0],
+            1 => vec![1],
+            _ => vec![0, 1],
+        }
+    };
+    for i in 0..txs {
+        let at = 1 + rng.gen_range(0..300_000u64);
+        sharded::submit(&mut sim, topo, Command::new(i, format!("tx-{i}")), involved_of(i), at);
+    }
+
+    sim.run_until(clear_at);
+    // Resubmit everything once the network is clean: the original
+    // fan-out may have died in the partition, and resubmission is
+    // idempotent (executed transactions just re-announce their votes).
+    for i in 0..txs {
+        let at = sim.now() + 10 + i;
+        sharded::submit(&mut sim, topo, Command::new(i, format!("tx-{i}")), involved_of(i), at);
+    }
+
+    // Expected completions per node: its shard's intra txs + all cross.
+    let expect = |shard: usize| -> u64 {
+        (0..txs).filter(|&i| involved_of(i).contains(&shard)).count() as u64
+    };
+    let live = sim.run_until_pred(5_000_000, |nodes: &[ShardedNode]| {
+        (0..n).all(|id| nodes[id].completed_count() as u64 >= expect(topo.shard_of(id)))
+    });
+
+    if std::env::var("CHAOS_DEBUG").is_ok() {
+        eprintln!(
+            "part_at={part_at} part_heal={part_heal} crash_at={crash_at} \
+             restart_at={restart_at} clear_at={clear_at} now={}",
+            sim.now()
+        );
+        for id in 0..n {
+            eprintln!("node {id} (shard {}): {}", topo.shard_of(id), sim.node(id).debug_summary());
+        }
+    }
+
+    let mut violations = Vec::new();
+    // Safety: within each shard, completion sets match and no tx leaked
+    // to an uninvolved shard.
+    for id in 0..n {
+        let shard = topo.shard_of(id);
+        for d in sim.node(id).completed() {
+            if !involved_of(d.command.id).contains(&shard) {
+                violations.push(format!(
+                    "safety: node {id} (shard {shard}) completed uninvolved tx {}",
+                    d.command.id
+                ));
+            }
+        }
+        let mut ids: Vec<u64> = sim.node(id).completed().iter().map(|d| d.command.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        if ids.len() != before {
+            violations.push(format!("safety: node {id} completed a tx twice"));
+        }
+    }
+    if !live {
+        for id in 0..n {
+            let want = expect(topo.shard_of(id));
+            let got = sim.node(id).completed_count() as u64;
+            if got < want {
+                violations.push(format!("liveness: node {id} completed {got}/{want} after heal"));
+            }
+        }
+    }
+
+    let trace_tail = if violations.is_empty() { Vec::new() } else { sim.trace_tail(80) };
+    ChaosOutcome {
+        seed,
+        protocol: "sharded",
+        commands: txs,
+        executed: sim.node(0).completed_count() as u64,
+        synced: sim.node(VICTIM).completed_count() as u64,
+        violations,
+        stats: sim.stats(),
+        history: sim
+            .node(0)
+            .completed()
+            .iter()
+            .map(|d| (d.slot, d.command.id))
+            .collect(),
+        trace_tail,
+    }
+}
+
+/// Sweeps `seeds` consecutive seeds starting at `first_seed`; returns
+/// every outcome (violating ones carry their trace tail).
+pub fn sweep(protocol: Protocol, first_seed: u64, seeds: u64, commands: u64) -> Vec<ChaosOutcome> {
+    (first_seed..first_seed + seeds)
+        .map(|seed| {
+            prever_obs::counter("chaos.runs").inc();
+            let outcome = run_seed(protocol, seed, commands);
+            if !outcome.ok() {
+                prever_obs::counter("chaos.violations").inc();
+            }
+            outcome
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_runs_are_bit_identical() {
+        // Same (actors, FaultPlan, seed) twice → identical outcomes,
+        // including commit histories and sim stats.
+        for protocol in Protocol::ALL {
+            let a = run_seed(protocol, 424_242, 8);
+            let b = run_seed(protocol, 424_242, 8);
+            assert_eq!(a, b, "{} chaos run is not deterministic", protocol.name());
+        }
+    }
+
+    #[test]
+    fn pbft_chaos_smoke_seeds_are_clean() {
+        for seed in 0..3 {
+            let outcome = pbft_chaos(seed, 12);
+            assert!(
+                outcome.ok(),
+                "seed {seed} violated invariants: {:?}\ntrace:\n{}",
+                outcome.violations,
+                outcome.trace_tail.join("\n")
+            );
+            assert!(outcome.stats.restarts_with_loss >= 1);
+        }
+    }
+
+    #[test]
+    fn paxos_chaos_smoke_seeds_are_clean() {
+        for seed in 0..2 {
+            let outcome = paxos_chaos(seed, 10);
+            assert!(
+                outcome.ok(),
+                "seed {seed} violated invariants: {:?}\ntrace:\n{}",
+                outcome.violations,
+                outcome.trace_tail.join("\n")
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_chaos_smoke_seeds_are_clean() {
+        for seed in 0..2 {
+            let outcome = sharded_chaos(seed, 9);
+            assert!(
+                outcome.ok(),
+                "seed {seed} violated invariants: {:?}\ntrace:\n{}",
+                outcome.violations,
+                outcome.trace_tail.join("\n")
+            );
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Experiment implementations E1–E10 (see DESIGN.md §3 and
+//! Experiment implementations E1–E11 (see DESIGN.md §3 and
 //! EXPERIMENTS.md for the paper mapping).
 //!
 //! Every experiment is a function `run(quick: bool) -> Table`; `quick`
@@ -15,6 +15,7 @@ pub mod e7_sharded;
 pub mod e8_mpc;
 pub mod e9_dp;
 pub mod e10_tpcc;
+pub mod e11_chaos;
 
 /// Times `f` over `iters` iterations; returns mean µs per iteration.
 ///
@@ -67,6 +68,7 @@ mod tests {
             super::e8_mpc::run(true),
             super::e9_dp::run(true),
             super::e10_tpcc::run(true),
+            super::e11_chaos::run(true),
         ];
         for t in &tables {
             assert!(!t.rows.is_empty(), "{} produced no rows", t.title);

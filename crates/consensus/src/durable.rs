@@ -1,0 +1,210 @@
+//! Durable consensus state over the ledger journal.
+//!
+//! A [`DurableLog`] models a replica's disk: a hash-chained
+//! [`prever_ledger::Journal`] that survives a crash-with-state-loss. A
+//! replica appends two kinds of records while running:
+//!
+//! * **Exec** — one per executed command, in sequence order. Replaying
+//!   the exec records rebuilds the executed history (and hence the
+//!   chained state digest) of everything the replica had applied before
+//!   it died.
+//! * **Bind** — a `(seq, view, digest)` vote binding, written *before*
+//!   the replica's prepare vote for that slot leaves the outbox. After a
+//!   restart the bindings stop the recovered replica from voting for a
+//!   *different* command at a sequence it already voted on in the same
+//!   or an older view — the classic amnesia hazard that turns a correct
+//!   replica into an accidental equivocator.
+//! * **Prep** — a `(seq, view, command)` prepared certificate, written
+//!   when a slot reaches the prepared predicate and *before* the commit
+//!   vote leaves. A commit vote claims "I hold a prepared certificate";
+//!   if the replica then restarts with amnesia, a subsequent view
+//!   change could otherwise no-op-fill a slot that committed at a
+//!   single correct replica on the strength of this replica's vote —
+//!   replaying the Prep records lets the recovered replica re-assert
+//!   the certificates it once claimed.
+//!
+//! The journal's hash chain is verified on replay
+//! ([`prever_ledger::Journal::verify_chain`]), so a corrupted "disk" is
+//! detected rather than silently trusted.
+//!
+//! The log is held behind `Rc<RefCell<…>>` so the simulation harness can
+//! keep a handle to the same "disk" across a [`FaultEvent::RestartWithLoss`]
+//! (the node factory passes the surviving log to the replacement actor).
+//! This makes the nodes `!Send`, which is fine: the simulator is
+//! single-threaded by design.
+//!
+//! [`FaultEvent::RestartWithLoss`]: prever_sim::FaultEvent::RestartWithLoss
+
+use crate::Command;
+use bytes::Bytes;
+use prever_crypto::Digest;
+use prever_ledger::{Journal, LedgerError};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const TAG_EXEC: u8 = 0x01;
+const TAG_BIND: u8 = 0x02;
+const TAG_PREP: u8 = 0x03;
+
+/// A shared, hash-chained durable log (one per replica "disk").
+#[derive(Clone, Debug, Default)]
+pub struct DurableLog {
+    inner: Rc<RefCell<Journal>>,
+}
+
+/// State decoded from a [`DurableLog`] replay.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayedState {
+    /// Executed commands as `(seq, command, decided_at)`, in append
+    /// (= sequence) order.
+    pub entries: Vec<(u64, Command, u64)>,
+    /// Vote bindings as `(seq, view, digest)`, in append order.
+    pub bindings: Vec<(u64, u64, Digest)>,
+    /// Prepared certificates as `(seq, view, command)`, in append order.
+    pub prepared: Vec<(u64, u64, Command)>,
+}
+
+impl DurableLog {
+    /// A fresh, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records appended so far.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// True iff nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Appends an executed command at `seq`, decided at virtual time `at`.
+    pub fn append_exec(&self, seq: u64, command: &Command, at: u64) {
+        let mut buf = Vec::with_capacity(17 + command.payload.len());
+        buf.push(TAG_EXEC);
+        buf.extend_from_slice(&seq.to_be_bytes());
+        buf.extend_from_slice(&command.id.to_be_bytes());
+        buf.extend_from_slice(&command.payload);
+        self.inner.borrow_mut().append(at, Bytes::from(buf));
+    }
+
+    /// Appends a `(seq, view, digest)` vote binding.
+    pub fn append_bind(&self, seq: u64, view: u64, digest: &Digest) {
+        let mut buf = Vec::with_capacity(49);
+        buf.push(TAG_BIND);
+        buf.extend_from_slice(&seq.to_be_bytes());
+        buf.extend_from_slice(&view.to_be_bytes());
+        buf.extend_from_slice(digest.as_bytes());
+        self.inner.borrow_mut().append(0, Bytes::from(buf));
+    }
+
+    /// Appends a `(seq, view, command)` prepared certificate.
+    pub fn append_prep(&self, seq: u64, view: u64, command: &Command) {
+        let mut buf = Vec::with_capacity(25 + command.payload.len());
+        buf.push(TAG_PREP);
+        buf.extend_from_slice(&seq.to_be_bytes());
+        buf.extend_from_slice(&view.to_be_bytes());
+        buf.extend_from_slice(&command.id.to_be_bytes());
+        buf.extend_from_slice(&command.payload);
+        self.inner.borrow_mut().append(0, Bytes::from(buf));
+    }
+
+    /// The ledger digest over everything appended so far.
+    pub fn digest(&self) -> prever_ledger::LedgerDigest {
+        self.inner.borrow().digest()
+    }
+
+    /// Verifies the hash chain and decodes the surviving records.
+    ///
+    /// Returns [`LedgerError::TamperDetected`] if the chain fails
+    /// verification or a record is malformed — a replica must refuse to
+    /// rejoin from a disk it cannot trust.
+    pub fn replay(&self) -> Result<ReplayedState, LedgerError> {
+        let journal = self.inner.borrow();
+        let digest = journal.digest();
+        Journal::verify_chain(journal.entries(), &digest)?;
+        let mut state = ReplayedState::default();
+        for entry in journal.entries() {
+            let p = &entry.payload;
+            match p.first() {
+                Some(&TAG_EXEC) if p.len() >= 17 => {
+                    let seq = u64::from_be_bytes(p[1..9].try_into().unwrap());
+                    let id = u64::from_be_bytes(p[9..17].try_into().unwrap());
+                    let command = Command::new(id, p[17..].to_vec());
+                    state.entries.push((seq, command, entry.timestamp));
+                }
+                Some(&TAG_BIND) if p.len() == 49 => {
+                    let seq = u64::from_be_bytes(p[1..9].try_into().unwrap());
+                    let view = u64::from_be_bytes(p[9..17].try_into().unwrap());
+                    let mut d = [0u8; 32];
+                    d.copy_from_slice(&p[17..49]);
+                    state.bindings.push((seq, view, Digest(d)));
+                }
+                Some(&TAG_PREP) if p.len() >= 25 => {
+                    let seq = u64::from_be_bytes(p[1..9].try_into().unwrap());
+                    let view = u64::from_be_bytes(p[9..17].try_into().unwrap());
+                    let id = u64::from_be_bytes(p[17..25].try_into().unwrap());
+                    let command = Command::new(id, p[25..].to_vec());
+                    state.prepared.push((seq, view, command));
+                }
+                _ => return Err(LedgerError::TamperDetected("malformed durable record")),
+            }
+        }
+        Ok(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_roundtrips_execs_and_bindings() {
+        let log = DurableLog::new();
+        assert!(log.is_empty());
+        let c1 = Command::new(7, b"alpha".to_vec());
+        let c2 = Command::new(9, b"beta".to_vec());
+        log.append_bind(1, 0, &c1.digest());
+        log.append_prep(1, 0, &c1);
+        log.append_exec(1, &c1, 1234);
+        log.append_bind(2, 3, &c2.digest());
+        log.append_prep(2, 3, &c2);
+        log.append_exec(2, &c2, 5678);
+        assert_eq!(log.len(), 6);
+
+        let replayed = log.replay().expect("chain verifies");
+        assert_eq!(
+            replayed.entries,
+            vec![(1, c1.clone(), 1234), (2, c2.clone(), 5678)]
+        );
+        assert_eq!(
+            replayed.bindings,
+            vec![(1, 0, c1.digest()), (2, 3, c2.digest())]
+        );
+        assert_eq!(
+            replayed.prepared,
+            vec![(1, 0, c1.clone()), (2, 3, c2.clone())]
+        );
+    }
+
+    #[test]
+    fn clones_share_the_same_disk() {
+        let log = DurableLog::new();
+        let survivor = log.clone();
+        log.append_exec(1, &Command::new(1, b"x".to_vec()), 1);
+        assert_eq!(survivor.len(), 1);
+        assert_eq!(survivor.replay().unwrap().entries.len(), 1);
+    }
+
+    #[test]
+    fn replay_rejects_malformed_records() {
+        let log = DurableLog::new();
+        log.inner.borrow_mut().append(0, Bytes::from_static(&[0x7f, 0x00]));
+        assert!(matches!(
+            log.replay(),
+            Err(LedgerError::TamperDetected("malformed durable record"))
+        ));
+    }
+}

@@ -73,7 +73,8 @@ pub enum PaxosMsg {
 impl PaxosMsg {
     /// The span name timing this message kind's handler (wall-clock
     /// handling time recorded into the histogram of the same name).
-    fn span_name(&self) -> &'static str {
+    /// Public so harnesses (e.g. the chaos trace) can label messages.
+    pub fn span_name(&self) -> &'static str {
         match self {
             PaxosMsg::ClientRequest(_) => "paxos.client_request",
             PaxosMsg::Prepare { .. } => "paxos.prepare",
@@ -92,6 +93,10 @@ const TIMER_LEADER_TIMEOUT: u64 = 2;
 
 const HEARTBEAT_EVERY: u64 = 20_000; // 20 ms
 const LEADER_TIMEOUT: u64 = 100_000; // 100 ms
+/// First election-timer firing (node 0's timer wins a clean start).
+const ELECTION_BASE: u64 = 10_000; // 10 ms
+/// Per-id election stagger (avoids dueling proposers).
+const ELECTION_STAGGER: u64 = 10_000; // 10 ms
 
 /// Per-slot acceptor state.
 #[derive(Clone, Debug)]
@@ -263,11 +268,12 @@ impl Actor for PaxosNode {
     type Msg = PaxosMsg;
 
     fn on_start(&mut self, ctx: &mut Ctx<PaxosMsg>) {
-        if self.id == 0 {
-            // Node 0 bootstraps leadership; others wait on their timeout.
-            self.start_campaign(ctx);
-        }
-        ctx.set_timer(LEADER_TIMEOUT + (self.id as u64) * 10_000, TIMER_LEADER_TIMEOUT);
+        // Leader election is purely timeout-driven: every node arms a
+        // staggered election timer, and the first to fire without having
+        // heard from a leader (or promised to a campaigner) campaigns.
+        // Node 0 normally wins only because its timer fires first — if
+        // it is down at start, node 1's timer elects node 1, and so on.
+        ctx.set_timer(ELECTION_BASE + (self.id as u64) * ELECTION_STAGGER, TIMER_LEADER_TIMEOUT);
     }
 
     fn on_message(&mut self, from: NodeId, msg: PaxosMsg, ctx: &mut Ctx<PaxosMsg>) {
@@ -297,6 +303,10 @@ impl Actor for PaxosNode {
                 if ballot > self.promised {
                     self.promised = ballot;
                     self.seen_ballot = self.seen_ballot.max(ballot);
+                    // A live campaign counts as leadership activity:
+                    // without this, every promiser's own election timer
+                    // would fire during the campaign and start a duel.
+                    self.heard_from_leader = true;
                     // Stepping down if we led under a lower ballot.
                     if self.leading.is_some_and(|b| b < ballot) {
                         self.leading = None;
@@ -418,7 +428,10 @@ impl Actor for PaxosNode {
                 }
                 self.heard_from_leader = false;
                 // Stagger re-arm by id to avoid dueling proposers.
-                ctx.set_timer(LEADER_TIMEOUT + (self.id as u64) * 10_000, TIMER_LEADER_TIMEOUT);
+                ctx.set_timer(
+                    LEADER_TIMEOUT + (self.id as u64) * ELECTION_STAGGER,
+                    TIMER_LEADER_TIMEOUT,
+                );
             }
             _ => {}
         }
@@ -537,6 +550,37 @@ mod tests {
         let reference = sim.node(live[0]).decided().clone();
         for &i in &live {
             assert_eq!(sim.node(i).decided(), &reference);
+        }
+    }
+
+    #[test]
+    fn elects_a_leader_when_node_zero_is_down_from_the_start() {
+        // The old code bootstrapped leadership unconditionally at node 0;
+        // with node 0 dead before its first event, the cluster would
+        // have stayed leaderless forever. Timeout-driven election must
+        // promote a survivor instead.
+        let n = 5;
+        let mut sim = Simulation::new(cluster(n), NetConfig::default(), 17);
+        sim.crash(0);
+        for i in 0..5u64 {
+            sim.inject(
+                2,
+                2,
+                PaxosMsg::ClientRequest(Command::new(i, format!("cmd-{i}"))),
+                1_000 + i * 100,
+            );
+        }
+        let ok = sim.run_until_pred(5_000_000, |nodes| {
+            (1..5).all(|i| nodes[i].decided().len() >= 5)
+        });
+        assert!(ok, "survivors never decided without node 0");
+        assert!(
+            (1..n).any(|i| sim.node(i).is_leader()),
+            "a survivor must hold leadership"
+        );
+        let reference = sim.node(1).decided().clone();
+        for i in 2..n {
+            assert_eq!(sim.node(i).decided(), &reference, "node {i} diverged");
         }
     }
 

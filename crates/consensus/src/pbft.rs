@@ -12,7 +12,16 @@
 //!   replaced without losing prepared requests;
 //! * in-order execution with per-command decision timestamps;
 //! * pluggable [`Byzantine`] behaviors (silent replica, equivocating
-//!   primary) for fault-injection tests.
+//!   primary, stale-message replayer) for fault-injection tests;
+//! * a **state-transfer protocol** ([`PbftMsg::StateRequest`] /
+//!   [`PbftMsg::StateResponse`]): a restarted or lagging replica fetches
+//!   the executed suffix from its peers, applies whatever `f + 1`
+//!   responders agree on, and rejoins at the quorum's view;
+//! * **durable recovery** through the ledger journal
+//!   ([`crate::durable::DurableLog`]): executed commands and prepare-vote
+//!   bindings are persisted, so a replica rebuilt after a
+//!   crash-with-state-loss neither forgets its history nor accidentally
+//!   equivocates on votes it cast before dying.
 //!
 //! Implemented in full: the three-phase normal path, view changes, and
 //! **stable checkpoints** (2f + 1 matching state-digest votes every
@@ -28,10 +37,11 @@
 //! deployment can embed per-shard instances; [`PbftNode`] adapts it to
 //! the simulator.
 
+use crate::durable::DurableLog;
 use crate::{Command, Decided};
 use prever_crypto::Digest;
 use prever_sim::{Actor, Ctx, NodeId, VoteSet};
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 
 /// PBFT protocol messages.
 #[derive(Clone, Debug)]
@@ -88,18 +98,57 @@ pub enum PbftMsg {
         /// Chained digest of the execution history up to `seq`.
         state_digest: Digest,
     },
+    /// State-transfer request from a lagging or restarted replica:
+    /// "I have executed through `have`; send me what comes after."
+    StateRequest {
+        /// Highest sequence number the requester has executed.
+        have: u64,
+    },
+    /// State-transfer response: the responder's executed suffix.
+    ///
+    /// The requester applies a command once `f + 1` responders agree on
+    /// it, so no single faulty responder can feed it a fake history.
+    StateResponse {
+        /// The responder's current view.
+        view: u64,
+        /// The responder's highest stable checkpoint.
+        stable_seq: u64,
+        /// The responder's chained state digest after its whole suffix.
+        state_digest: Digest,
+        /// Executed `(seq, command)` pairs above the requester's `have`.
+        entries: Vec<(u64, Command)>,
+    },
 }
 
 /// Executed-command count between checkpoint votes.
 pub const CHECKPOINT_INTERVAL: u64 = 16;
 
+/// Re-request an unanswered state transfer after this long (µs).
+const SYNC_RETRY: u64 = 200_000;
+/// Sentinel "view" a replica attaches to already-executed entries in
+/// its view-change vote: a committed slot must outrank any conflicting
+/// prepared certificate when the new primary merges votes.
+const COMMITTED_VIEW: u64 = u64::MAX;
+
+/// Cap on the [`Byzantine::StaleReplayer`] replay stash.
+const REPLAY_STASH_CAP: usize = 12;
+
 /// Number of distinct [`PbftMsg`] kinds (stats array arity).
-const N_KINDS: usize = 7;
+const N_KINDS: usize = 9;
 
 /// Message-kind suffixes, indexed by [`PbftMsg::kind_idx`]; also the
 /// tail of the registry counter names (`pbft.msg.sent.<kind>`).
-const KIND_NAMES: [&str; N_KINDS] =
-    ["request", "pre_prepare", "prepare", "commit", "view_change", "new_view", "checkpoint"];
+const KIND_NAMES: [&str; N_KINDS] = [
+    "request",
+    "pre_prepare",
+    "prepare",
+    "commit",
+    "view_change",
+    "new_view",
+    "checkpoint",
+    "state_request",
+    "state_response",
+];
 
 /// Span names per message kind (histograms of wall-clock handling time).
 const SPAN_NAMES: [&str; N_KINDS] = [
@@ -110,6 +159,8 @@ const SPAN_NAMES: [&str; N_KINDS] = [
     "pbft.view_change",
     "pbft.new_view",
     "pbft.checkpoint",
+    "pbft.state_request",
+    "pbft.state_response",
 ];
 
 /// Registry counters for messages sent, by kind.
@@ -121,6 +172,8 @@ const SENT_COUNTERS: [&str; N_KINDS] = [
     "pbft.msg.sent.view_change",
     "pbft.msg.sent.new_view",
     "pbft.msg.sent.checkpoint",
+    "pbft.msg.sent.state_request",
+    "pbft.msg.sent.state_response",
 ];
 
 /// Registry counters for messages received, by kind.
@@ -132,6 +185,8 @@ const RECV_COUNTERS: [&str; N_KINDS] = [
     "pbft.msg.recv.view_change",
     "pbft.msg.recv.new_view",
     "pbft.msg.recv.checkpoint",
+    "pbft.msg.recv.state_request",
+    "pbft.msg.recv.state_response",
 ];
 
 impl PbftMsg {
@@ -145,6 +200,8 @@ impl PbftMsg {
             PbftMsg::ViewChange { .. } => 4,
             PbftMsg::NewView { .. } => 5,
             PbftMsg::Checkpoint { .. } => 6,
+            PbftMsg::StateRequest { .. } => 7,
+            PbftMsg::StateResponse { .. } => 8,
         }
     }
 
@@ -205,6 +262,10 @@ pub enum Byzantine {
     /// As primary, sends conflicting pre-prepares to different halves of
     /// the replica set.
     EquivocatingPrimary,
+    /// Stashes copies of its own outgoing protocol messages and replays
+    /// the stale batch on every tick — old-view votes, duplicate
+    /// prepares, and long-executed pre-prepares keep arriving forever.
+    StaleReplayer,
 }
 
 /// The command used to fill view-change gaps.
@@ -218,6 +279,15 @@ fn noop() -> Command {
     Command::new(NOOP_ID, Vec::new())
 }
 
+/// Extends a chained execution-history digest by one command.
+///
+/// This is *the* state digest PBFT checkpoints, state transfer, and the
+/// chaos harness all agree on: `D_i = H(D_{i-1} ‖ D(cmd_i))` starting
+/// from [`Digest::ZERO`].
+pub fn chain_digest(prev: Digest, command: &Command) -> Digest {
+    prever_crypto::sha256::sha256_concat(&[prev.as_bytes(), command.digest().as_bytes()])
+}
+
 #[derive(Clone, Debug, Default)]
 struct Slot {
     view: u64,
@@ -225,9 +295,35 @@ struct Slot {
     command: Option<Command>,
     prepares: VoteSet,
     commits: VoteSet,
+    /// Votes that arrived before the pre-prepare fixed this slot's
+    /// digest, held with the digest they voted for. Counting them
+    /// blindly would let an equivocating primary's conflicting votes
+    /// inflate the tally for whichever command arrives here later;
+    /// only matching votes are drained in once the digest is known.
+    early_prepares: Vec<(NodeId, Digest)>,
+    early_commits: Vec<(NodeId, Digest)>,
     sent_commit: bool,
     committed: bool,
     executed: bool,
+}
+
+impl Slot {
+    /// Fixes the slot's digest and counts buffered votes that match it.
+    fn fix_digest(&mut self, view: u64, digest: Digest, command: Command) {
+        self.view = view;
+        self.digest = Some(digest);
+        self.command = Some(command);
+        for (voter, d) in std::mem::take(&mut self.early_prepares) {
+            if d == digest {
+                self.prepares.add(voter);
+            }
+        }
+        for (voter, d) in std::mem::take(&mut self.early_commits) {
+            if d == digest {
+                self.commits.add(voter);
+            }
+        }
+    }
 }
 
 /// The sans-IO PBFT state machine for one replica within a member set.
@@ -259,6 +355,56 @@ pub struct PbftCore {
     /// Per-type message send/receive counts.
     stats: MsgStats,
     byz: Byzantine,
+    /// Highest sequence number seen in any peer message — evidence of
+    /// how far the cluster has advanced past us.
+    max_seen_seq: u64,
+    /// Virtual time of the last local execution or sync progress.
+    last_progress_at: u64,
+    /// Set while a state transfer is in flight.
+    syncing: bool,
+    /// When the in-flight state transfer was requested (for retries).
+    last_sync_at: u64,
+    /// State-transfer responses: responder → (view, seq → command).
+    sync_responses: BTreeMap<NodeId, (u64, BTreeMap<u64, Command>)>,
+    /// Durable vote bindings recovered from (or destined for) the disk
+    /// log: seq → (view, digest) of the prepare vote we cast.
+    durable_bindings: BTreeMap<u64, (u64, Digest)>,
+    /// Bindings created since the last [`Self::take_bindings`] drain.
+    new_bindings: Vec<(u64, u64, Digest)>,
+    /// Prepared certificates reached since the last
+    /// [`Self::take_prepared`] drain.
+    new_prepared: Vec<PreparedCert>,
+    /// Every prepared certificate this replica holds (highest view per
+    /// seq), retained across view changes — `adopt_view` resets live
+    /// prepare tallies, but the *fact* that a slot once prepared must
+    /// survive until the slot executes, or a later view change could
+    /// no-op-fill a slot that committed at another replica on the
+    /// strength of our commit vote. Re-seeded from disk on recovery.
+    certs: BTreeMap<u64, (u64, Command)>,
+    /// Whether to record bindings at all (off unless the owner persists).
+    record_bindings: bool,
+    /// Commands applied via state transfer rather than the commit path.
+    synced: u64,
+    /// [`Byzantine::StaleReplayer`] stash of past outgoing messages.
+    replay_stash: Vec<PbftMsg>,
+    /// True while re-broadcasting the stash (suppresses re-stashing).
+    replaying: bool,
+    /// Protocol messages that arrived for a view this replica has not
+    /// adopted yet (either a future view, or the current view while
+    /// still awaiting its NewView). Links are not FIFO, so a peer's
+    /// prepares routinely overtake the NewView that makes them
+    /// countable; dropping them wedges any slot with a bare-quorum
+    /// voter set. Replayed by [`Self::drain_view_stash`] on adoption.
+    view_stash: Vec<(NodeId, PbftMsg)>,
+    /// True while re-delivering the view stash (suppresses recv stats,
+    /// which were already counted on first arrival).
+    stash_replay: bool,
+    /// Consecutive view changes without local execution progress —
+    /// drives the exponential view-timeout backoff so a stuck cluster
+    /// grants each successive view a longer window to make progress.
+    vc_streak: u32,
+    /// Virtual time of the last anti-entropy checkpoint broadcast.
+    last_hb_at: u64,
 }
 
 /// `(destination, message)` pairs a core step wants sent.
@@ -286,6 +432,23 @@ impl PbftCore {
             stable_seq: 0,
             stats: MsgStats::default(),
             byz,
+            max_seen_seq: 0,
+            last_progress_at: 0,
+            syncing: false,
+            last_sync_at: 0,
+            sync_responses: BTreeMap::new(),
+            durable_bindings: BTreeMap::new(),
+            new_bindings: Vec::new(),
+            new_prepared: Vec::new(),
+            certs: BTreeMap::new(),
+            record_bindings: false,
+            synced: 0,
+            replay_stash: Vec::new(),
+            replaying: false,
+            view_stash: Vec::new(),
+            stash_replay: false,
+            vc_streak: 0,
+            last_hb_at: 0,
         }
     }
 
@@ -337,9 +500,178 @@ impl PbftCore {
         self.executed.iter().filter(|d| d.command.id != NOOP_ID).count()
     }
 
+    /// Number of *distinct* non-noop command ids executed. A Byzantine
+    /// primary can get the same command committed at two different
+    /// slots (PBFT dedups duplicate requests at the client, not the
+    /// consensus layer), so the raw entry count can overstate workload
+    /// progress.
+    pub fn distinct_executed_commands(&self) -> usize {
+        self.executed
+            .iter()
+            .map(|d| d.command.id)
+            .filter(|&id| id != NOOP_ID)
+            .collect::<HashSet<_>>()
+            .len()
+    }
+
     /// Per-type message send/receive counts for this replica.
     pub fn msg_stats(&self) -> &MsgStats {
         &self.stats
+    }
+
+    /// Highest executed sequence number (0 = nothing executed yet).
+    pub fn last_exec(&self) -> u64 {
+        self.last_exec
+    }
+
+    /// The chained digest over the executed history (see
+    /// [`chain_digest`]).
+    pub fn state_digest(&self) -> Digest {
+        self.running_state
+    }
+
+    /// Number of commands applied via state transfer (vs. the normal
+    /// commit path).
+    pub fn synced(&self) -> u64 {
+        self.synced
+    }
+
+    /// One-line internal state summary for chaos-harness debugging.
+    pub fn debug_probe(&self) -> String {
+        let votes: Vec<String> = self
+            .vc_votes
+            .iter()
+            .map(|(v, m)| {
+                let who: Vec<String> = m.keys().map(|k| k.to_string()).collect();
+                format!("{v}:[{}]", who.join(","))
+            })
+            .collect();
+        format!(
+            "view_changing={} vc_streak={} pending={} max_seen={} vc_votes={{{}}}",
+            self.view_changing,
+            self.vc_streak,
+            self.pending.len(),
+            self.max_seen_seq,
+            votes.join(" ")
+        )
+    }
+
+    /// Enables durable vote-binding recording (see
+    /// [`Self::take_bindings`]). Off by default so embeddings without a
+    /// disk log don't accumulate bindings forever.
+    pub fn set_record_bindings(&mut self, on: bool) {
+        self.record_bindings = on;
+    }
+
+    /// Drains the vote bindings created since the last drain, so the
+    /// owner can persist them before this step's votes hit the network.
+    pub fn take_bindings(&mut self) -> Vec<(u64, u64, Digest)> {
+        std::mem::take(&mut self.new_bindings)
+    }
+
+    /// Drains the prepared certificates reached since the last call
+    /// (the owner writes them to disk before commit votes leave).
+    pub fn take_prepared(&mut self) -> Vec<PreparedCert> {
+        std::mem::take(&mut self.new_prepared)
+    }
+
+    /// Prepared certificates above `last_exec`: every slot for which
+    /// this replica ever observed a `2f + 1` prepare quorum (in any
+    /// view) and that has not executed yet — including certificates
+    /// replayed from disk after a restart. These are what a view-change
+    /// vote carries.
+    pub fn prepared_certificates(&self) -> Vec<PreparedCert> {
+        self.certs
+            .iter()
+            .filter(|(seq, _)| **seq > self.last_exec)
+            .map(|(seq, (view, command))| (*seq, *view, command.clone()))
+            .collect()
+    }
+
+    /// Remembers that `seq` prepared with `command` in `view`; queues
+    /// the certificate for persistence when recording is on.
+    fn remember_cert(&mut self, seq: u64, view: u64, command: Command) {
+        let keep = self.certs.get(&seq).is_none_or(|(v, _)| *v <= view);
+        if keep {
+            if self.record_bindings {
+                self.new_prepared.push((seq, view, command.clone()));
+            }
+            self.certs.insert(seq, (view, command));
+        }
+    }
+
+    /// Records the vote binding for `seq` (no-op unless recording is
+    /// on). Keeps the highest-view binding per sequence.
+    fn bind(&mut self, seq: u64, view: u64, digest: Digest) {
+        if !self.record_bindings {
+            return;
+        }
+        let keep = self.durable_bindings.get(&seq).is_none_or(|(v, _)| *v <= view);
+        if keep {
+            self.durable_bindings.insert(seq, (view, digest));
+            self.new_bindings.push((seq, view, digest));
+        }
+    }
+
+    /// Installs a recovered execution history into a *fresh* core.
+    ///
+    /// `entries` are `(seq, command, decided_at)` from the durable log,
+    /// dense from 1; `bindings` are recovered `(seq, view, digest)` vote
+    /// bindings (only those above the replayed history still matter).
+    pub fn install_history(
+        &mut self,
+        entries: Vec<(u64, Command, u64)>,
+        bindings: Vec<(u64, u64, Digest)>,
+        prepared: Vec<PreparedCert>,
+    ) {
+        assert!(
+            self.last_exec == 0 && self.executed.is_empty(),
+            "install_history requires a fresh core"
+        );
+        for (seq, command, at) in entries {
+            assert_eq!(seq, self.last_exec + 1, "durable history must be dense");
+            self.last_exec = seq;
+            self.executed_ids.insert(command.id);
+            self.running_state = chain_digest(self.running_state, &command);
+            self.executed.push(Decided { slot: seq, command, at });
+        }
+        self.next_seq = self.last_exec;
+        for (seq, view, digest) in bindings {
+            if seq <= self.last_exec {
+                continue;
+            }
+            let keep = self.durable_bindings.get(&seq).is_none_or(|(v, _)| *v <= view);
+            if keep {
+                self.durable_bindings.insert(seq, (view, digest));
+            }
+        }
+        // Re-assert the prepared certificates we claimed (via commit
+        // votes) before the restart; per seq keep the highest view.
+        // Bypass remember_cert: these are already on disk.
+        for (seq, view, command) in prepared {
+            if seq <= self.last_exec {
+                continue;
+            }
+            let keep = self.certs.get(&seq).is_none_or(|(v, _)| *v <= view);
+            if keep {
+                self.certs.insert(seq, (view, command));
+            }
+        }
+    }
+
+    /// Starts a state transfer: asks every peer for the executed suffix
+    /// above our `last_exec`.
+    pub fn request_sync(&mut self, now: u64) -> Outbox {
+        let mut out = Outbox::new();
+        if self.byz == Byzantine::Silent {
+            return out;
+        }
+        self.syncing = true;
+        self.last_sync_at = now;
+        self.sync_responses.clear();
+        prever_obs::counter("pbft.state_transfer.requests").inc();
+        self.broadcast(&mut out, PbftMsg::StateRequest { have: self.last_exec });
+        out
     }
 
     /// True iff a request is pending past `deadline`-aged entries.
@@ -362,6 +694,12 @@ impl PbftCore {
     fn broadcast(&mut self, out: &mut Outbox, msg: PbftMsg) {
         if self.byz == Byzantine::Silent {
             return;
+        }
+        if self.byz == Byzantine::StaleReplayer
+            && !self.replaying
+            && self.replay_stash.len() < REPLAY_STASH_CAP
+        {
+            self.replay_stash.push(msg.clone());
         }
         let kind = msg.kind_idx();
         for &m in &self.members {
@@ -448,11 +786,11 @@ impl PbftCore {
         }
 
         // The primary's pre-prepare doubles as its prepare vote.
+        let view = self.view;
         let slot = self.log.entry(seq).or_default();
-        slot.view = self.view;
-        slot.digest = Some(digest);
-        slot.command = Some(command);
+        slot.fix_digest(view, digest, command);
         slot.prepares.add(self.id);
+        self.bind(seq, view, digest);
     }
 
     /// Handles a protocol message. `now` is virtual time for execution
@@ -468,9 +806,20 @@ impl PbftCore {
         // re-proposals are processed by recursing into this method and
         // therefore count as received pre-prepares, which matches the
         // protocol reading (a NewView is a batch of pre-prepares).
-        if from != self.id {
+        if from != self.id && !self.stash_replay {
             self.stats.recv[kind] += 1;
             prever_obs::counter(RECV_COUNTERS[kind]).add(1);
+            // Track how far the cluster has advanced past us (lag
+            // evidence that triggers state transfer from `on_tick`).
+            match &msg {
+                PbftMsg::PrePrepare { seq, .. }
+                | PbftMsg::Prepare { seq, .. }
+                | PbftMsg::Commit { seq, .. }
+                | PbftMsg::Checkpoint { seq, .. } => {
+                    self.max_seen_seq = self.max_seen_seq.max(*seq);
+                }
+                _ => {}
+            }
         }
         let _span = prever_obs::span!(SPAN_NAMES[kind]);
         match msg {
@@ -483,23 +832,39 @@ impl PbftCore {
                 return self.on_relayed_request(command, now);
             }
             PbftMsg::PrePrepare { view, seq, command } => {
-                if view != self.view || self.view_changing || from != self.primary() {
+                if view < self.view || seq <= self.last_exec {
                     return out;
                 }
-                if seq <= self.last_exec {
+                if view > self.view || self.view_changing {
+                    // Not yet in this view: hold the message until the
+                    // NewView installs it rather than dropping a vote
+                    // the slot may need (links are not FIFO).
+                    self.stash_view_msg(from, PbftMsg::PrePrepare { view, seq, command });
+                    return out;
+                }
+                if from != self.primary() {
                     return out;
                 }
                 let digest = command.digest();
+                // Durable-binding refusal: we already voted for a
+                // *different* command at this seq in this or a later
+                // view (possibly before a restart) — voting again would
+                // make us an accidental equivocator.
+                if let Some((bv, bd)) = self.durable_bindings.get(&seq) {
+                    if view <= *bv && digest != *bd {
+                        prever_obs::log!(Debug, "replica {} refuses preprepare seq {seq} view {view}: bound view {bv}", self.id);
+                        return out;
+                    }
+                }
                 let slot = self.log.entry(seq).or_default();
                 if let Some(existing) = slot.digest {
                     if existing != digest {
                         // Equivocation observed: refuse the second one.
+                        prever_obs::log!(Debug, "replica {} refuses preprepare seq {seq} view {view}: digest conflict (slot view {}, committed {})", self.id, slot.view, slot.committed);
                         return out;
                     }
                 } else {
-                    slot.view = view;
-                    slot.digest = Some(digest);
-                    slot.command = Some(command.clone());
+                    slot.fix_digest(view, digest, command.clone());
                 }
                 // Track the request for liveness if not already pending.
                 if !self.executed_ids.contains(&command.id)
@@ -511,46 +876,153 @@ impl PbftCore {
                 // ours and broadcast it.
                 slot.prepares.add(from);
                 slot.prepares.add(self.id);
+                self.bind(seq, view, digest);
                 self.broadcast(&mut out, PbftMsg::Prepare { view, seq, digest });
                 self.try_advance(seq, now, &mut out);
             }
             PbftMsg::Prepare { view, seq, digest } => {
-                if view != self.view || self.view_changing || seq <= self.last_exec {
+                if view < self.view || seq <= self.last_exec {
+                    return out;
+                }
+                if view > self.view || self.view_changing {
+                    self.stash_view_msg(from, PbftMsg::Prepare { view, seq, digest });
                     return out;
                 }
                 let slot = self.log.entry(seq).or_default();
-                if slot.digest.is_some_and(|d| d != digest) {
-                    return out;
+                match slot.digest {
+                    Some(d) if d != digest => return out,
+                    Some(_) => {
+                        slot.prepares.add(from);
+                    }
+                    // No pre-prepare yet: hold the vote with its digest
+                    // so it only counts if the proposals agree.
+                    None => {
+                        if !slot.early_prepares.iter().any(|(v, _)| *v == from) {
+                            slot.early_prepares.push((from, digest));
+                        }
+                    }
                 }
-                slot.prepares.add(from);
                 self.try_advance(seq, now, &mut out);
             }
             PbftMsg::Commit { view, seq, digest } => {
-                if view != self.view || self.view_changing || seq <= self.last_exec {
+                if view < self.view || seq <= self.last_exec {
+                    return out;
+                }
+                if view > self.view || self.view_changing {
+                    self.stash_view_msg(from, PbftMsg::Commit { view, seq, digest });
                     return out;
                 }
                 let slot = self.log.entry(seq).or_default();
-                if slot.digest.is_some_and(|d| d != digest) {
-                    return out;
+                match slot.digest {
+                    Some(d) if d != digest => return out,
+                    Some(_) => {
+                        slot.commits.add(from);
+                    }
+                    None => {
+                        if !slot.early_commits.iter().any(|(v, _)| *v == from) {
+                            slot.early_commits.push((from, digest));
+                        }
+                    }
                 }
-                slot.commits.add(from);
                 self.try_advance(seq, now, &mut out);
             }
             PbftMsg::ViewChange { new_view, prepared } => {
-                if new_view <= self.view && !(new_view == self.view && self.view_changing) {
+                if new_view < self.view {
+                    // The sender is still assembling a quorum for a
+                    // view we moved past. Re-send our own vote for it
+                    // (the original may have been dropped), or the
+                    // sender could wait on that quorum forever.
+                    let mine = self
+                        .vc_votes
+                        .get(&new_view)
+                        .and_then(|m| m.get(&self.id))
+                        .cloned();
+                    if let Some(prepared) = mine {
+                        self.send(&mut out, from, PbftMsg::ViewChange { new_view, prepared });
+                    }
                     return out;
                 }
-                let votes = self.vc_votes.entry(new_view).or_default();
-                votes.insert(from, prepared);
-                let votes_len = votes.len();
-                // Join the view change once f + 1 replicas demand it.
-                if votes_len > self.f() && !(self.view_changing && self.view >= new_view) {
-                    self.start_view_change(new_view, &mut out);
+                if new_view == self.view && !self.view_changing {
+                    // We are already active in the view the sender is
+                    // trying to enter. If we are its primary, re-send
+                    // the NewView: the original may have been lost, and
+                    // the votes that once proved this view quorate are
+                    // pruned everywhere once replicas adopt it, so the
+                    // sender can never re-assemble that quorum. The
+                    // proposals are reconstructed from our own log,
+                    // which reflects the real NewView's slot resolution
+                    // (anything older the sender is missing comes via
+                    // state transfer, not the NewView).
+                    if self.primary() == self.id {
+                        let proposals: Vec<(u64, Command)> = self
+                            .log
+                            .range(self.last_exec + 1..)
+                            .filter(|(_, s)| s.view == new_view)
+                            .filter_map(|(&seq, s)| s.command.clone().map(|c| (seq, c)))
+                            .collect();
+                        prever_obs::log!(
+                            Debug,
+                            "replica {} re-sends NewView {new_view} to laggard {from}",
+                            self.id
+                        );
+                        self.send(&mut out, from, PbftMsg::NewView { new_view, proposals });
+                    }
+                    return out;
+                }
+                self.vc_votes.entry(new_view).or_default().insert(from, prepared);
+                // Catch-up rule (PBFT §4.5.2): once f + 1 replicas
+                // demand views above ours, at least one of them is
+                // correct — join the smallest such view, even mid
+                // view-change. A replica must not idle below the view
+                // the correct majority is assembling, nor jump past
+                // views that can still complete.
+                let mut ahead = BTreeSet::new();
+                let mut smallest = None;
+                for (&v, vs) in self.vc_votes.range(self.view + 1..) {
+                    for &voter in vs.keys() {
+                        if voter != self.id {
+                            ahead.insert(voter);
+                            smallest.get_or_insert(v);
+                        }
+                    }
+                }
+                if ahead.len() > self.f() {
+                    if let Some(v) = smallest {
+                        self.start_view_change(v, &mut out);
+                    }
                 }
                 self.maybe_install_view(new_view, now, &mut out);
             }
             PbftMsg::Checkpoint { seq, state_digest } => {
                 self.record_checkpoint_vote(from, seq, state_digest);
+            }
+            PbftMsg::StateRequest { have } => {
+                if from == self.id {
+                    return out;
+                }
+                // Executed slots are dense from 1, so the suffix above
+                // `have` is simply `executed[have..]`.
+                let entries: Vec<(u64, Command)> = self
+                    .executed
+                    .iter()
+                    .skip(have as usize)
+                    .map(|d| (d.slot, d.command.clone()))
+                    .collect();
+                let msg = PbftMsg::StateResponse {
+                    view: self.view,
+                    stable_seq: self.stable_seq,
+                    state_digest: self.running_state,
+                    entries,
+                };
+                self.send(&mut out, from, msg);
+            }
+            PbftMsg::StateResponse { view, entries, .. } => {
+                if !self.syncing || from == self.id {
+                    return out;
+                }
+                let suffix: BTreeMap<u64, Command> = entries.into_iter().collect();
+                self.sync_responses.insert(from, (view, suffix));
+                self.apply_sync(now);
             }
             PbftMsg::NewView { new_view, proposals } => {
                 if new_view < self.view {
@@ -579,9 +1051,40 @@ impl PbftCore {
                         self.send(&mut out, primary, PbftMsg::Request(c));
                     }
                 }
+                // Count any votes that overtook this NewView in flight.
+                self.drain_view_stash(now, &mut out);
             }
         }
         out
+    }
+
+    /// Holds a pre-prepare/prepare/commit that arrived before this
+    /// replica adopted its view. Bounded; overflow drops the message
+    /// (the view-change path re-proposes, so a drop costs liveness at
+    /// worst, never safety).
+    fn stash_view_msg(&mut self, from: NodeId, msg: PbftMsg) {
+        if self.view_stash.len() >= VIEW_STASH_CAP {
+            prever_obs::counter("pbft.view_stash.overflow").inc();
+            return;
+        }
+        self.view_stash.push((from, msg));
+    }
+
+    /// Re-delivers stashed messages after a view adoption. Messages for
+    /// still-future views simply re-stash themselves; stale ones are
+    /// pruned by [`Self::adopt_view`] before this runs.
+    fn drain_view_stash(&mut self, now: u64, out: &mut Outbox) {
+        if self.view_stash.is_empty() {
+            return;
+        }
+        let stash = std::mem::take(&mut self.view_stash);
+        let prev = self.stash_replay;
+        self.stash_replay = true;
+        for (from, msg) in stash {
+            let o = self.on_message(from, msg, now);
+            out.extend(o);
+        }
+        self.stash_replay = prev;
     }
 
     fn try_advance(&mut self, seq: u64, now: u64, out: &mut Outbox) {
@@ -592,13 +1095,24 @@ impl PbftCore {
         // Prepared: 2f + 1 matching prepares (incl. primary's implicit
         // and our own).
         if slot.prepares.len() >= quorum && !slot.sent_commit {
+            prever_obs::log!(Debug, "replica {} prepared seq {seq} view {view}", self.id);
             slot.sent_commit = true;
             slot.commits.add(self.id);
+            let prep = slot.command.clone().map(|c| (seq, slot.view, c));
+            // A commit vote claims "I hold a prepared certificate"; the
+            // certificate must outlive view changes (and, for a
+            // persisting owner, restarts) until the slot executes, or
+            // a later view change could erase a certificate the
+            // cluster is relying on (see the Prep record in durable.rs).
+            if let Some((s, v, c)) = prep {
+                self.remember_cert(s, v, c);
+            }
             let msg = PbftMsg::Commit { view, seq, digest };
             self.broadcast(out, msg);
         }
         let Some(slot) = self.log.get_mut(&seq) else { return };
         if slot.commits.len() >= quorum && !slot.committed {
+            prever_obs::log!(Debug, "replica {} committed seq {seq} view {view}", self.id);
             slot.committed = true;
         }
         self.execute_ready(now, out);
@@ -617,10 +1131,11 @@ impl PbftCore {
             self.executed_ids.insert(command.id);
             self.pending.retain(|(c, _)| c.id != command.id);
             // Chain the state digest (deterministic across replicas).
-            self.running_state = prever_crypto::sha256::sha256_concat(&[
-                self.running_state.as_bytes(),
-                command.digest().as_bytes(),
-            ]);
+            self.running_state = chain_digest(self.running_state, &command);
+            self.durable_bindings.remove(&next);
+            self.certs.remove(&next);
+            self.last_progress_at = now;
+            self.vc_streak = 0;
             self.executed.push(Decided { slot: next, command, at: now });
             prever_obs::counter("pbft.executed").inc();
             if self.last_exec.is_multiple_of(CHECKPOINT_INTERVAL) {
@@ -632,6 +1147,65 @@ impl PbftCore {
                 self.record_checkpoint_vote(self.id, self.last_exec, self.running_state);
             }
         }
+    }
+
+    /// Applies every command on which `f + 1` state-transfer responders
+    /// agree, then adopts the view a quorum-minus-f of them has reached
+    /// and finishes the sync once a full quorum has answered.
+    fn apply_sync(&mut self, now: u64) {
+        let need = self.f() + 1;
+        loop {
+            let next = self.last_exec + 1;
+            // Count agreeing digests for the next sequence. At most one
+            // digest can reach f + 1 among n - 1 responders with at
+            // most f faulty, so the first hit is the only hit.
+            let mut counts: BTreeMap<Digest, (usize, Command)> = BTreeMap::new();
+            for (_, suffix) in self.sync_responses.values() {
+                if let Some(c) = suffix.get(&next) {
+                    let e = counts.entry(c.digest()).or_insert_with(|| (0, c.clone()));
+                    e.0 += 1;
+                }
+            }
+            match counts.into_values().find(|(n, _)| *n >= need) {
+                Some((_, command)) => self.apply_synced_command(command, now),
+                None => break,
+            }
+        }
+        // Adopt a view at least f + 1 responders have reached (at least
+        // one of them is correct, so the view is legitimate).
+        let mut views: Vec<u64> = self.sync_responses.values().map(|(v, _)| *v).collect();
+        views.sort_unstable_by(|a, b| b.cmp(a));
+        if views.len() >= need {
+            let v = views[need - 1];
+            if v > self.view {
+                self.adopt_view(v);
+            }
+        }
+        if self.sync_responses.len() >= self.quorum() {
+            self.finish_sync();
+        }
+    }
+
+    fn apply_synced_command(&mut self, command: Command, now: u64) {
+        let next = self.last_exec + 1;
+        self.last_exec = next;
+        self.executed_ids.insert(command.id);
+        self.pending.retain(|(c, _)| c.id != command.id);
+        self.running_state = chain_digest(self.running_state, &command);
+        self.log.remove(&next);
+        self.durable_bindings.remove(&next);
+        self.certs.remove(&next);
+        self.executed.push(Decided { slot: next, command, at: now });
+        self.synced += 1;
+        self.last_progress_at = now;
+        self.vc_streak = 0;
+        prever_obs::counter("pbft.state_transfer.synced").inc();
+    }
+
+    fn finish_sync(&mut self) {
+        self.syncing = false;
+        self.sync_responses.clear();
+        prever_obs::counter("pbft.state_transfer.completed").inc();
     }
 
     fn record_checkpoint_vote(&mut self, from: NodeId, seq: u64, state_digest: Digest) {
@@ -656,17 +1230,19 @@ impl PbftCore {
         }
         prever_obs::log!(Warn, "replica {} abandons view {} for view {new_view}", self.id, self.view);
         prever_obs::counter("pbft.view_changes.started").inc();
+        self.vc_streak = self.vc_streak.saturating_add(1);
         self.view = new_view;
         self.view_changing = true;
-        // Prepared certificates above last_exec.
-        let prepared: Vec<(u64, u64, Command)> = self
-            .log
-            .iter()
-            .filter(|(seq, s)| {
-                **seq > self.last_exec && s.prepares.len() >= self.quorum() && !s.executed
-            })
-            .filter_map(|(seq, s)| s.command.clone().map(|c| (*seq, s.view, c)))
-            .collect();
+        let mut prepared = self.prepared_certificates();
+        // Also report the executed history, marked with a sentinel view
+        // so committed entries always beat a conflicting prepared cert
+        // in the new primary's merge. Without this, a replica that
+        // already executed a slot omits its certificate (the `seq >
+        // last_exec` filter above), and a new primary whose own
+        // execution lags would no-op-fill a slot that committed
+        // elsewhere — a divergence. Production PBFT bounds this list
+        // with the low-watermark; the sim ships the full history.
+        prepared.extend(self.executed.iter().map(|d| (d.slot, COMMITTED_VIEW, d.command.clone())));
         let msg = PbftMsg::ViewChange { new_view, prepared: prepared.clone() };
         self.broadcast(out, msg);
         // Record our own vote.
@@ -720,17 +1296,16 @@ impl PbftCore {
         for (seq, command) in proposals {
             let digest = command.digest();
             let slot = self.log.entry(seq).or_default();
-            slot.view = new_view;
-            slot.digest = Some(digest);
-            slot.command = Some(command);
+            slot.fix_digest(new_view, digest, command);
             slot.prepares.add(self.id);
+            self.bind(seq, new_view, digest);
         }
         // Propose any pending requests afresh.
         let pending: Vec<Command> = self.pending.iter().map(|(c, _)| c.clone()).collect();
         for c in pending {
             self.propose(c, out);
         }
-        let _ = now;
+        self.drain_view_stash(now, out);
     }
 
     fn adopt_view(&mut self, new_view: u64) {
@@ -744,27 +1319,119 @@ impl PbftCore {
             if !s.executed && !s.committed {
                 s.prepares = VoteSet::new();
                 s.commits = VoteSet::new();
+                s.early_prepares.clear();
+                s.early_commits.clear();
                 s.sent_commit = false;
             }
         }
         self.vc_votes.retain(|v, _| *v > new_view);
+        // Stashed votes from abandoned views can never count again.
+        self.view_stash.retain(|(_, m)| match m {
+            PbftMsg::PrePrepare { view, .. }
+            | PbftMsg::Prepare { view, .. }
+            | PbftMsg::Commit { view, .. } => *view >= new_view,
+            _ => false,
+        });
     }
 
-    /// Liveness tick: returns view-change messages if a pending request
-    /// has been stuck longer than `timeout`.
+    /// Liveness tick: drives state-transfer retries, lag detection, and
+    /// view changes for stuck requests (in that priority order — a
+    /// lagging replica fetches state instead of hopelessly demanding
+    /// view changes it can no longer vote in).
     pub fn on_tick(&mut self, now: u64, timeout: u64) -> Outbox {
         let mut out = Outbox::new();
         if self.byz == Byzantine::Silent {
             return out;
         }
-        if self.has_stale_pending(now, timeout) {
+        if self.byz == Byzantine::StaleReplayer && !self.replay_stash.is_empty() {
+            // Replay the stale stash (cloned, so the copies are not
+            // themselves re-stashed).
+            let stash = self.replay_stash.clone();
+            self.replaying = true;
+            for msg in stash {
+                self.broadcast(&mut out, msg);
+            }
+            self.replaying = false;
+        }
+        if self.syncing {
+            if now.saturating_sub(self.last_sync_at) > SYNC_RETRY {
+                if self.sync_responses.len() > self.f() {
+                    // Enough answers to have applied everything f + 1
+                    // agree on; stop waiting for the stragglers.
+                    self.finish_sync();
+                } else {
+                    out.extend(self.request_sync(now));
+                }
+            }
+        } else if self.max_seen_seq > self.last_exec
+            && now.saturating_sub(self.last_progress_at) > timeout
+        {
+            // Lag detection: peers are working on sequences we never
+            // executed and nothing has progressed locally for a whole
+            // timeout — fetch state. This deliberately does NOT
+            // suppress the view-change path below: if the whole cluster
+            // is stuck (nobody executed further), only a view change
+            // restores liveness, and the sync comes back empty-handed.
+            self.last_progress_at = now;
+            out.extend(self.request_sync(now));
+        }
+        // Anti-entropy heartbeat: periodically re-broadcast our latest
+        // checkpoint. A replica that restarted after the cluster went
+        // quiescent has no pending requests and sees no traffic, so
+        // without this it would never learn it is behind (lag
+        // detection needs evidence of higher sequence numbers).
+        if now.saturating_sub(self.last_hb_at) > HEARTBEAT_EVERY {
+            self.last_hb_at = now;
+            if self.last_exec > 0 {
+                let msg = PbftMsg::Checkpoint {
+                    seq: self.last_exec,
+                    state_digest: self.running_state,
+                };
+                self.broadcast(&mut out, msg);
+            }
+        }
+        // Exponential backoff: each consecutive fruitless view change
+        // doubles the window the current view gets before we abandon
+        // it too, so a recovering cluster is not starved by lockstep
+        // escalation (capped; any execution resets the streak).
+        let escalate_after =
+            timeout.saturating_mul(1u64 << self.vc_streak.min(VC_BACKOFF_CAP));
+        if self.has_stale_pending(now, escalate_after) {
             // Refresh pending timestamps so we escalate one view per
             // timeout period rather than every tick.
             for p in self.pending.iter_mut() {
                 p.1 = now;
             }
-            let next = self.view + 1;
-            self.start_view_change(next, &mut out);
+            let quorate = self
+                .vc_votes
+                .get(&self.view)
+                .is_some_and(|v| v.len() >= self.quorum());
+            if self.view_changing && !quorate {
+                // PBFT liveness rule: only escalate past a view change
+                // once 2f + 1 replicas demanded it. Escalating earlier
+                // strands this replica one view ahead of the pack — in
+                // a deterministic lockstep that offset NEVER heals, and
+                // every view thereafter is one voter short. Re-send our
+                // vote instead (the original may have been dropped) and
+                // keep waiting for the quorum to assemble.
+                let vote = self
+                    .vc_votes
+                    .get(&self.view)
+                    .and_then(|m| m.get(&self.id))
+                    .cloned();
+                if let Some(prepared) = vote {
+                    let msg = PbftMsg::ViewChange { new_view: self.view, prepared };
+                    self.broadcast(&mut out, msg);
+                }
+            } else {
+                let next = self.view + 1;
+                prever_obs::log!(
+                    Debug,
+                    "replica {} escalates to view {next} at {now} (window {escalate_after})",
+                    self.id
+                );
+                self.start_view_change(next, &mut out);
+            }
         }
         out
     }
@@ -774,23 +1441,102 @@ const TIMER_TICK: u64 = 1;
 const TICK_EVERY: u64 = 25_000; // 25 ms
 /// Request-staleness threshold before a replica votes for a view change.
 pub const VIEW_TIMEOUT: u64 = 150_000; // 150 ms
+/// Max messages held for a not-yet-adopted view.
+const VIEW_STASH_CAP: usize = 1024;
+/// Anti-entropy checkpoint heartbeat period.
+const HEARTBEAT_EVERY: u64 = 500_000; // 500 ms
+/// Max exponent for the view-change timeout backoff (2^6 = 64×, i.e.
+/// 9.6 s at the default timeout). The cap must dwarf any phase offset
+/// replicas inherit from earlier, shorter cycles: a replica running
+/// one view ahead of the pack has a higher streak and hence a longer
+/// window, so it falls back into phase — but only while windows can
+/// still grow past the offset scale.
+const VC_BACKOFF_CAP: u32 = 6;
 
 /// Simulator adapter around [`PbftCore`] for a full-membership cluster.
+///
+/// With a [`DurableLog`] attached ([`Self::with_durable`]) the node
+/// persists every executed command and every prepare-vote binding after
+/// each protocol step, and [`Self::recover_with`] rebuilds a replacement
+/// replica from the surviving log after a crash-with-state-loss: replay
+/// restores the executed history and open vote bindings, and the node's
+/// first act on start is a state-transfer request to catch up on
+/// everything committed while it was down.
 #[derive(Clone, Debug)]
 pub struct PbftNode {
     /// The protocol core (public for test inspection).
     pub core: PbftCore,
+    /// The replica's "disk", if persistence is on.
+    durable: Option<DurableLog>,
+    /// How many `core.executed()` entries have been persisted.
+    exec_cursor: usize,
+    /// Set by [`Self::recover_with`]: request a state transfer on start.
+    recovering: bool,
 }
 
 impl PbftNode {
-    /// Creates replica `id` of an `n`-replica cluster.
+    /// Creates replica `id` of an `n`-replica cluster (no persistence).
     pub fn new(id: NodeId, n: usize, byz: Byzantine) -> Self {
-        PbftNode { core: PbftCore::new(id, (0..n).collect(), byz) }
+        PbftNode {
+            core: PbftCore::new(id, (0..n).collect(), byz),
+            durable: None,
+            exec_cursor: 0,
+            recovering: false,
+        }
+    }
+
+    /// Creates replica `id` persisting to `log` (normally a fresh log).
+    pub fn with_durable(id: NodeId, n: usize, byz: Byzantine, log: DurableLog) -> Self {
+        let mut node = Self::new(id, n, byz);
+        node.core.set_record_bindings(true);
+        node.exec_cursor = 0;
+        node.durable = Some(log);
+        node
+    }
+
+    /// Rebuilds replica `id` from a surviving durable `log` after a
+    /// crash-with-state-loss.
+    ///
+    /// Panics if the log fails hash-chain verification — a replica must
+    /// not rejoin from a disk it cannot trust.
+    pub fn recover_with(id: NodeId, n: usize, byz: Byzantine, log: DurableLog) -> Self {
+        let replayed = log.replay().expect("durable log failed verification");
+        let mut node = Self::new(id, n, byz);
+        node.core.set_record_bindings(true);
+        node.core.install_history(replayed.entries, replayed.bindings, replayed.prepared);
+        node.exec_cursor = node.core.executed().len();
+        node.durable = Some(log);
+        node.recovering = true;
+        prever_obs::counter("pbft.recoveries").inc();
+        node
     }
 
     /// Executed commands (excluding no-ops).
     pub fn executed(&self) -> Vec<&Decided> {
         self.core.executed().iter().filter(|d| d.command.id != NOOP_ID).collect()
+    }
+
+    /// The attached durable log, if any.
+    pub fn durable(&self) -> Option<&DurableLog> {
+        self.durable.as_ref()
+    }
+
+    /// Persists everything the last core step produced: new vote
+    /// bindings and prepared certificates first (they must hit the disk
+    /// before our votes hit the network), then newly executed commands.
+    fn persist(&mut self) {
+        if let Some(log) = &self.durable {
+            for (seq, view, digest) in self.core.take_bindings() {
+                log.append_bind(seq, view, &digest);
+            }
+            for (seq, view, command) in self.core.take_prepared() {
+                log.append_prep(seq, view, &command);
+            }
+            for d in &self.core.executed()[self.exec_cursor..] {
+                log.append_exec(d.slot, &d.command, d.at);
+            }
+        }
+        self.exec_cursor = self.core.executed().len();
     }
 }
 
@@ -799,12 +1545,20 @@ impl Actor for PbftNode {
 
     fn on_start(&mut self, ctx: &mut Ctx<PbftMsg>) {
         ctx.set_timer(TICK_EVERY, TIMER_TICK);
+        if self.recovering {
+            self.recovering = false;
+            let out = self.core.request_sync(ctx.now());
+            for (to, m) in out {
+                ctx.send(to, m);
+            }
+        }
     }
 
     fn on_message(&mut self, from: NodeId, msg: PbftMsg, ctx: &mut Ctx<PbftMsg>) {
         // Client injections use `from == self` by convention; map them to
         // the request path.
         let out = self.core.on_message(from, msg, ctx.now());
+        self.persist();
         for (to, m) in out {
             ctx.send(to, m);
         }
@@ -813,6 +1567,7 @@ impl Actor for PbftNode {
     fn on_timer(&mut self, timer: u64, ctx: &mut Ctx<PbftMsg>) {
         if timer == TIMER_TICK {
             let out = self.core.on_tick(ctx.now(), VIEW_TIMEOUT);
+            self.persist();
             for (to, m) in out {
                 ctx.send(to, m);
             }
@@ -1094,6 +1849,137 @@ mod tests {
         assert!(sim.run_until_pred(10_000_000, |nodes| {
             nodes.iter().all(|nd| nd.core.stable_seq() >= CHECKPOINT_INTERVAL)
         }));
+    }
+
+    #[test]
+    fn restarted_replica_catches_up_via_state_transfer() {
+        // Four durable replicas. Replica 2 crashes, loses its in-memory
+        // state, and is rebuilt from its surviving journal; it must
+        // catch up on everything committed while it was down and end
+        // with the quorum's state digest.
+        let n = 4;
+        let logs: Vec<DurableLog> = (0..n).map(|_| DurableLog::new()).collect();
+        let nodes: Vec<PbftNode> = (0..n)
+            .map(|id| PbftNode::with_durable(id, n, Byzantine::Honest, logs[id].clone()))
+            .collect();
+        let mut sim = Simulation::new(nodes, NetConfig::default(), 11);
+        for i in 0..20 {
+            submit(&mut sim, 0, i);
+        }
+        assert!(sim.run_until_pred(2_000_000, |nodes| {
+            nodes.iter().all(|nd| nd.core.executed_commands() >= 20)
+        }));
+        // Kill replica 2 with state loss; commit more while it is down.
+        sim.crash(2);
+        for i in 20..35 {
+            submit(&mut sim, 0, i);
+        }
+        assert!(sim.run_until_pred(4_000_000, |nodes| {
+            [0, 1, 3].iter().all(|&i| nodes[i].core.executed_commands() >= 35)
+        }));
+        let node2 = PbftNode::recover_with(2, n, Byzantine::Honest, logs[2].clone());
+        assert_eq!(node2.core.executed_commands(), 20, "journal replay restores the history");
+        sim.restart_with_loss(2, node2);
+        // A few more commands prove the restarted replica participates.
+        for i in 35..40 {
+            submit(&mut sim, 0, i);
+        }
+        assert!(
+            sim.run_until_pred(20_000_000, |nodes| {
+                nodes.iter().all(|nd| nd.core.executed_commands() >= 40)
+            }),
+            "restarted replica failed to catch up"
+        );
+        assert!(sim.node(2).core.synced() > 0, "catch-up must use state transfer");
+        // Executed-history digests agree — the provable catch-up check.
+        let d0 = sim.node(0).core.state_digest();
+        for i in 1..n {
+            assert_eq!(sim.node(i).core.state_digest(), d0, "replica {i} digest diverged");
+        }
+        // And the journal replay agrees with the in-memory history.
+        let replayed = logs[2].replay().expect("chain verifies");
+        assert_eq!(replayed.entries.len(), sim.node(2).core.executed().len());
+    }
+
+    #[test]
+    fn stale_replayer_is_harmless() {
+        // One replica endlessly replays stale protocol messages; the
+        // other three must keep exact agreement and full liveness.
+        let behaviors = [
+            Byzantine::Honest,
+            Byzantine::StaleReplayer,
+            Byzantine::Honest,
+            Byzantine::Honest,
+        ];
+        let mut sim = Simulation::new(cluster_with(&behaviors), NetConfig::default(), 12);
+        for i in 0..20 {
+            submit(&mut sim, 0, i);
+        }
+        assert!(sim.run_until_pred(5_000_000, |nodes| {
+            [0, 2, 3].iter().all(|&i| nodes[i].core.executed_commands() >= 20)
+        }));
+        // Let the replayer spray its stash for a while longer.
+        let deadline = sim.now() + 2_000_000;
+        sim.run_until(deadline);
+        let reference = ids_of(sim.node(0));
+        assert_eq!(reference.len(), 20, "stale replays must not duplicate executions");
+        for i in [2, 3] {
+            assert_eq!(ids_of(sim.node(i)), reference, "replica {i} diverged");
+        }
+    }
+
+    #[test]
+    fn view_change_recovers_prepared_certificate_after_primary_crash() {
+        // Crash the primary mid-batch, after slots have gathered prepare
+        // quorums at the backups but before anything commits. The view
+        // change must re-propose the prepared certificates, and no
+        // command may be lost or executed twice.
+        //
+        // Construction: every link *into* the primary is dead (it never
+        // hears a prepare, so it never commits) and the primary cannot
+        // reach replica 3 (so commits among the backups stall at 2 < 2f+1
+        // votes). Slots prepare at replicas 1 and 2 and then freeze
+        // mid-batch; the primary crashes shortly after.
+        let n = 4;
+        let dead = prever_sim::LinkFault { drop: 1.0, ..Default::default() };
+        let plan = prever_sim::FaultPlan::new()
+            .link(1, 0, dead)
+            .link(2, 0, dead)
+            .link(3, 0, dead)
+            .link(0, 3, dead)
+            .crash_at(50_000, 0);
+        let mut sim = Simulation::new(cluster(n), NetConfig::default(), 13);
+        sim.set_fault_plan(plan);
+        for i in 0..6 {
+            submit(&mut sim, 0, i);
+        }
+        sim.run_until(50_000);
+        let prepared = sim.node(1).core.prepared_certificates();
+        assert!(!prepared.is_empty(), "no slot prepared mid-batch");
+        assert_eq!(sim.node(1).core.executed_commands(), 0, "nothing may commit pre-crash");
+        let (cert_seq, _, cert_cmd) = prepared[0].clone();
+        let ok = sim.run_until_pred(30_000_000, |nodes| {
+            (1..4).all(|i| nodes[i].core.executed_commands() >= 6)
+        });
+        assert!(ok, "survivors failed to finish the batch after the crash");
+        assert!(sim.node(1).core.view() >= 1, "a view change must have happened");
+        let reference = ids_of(sim.node(1));
+        for i in 2..4 {
+            assert_eq!(ids_of(sim.node(i)), reference, "replica {i} diverged");
+        }
+        // No loss: all six commands executed exactly once.
+        let mut sorted = reference.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+        // The prepared certificate survived at its sequence number.
+        let at_seq = sim
+            .node(1)
+            .core
+            .executed()
+            .iter()
+            .find(|d| d.slot == cert_seq)
+            .expect("certificate sequence executed");
+        assert_eq!(at_seq.command.id, cert_cmd.id, "prepared certificate was not re-proposed");
     }
 
     #[test]

@@ -27,7 +27,7 @@
 use crate::pbft::{Byzantine, PbftCore, PbftMsg, NOOP_ID, VIEW_TIMEOUT};
 use crate::{Command, Decided};
 use prever_sim::{Actor, Ctx, NodeId, VoteSet};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Shard identifier (dense, 0-based).
 pub type ShardId = usize;
@@ -51,10 +51,31 @@ pub enum ShardedMsg {
         /// The reporting replica's shard.
         shard: ShardId,
     },
+    /// A replica asks a shard-mate about a transaction it executed (or
+    /// recovered via state transfer) but cannot complete — typically
+    /// because it missed the Request fan-out or the other shards' votes
+    /// while it was down.
+    TxQuery {
+        /// Transaction id being asked about.
+        tx_id: u64,
+    },
+    /// Answer to a [`ShardedMsg::TxQuery`]: everything the responder
+    /// knows about the transaction.
+    TxInfo {
+        /// The transaction's command.
+        command: Command,
+        /// Its involved shards.
+        involved: Vec<ShardId>,
+        /// Whether the responder has passed the commit barrier for it.
+        completed: bool,
+    },
 }
 
 const TIMER_TICK: u64 = 1;
 const TICK_EVERY: u64 = 25_000;
+/// How long a transaction may sit stuck before shard-mates are queried
+/// (also the per-transaction re-query interval).
+const QUERY_AFTER: u64 = 300_000; // 300 ms
 
 /// Cluster geometry helper.
 #[derive(Clone, Copy, Debug)]
@@ -100,8 +121,16 @@ pub struct ShardedNode {
     exec_cursor: usize,
     /// (tx_id, shard) → distinct reporting replicas.
     shard_votes: HashMap<(u64, ShardId), VoteSet>,
-    /// tx ids this replica's shard has executed locally.
-    local_done: HashSet<u64>,
+    /// tx ids this replica's shard has executed locally (ordered, so
+    /// the recovery probe iterates deterministically).
+    local_done: BTreeSet<u64>,
+    /// Shard-mates claiming a transaction completed (recovery path:
+    /// `f + 1` such claims adopt the completion without re-collecting
+    /// the cross-shard votes).
+    completed_votes: HashMap<u64, VoteSet>,
+    /// Per-tx probe bookkeeping: when the tx was first seen stuck /
+    /// last queried.
+    query_at: HashMap<u64, u64>,
     /// Locally executed entries whose involvement is not yet known
     /// (PrePrepare can outrun the Request fan-out).
     deferred: Vec<Decided>,
@@ -122,7 +151,9 @@ impl ShardedNode {
             involved: HashMap::new(),
             exec_cursor: 0,
             shard_votes: HashMap::new(),
-            local_done: HashSet::new(),
+            local_done: BTreeSet::new(),
+            completed_votes: HashMap::new(),
+            query_at: HashMap::new(),
             deferred: Vec::new(),
             completed: Vec::new(),
             completed_ids: HashSet::new(),
@@ -142,6 +173,46 @@ impl ShardedNode {
     /// Count of completed transactions.
     pub fn completed_count(&self) -> usize {
         self.completed.len()
+    }
+
+    /// One-line state summary for harness debugging: completion set,
+    /// local executions, and any transactions stuck mid-barrier.
+    pub fn debug_summary(&self) -> String {
+        let mut completed: Vec<u64> = self.completed_ids.iter().copied().collect();
+        completed.sort_unstable();
+        let local: Vec<u64> = self.local_done.iter().copied().collect();
+        let deferred: Vec<u64> = self.deferred.iter().map(|d| d.command.id).collect();
+        let stuck: Vec<String> = self
+            .local_done
+            .iter()
+            .filter(|id| !self.completed_ids.contains(id))
+            .map(|id| {
+                let votes: Vec<String> = self
+                    .involved
+                    .get(id)
+                    .map(|inv| {
+                        inv.iter()
+                            .filter(|&&s| s != self.shard)
+                            .map(|&s| {
+                                let got = self
+                                    .shard_votes
+                                    .get(&(*id, s))
+                                    .map(|v| v.len())
+                                    .unwrap_or(0);
+                                format!("shard{s}:{got}")
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                format!("{id}[{}]", votes.join(","))
+            })
+            .collect();
+        format!(
+            "view={} last_exec={} completed={completed:?} local={local:?} \
+             deferred={deferred:?} stuck={stuck:?}",
+            self.core.view(),
+            self.core.executed().len(),
+        )
     }
 
     fn forward_pbft(&self, out: Vec<(NodeId, PbftMsg)>, ctx: &mut Ctx<ShardedMsg>) {
@@ -236,6 +307,31 @@ impl ShardedNode {
             }
         }
     }
+
+    /// Recovery probe: queries shard-mates about transactions that have
+    /// been stuck (executed-or-deferred but not completed) for longer
+    /// than [`QUERY_AFTER`]. Replays every [`QUERY_AFTER`] until the
+    /// transaction completes.
+    fn probe_stuck(&mut self, ctx: &mut Ctx<ShardedMsg>) {
+        let now = ctx.now();
+        let mut stuck: Vec<u64> = self.deferred.iter().map(|d| d.command.id).collect();
+        stuck.extend(self.local_done.iter().filter(|id| !self.completed_ids.contains(id)));
+        stuck.sort_unstable();
+        stuck.dedup();
+        for tx_id in stuck {
+            let since = *self.query_at.entry(tx_id).or_insert(now);
+            if now.saturating_sub(since) < QUERY_AFTER {
+                continue;
+            }
+            self.query_at.insert(tx_id, now);
+            prever_obs::counter("sharded.tx_queries").inc();
+            for member in self.topology.members(self.shard) {
+                if member != ctx.id() {
+                    ctx.send(member, ShardedMsg::TxQuery { tx_id });
+                }
+            }
+        }
+    }
 }
 
 impl Actor for ShardedNode {
@@ -250,6 +346,8 @@ impl Actor for ShardedNode {
             ShardedMsg::Request { .. } => "sharded.request",
             ShardedMsg::Pbft(_) => "sharded.pbft",
             ShardedMsg::ShardCommitted { .. } => "sharded.shard_committed",
+            ShardedMsg::TxQuery { .. } => "sharded.tx_query",
+            ShardedMsg::TxInfo { .. } => "sharded.tx_info",
         });
         match msg {
             ShardedMsg::Request { command, involved } => {
@@ -310,6 +408,56 @@ impl Actor for ShardedNode {
                     self.try_complete(tx_id, cmd, ctx.now());
                 }
             }
+            ShardedMsg::TxQuery { tx_id } => {
+                // Only shard-mates are answered: involvement metadata
+                // and completion claims cross shards via the normal
+                // Request fan-out and ShardCommitted votes instead.
+                if self.topology.shard_of(from) != self.shard || from == ctx.id() {
+                    return;
+                }
+                let Some(involved) = self.involved.get(&tx_id).cloned() else {
+                    return;
+                };
+                let Some(command) = self
+                    .core
+                    .executed()
+                    .iter()
+                    .find(|d| d.command.id == tx_id)
+                    .map(|d| d.command.clone())
+                else {
+                    return;
+                };
+                let completed = self.completed_ids.contains(&tx_id);
+                ctx.send(from, ShardedMsg::TxInfo { command, involved, completed });
+            }
+            ShardedMsg::TxInfo { command, involved, completed } => {
+                if self.topology.shard_of(from) != self.shard {
+                    return;
+                }
+                let tx_id = command.id;
+                self.involved.entry(tx_id).or_insert_with(|| involved.clone());
+                self.retry_deferred(ctx);
+                if completed {
+                    self.completed_votes.entry(tx_id).or_default().add(from);
+                }
+                self.try_complete(tx_id, command.clone(), ctx.now());
+                // Adoption: f + 1 shard-mates passed the barrier, so at
+                // least one honest replica verified the cross-shard
+                // votes — adopt the completion rather than waiting for
+                // votes the other shards will never re-send.
+                let adopted = !self.completed_ids.contains(&tx_id)
+                    && self.local_done.contains(&tx_id)
+                    && self
+                        .completed_votes
+                        .get(&tx_id)
+                        .is_some_and(|v| v.len() > self.topology.f());
+                if adopted {
+                    self.completed_ids.insert(tx_id);
+                    let slot = self.completed.len() as u64 + 1;
+                    self.completed.push(Decided { slot, command, at: ctx.now() });
+                    prever_obs::counter("sharded.completed.adopted").inc();
+                }
+            }
         }
     }
 
@@ -318,6 +466,7 @@ impl Actor for ShardedNode {
             let out = self.core.on_tick(ctx.now(), VIEW_TIMEOUT);
             self.forward_pbft(out, ctx);
             self.drain_executions(ctx);
+            self.probe_stuck(ctx);
             ctx.set_timer(TICK_EVERY, TIMER_TICK);
         }
     }
@@ -450,6 +599,43 @@ mod tests {
                 .all(|id| nodes[id].completed_count() >= 1)
         });
         assert!(ok, "tx did not complete after heal");
+    }
+
+    #[test]
+    fn restarted_replica_recovers_completions_via_peer_queries() {
+        // Replica 1 (a shard-0 backup) is replaced by a blank actor
+        // mid-run. Its fresh core catches up on the executed history via
+        // PBFT state transfer, but the involvement metadata and the
+        // other shard's votes are gone — TxQuery/TxInfo probing against
+        // shard-mates must recover the completions.
+        let t = topo(2);
+        let mut sim = Simulation::new(cluster(t), NetConfig::default(), 21);
+        // 3 intra-shard-0 txs + 1 cross-shard tx complete everywhere.
+        submit(&mut sim, t, Command::new(0, "a"), vec![0], 1);
+        submit(&mut sim, t, Command::new(1, "b"), vec![0], 2);
+        submit(&mut sim, t, Command::new(2, "c"), vec![0], 3);
+        submit(&mut sim, t, Command::new(3, "x"), vec![0, 1], 4);
+        assert!(sim.run_until_pred(5_000_000, |nodes| {
+            t.members(0).into_iter().all(|id| nodes[id].completed_count() >= 4)
+        }));
+        // Blank restart of replica 1; new work keeps the shard busy so
+        // its core notices the lag and state-transfers.
+        sim.restart_with_loss(1, ShardedNode::new(1, t, Byzantine::Honest));
+        let at = sim.now() + 10;
+        submit(&mut sim, t, Command::new(4, "d"), vec![0], at);
+        submit(&mut sim, t, Command::new(5, "e"), vec![0], at + 1);
+        let ok = sim.run_until_pred(30_000_000, |nodes| {
+            t.members(0).into_iter().all(|id| nodes[id].completed_count() >= 6)
+        });
+        assert!(ok, "restarted replica failed to recover its completions");
+        // Same completion *set* everywhere (order may differ for the
+        // recovered replica).
+        let expect: HashSet<u64> = (0..6).collect();
+        for id in t.members(0) {
+            let got: HashSet<u64> =
+                sim.node(id).completed().iter().map(|d| d.command.id).collect();
+            assert_eq!(got, expect, "node {id} completion set");
+        }
     }
 
     #[test]

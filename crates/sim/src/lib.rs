@@ -14,16 +14,47 @@
 //! through a virtual network with configurable latency, jitter, drop
 //! rate, crashed nodes, and partitions. Time is virtual (microseconds);
 //! an event loop pops the earliest event, dispatches it, and collects the
-//! outputs. Determinism invariant: identical (actors, config, seed,
-//! injected events) ⇒ identical executions.
+//! outputs. Determinism invariant: identical (actors, config, fault plan,
+//! seed, injected events) ⇒ identical executions.
+//!
+//! ## Fault injection
+//!
+//! Beyond the uniform [`NetConfig`] faults, a seeded [`FaultPlan`] (see
+//! [`fault`]) adds per-link asymmetric drop/delay/duplication/reordering/
+//! corruption plus *scheduled* crash, recovery, restart-with-state-loss,
+//! and partition events replayed at fixed virtual times.
+//!
+//! ## Crash semantics: `crash`/`recover` vs `restart_with_loss`
+//!
+//! A crash kills the node's *process*: everything already in flight
+//! toward it — queued message deliveries **and pending timers** — dies
+//! with the process and is counted in
+//! [`SimStats::messages_dropped`]. Nothing queued before the crash is
+//! delivered after it.
+//!
+//! - [`Simulation::crash`] + [`Simulation::recover`] model a fast reboot
+//!   with *state intact* (actor memory survives, as if checkpointed to
+//!   disk at every step). On recovery the actor's
+//!   [`Actor::on_start`] runs again so it can re-arm its timers; messages
+//!   sent to the node *during* the outage are delivered if their arrival
+//!   time falls after the recovery.
+//! - [`Simulation::restart_with_loss`] models a real crash: the node
+//!   comes back as a **fresh actor** (supplied directly, or built by the
+//!   factory registered with [`Simulation::set_node_factory`] when driven
+//!   from a [`FaultPlan`]). All in-memory state is gone; recovering
+//!   durable state is the *actor's* job (e.g. consensus state transfer).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
+
+pub use fault::{FaultEvent, FaultPlan, LinkFault};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 /// Identifies a node in the simulation (dense, 0-based).
 pub type NodeId = usize;
@@ -32,12 +63,25 @@ pub type NodeId = usize;
 /// `(delay, timer-id)` timer arms.
 type DispatchOutputs<M> = (Vec<(NodeId, M)>, Vec<(u64, u64)>);
 
+/// In-flight corruption hook: mutates a message using the supplied
+/// deterministic random word.
+type Corruptor<M> = Box<dyn FnMut(&mut M, u64)>;
+
+/// Builds a fresh actor for a node restarted with state loss.
+type NodeFactory<A> = Box<dyn FnMut(NodeId) -> A>;
+
+/// Sentinel incarnation for externally injected events: they are
+/// addressed to whatever process is alive at delivery time, not to a
+/// specific incarnation.
+const EXTERNAL_INC: u64 = u64::MAX;
+
 /// A simulated node.
 pub trait Actor {
     /// Message type exchanged between nodes.
     type Msg: Clone;
 
-    /// Called once when the simulation starts.
+    /// Called once when the simulation starts, and again whenever the
+    /// node is recovered or restarted (so it can re-arm timers).
     fn on_start(&mut self, _ctx: &mut Ctx<Self::Msg>) {}
 
     /// Called when a message from `from` is delivered.
@@ -136,6 +180,11 @@ struct Event<M> {
     at: u64,
     seq: u64,
     to: NodeId,
+    /// Incarnation of the target node at schedule time. A crash bumps the
+    /// node's incarnation, so deliveries and timers addressed to the dead
+    /// process are dropped at dispatch even if the node has since
+    /// recovered.
+    inc: u64,
     kind: EventKind<M>,
 }
 
@@ -164,21 +213,74 @@ pub struct SimStats {
     pub messages_sent: u64,
     /// Messages delivered to a live node.
     pub messages_delivered: u64,
-    /// Messages dropped (random drops + partitions + crashed targets).
+    /// Messages dropped (random drops, link faults, partitions, crashed
+    /// targets, and in-flight messages/timers that died with a crash).
     pub messages_dropped: u64,
     /// Timer firings delivered.
     pub timers_fired: u64,
+    /// Extra copies scheduled by link duplication faults (not counted in
+    /// `messages_sent`).
+    pub messages_duplicated: u64,
+    /// Messages corrupted in flight (delivered mutated if a corruption
+    /// hook is installed, otherwise dropped as detected).
+    pub messages_corrupted: u64,
+    /// Node crashes (manual or fault-plan scheduled).
+    pub crashes: u64,
+    /// State-intact recoveries.
+    pub recoveries: u64,
+    /// Restarts that lost in-memory state.
+    pub restarts_with_loss: u64,
+}
+
+/// One recorded network/fault event (see [`Simulation::enable_trace`]).
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// Virtual time of the event (µs).
+    pub at: u64,
+    /// Event kind: `deliver`, `timer`, `dup`, `corrupt`, `drop.*`, or
+    /// `fault`.
+    pub kind: &'static str,
+    /// Sending node (or the affected node for fault events).
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Human-readable detail (message label or fault description).
+    pub detail: String,
+}
+
+struct Tracer<M> {
+    label: Box<dyn Fn(&M) -> String>,
+    entries: VecDeque<TraceEntry>,
+    cap: usize,
+}
+
+impl<M> Tracer<M> {
+    fn push(&mut self, entry: TraceEntry) {
+        if self.entries.len() == self.cap {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+    }
 }
 
 /// The discrete-event simulator.
 pub struct Simulation<A: Actor> {
     nodes: Vec<A>,
     crashed: Vec<bool>,
+    /// Incarnation counter per node; bumped on crash/restart so events
+    /// addressed to a dead process are recognizable at dispatch.
+    incarnation: Vec<u64>,
     /// partition\[i\] = group id of node i; messages cross groups only if
     /// no partition is active.
     partition: Option<Vec<usize>>,
     queue: BinaryHeap<Reverse<Event<A::Msg>>>,
     cfg: NetConfig,
+    plan: FaultPlan,
+    /// Scheduled fault events not yet applied, sorted by time.
+    pending_faults: VecDeque<(u64, FaultEvent)>,
+    factory: Option<NodeFactory<A>>,
+    corruptor: Option<Corruptor<A::Msg>>,
+    tracer: Option<Tracer<A::Msg>>,
     rng: StdRng,
     now: u64,
     seq: u64,
@@ -196,9 +298,15 @@ impl<A: Actor> Simulation<A> {
         Simulation {
             nodes,
             crashed: vec![false; n],
+            incarnation: vec![0; n],
             partition: None,
             queue: BinaryHeap::new(),
             cfg,
+            plan: FaultPlan::default(),
+            pending_faults: VecDeque::new(),
+            factory: None,
+            corruptor: None,
+            tracer: None,
             rng: StdRng::seed_from_u64(seed),
             now: 0,
             seq: 0,
@@ -233,14 +341,95 @@ impl<A: Actor> Simulation<A> {
         self.nodes.len()
     }
 
-    /// Crashes a node: it receives no further events.
-    pub fn crash(&mut self, node: NodeId) {
-        self.crashed[node] = true;
+    /// Installs a fault plan: per-link faults apply to subsequent sends,
+    /// scheduled events fire at their virtual times during the run loops.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.pending_faults = plan.sorted_events().into();
+        self.plan = plan;
     }
 
-    /// Recovers a crashed node (state intact, as after a fast restart).
+    /// Registers the factory used to build fresh actors for
+    /// [`FaultEvent::RestartWithLoss`] events scheduled in a fault plan.
+    pub fn set_node_factory(&mut self, factory: impl FnMut(NodeId) -> A + 'static) {
+        self.factory = Some(Box::new(factory));
+    }
+
+    /// Installs an in-flight corruption hook. When a link's `corrupt`
+    /// fault fires, the hook mutates the message (second argument: a
+    /// deterministic random word) and the mutated message is delivered.
+    /// Without a hook, corruption is *detected* (MAC/CRC failure) and the
+    /// message is dropped.
+    pub fn set_corruptor(&mut self, hook: impl FnMut(&mut A::Msg, u64) + 'static) {
+        self.corruptor = Some(Box::new(hook));
+    }
+
+    /// Enables the bounded event trace: up to `cap` most-recent entries
+    /// are kept; `label` renders a message for human consumption.
+    pub fn enable_trace(&mut self, label: impl Fn(&A::Msg) -> String + 'static, cap: usize) {
+        self.tracer =
+            Some(Tracer { label: Box::new(label), entries: VecDeque::with_capacity(cap), cap });
+    }
+
+    /// The last `n` trace entries, formatted one per line.
+    pub fn trace_tail(&self, n: usize) -> Vec<String> {
+        let Some(tr) = &self.tracer else { return Vec::new() };
+        let skip = tr.entries.len().saturating_sub(n);
+        tr.entries
+            .iter()
+            .skip(skip)
+            .map(|e| {
+                format!("[{:>10}µs] {:<14} {}→{} {}", e.at, e.kind, e.from, e.to, e.detail)
+            })
+            .collect()
+    }
+
+    /// Number of trace entries currently buffered.
+    pub fn trace_len(&self) -> usize {
+        self.tracer.as_ref().map_or(0, |t| t.entries.len())
+    }
+
+    /// Crashes a node: the process dies. Queued deliveries and pending
+    /// timers addressed to it are dropped (counted in
+    /// [`SimStats::messages_dropped`]) — they do not survive into a later
+    /// recovery. Idempotent.
+    pub fn crash(&mut self, node: NodeId) {
+        if self.crashed[node] {
+            return;
+        }
+        self.crashed[node] = true;
+        self.incarnation[node] = self.incarnation[node].wrapping_add(1);
+        self.stats.crashes += 1;
+    }
+
+    /// Recovers a crashed node with state intact (a fast restart with a
+    /// fully persisted actor). [`Actor::on_start`] runs again so the node
+    /// can re-arm its timers; messages sent during the outage are
+    /// delivered if they arrive after this point. No-op if not crashed.
     pub fn recover(&mut self, node: NodeId) {
+        if !self.crashed[node] {
+            return;
+        }
         self.crashed[node] = false;
+        self.busy_until[node] = self.now;
+        self.stats.recoveries += 1;
+        if self.started {
+            self.start_node(node);
+        }
+    }
+
+    /// Restarts a node as `actor`, losing all previous in-memory state.
+    /// Everything in flight toward the old process dies; the fresh actor's
+    /// [`Actor::on_start`] runs immediately. Works on crashed and live
+    /// nodes alike (a live node is implicitly crashed first).
+    pub fn restart_with_loss(&mut self, node: NodeId, actor: A) {
+        self.nodes[node] = actor;
+        self.crashed[node] = false;
+        self.incarnation[node] = self.incarnation[node].wrapping_add(1);
+        self.busy_until[node] = self.now;
+        self.stats.restarts_with_loss += 1;
+        if self.started {
+            self.start_node(node);
+        }
     }
 
     /// True iff the node is crashed.
@@ -263,11 +452,19 @@ impl<A: Actor> Simulation<A> {
     /// Injects an external (client) message to `to`, arriving at absolute
     /// time `at` (must be ≥ current time). `from` is recorded as the
     /// sender id; use an out-of-range id for true externals if the actor
-    /// protocol distinguishes clients.
+    /// protocol distinguishes clients. Unlike node-to-node sends, the
+    /// injection is not pinned to the target's current incarnation: it is
+    /// delivered to whatever process is alive at `at` (clients retry).
     pub fn inject(&mut self, from: NodeId, to: NodeId, msg: A::Msg, at: u64) {
         assert!(at >= self.now, "cannot inject into the past");
         let seq = self.next_seq();
-        self.queue.push(Reverse(Event { at, seq, to, kind: EventKind::Deliver { from, msg } }));
+        self.queue.push(Reverse(Event {
+            at,
+            seq,
+            to,
+            inc: EXTERNAL_INC,
+            kind: EventKind::Deliver { from, msg },
+        }));
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -275,19 +472,39 @@ impl<A: Actor> Simulation<A> {
         self.seq
     }
 
+    /// True iff the earliest pending fault fires no later than the
+    /// earliest queued event (faults win ties so e.g. a crash at `t`
+    /// kills deliveries at `t`).
+    fn fault_is_next(&self) -> bool {
+        match (self.pending_faults.front().map(|(t, _)| *t), self.peek_time()) {
+            (Some(tf), Some(te)) => tf <= te,
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
     /// Runs until the queue is empty or `deadline` (virtual µs) passes.
     /// Returns the number of events processed.
     pub fn run_until(&mut self, deadline: u64) -> u64 {
         self.ensure_started();
         let mut processed = 0;
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.at > deadline {
-                break;
+        loop {
+            if self.fault_is_next() {
+                if self.pending_faults.front().map(|(t, _)| *t).unwrap() > deadline {
+                    break;
+                }
+                self.apply_next_fault();
+                continue;
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
-            self.now = ev.at;
-            self.dispatch(ev);
-            processed += 1;
+            match self.peek_time() {
+                Some(at) if at <= deadline => {
+                    let Reverse(ev) = self.queue.pop().expect("peeked");
+                    self.now = ev.at;
+                    self.dispatch(ev);
+                    processed += 1;
+                }
+                _ => break,
+            }
         }
         self.now = self.now.max(deadline.min(self.peek_time().unwrap_or(deadline)));
         processed
@@ -298,11 +515,20 @@ impl<A: Actor> Simulation<A> {
     pub fn run_to_idle(&mut self, max_events: u64) -> u64 {
         self.ensure_started();
         let mut processed = 0;
-        while let Some(Reverse(ev)) = self.queue.pop() {
-            self.now = ev.at;
-            self.dispatch(ev);
-            processed += 1;
-            assert!(processed <= max_events, "simulation exceeded {max_events} events");
+        loop {
+            if self.fault_is_next() {
+                self.apply_next_fault();
+                continue;
+            }
+            match self.queue.pop() {
+                Some(Reverse(ev)) => {
+                    self.now = ev.at;
+                    self.dispatch(ev);
+                    processed += 1;
+                    assert!(processed <= max_events, "simulation exceeded {max_events} events");
+                }
+                None => break,
+            }
         }
         processed
     }
@@ -316,22 +542,69 @@ impl<A: Actor> Simulation<A> {
             return true;
         }
         let mut processed = 0;
-        while let Some(Reverse(ev)) = self.queue.pop() {
-            self.now = ev.at;
-            self.dispatch(ev);
-            processed += 1;
-            if pred(&self.nodes) {
-                return true;
+        loop {
+            if self.fault_is_next() {
+                self.apply_next_fault();
+                if pred(&self.nodes) {
+                    return true;
+                }
+                continue;
             }
-            if processed >= max_events {
-                return false;
+            match self.queue.pop() {
+                Some(Reverse(ev)) => {
+                    self.now = ev.at;
+                    self.dispatch(ev);
+                    processed += 1;
+                    if pred(&self.nodes) {
+                        return true;
+                    }
+                    if processed >= max_events {
+                        return false;
+                    }
+                }
+                None => return false,
             }
         }
-        false
     }
 
     fn peek_time(&self) -> Option<u64> {
         self.queue.peek().map(|Reverse(e)| e.at)
+    }
+
+    fn apply_next_fault(&mut self) {
+        let (at, ev) = self.pending_faults.pop_front().expect("fault scheduled");
+        self.now = self.now.max(at);
+        match ev {
+            FaultEvent::Crash(n) => {
+                self.trace_note("fault", n, n, "crash");
+                self.crash(n);
+            }
+            FaultEvent::Recover(n) => {
+                self.trace_note("fault", n, n, "recover");
+                self.recover(n);
+            }
+            FaultEvent::RestartWithLoss(n) => {
+                self.trace_note("fault", n, n, "restart_with_loss");
+                let mut factory = self.factory.take().expect(
+                    "FaultEvent::RestartWithLoss requires Simulation::set_node_factory",
+                );
+                let fresh = factory(n);
+                self.factory = Some(factory);
+                self.restart_with_loss(n, fresh);
+            }
+            FaultEvent::Partition(groups) => {
+                self.trace_note("fault", 0, 0, "partition");
+                self.set_partition(groups);
+            }
+            FaultEvent::Heal => {
+                self.trace_note("fault", 0, 0, "heal");
+                self.heal_partition();
+            }
+            FaultEvent::ClearLinkFaults => {
+                self.trace_note("fault", 0, 0, "clear_link_faults");
+                self.plan.clear_links();
+            }
+        }
     }
 
     fn ensure_started(&mut self) {
@@ -343,8 +616,25 @@ impl<A: Actor> Simulation<A> {
             if self.crashed[id] {
                 continue;
             }
-            let (sends, timers) = self.with_ctx(id, |node, ctx| node.on_start(ctx));
-            self.schedule_outputs(id, sends, timers);
+            self.start_node(id);
+        }
+    }
+
+    fn start_node(&mut self, id: NodeId) {
+        let (sends, timers) = self.with_ctx(id, |node, ctx| node.on_start(ctx));
+        self.schedule_outputs(id, sends, timers);
+    }
+
+    fn trace_note(&mut self, kind: &'static str, from: NodeId, to: NodeId, detail: &str) {
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.push(TraceEntry { at: self.now, kind, from, to, detail: detail.to_string() });
+        }
+    }
+
+    fn trace_msg(&mut self, kind: &'static str, from: NodeId, to: NodeId, msg: &A::Msg) {
+        if let Some(tr) = self.tracer.as_mut() {
+            let detail = (tr.label)(msg);
+            tr.push(TraceEntry { at: self.now, kind, from, to, detail });
         }
     }
 
@@ -352,11 +642,20 @@ impl<A: Actor> Simulation<A> {
         let to = ev.to;
         if self.crashed[to] {
             self.stats.messages_dropped += 1;
+            self.trace_note("drop.crashed", to, to, "");
+            return;
+        }
+        if ev.inc != EXTERNAL_INC && ev.inc != self.incarnation[to] {
+            // Addressed to a previous incarnation: it was in flight when
+            // the node crashed and died with that process.
+            self.stats.messages_dropped += 1;
+            self.trace_note("drop.dead", to, to, "");
             return;
         }
         match ev.kind {
             EventKind::Deliver { from, msg } => {
                 self.stats.messages_delivered += 1;
+                self.trace_msg("deliver", from, to, &msg);
                 let (sends, timers) =
                     self.with_ctx(to, |node, ctx| node.on_message(from, msg, ctx));
                 self.schedule_outputs(to, sends, timers);
@@ -388,6 +687,32 @@ impl<A: Actor> Simulation<A> {
         (sends, timers)
     }
 
+    /// Draws a delivery time for one network hop to `to`, honoring base
+    /// latency, jitter, link delay/reordering, and receiver service time.
+    fn draw_delivery_time(&mut self, to: NodeId, link: &LinkFault) -> u64 {
+        let mut latency = self.cfg.base_latency
+            + if self.cfg.jitter > 0 { self.rng.gen_range(0..=self.cfg.jitter) } else { 0 };
+        if link.delay_max > 0 {
+            latency += self.rng.gen_range(0..=link.delay_max);
+        }
+        if link.reorder > 0.0 && self.rng.gen::<f64>() < link.reorder {
+            latency += self.rng.gen_range(0..=link.reorder_window);
+        }
+        let mut at = self.now + latency;
+        if self.cfg.processing > 0 {
+            // Serialize on the receiver: queue behind its backlog.
+            at = at.max(self.busy_until[to]);
+            self.busy_until[to] = at + self.cfg.processing;
+        }
+        at
+    }
+
+    fn push_deliver(&mut self, from: NodeId, to: NodeId, msg: A::Msg, at: u64) {
+        let seq = self.next_seq();
+        let inc = self.incarnation[to];
+        self.queue.push(Reverse(Event { at, seq, to, inc, kind: EventKind::Deliver { from, msg } }));
+    }
+
     fn schedule_outputs(
         &mut self,
         from: NodeId,
@@ -406,34 +731,60 @@ impl<A: Actor> Simulation<A> {
             if let Some(groups) = &self.partition {
                 if groups[from] != groups[to] {
                     self.stats.messages_dropped += 1;
+                    self.trace_msg("drop.partition", from, to, &msg);
                     continue;
                 }
             }
-            // Random drop (self-sends are reliable: local queue).
-            if to != from && self.cfg.drop_rate > 0.0 && self.rng.gen::<f64>() < self.cfg.drop_rate
-            {
-                self.stats.messages_dropped += 1;
+            if to == from {
+                // Self-sends are reliable and fast: a local queue, not
+                // the network — no drops, faults, or service time.
+                let at = self.now + 1;
+                self.push_deliver(from, to, msg, at);
                 continue;
             }
-            let latency = if to == from {
-                1
-            } else {
-                self.cfg.base_latency
-                    + if self.cfg.jitter > 0 { self.rng.gen_range(0..=self.cfg.jitter) } else { 0 }
-            };
-            let mut at = self.now + latency;
-            if self.cfg.processing > 0 {
-                // Serialize on the receiver: queue behind its backlog.
-                at = at.max(self.busy_until[to]);
-                self.busy_until[to] = at + self.cfg.processing;
+            // Random drop.
+            if self.cfg.drop_rate > 0.0 && self.rng.gen::<f64>() < self.cfg.drop_rate {
+                self.stats.messages_dropped += 1;
+                self.trace_msg("drop.net", from, to, &msg);
+                continue;
             }
-            let seq = self.next_seq();
-            self.queue.push(Reverse(Event { at, seq, to, kind: EventKind::Deliver { from, msg } }));
+            let link = self.plan.link_for(from, to);
+            if link.drop > 0.0 && self.rng.gen::<f64>() < link.drop {
+                self.stats.messages_dropped += 1;
+                self.trace_msg("drop.link", from, to, &msg);
+                continue;
+            }
+            let mut msg = msg;
+            if link.corrupt > 0.0 && self.rng.gen::<f64>() < link.corrupt {
+                self.stats.messages_corrupted += 1;
+                let word: u64 = self.rng.gen();
+                if self.corruptor.is_some() {
+                    if let Some(hook) = self.corruptor.as_mut() {
+                        hook(&mut msg, word);
+                    }
+                    self.trace_msg("corrupt", from, to, &msg);
+                } else {
+                    // No hook installed: the receiver detects the damage
+                    // (MAC/CRC) and discards the message.
+                    self.stats.messages_dropped += 1;
+                    self.trace_msg("drop.corrupt", from, to, &msg);
+                    continue;
+                }
+            }
+            if link.duplicate > 0.0 && self.rng.gen::<f64>() < link.duplicate {
+                self.stats.messages_duplicated += 1;
+                self.trace_msg("dup", from, to, &msg);
+                let at = self.draw_delivery_time(to, &link);
+                self.push_deliver(from, to, msg.clone(), at);
+            }
+            let at = self.draw_delivery_time(to, &link);
+            self.push_deliver(from, to, msg, at);
         }
         for (delay, timer) in timers {
             let at = self.now + delay.max(1);
             let seq = self.next_seq();
-            self.queue.push(Reverse(Event { at, seq, to: from, kind: EventKind::Timer { timer } }));
+            let inc = self.incarnation[from];
+            self.queue.push(Reverse(Event { at, seq, to: from, inc, kind: EventKind::Timer { timer } }));
         }
     }
 
@@ -536,6 +887,10 @@ mod tests {
         ]
     }
 
+    fn fresh(pings: u32) -> PingPong {
+        PingPong { pings_to_send: pings, pings_received: 0, pongs_received: 0, last_delivery: 0 }
+    }
+
     #[test]
     fn ping_pong_delivers_everything() {
         let mut sim = Simulation::new(pp(10), NetConfig::default(), 42);
@@ -576,6 +931,201 @@ mod tests {
         sim.run_to_idle(10_000);
         assert_eq!(sim.node(1).pings_received, 0);
         assert_eq!(sim.stats().messages_dropped, 5);
+    }
+
+    #[test]
+    fn in_flight_messages_die_with_a_crash() {
+        // Pings are in flight (arrive ≥ 500 µs) when node 1 crashes at
+        // 100 µs; recovery at 200 µs must NOT resurrect them.
+        let mut sim = Simulation::new(pp(5), NetConfig::default(), 1);
+        sim.run_until(100);
+        sim.crash(1);
+        sim.run_until(200);
+        sim.recover(1);
+        sim.run_to_idle(10_000);
+        assert_eq!(
+            sim.node(1).pings_received,
+            0,
+            "messages queued before a crash must die with the process"
+        );
+        assert_eq!(sim.stats().messages_dropped, 5);
+        assert_eq!(sim.stats().crashes, 1);
+        assert_eq!(sim.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn restart_with_loss_resets_state_and_reruns_on_start() {
+        let mut sim = Simulation::new(pp(3), NetConfig::default(), 2);
+        sim.run_to_idle(10_000);
+        assert_eq!(sim.node(0).pongs_received, 3);
+        sim.restart_with_loss(0, fresh(2));
+        sim.run_to_idle(10_000);
+        // The fresh actor re-ran on_start and sent 2 new pings; its
+        // pre-restart counters are gone.
+        assert_eq!(sim.node(0).pongs_received, 2);
+        assert_eq!(sim.node(1).pings_received, 5);
+        assert_eq!(sim.stats().restarts_with_loss, 1);
+    }
+
+    #[test]
+    fn fault_plan_schedules_crash_and_recovery() {
+        // Crash node 1 at 50 µs (before the start-time pings arrive),
+        // recover it at 5 ms; only a post-recovery injection lands.
+        let plan = FaultPlan::new().crash_at(50, 1).recover_at(5_000, 1);
+        let mut sim = Simulation::new(pp(5), NetConfig::default(), 9);
+        sim.set_fault_plan(plan);
+        sim.inject(0, 1, PP::Ping, 6_000);
+        sim.run_to_idle(10_000);
+        assert_eq!(sim.node(1).pings_received, 1);
+        assert_eq!(sim.stats().crashes, 1);
+        assert_eq!(sim.stats().recoveries, 1);
+        assert_eq!(sim.stats().messages_dropped, 5);
+    }
+
+    #[test]
+    fn fault_plan_restart_uses_node_factory() {
+        let plan = FaultPlan::new().restart_with_loss_at(5_000, 0);
+        let mut sim = Simulation::new(pp(3), NetConfig::default(), 4);
+        sim.set_fault_plan(plan);
+        sim.set_node_factory(|_| fresh(1));
+        sim.run_to_idle(10_000);
+        // Initial exchange (3 pings) completes well before 5 ms; the
+        // restarted node 0 sends 1 more ping from its fresh on_start.
+        assert_eq!(sim.node(1).pings_received, 4);
+        assert_eq!(sim.node(0).pongs_received, 1);
+        assert_eq!(sim.stats().restarts_with_loss, 1);
+    }
+
+    #[test]
+    fn link_duplication_delivers_extra_copies() {
+        let plan = FaultPlan::new()
+            .link(0, 1, LinkFault { duplicate: 1.0, ..Default::default() });
+        let mut sim = Simulation::new(pp(10), NetConfig::default(), 5);
+        sim.set_fault_plan(plan);
+        sim.run_to_idle(10_000);
+        assert_eq!(sim.node(1).pings_received, 20, "every ping duplicated");
+        assert_eq!(sim.stats().messages_duplicated, 10);
+        // Duplicates are not counted as sends: each delivered ping
+        // triggers one pong, so sent = 10 pings + 20 pongs.
+        assert_eq!(sim.stats().messages_sent, 30);
+    }
+
+    #[test]
+    fn corruption_without_hook_is_a_detected_drop() {
+        let plan = FaultPlan::new()
+            .link(0, 1, LinkFault { corrupt: 1.0, ..Default::default() });
+        let mut sim = Simulation::new(pp(10), NetConfig::default(), 6);
+        sim.set_fault_plan(plan);
+        sim.run_to_idle(10_000);
+        assert_eq!(sim.node(1).pings_received, 0);
+        assert_eq!(sim.stats().messages_corrupted, 10);
+        assert_eq!(sim.stats().messages_dropped, 10);
+    }
+
+    #[test]
+    fn corruption_hook_mutates_in_flight_messages() {
+        let plan = FaultPlan::new()
+            .link(0, 1, LinkFault { corrupt: 1.0, ..Default::default() });
+        let mut sim = Simulation::new(pp(10), NetConfig::default(), 7);
+        sim.set_fault_plan(plan);
+        sim.set_corruptor(|msg: &mut PP, _| *msg = PP::Pong);
+        sim.run_to_idle(10_000);
+        // Pings flipped to pongs in flight: delivered, but as the wrong
+        // message.
+        assert_eq!(sim.node(1).pings_received, 0);
+        assert_eq!(sim.node(1).pongs_received, 10);
+        assert_eq!(sim.stats().messages_corrupted, 10);
+        assert_eq!(sim.stats().messages_dropped, 0);
+    }
+
+    #[test]
+    fn link_reordering_breaks_fifo_delivery() {
+        /// Node 0 sends sequence numbers; node 1 records arrival order.
+        struct SeqActor {
+            to_send: u32,
+            received: Vec<u32>,
+        }
+        impl Actor for SeqActor {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                if ctx.id() == 0 {
+                    for i in 0..self.to_send {
+                        ctx.send(1, i);
+                    }
+                }
+            }
+            fn on_message(&mut self, _: NodeId, msg: u32, _: &mut Ctx<u32>) {
+                self.received.push(msg);
+            }
+        }
+        let nodes = || {
+            vec![SeqActor { to_send: 20, received: vec![] }, SeqActor { to_send: 20, received: vec![] }]
+        };
+        let cfg = NetConfig { jitter: 0, ..Default::default() };
+        // Clean network, no jitter: FIFO.
+        let mut clean = Simulation::new(nodes(), cfg.clone(), 8);
+        clean.run_to_idle(10_000);
+        assert!(clean.node(1).received.windows(2).all(|w| w[0] < w[1]));
+        // Reordering link: arrival order differs from send order.
+        let plan = FaultPlan::new().link(
+            0,
+            1,
+            LinkFault { reorder: 1.0, reorder_window: 10_000, ..Default::default() },
+        );
+        let mut sim = Simulation::new(nodes(), cfg, 8);
+        sim.set_fault_plan(plan);
+        sim.run_to_idle(10_000);
+        assert_eq!(sim.node(1).received.len(), 20, "reordering never loses messages");
+        assert!(
+            !sim.node(1).received.windows(2).all(|w| w[0] < w[1]),
+            "expected out-of-order delivery, got {:?}",
+            sim.node(1).received
+        );
+    }
+
+    #[test]
+    fn fault_plan_determinism_same_seed_same_stats() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::new()
+                .default_link(LinkFault {
+                    drop: 0.1,
+                    duplicate: 0.2,
+                    delay_max: 2_000,
+                    reorder: 0.3,
+                    reorder_window: 1_500,
+                    corrupt: 0.05,
+                })
+                .crash_at(700, 1)
+                .recover_at(1_500, 1)
+                .clear_links_at(3_000);
+            let mut sim = Simulation::new(pp(50), NetConfig::default(), seed);
+            sim.set_fault_plan(plan);
+            sim.inject(0, 1, PP::Ping, 4_000);
+            sim.run_to_idle(100_000);
+            (sim.stats(), sim.node(0).pongs_received, sim.node(1).pings_received)
+        };
+        assert_eq!(run(21), run(21), "identical (plan, seed) must replay identically");
+        assert_ne!(run(21), run(22));
+    }
+
+    #[test]
+    fn trace_records_deliveries_and_faults() {
+        let plan = FaultPlan::new().crash_at(50, 1).recover_at(5_000, 1);
+        let mut sim = Simulation::new(pp(2), NetConfig::default(), 1);
+        sim.set_fault_plan(plan);
+        sim.enable_trace(
+            |m: &PP| match m {
+                PP::Ping => "ping".into(),
+                PP::Pong => "pong".into(),
+            },
+            64,
+        );
+        sim.inject(0, 1, PP::Ping, 6_000);
+        sim.run_to_idle(10_000);
+        let tail = sim.trace_tail(64);
+        assert!(tail.iter().any(|l| l.contains("fault") && l.contains("crash")));
+        assert!(tail.iter().any(|l| l.contains("deliver") && l.contains("ping")));
+        assert!(tail.iter().any(|l| l.contains("drop.dead") || l.contains("drop.crashed")));
     }
 
     #[test]
