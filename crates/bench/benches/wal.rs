@@ -1,0 +1,76 @@
+//! WAL micro-bench: group-commit flush policy (per-write vs batched),
+//! plus staging and recovery costs. Numbers are summarized in
+//! BENCH_wal.json.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prever_storage::{SimDisk, StorageMedium, Wal};
+
+const PAYLOAD: &[u8] = &[0xabu8; 128];
+
+/// Keeps the simulated disk from growing without bound across criterion
+/// iterations: a WAL past ~4 MiB restarts from an empty log (seq
+/// numbering keeps increasing, so frames stay distinct).
+fn maybe_reset(wal: &mut Wal<SimDisk>) {
+    if wal.medium().len() > 4 << 20 {
+        wal.reset();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal");
+
+    // Staging only: what append costs before any durability barrier.
+    group.bench_function("append_stage", |b| {
+        let mut wal = Wal::create(SimDisk::new(1), 0);
+        b.iter(|| {
+            wal.append(PAYLOAD);
+            maybe_reset(&mut wal);
+        });
+    });
+
+    // FlushPolicy::Always — one durability barrier per write.
+    group.bench_function("flush_per_write", |b| {
+        let mut wal = Wal::create(SimDisk::new(2), 0);
+        b.iter(|| {
+            wal.append(PAYLOAD);
+            wal.flush();
+            maybe_reset(&mut wal);
+        });
+    });
+
+    // Group commit — one barrier amortized over a batch. The measured
+    // unit is a whole batch; per-write cost is mean / batch size.
+    for batch in [8usize, 64] {
+        group.bench_with_input(BenchmarkId::new("group_commit", batch), &batch, |b, &batch| {
+            let mut wal = Wal::create(SimDisk::new(3), 0);
+            b.iter(|| {
+                for _ in 0..batch {
+                    wal.append(PAYLOAD);
+                }
+                wal.flush();
+                maybe_reset(&mut wal);
+            });
+        });
+    }
+
+    // Recovery: scan + CRC-verify a flushed log of n frames.
+    for n in [256usize, 2_048] {
+        let mut wal = Wal::create(SimDisk::new(4), 0);
+        for _ in 0..n {
+            wal.append(PAYLOAD);
+        }
+        wal.flush();
+        let disk = wal.medium().clone();
+        group.bench_with_input(BenchmarkId::new("recover", n), &n, |b, &n| {
+            b.iter(|| {
+                let (_, frames, _) = Wal::recover(disk.clone(), 0).unwrap();
+                assert_eq!(frames.len(), n);
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

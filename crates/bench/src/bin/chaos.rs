@@ -42,7 +42,11 @@ fn parse_args() -> Args {
                 let p = Protocol::ALL
                     .into_iter()
                     .find(|p| p.name() == v)
-                    .unwrap_or_else(|| die(&format!("unknown protocol {v:?} (pbft|paxos|sharded)")));
+                    .unwrap_or_else(|| {
+                        die(&format!(
+                            "unknown protocol {v:?} (pbft|paxos|sharded|pbft-disk|ledger-disk)"
+                        ))
+                    });
                 args.protocols = vec![p];
             }
             "--seed" => args.seed = Some(parse_u64(&value("--seed"))),
@@ -50,8 +54,8 @@ fn parse_args() -> Args {
             "--commands" => args.commands = Some(parse_u64(&value("--commands"))),
             "--help" | "-h" => {
                 println!(
-                    "usage: chaos [--protocol pbft|paxos|sharded] [--seed N] \
-                     [--seeds N] [--commands N]"
+                    "usage: chaos [--protocol pbft|paxos|sharded|pbft-disk|ledger-disk] \
+                     [--seed N] [--seeds N] [--commands N]"
                 );
                 std::process::exit(0);
             }
@@ -76,6 +80,8 @@ fn defaults(protocol: Protocol) -> (u64, u64) {
         Protocol::Pbft => (50, 30),
         Protocol::Paxos => (20, 25),
         Protocol::Sharded => (10, 12),
+        Protocol::PbftDisk => (30, 20),
+        Protocol::LedgerDisk => (120, 60),
     }
 }
 
@@ -128,7 +134,18 @@ fn main() {
     } else {
         let mut table = Table::new(
             "chaos sweep",
-            &["protocol", "seeds", "violations", "crashes", "restarts", "dropped", "corrupted"],
+            &[
+                "protocol",
+                "seeds",
+                "violations",
+                "crashes",
+                "restarts",
+                "dropped",
+                "corrupted",
+                "recovered",
+                "torn B",
+                "corrupt det",
+            ],
         );
         for &protocol in &args.protocols {
             let (default_seeds, default_commands) = defaults(protocol);
@@ -152,6 +169,9 @@ fn main() {
                     .to_string(),
                 outcomes.iter().map(|o| o.stats.messages_dropped).sum::<u64>().to_string(),
                 outcomes.iter().map(|o| o.stats.messages_corrupted).sum::<u64>().to_string(),
+                outcomes.iter().map(|o| o.recovered_frames).sum::<u64>().to_string(),
+                outcomes.iter().map(|o| o.truncated_bytes).sum::<u64>().to_string(),
+                outcomes.iter().map(|o| o.detected_corruptions).sum::<u64>().to_string(),
             ]);
         }
         println!("{}", table.render());

@@ -4,7 +4,9 @@
 //! Phases: a 4-replica PBFT burst on the deterministic simulator, the
 //! E1 YCSB comparison (plain / ledger / Paillier-private engines), a
 //! Paillier encrypt–decrypt loop, a CPIR retrieval, a ledger
-//! append + Merkle-root pass, and a DP budget drain. Afterwards the
+//! append + Merkle-root pass, a durable-journal append/flush/compact/
+//! crash/recover cycle (WAL + snapshot metrics), and a DP budget drain.
+//! Afterwards the
 //! global registry snapshot is rendered as the aligned metrics table,
 //! as `BENCHJSON`/`OBSJSON` lines, and as a `BENCH_obs.json` document
 //! with a consensus-vs-crypto-vs-storage phase breakdown.
@@ -22,17 +24,24 @@ use prever_consensus::pbft::{self, PbftMsg};
 use prever_consensus::Command;
 use prever_crypto::paillier;
 use prever_dp::BudgetAccountant;
-use prever_ledger::Journal;
+use prever_ledger::{Journal, PersistentJournal};
 use prever_obs::export;
 use prever_obs::registry::Snapshot;
 use prever_pir::cpir::{retrieve as cpir_retrieve, CpirClient, CpirServer};
 use prever_sim::{NetConfig, Simulation};
+use prever_storage::SharedDisk;
 use rand::{rngs::StdRng, SeedableRng};
 
 /// Spans that must have recorded at least one sample for the run to
 /// count as instrumented.
-const REQUIRED_SPANS: [&str; 5] =
-    ["pbft.prepare", "pbft.commit", "paillier.encrypt", "pir.answer", "ledger.append"];
+const REQUIRED_SPANS: [&str; 6] = [
+    "pbft.prepare",
+    "pbft.commit",
+    "paillier.encrypt",
+    "pir.answer",
+    "ledger.append",
+    "wal.flush",
+];
 
 fn run_consensus(quick: bool) {
     let commands: u64 = if quick { 10 } else { 50 };
@@ -90,6 +99,35 @@ fn run_storage(quick: bool) {
     prever_obs::log!(Info, "storage phase: {n} journal appends, root recomputed and proven");
 }
 
+fn run_durability(quick: bool) {
+    let n: u64 = if quick { 64 } else { 512 };
+    let (wal, snap) = (SharedDisk::new(71), SharedDisk::new(72));
+    let mut pj = PersistentJournal::create(wal.clone(), snap.clone());
+    for i in 0..n {
+        pj.append(i, Bytes::from(format!("obs-durable-{i}")));
+        if i % 8 == 7 {
+            pj.flush();
+        }
+        if i == n / 2 {
+            pj.compact();
+        }
+    }
+    pj.flush();
+    let digest = pj.journal().digest();
+    // Crash (dropping the write-back caches) and recover: exercises the
+    // wal.recover.* counters and proves the flushed history survived.
+    wal.crash_dropping_cache();
+    snap.crash_dropping_cache();
+    let (recovered, report) = PersistentJournal::recover(wal, snap).expect("recover");
+    assert_eq!(recovered.len(), n);
+    assert_eq!(recovered.journal().digest(), digest);
+    prever_obs::log!(
+        Info,
+        "durability phase: {n} durable appends, recovery replayed {} frames",
+        report.frames_replayed
+    );
+}
+
 fn run_dp() {
     let mut budget = BudgetAccountant::new(1.0).expect("budget");
     for _ in 0..10 {
@@ -126,6 +164,7 @@ fn main() {
     run_crypto(quick);
     run_pir(quick);
     run_storage(quick);
+    run_durability(quick);
     run_dp();
     let total_ns = sw.elapsed_ns();
 
@@ -137,7 +176,7 @@ fn main() {
 
     let consensus_ns = phase_ns(&snap, &["pbft.", "paxos.", "sharded."]);
     let crypto_ns = phase_ns(&snap, &["paillier.", "pir."]);
-    let storage_ns = phase_ns(&snap, &["ledger.", "pipeline."]);
+    let storage_ns = phase_ns(&snap, &["ledger.", "pipeline.", "wal."]);
     let extra = [
         ("mode", format!("\"{mode}\"")),
         ("total_wall_ns", total_ns.to_string()),

@@ -1,4 +1,4 @@
-//! Prints every experiment table (E1–E11).
+//! Prints every experiment table (E1–E12).
 //!
 //! `cargo run --release -p prever-bench --bin report` — full parameters.
 //! `cargo run --release -p prever-bench --bin report -- --quick` — small.
@@ -23,6 +23,7 @@ fn main() {
         e::e9_dp::run(quick),
         e::e10_tpcc::run(quick),
         e::e11_chaos::run(quick),
+        e::e12_durability::run(quick),
     ];
     for t in &tables {
         println!("{}", t.render());

@@ -1,4 +1,4 @@
-//! Experiment implementations E1–E11 (see DESIGN.md §3 and
+//! Experiment implementations E1–E12 (see DESIGN.md §3 and
 //! EXPERIMENTS.md for the paper mapping).
 //!
 //! Every experiment is a function `run(quick: bool) -> Table`; `quick`
@@ -16,6 +16,7 @@ pub mod e8_mpc;
 pub mod e9_dp;
 pub mod e10_tpcc;
 pub mod e11_chaos;
+pub mod e12_durability;
 
 /// Times `f` over `iters` iterations; returns mean µs per iteration.
 ///
@@ -69,6 +70,7 @@ mod tests {
             super::e9_dp::run(true),
             super::e10_tpcc::run(true),
             super::e11_chaos::run(true),
+            super::e12_durability::run(true),
         ];
         for t in &tables {
             assert!(!t.rows.is_empty(), "{} produced no rows", t.title);

@@ -1,8 +1,11 @@
-//! Durable consensus state over the ledger journal.
+//! Durable consensus state over a crash-consistent persistent journal.
 //!
-//! A [`DurableLog`] models a replica's disk: a hash-chained
-//! [`prever_ledger::Journal`] that survives a crash-with-state-loss. A
-//! replica appends two kinds of records while running:
+//! A [`DurableLog`] models a replica's disk — since PR 4 not as an
+//! always-intact in-memory journal but as a
+//! [`prever_ledger::PersistentJournal`] over a pair of simulated disks
+//! ([`DurableMedia`]): a CRC-framed WAL plus a snapshot medium, with a
+//! write-back cache whose unflushed bytes die (or tear) on crash. A
+//! replica appends three kinds of records while running:
 //!
 //! * **Exec** — one per executed command, in sequence order. Replaying
 //!   the exec records rebuilds the executed history (and hence the
@@ -23,22 +26,39 @@
 //!   replaying the Prep records lets the recovered replica re-assert
 //!   the certificates it once claimed.
 //!
-//! The journal's hash chain is verified on replay
+//! ## Flush discipline
+//!
+//! Bind and Prep records are **flushed before the corresponding vote
+//! leaves** — their whole point is to outlive a crash that happens after
+//! the vote is on the wire; an unflushed binding is no binding at all.
+//! Exec records are redundant with the cluster (a recovered replica can
+//! re-fetch executed history via state transfer), so they may ride a
+//! [`FlushPolicy`]: `Always` flushes per append, `Every(n)` leaves them
+//! in the write-back cache until every n-th
+//! [`DurableLog::commit_dispatch`] — the group-commit point the owning
+//! node calls once per simulator dispatch.
+//!
+//! On recovery ([`DurableLog::recover`]) the journal is rebuilt from
+//! the last valid snapshot plus WAL tail replay; a torn tail is
+//! truncated (those records were never acked), while corruption of
+//! durable bytes fails loudly. The rebuilt hash chain is then verified
+//! again on [`DurableLog::replay`]
 //! ([`prever_ledger::Journal::verify_chain`]), so a corrupted "disk" is
 //! detected rather than silently trusted.
 //!
 //! The log is held behind `Rc<RefCell<…>>` so the simulation harness can
 //! keep a handle to the same "disk" across a [`FaultEvent::RestartWithLoss`]
-//! (the node factory passes the surviving log to the replacement actor).
-//! This makes the nodes `!Send`, which is fine: the simulator is
-//! single-threaded by design.
+//! (the node factory recovers a fresh log from the surviving
+//! [`DurableMedia`]). This makes the nodes `!Send`, which is fine: the
+//! simulator is single-threaded by design.
 //!
 //! [`FaultEvent::RestartWithLoss`]: prever_sim::FaultEvent::RestartWithLoss
 
 use crate::Command;
 use bytes::Bytes;
 use prever_crypto::Digest;
-use prever_ledger::{Journal, LedgerError};
+use prever_ledger::{Journal, LedgerError, PersistReport, PersistentJournal};
+use prever_storage::SharedDisk;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -46,10 +66,78 @@ const TAG_EXEC: u8 = 0x01;
 const TAG_BIND: u8 = 0x02;
 const TAG_PREP: u8 = 0x03;
 
-/// A shared, hash-chained durable log (one per replica "disk").
-#[derive(Clone, Debug, Default)]
+/// When exec records reach the platter (bind/prep records always flush
+/// immediately — see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Flush after every exec append (safest, most barriers).
+    Always,
+    /// Group commit: flush pending exec records on every n-th
+    /// [`DurableLog::commit_dispatch`]. `Every(0)` behaves as `Every(1)`.
+    Every(u64),
+}
+
+/// The pair of simulated disks backing one replica: WAL + snapshot
+/// medium. The chaos harness owns this across restarts and injects
+/// crashes/corruption into it; the replica's [`DurableLog`] holds
+/// cloned handles to the same state.
+#[derive(Clone, Debug)]
+pub struct DurableMedia {
+    /// The write-ahead-log disk.
+    pub wal: SharedDisk,
+    /// The snapshot disk.
+    pub snap: SharedDisk,
+}
+
+impl DurableMedia {
+    /// Fresh media; `seed` drives the disks' torn-write/corruption RNG.
+    pub fn new(seed: u64) -> Self {
+        DurableMedia {
+            wal: SharedDisk::new(seed),
+            snap: SharedDisk::new(seed ^ 0x5eed_5eed_5eed_5eed),
+        }
+    }
+
+    /// Crash both disks with torn-write semantics; returns bytes lost.
+    pub fn crash(&self) -> u64 {
+        self.wal.crash() + self.snap.crash()
+    }
+
+    /// Crash both disks dropping the entire write-back cache.
+    pub fn crash_dropping_cache(&self) -> u64 {
+        self.wal.crash_dropping_cache() + self.snap.crash_dropping_cache()
+    }
+
+    /// Corrupts one seeded flushed sector of the WAL disk.
+    pub fn corrupt(&self) -> bool {
+        self.wal.corrupt_random_flushed_sector()
+    }
+
+    /// Wipes both disks (a disk swap after detected corruption).
+    pub fn wipe(&self) {
+        self.wal.wipe();
+        self.snap.wipe();
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    pj: PersistentJournal<SharedDisk>,
+    policy: FlushPolicy,
+    dispatches: u64,
+}
+
+/// A shared, hash-chained, crash-consistent durable log (one per
+/// replica "disk").
+#[derive(Clone, Debug)]
 pub struct DurableLog {
-    inner: Rc<RefCell<Journal>>,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for DurableLog {
+    fn default() -> Self {
+        Self::on(&DurableMedia::new(0))
+    }
 }
 
 /// State decoded from a [`DurableLog`] replay.
@@ -65,42 +153,94 @@ pub struct ReplayedState {
 }
 
 impl DurableLog {
-    /// A fresh, empty log.
+    /// A fresh, empty log on its own private media.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// A fresh log over existing (empty) media whose handles the caller
+    /// keeps for fault injection.
+    pub fn on(media: &DurableMedia) -> Self {
+        DurableLog {
+            inner: Rc::new(RefCell::new(Inner {
+                pj: PersistentJournal::create(media.wal.clone(), media.snap.clone()),
+                policy: FlushPolicy::Always,
+                dispatches: 0,
+            })),
+        }
+    }
+
+    /// Reopens a log from whatever survived on `media` after a crash:
+    /// snapshot load + WAL tail replay (torn tail truncated), then the
+    /// caller typically [`Self::replay`]s it into a recovering node.
+    ///
+    /// Fails loudly on corrupted durable bytes.
+    pub fn recover(media: &DurableMedia) -> Result<(Self, PersistReport), LedgerError> {
+        let (pj, report) = PersistentJournal::recover(media.wal.clone(), media.snap.clone())?;
+        Ok((
+            DurableLog {
+                inner: Rc::new(RefCell::new(Inner {
+                    pj,
+                    policy: FlushPolicy::Always,
+                    dispatches: 0,
+                })),
+            },
+            report,
+        ))
+    }
+
+    /// Sets the exec-record flush policy (chainable).
+    pub fn with_policy(self, policy: FlushPolicy) -> Self {
+        self.inner.borrow_mut().policy = policy;
+        self
+    }
+
     /// Number of records appended so far.
     pub fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.inner.borrow().pj.len() as usize
     }
 
     /// True iff nothing has been appended.
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().is_empty()
+        self.inner.borrow().pj.is_empty()
     }
 
-    /// Appends an executed command at `seq`, decided at virtual time `at`.
+    /// Records known durable — the acked watermark the durability
+    /// invariant is checked against.
+    pub fn flushed_records(&self) -> u64 {
+        self.inner.borrow().pj.flushed_entries()
+    }
+
+    /// Appends an executed command at `seq`, decided at virtual time
+    /// `at`. Durability governed by the [`FlushPolicy`].
     pub fn append_exec(&self, seq: u64, command: &Command, at: u64) {
         let mut buf = Vec::with_capacity(17 + command.payload.len());
         buf.push(TAG_EXEC);
         buf.extend_from_slice(&seq.to_be_bytes());
         buf.extend_from_slice(&command.id.to_be_bytes());
         buf.extend_from_slice(&command.payload);
-        self.inner.borrow_mut().append(at, Bytes::from(buf));
+        let mut inner = self.inner.borrow_mut();
+        inner.pj.append(at, Bytes::from(buf));
+        if inner.policy == FlushPolicy::Always {
+            inner.pj.flush();
+        }
     }
 
-    /// Appends a `(seq, view, digest)` vote binding.
+    /// Appends a `(seq, view, digest)` vote binding — flushed
+    /// immediately, before the vote may leave.
     pub fn append_bind(&self, seq: u64, view: u64, digest: &Digest) {
         let mut buf = Vec::with_capacity(49);
         buf.push(TAG_BIND);
         buf.extend_from_slice(&seq.to_be_bytes());
         buf.extend_from_slice(&view.to_be_bytes());
         buf.extend_from_slice(digest.as_bytes());
-        self.inner.borrow_mut().append(0, Bytes::from(buf));
+        let mut inner = self.inner.borrow_mut();
+        inner.pj.append(0, Bytes::from(buf));
+        inner.pj.flush();
     }
 
-    /// Appends a `(seq, view, command)` prepared certificate.
+    /// Appends a `(seq, view, command)` prepared certificate — flushed
+    /// immediately, before the commit vote may leave.
     pub fn append_prep(&self, seq: u64, view: u64, command: &Command) {
         let mut buf = Vec::with_capacity(25 + command.payload.len());
         buf.push(TAG_PREP);
@@ -108,12 +248,45 @@ impl DurableLog {
         buf.extend_from_slice(&view.to_be_bytes());
         buf.extend_from_slice(&command.id.to_be_bytes());
         buf.extend_from_slice(&command.payload);
-        self.inner.borrow_mut().append(0, Bytes::from(buf));
+        let mut inner = self.inner.borrow_mut();
+        inner.pj.append(0, Bytes::from(buf));
+        inner.pj.flush();
+    }
+
+    /// The group-commit point: the owning node calls this once per
+    /// simulator dispatch; pending exec records are flushed according to
+    /// the [`FlushPolicy`].
+    pub fn commit_dispatch(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.dispatches += 1;
+        let due = match inner.policy {
+            FlushPolicy::Always => true,
+            FlushPolicy::Every(n) => inner.dispatches.is_multiple_of(n.max(1)),
+        };
+        if due && inner.pj.flushed_entries() < inner.pj.len() {
+            inner.pj.flush();
+        }
+    }
+
+    /// Forces everything staged to disk.
+    pub fn flush(&self) {
+        self.inner.borrow_mut().pj.flush();
+    }
+
+    /// Snapshot + WAL truncation (also a durability point).
+    pub fn compact(&self) {
+        self.inner.borrow_mut().pj.compact();
     }
 
     /// The ledger digest over everything appended so far.
     pub fn digest(&self) -> prever_ledger::LedgerDigest {
-        self.inner.borrow().digest()
+        self.inner.borrow().pj.journal().digest()
+    }
+
+    /// The digest as of the first `size` records (prefix-consistency
+    /// checks in the chaos harness).
+    pub fn digest_at(&self, size: u64) -> Result<prever_ledger::LedgerDigest, LedgerError> {
+        self.inner.borrow().pj.journal().digest_at(size)
     }
 
     /// Verifies the hash chain and decodes the surviving records.
@@ -122,7 +295,8 @@ impl DurableLog {
     /// verification or a record is malformed — a replica must refuse to
     /// rejoin from a disk it cannot trust.
     pub fn replay(&self) -> Result<ReplayedState, LedgerError> {
-        let journal = self.inner.borrow();
+        let inner = self.inner.borrow();
+        let journal = inner.pj.journal();
         let digest = journal.digest();
         Journal::verify_chain(journal.entries(), &digest)?;
         let mut state = ReplayedState::default();
@@ -173,6 +347,7 @@ mod tests {
         log.append_prep(2, 3, &c2);
         log.append_exec(2, &c2, 5678);
         assert_eq!(log.len(), 6);
+        assert_eq!(log.flushed_records(), 6, "Always policy flushes everything");
 
         let replayed = log.replay().expect("chain verifies");
         assert_eq!(
@@ -201,10 +376,80 @@ mod tests {
     #[test]
     fn replay_rejects_malformed_records() {
         let log = DurableLog::new();
-        log.inner.borrow_mut().append(0, Bytes::from_static(&[0x7f, 0x00]));
+        log.inner
+            .borrow_mut()
+            .pj
+            .append(0, Bytes::from_static(&[0x7f, 0x00]));
         assert!(matches!(
             log.replay(),
             Err(LedgerError::TamperDetected("malformed durable record"))
+        ));
+    }
+
+    #[test]
+    fn crash_recovery_keeps_flushed_records() {
+        let media = DurableMedia::new(42);
+        let log = DurableLog::on(&media).with_policy(FlushPolicy::Every(4));
+        let c = |i: u64| Command::new(i, format!("cmd-{i}").into_bytes());
+        log.append_bind(1, 0, &c(1).digest()); // flushed
+        log.append_exec(1, &c(1), 10); // staged
+        log.append_exec(2, &c(2), 20); // staged
+        assert_eq!(log.flushed_records(), 1);
+        media.crash_dropping_cache();
+        let (rec, report) = DurableLog::recover(&media).unwrap();
+        assert_eq!(rec.len(), 1, "only the flushed binding survives");
+        assert_eq!(report.frames_replayed, 1);
+        let replayed = rec.replay().unwrap();
+        assert_eq!(replayed.bindings.len(), 1);
+        assert!(replayed.entries.is_empty());
+    }
+
+    #[test]
+    fn commit_dispatch_groups_exec_flushes() {
+        let media = DurableMedia::new(7);
+        let log = DurableLog::on(&media).with_policy(FlushPolicy::Every(2));
+        let c = Command::new(1, b"x".to_vec());
+        log.append_exec(1, &c, 1);
+        log.commit_dispatch(); // dispatch 1 of 2: still pending
+        assert_eq!(log.flushed_records(), 0);
+        log.append_exec(2, &c, 2);
+        log.commit_dispatch(); // dispatch 2: flush
+        assert_eq!(log.flushed_records(), 2);
+    }
+
+    #[test]
+    fn recovery_after_compaction_keeps_full_history() {
+        let media = DurableMedia::new(9);
+        let log = DurableLog::on(&media);
+        let c = |i: u64| Command::new(i, format!("cmd-{i}").into_bytes());
+        for i in 1..=5 {
+            log.append_exec(i, &c(i), i * 10);
+        }
+        log.compact();
+        for i in 6..=8 {
+            log.append_exec(i, &c(i), i * 10);
+        }
+        let digest = log.digest();
+        media.crash(); // everything relevant already flushed (Always)
+        let (rec, report) = DurableLog::recover(&media).unwrap();
+        assert_eq!(rec.len(), 8);
+        assert_eq!(rec.digest(), digest);
+        assert_eq!(report.snapshot_entries, 5);
+        assert_eq!(rec.replay().unwrap().entries.len(), 8);
+    }
+
+    #[test]
+    fn corrupted_media_fail_recovery_loudly() {
+        let media = DurableMedia::new(11);
+        let log = DurableLog::on(&media);
+        for i in 1..=20 {
+            log.append_exec(i, &Command::new(i, vec![0xab; 40]), i);
+        }
+        log.flush();
+        assert!(media.corrupt());
+        assert!(matches!(
+            DurableLog::recover(&media),
+            Err(LedgerError::TamperDetected(_))
         ));
     }
 }

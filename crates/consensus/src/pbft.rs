@@ -1535,6 +1535,9 @@ impl PbftNode {
             for d in &self.core.executed()[self.exec_cursor..] {
                 log.append_exec(d.slot, &d.command, d.at);
             }
+            // Group-commit point: one flush barrier per dispatch covers
+            // every exec staged above (bind/prep flushed eagerly).
+            log.commit_dispatch();
         }
         self.exec_cursor = self.core.executed().len();
     }

@@ -32,14 +32,17 @@
 pub mod auditor;
 pub mod journal;
 pub mod kv;
+pub mod persist;
 pub mod signed;
 
 pub use auditor::Auditor;
 pub use journal::{Journal, JournalEntry, LedgerDigest};
 pub use kv::LedgerKv;
+pub use persist::{PersistReport, PersistentJournal};
 pub use signed::{CoSignedDigest, SignedDigest};
 
 use prever_crypto::CryptoError;
+use prever_storage::StorageError;
 
 /// Errors produced by the ledger layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +60,19 @@ pub enum LedgerError {
         /// The revision requested.
         revision: u64,
     },
+    /// The durable storage layer failed (medium error, decode failure).
+    Storage(StorageError),
+}
+
+impl From<StorageError> for LedgerError {
+    fn from(e: StorageError) -> Self {
+        match e {
+            // CRC failures on durable bytes are integrity violations: the
+            // same class of evidence as a broken hash chain.
+            StorageError::Corruption(w) => LedgerError::TamperDetected(w),
+            other => LedgerError::Storage(other),
+        }
+    }
 }
 
 impl From<CryptoError> for LedgerError {
@@ -77,6 +93,7 @@ impl std::fmt::Display for LedgerError {
             LedgerError::NoSuchRevision { key, revision } => {
                 write!(f, "no revision {revision} for key {key}")
             }
+            LedgerError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }

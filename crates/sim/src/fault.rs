@@ -75,6 +75,26 @@ impl LinkFault {
     }
 }
 
+/// A disk-level fault applied to one node's storage media.
+///
+/// The simulator does not model disks itself; it dispatches these to a
+/// handler installed with [`crate::Simulation::set_disk_handler`], which
+/// owns the actual media (e.g. `prever_storage::SharedDisk` handles) and
+/// typically pairs the fault with a
+/// [`FaultEvent::RestartWithLoss`]-style rebuild.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Crash with torn-write semantics: a seeded prefix of the pending
+    /// write-back cache reaches the platter, the rest is lost; the cut
+    /// may land mid-frame.
+    TornWrite,
+    /// Crash dropping the entire write-back cache: only flushed bytes
+    /// survive.
+    DropCache,
+    /// Flip bits in one seeded, already-flushed sector.
+    CorruptSector,
+}
+
 /// A scheduled fault, applied at an absolute virtual time.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FaultEvent {
@@ -86,6 +106,14 @@ pub enum FaultEvent {
     /// in-memory state is lost. Requires
     /// [`crate::Simulation::set_node_factory`].
     RestartWithLoss(NodeId),
+    /// Apply a [`DiskFault`] to `node`'s storage media. Requires
+    /// [`crate::Simulation::set_disk_handler`].
+    Disk {
+        /// The node whose media take the fault.
+        node: NodeId,
+        /// What happens to the media.
+        fault: DiskFault,
+    },
     /// Install a partition (`groups[i]` = node `i`'s side).
     Partition(Vec<usize>),
     /// Remove any partition.
@@ -144,6 +172,11 @@ impl FaultPlan {
     /// Schedules a restart-with-state-loss of `node` at `at`.
     pub fn restart_with_loss_at(self, at: u64, node: NodeId) -> Self {
         self.at(at, FaultEvent::RestartWithLoss(node))
+    }
+
+    /// Schedules a [`DiskFault`] against `node`'s media at `at`.
+    pub fn disk_fault_at(self, at: u64, node: NodeId, fault: DiskFault) -> Self {
+        self.at(at, FaultEvent::Disk { node, fault })
     }
 
     /// Schedules a partition at `at`.

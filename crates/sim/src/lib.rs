@@ -49,7 +49,7 @@
 
 pub mod fault;
 
-pub use fault::{FaultEvent, FaultPlan, LinkFault};
+pub use fault::{DiskFault, FaultEvent, FaultPlan, LinkFault};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -69,6 +69,10 @@ type Corruptor<M> = Box<dyn FnMut(&mut M, u64)>;
 
 /// Builds a fresh actor for a node restarted with state loss.
 type NodeFactory<A> = Box<dyn FnMut(NodeId) -> A>;
+
+/// Applies a [`DiskFault`] to a node's storage media (the harness owns
+/// the media; the simulator only schedules the fault).
+type DiskHandler = Box<dyn FnMut(NodeId, DiskFault)>;
 
 /// Sentinel incarnation for externally injected events: they are
 /// addressed to whatever process is alive at delivery time, not to a
@@ -230,6 +234,8 @@ pub struct SimStats {
     pub recoveries: u64,
     /// Restarts that lost in-memory state.
     pub restarts_with_loss: u64,
+    /// Disk faults applied via [`FaultEvent::Disk`].
+    pub disk_faults: u64,
 }
 
 /// One recorded network/fault event (see [`Simulation::enable_trace`]).
@@ -280,6 +286,7 @@ pub struct Simulation<A: Actor> {
     pending_faults: VecDeque<(u64, FaultEvent)>,
     factory: Option<NodeFactory<A>>,
     corruptor: Option<Corruptor<A::Msg>>,
+    disk_handler: Option<DiskHandler>,
     tracer: Option<Tracer<A::Msg>>,
     rng: StdRng,
     now: u64,
@@ -306,6 +313,7 @@ impl<A: Actor> Simulation<A> {
             pending_faults: VecDeque::new(),
             factory: None,
             corruptor: None,
+            disk_handler: None,
             tracer: None,
             rng: StdRng::seed_from_u64(seed),
             now: 0,
@@ -361,6 +369,14 @@ impl<A: Actor> Simulation<A> {
     /// message is dropped.
     pub fn set_corruptor(&mut self, hook: impl FnMut(&mut A::Msg, u64) + 'static) {
         self.corruptor = Some(Box::new(hook));
+    }
+
+    /// Registers the handler that applies [`FaultEvent::Disk`] events to
+    /// a node's storage media. The harness owns the media (e.g.
+    /// `SharedDisk` handles shared with the actors); the simulator only
+    /// schedules when each fault lands.
+    pub fn set_disk_handler(&mut self, handler: impl FnMut(NodeId, DiskFault) + 'static) {
+        self.disk_handler = Some(Box::new(handler));
     }
 
     /// Enables the bounded event trace: up to `cap` most-recent entries
@@ -591,6 +607,16 @@ impl<A: Actor> Simulation<A> {
                 let fresh = factory(n);
                 self.factory = Some(factory);
                 self.restart_with_loss(n, fresh);
+            }
+            FaultEvent::Disk { node, fault } => {
+                self.trace_note("fault", node, node, "disk_fault");
+                let mut handler = self
+                    .disk_handler
+                    .take()
+                    .expect("FaultEvent::Disk requires Simulation::set_disk_handler");
+                handler(node, fault);
+                self.disk_handler = Some(handler);
+                self.stats.disk_faults += 1;
             }
             FaultEvent::Partition(groups) => {
                 self.trace_note("fault", 0, 0, "partition");

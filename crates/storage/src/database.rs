@@ -62,6 +62,48 @@ impl ChangeRecord {
         }
         out
     }
+
+    /// Decodes a record from its [`ChangeRecord::encode`] form. The whole
+    /// buffer must be consumed; any malformed field fails with
+    /// [`StorageError::Decode`] rather than panicking, so journal bytes of
+    /// unknown provenance can be parsed defensively.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        use crate::value::{take_len, take_slice, take_u64, take_u8};
+        let mut pos = 0;
+        let version = take_u64(buf, &mut pos, "change version")?;
+        let table_len = take_len(buf, &mut pos, "change table length")?;
+        let table_bytes = take_slice(buf, &mut pos, table_len, "change table name")?;
+        let table = std::str::from_utf8(table_bytes)
+            .map_err(|_| StorageError::Decode("change table name not UTF-8"))?
+            .to_string();
+        let kind = match take_u8(buf, &mut pos, "change kind")? {
+            0 => ChangeKind::Insert,
+            1 => ChangeKind::Update,
+            2 => ChangeKind::Delete,
+            _ => return Err(StorageError::Decode("unknown change kind")),
+        };
+        let key_count = take_u64(buf, &mut pos, "change key count")?;
+        if key_count > (buf.len() - pos) as u64 {
+            return Err(StorageError::Decode("change key count exceeds buffer"));
+        }
+        let mut key = Vec::with_capacity(key_count as usize);
+        for _ in 0..key_count {
+            key.push(Value::decode_from(buf, &mut pos)?);
+        }
+        let opt_row = |pos: &mut usize| -> Result<Option<Row>> {
+            match take_u8(buf, pos, "change row presence tag")? {
+                0 => Ok(None),
+                1 => Ok(Some(Row::decode_from(buf, pos)?)),
+                _ => Err(StorageError::Decode("change row presence tag not 0/1")),
+            }
+        };
+        let before = opt_row(&mut pos)?;
+        let after = opt_row(&mut pos)?;
+        if pos != buf.len() {
+            return Err(StorageError::Decode("trailing bytes after change record"));
+        }
+        Ok(ChangeRecord { version, table, key: Key(key), kind, before, after })
+    }
 }
 
 /// A versioned multi-table database.
@@ -409,5 +451,44 @@ mod tests {
         let log = d.change_log();
         assert_ne!(log[0].encode(), log[1].encode());
         assert_eq!(log[0].encode(), log[0].encode());
+    }
+
+    #[test]
+    fn change_record_decode_inverts_encode_for_every_kind() {
+        let mut d = db();
+        d.insert("tasks", task(1, "w1", 8)).unwrap();
+        let key = Key(vec![Value::Uint(1)]);
+        d.update("tasks", &key, task(1, "w1", 9)).unwrap();
+        d.delete("tasks", &key).unwrap();
+        for record in d.change_log() {
+            let decoded = ChangeRecord::decode(&record.encode()).unwrap();
+            assert_eq!(&decoded, record);
+        }
+    }
+
+    #[test]
+    fn change_record_decode_rejects_malformed_input() {
+        let mut d = db();
+        d.insert("tasks", task(1, "w1", 8)).unwrap();
+        let good = d.change_log()[0].encode();
+
+        // Every truncation fails (never panics, never succeeds).
+        for cut in 0..good.len() {
+            assert!(ChangeRecord::decode(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage fails.
+        let mut extended = good.clone();
+        extended.push(0);
+        assert!(ChangeRecord::decode(&extended).is_err());
+        // Unknown change kind fails. The kind byte sits right after the
+        // version and length-prefixed table name.
+        let kind_at = 8 + 8 + d.change_log()[0].table.len();
+        let mut bad_kind = good.clone();
+        bad_kind[kind_at] = 9;
+        assert!(ChangeRecord::decode(&bad_kind).is_err());
+        // A hostile length prefix (huge table length) fails cleanly.
+        let mut bad_len = good;
+        bad_len[8..16].copy_from_slice(&u64::MAX.to_be_bytes());
+        assert!(ChangeRecord::decode(&bad_len).is_err());
     }
 }

@@ -27,12 +27,16 @@
 
 pub mod database;
 pub mod index;
+pub mod medium;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use database::{ChangeKind, ChangeRecord, Database, Snapshot};
+pub use medium::{DiskStats, SharedDisk, SimDisk, StorageMedium, DEFAULT_SECTOR};
 pub use table::{Column, ColumnType, Key, Row, Schema, Table};
 pub use value::Value;
+pub use wal::{crc32, Frame, RecoveryReport, Wal, FRAME_HEADER};
 
 /// Errors produced by the storage engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +60,13 @@ pub enum StorageError {
         /// The database's current version.
         current: u64,
     },
+    /// A storage-medium operation failed (e.g. read past end).
+    Medium(&'static str),
+    /// Durable bytes failed integrity checks — corruption, not a torn
+    /// tail; recovery must not paper over it.
+    Corruption(&'static str),
+    /// A durable record could not be decoded back into its typed form.
+    Decode(&'static str),
 }
 
 impl std::fmt::Display for StorageError {
@@ -70,6 +81,9 @@ impl std::fmt::Display for StorageError {
             StorageError::VersionOutOfRange { requested, current } => {
                 write!(f, "version {requested} out of range (current {current})")
             }
+            StorageError::Medium(why) => write!(f, "storage medium error: {why}"),
+            StorageError::Corruption(why) => write!(f, "durable data corrupted: {why}"),
+            StorageError::Decode(why) => write!(f, "record decode failed: {why}"),
         }
     }
 }

@@ -176,6 +176,32 @@ impl Row {
         }
         out
     }
+
+    /// Decodes one row from `buf` starting at `*pos`, advancing `*pos`
+    /// past it — the exact inverse of [`Row::encode`].
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Row> {
+        let count = crate::value::take_u64(buf, pos, "row value count")?;
+        // Every encoded value is at least one tag byte, so a count larger
+        // than the remaining buffer is corrupt — reject before allocating.
+        if count > (buf.len() - *pos) as u64 {
+            return Err(StorageError::Decode("row value count exceeds buffer"));
+        }
+        let mut values = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            values.push(Value::decode_from(buf, pos)?);
+        }
+        Ok(Row::new(values))
+    }
+
+    /// Decodes a row that must occupy the whole buffer.
+    pub fn decode(buf: &[u8]) -> Result<Row> {
+        let mut pos = 0;
+        let row = Row::decode_from(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(StorageError::Decode("trailing bytes after row"));
+        }
+        Ok(row)
+    }
 }
 
 /// A primary key (ordered key-column values).

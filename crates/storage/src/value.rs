@@ -1,6 +1,50 @@
 //! Typed cell values.
 
+use crate::{Result, StorageError};
 use std::cmp::Ordering;
+
+/// Reads one byte at `*pos`, advancing it.
+pub(crate) fn take_u8(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u8> {
+    let b = *buf.get(*pos).ok_or(StorageError::Decode(what))?;
+    *pos += 1;
+    Ok(b)
+}
+
+/// Reads a big-endian u64 at `*pos`, advancing it.
+pub(crate) fn take_u64(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u64> {
+    let bytes = take_slice(buf, pos, 8, what)?;
+    Ok(u64::from_be_bytes(bytes.try_into().expect("take_slice returned 8 bytes")))
+}
+
+/// Reads `len` bytes at `*pos`, advancing it. Bounds-checked with
+/// overflow-safe arithmetic so hostile length prefixes can't panic or
+/// over-allocate.
+pub(crate) fn take_slice<'a>(
+    buf: &'a [u8],
+    pos: &mut usize,
+    len: usize,
+    what: &'static str,
+) -> Result<&'a [u8]> {
+    let end = pos.checked_add(len).ok_or(StorageError::Decode(what))?;
+    let slice = buf.get(*pos..end).ok_or(StorageError::Decode(what))?;
+    *pos = end;
+    Ok(slice)
+}
+
+/// Converts a u64 length prefix to a usize length that provably fits in
+/// the remaining buffer (rejecting it before any allocation happens).
+pub(crate) fn take_len(
+    buf: &[u8],
+    pos: &mut usize,
+    what: &'static str,
+) -> Result<usize> {
+    let len = take_u64(buf, pos, what)?;
+    let remaining = (buf.len() - *pos) as u64;
+    if len > remaining {
+        return Err(StorageError::Decode(what));
+    }
+    Ok(len as usize)
+}
 
 /// A single cell value.
 ///
@@ -138,6 +182,47 @@ impl Value {
         let mut out = Vec::new();
         self.encode_into(&mut out);
         out
+    }
+
+    /// Decodes one value from `buf` starting at `*pos`, advancing `*pos`
+    /// past it — the exact inverse of [`Value::encode_into`].
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Value> {
+        Ok(match take_u8(buf, pos, "value tag")? {
+            0 => Value::Null,
+            1 => {
+                let bytes = take_slice(buf, pos, 8, "int value")?;
+                Value::Int(i64::from_be_bytes(bytes.try_into().expect("8 bytes")))
+            }
+            2 => Value::Uint(take_u64(buf, pos, "uint value")?),
+            3 => {
+                let len = take_len(buf, pos, "string length")?;
+                let bytes = take_slice(buf, pos, len, "string bytes")?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| StorageError::Decode("string value not UTF-8"))?;
+                Value::Str(s.to_string())
+            }
+            4 => {
+                let len = take_len(buf, pos, "bytes length")?;
+                Value::Bytes(take_slice(buf, pos, len, "bytes payload")?.to_vec())
+            }
+            5 => match take_u8(buf, pos, "bool byte")? {
+                0 => Value::Bool(false),
+                1 => Value::Bool(true),
+                _ => return Err(StorageError::Decode("bool byte not 0/1")),
+            },
+            6 => Value::Timestamp(take_u64(buf, pos, "timestamp value")?),
+            _ => return Err(StorageError::Decode("unknown value tag")),
+        })
+    }
+
+    /// Decodes a value that must occupy the whole buffer.
+    pub fn decode(buf: &[u8]) -> Result<Value> {
+        let mut pos = 0;
+        let v = Value::decode_from(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(StorageError::Decode("trailing bytes after value"));
+        }
+        Ok(v)
     }
 }
 

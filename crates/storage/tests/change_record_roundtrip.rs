@@ -1,0 +1,92 @@
+//! Property test: `ChangeRecord::decode` is the exact inverse of
+//! `encode` for arbitrary records — every `ChangeKind`, every `Value`
+//! variant (including NULLs, empty strings/bytes and extreme integers),
+//! arbitrary key widths and optional before/after rows.
+//!
+//! Also checks the defensive half of the contract: any strict prefix of
+//! a valid encoding must fail to decode (no panic, no silent success).
+
+use prever_storage::{ChangeKind, ChangeRecord, Key, Row, Value};
+use proptest::prelude::*;
+use proptest::strategy::{BoxedStrategy, Just};
+
+fn arb_value() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<u64>().prop_map(Value::Uint),
+        "[a-z0-9_]{0,12}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::Bytes),
+        any::<bool>().prop_map(Value::Bool),
+        any::<u64>().prop_map(Value::Timestamp),
+    ]
+    .boxed()
+}
+
+fn arb_row() -> BoxedStrategy<Row> {
+    proptest::collection::vec(arb_value(), 0..6).prop_map(Row::new).boxed()
+}
+
+fn arb_opt_row() -> BoxedStrategy<Option<Row>> {
+    prop_oneof![Just(None), arb_row().prop_map(Some)].boxed()
+}
+
+fn arb_kind() -> BoxedStrategy<ChangeKind> {
+    prop_oneof![
+        Just(ChangeKind::Insert),
+        Just(ChangeKind::Update),
+        Just(ChangeKind::Delete),
+    ]
+    .boxed()
+}
+
+fn arb_record() -> BoxedStrategy<ChangeRecord> {
+    (
+        any::<u64>(),
+        "[a-z_]{1,10}",
+        proptest::collection::vec(arb_value(), 1..4),
+        arb_kind(),
+        arb_opt_row(),
+        arb_opt_row(),
+    )
+        .prop_map(|(version, table, key, kind, before, after)| ChangeRecord {
+            version,
+            table,
+            key: Key(key),
+            kind,
+            before,
+            after,
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn decode_inverts_encode(record in arb_record()) {
+        let encoded = record.encode();
+        let decoded = ChangeRecord::decode(&encoded).unwrap();
+        prop_assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn truncated_encodings_fail_loudly(record in arb_record(), frac in 0.0..1.0f64) {
+        let encoded = record.encode();
+        let cut = (encoded.len() as f64 * frac) as usize;
+        prop_assert!(cut < encoded.len());
+        prop_assert!(
+            ChangeRecord::decode(&encoded[..cut]).is_err(),
+            "prefix of length {} decoded successfully",
+            cut
+        );
+    }
+
+    #[test]
+    fn value_and_row_roundtrip(row in arb_row()) {
+        prop_assert_eq!(Row::decode(&row.encode()).unwrap(), row.clone());
+        for v in &row.values {
+            prop_assert_eq!(&Value::decode(&v.encode()).unwrap(), v);
+        }
+    }
+}
