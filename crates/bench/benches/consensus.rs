@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut sim = Simulation::new(pbft::cluster(n), NetConfig::default(), 1);
                 for i in 0..20u64 {
-                    sim.inject(0, 0, PbftMsg::Request(Command::new(i, "x")), 1 + i * 100);
+                    sim.inject(0, 0, PbftMsg::request(Command::new(i, "x")), 1 + i * 100);
                 }
                 let ok = sim.run_until_pred(10_000_000, |nodes| {
                     nodes[0].core.executed_commands() >= 20
@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
                 sim.run_until(50_000);
                 let base = sim.now();
                 for i in 0..20u64 {
-                    sim.inject(0, 0, PaxosMsg::ClientRequest(Command::new(i, "x")), base + 1 + i * 100);
+                    sim.inject(0, 0, PaxosMsg::request(Command::new(i, "x")), base + 1 + i * 100);
                 }
                 let ok = sim.run_until_pred(10_000_000, |nodes| nodes[0].decided().len() >= 20);
                 assert!(ok);

@@ -34,9 +34,10 @@ use rand::{rngs::StdRng, SeedableRng};
 
 /// Spans that must have recorded at least one sample for the run to
 /// count as instrumented.
-const REQUIRED_SPANS: [&str; 6] = [
+const REQUIRED_SPANS: [&str; 7] = [
     "pbft.prepare",
     "pbft.commit",
+    "consensus.commit.latency",
     "paillier.encrypt",
     "pir.answer",
     "ledger.append",
@@ -47,7 +48,7 @@ fn run_consensus(quick: bool) {
     let commands: u64 = if quick { 10 } else { 50 };
     let mut sim = Simulation::new(pbft::cluster(4), NetConfig::default(), 42);
     for i in 0..commands {
-        sim.inject(0, 0, PbftMsg::Request(Command::new(i, "x")), 1 + i);
+        sim.inject(0, 0, PbftMsg::request(Command::new(i, "x")), 1 + i);
     }
     let done = sim.run_until_pred(40_000_000, |nodes| {
         nodes[0].core.executed_commands() as u64 >= commands
@@ -174,7 +175,7 @@ fn main() {
     print!("{}", export::render_table(&snap));
     print!("{}", export::render_jsonl(&snap));
 
-    let consensus_ns = phase_ns(&snap, &["pbft.", "paxos.", "sharded."]);
+    let consensus_ns = phase_ns(&snap, &["pbft.", "paxos.", "sharded.", "consensus."]);
     let crypto_ns = phase_ns(&snap, &["paillier.", "pir."]);
     let storage_ns = phase_ns(&snap, &["ledger.", "pipeline.", "wal."]);
     let extra = [

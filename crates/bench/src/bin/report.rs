@@ -2,11 +2,22 @@
 //!
 //! `cargo run --release -p prever-bench --bin report` — full parameters.
 //! `cargo run --release -p prever-bench --bin report -- --quick` — small.
+//! `cargo run --release -p prever-bench --bin report -- --bench-json PATH`
+//! — skip the tables and emit the E3 batching sweep as a
+//! `BENCH_consensus.json` document instead.
 
 use prever_bench::experiments as e;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(i) = args.iter().position(|a| a == "--bench-json") {
+        let path = args.get(i + 1).expect("--bench-json needs a path");
+        e::e3_consensus::write_bench_json(std::path::Path::new(path))
+            .unwrap_or_else(|err| panic!("writing {path}: {err}"));
+        println!("wrote {path}");
+        return;
+    }
     println!(
         "# PReVer experiment report ({} mode)\n",
         if quick { "quick" } else { "full" }

@@ -27,7 +27,7 @@ use prever_consensus::durable::{DurableLog, DurableMedia, FlushPolicy};
 use prever_consensus::paxos::{self, PaxosMsg, PaxosNode};
 use prever_consensus::pbft::{chain_digest, Byzantine, PbftMsg, PbftNode};
 use prever_consensus::sharded::{self, ShardedMsg, ShardedNode, Topology};
-use prever_consensus::Command;
+use prever_consensus::{BatchConfig, Command};
 use prever_crypto::Digest;
 use prever_ledger::{Journal, LedgerError, PersistentJournal};
 use prever_sim::{DiskFault, FaultPlan, LinkFault, NetConfig, SimStats, Simulation};
@@ -46,6 +46,10 @@ const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
 pub enum Protocol {
     /// PBFT with an equivocating replica and a restart-with-loss.
     Pbft,
+    /// The same PBFT scenario with multi-command batching and a
+    /// pipelined in-flight window enabled (batch 8, 20 ms fill delay,
+    /// window 4) — the batched ordering path under identical faults.
+    PbftBatched,
     /// Multi-Paxos with a partition window and a leader crash/recover.
     Paxos,
     /// Sharded PBFT with an inter-shard partition and a blank restart.
@@ -61,8 +65,9 @@ pub enum Protocol {
 
 impl Protocol {
     /// All protocols, sweep order.
-    pub const ALL: [Protocol; 5] = [
+    pub const ALL: [Protocol; 6] = [
         Protocol::Pbft,
+        Protocol::PbftBatched,
         Protocol::Paxos,
         Protocol::Sharded,
         Protocol::PbftDisk,
@@ -73,6 +78,7 @@ impl Protocol {
     pub fn name(&self) -> &'static str {
         match self {
             Protocol::Pbft => "pbft",
+            Protocol::PbftBatched => "pbft-batched",
             Protocol::Paxos => "paxos",
             Protocol::Sharded => "sharded",
             Protocol::PbftDisk => "pbft-disk",
@@ -127,6 +133,7 @@ impl ChaosOutcome {
 pub fn run_seed(protocol: Protocol, seed: u64, commands: u64) -> ChaosOutcome {
     match protocol {
         Protocol::Pbft => pbft_chaos(seed, commands),
+        Protocol::PbftBatched => pbft_batched_chaos(seed, commands),
         Protocol::Paxos => paxos_chaos(seed, commands),
         Protocol::Sharded => sharded_chaos(seed, commands),
         Protocol::PbftDisk => pbft_disk_chaos(seed, commands),
@@ -175,6 +182,22 @@ fn rough_links(mut plan: FaultPlan, n: usize, rng: &mut StdRng) -> FaultPlan {
 /// replica is rebuilt from its journal and catches up via state
 /// transfer.
 pub fn pbft_chaos(seed: u64, commands: u64) -> ChaosOutcome {
+    pbft_chaos_with(seed, commands, BatchConfig::default(), "pbft")
+}
+
+/// The PBFT acceptance scenario with multi-command batching and a
+/// pipelined window enabled — identical fault plan and workload, but
+/// every ordering round carries a cut batch.
+pub fn pbft_batched_chaos(seed: u64, commands: u64) -> ChaosOutcome {
+    pbft_chaos_with(seed, commands, BatchConfig::new(8, 20_000, 4), "pbft-batched")
+}
+
+fn pbft_chaos_with(
+    seed: u64,
+    commands: u64,
+    cfg: BatchConfig,
+    protocol: &'static str,
+) -> ChaosOutcome {
     const N: usize = 4;
     const VICTIM: usize = 2;
     let correct = [1usize, 2, 3];
@@ -184,9 +207,10 @@ pub fn pbft_chaos(seed: u64, commands: u64) -> ChaosOutcome {
     let nodes: Vec<PbftNode> = (0..N)
         .map(|id| {
             if id == 0 {
-                PbftNode::new(id, N, Byzantine::EquivocatingPrimary)
+                PbftNode::new(id, N, Byzantine::EquivocatingPrimary).with_batching(cfg)
             } else {
                 PbftNode::with_durable(id, N, Byzantine::Honest, logs[id].clone())
+                    .with_batching(cfg)
             }
         })
         .collect();
@@ -204,12 +228,13 @@ pub fn pbft_chaos(seed: u64, commands: u64) -> ChaosOutcome {
     let factory_logs = logs.clone();
     sim.set_node_factory(move |id| {
         PbftNode::recover_with(id, N, Byzantine::Honest, factory_logs[id].clone())
+            .with_batching(cfg)
     });
     sim.enable_trace(|m: &PbftMsg| m.kind().to_string(), 256);
 
     for i in 0..commands {
         let at = 1 + rng.gen_range(0..400_000u64);
-        sim.inject(1, 1, PbftMsg::Request(Command::new(i, format!("chaos-{i}"))), at);
+        sim.inject(1, 1, PbftMsg::request(Command::new(i, format!("chaos-{i}"))), at);
     }
 
     sim.run_until(heal_at);
@@ -252,16 +277,20 @@ pub fn pbft_chaos(seed: u64, commands: u64) -> ChaosOutcome {
         match logs[i].replay() {
             Ok(replayed) => {
                 let mut d = Digest::ZERO;
-                for (_, c, _) in &replayed.entries {
-                    d = chain_digest(d, c);
+                let mut journal_commands = 0usize;
+                for (_, batch, _) in &replayed.entries {
+                    for c in batch.commands() {
+                        d = chain_digest(d, c);
+                        journal_commands += 1;
+                    }
                 }
                 if d != sim.node(i).core.state_digest() {
                     violations.push(format!("ledger: replica {i} journal digest mismatch"));
                 }
-                if replayed.entries.len() != sim.node(i).core.executed().len() {
+                if journal_commands != sim.node(i).core.executed().len() {
                     violations.push(format!(
-                        "ledger: replica {i} journal has {} entries, memory has {}",
-                        replayed.entries.len(),
+                        "ledger: replica {i} journal has {} commands, memory has {}",
+                        journal_commands,
                         sim.node(i).core.executed().len()
                     ));
                 }
@@ -315,7 +344,7 @@ pub fn pbft_chaos(seed: u64, commands: u64) -> ChaosOutcome {
     let trace_tail = if violations.is_empty() { Vec::new() } else { sim.trace_tail(80) };
     ChaosOutcome {
         seed,
-        protocol: "pbft",
+        protocol,
         commands,
         executed: sim.node(1).core.executed_commands() as u64,
         synced: sim.node(VICTIM).core.synced(),
@@ -362,24 +391,26 @@ pub fn paxos_chaos(seed: u64, commands: u64) -> ChaosOutcome {
 
     for i in 0..commands {
         let at = 1 + rng.gen_range(0..400_000u64);
-        sim.inject(3, 3, PaxosMsg::ClientRequest(Command::new(i, format!("chaos-{i}"))), at);
+        sim.inject(3, 3, PaxosMsg::request(Command::new(i, format!("chaos-{i}"))), at);
     }
 
     sim.run_until(clear_at);
     let live = sim.run_until_pred(3_000_000, |nodes: &[PaxosNode]| {
-        nodes.iter().all(|nd| nd.decided().len() as u64 >= commands)
+        nodes.iter().all(|nd| nd.decided_ids().len() as u64 >= commands)
     });
 
     let mut violations = Vec::new();
-    // Safety: every pair of nodes agrees on every slot both decided.
+    // Safety: every pair of nodes agrees on every slot both decided
+    // (Batch equality is digest equality).
     for a in 0..N {
         for b in a + 1..N {
-            for (slot, cmd) in sim.node(a).decided() {
+            for (slot, batch) in sim.node(a).decided() {
                 if let Some(other) = sim.node(b).decided().get(slot) {
-                    if other.id != cmd.id {
+                    if other != batch {
                         violations.push(format!(
-                            "safety: nodes {a} and {b} diverge at slot {slot} ({} vs {})",
-                            cmd.id, other.id
+                            "safety: nodes {a} and {b} diverge at slot {slot} ({:?} vs {:?})",
+                            batch.commands().iter().map(|c| c.id).collect::<Vec<_>>(),
+                            other.commands().iter().map(|c| c.id).collect::<Vec<_>>()
                         ));
                     }
                 }
@@ -388,7 +419,7 @@ pub fn paxos_chaos(seed: u64, commands: u64) -> ChaosOutcome {
     }
     // No duplicate command ids within one log.
     for i in 0..N {
-        let mut ids: Vec<u64> = sim.node(i).decided().values().map(|c| c.id).collect();
+        let mut ids = sim.node(i).decided_ids();
         ids.sort_unstable();
         let before = ids.len();
         ids.dedup();
@@ -398,7 +429,7 @@ pub fn paxos_chaos(seed: u64, commands: u64) -> ChaosOutcome {
     }
     if !live {
         for i in 0..N {
-            let got = sim.node(i).decided().len() as u64;
+            let got = sim.node(i).decided_ids().len() as u64;
             if got < commands {
                 violations.push(format!("liveness: node {i} decided {got}/{commands} after heal"));
             }
@@ -410,11 +441,16 @@ pub fn paxos_chaos(seed: u64, commands: u64) -> ChaosOutcome {
         seed,
         protocol: "paxos",
         commands,
-        executed: sim.node(3).decided().len() as u64,
+        executed: sim.node(3).decided_ids().len() as u64,
         synced: 0,
         violations,
         stats: sim.stats(),
-        history: sim.node(3).decided().iter().map(|(s, c)| (*s, c.id)).collect(),
+        history: sim
+            .node(3)
+            .decided()
+            .iter()
+            .flat_map(|(s, b)| b.commands().iter().map(|c| (*s, c.id)).collect::<Vec<_>>())
+            .collect(),
         trace_tail,
         recovered_frames: 0,
         truncated_bytes: 0,
@@ -701,7 +737,7 @@ pub fn pbft_disk_chaos(seed: u64, commands: u64) -> ChaosOutcome {
 
     for i in 0..commands {
         let at = 1 + rng.gen_range(0..400_000u64);
-        sim.inject(1, 1, PbftMsg::Request(Command::new(i, format!("chaos-{i}"))), at);
+        sim.inject(1, 1, PbftMsg::request(Command::new(i, format!("chaos-{i}"))), at);
     }
 
     sim.run_until(heal_at);
@@ -753,8 +789,10 @@ pub fn pbft_disk_chaos(seed: u64, commands: u64) -> ChaosOutcome {
         match log.replay() {
             Ok(replayed) => {
                 let mut d = Digest::ZERO;
-                for (_, c, _) in &replayed.entries {
-                    d = chain_digest(d, c);
+                for (_, batch, _) in &replayed.entries {
+                    for c in batch.commands() {
+                        d = chain_digest(d, c);
+                    }
                 }
                 if d != sim.node(i).core.state_digest() {
                     violations.push(format!("ledger: replica {i} journal digest mismatch"));
@@ -948,6 +986,23 @@ mod tests {
     fn pbft_chaos_smoke_seeds_are_clean() {
         for seed in 0..3 {
             let outcome = pbft_chaos(seed, 12);
+            assert!(
+                outcome.ok(),
+                "seed {seed} violated invariants: {:?}\ntrace:\n{}",
+                outcome.violations,
+                outcome.trace_tail.join("\n")
+            );
+            assert!(outcome.stats.restarts_with_loss >= 1);
+        }
+    }
+
+    #[test]
+    fn pbft_batched_chaos_smoke_seeds_are_clean() {
+        // Same fault plan as the unbatched scenario, but ordering rounds
+        // carry multi-command batches through view changes and the
+        // restart-with-loss recovery.
+        for seed in 0..3 {
+            let outcome = pbft_batched_chaos(seed, 12);
             assert!(
                 outcome.ok(),
                 "seed {seed} violated invariants: {:?}\ntrace:\n{}",

@@ -54,6 +54,7 @@ pub fn run(quick: bool) -> Table {
     );
     for (protocol, seeds, commands) in [
         (Protocol::Pbft, pb, cb),
+        (Protocol::PbftBatched, pb, cb),
         (Protocol::Paxos, px, cx),
         (Protocol::Sharded, sh, csh),
     ] {

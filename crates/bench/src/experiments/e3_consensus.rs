@@ -5,17 +5,37 @@
 //! profile), so the numbers isolate protocol cost from host noise:
 //! virtual-time throughput (commands per simulated second), mean
 //! decision latency, and message complexity.
+//!
+//! Since batched ordering landed, E3 also sweeps throughput–latency
+//! *curves* over the batching policy — batch size ∈ {1, 8, 32, 128} ×
+//! in-flight window ∈ {1, 4, 16} — for PBFT (n = 4) and a batch curve
+//! for Paxos. [`write_bench_json`] emits the full sweep as
+//! `BENCH_consensus.json` for the repo-root artifact.
 
 use crate::Table;
 use prever_consensus::paxos::{self, PaxosMsg};
 use prever_consensus::pbft::{self, PbftMsg};
-use prever_consensus::Command;
+use prever_consensus::{BatchConfig, Command};
 use prever_sim::{NetConfig, Simulation};
 
-struct RunResult {
-    vthroughput: f64,
-    mean_latency_us: f64,
-    messages: u64,
+/// One measured configuration.
+pub struct RunResult {
+    /// Virtual-time throughput, committed commands per simulated second.
+    pub vthroughput: f64,
+    /// Mean submit→commit latency in simulated microseconds.
+    pub mean_latency_us: f64,
+    /// Total messages the simulator delivered.
+    pub messages: u64,
+}
+
+/// A point on the batching sweep.
+pub struct SweepPoint {
+    /// Max commands per batch.
+    pub batch: usize,
+    /// Max batches in flight.
+    pub window: usize,
+    /// The measurement at this point.
+    pub result: RunResult,
 }
 
 fn net() -> NetConfig {
@@ -24,18 +44,23 @@ fn net() -> NetConfig {
     NetConfig { processing: 20, ..NetConfig::default() }
 }
 
-fn run_paxos(n: usize, commands: u64) -> RunResult {
-    let mut sim = Simulation::new(paxos::cluster(n), net(), 42);
+/// The fill delay used across the sweep: long enough that bursts fill
+/// batches, short enough that the tail ships promptly.
+const FILL_DELAY: u64 = 20_000; // 20 ms
+
+/// Runs Paxos with `cfg` batching on the leader.
+pub fn run_paxos(n: usize, commands: u64, cfg: BatchConfig) -> RunResult {
+    let mut sim = Simulation::new(paxos::cluster_batched(n, cfg), net(), 42);
     sim.run_until(50_000);
     let base = sim.now();
     let mut submit_at = vec![0u64; commands as usize];
     for i in 0..commands {
         let at = base + 1 + i; // burst: saturate the cluster
         submit_at[i as usize] = at;
-        sim.inject(0, 0, PaxosMsg::ClientRequest(Command::new(i, "x")), at);
+        sim.inject(0, 0, PaxosMsg::request(Command::new(i, "x")), at);
     }
     let done = sim.run_until_pred(20_000_000, |nodes| {
-        nodes[0].decided().len() as u64 >= commands
+        nodes[0].decided_ids().len() as u64 >= commands
     });
     assert!(done, "paxos n={n} did not finish");
     let latencies: Vec<u64> = sim
@@ -53,18 +78,19 @@ fn run_paxos(n: usize, commands: u64) -> RunResult {
     }
 }
 
-fn run_pbft(n: usize, commands: u64) -> RunResult {
-    let mut sim = Simulation::new(pbft::cluster(n), net(), 42);
+/// Runs PBFT with `cfg` batching on every replica.
+pub fn run_pbft(n: usize, commands: u64, cfg: BatchConfig) -> RunResult {
+    let mut sim = Simulation::new(pbft::cluster_batched(n, cfg), net(), 42);
     let mut submit_at = vec![0u64; commands as usize];
     for i in 0..commands {
         let at = 1 + i; // burst: saturate the cluster
         submit_at[i as usize] = at;
-        sim.inject(0, 0, PbftMsg::Request(Command::new(i, "x")), at);
+        sim.inject(0, 0, PbftMsg::request(Command::new(i, "x")), at);
     }
     let done = sim.run_until_pred(40_000_000, |nodes| {
         nodes[0].core.executed_commands() as u64 >= commands
     });
-    assert!(done, "pbft n={n} did not finish");
+    assert!(done, "pbft n={n} batch={} window={} did not finish", cfg.max_batch, cfg.window);
     let executed = sim.node(0).executed();
     let latencies: Vec<u64> = executed
         .iter()
@@ -79,35 +105,175 @@ fn run_pbft(n: usize, commands: u64) -> RunResult {
     }
 }
 
+/// The sweep axes from the issue: batch ∈ {1, 8, 32, 128} × window ∈
+/// {1, 4, 16}.
+pub const BATCH_AXIS: [usize; 4] = [1, 8, 32, 128];
+/// In-flight window axis.
+pub const WINDOW_AXIS: [usize; 3] = [1, 4, 16];
+
+/// Sweeps the PBFT batching grid at cluster size `n`.
+pub fn sweep_pbft(n: usize, commands: u64) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &batch in &BATCH_AXIS {
+        for &window in &WINDOW_AXIS {
+            let delay = if batch == 1 { 0 } else { FILL_DELAY };
+            let result = run_pbft(n, commands, BatchConfig::new(batch, delay, window));
+            points.push(SweepPoint { batch, window, result });
+        }
+    }
+    points
+}
+
+/// Sweeps the Paxos batch axis (window fixed at 4) at cluster size `n`.
+pub fn sweep_paxos(n: usize, commands: u64) -> Vec<SweepPoint> {
+    BATCH_AXIS
+        .iter()
+        .map(|&batch| {
+            let delay = if batch == 1 { 0 } else { FILL_DELAY };
+            let result = run_paxos(n, commands, BatchConfig::new(batch, delay, 4));
+            SweepPoint { batch, window: 4, result }
+        })
+        .collect()
+}
+
 /// Runs E3.
 pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
-        "E3 — consensus throughput/latency: Paxos vs PBFT (simulated 1 ms RTT)",
-        &["protocol", "n", "cmds", "throughput (cmd/vsec)", "mean latency (µs)", "messages"],
+        "E3 — consensus throughput/latency: Paxos vs PBFT, batched ordering sweep \
+         (simulated 1 ms RTT)",
+        &[
+            "protocol",
+            "n",
+            "cmds",
+            "batch",
+            "window",
+            "throughput (cmd/vsec)",
+            "mean latency (µs)",
+            "messages",
+        ],
     );
     let commands: u64 = if quick { 40 } else { 200 };
     let sizes: &[usize] = if quick { &[4, 7] } else { &[4, 7, 10, 13] };
+    // Unbatched baselines across cluster sizes: the pre-batching
+    // behavior (one command per slot, unbounded in-flight slots).
     for &n in sizes {
-        let r = run_paxos(n, commands);
-        table.row(vec![
-            "paxos".into(),
-            n.to_string(),
-            commands.to_string(),
-            format!("{:.0}", r.vthroughput),
-            format!("{:.0}", r.mean_latency_us),
-            r.messages.to_string(),
-        ]);
+        let r = run_paxos(n, commands, BatchConfig::default());
+        table.row(row("paxos", n, commands, 1, usize::MAX, &r));
     }
     for &n in sizes {
-        let r = run_pbft(n, commands);
-        table.row(vec![
-            "pbft".into(),
-            n.to_string(),
-            commands.to_string(),
-            format!("{:.0}", r.vthroughput),
-            format!("{:.0}", r.mean_latency_us),
-            r.messages.to_string(),
-        ]);
+        let r = run_pbft(n, commands, BatchConfig::default());
+        table.row(row("pbft", n, commands, 1, usize::MAX, &r));
+    }
+    // The batching sweep at n = 4.
+    let sweep_cmds: u64 = if quick { 128 } else { 512 };
+    for p in sweep_pbft(4, sweep_cmds) {
+        table.row(row("pbft", 4, sweep_cmds, p.batch, p.window, &p.result));
+    }
+    for p in sweep_paxos(5, sweep_cmds) {
+        table.row(row("paxos", 5, sweep_cmds, p.batch, p.window, &p.result));
     }
     table
+}
+
+fn row(protocol: &str, n: usize, cmds: u64, batch: usize, window: usize, r: &RunResult) -> Vec<String> {
+    vec![
+        protocol.into(),
+        n.to_string(),
+        cmds.to_string(),
+        batch.to_string(),
+        if window == usize::MAX { "∞".into() } else { window.to_string() },
+        format!("{:.0}", r.vthroughput),
+        format!("{:.0}", r.mean_latency_us),
+        r.messages.to_string(),
+    ]
+}
+
+/// Emits the full batching sweep as a `BENCH_consensus.json` document
+/// (hand-rolled JSON — the workspace is dependency-free).
+pub fn write_bench_json(path: &std::path::Path) -> std::io::Result<()> {
+    let commands = 512u64;
+    let pbft = sweep_pbft(4, commands);
+    let paxos = sweep_paxos(5, commands);
+    // The pre-batching behavior: one command per slot, unbounded
+    // in-flight slots (`BatchConfig::default()`).
+    let before = run_pbft(4, commands, BatchConfig::default());
+    let baseline = pbft
+        .iter()
+        .find(|p| p.batch == 1 && p.window == 1)
+        .map(|p| p.result.vthroughput)
+        .unwrap_or(1.0);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"title\": \"Batched, pipelined consensus ordering: throughput-latency curves\",\n",
+    );
+    out.push_str("  \"commands_per_point\": 512,\n");
+    out.push_str("  \"network\": \"simulated 1 ms RTT, 20 us CPU per message\",\n");
+    out.push_str(
+        "  \"before\": \"one command per 3-phase round, unbounded in-flight slots\",\n",
+    );
+    out.push_str(
+        "  \"after\": \"Merkle-digested batches with a pipelined in-flight window\",\n",
+    );
+    out.push_str(&format!(
+        "  \"pbft_n4_before\": {{\"batch\": 1, \"window\": \"unbounded\", \
+         \"throughput_cmd_per_vsec\": {:.1}, \"mean_latency_us\": {:.1}, \"messages\": {}}},\n",
+        before.vthroughput, before.mean_latency_us, before.messages
+    ));
+    out.push_str("  \"pbft_n4\": [\n");
+    for (i, p) in pbft.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"batch\": {}, \"window\": {}, \"throughput_cmd_per_vsec\": {:.1}, \
+             \"mean_latency_us\": {:.1}, \"messages\": {}, \"speedup_vs_unbatched\": {:.2}}}{}\n",
+            p.batch,
+            p.window,
+            p.result.vthroughput,
+            p.result.mean_latency_us,
+            p.result.messages,
+            p.result.vthroughput / baseline,
+            if i + 1 == pbft.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"paxos_n5_window4\": [\n");
+    for (i, p) in paxos.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"batch\": {}, \"window\": {}, \"throughput_cmd_per_vsec\": {:.1}, \
+             \"mean_latency_us\": {:.1}, \"messages\": {}}}{}\n",
+            p.batch,
+            p.window,
+            p.result.vthroughput,
+            p.result.mean_latency_us,
+            p.result.messages,
+            if i + 1 == paxos.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// CI smoke (also the PR acceptance gate): PBFT at batch 32 must
+    /// beat unbatched ordering by ≥ 5× in virtual-time throughput at
+    /// n = 4.
+    #[test]
+    fn e3_smoke_batch32_beats_unbatched() {
+        let commands = 256;
+        let unbatched = run_pbft(4, commands, BatchConfig::default());
+        let batched = run_pbft(4, commands, BatchConfig::new(32, FILL_DELAY, 4));
+        let speedup = batched.vthroughput / unbatched.vthroughput;
+        assert!(
+            speedup >= 5.0,
+            "batch 32 speedup {speedup:.2}x < 5x \
+             (batched {:.0} vs unbatched {:.0} cmd/vsec)",
+            batched.vthroughput,
+            unbatched.vthroughput
+        );
+        // Batching must also cut message count, not just wall-clock.
+        assert!(batched.messages < unbatched.messages);
+    }
 }

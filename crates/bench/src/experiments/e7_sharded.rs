@@ -6,18 +6,22 @@
 //! gain as the cross ratio grows.
 
 use crate::Table;
-use prever_consensus::sharded::{cluster, submit, Topology};
-use prever_consensus::Command;
+use prever_consensus::sharded::{cluster_batched, submit, Topology};
+use prever_consensus::{BatchConfig, Command};
 use prever_sim::{NetConfig, Simulation};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
-fn run_config(shards: usize, cross_ratio: f64, txs: u64) -> (f64, u64) {
+/// Fill delay for the batched rows: long enough that the burst fills
+/// batches, short enough that stragglers ship promptly.
+const FILL_DELAY: u64 = 20_000; // 20 ms
+
+fn run_config(shards: usize, cross_ratio: f64, txs: u64, batch: BatchConfig) -> (f64, u64) {
     let topology = Topology { n_shards: shards, replicas_per_shard: 4 };
     // Per-message service time makes replicas finite-capacity servers —
     // without it the simulated cluster has infinite parallelism and
     // sharding cannot show its benefit.
     let cfg = NetConfig { processing: 30, ..NetConfig::default() };
-    let mut sim = Simulation::new(cluster(topology), cfg, 7);
+    let mut sim = Simulation::new(cluster_batched(topology, batch), cfg, 7);
     let mut rng = StdRng::seed_from_u64(7);
     for i in 0..txs {
         let home = (i % shards as u64) as usize;
@@ -57,25 +61,31 @@ fn run_config(shards: usize, cross_ratio: f64, txs: u64) -> (f64, u64) {
 /// Runs E7.
 pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
-        "E7 — SharPer-style sharding: throughput vs shards and cross-shard ratio",
-        &["shards", "cross-shard %", "txs", "throughput (tx/vsec)", "messages"],
+        "E7 — SharPer-style sharding: throughput vs shards, cross-shard ratio, batching",
+        &["shards", "cross-shard %", "batch", "txs", "throughput (tx/vsec)", "messages"],
     );
     let txs: u64 = if quick { 24 } else { 120 };
     let shard_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
     let ratios: &[f64] = if quick { &[0.0, 0.5] } else { &[0.0, 0.1, 0.5, 1.0] };
+    // Unbatched vs batched ordering inside each shard (cross-shard
+    // coordination itself stays per-transaction).
+    let batches = [(1usize, BatchConfig::default()), (8, BatchConfig::new(8, FILL_DELAY, 4))];
     for &shards in shard_counts {
         for &ratio in ratios {
             if shards == 1 && ratio > 0.0 {
                 continue; // no cross-shard possible
             }
-            let (tput, messages) = run_config(shards, ratio, txs);
-            table.row(vec![
-                shards.to_string(),
-                format!("{:.0}", ratio * 100.0),
-                txs.to_string(),
-                format!("{tput:.0}"),
-                messages.to_string(),
-            ]);
+            for (batch, cfg) in batches {
+                let (tput, messages) = run_config(shards, ratio, txs, cfg);
+                table.row(vec![
+                    shards.to_string(),
+                    format!("{:.0}", ratio * 100.0),
+                    batch.to_string(),
+                    txs.to_string(),
+                    format!("{tput:.0}"),
+                    messages.to_string(),
+                ]);
+            }
         }
     }
     table

@@ -7,17 +7,20 @@
 //! write-back cache whose unflushed bytes die (or tear) on crash. A
 //! replica appends three kinds of records while running:
 //!
-//! * **Exec** — one per executed command, in sequence order. Replaying
-//!   the exec records rebuilds the executed history (and hence the
-//!   chained state digest) of everything the replica had applied before
-//!   it died.
+//! * **Exec** — one per executed *batch*, in batch-sequence order
+//!   (since DESIGN.md §11 the batch is the unit of agreement, so it is
+//!   also the unit of durability: one record and at most one flush
+//!   barrier per ordering round instead of per command). Replaying the
+//!   exec records rebuilds the executed history (and hence the chained
+//!   state digest) of everything the replica had applied before it
+//!   died.
 //! * **Bind** — a `(seq, view, digest)` vote binding, written *before*
 //!   the replica's prepare vote for that slot leaves the outbox. After a
 //!   restart the bindings stop the recovered replica from voting for a
 //!   *different* command at a sequence it already voted on in the same
 //!   or an older view — the classic amnesia hazard that turns a correct
 //!   replica into an accidental equivocator.
-//! * **Prep** — a `(seq, view, command)` prepared certificate, written
+//! * **Prep** — a `(seq, view, batch)` prepared certificate, written
 //!   when a slot reaches the prepared predicate and *before* the commit
 //!   vote leaves. A commit vote claims "I hold a prepared certificate";
 //!   if the replica then restarts with amnesia, a subsequent view
@@ -54,7 +57,7 @@
 //!
 //! [`FaultEvent::RestartWithLoss`]: prever_sim::FaultEvent::RestartWithLoss
 
-use crate::Command;
+use crate::Batch;
 use bytes::Bytes;
 use prever_crypto::Digest;
 use prever_ledger::{Journal, LedgerError, PersistReport, PersistentJournal};
@@ -143,13 +146,13 @@ impl Default for DurableLog {
 /// State decoded from a [`DurableLog`] replay.
 #[derive(Clone, Debug, Default)]
 pub struct ReplayedState {
-    /// Executed commands as `(seq, command, decided_at)`, in append
+    /// Executed batches as `(batch seq, batch, decided_at)`, in append
     /// (= sequence) order.
-    pub entries: Vec<(u64, Command, u64)>,
+    pub entries: Vec<(u64, Batch, u64)>,
     /// Vote bindings as `(seq, view, digest)`, in append order.
     pub bindings: Vec<(u64, u64, Digest)>,
-    /// Prepared certificates as `(seq, view, command)`, in append order.
-    pub prepared: Vec<(u64, u64, Command)>,
+    /// Prepared certificates as `(seq, view, batch)`, in append order.
+    pub prepared: Vec<(u64, u64, Batch)>,
 }
 
 impl DurableLog {
@@ -211,14 +214,14 @@ impl DurableLog {
         self.inner.borrow().pj.flushed_entries()
     }
 
-    /// Appends an executed command at `seq`, decided at virtual time
-    /// `at`. Durability governed by the [`FlushPolicy`].
-    pub fn append_exec(&self, seq: u64, command: &Command, at: u64) {
-        let mut buf = Vec::with_capacity(17 + command.payload.len());
+    /// Appends an executed batch at batch sequence `seq`, decided at
+    /// virtual time `at`. One record per ordering round; durability
+    /// governed by the [`FlushPolicy`].
+    pub fn append_exec(&self, seq: u64, batch: &Batch, at: u64) {
+        let mut buf = Vec::with_capacity(13);
         buf.push(TAG_EXEC);
         buf.extend_from_slice(&seq.to_be_bytes());
-        buf.extend_from_slice(&command.id.to_be_bytes());
-        buf.extend_from_slice(&command.payload);
+        batch.encode_into(&mut buf);
         let mut inner = self.inner.borrow_mut();
         inner.pj.append(at, Bytes::from(buf));
         if inner.policy == FlushPolicy::Always {
@@ -239,15 +242,14 @@ impl DurableLog {
         inner.pj.flush();
     }
 
-    /// Appends a `(seq, view, command)` prepared certificate — flushed
+    /// Appends a `(seq, view, batch)` prepared certificate — flushed
     /// immediately, before the commit vote may leave.
-    pub fn append_prep(&self, seq: u64, view: u64, command: &Command) {
-        let mut buf = Vec::with_capacity(25 + command.payload.len());
+    pub fn append_prep(&self, seq: u64, view: u64, batch: &Batch) {
+        let mut buf = Vec::with_capacity(21);
         buf.push(TAG_PREP);
         buf.extend_from_slice(&seq.to_be_bytes());
         buf.extend_from_slice(&view.to_be_bytes());
-        buf.extend_from_slice(&command.id.to_be_bytes());
-        buf.extend_from_slice(&command.payload);
+        batch.encode_into(&mut buf);
         let mut inner = self.inner.borrow_mut();
         inner.pj.append(0, Bytes::from(buf));
         inner.pj.flush();
@@ -302,12 +304,17 @@ impl DurableLog {
         let mut state = ReplayedState::default();
         for entry in journal.entries() {
             let p = &entry.payload;
+            let malformed = LedgerError::TamperDetected("malformed durable record");
             match p.first() {
-                Some(&TAG_EXEC) if p.len() >= 17 => {
+                Some(&TAG_EXEC) if p.len() >= 13 => {
                     let seq = u64::from_be_bytes(p[1..9].try_into().unwrap());
-                    let id = u64::from_be_bytes(p[9..17].try_into().unwrap());
-                    let command = Command::new(id, p[17..].to_vec());
-                    state.entries.push((seq, command, entry.timestamp));
+                    let Some((batch, used)) = Batch::decode(&p[9..]) else {
+                        return Err(malformed);
+                    };
+                    if used != p.len() - 9 {
+                        return Err(malformed);
+                    }
+                    state.entries.push((seq, batch, entry.timestamp));
                 }
                 Some(&TAG_BIND) if p.len() == 49 => {
                     let seq = u64::from_be_bytes(p[1..9].try_into().unwrap());
@@ -316,12 +323,16 @@ impl DurableLog {
                     d.copy_from_slice(&p[17..49]);
                     state.bindings.push((seq, view, Digest(d)));
                 }
-                Some(&TAG_PREP) if p.len() >= 25 => {
+                Some(&TAG_PREP) if p.len() >= 21 => {
                     let seq = u64::from_be_bytes(p[1..9].try_into().unwrap());
                     let view = u64::from_be_bytes(p[9..17].try_into().unwrap());
-                    let id = u64::from_be_bytes(p[17..25].try_into().unwrap());
-                    let command = Command::new(id, p[25..].to_vec());
-                    state.prepared.push((seq, view, command));
+                    let Some((batch, used)) = Batch::decode(&p[17..]) else {
+                        return Err(malformed);
+                    };
+                    if used != p.len() - 17 {
+                        return Err(malformed);
+                    }
+                    state.prepared.push((seq, view, batch));
                 }
                 _ => return Err(LedgerError::TamperDetected("malformed durable record")),
             }
@@ -333,34 +344,44 @@ impl DurableLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Command;
 
     #[test]
     fn replay_roundtrips_execs_and_bindings() {
         let log = DurableLog::new();
         assert!(log.is_empty());
-        let c1 = Command::new(7, b"alpha".to_vec());
-        let c2 = Command::new(9, b"beta".to_vec());
-        log.append_bind(1, 0, &c1.digest());
-        log.append_prep(1, 0, &c1);
-        log.append_exec(1, &c1, 1234);
-        log.append_bind(2, 3, &c2.digest());
-        log.append_prep(2, 3, &c2);
-        log.append_exec(2, &c2, 5678);
+        // A multi-command batch exercises the length-framed encoding.
+        let b1 = Batch::new(vec![
+            Command::new(7, b"alpha".to_vec()),
+            Command::new(8, b"".to_vec()),
+        ]);
+        let b2 = Batch::single(Command::new(9, b"beta".to_vec()));
+        log.append_bind(1, 0, &b1.digest());
+        log.append_prep(1, 0, &b1);
+        log.append_exec(1, &b1, 1234);
+        log.append_bind(2, 3, &b2.digest());
+        log.append_prep(2, 3, &b2);
+        log.append_exec(2, &b2, 5678);
         assert_eq!(log.len(), 6);
         assert_eq!(log.flushed_records(), 6, "Always policy flushes everything");
 
         let replayed = log.replay().expect("chain verifies");
         assert_eq!(
             replayed.entries,
-            vec![(1, c1.clone(), 1234), (2, c2.clone(), 5678)]
+            vec![(1, b1.clone(), 1234), (2, b2.clone(), 5678)]
+        );
+        assert_eq!(
+            replayed.entries[0].1.commands(),
+            b1.commands(),
+            "batch contents round-trip"
         );
         assert_eq!(
             replayed.bindings,
-            vec![(1, 0, c1.digest()), (2, 3, c2.digest())]
+            vec![(1, 0, b1.digest()), (2, 3, b2.digest())]
         );
         assert_eq!(
             replayed.prepared,
-            vec![(1, 0, c1.clone()), (2, 3, c2.clone())]
+            vec![(1, 0, b1.clone()), (2, 3, b2.clone())]
         );
     }
 
@@ -368,7 +389,7 @@ mod tests {
     fn clones_share_the_same_disk() {
         let log = DurableLog::new();
         let survivor = log.clone();
-        log.append_exec(1, &Command::new(1, b"x".to_vec()), 1);
+        log.append_exec(1, &Batch::single(Command::new(1, b"x".to_vec())), 1);
         assert_eq!(survivor.len(), 1);
         assert_eq!(survivor.replay().unwrap().entries.len(), 1);
     }
@@ -390,10 +411,10 @@ mod tests {
     fn crash_recovery_keeps_flushed_records() {
         let media = DurableMedia::new(42);
         let log = DurableLog::on(&media).with_policy(FlushPolicy::Every(4));
-        let c = |i: u64| Command::new(i, format!("cmd-{i}").into_bytes());
-        log.append_bind(1, 0, &c(1).digest()); // flushed
-        log.append_exec(1, &c(1), 10); // staged
-        log.append_exec(2, &c(2), 20); // staged
+        let b = |i: u64| Batch::single(Command::new(i, format!("cmd-{i}").into_bytes()));
+        log.append_bind(1, 0, &b(1).digest()); // flushed
+        log.append_exec(1, &b(1), 10); // staged
+        log.append_exec(2, &b(2), 20); // staged
         assert_eq!(log.flushed_records(), 1);
         media.crash_dropping_cache();
         let (rec, report) = DurableLog::recover(&media).unwrap();
@@ -408,11 +429,11 @@ mod tests {
     fn commit_dispatch_groups_exec_flushes() {
         let media = DurableMedia::new(7);
         let log = DurableLog::on(&media).with_policy(FlushPolicy::Every(2));
-        let c = Command::new(1, b"x".to_vec());
-        log.append_exec(1, &c, 1);
+        let b = Batch::single(Command::new(1, b"x".to_vec()));
+        log.append_exec(1, &b, 1);
         log.commit_dispatch(); // dispatch 1 of 2: still pending
         assert_eq!(log.flushed_records(), 0);
-        log.append_exec(2, &c, 2);
+        log.append_exec(2, &b, 2);
         log.commit_dispatch(); // dispatch 2: flush
         assert_eq!(log.flushed_records(), 2);
     }
@@ -421,13 +442,13 @@ mod tests {
     fn recovery_after_compaction_keeps_full_history() {
         let media = DurableMedia::new(9);
         let log = DurableLog::on(&media);
-        let c = |i: u64| Command::new(i, format!("cmd-{i}").into_bytes());
+        let b = |i: u64| Batch::single(Command::new(i, format!("cmd-{i}").into_bytes()));
         for i in 1..=5 {
-            log.append_exec(i, &c(i), i * 10);
+            log.append_exec(i, &b(i), i * 10);
         }
         log.compact();
         for i in 6..=8 {
-            log.append_exec(i, &c(i), i * 10);
+            log.append_exec(i, &b(i), i * 10);
         }
         let digest = log.digest();
         media.crash(); // everything relevant already flushed (Always)
@@ -443,7 +464,7 @@ mod tests {
         let media = DurableMedia::new(11);
         let log = DurableLog::on(&media);
         for i in 1..=20 {
-            log.append_exec(i, &Command::new(i, vec![0xab; 40]), i);
+            log.append_exec(i, &Batch::single(Command::new(i, vec![0xab; 40])), i);
         }
         log.flush();
         assert!(media.corrupt());

@@ -23,6 +23,19 @@
 //! All protocols expose the same observable: an ordered, executed log of
 //! [`Command`]s with per-command decision timestamps, which the benches
 //! turn into the throughput/latency series of experiments E3 and E7.
+//!
+//! ## Batched ordering
+//!
+//! Since DESIGN.md §11 the unit of replication is a [`Batch`] of
+//! commands, not a single command: the leader/primary accumulates client
+//! commands under a [`BatchConfig`] (max size, max fill delay, bounded
+//! in-flight window) and runs one agreement round per batch. The batch
+//! digest is a Merkle root (RFC 6962 shape, via `prever_crypto::merkle`)
+//! over the cached per-command digests, so per-command digests are
+//! computed once and vote messages stay constant-size no matter how
+//! large the batch is. [`BatchConfig::default`] is one command per batch
+//! with an unbounded window — byte-identical behavior to the pre-batching
+//! protocol.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,27 +45,205 @@ pub mod paxos;
 pub mod pbft;
 pub mod sharded;
 
+use prever_crypto::merkle::MerkleTree;
+use prever_crypto::Digest;
+use std::sync::{Arc, OnceLock};
+
 /// An opaque replicated command (e.g. an encoded PReVer update).
 ///
 /// Commands carry a client-assigned id so benches can match decisions
 /// back to submissions.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// The content digest is cached on first use ([`Command::digest`]), so
+/// `id` and `payload` must be treated as immutable once a digest has
+/// been taken — construct a fresh command via [`Command::new`] instead
+/// of mutating in place.
+#[derive(Debug, Default)]
 pub struct Command {
     /// Client-assigned unique id.
     pub id: u64,
     /// Opaque payload.
     pub payload: Vec<u8>,
+    /// Compute-once digest cache (satellite of DESIGN.md §11: the hot
+    /// path hashes each command exactly once, batching then reuses the
+    /// cached leaves for the Merkle batch digest).
+    cached_digest: OnceLock<Digest>,
 }
 
 impl Command {
     /// Builds a command.
     pub fn new(id: u64, payload: impl Into<Vec<u8>>) -> Self {
-        Command { id, payload: payload.into() }
+        Command { id, payload: payload.into(), cached_digest: OnceLock::new() }
     }
 
     /// A content digest used where PBFT messages carry `D(m)`.
-    pub fn digest(&self) -> prever_crypto::Digest {
-        prever_crypto::sha256::sha256_concat(&[&self.id.to_be_bytes(), &self.payload])
+    /// Computed on first call, cached thereafter.
+    pub fn digest(&self) -> Digest {
+        *self
+            .cached_digest
+            .get_or_init(|| prever_crypto::sha256::sha256_concat(&[&self.id.to_be_bytes(), &self.payload]))
+    }
+}
+
+impl Clone for Command {
+    fn clone(&self) -> Self {
+        Command {
+            id: self.id,
+            payload: self.payload.clone(),
+            cached_digest: self.cached_digest.clone(),
+        }
+    }
+}
+
+impl PartialEq for Command {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.payload == other.payload
+    }
+}
+impl Eq for Command {}
+
+impl std::hash::Hash for Command {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+        self.payload.hash(state);
+    }
+}
+
+impl PartialOrd for Command {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Command {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.id, &self.payload).cmp(&(other.id, &other.payload))
+    }
+}
+
+/// An ordered group of commands replicated as one unit: one 3-phase
+/// round (PBFT) or one accept (Paxos) orders the whole batch.
+///
+/// Cloning is an `Arc` bump — broadcast fan-out shares one allocation
+/// instead of deep-copying every command per destination (the clone-cut
+/// satellite of DESIGN.md §11). Equality compares the Merkle digest.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    inner: Arc<BatchInner>,
+}
+
+#[derive(Debug)]
+struct BatchInner {
+    commands: Vec<Command>,
+    digest: Digest,
+}
+
+impl Batch {
+    /// Builds a batch over `commands`, computing the Merkle batch digest
+    /// (RFC 6962 tree over the cached per-command digests) eagerly.
+    pub fn new(commands: Vec<Command>) -> Self {
+        let mut tree = MerkleTree::new();
+        for c in &commands {
+            tree.append(c.digest().as_bytes());
+        }
+        let digest = tree.root();
+        Batch { inner: Arc::new(BatchInner { commands, digest }) }
+    }
+
+    /// A batch of one command.
+    pub fn single(command: Command) -> Self {
+        Self::new(vec![command])
+    }
+
+    /// The Merkle root over the per-command digests. This is the `D(m)`
+    /// that PBFT prepare/commit votes and durable vote bindings carry.
+    pub fn digest(&self) -> Digest {
+        self.inner.digest
+    }
+
+    /// The batched commands, in execution order.
+    pub fn commands(&self) -> &[Command] {
+        &self.inner.commands
+    }
+
+    /// Number of commands in the batch.
+    pub fn len(&self) -> usize {
+        self.inner.commands.len()
+    }
+
+    /// True iff the batch holds no commands.
+    pub fn is_empty(&self) -> bool {
+        self.inner.commands.is_empty()
+    }
+
+    /// True iff any command in the batch has the given client id.
+    pub fn contains_id(&self, id: u64) -> bool {
+        self.inner.commands.iter().any(|c| c.id == id)
+    }
+
+    /// Length-framed wire/disk encoding: `count(u32) ‖ (id(u64) ‖
+    /// len(u32) ‖ payload)*`. Inverse of [`Batch::decode`].
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.len() as u32).to_be_bytes());
+        for c in &self.inner.commands {
+            buf.extend_from_slice(&c.id.to_be_bytes());
+            buf.extend_from_slice(&(c.payload.len() as u32).to_be_bytes());
+            buf.extend_from_slice(&c.payload);
+        }
+    }
+
+    /// Decodes a batch from `buf`; returns the batch and the number of
+    /// bytes consumed, or `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<(Batch, usize)> {
+        let count = u32::from_be_bytes(buf.get(..4)?.try_into().ok()?) as usize;
+        let mut at = 4usize;
+        let mut commands = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = u64::from_be_bytes(buf.get(at..at + 8)?.try_into().ok()?);
+            let len = u32::from_be_bytes(buf.get(at + 8..at + 12)?.try_into().ok()?) as usize;
+            let payload = buf.get(at + 12..at + 12 + len)?.to_vec();
+            commands.push(Command::new(id, payload));
+            at += 12 + len;
+        }
+        Some((Batch::new(commands), at))
+    }
+}
+
+impl PartialEq for Batch {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.digest == other.inner.digest
+    }
+}
+impl Eq for Batch {}
+
+/// Batching/pipelining knobs for the ordering protocols.
+///
+/// The leader accumulates client commands and cuts a batch when it holds
+/// `max_batch` commands or the oldest has waited `max_delay` µs,
+/// whichever comes first, subject to at most `window` unexecuted batches
+/// in flight (pipelining depth). The default — one command per batch,
+/// no delay, unbounded window — reproduces unbatched behavior exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum commands per batch (≥ 1).
+    pub max_batch: usize,
+    /// Maximum µs the oldest accumulated command may wait before the
+    /// batch is cut short.
+    pub max_delay: u64,
+    /// Maximum unexecuted batches concurrently in flight.
+    pub window: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { max_batch: 1, max_delay: 0, window: usize::MAX }
+    }
+}
+
+impl BatchConfig {
+    /// Builds a config; `max_batch` is clamped to at least 1 and
+    /// `window` to at least 1.
+    pub fn new(max_batch: usize, max_delay: u64, window: usize) -> Self {
+        BatchConfig { max_batch: max_batch.max(1), max_delay, window: window.max(1) }
     }
 }
 
@@ -65,4 +256,80 @@ pub struct Decided {
     pub command: Command,
     /// Virtual time (µs) at which this node learned the decision.
     pub at: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_digest_is_cached_and_stable() {
+        let c = Command::new(7, b"alpha".to_vec());
+        let d1 = c.digest();
+        let d2 = c.digest();
+        assert_eq!(d1, d2);
+        // The clone carries the cache and agrees.
+        assert_eq!(c.clone().digest(), d1);
+        // A fresh command with identical content agrees too.
+        assert_eq!(Command::new(7, b"alpha".to_vec()).digest(), d1);
+        assert_ne!(Command::new(8, b"alpha".to_vec()).digest(), d1);
+    }
+
+    #[test]
+    fn batch_digest_is_merkle_root_over_command_digests() {
+        let cmds: Vec<Command> = (0..5).map(|i| Command::new(i, format!("c{i}"))).collect();
+        let mut tree = MerkleTree::new();
+        for c in &cmds {
+            tree.append(c.digest().as_bytes());
+        }
+        let batch = Batch::new(cmds);
+        assert_eq!(batch.digest(), tree.root());
+        assert_eq!(batch.len(), 5);
+        assert!(batch.contains_id(3));
+        assert!(!batch.contains_id(9));
+    }
+
+    #[test]
+    fn batch_digest_orders_and_contents_matter() {
+        let a = Batch::new(vec![Command::new(1, "x"), Command::new(2, "y")]);
+        let b = Batch::new(vec![Command::new(2, "y"), Command::new(1, "x")]);
+        assert_ne!(a.digest(), b.digest(), "order must be authenticated");
+        let c = Batch::new(vec![Command::new(1, "x"), Command::new(2, "z")]);
+        assert_ne!(a.digest(), c.digest());
+        assert_ne!(a, b);
+        assert_eq!(a, Batch::new(vec![Command::new(1, "x"), Command::new(2, "y")]));
+    }
+
+    #[test]
+    fn batch_encode_decode_roundtrip() {
+        let batch = Batch::new(vec![
+            Command::new(1, b"".to_vec()),
+            Command::new(u64::MAX, b"payload-with-\x00-bytes".to_vec()),
+            Command::new(42, vec![0xab; 300]),
+        ]);
+        let mut buf = vec![0xfe]; // leading junk the caller frames past
+        batch.encode_into(&mut buf);
+        let (decoded, used) = Batch::decode(&buf[1..]).expect("decodes");
+        assert_eq!(used, buf.len() - 1);
+        assert_eq!(decoded, batch);
+        assert_eq!(decoded.commands(), batch.commands());
+        // Truncated input is rejected, not mis-parsed.
+        assert!(Batch::decode(&buf[1..buf.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn batch_clone_shares_the_allocation() {
+        let batch = Batch::new(vec![Command::new(1, vec![0u8; 1024])]);
+        let copy = batch.clone();
+        assert!(Arc::ptr_eq(&batch.inner, &copy.inner));
+    }
+
+    #[test]
+    fn batch_config_default_is_unbatched() {
+        let cfg = BatchConfig::default();
+        assert_eq!(cfg.max_batch, 1);
+        assert_eq!(cfg.max_delay, 0);
+        assert_eq!(cfg.window, usize::MAX);
+        assert_eq!(BatchConfig::new(0, 5, 0), BatchConfig { max_batch: 1, max_delay: 5, window: 1 });
+    }
 }

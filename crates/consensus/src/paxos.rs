@@ -6,31 +6,37 @@
 //! requests to the leader and monitor it with heartbeats, electing a new
 //! leader (higher ballot) on silence.
 //!
+//! Ordering is batched: the leader accumulates forwarded commands into a
+//! [`Batch`] under a [`BatchConfig`] fill policy (max size / max delay)
+//! and runs **one accept round per batch**, with at most `window` batches
+//! in flight concurrently. The default config (batch 1, no delay) degrades
+//! to the classic one-command-per-slot protocol.
+//!
 //! Ballot numbering: `ballot = round * n + node_id`, so every node owns an
 //! unbounded supply of unique ballots and `ballot % n` identifies the
 //! would-be leader.
 
-use crate::{Command, Decided};
+use crate::{Batch, BatchConfig, Command, Decided};
 use prever_sim::{Actor, Ctx, NodeId, VoteSet};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Paxos protocol messages.
 #[derive(Clone, Debug)]
 pub enum PaxosMsg {
-    /// A client submits a command (injected by the harness or forwarded).
-    ClientRequest(Command),
+    /// A client submits commands (injected by the harness or forwarded).
+    ClientRequest(Batch),
     /// Phase 1a.
     Prepare {
         /// Proposer's ballot.
         ballot: u64,
     },
     /// Phase 1b: promise not to accept lower ballots; reports previously
-    /// accepted (slot, ballot, command) triples.
+    /// accepted (slot, ballot, batch) triples.
     Promise {
         /// The promised ballot.
         ballot: u64,
         /// Previously accepted values.
-        accepted: Vec<(u64, u64, Command)>,
+        accepted: Vec<(u64, u64, Batch)>,
     },
     /// Phase 2a.
     Accept {
@@ -38,8 +44,8 @@ pub enum PaxosMsg {
         ballot: u64,
         /// Slot being decided.
         slot: u64,
-        /// Proposed command.
-        command: Command,
+        /// Proposed batch.
+        batch: Batch,
     },
     /// Phase 2b.
     Accepted {
@@ -52,8 +58,8 @@ pub enum PaxosMsg {
     Decide {
         /// Slot.
         slot: u64,
-        /// Decided command.
-        command: Command,
+        /// Decided batch.
+        batch: Batch,
     },
     /// Leader liveness beacon; carries the decision frontier so
     /// followers can detect gaps from dropped Decide messages.
@@ -71,6 +77,11 @@ pub enum PaxosMsg {
 }
 
 impl PaxosMsg {
+    /// Wraps a single command as a client request (harness convenience).
+    pub fn request(command: Command) -> PaxosMsg {
+        PaxosMsg::ClientRequest(Batch::single(command))
+    }
+
     /// The span name timing this message kind's handler (wall-clock
     /// handling time recorded into the histogram of the same name).
     /// Public so harnesses (e.g. the chaos trace) can label messages.
@@ -90,6 +101,7 @@ impl PaxosMsg {
 
 const TIMER_HEARTBEAT: u64 = 1;
 const TIMER_LEADER_TIMEOUT: u64 = 2;
+const TIMER_BATCH: u64 = 3;
 
 const HEARTBEAT_EVERY: u64 = 20_000; // 20 ms
 const LEADER_TIMEOUT: u64 = 100_000; // 100 ms
@@ -102,7 +114,7 @@ const ELECTION_STAGGER: u64 = 10_000; // 10 ms
 #[derive(Clone, Debug)]
 struct AcceptedEntry {
     ballot: u64,
-    command: Command,
+    batch: Batch,
 }
 
 /// A Multi-Paxos node (proposer + acceptor + learner).
@@ -115,8 +127,8 @@ pub struct PaxosNode {
     /// Accepted values per slot (acceptor).
     accepted: BTreeMap<u64, AcceptedEntry>,
     /// Decided log (learner).
-    decided: BTreeMap<u64, Command>,
-    /// Decision times for the bench.
+    decided: BTreeMap<u64, Batch>,
+    /// Decision times for the bench (one entry per command).
     decided_log: Vec<Decided>,
     /// Leader state: Some(ballot) once phase 1 is complete.
     leading: Option<u64>,
@@ -129,10 +141,15 @@ pub struct PaxosNode {
     next_slot: u64,
     /// Client commands awaiting proposal.
     backlog: Vec<Command>,
+    /// Commands accumulating toward the next proposed batch (leader),
+    /// with arrival time for the fill-delay cut.
+    accum: VecDeque<(Command, u64)>,
+    /// Batch fill/pipelining policy.
+    cfg: BatchConfig,
     /// Per-slot accept votes when leading.
     votes: BTreeMap<u64, VoteSet>,
-    /// In-flight proposals (slot → command) when leading.
-    proposing: BTreeMap<u64, Command>,
+    /// In-flight proposals (slot → batch) when leading.
+    proposing: BTreeMap<u64, Batch>,
     /// Last heartbeat seen from a leader (ballot).
     seen_ballot: u64,
     heard_from_leader: bool,
@@ -154,6 +171,8 @@ impl PaxosNode {
             campaign_accepted: BTreeMap::new(),
             next_slot: 0,
             backlog: Vec::new(),
+            accum: VecDeque::new(),
+            cfg: BatchConfig::default(),
             votes: BTreeMap::new(),
             proposing: BTreeMap::new(),
             seen_ballot: 0,
@@ -161,9 +180,29 @@ impl PaxosNode {
         }
     }
 
+    /// Creates node `id` of `n` with a batching policy.
+    pub fn with_batching(id: NodeId, n: usize, cfg: BatchConfig) -> Self {
+        let mut node = PaxosNode::new(id, n);
+        node.cfg = cfg;
+        node
+    }
+
+    /// Sets the batch fill/pipelining policy.
+    pub fn set_batch_config(&mut self, cfg: BatchConfig) {
+        self.cfg = cfg;
+    }
+
     /// The decided log (slot-ordered, possibly with gaps while running).
-    pub fn decided(&self) -> &BTreeMap<u64, Command> {
+    pub fn decided(&self) -> &BTreeMap<u64, Batch> {
         &self.decided
+    }
+
+    /// Decided command ids in slot order (flattens batches).
+    pub fn decided_ids(&self) -> Vec<u64> {
+        self.decided
+            .values()
+            .flat_map(|b| b.commands().iter().map(|c| c.id))
+            .collect()
     }
 
     /// Decision events in arrival order (bench latency extraction).
@@ -210,57 +249,115 @@ impl PaxosNode {
         self.leading = Some(ballot);
         // Re-propose every accepted-but-undecided value we learned.
         let mut max_slot = self.decided.keys().next_back().copied().map(|s| s + 1).unwrap_or(0);
-        let to_repropose: Vec<(u64, Command)> = self
+        let to_repropose: Vec<(u64, Batch)> = self
             .campaign_accepted
             .iter()
             .filter(|(slot, _)| !self.decided.contains_key(*slot))
-            .map(|(slot, e)| (*slot, e.command.clone()))
+            .map(|(slot, e)| (*slot, e.batch.clone()))
             .collect();
         for (slot, _) in &to_repropose {
             max_slot = max_slot.max(slot + 1);
         }
         self.next_slot = max_slot;
-        for (slot, command) in to_repropose {
-            self.propose_at(slot, command, ctx);
+        for (slot, batch) in to_repropose {
+            self.propose_at(slot, batch, ctx);
         }
-        // Propose the backlog (retained until decided).
+        // Propose the backlog (retained until decided), chunked by the
+        // batch policy; `force` skips the fill delay so inherited work
+        // ships immediately.
         for command in self.backlog.clone() {
-            if self.already_known(&command) {
-                continue;
-            }
-            let slot = self.next_slot;
-            self.next_slot += 1;
-            self.propose_at(slot, command, ctx);
+            self.enqueue(command, ctx.now());
         }
+        self.flush(ctx, true);
         ctx.set_timer(HEARTBEAT_EVERY, TIMER_HEARTBEAT);
     }
 
-    fn propose_at(&mut self, slot: u64, command: Command, ctx: &mut Ctx<PaxosMsg>) {
+    /// Queues a command toward the next proposed batch (leader side).
+    fn enqueue(&mut self, command: Command, now: u64) {
+        if self.already_known(&command) || self.accum.iter().any(|(c, _)| c.id == command.id) {
+            return;
+        }
+        self.accum.push_back((command, now));
+    }
+
+    /// Cuts and proposes batches from the accumulator. A batch is cut when
+    /// it is full or its oldest command has waited `max_delay`, subject to
+    /// the in-flight `window`.
+    fn flush(&mut self, ctx: &mut Ctx<PaxosMsg>, force: bool) {
+        if self.leading.is_none() {
+            return;
+        }
+        let now = ctx.now();
+        while !self.accum.is_empty() && self.proposing.len() < self.cfg.window {
+            let full = self.accum.len() >= self.cfg.max_batch;
+            let oldest = self.accum.front().map(|(_, since)| *since).unwrap_or(now);
+            let aged = self.cfg.max_delay == 0 || now.saturating_sub(oldest) >= self.cfg.max_delay;
+            if !(full || aged || force) {
+                break;
+            }
+            let take = self.accum.len().min(self.cfg.max_batch);
+            let mut commands: Vec<Command> = self.accum.drain(..take).map(|(c, _)| c).collect();
+            // Re-filter: a command may have been decided (via another
+            // leader's Decide) since it was queued.
+            commands.retain(|c| !self.already_known(c));
+            if commands.is_empty() {
+                continue;
+            }
+            prever_obs::histogram("consensus.batch.size").record(commands.len() as u64);
+            prever_obs::histogram("consensus.batch.fill_delay").record(now.saturating_sub(oldest));
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            self.propose_at(slot, Batch::new(commands), ctx);
+        }
+    }
+
+    /// Earliest virtual time a queued command's fill delay expires, if a
+    /// batch timer is needed at all.
+    fn next_batch_deadline(&self) -> Option<u64> {
+        if self.leading.is_none() || self.cfg.max_delay == 0 {
+            return None;
+        }
+        self.accum.front().map(|(_, since)| since + self.cfg.max_delay)
+    }
+
+    fn arm_batch_timer(&self, ctx: &mut Ctx<PaxosMsg>) {
+        if let Some(deadline) = self.next_batch_deadline() {
+            let due = deadline.max(ctx.now() + 1);
+            ctx.set_timer(due - ctx.now(), TIMER_BATCH);
+        }
+    }
+
+    fn propose_at(&mut self, slot: u64, batch: Batch, ctx: &mut Ctx<PaxosMsg>) {
         let ballot = self.leading.expect("propose_at requires leadership");
-        self.proposing.insert(slot, command.clone());
+        self.proposing.insert(slot, batch.clone());
         let mut votes = VoteSet::new();
         votes.add(self.id); // self-accept below
         self.votes.insert(slot, votes);
-        self.accepted.insert(slot, AcceptedEntry { ballot, command: command.clone() });
-        ctx.broadcast(PaxosMsg::Accept { ballot, slot, command });
+        self.accepted.insert(slot, AcceptedEntry { ballot, batch: batch.clone() });
+        ctx.broadcast(PaxosMsg::Accept { ballot, slot, batch });
     }
 
-    fn decide(&mut self, slot: u64, command: Command, ctx: &mut Ctx<PaxosMsg>) {
+    fn decide(&mut self, slot: u64, batch: Batch, ctx: &mut Ctx<PaxosMsg>) {
         if self.decided.contains_key(&slot) {
             return;
         }
         prever_obs::counter("paxos.decided").inc();
-        self.backlog.retain(|c| c.id != command.id);
-        self.decided.insert(slot, command.clone());
-        self.decided_log.push(Decided { slot, command, at: ctx.now() });
+        self.backlog.retain(|c| !batch.contains_id(c.id));
+        self.accum.retain(|(c, _)| !batch.contains_id(c.id));
+        for command in batch.commands() {
+            self.decided_log.push(Decided { slot, command: command.clone(), at: ctx.now() });
+        }
+        self.decided.insert(slot, batch);
         self.votes.remove(&slot);
         self.proposing.remove(&slot);
+        // A decision frees a pipeline window slot.
+        self.flush(ctx, false);
     }
 
     /// True iff the command is already decided or being proposed.
     fn already_known(&self, command: &Command) -> bool {
-        self.decided.values().any(|c| c.id == command.id)
-            || self.proposing.values().any(|c| c.id == command.id)
+        self.decided.values().any(|b| b.contains_id(command.id))
+            || self.proposing.values().any(|b| b.contains_id(command.id))
     }
 }
 
@@ -279,23 +376,27 @@ impl Actor for PaxosNode {
     fn on_message(&mut self, from: NodeId, msg: PaxosMsg, ctx: &mut Ctx<PaxosMsg>) {
         let _span = prever_obs::span!(msg.span_name());
         match msg {
-            PaxosMsg::ClientRequest(command) => {
-                if self.already_known(&command) {
-                    return;
-                }
+            PaxosMsg::ClientRequest(batch) => {
                 if self.leading.is_some() {
-                    let slot = self.next_slot;
-                    self.next_slot += 1;
-                    self.propose_at(slot, command, ctx);
+                    for command in batch.commands() {
+                        self.enqueue(command.clone(), ctx.now());
+                    }
+                    self.flush(ctx, false);
+                    self.arm_batch_timer(ctx);
                 } else {
                     // Retain until decided (the leader may crash with the
                     // forwarded copy), and forward to the believed leader.
-                    if !self.backlog.iter().any(|c| c.id == command.id) {
-                        self.backlog.push(command.clone());
+                    for command in batch.commands() {
+                        if self.already_known(command) {
+                            continue;
+                        }
+                        if !self.backlog.iter().any(|c| c.id == command.id) {
+                            self.backlog.push(command.clone());
+                        }
                     }
                     let believed = (self.seen_ballot % self.n as u64) as NodeId;
                     if believed != self.id && self.seen_ballot > 0 {
-                        ctx.send(believed, PaxosMsg::ClientRequest(command));
+                        ctx.send(believed, PaxosMsg::ClientRequest(batch));
                     }
                 }
             }
@@ -314,7 +415,7 @@ impl Actor for PaxosNode {
                     let accepted = self
                         .accepted
                         .iter()
-                        .map(|(slot, e)| (*slot, e.ballot, e.command.clone()))
+                        .map(|(slot, e)| (*slot, e.ballot, e.batch.clone()))
                         .collect();
                     ctx.send(from, PaxosMsg::Promise { ballot, accepted });
                 }
@@ -323,20 +424,20 @@ impl Actor for PaxosNode {
                 if self.campaigning != Some(ballot) {
                     return;
                 }
-                for (slot, b, command) in accepted {
+                for (slot, b, batch) in accepted {
                     let replace = self
                         .campaign_accepted
                         .get(&slot)
                         .is_none_or(|e| e.ballot < b);
                     if replace {
-                        self.campaign_accepted.insert(slot, AcceptedEntry { ballot: b, command });
+                        self.campaign_accepted.insert(slot, AcceptedEntry { ballot: b, batch });
                     }
                 }
                 if self.promises.add(from) && self.promises.len() >= self.majority() {
                     self.become_leader(ballot, ctx);
                 }
             }
-            PaxosMsg::Accept { ballot, slot, command } => {
+            PaxosMsg::Accept { ballot, slot, batch } => {
                 if ballot >= self.promised {
                     self.promised = ballot;
                     self.seen_ballot = self.seen_ballot.max(ballot);
@@ -344,7 +445,7 @@ impl Actor for PaxosNode {
                     if self.leading.is_some_and(|b| b < ballot) {
                         self.leading = None;
                     }
-                    self.accepted.insert(slot, AcceptedEntry { ballot, command });
+                    self.accepted.insert(slot, AcceptedEntry { ballot, batch });
                     ctx.send(from, PaxosMsg::Accepted { ballot, slot });
                 }
             }
@@ -357,15 +458,15 @@ impl Actor for PaxosNode {
                 };
                 votes.add(from);
                 if votes.len() >= self.majority() {
-                    if let Some(command) = self.proposing.get(&slot).cloned() {
-                        ctx.broadcast(PaxosMsg::Decide { slot, command: command.clone() });
-                        self.decide(slot, command, ctx);
+                    if let Some(batch) = self.proposing.get(&slot).cloned() {
+                        ctx.broadcast(PaxosMsg::Decide { slot, batch: batch.clone() });
+                        self.decide(slot, batch, ctx);
                     }
                 }
             }
-            PaxosMsg::Decide { slot, command } => {
+            PaxosMsg::Decide { slot, batch } => {
                 self.heard_from_leader = true;
-                self.decide(slot, command, ctx);
+                self.decide(slot, batch, ctx);
             }
             PaxosMsg::Heartbeat { ballot, decided_up_to } => {
                 if ballot >= self.seen_ballot {
@@ -378,8 +479,14 @@ impl Actor for PaxosNode {
                         let leader = (ballot % self.n as u64) as NodeId;
                         // Re-forward undecided backlog to the live
                         // leader (kept locally until a Decide arrives).
-                        for command in self.backlog.clone() {
-                            ctx.send(leader, PaxosMsg::ClientRequest(command));
+                        let undecided: Vec<Command> = self
+                            .backlog
+                            .iter()
+                            .filter(|c| !self.already_known(c))
+                            .cloned()
+                            .collect();
+                        if !undecided.is_empty() {
+                            ctx.send(leader, PaxosMsg::ClientRequest(Batch::new(undecided)));
                         }
                         // Ask for decisions lost to the network.
                         let missing: Vec<u64> = (0..decided_up_to)
@@ -394,8 +501,8 @@ impl Actor for PaxosNode {
             }
             PaxosMsg::LearnRequest { missing } => {
                 for slot in missing {
-                    if let Some(command) = self.decided.get(&slot).cloned() {
-                        ctx.send(from, PaxosMsg::Decide { slot, command });
+                    if let Some(batch) = self.decided.get(&slot).cloned() {
+                        ctx.send(from, PaxosMsg::Decide { slot, batch });
                     }
                 }
             }
@@ -413,8 +520,8 @@ impl Actor for PaxosNode {
                     // network, dropped Accept/Accepted messages would
                     // otherwise stall their slots forever. Acceptors
                     // treat re-Accepts idempotently.
-                    for (slot, command) in self.proposing.clone() {
-                        ctx.broadcast(PaxosMsg::Accept { ballot, slot, command });
+                    for (slot, batch) in self.proposing.clone() {
+                        ctx.broadcast(PaxosMsg::Accept { ballot, slot, batch });
                     }
                     ctx.set_timer(HEARTBEAT_EVERY, TIMER_HEARTBEAT);
                 }
@@ -433,6 +540,10 @@ impl Actor for PaxosNode {
                     TIMER_LEADER_TIMEOUT,
                 );
             }
+            TIMER_BATCH => {
+                self.flush(ctx, false);
+                self.arm_batch_timer(ctx);
+            }
             _ => {}
         }
     }
@@ -441,6 +552,11 @@ impl Actor for PaxosNode {
 /// Builds an `n`-node Paxos cluster.
 pub fn cluster(n: usize) -> Vec<PaxosNode> {
     (0..n).map(|id| PaxosNode::new(id, n)).collect()
+}
+
+/// Builds an `n`-node Paxos cluster with a batching policy.
+pub fn cluster_batched(n: usize, cfg: BatchConfig) -> Vec<PaxosNode> {
+    (0..n).map(|id| PaxosNode::with_batching(id, n, cfg)).collect()
 }
 
 #[cfg(test)]
@@ -462,7 +578,7 @@ mod tests {
             sim.inject(
                 target,
                 target,
-                PaxosMsg::ClientRequest(Command::new(i as u64, format!("cmd-{i}"))),
+                PaxosMsg::request(Command::new(i as u64, format!("cmd-{i}"))),
                 sim.now() + 1 + i as u64 * 100,
             );
         }
@@ -473,8 +589,8 @@ mod tests {
     fn all_decided(sim: &Simulation<PaxosNode>, n_cmds: usize, live: &[usize]) {
         // Every live node decides the same log covering all commands.
         let reference = sim.node(live[0]).decided().clone();
-        assert!(reference.len() >= n_cmds, "only {} of {} decided", reference.len(), n_cmds);
-        let mut seen: Vec<u64> = reference.values().map(|c| c.id).collect();
+        let mut seen = sim.node(live[0]).decided_ids();
+        assert!(seen.len() >= n_cmds, "only {} of {} decided", seen.len(), n_cmds);
         seen.sort();
         seen.dedup();
         assert_eq!(seen.len(), n_cmds, "some commands missing or duplicated");
@@ -489,7 +605,7 @@ mod tests {
         let sim_done = {
             let mut sim = run_cluster(n, 20, 1, |sim| {
                 let ok = sim.run_until_pred(2_000_000, |nodes| {
-                    nodes.iter().all(|nd| nd.decided().len() >= 20)
+                    nodes.iter().all(|nd| nd.decided_ids().len() >= 20)
                 });
                 assert!(ok, "not all nodes decided in time");
             });
@@ -503,13 +619,13 @@ mod tests {
     fn nodes_agree_on_order() {
         let mut sim = run_cluster(3, 30, 7, |sim| {
             assert!(sim.run_until_pred(2_000_000, |nodes| {
-                nodes.iter().all(|nd| nd.decided().len() >= 30)
+                nodes.iter().all(|nd| nd.decided_ids().len() >= 30)
             }));
         });
         sim.run_until(sim.now() + 10_000);
-        let a: Vec<_> = sim.node(0).decided().values().map(|c| c.id).collect();
-        let b: Vec<_> = sim.node(1).decided().values().map(|c| c.id).collect();
-        let c: Vec<_> = sim.node(2).decided().values().map(|c| c.id).collect();
+        let a = sim.node(0).decided_ids();
+        let b = sim.node(1).decided_ids();
+        let c = sim.node(2).decided_ids();
         assert_eq!(a, b);
         assert_eq!(b, c);
     }
@@ -521,9 +637,9 @@ mod tests {
         sim.run_until(50_000);
         // First batch through the initial leader.
         for i in 0..5u64 {
-            sim.inject(1, 1, PaxosMsg::ClientRequest(Command::new(i, "pre")), sim.now() + 1 + i);
+            sim.inject(1, 1, PaxosMsg::request(Command::new(i, "pre")), sim.now() + 1 + i);
         }
-        assert!(sim.run_until_pred(1_000_000, |nodes| nodes[1].decided().len() >= 5));
+        assert!(sim.run_until_pred(1_000_000, |nodes| nodes[1].decided_ids().len() >= 5));
         // Find and crash the leader.
         let leader = (0..n).find(|&i| sim.node(i).is_leader()).expect("a leader exists");
         sim.crash(leader);
@@ -533,14 +649,14 @@ mod tests {
             sim.inject(
                 submit_to,
                 submit_to,
-                PaxosMsg::ClientRequest(Command::new(i, "post")),
+                PaxosMsg::request(Command::new(i, "post")),
                 sim.now() + 1000 + i,
             );
         }
         let ok = sim.run_until_pred(5_000_000, move |nodes| {
             (0..n).filter(|&i| i != leader).all(|i| {
                 let ids: std::collections::HashSet<u64> =
-                    nodes[i].decided().values().map(|c| c.id).collect();
+                    nodes[i].decided_ids().into_iter().collect();
                 (0..10).all(|c| ids.contains(&c))
             })
         });
@@ -566,12 +682,12 @@ mod tests {
             sim.inject(
                 2,
                 2,
-                PaxosMsg::ClientRequest(Command::new(i, format!("cmd-{i}"))),
+                PaxosMsg::request(Command::new(i, format!("cmd-{i}"))),
                 1_000 + i * 100,
             );
         }
         let ok = sim.run_until_pred(5_000_000, |nodes| {
-            (1..5).all(|i| nodes[i].decided().len() >= 5)
+            (1..5).all(|i| nodes[i].decided_ids().len() >= 5)
         });
         assert!(ok, "survivors never decided without node 0");
         assert!(
@@ -593,16 +709,16 @@ mod tests {
         sim.set_partition(vec![0, 0, 1, 1, 1]);
         // Submit to the minority side (where the initial leader 0 lives).
         for i in 0..3u64 {
-            sim.inject(0, 0, PaxosMsg::ClientRequest(Command::new(i, "x")), sim.now() + 1 + i);
+            sim.inject(0, 0, PaxosMsg::request(Command::new(i, "x")), sim.now() + 1 + i);
         }
         sim.run_until(sim.now() + 400_000);
         // Minority cannot decide new commands (node 1 sees nothing new).
-        assert_eq!(sim.node(1).decided().len(), 0);
+        assert_eq!(sim.node(1).decided_ids().len(), 0);
         // Majority side elects its own leader and can process commands.
         for i in 10..13u64 {
-            sim.inject(2, 2, PaxosMsg::ClientRequest(Command::new(i, "y")), sim.now() + 1 + i);
+            sim.inject(2, 2, PaxosMsg::request(Command::new(i, "y")), sim.now() + 1 + i);
         }
-        let ok = sim.run_until_pred(5_000_000, |nodes| nodes[3].decided().len() >= 3);
+        let ok = sim.run_until_pred(5_000_000, |nodes| nodes[3].decided_ids().len() >= 3);
         assert!(ok, "majority partition failed to decide");
     }
 
@@ -620,5 +736,41 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn batched_leader_decides_all_with_fewer_slots() {
+        let n = 5;
+        let cfg = BatchConfig::new(8, 10_000, 4);
+        let mut sim = Simulation::new(cluster_batched(n, cfg), NetConfig::default(), 11);
+        sim.run_until(50_000);
+        for i in 0..64u64 {
+            let target = (i % n as u64) as usize;
+            sim.inject(
+                target,
+                target,
+                PaxosMsg::request(Command::new(i, format!("b-{i}"))),
+                sim.now() + 1 + i * 50,
+            );
+        }
+        let ok = sim.run_until_pred(5_000_000, |nodes| {
+            nodes.iter().all(|nd| nd.decided_ids().len() >= 64)
+        });
+        assert!(ok, "batched cluster failed to decide all commands");
+        sim.run_until(sim.now() + 50_000);
+        let mut ids = sim.node(0).decided_ids();
+        let slots = sim.node(0).decided().len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 64, "commands lost or duplicated under batching");
+        assert!(slots < 64, "batching should use fewer slots than commands ({slots})");
+        assert!(
+            sim.node(0).decided().values().any(|b| b.len() > 1),
+            "expected at least one multi-command batch"
+        );
+        let reference = sim.node(0).decided().clone();
+        for i in 1..n {
+            assert_eq!(sim.node(i).decided(), &reference, "node {i} diverged");
+        }
     }
 }

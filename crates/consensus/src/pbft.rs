@@ -38,24 +38,29 @@
 //! the simulator.
 
 use crate::durable::DurableLog;
-use crate::{Command, Decided};
+use crate::{Batch, BatchConfig, Command, Decided};
 use prever_crypto::Digest;
 use prever_sim::{Actor, Ctx, NodeId, VoteSet};
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 
 /// PBFT protocol messages.
+///
+/// Since DESIGN.md §11 the unit of agreement is a [`Batch`]: requests,
+/// pre-prepares, view-change certificates, and state transfer all carry
+/// whole batches (cheap `Arc` clones), while prepare/commit votes carry
+/// only the constant-size Merkle batch digest.
 #[derive(Clone, Debug)]
 pub enum PbftMsg {
-    /// Client request (injected or forwarded to the primary).
-    Request(Command),
-    /// Phase 1: the primary assigns `seq` to `command` in `view`.
+    /// Client request batch (injected or relayed between replicas).
+    Request(Batch),
+    /// Phase 1: the primary assigns `seq` to `batch` in `view`.
     PrePrepare {
         /// View.
         view: u64,
         /// Sequence number.
         seq: u64,
-        /// Proposed command.
-        command: Command,
+        /// Proposed batch.
+        batch: Batch,
     },
     /// Phase 2 vote.
     Prepare {
@@ -79,15 +84,17 @@ pub enum PbftMsg {
     ViewChange {
         /// Proposed new view.
         new_view: u64,
-        /// Prepared (seq, view, command) triples above the last execution.
-        prepared: Vec<(u64, u64, Command)>,
+        /// Prepared (seq, view, batch) triples above the last execution.
+        /// Carrying full batch payloads (not just digests) is what lets
+        /// a NewView replay a mid-flight batch intact.
+        prepared: Vec<(u64, u64, Batch)>,
     },
     /// New primary's installation message.
     NewView {
         /// The installed view.
         new_view: u64,
-        /// Re-proposed (seq, command) pairs.
-        proposals: Vec<(u64, Command)>,
+        /// Re-proposed (seq, batch) pairs.
+        proposals: Vec<(u64, Batch)>,
     },
     /// Periodic checkpoint vote: "my state after executing `seq`
     /// commands has this digest". `2f + 1` matching votes make the
@@ -115,8 +122,9 @@ pub enum PbftMsg {
         stable_seq: u64,
         /// The responder's chained state digest after its whole suffix.
         state_digest: Digest,
-        /// Executed `(seq, command)` pairs above the requester's `have`.
-        entries: Vec<(u64, Command)>,
+        /// Executed `(seq, batch)` pairs above the requester's `have`
+        /// (batch sequence numbers).
+        entries: Vec<(u64, Batch)>,
     },
 }
 
@@ -190,6 +198,12 @@ const RECV_COUNTERS: [&str; N_KINDS] = [
 ];
 
 impl PbftMsg {
+    /// Wraps one client command as a request message (the form test
+    /// drivers, benches, and the simulator inject).
+    pub fn request(command: Command) -> PbftMsg {
+        PbftMsg::Request(Batch::single(command))
+    }
+
     /// Compact kind index into the per-type stats arrays.
     fn kind_idx(&self) -> usize {
         match self {
@@ -272,11 +286,11 @@ pub enum Byzantine {
 pub const NOOP_ID: u64 = u64::MAX;
 
 /// A prepared certificate carried in view-change messages:
-/// `(sequence, view, command)`.
-pub type PreparedCert = (u64, u64, Command);
+/// `(sequence, view, batch)`.
+pub type PreparedCert = (u64, u64, Batch);
 
-fn noop() -> Command {
-    Command::new(NOOP_ID, Vec::new())
+fn noop() -> Batch {
+    Batch::single(Command::new(NOOP_ID, Vec::new()))
 }
 
 /// Extends a chained execution-history digest by one command.
@@ -292,7 +306,7 @@ pub fn chain_digest(prev: Digest, command: &Command) -> Digest {
 struct Slot {
     view: u64,
     digest: Option<Digest>,
-    command: Option<Command>,
+    batch: Option<Batch>,
     prepares: VoteSet,
     commits: VoteSet,
     /// Votes that arrived before the pre-prepare fixed this slot's
@@ -309,10 +323,10 @@ struct Slot {
 
 impl Slot {
     /// Fixes the slot's digest and counts buffered votes that match it.
-    fn fix_digest(&mut self, view: u64, digest: Digest, command: Command) {
+    fn fix_digest(&mut self, view: u64, digest: Digest, batch: Batch) {
         self.view = view;
         self.digest = Some(digest);
-        self.command = Some(command);
+        self.batch = Some(batch);
         for (voter, d) in std::mem::take(&mut self.early_prepares) {
             if d == digest {
                 self.prepares.add(voter);
@@ -338,10 +352,25 @@ pub struct PbftCore {
     /// Highest executed sequence number (0 = nothing; seqs start at 1).
     last_exec: u64,
     log: BTreeMap<u64, Slot>,
+    /// Per-command execution history (`slot` is the dense global command
+    /// index, 1-based — what benches and the chaos harness compare).
     executed: Vec<Decided>,
+    /// Per-batch execution history, keyed by batch sequence number
+    /// (dense from 1): the unit of durable exec records, state
+    /// transfer, and view-change committed entries.
+    executed_batches: Vec<(u64, Batch, u64)>,
     executed_ids: HashSet<u64>,
     /// Requests awaiting execution (liveness tracking at backups).
     pending: VecDeque<(Command, u64)>,
+    /// Batching/pipelining knobs (default = unbatched).
+    cfg: BatchConfig,
+    /// Primary-side proposal accumulator: commands waiting to be cut
+    /// into the next batch, with arrival times.
+    accum: VecDeque<(Command, u64)>,
+    /// Relay accumulator: newly pending client commands waiting to be
+    /// re-broadcast to the other replicas (the PBFT liveness relay),
+    /// batched under the same fill policy as proposals.
+    relay_accum: VecDeque<(Command, u64)>,
     /// View-change votes: new_view → voters and their prepared sets.
     vc_votes: BTreeMap<u64, BTreeMap<NodeId, Vec<PreparedCert>>>,
     /// Set while this replica has abandoned `view` and waits for NewView.
@@ -364,8 +393,8 @@ pub struct PbftCore {
     syncing: bool,
     /// When the in-flight state transfer was requested (for retries).
     last_sync_at: u64,
-    /// State-transfer responses: responder → (view, seq → command).
-    sync_responses: BTreeMap<NodeId, (u64, BTreeMap<u64, Command>)>,
+    /// State-transfer responses: responder → (view, batch seq → batch).
+    sync_responses: BTreeMap<NodeId, (u64, BTreeMap<u64, Batch>)>,
     /// Durable vote bindings recovered from (or destined for) the disk
     /// log: seq → (view, digest) of the prepare vote we cast.
     durable_bindings: BTreeMap<u64, (u64, Digest)>,
@@ -380,7 +409,7 @@ pub struct PbftCore {
     /// survive until the slot executes, or a later view change could
     /// no-op-fill a slot that committed at another replica on the
     /// strength of our commit vote. Re-seeded from disk on recovery.
-    certs: BTreeMap<u64, (u64, Command)>,
+    certs: BTreeMap<u64, (u64, Batch)>,
     /// Whether to record bindings at all (off unless the owner persists).
     record_bindings: bool,
     /// Commands applied via state transfer rather than the commit path.
@@ -423,8 +452,12 @@ impl PbftCore {
             last_exec: 0,
             log: BTreeMap::new(),
             executed: Vec::new(),
+            executed_batches: Vec::new(),
             executed_ids: HashSet::new(),
             pending: VecDeque::new(),
+            cfg: BatchConfig::default(),
+            accum: VecDeque::new(),
+            relay_accum: VecDeque::new(),
             vc_votes: BTreeMap::new(),
             view_changing: false,
             running_state: Digest::ZERO,
@@ -483,6 +516,28 @@ impl PbftCore {
     /// Executed commands in order.
     pub fn executed(&self) -> &[Decided] {
         &self.executed
+    }
+
+    /// Executed batches in order: `(batch seq, batch, decided at)`,
+    /// dense from sequence 1.
+    pub fn executed_batches(&self) -> &[(u64, Batch, u64)] {
+        &self.executed_batches
+    }
+
+    /// Sets the batching/pipelining configuration (normally before the
+    /// simulation starts; changing it mid-run only affects future cuts).
+    pub fn set_batch_config(&mut self, cfg: BatchConfig) {
+        self.cfg = cfg;
+    }
+
+    /// The active batching configuration.
+    pub fn batch_config(&self) -> BatchConfig {
+        self.cfg
+    }
+
+    /// Unexecuted batch slots currently in flight (pipelining depth).
+    fn in_flight(&self) -> usize {
+        self.next_seq.saturating_sub(self.last_exec) as usize
     }
 
     /// Highest stable checkpoint sequence (0 before the first).
@@ -584,19 +639,19 @@ impl PbftCore {
         self.certs
             .iter()
             .filter(|(seq, _)| **seq > self.last_exec)
-            .map(|(seq, (view, command))| (*seq, *view, command.clone()))
+            .map(|(seq, (view, batch))| (*seq, *view, batch.clone()))
             .collect()
     }
 
-    /// Remembers that `seq` prepared with `command` in `view`; queues
+    /// Remembers that `seq` prepared with `batch` in `view`; queues
     /// the certificate for persistence when recording is on.
-    fn remember_cert(&mut self, seq: u64, view: u64, command: Command) {
+    fn remember_cert(&mut self, seq: u64, view: u64, batch: Batch) {
         let keep = self.certs.get(&seq).is_none_or(|(v, _)| *v <= view);
         if keep {
             if self.record_bindings {
-                self.new_prepared.push((seq, view, command.clone()));
+                self.new_prepared.push((seq, view, batch.clone()));
             }
-            self.certs.insert(seq, (view, command));
+            self.certs.insert(seq, (view, batch));
         }
     }
 
@@ -615,12 +670,13 @@ impl PbftCore {
 
     /// Installs a recovered execution history into a *fresh* core.
     ///
-    /// `entries` are `(seq, command, decided_at)` from the durable log,
-    /// dense from 1; `bindings` are recovered `(seq, view, digest)` vote
-    /// bindings (only those above the replayed history still matter).
+    /// `entries` are `(batch seq, batch, decided_at)` from the durable
+    /// log, dense from 1; `bindings` are recovered `(seq, view, digest)`
+    /// vote bindings (only those above the replayed history still
+    /// matter).
     pub fn install_history(
         &mut self,
-        entries: Vec<(u64, Command, u64)>,
+        entries: Vec<(u64, Batch, u64)>,
         bindings: Vec<(u64, u64, Digest)>,
         prepared: Vec<PreparedCert>,
     ) {
@@ -628,12 +684,16 @@ impl PbftCore {
             self.last_exec == 0 && self.executed.is_empty(),
             "install_history requires a fresh core"
         );
-        for (seq, command, at) in entries {
+        for (seq, batch, at) in entries {
             assert_eq!(seq, self.last_exec + 1, "durable history must be dense");
             self.last_exec = seq;
-            self.executed_ids.insert(command.id);
-            self.running_state = chain_digest(self.running_state, &command);
-            self.executed.push(Decided { slot: seq, command, at });
+            for command in batch.commands() {
+                self.executed_ids.insert(command.id);
+                self.running_state = chain_digest(self.running_state, command);
+                let slot = self.executed.len() as u64 + 1;
+                self.executed.push(Decided { slot, command: command.clone(), at });
+            }
+            self.executed_batches.push((seq, batch, at));
         }
         self.next_seq = self.last_exec;
         for (seq, view, digest) in bindings {
@@ -719,76 +779,177 @@ impl PbftCore {
     }
 
     /// Handles a client request arriving at this replica (client entry
-    /// point). The request is relayed to every replica so that all of
-    /// them track it as pending — the standard PBFT liveness rule that
-    /// lets backups accumulate view-change quorums when the primary is
-    /// faulty.
+    /// point). The request is queued for relay to every replica so that
+    /// all of them track it as pending — the standard PBFT liveness rule
+    /// that lets backups accumulate view-change quorums when the primary
+    /// is faulty — and, at the primary, queued for proposal; both queues
+    /// are then flushed under the batching policy.
     pub fn on_request(&mut self, command: Command, now: u64) -> Outbox {
         let mut out = Outbox::new();
-        if self.executed_ids.contains(&command.id) {
-            return out;
-        }
-        let newly_pending = !self.pending.iter().any(|(c, _)| c.id == command.id);
-        if newly_pending {
-            self.pending.push_back((command.clone(), now));
-            self.broadcast(&mut out, PbftMsg::Request(command.clone()));
-        }
-        if self.is_primary() && !self.view_changing {
-            self.propose(command, &mut out);
-        }
+        self.accept_request(command, now, true);
+        self.flush(now, &mut out);
         out
     }
 
-    /// Handles a request relayed by a peer replica: track it as pending
-    /// (for the view-change timeout) and propose it if we lead.
-    fn on_relayed_request(&mut self, command: Command, now: u64) -> Outbox {
-        let mut out = Outbox::new();
+    /// Tracks one incoming command. `relay` is true for client
+    /// injections (which must be re-broadcast so peers see them
+    /// pending); relayed copies are not relayed again.
+    fn accept_request(&mut self, command: Command, now: u64, relay: bool) {
         if self.executed_ids.contains(&command.id) {
-            return out;
+            return;
         }
         if !self.pending.iter().any(|(c, _)| c.id == command.id) {
             self.pending.push_back((command.clone(), now));
+            if relay {
+                self.relay_accum.push_back((command.clone(), now));
+            }
         }
         if self.is_primary() && !self.view_changing {
-            self.propose(command, &mut out);
+            self.enqueue_for_proposal(command, now);
         }
-        out
     }
 
-    fn propose(&mut self, command: Command, out: &mut Outbox) {
-        // Skip if already in-flight or executed.
+    /// Queues `command` for the next batch cut, unless it is already
+    /// executed, queued, or sitting in an unexecuted slot.
+    fn enqueue_for_proposal(&mut self, command: Command, now: u64) {
         if self.executed_ids.contains(&command.id)
+            || self.accum.iter().any(|(c, _)| c.id == command.id)
             || self
                 .log
                 .values()
-                .any(|s| s.command.as_ref().is_some_and(|c| c.id == command.id) && !s.executed)
+                .any(|s| !s.executed && s.batch.as_ref().is_some_and(|b| b.contains_id(command.id)))
         {
+            return;
+        }
+        self.accum.push_back((command, now));
+    }
+
+    /// Cuts and sends every batch that is ready under the configured
+    /// policy: a batch is ready when it is full (`max_batch`) or its
+    /// oldest command has waited `max_delay` µs. Proposal cuts are
+    /// additionally gated by the in-flight window (pipelining
+    /// back-pressure); relays are not, since they carry no slot.
+    fn flush(&mut self, now: u64, out: &mut Outbox) {
+        while !self.relay_accum.is_empty() {
+            let ready = self.relay_accum.len() >= self.cfg.max_batch
+                || self
+                    .relay_accum
+                    .front()
+                    .is_some_and(|(_, since)| now.saturating_sub(*since) >= self.cfg.max_delay);
+            if !ready {
+                break;
+            }
+            let take = self.relay_accum.len().min(self.cfg.max_batch);
+            let drained: Vec<(Command, u64)> = self.relay_accum.drain(..take).collect();
+            let commands: Vec<Command> = drained
+                .into_iter()
+                .filter(|(c, _)| !self.executed_ids.contains(&c.id))
+                .map(|(c, _)| c)
+                .collect();
+            if !commands.is_empty() {
+                self.broadcast(out, PbftMsg::Request(Batch::new(commands)));
+            }
+        }
+        if !self.is_primary() || self.view_changing {
+            return;
+        }
+        while !self.accum.is_empty() && self.in_flight() < self.cfg.window {
+            let ready = self.accum.len() >= self.cfg.max_batch
+                || self
+                    .accum
+                    .front()
+                    .is_some_and(|(_, since)| now.saturating_sub(*since) >= self.cfg.max_delay);
+            if !ready {
+                break;
+            }
+            let take = self.accum.len().min(self.cfg.max_batch);
+            let drained: Vec<(Command, u64)> = self.accum.drain(..take).collect();
+            let oldest = drained.first().map(|(_, s)| *s).unwrap_or(now);
+            prever_obs::histogram("consensus.batch.size").record(drained.len() as u64);
+            prever_obs::histogram("consensus.batch.fill_delay").record(now.saturating_sub(oldest));
+            let commands: Vec<Command> = drained.into_iter().map(|(c, _)| c).collect();
+            self.propose_batch(commands, out);
+        }
+    }
+
+    /// The earliest virtual time at which a waiting accumulator entry
+    /// hits its `max_delay` and must be flushed, if any. The simulator
+    /// adapter arms a timer for it (immediate-flush configs never need
+    /// one).
+    pub fn next_batch_deadline(&self) -> Option<u64> {
+        if self.byz == Byzantine::Silent || self.cfg.max_delay == 0 {
+            return None;
+        }
+        let mut deadline: Option<u64> = None;
+        if let Some((_, since)) = self.relay_accum.front() {
+            deadline = Some(since + self.cfg.max_delay);
+        }
+        if self.is_primary() && !self.view_changing && self.in_flight() < self.cfg.window {
+            if let Some((_, since)) = self.accum.front() {
+                let t = since + self.cfg.max_delay;
+                deadline = Some(deadline.map_or(t, |d| d.min(t)));
+            }
+        }
+        deadline
+    }
+
+    /// Timer-driven flush for `max_delay`-aged partial batches.
+    pub fn on_batch_timer(&mut self, now: u64) -> Outbox {
+        let mut out = Outbox::new();
+        self.flush(now, &mut out);
+        out
+    }
+
+    fn propose_batch(&mut self, commands: Vec<Command>, out: &mut Outbox) {
+        // Drop anything that raced to execution (e.g. via state
+        // transfer) or into another slot since it was queued.
+        let commands: Vec<Command> = commands
+            .into_iter()
+            .filter(|c| {
+                !self.executed_ids.contains(&c.id)
+                    && !self
+                        .log
+                        .values()
+                        .any(|s| !s.executed && s.batch.as_ref().is_some_and(|b| b.contains_id(c.id)))
+            })
+            .collect();
+        if commands.is_empty() {
             return;
         }
         self.next_seq = self.next_seq.max(self.last_exec) + 1;
         let seq = self.next_seq;
-        let digest = command.digest();
+        let batch = Batch::new(commands);
+        let digest = batch.digest();
 
         if self.byz == Byzantine::EquivocatingPrimary {
-            // Send command A to the first half, a conflicting command to
+            // Send batch A to the first half, a conflicting batch to
             // the rest. Both claim the same (view, seq).
-            let mut evil = command.clone();
-            evil.payload.extend_from_slice(b"-equivocated");
+            let evil = Batch::new(
+                batch
+                    .commands()
+                    .iter()
+                    .map(|c| {
+                        let mut payload = c.payload.clone();
+                        payload.extend_from_slice(b"-equivocated");
+                        Command::new(c.id, payload)
+                    })
+                    .collect(),
+            );
             let others: Vec<NodeId> =
                 self.members.iter().copied().filter(|&m| m != self.id).collect();
             for (i, &m) in others.iter().enumerate() {
-                let c = if i < others.len() / 2 { command.clone() } else { evil.clone() };
-                out.push((m, PbftMsg::PrePrepare { view: self.view, seq, command: c }));
+                let b = if i < others.len() / 2 { batch.clone() } else { evil.clone() };
+                out.push((m, PbftMsg::PrePrepare { view: self.view, seq, batch: b }));
             }
             self.note_sent(1, others.len() as u64); // kind 1 = pre_prepare
         } else {
-            self.broadcast(out, PbftMsg::PrePrepare { view: self.view, seq, command: command.clone() });
+            self.broadcast(out, PbftMsg::PrePrepare { view: self.view, seq, batch: batch.clone() });
         }
 
         // The primary's pre-prepare doubles as its prepare vote.
         let view = self.view;
         let slot = self.log.entry(seq).or_default();
-        slot.fix_digest(view, digest, command);
+        slot.fix_digest(view, digest, batch);
         slot.prepares.add(self.id);
         self.bind(seq, view, digest);
     }
@@ -823,15 +984,17 @@ impl PbftCore {
         }
         let _span = prever_obs::span!(SPAN_NAMES[kind]);
         match msg {
-            PbftMsg::Request(command) => {
-                // By convention the simulator injects client requests with
-                // `from == self`; peer relays carry the peer's id.
-                if from == self.id {
-                    return self.on_request(command, now);
+            PbftMsg::Request(batch) => {
+                // By convention the simulator injects client requests
+                // with `from == self` (relay them); peer relays carry
+                // the peer's id (track, don't re-relay).
+                let relay = from == self.id;
+                for command in batch.commands() {
+                    self.accept_request(command.clone(), now, relay);
                 }
-                return self.on_relayed_request(command, now);
+                self.flush(now, &mut out);
             }
-            PbftMsg::PrePrepare { view, seq, command } => {
+            PbftMsg::PrePrepare { view, seq, batch } => {
                 if view < self.view || seq <= self.last_exec {
                     return out;
                 }
@@ -839,13 +1002,13 @@ impl PbftCore {
                     // Not yet in this view: hold the message until the
                     // NewView installs it rather than dropping a vote
                     // the slot may need (links are not FIFO).
-                    self.stash_view_msg(from, PbftMsg::PrePrepare { view, seq, command });
+                    self.stash_view_msg(from, PbftMsg::PrePrepare { view, seq, batch });
                     return out;
                 }
                 if from != self.primary() {
                     return out;
                 }
-                let digest = command.digest();
+                let digest = batch.digest();
                 // Durable-binding refusal: we already voted for a
                 // *different* command at this seq in this or a later
                 // view (possibly before a restart) — voting again would
@@ -864,18 +1027,21 @@ impl PbftCore {
                         return out;
                     }
                 } else {
-                    slot.fix_digest(view, digest, command.clone());
-                }
-                // Track the request for liveness if not already pending.
-                if !self.executed_ids.contains(&command.id)
-                    && !self.pending.iter().any(|(c, _)| c.id == command.id)
-                {
-                    self.pending.push_back((command, now));
+                    slot.fix_digest(view, digest, batch.clone());
                 }
                 // Pre-prepare counts as the primary's prepare vote; add
                 // ours and broadcast it.
                 slot.prepares.add(from);
                 slot.prepares.add(self.id);
+                // Track the batched requests for liveness if not
+                // already pending.
+                for command in batch.commands() {
+                    if !self.executed_ids.contains(&command.id)
+                        && !self.pending.iter().any(|(c, _)| c.id == command.id)
+                    {
+                        self.pending.push_back((command.clone(), now));
+                    }
+                }
                 self.bind(seq, view, digest);
                 self.broadcast(&mut out, PbftMsg::Prepare { view, seq, digest });
                 self.try_advance(seq, now, &mut out);
@@ -954,11 +1120,11 @@ impl PbftCore {
                     // (anything older the sender is missing comes via
                     // state transfer, not the NewView).
                     if self.primary() == self.id {
-                        let proposals: Vec<(u64, Command)> = self
+                        let proposals: Vec<(u64, Batch)> = self
                             .log
                             .range(self.last_exec + 1..)
                             .filter(|(_, s)| s.view == new_view)
-                            .filter_map(|(&seq, s)| s.command.clone().map(|c| (seq, c)))
+                            .filter_map(|(&seq, s)| s.batch.clone().map(|b| (seq, b)))
                             .collect();
                         prever_obs::log!(
                             Debug,
@@ -966,6 +1132,36 @@ impl PbftCore {
                             self.id
                         );
                         self.send(&mut out, from, PbftMsg::NewView { new_view, proposals });
+                        return out;
+                    }
+                    // A non-primary cannot prove the view installed —
+                    // and it may in fact NOT be: a replica that adopted
+                    // this view via state transfer (rather than a
+                    // NewView) can be active in it while the others are
+                    // still one vote short of the quorum, and under the
+                    // escalate-only-when-quorate rule they would re-send
+                    // those votes forever. Cast our own vote once:
+                    // decisive when the quorum was missing exactly us,
+                    // harmless when the view is genuinely installed
+                    // (install is idempotent and active primaries answer
+                    // votes with the NewView instead).
+                    self.vc_votes.entry(new_view).or_default().insert(from, prepared);
+                    let already_voted = self
+                        .vc_votes
+                        .get(&new_view)
+                        .is_some_and(|m| m.contains_key(&self.id));
+                    if !already_voted {
+                        let mut mine = self.prepared_certificates();
+                        mine.extend(
+                            self.executed_batches
+                                .iter()
+                                .map(|(seq, batch, _)| (*seq, COMMITTED_VIEW, batch.clone())),
+                        );
+                        self.vc_votes
+                            .entry(new_view)
+                            .or_default()
+                            .insert(self.id, mine.clone());
+                        self.broadcast(&mut out, PbftMsg::ViewChange { new_view, prepared: mine });
                     }
                     return out;
                 }
@@ -1000,13 +1196,13 @@ impl PbftCore {
                 if from == self.id {
                     return out;
                 }
-                // Executed slots are dense from 1, so the suffix above
-                // `have` is simply `executed[have..]`.
-                let entries: Vec<(u64, Command)> = self
-                    .executed
+                // Executed batch seqs are dense from 1, so the suffix
+                // above `have` is simply `executed_batches[have..]`.
+                let entries: Vec<(u64, Batch)> = self
+                    .executed_batches
                     .iter()
                     .skip(have as usize)
-                    .map(|d| (d.slot, d.command.clone()))
+                    .map(|(seq, batch, _)| (*seq, batch.clone()))
                     .collect();
                 let msg = PbftMsg::StateResponse {
                     view: self.view,
@@ -1020,7 +1216,7 @@ impl PbftCore {
                 if !self.syncing || from == self.id {
                     return out;
                 }
-                let suffix: BTreeMap<u64, Command> = entries.into_iter().collect();
+                let suffix: BTreeMap<u64, Batch> = entries.into_iter().collect();
                 self.sync_responses.insert(from, (view, suffix));
                 self.apply_sync(now);
             }
@@ -1034,21 +1230,22 @@ impl PbftCore {
                 }
                 self.adopt_view(new_view);
                 // Process the re-proposals exactly like pre-prepares.
-                for (seq, command) in proposals {
+                for (seq, batch) in proposals {
                     let o = self.on_message(
                         expected_primary,
-                        PbftMsg::PrePrepare { view: new_view, seq, command },
+                        PbftMsg::PrePrepare { view: new_view, seq, batch },
                         now,
                     );
                     out.extend(o);
                 }
-                // Re-submit pending requests to the new primary.
-                let pending: Vec<Command> =
-                    self.pending.iter().map(|(c, _)| c.clone()).collect();
-                for c in pending {
-                    let primary = self.primary();
-                    if primary != self.id {
-                        self.send(&mut out, primary, PbftMsg::Request(c));
+                // Re-submit pending requests to the new primary (one
+                // batched request message).
+                let primary = self.primary();
+                if primary != self.id {
+                    let pending: Vec<Command> =
+                        self.pending.iter().map(|(c, _)| c.clone()).collect();
+                    if !pending.is_empty() {
+                        self.send(&mut out, primary, PbftMsg::Request(Batch::new(pending)));
                     }
                 }
                 // Count any votes that overtook this NewView in flight.
@@ -1098,7 +1295,7 @@ impl PbftCore {
             prever_obs::log!(Debug, "replica {} prepared seq {seq} view {view}", self.id);
             slot.sent_commit = true;
             slot.commits.add(self.id);
-            let prep = slot.command.clone().map(|c| (seq, slot.view, c));
+            let prep = slot.batch.clone().map(|b| (seq, slot.view, b));
             // A commit vote claims "I hold a prepared certificate"; the
             // certificate must outlive view changes (and, for a
             // persisting owner, restarts) until the slot executes, or
@@ -1126,18 +1323,32 @@ impl PbftCore {
                 break;
             }
             slot.executed = true;
-            let command = slot.command.clone().expect("committed slot has a command");
+            let batch = slot.batch.clone().expect("committed slot has a batch");
             self.last_exec = next;
-            self.executed_ids.insert(command.id);
-            self.pending.retain(|(c, _)| c.id != command.id);
-            // Chain the state digest (deterministic across replicas).
-            self.running_state = chain_digest(self.running_state, &command);
+            // Apply the whole batch in order, then do one
+            // checkpoint/heartbeat step for the slot.
+            for command in batch.commands() {
+                self.executed_ids.insert(command.id);
+                if let Some((_, since)) = self.pending.iter().find(|(c, _)| c.id == command.id) {
+                    // Virtual µs → ns for the span-style histogram.
+                    prever_obs::observe_ns(
+                        "consensus.commit.latency",
+                        now.saturating_sub(*since).saturating_mul(1_000),
+                    );
+                }
+                self.pending.retain(|(c, _)| c.id != command.id);
+                // Chain the state digest (deterministic across replicas,
+                // still per-command so it is batching-agnostic).
+                self.running_state = chain_digest(self.running_state, command);
+                let slot_no = self.executed.len() as u64 + 1;
+                self.executed.push(Decided { slot: slot_no, command: command.clone(), at: now });
+                prever_obs::counter("pbft.executed").inc();
+            }
+            self.executed_batches.push((next, batch, now));
             self.durable_bindings.remove(&next);
             self.certs.remove(&next);
             self.last_progress_at = now;
             self.vc_streak = 0;
-            self.executed.push(Decided { slot: next, command, at: now });
-            prever_obs::counter("pbft.executed").inc();
             if self.last_exec.is_multiple_of(CHECKPOINT_INTERVAL) {
                 let msg = PbftMsg::Checkpoint {
                     seq: self.last_exec,
@@ -1147,6 +1358,8 @@ impl PbftCore {
                 self.record_checkpoint_vote(self.id, self.last_exec, self.running_state);
             }
         }
+        // Executions free pipeline-window slots: cut anything now ready.
+        self.flush(now, out);
     }
 
     /// Applies every command on which `f + 1` state-transfer responders
@@ -1159,15 +1372,15 @@ impl PbftCore {
             // Count agreeing digests for the next sequence. At most one
             // digest can reach f + 1 among n - 1 responders with at
             // most f faulty, so the first hit is the only hit.
-            let mut counts: BTreeMap<Digest, (usize, Command)> = BTreeMap::new();
+            let mut counts: BTreeMap<Digest, (usize, Batch)> = BTreeMap::new();
             for (_, suffix) in self.sync_responses.values() {
-                if let Some(c) = suffix.get(&next) {
-                    let e = counts.entry(c.digest()).or_insert_with(|| (0, c.clone()));
+                if let Some(b) = suffix.get(&next) {
+                    let e = counts.entry(b.digest()).or_insert_with(|| (0, b.clone()));
                     e.0 += 1;
                 }
             }
             match counts.into_values().find(|(n, _)| *n >= need) {
-                Some((_, command)) => self.apply_synced_command(command, now),
+                Some((_, batch)) => self.apply_synced_batch(batch, now),
                 None => break,
             }
         }
@@ -1186,20 +1399,24 @@ impl PbftCore {
         }
     }
 
-    fn apply_synced_command(&mut self, command: Command, now: u64) {
+    fn apply_synced_batch(&mut self, batch: Batch, now: u64) {
         let next = self.last_exec + 1;
         self.last_exec = next;
-        self.executed_ids.insert(command.id);
-        self.pending.retain(|(c, _)| c.id != command.id);
-        self.running_state = chain_digest(self.running_state, &command);
+        for command in batch.commands() {
+            self.executed_ids.insert(command.id);
+            self.pending.retain(|(c, _)| c.id != command.id);
+            self.running_state = chain_digest(self.running_state, command);
+            let slot = self.executed.len() as u64 + 1;
+            self.executed.push(Decided { slot, command: command.clone(), at: now });
+            self.synced += 1;
+            prever_obs::counter("pbft.state_transfer.synced").inc();
+        }
+        self.executed_batches.push((next, batch, now));
         self.log.remove(&next);
         self.durable_bindings.remove(&next);
         self.certs.remove(&next);
-        self.executed.push(Decided { slot: next, command, at: now });
-        self.synced += 1;
         self.last_progress_at = now;
         self.vc_streak = 0;
-        prever_obs::counter("pbft.state_transfer.synced").inc();
     }
 
     fn finish_sync(&mut self) {
@@ -1242,7 +1459,11 @@ impl PbftCore {
         // execution lags would no-op-fill a slot that committed
         // elsewhere — a divergence. Production PBFT bounds this list
         // with the low-watermark; the sim ships the full history.
-        prepared.extend(self.executed.iter().map(|d| (d.slot, COMMITTED_VIEW, d.command.clone())));
+        prepared.extend(
+            self.executed_batches
+                .iter()
+                .map(|(seq, batch, _)| (*seq, COMMITTED_VIEW, batch.clone())),
+        );
         let msg = PbftMsg::ViewChange { new_view, prepared: prepared.clone() };
         self.broadcast(out, msg);
         // Record our own vote.
@@ -1262,24 +1483,24 @@ impl PbftCore {
             return; // already installed
         }
         // Merge prepared certificates: per seq keep the highest view.
-        let mut merged: BTreeMap<u64, (u64, Command)> = BTreeMap::new();
+        let mut merged: BTreeMap<u64, (u64, Batch)> = BTreeMap::new();
         for prepared in votes.values() {
-            for (seq, view, command) in prepared {
+            for (seq, view, batch) in prepared {
                 if *seq <= self.last_exec {
                     continue;
                 }
                 let replace = merged.get(seq).is_none_or(|(v, _)| v < view);
                 if replace {
-                    merged.insert(*seq, (*view, command.clone()));
+                    merged.insert(*seq, (*view, batch.clone()));
                 }
             }
         }
-        // Fill gaps with no-ops up to the max re-proposed seq.
+        // Fill gaps with no-op batches up to the max re-proposed seq.
         let max_seq = merged.keys().next_back().copied().unwrap_or(self.last_exec);
-        let proposals: Vec<(u64, Command)> = (self.last_exec + 1..=max_seq)
+        let proposals: Vec<(u64, Batch)> = (self.last_exec + 1..=max_seq)
             .map(|seq| {
-                let cmd = merged.get(&seq).map(|(_, c)| c.clone()).unwrap_or_else(noop);
-                (seq, cmd)
+                let batch = merged.get(&seq).map(|(_, b)| b.clone()).unwrap_or_else(noop);
+                (seq, batch)
             })
             .collect();
         prever_obs::log!(
@@ -1293,18 +1514,20 @@ impl PbftCore {
         let msg = PbftMsg::NewView { new_view, proposals: proposals.clone() };
         self.broadcast(out, msg);
         // Apply the proposals locally as pre-prepares.
-        for (seq, command) in proposals {
-            let digest = command.digest();
+        for (seq, batch) in proposals {
+            let digest = batch.digest();
             let slot = self.log.entry(seq).or_default();
-            slot.fix_digest(new_view, digest, command);
+            slot.fix_digest(new_view, digest, batch);
             slot.prepares.add(self.id);
             self.bind(seq, new_view, digest);
         }
-        // Propose any pending requests afresh.
-        let pending: Vec<Command> = self.pending.iter().map(|(c, _)| c.clone()).collect();
-        for c in pending {
-            self.propose(c, out);
+        // Queue any pending requests afresh (original arrival times, so
+        // fill-delay and commit-latency accounting stay honest).
+        let pending: Vec<(Command, u64)> = self.pending.iter().cloned().collect();
+        for (c, since) in pending {
+            self.enqueue_for_proposal(c, since);
         }
+        self.flush(now, out);
         self.drain_view_stash(now, out);
     }
 
@@ -1353,6 +1576,9 @@ impl PbftCore {
             }
             self.replaying = false;
         }
+        // Safety net for `max_delay`-aged partial batches (the adapter's
+        // batch timer is the precise path; this catches re-arm races).
+        self.flush(now, &mut out);
         if self.syncing {
             if now.saturating_sub(self.last_sync_at) > SYNC_RETRY {
                 if self.sync_responses.len() > self.f() {
@@ -1438,6 +1664,8 @@ impl PbftCore {
 }
 
 const TIMER_TICK: u64 = 1;
+/// One-shot timer id for `max_delay` batch-fill deadlines.
+const TIMER_BATCH: u64 = 2;
 const TICK_EVERY: u64 = 25_000; // 25 ms
 /// Request-staleness threshold before a replica votes for a view change.
 pub const VIEW_TIMEOUT: u64 = 150_000; // 150 ms
@@ -1468,10 +1696,13 @@ pub struct PbftNode {
     pub core: PbftCore,
     /// The replica's "disk", if persistence is on.
     durable: Option<DurableLog>,
-    /// How many `core.executed()` entries have been persisted.
+    /// How many `core.executed_batches()` entries have been persisted.
     exec_cursor: usize,
     /// Set by [`Self::recover_with`]: request a state transfer on start.
     recovering: bool,
+    /// Earliest armed batch-fill deadline (simulator timers cannot be
+    /// cancelled, so this dedups re-arms; spurious fires are harmless).
+    batch_timer_at: Option<u64>,
 }
 
 impl PbftNode {
@@ -1482,7 +1713,15 @@ impl PbftNode {
             durable: None,
             exec_cursor: 0,
             recovering: false,
+            batch_timer_at: None,
         }
+    }
+
+    /// Sets the batching/pipelining configuration (builder style, so it
+    /// composes with every constructor, including [`Self::recover_with`]).
+    pub fn with_batching(mut self, cfg: BatchConfig) -> Self {
+        self.core.set_batch_config(cfg);
+        self
     }
 
     /// Creates replica `id` persisting to `log` (normally a fresh log).
@@ -1504,7 +1743,7 @@ impl PbftNode {
         let mut node = Self::new(id, n, byz);
         node.core.set_record_bindings(true);
         node.core.install_history(replayed.entries, replayed.bindings, replayed.prepared);
-        node.exec_cursor = node.core.executed().len();
+        node.exec_cursor = node.core.executed_batches().len();
         node.durable = Some(log);
         node.recovering = true;
         prever_obs::counter("pbft.recoveries").inc();
@@ -1529,17 +1768,29 @@ impl PbftNode {
             for (seq, view, digest) in self.core.take_bindings() {
                 log.append_bind(seq, view, &digest);
             }
-            for (seq, view, command) in self.core.take_prepared() {
-                log.append_prep(seq, view, &command);
+            for (seq, view, batch) in self.core.take_prepared() {
+                log.append_prep(seq, view, &batch);
             }
-            for d in &self.core.executed()[self.exec_cursor..] {
-                log.append_exec(d.slot, &d.command, d.at);
+            for (seq, batch, at) in &self.core.executed_batches()[self.exec_cursor..] {
+                log.append_exec(*seq, batch, *at);
             }
             // Group-commit point: one flush barrier per dispatch covers
-            // every exec staged above (bind/prep flushed eagerly).
+            // every exec record staged above (bind/prep flushed eagerly).
             log.commit_dispatch();
         }
-        self.exec_cursor = self.core.executed().len();
+        self.exec_cursor = self.core.executed_batches().len();
+    }
+
+    /// Arms (or tightens) the one-shot batch-fill timer to the core's
+    /// next `max_delay` deadline.
+    fn arm_batch_timer(&mut self, ctx: &mut Ctx<PbftMsg>) {
+        if let Some(deadline) = self.core.next_batch_deadline() {
+            let due = deadline.max(ctx.now() + 1);
+            if self.batch_timer_at.is_none_or(|t| t > due) {
+                self.batch_timer_at = Some(due);
+                ctx.set_timer(due - ctx.now(), TIMER_BATCH);
+            }
+        }
     }
 }
 
@@ -1565,17 +1816,30 @@ impl Actor for PbftNode {
         for (to, m) in out {
             ctx.send(to, m);
         }
+        self.arm_batch_timer(ctx);
     }
 
     fn on_timer(&mut self, timer: u64, ctx: &mut Ctx<PbftMsg>) {
-        if timer == TIMER_TICK {
-            let out = self.core.on_tick(ctx.now(), VIEW_TIMEOUT);
-            self.persist();
-            for (to, m) in out {
-                ctx.send(to, m);
+        match timer {
+            TIMER_TICK => {
+                let out = self.core.on_tick(ctx.now(), VIEW_TIMEOUT);
+                self.persist();
+                for (to, m) in out {
+                    ctx.send(to, m);
+                }
+                ctx.set_timer(TICK_EVERY, TIMER_TICK);
             }
-            ctx.set_timer(TICK_EVERY, TIMER_TICK);
+            TIMER_BATCH => {
+                self.batch_timer_at = None;
+                let out = self.core.on_batch_timer(ctx.now());
+                self.persist();
+                for (to, m) in out {
+                    ctx.send(to, m);
+                }
+            }
+            _ => {}
         }
+        self.arm_batch_timer(ctx);
     }
 }
 
@@ -1594,13 +1858,20 @@ pub fn cluster_with(behaviors: &[Byzantine]) -> Vec<PbftNode> {
         .collect()
 }
 
+/// Builds an honest `n`-replica cluster with batching configured.
+pub fn cluster_batched(n: usize, cfg: BatchConfig) -> Vec<PbftNode> {
+    (0..n)
+        .map(|id| PbftNode::new(id, n, Byzantine::Honest).with_batching(cfg))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use prever_sim::{NetConfig, Simulation};
 
     fn submit(sim: &mut Simulation<PbftNode>, to: NodeId, id: u64) {
-        sim.inject(to, to, PbftMsg::Request(Command::new(id, format!("cmd-{id}"))), sim.now() + 1);
+        sim.inject(to, to, PbftMsg::request(Command::new(id, format!("cmd-{id}"))), sim.now() + 1);
     }
 
     fn ids_of(node: &PbftNode) -> Vec<u64> {
@@ -1794,7 +2065,7 @@ mod tests {
         let mut sim = Simulation::new(cluster(n), NetConfig::default(), 6);
         // The same command id submitted to several replicas.
         for target in 0..n {
-            sim.inject(target, target, PbftMsg::Request(Command::new(42, "dup")), sim.now() + 1);
+            sim.inject(target, target, PbftMsg::request(Command::new(42, "dup")), sim.now() + 1);
         }
         sim.run_until(2_000_000);
         for i in 0..n {
@@ -1901,7 +2172,7 @@ mod tests {
         }
         // And the journal replay agrees with the in-memory history.
         let replayed = logs[2].replay().expect("chain verifies");
-        assert_eq!(replayed.entries.len(), sim.node(2).core.executed().len());
+        assert_eq!(replayed.entries.len(), sim.node(2).core.executed_batches().len());
     }
 
     #[test]
@@ -1960,7 +2231,7 @@ mod tests {
         let prepared = sim.node(1).core.prepared_certificates();
         assert!(!prepared.is_empty(), "no slot prepared mid-batch");
         assert_eq!(sim.node(1).core.executed_commands(), 0, "nothing may commit pre-crash");
-        let (cert_seq, _, cert_cmd) = prepared[0].clone();
+        let (cert_seq, _, cert_batch) = prepared[0].clone();
         let ok = sim.run_until_pred(30_000_000, |nodes| {
             (1..4).all(|i| nodes[i].core.executed_commands() >= 6)
         });
@@ -1982,7 +2253,118 @@ mod tests {
             .iter()
             .find(|d| d.slot == cert_seq)
             .expect("certificate sequence executed");
-        assert_eq!(at_seq.command.id, cert_cmd.id, "prepared certificate was not re-proposed");
+        assert_eq!(
+            at_seq.command.id,
+            cert_batch.commands()[0].id,
+            "prepared certificate was not re-proposed"
+        );
+    }
+
+    #[test]
+    fn batched_pipeline_commits_all_commands() {
+        // 64 commands under an 8-command batch and a 4-deep window: the
+        // primary must cut multi-command batches, every replica must
+        // execute all 64 exactly once in the same order, and the
+        // pre-prepare count must show the 3-phase round was amortized.
+        let n = 4;
+        let cfg = BatchConfig::new(8, 10_000, 4);
+        let mut sim = Simulation::new(cluster_batched(n, cfg), NetConfig::default(), 21);
+        for i in 0..64 {
+            submit(&mut sim, 0, i);
+        }
+        let ok = sim.run_until_pred(5_000_000, |nodes| {
+            nodes.iter().all(|nd| nd.core.executed_commands() >= 64)
+        });
+        assert!(ok, "batched cluster failed to execute all commands");
+        let reference = ids_of(sim.node(0));
+        let mut sorted = reference.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>(), "lost or duplicated commands");
+        for i in 1..n {
+            assert_eq!(ids_of(sim.node(i)), reference, "replica {i} diverged");
+        }
+        // Amortization: 64 commands must fit in far fewer than 64
+        // rounds (exactly 8 if every batch filled; allow partial cuts).
+        let batches = sim.node(0).core.executed_batches().len();
+        assert!(batches <= 16, "expected ≤16 batches for 64 commands, got {batches}");
+        assert!(
+            sim.node(0).core.executed_batches().iter().any(|(_, b, _)| b.len() > 1),
+            "no multi-command batch was ever cut"
+        );
+        let s0 = sim.node(0).core.msg_stats();
+        assert_eq!(s0.sent("pre_prepare"), 3 * batches as u64);
+    }
+
+    #[test]
+    fn batch_fill_delay_cuts_partial_batches() {
+        // Fewer commands than max_batch: only the fill-delay timer can
+        // cut the batch, so execution proves the timer path works.
+        let n = 4;
+        let cfg = BatchConfig::new(32, 20_000, 16);
+        let mut sim = Simulation::new(cluster_batched(n, cfg), NetConfig::default(), 22);
+        for i in 0..3 {
+            submit(&mut sim, 0, i);
+        }
+        let ok = sim.run_until_pred(2_000_000, |nodes| {
+            nodes.iter().all(|nd| nd.core.executed_commands() >= 3)
+        });
+        assert!(ok, "partial batch was never cut by the fill-delay timer");
+        // All three commands rode one delay-cut batch.
+        assert_eq!(sim.node(0).core.executed_batches().len(), 1);
+        assert_eq!(sim.node(0).core.executed_batches()[0].1.len(), 3);
+    }
+
+    #[test]
+    fn view_change_preserves_multi_command_batches() {
+        // The batched variant of the mid-batch primary-crash test: slots
+        // hold multi-command batches when the primary dies. The NewView
+        // must replay the prepared batches *intact* (payloads, not just
+        // digests) — the committed batch prefix is preserved and no
+        // command is lost or duplicated across the view change.
+        let n = 4;
+        let cfg = BatchConfig::new(8, 5_000, 4);
+        let dead = prever_sim::LinkFault { drop: 1.0, ..Default::default() };
+        let plan = prever_sim::FaultPlan::new()
+            .link(1, 0, dead)
+            .link(2, 0, dead)
+            .link(3, 0, dead)
+            .link(0, 3, dead)
+            .crash_at(50_000, 0);
+        let mut sim = Simulation::new(cluster_batched(n, cfg), NetConfig::default(), 23);
+        sim.set_fault_plan(plan);
+        for i in 0..24 {
+            submit(&mut sim, 0, i);
+        }
+        sim.run_until(50_000);
+        let prepared = sim.node(1).core.prepared_certificates();
+        assert!(!prepared.is_empty(), "no batch prepared mid-flight");
+        assert!(
+            prepared.iter().any(|(_, _, b)| b.len() > 1),
+            "test construction must prepare a multi-command batch"
+        );
+        assert_eq!(sim.node(1).core.executed_commands(), 0, "nothing may commit pre-crash");
+        let (_, _, cert_batch) = prepared[0].clone();
+        let ok = sim.run_until_pred(30_000_000, |nodes| {
+            (1..4).all(|i| nodes[i].core.executed_commands() >= 24)
+        });
+        assert!(ok, "survivors failed to finish the batches after the crash");
+        assert!(sim.node(1).core.view() >= 1, "a view change must have happened");
+        let reference = ids_of(sim.node(1));
+        for i in 2..4 {
+            assert_eq!(ids_of(sim.node(i)), reference, "replica {i} diverged");
+        }
+        // No loss, no duplication across the NewView.
+        let mut sorted = reference.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..24).collect::<Vec<_>>());
+        // The prepared batch survived as a unit: its commands executed
+        // contiguously and in batch order at every survivor.
+        let cert_ids: Vec<u64> = cert_batch.commands().iter().map(|c| c.id).collect();
+        let pos = reference
+            .windows(cert_ids.len())
+            .position(|w| w == cert_ids.as_slice())
+            .expect("prepared batch must be replayed intact and in order");
+        let _ = pos;
     }
 
     #[test]

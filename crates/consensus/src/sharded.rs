@@ -25,7 +25,7 @@
 //! no abort path is required.
 
 use crate::pbft::{Byzantine, PbftCore, PbftMsg, NOOP_ID, VIEW_TIMEOUT};
-use crate::{Command, Decided};
+use crate::{BatchConfig, Command, Decided};
 use prever_sim::{Actor, Ctx, NodeId, VoteSet};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -72,6 +72,7 @@ pub enum ShardedMsg {
 }
 
 const TIMER_TICK: u64 = 1;
+const TIMER_BATCH: u64 = 2;
 const TICK_EVERY: u64 = 25_000;
 /// How long a transaction may sit stuck before shard-mates are queried
 /// (also the per-transaction re-query interval).
@@ -137,6 +138,9 @@ pub struct ShardedNode {
     /// Globally completed transactions in completion order.
     completed: Vec<Decided>,
     completed_ids: HashSet<u64>,
+    /// Earliest armed batch timer (simulator timers cannot be
+    /// cancelled, so re-arming is deduplicated).
+    batch_timer_at: Option<u64>,
 }
 
 impl ShardedNode {
@@ -157,7 +161,15 @@ impl ShardedNode {
             deferred: Vec::new(),
             completed: Vec::new(),
             completed_ids: HashSet::new(),
+            batch_timer_at: None,
         }
+    }
+
+    /// Creates the replica with a batching policy on its shard's core.
+    pub fn with_batching(id: NodeId, topology: Topology, byz: Byzantine, cfg: BatchConfig) -> Self {
+        let mut node = ShardedNode::new(id, topology, byz);
+        node.core.set_batch_config(cfg);
+        node
     }
 
     /// This replica's shard.
@@ -218,6 +230,18 @@ impl ShardedNode {
     fn forward_pbft(&self, out: Vec<(NodeId, PbftMsg)>, ctx: &mut Ctx<ShardedMsg>) {
         for (to, msg) in out {
             ctx.send(to, ShardedMsg::Pbft(msg));
+        }
+    }
+
+    /// Arms a timer for the earliest pending batch fill-delay expiry
+    /// (no-op when the core batches immediately).
+    fn arm_batch_timer(&mut self, ctx: &mut Ctx<ShardedMsg>) {
+        if let Some(deadline) = self.core.next_batch_deadline() {
+            let due = deadline.max(ctx.now() + 1);
+            if self.batch_timer_at.is_none_or(|t| t > due) {
+                self.batch_timer_at = Some(due);
+                ctx.set_timer(due - ctx.now(), TIMER_BATCH);
+            }
         }
     }
 
@@ -459,16 +483,27 @@ impl Actor for ShardedNode {
                 }
             }
         }
+        self.arm_batch_timer(ctx);
     }
 
     fn on_timer(&mut self, timer: u64, ctx: &mut Ctx<ShardedMsg>) {
-        if timer == TIMER_TICK {
-            let out = self.core.on_tick(ctx.now(), VIEW_TIMEOUT);
-            self.forward_pbft(out, ctx);
-            self.drain_executions(ctx);
-            self.probe_stuck(ctx);
-            ctx.set_timer(TICK_EVERY, TIMER_TICK);
+        match timer {
+            TIMER_TICK => {
+                let out = self.core.on_tick(ctx.now(), VIEW_TIMEOUT);
+                self.forward_pbft(out, ctx);
+                self.drain_executions(ctx);
+                self.probe_stuck(ctx);
+                ctx.set_timer(TICK_EVERY, TIMER_TICK);
+            }
+            TIMER_BATCH => {
+                self.batch_timer_at = None;
+                let out = self.core.on_batch_timer(ctx.now());
+                self.forward_pbft(out, ctx);
+                self.drain_executions(ctx);
+            }
+            _ => {}
         }
+        self.arm_batch_timer(ctx);
     }
 }
 
@@ -476,6 +511,15 @@ impl Actor for ShardedNode {
 pub fn cluster(topology: Topology) -> Vec<ShardedNode> {
     (0..topology.n_nodes())
         .map(|id| ShardedNode::new(id, topology, Byzantine::Honest))
+        .collect()
+}
+
+/// Builds an honest sharded cluster whose per-shard cores batch under
+/// `cfg` (batches may mix intra- and cross-shard transactions; the
+/// commit barrier still applies per transaction after execution).
+pub fn cluster_batched(topology: Topology, cfg: BatchConfig) -> Vec<ShardedNode> {
+    (0..topology.n_nodes())
+        .map(|id| ShardedNode::with_batching(id, topology, Byzantine::Honest, cfg))
         .collect()
 }
 
@@ -635,6 +679,38 @@ mod tests {
             let got: HashSet<u64> =
                 sim.node(id).completed().iter().map(|d| d.command.id).collect();
             assert_eq!(got, expect, "node {id} completion set");
+        }
+    }
+
+    #[test]
+    fn batched_shards_complete_mixed_workload() {
+        // Same mixed workload as above, but each shard's core cuts
+        // multi-command batches; every transaction (intra and cross)
+        // must still pass the commit barrier exactly once.
+        let t = topo(2);
+        let cfg = BatchConfig::new(4, 15_000, 4);
+        let mut sim = Simulation::new(cluster_batched(t, cfg), NetConfig::default(), 13);
+        // ids 3 and 7 are cross-shard; the rest alternate shards:
+        // shard 0 sees {0,2,4,6} intra + {3,7} cross = 6 completions,
+        // shard 1 sees {1,5} intra + {3,7} cross = 4 completions.
+        for i in 0..8u64 {
+            let involved = if i % 4 == 3 { vec![0, 1] } else { vec![(i % 2) as usize] };
+            submit(&mut sim, t, Command::new(i, format!("m-{i}")), involved, 1 + i * 20);
+        }
+        let ok = sim.run_until_pred(10_000_000, |nodes| {
+            (0..t.n_nodes()).all(|id| {
+                let want = if t.shard_of(id) == 0 { 6 } else { 4 };
+                nodes[id].completed_count() >= want
+            })
+        });
+        assert!(ok, "batched sharded workload did not complete");
+        // No duplicates on any replica.
+        for id in 0..t.n_nodes() {
+            let ids: Vec<u64> = sim.node(id).completed().iter().map(|d| d.command.id).collect();
+            let mut dedup = ids.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(ids.len(), dedup.len(), "node {id} completed a tx twice");
         }
     }
 

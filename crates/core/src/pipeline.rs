@@ -89,6 +89,22 @@ impl Pipeline {
         Ok(UpdateOutcome::Accepted { version, ledger_seq: seq })
     }
 
+    /// Batched submission: steps 1–3 for a whole batch of updates under
+    /// one span, mirroring the consensus layer's batched ordering — the
+    /// per-dispatch overhead (span bookkeeping, metric flushes) is paid
+    /// once per batch instead of once per update. Updates are verified
+    /// and incorporated in order, each against the state left by its
+    /// predecessors; a hard error aborts the batch at that point.
+    pub fn submit_batch(&mut self, updates: &[Update]) -> Result<Vec<UpdateOutcome>> {
+        let _span = prever_obs::span!("pipeline.submit_batch");
+        prever_obs::histogram("pipeline.batch.size").record(updates.len() as u64);
+        let mut outcomes = Vec::with_capacity(updates.len());
+        for update in updates {
+            outcomes.push(self.submit(update)?);
+        }
+        Ok(outcomes)
+    }
+
     /// Read access for queries (queries are out of scope per §3.1; this
     /// is for tests/examples).
     pub fn database(&self) -> &Database {
@@ -205,6 +221,20 @@ mod tests {
             let proof = p.journal().prove_inclusion(seq, digest.size).unwrap();
             Journal::verify_inclusion(p.journal().entry(seq).unwrap(), &proof, &digest).unwrap();
         }
+    }
+
+    #[test]
+    fn batched_submission_matches_sequential() {
+        let mut seq = pipeline();
+        let mut bat = pipeline();
+        let updates: Vec<Update> =
+            (0..6).map(|i| task(i, &format!("w{}", i % 2), 15, 100 + i)).collect();
+        let expected: Vec<UpdateOutcome> =
+            updates.iter().map(|u| seq.submit(u).unwrap()).collect();
+        let outcomes = bat.submit_batch(&updates).unwrap();
+        assert_eq!(outcomes, expected);
+        assert_eq!(bat.digest(), seq.digest(), "batching must not change the ledger");
+        assert_eq!(bat.stats(), seq.stats());
     }
 
     #[test]

@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Replicate the accepted shipment on the permissioned ledger.
         let payload = format!("ship:{}:{}:{}:{}", s.id, s.from, s.to, s.quantity);
         let target = s.from % enterprises;
-        sim.inject(target, target, PbftMsg::Request(Command::new(s.id, payload)), sim.now() + 1);
+        sim.inject(target, target, PbftMsg::request(Command::new(s.id, payload)), sim.now() + 1);
         committed_ids.push(s.id);
         println!(
             "shipment {:>2} e{}→e{} qty {:>2}: accepted, submitted to consensus",

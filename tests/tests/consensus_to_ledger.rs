@@ -14,7 +14,7 @@ fn pbft_replicas_build_identical_journals() {
     let n = 4;
     let mut sim = Simulation::new(pbft::cluster(n), NetConfig::default(), 5);
     for i in 0..15u64 {
-        sim.inject(0, 0, PbftMsg::Request(Command::new(i, format!("u{i}"))), sim.now() + 1 + i);
+        sim.inject(0, 0, PbftMsg::request(Command::new(i, format!("u{i}"))), sim.now() + 1 + i);
     }
     assert!(sim.run_until_pred(2_000_000, |nodes| {
         nodes.iter().all(|nd| nd.core.executed_commands() >= 15)
@@ -48,7 +48,7 @@ fn paxos_and_pbft_decide_the_same_command_set() {
     // PBFT run.
     let mut bft = Simulation::new(pbft::cluster(4), NetConfig::default(), 3);
     for &i in &ids {
-        bft.inject(0, 0, PbftMsg::Request(Command::new(i, format!("c{i}"))), bft.now() + 1 + i);
+        bft.inject(0, 0, PbftMsg::request(Command::new(i, format!("c{i}"))), bft.now() + 1 + i);
     }
     assert!(bft.run_until_pred(2_000_000, |nodes| {
         nodes.iter().all(|nd| nd.core.executed_commands() >= 12)
@@ -63,12 +63,12 @@ fn paxos_and_pbft_decide_the_same_command_set() {
         px.inject(
             0,
             0,
-            PaxosMsg::ClientRequest(Command::new(i, format!("c{i}"))),
+            PaxosMsg::request(Command::new(i, format!("c{i}"))),
             px.now() + 1 + i,
         );
     }
     assert!(px.run_until_pred(3_000_000, |nodes| nodes[1].decided().len() >= 12));
-    let mut px_ids: Vec<u64> = px.node(1).decided().values().map(|c| c.id).collect();
+    let mut px_ids: Vec<u64> = px.node(1).decided_ids();
     px_ids.sort_unstable();
     px_ids.dedup();
 
@@ -87,7 +87,7 @@ fn bft_latency_exceeds_paxos_latency() {
     for i in 0..10u64 {
         let at = 1 + i * 10_000;
         submit_at.push(at);
-        bft.inject(0, 0, PbftMsg::Request(Command::new(i, "x")), at);
+        bft.inject(0, 0, PbftMsg::request(Command::new(i, "x")), at);
     }
     assert!(bft.run_until_pred(5_000_000, |nodes| {
         nodes.iter().all(|nd| nd.core.executed_commands() >= 10)
@@ -107,7 +107,7 @@ fn bft_latency_exceeds_paxos_latency() {
     for i in 0..10u64 {
         let at = base + 1 + i * 10_000;
         submit_at.push(at);
-        px.inject(0, 0, PaxosMsg::ClientRequest(Command::new(i, "x")), at);
+        px.inject(0, 0, PaxosMsg::request(Command::new(i, "x")), at);
     }
     assert!(px.run_until_pred(5_000_000, |nodes| nodes[0].decided().len() >= 10));
     let px_lat = mean(

@@ -21,7 +21,7 @@ fn paxos_survives_10_percent_message_loss() {
         sim.inject(
             target,
             target,
-            PaxosMsg::ClientRequest(Command::new(i, format!("c{i}"))),
+            PaxosMsg::request(Command::new(i, format!("c{i}"))),
             sim.now() + 1 + i * 1000,
         );
     }
@@ -30,7 +30,7 @@ fn paxos_survives_10_percent_message_loss() {
     let ok = sim.run_until_pred(3_000_000, |nodes| {
         nodes.iter().all(|nd| {
             let ids: std::collections::HashSet<u64> =
-                nd.decided().values().map(|c| c.id).collect();
+                nd.decided_ids().into_iter().collect();
             (0..20).all(|i| ids.contains(&i))
         })
     });
@@ -49,13 +49,13 @@ fn paxos_partition_heals_and_logs_reconcile() {
     let mut sim = Simulation::new(paxos::cluster(n), NetConfig::default(), 5);
     sim.run_until(50_000);
     for i in 0..5u64 {
-        sim.inject(0, 0, PaxosMsg::ClientRequest(Command::new(i, "pre")), sim.now() + 1 + i);
+        sim.inject(0, 0, PaxosMsg::request(Command::new(i, "pre")), sim.now() + 1 + i);
     }
     assert!(sim.run_until_pred(1_000_000, |nodes| nodes[4].decided().len() >= 5));
     // Partition off nodes {3, 4}; the majority continues.
     sim.set_partition(vec![0, 0, 0, 1, 1]);
     for i in 5..10u64 {
-        sim.inject(0, 0, PaxosMsg::ClientRequest(Command::new(i, "during")), sim.now() + 1 + i);
+        sim.inject(0, 0, PaxosMsg::request(Command::new(i, "during")), sim.now() + 1 + i);
     }
     assert!(sim.run_until_pred(3_000_000, |nodes| nodes[1].decided().len() >= 10));
     assert!(sim.node(4).decided().len() < 10, "minority must lag during partition");
@@ -78,7 +78,7 @@ fn pbft_progresses_under_light_loss() {
     let cfg = NetConfig { drop_rate: 0.03, ..NetConfig::default() };
     let mut sim = Simulation::new(pbft::cluster(4), cfg, 13);
     for i in 0..10u64 {
-        sim.inject(0, 0, PbftMsg::Request(Command::new(i, "x")), 1 + i * 2000);
+        sim.inject(0, 0, PbftMsg::request(Command::new(i, "x")), 1 + i * 2000);
     }
     let ok = sim.run_until_pred(60_000_000, |nodes| {
         nodes.iter().all(|nd| nd.core.executed_commands() >= 10)
@@ -109,7 +109,7 @@ fn paxos_crash_plus_loss_combined() {
     let mut sim = Simulation::new(paxos::cluster(n), cfg, 21);
     sim.run_until(200_000);
     for i in 0..5u64 {
-        sim.inject(1, 1, PaxosMsg::ClientRequest(Command::new(i, "a")), sim.now() + 1 + i);
+        sim.inject(1, 1, PaxosMsg::request(Command::new(i, "a")), sim.now() + 1 + i);
     }
     assert!(sim.run_until_pred(3_000_000, |nodes| nodes[1].decided().len() >= 5));
     let leader = (0..n).find(|&i| sim.node(i).is_leader()).expect("leader");
@@ -119,14 +119,14 @@ fn paxos_crash_plus_loss_combined() {
         sim.inject(
             survivor,
             survivor,
-            PaxosMsg::ClientRequest(Command::new(i, "b")),
+            PaxosMsg::request(Command::new(i, "b")),
             sim.now() + 1000 + i,
         );
     }
     let ok = sim.run_until_pred(10_000_000, move |nodes| {
         (0..n).filter(|&i| i != leader).all(|i| {
             let ids: std::collections::HashSet<u64> =
-                nodes[i].decided().values().map(|c| c.id).collect();
+                nodes[i].decided_ids().into_iter().collect();
             (0..10).all(|c| ids.contains(&c))
         })
     });

@@ -23,7 +23,7 @@ fn pbft_ordered_journals_co_sign_into_a_checkpoint() {
     // Order 8 regulated updates through PBFT.
     let mut sim = Simulation::new(pbft::cluster(n), NetConfig::default(), 51);
     for i in 0..8u64 {
-        sim.inject(0, 0, PbftMsg::Request(Command::new(i, format!("update-{i}"))), 1 + i * 100);
+        sim.inject(0, 0, PbftMsg::request(Command::new(i, format!("update-{i}"))), 1 + i * 100);
     }
     assert!(sim.run_until_pred(2_000_000, |nodes| {
         nodes.iter().all(|nd| nd.core.executed_commands() >= 8)
