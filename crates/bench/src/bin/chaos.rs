@@ -44,8 +44,8 @@ fn parse_args() -> Args {
                     .find(|p| p.name() == v)
                     .unwrap_or_else(|| {
                         die(&format!(
-                            "unknown protocol {v:?} \
-                             (pbft|pbft-batched|paxos|sharded|pbft-disk|ledger-disk)"
+                            "unknown protocol {v:?} (pbft|pbft-batched|paxos|sharded\
+                             |sharded-parallel|pbft-disk|ledger-disk)"
                         ))
                     });
                 args.protocols = vec![p];
@@ -55,8 +55,9 @@ fn parse_args() -> Args {
             "--commands" => args.commands = Some(parse_u64(&value("--commands"))),
             "--help" | "-h" => {
                 println!(
-                    "usage: chaos [--protocol pbft|pbft-batched|paxos|sharded|pbft-disk\
-                     |ledger-disk] [--seed N] [--seeds N] [--commands N]"
+                    "usage: chaos [--protocol pbft|pbft-batched|paxos|sharded\
+                     |sharded-parallel|pbft-disk|ledger-disk] [--seed N] [--seeds N] \
+                     [--commands N]"
                 );
                 std::process::exit(0);
             }
@@ -82,6 +83,7 @@ fn defaults(protocol: Protocol) -> (u64, u64) {
         Protocol::PbftBatched => (50, 30),
         Protocol::Paxos => (20, 25),
         Protocol::Sharded => (10, 12),
+        Protocol::ShardedParallel => (10, 12),
         Protocol::PbftDisk => (30, 20),
         Protocol::LedgerDisk => (120, 60),
     }

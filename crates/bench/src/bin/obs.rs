@@ -1,11 +1,14 @@
 //! `obs` — exercise every instrumented subsystem end-to-end, then print
 //! and export what the observability layer saw.
 //!
-//! Phases: a 4-replica PBFT burst on the deterministic simulator, the
-//! E1 YCSB comparison (plain / ledger / Paillier-private engines), a
-//! Paillier encrypt–decrypt loop, a CPIR retrieval, a ledger
-//! append + Merkle-root pass, a durable-journal append/flush/compact/
-//! crash/recover cycle (WAL + snapshot metrics), and a DP budget drain.
+//! Phases: a 4-replica PBFT burst on the deterministic simulator, a
+//! sharded commit/abort pass (intra- and cross-shard commits plus a
+//! partition-forced cross-shard abort, so the `sharded.*` metrics all
+//! fire), the E1 YCSB comparison (plain / ledger / Paillier-private
+//! engines), a Paillier encrypt–decrypt loop, a CPIR retrieval, a
+//! ledger append + Merkle-root pass, a durable-journal
+//! append/flush/compact/crash/recover cycle (WAL + snapshot metrics),
+//! and a DP budget drain.
 //! Afterwards the
 //! global registry snapshot is rendered as the aligned metrics table,
 //! as `BENCHJSON`/`OBSJSON` lines, and as a `BENCH_obs.json` document
@@ -32,16 +35,26 @@ use prever_sim::{NetConfig, Simulation};
 use prever_storage::SharedDisk;
 use rand::{rngs::StdRng, SeedableRng};
 
-/// Spans that must have recorded at least one sample for the run to
-/// count as instrumented.
-const REQUIRED_SPANS: [&str; 7] = [
+/// Spans/histograms that must have recorded at least one sample for the
+/// run to count as instrumented.
+const REQUIRED_SPANS: [&str; 8] = [
     "pbft.prepare",
     "pbft.commit",
     "consensus.commit.latency",
+    "sharded.cross_shard.commit_latency",
     "paillier.encrypt",
     "pir.answer",
     "ledger.append",
     "wal.flush",
+];
+
+/// Counters that must be nonzero — the sharded commit/abort metrics the
+/// CI instrumentation gate watches.
+const REQUIRED_COUNTERS: [&str; 4] = [
+    "sharded.batch.committed",
+    "sharded.completed.intra_shard",
+    "sharded.completed.cross_shard",
+    "sharded.cross_shard.aborts",
 ];
 
 fn run_consensus(quick: bool) {
@@ -60,6 +73,31 @@ fn run_consensus(quick: bool) {
     let drain_until = sim.now() + 200_000;
     sim.run_until(drain_until);
     prever_obs::log!(Info, "consensus phase: {commands} commands executed on 4 replicas");
+}
+
+fn run_sharded() {
+    use prever_consensus::sharded::{self, Topology};
+    let topo = Topology { n_shards: 2, replicas_per_shard: 4 };
+    let mut sim = Simulation::new(sharded::cluster(topo), NetConfig::default(), 9);
+    sharded::submit(&mut sim, topo, Command::new(0, "intra"), vec![0], 1);
+    sharded::submit(&mut sim, topo, Command::new(1, "intra"), vec![1], 2);
+    sharded::submit(&mut sim, topo, Command::new(2, "cross"), vec![0, 1], 3);
+    let done = sim.run_until_pred(10_000_000, |nodes: &[sharded::ShardedNode]| {
+        nodes[0].completed_count() >= 2 && nodes[4].completed_count() >= 2
+    });
+    assert!(done, "sharded commit phase did not finish");
+    // Partition shard 1 away and submit a doomed cross-shard tx: the
+    // coordinator must time out and order an abort, so the abort
+    // counter provably fires.
+    let groups: Vec<usize> = (0..topo.n_nodes()).map(|id| topo.shard_of(id)).collect();
+    sim.set_partition(groups);
+    let at = sim.now() + 10;
+    sharded::submit(&mut sim, topo, Command::new(3, "doomed"), vec![0, 1], at);
+    let done = sim.run_until_pred(40_000_000, |nodes: &[sharded::ShardedNode]| {
+        nodes[0].aborted_count() >= 1
+    });
+    assert!(done, "sharded abort phase did not time out");
+    prever_obs::log!(Info, "sharded phase: 2 intra + 1 cross committed, 1 cross aborted");
 }
 
 fn run_crypto(quick: bool) {
@@ -161,6 +199,7 @@ fn main() {
 
     let sw = prever_obs::Stopwatch::start();
     run_consensus(quick);
+    run_sharded();
     let ycsb_table = e::e1_ycsb::run(quick);
     run_crypto(quick);
     run_pir(quick);
@@ -204,6 +243,15 @@ fn main() {
         .collect();
     if !missing.is_empty() {
         eprintln!("obs: required spans recorded no samples: {missing:?}");
+        std::process::exit(1);
+    }
+    let unwired: Vec<&str> = REQUIRED_COUNTERS
+        .iter()
+        .copied()
+        .filter(|name| snap.counter(name).is_none_or(|c| c == 0))
+        .collect();
+    if !unwired.is_empty() {
+        eprintln!("obs: required counters never incremented: {unwired:?}");
         std::process::exit(1);
     }
 }

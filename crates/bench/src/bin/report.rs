@@ -5,6 +5,11 @@
 //! `cargo run --release -p prever-bench --bin report -- --bench-json PATH`
 //! — skip the tables and emit the E3 batching sweep as a
 //! `BENCH_consensus.json` document instead.
+//! `cargo run --release -p prever-bench --bin report -- --shard-json PATH`
+//! — emit the E7 sharded scaling surface as `BENCH_shard.json`.
+//! `cargo run --release -p prever-bench --bin report -- --e7-smoke`
+//! — CI gate: 8 shards must beat 1 shard by ≥ 3× aggregate virtual
+//! throughput on the parallel runtime; exits nonzero otherwise.
 
 use prever_bench::experiments as e;
 
@@ -16,6 +21,26 @@ fn main() {
         e::e3_consensus::write_bench_json(std::path::Path::new(path))
             .unwrap_or_else(|err| panic!("writing {path}: {err}"));
         println!("wrote {path}");
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--shard-json") {
+        let path = args.get(i + 1).expect("--shard-json needs a path");
+        e::e7_sharded::write_bench_json(std::path::Path::new(path))
+            .unwrap_or_else(|err| panic!("writing {path}: {err}"));
+        println!("wrote {path}");
+        return;
+    }
+    if args.iter().any(|a| a == "--e7-smoke") {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let (t1, t8, ratio) = e::e7_sharded::scaling_smoke();
+        println!(
+            "e7 smoke: 1 shard = {t1:.0} tx/vsec, 8 shards = {t8:.0} tx/vsec \
+             ({ratio:.1}x, {cores} cores)"
+        );
+        if ratio < 3.0 {
+            eprintln!("e7 smoke FAILED: 8-shard aggregate throughput only {ratio:.1}x 1-shard (need >= 3x)");
+            std::process::exit(1);
+        }
         return;
     }
     println!(

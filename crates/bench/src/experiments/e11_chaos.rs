@@ -57,6 +57,7 @@ pub fn run(quick: bool) -> Table {
         (Protocol::PbftBatched, pb, cb),
         (Protocol::Paxos, px, cx),
         (Protocol::Sharded, sh, csh),
+        (Protocol::ShardedParallel, sh, csh),
     ] {
         let outcomes = sweep(protocol, 0, seeds, commands);
         table.row(summarize(protocol, commands, &outcomes));

@@ -45,6 +45,7 @@ pub mod paxos;
 pub mod pbft;
 pub mod sharded;
 
+use bytes::Bytes;
 use prever_crypto::merkle::MerkleTree;
 use prever_crypto::Digest;
 use std::sync::{Arc, OnceLock};
@@ -62,8 +63,11 @@ use std::sync::{Arc, OnceLock};
 pub struct Command {
     /// Client-assigned unique id.
     pub id: u64,
-    /// Opaque payload.
-    pub payload: Vec<u8>,
+    /// Opaque payload. `Bytes`, not `Vec<u8>`: commands are cloned on
+    /// every fan-out, batch assembly, and log append, and a refcounted
+    /// slice makes each of those O(1) instead of a payload deep copy
+    /// (see `tests/alloc.rs`).
+    pub payload: Bytes,
     /// Compute-once digest cache (satellite of DESIGN.md §11: the hot
     /// path hashes each command exactly once, batching then reuses the
     /// cached leaves for the Merkle batch digest).
@@ -72,7 +76,7 @@ pub struct Command {
 
 impl Command {
     /// Builds a command.
-    pub fn new(id: u64, payload: impl Into<Vec<u8>>) -> Self {
+    pub fn new(id: u64, payload: impl Into<Bytes>) -> Self {
         Command { id, payload: payload.into(), cached_digest: OnceLock::new() }
     }
 
@@ -81,7 +85,9 @@ impl Command {
     pub fn digest(&self) -> Digest {
         *self
             .cached_digest
-            .get_or_init(|| prever_crypto::sha256::sha256_concat(&[&self.id.to_be_bytes(), &self.payload]))
+            .get_or_init(|| {
+                prever_crypto::sha256::sha256_concat(&[&self.id.to_be_bytes(), &self.payload[..]])
+            })
     }
 }
 

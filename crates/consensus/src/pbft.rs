@@ -371,6 +371,10 @@ pub struct PbftCore {
     /// re-broadcast to the other replicas (the PBFT liveness relay),
     /// batched under the same fill policy as proposals.
     relay_accum: VecDeque<(Command, u64)>,
+    /// Set by [`Self::on_urgent_request`]: suspends the fill-delay gate
+    /// so partial batches cut immediately, until both accumulators
+    /// drain. Latency-critical commands must not wait out `max_delay`.
+    urgent: bool,
     /// View-change votes: new_view → voters and their prepared sets.
     vc_votes: BTreeMap<u64, BTreeMap<NodeId, Vec<PreparedCert>>>,
     /// Set while this replica has abandoned `view` and waits for NewView.
@@ -458,6 +462,7 @@ impl PbftCore {
             cfg: BatchConfig::default(),
             accum: VecDeque::new(),
             relay_accum: VecDeque::new(),
+            urgent: false,
             vc_votes: BTreeMap::new(),
             view_changing: false,
             running_state: Digest::ZERO,
@@ -522,6 +527,13 @@ impl PbftCore {
     /// dense from sequence 1.
     pub fn executed_batches(&self) -> &[(u64, Batch, u64)] {
         &self.executed_batches
+    }
+
+    /// True iff a command with `id` has been executed (O(1); the
+    /// sharded completion path calls this per vote, so a linear scan
+    /// of the log would be quadratic in workload size).
+    pub fn has_executed(&self, id: u64) -> bool {
+        self.executed_ids.contains(&id)
     }
 
     /// Sets the batching/pipelining configuration (normally before the
@@ -791,6 +803,23 @@ impl PbftCore {
         out
     }
 
+    /// Accepts `command` and cuts it through the batching policy
+    /// immediately: the fill-delay gate is suspended until the relay
+    /// and proposal accumulators drain, so the command (and everything
+    /// queued ahead of it) goes out now in a partial batch instead of
+    /// waiting out the timer. The in-flight window still applies — if
+    /// the pipeline is full the entries go the moment a slot frees.
+    /// For latency-critical commands (a cross-shard decision blocks
+    /// every involved shard), where a partial-batch cut is always the
+    /// right trade.
+    pub fn on_urgent_request(&mut self, command: Command, now: u64) -> Outbox {
+        let mut out = Outbox::new();
+        self.accept_request(command, now, true);
+        self.urgent = true;
+        self.flush(now, &mut out);
+        out
+    }
+
     /// Tracks one incoming command. `relay` is true for client
     /// injections (which must be re-broadcast so peers see them
     /// pending); relayed copies are not relayed again.
@@ -831,7 +860,8 @@ impl PbftCore {
     /// back-pressure); relays are not, since they carry no slot.
     fn flush(&mut self, now: u64, out: &mut Outbox) {
         while !self.relay_accum.is_empty() {
-            let ready = self.relay_accum.len() >= self.cfg.max_batch
+            let ready = self.urgent
+                || self.relay_accum.len() >= self.cfg.max_batch
                 || self
                     .relay_accum
                     .front()
@@ -854,7 +884,8 @@ impl PbftCore {
             return;
         }
         while !self.accum.is_empty() && self.in_flight() < self.cfg.window {
-            let ready = self.accum.len() >= self.cfg.max_batch
+            let ready = self.urgent
+                || self.accum.len() >= self.cfg.max_batch
                 || self
                     .accum
                     .front()
@@ -870,6 +901,9 @@ impl PbftCore {
             let commands: Vec<Command> = drained.into_iter().map(|(c, _)| c).collect();
             self.propose_batch(commands, out);
         }
+        if self.accum.is_empty() && self.relay_accum.is_empty() {
+            self.urgent = false;
+        }
     }
 
     /// The earliest virtual time at which a waiting accumulator entry
@@ -880,13 +914,16 @@ impl PbftCore {
         if self.byz == Byzantine::Silent || self.cfg.max_delay == 0 {
             return None;
         }
+        // While an urgent command is queued the fill delay is suspended
+        // and anything waiting is due immediately.
+        let delay = if self.urgent { 0 } else { self.cfg.max_delay };
         let mut deadline: Option<u64> = None;
         if let Some((_, since)) = self.relay_accum.front() {
-            deadline = Some(since + self.cfg.max_delay);
+            deadline = Some(since + delay);
         }
         if self.is_primary() && !self.view_changing && self.in_flight() < self.cfg.window {
             if let Some((_, since)) = self.accum.front() {
-                let t = since + self.cfg.max_delay;
+                let t = since + delay;
                 deadline = Some(deadline.map_or(t, |d| d.min(t)));
             }
         }
@@ -929,7 +966,7 @@ impl PbftCore {
                     .commands()
                     .iter()
                     .map(|c| {
-                        let mut payload = c.payload.clone();
+                        let mut payload = c.payload.to_vec();
                         payload.extend_from_slice(b"-equivocated");
                         Command::new(c.id, payload)
                     })
@@ -1864,6 +1901,15 @@ pub fn cluster_batched(n: usize, cfg: BatchConfig) -> Vec<PbftNode> {
         .map(|id| PbftNode::new(id, n, Byzantine::Honest).with_batching(cfg))
         .collect()
 }
+
+// The sharded runtime ships whole replica groups to worker threads, so
+// the consensus kernel must stay free of thread-bound state (Rc,
+// RefCell, raw pointers). Compile-time check; breaking it breaks the
+// shard-per-thread runtime.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<PbftCore>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -48,8 +48,10 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod parallel;
 
 pub use fault::{DiskFault, FaultEvent, FaultPlan, LinkFault};
+pub use parallel::{ParallelConfig, ParallelFaultEvent, ParallelFaultPlan, ParallelSim};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -1,0 +1,1011 @@
+//! Shard-per-thread parallel simulation.
+//!
+//! The single-threaded [`Simulation`](crate::Simulation) caps every
+//! experiment at one core: a 64-shard SharPer-style deployment is 256
+//! PBFT replicas time-sliced through one event loop. This module runs
+//! each *shard* (a group of nodes that talk to each other constantly)
+//! as a self-contained engine on its own OS thread, and lets shards
+//! talk to each other only through explicit cross-shard channels merged
+//! deterministically by a coordinator.
+//!
+//! ## Determinism under parallelism
+//!
+//! Conservative parallel discrete-event simulation with an epoch
+//! barrier:
+//!
+//! * Virtual time is divided into fixed epochs of `epoch` µs. Every
+//!   engine runs `[k·E, (k+1)·E)` to completion before any engine
+//!   starts epoch `k + 1`.
+//! * Cross-shard messages sent during epoch `k` are collected by the
+//!   coordinator *after* the barrier, routed in a fixed schedule
+//!   (ascending source shard, then send order within the shard — a
+//!   lamport-ordered per-edge FIFO), and delivered no earlier than
+//!   epoch `k + 1`. Cross-shard latency/jitter is drawn from a
+//!   per-edge RNG keyed by `(seed, src, dst)`, so a draw never depends
+//!   on which thread finished first.
+//! * Each engine owns a private RNG keyed by `(seed, shard)` for
+//!   intra-shard jitter.
+//!
+//! Consequently the interleaving observed by every actor is a pure
+//! function of `(actors, config, fault plan, injections, seed)` — the
+//! OS scheduler cannot perturb it. The price is lookahead: cross-shard
+//! base latency must be ≥ the epoch length, which models shards as
+//! LAN clusters joined by a slower inter-shard backbone (the SharPer
+//! deployment shape).
+//!
+//! ## Fault model
+//!
+//! Faults are scheduled on a [`ParallelFaultPlan`]: shard-granular
+//! partitions (a partitioned shard keeps ordering locally but its
+//! cross-shard channels drop), per-node crash / recover /
+//! restart-with-loss. Cross-shard messages are not pinned to a
+//! receiver incarnation: like client retries, they are delivered to
+//! whatever process is alive on arrival (they model durable channel
+//! buffers between clusters).
+
+use crate::{Actor, Ctx, NetConfig, NodeId, SimStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Shard identifier (dense, 0-based) — the unit of parallelism.
+pub type ShardId = usize;
+
+/// Sentinel incarnation for cross-shard and injected deliveries.
+const EXTERNAL_INC: u64 = u64::MAX;
+
+/// SplitMix64-style mixer for deriving independent RNG streams.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Configuration of a [`ParallelSim`].
+#[derive(Clone, Debug)]
+pub struct ParallelConfig {
+    /// Intra-shard network behavior (latency, jitter, drops, service
+    /// time), applied independently inside each shard engine.
+    pub net: NetConfig,
+    /// Minimum one-way cross-shard latency in µs. Must be ≥ `epoch`
+    /// (the conservative lookahead bound); the constructor asserts it.
+    pub cross_base: u64,
+    /// Maximum extra cross-shard jitter in µs (uniform, per-edge RNG).
+    pub cross_jitter: u64,
+    /// Epoch (barrier) length in µs.
+    pub epoch: u64,
+    /// RNG seed; all per-shard and per-edge streams derive from it.
+    pub seed: u64,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        // Intra-shard stays the LAN profile of `NetConfig::default`;
+        // the inter-shard backbone is 1 ms one-way — a metro-area link
+        // between shard clusters — which also sets the lookahead.
+        ParallelConfig {
+            net: NetConfig::default(),
+            cross_base: 1_000,
+            cross_jitter: 200,
+            epoch: 1_000,
+            seed: 1,
+        }
+    }
+}
+
+/// A scheduled fault event on the parallel runtime.
+#[derive(Clone, Debug)]
+pub enum ParallelFaultEvent {
+    /// Install a shard-granular partition: `groups[s]` is shard `s`'s
+    /// side; cross-shard messages between different sides are dropped
+    /// at the coordinator. Intra-shard traffic is unaffected.
+    Partition(Vec<usize>),
+    /// Remove any partition.
+    Heal,
+    /// Crash a node (process dies; queued local deliveries and timers
+    /// die with it).
+    Crash(NodeId),
+    /// Recover a crashed node with state intact (`on_start` re-runs).
+    Recover(NodeId),
+    /// Restart a node as a fresh actor built by the node factory,
+    /// losing all in-memory state.
+    RestartWithLoss(NodeId),
+}
+
+/// A time-ordered plan of [`ParallelFaultEvent`]s.
+#[derive(Clone, Debug, Default)]
+pub struct ParallelFaultPlan {
+    events: Vec<(u64, ParallelFaultEvent)>,
+}
+
+impl ParallelFaultPlan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a shard-granular partition at `at`.
+    pub fn partition_at(mut self, at: u64, groups: Vec<usize>) -> Self {
+        self.events.push((at, ParallelFaultEvent::Partition(groups)));
+        self
+    }
+
+    /// Schedules a heal at `at`.
+    pub fn heal_at(mut self, at: u64) -> Self {
+        self.events.push((at, ParallelFaultEvent::Heal));
+        self
+    }
+
+    /// Schedules a crash of `node` at `at`.
+    pub fn crash_at(mut self, at: u64, node: NodeId) -> Self {
+        self.events.push((at, ParallelFaultEvent::Crash(node)));
+        self
+    }
+
+    /// Schedules a state-intact recovery of `node` at `at`.
+    pub fn recover_at(mut self, at: u64, node: NodeId) -> Self {
+        self.events.push((at, ParallelFaultEvent::Recover(node)));
+        self
+    }
+
+    /// Schedules a restart-with-state-loss of `node` at `at` (requires
+    /// [`ParallelSim::set_node_factory`]).
+    pub fn restart_with_loss_at(mut self, at: u64, node: NodeId) -> Self {
+        self.events.push((at, ParallelFaultEvent::RestartWithLoss(node)));
+        self
+    }
+
+    fn sorted_events(&self) -> Vec<(u64, ParallelFaultEvent)> {
+        let mut ev = self.events.clone();
+        ev.sort_by_key(|(t, _)| *t);
+        ev
+    }
+}
+
+/// A cross-shard message en route: scheduled by the coordinator,
+/// delivered by the destination engine.
+struct CrossArrival<M> {
+    at: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+/// A fault forwarded into an engine, applied at its virtual time.
+enum NodeFault<A> {
+    Crash(NodeId),
+    Recover(NodeId),
+    Restart(NodeId, A),
+}
+
+/// Coordinator → worker command.
+enum Cmd<A: Actor> {
+    Epoch {
+        until: u64,
+        inbound: Vec<CrossArrival<A::Msg>>,
+        faults: Vec<(u64, NodeFault<A>)>,
+    },
+    Finish,
+}
+
+/// Worker → coordinator reply.
+enum Reply<A: Actor, P> {
+    Epoch(EpochOut<A::Msg, P>),
+    Done(Vec<(NodeId, A)>),
+}
+
+/// One epoch's outputs from a shard engine.
+struct EpochOut<M, P> {
+    /// Cross-shard sends in deterministic local order: `(sent_at,
+    /// from, to, msg)`.
+    outbox: Vec<(u64, NodeId, NodeId, M)>,
+    /// Probe values per local node (global ids).
+    probes: Vec<(NodeId, P)>,
+    /// Cumulative engine statistics.
+    stats: SimStats,
+}
+
+enum LocalEventKind<M> {
+    Deliver { from: NodeId, msg: M },
+    Timer { timer: u64 },
+}
+
+struct LocalEvent<M> {
+    at: u64,
+    seq: u64,
+    to: NodeId,
+    inc: u64,
+    kind: LocalEventKind<M>,
+}
+
+impl<M> PartialEq for LocalEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for LocalEvent<M> {}
+impl<M> PartialOrd for LocalEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for LocalEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// One outbound cross-shard send: `(sent_at, from, to, msg)`.
+type CrossSend<M> = (u64, NodeId, NodeId, M);
+
+/// Sends and timers produced by one actor-handler invocation.
+type HandlerOut<M> = (Vec<(NodeId, M)>, Vec<(u64, u64)>);
+
+/// A pending cross arrival keyed for deterministic ordering:
+/// `(deliver_at, coordinator_seq, arrival)`.
+type PendingArrival<M> = (u64, u64, CrossArrival<M>);
+
+/// The per-shard event loop: a restricted [`Simulation`](crate::Simulation)
+/// over the shard's nodes whose foreign sends go to an outbox instead
+/// of the local queue.
+struct Engine<A: Actor, P> {
+    node_ids: Vec<NodeId>,
+    index: HashMap<NodeId, usize>,
+    n_global: usize,
+    nodes: Vec<A>,
+    crashed: Vec<bool>,
+    incarnation: Vec<u64>,
+    busy_until: Vec<u64>,
+    queue: BinaryHeap<Reverse<LocalEvent<A::Msg>>>,
+    rng: StdRng,
+    now: u64,
+    seq: u64,
+    stats: SimStats,
+    cfg: NetConfig,
+    outbox: Vec<CrossSend<A::Msg>>,
+    probe: Arc<dyn Fn(&A) -> P + Send + Sync>,
+    started: bool,
+}
+
+impl<A: Actor, P> Engine<A, P> {
+    fn local(&self, id: NodeId) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for li in 0..self.nodes.len() {
+            if !self.crashed[li] {
+                self.start_node(li);
+            }
+        }
+    }
+
+    fn start_node(&mut self, li: usize) {
+        let (sends, timers) = self.with_ctx(li, |node, ctx| node.on_start(ctx));
+        self.schedule_outputs(li, sends, timers);
+    }
+
+    fn with_ctx(
+        &mut self,
+        li: usize,
+        f: impl FnOnce(&mut A, &mut Ctx<A::Msg>),
+    ) -> HandlerOut<A::Msg> {
+        let mut sends = Vec::new();
+        let mut timers = Vec::new();
+        let mut ctx = Ctx {
+            now: self.now,
+            self_id: self.node_ids[li],
+            n_nodes: self.n_global,
+            sends: &mut sends,
+            timers: &mut timers,
+        };
+        f(&mut self.nodes[li], &mut ctx);
+        (sends, timers)
+    }
+
+    fn schedule_outputs(
+        &mut self,
+        from_li: usize,
+        sends: Vec<(NodeId, A::Msg)>,
+        timers: Vec<(u64, u64)>,
+    ) {
+        let from = self.node_ids[from_li];
+        for (to, msg) in sends {
+            self.stats.messages_sent += 1;
+            if to >= self.n_global {
+                self.stats.messages_dropped += 1;
+                continue;
+            }
+            if to == from {
+                // Self-sends are reliable and fast (local queue).
+                let at = self.now + 1;
+                let seq = self.next_seq();
+                let inc = self.incarnation[from_li];
+                self.queue.push(Reverse(LocalEvent {
+                    at,
+                    seq,
+                    to,
+                    inc,
+                    kind: LocalEventKind::Deliver { from, msg },
+                }));
+                continue;
+            }
+            let Some(to_li) = self.local(to) else {
+                // Foreign node: hand to the coordinator after the
+                // barrier. Send order is the deterministic per-edge
+                // lamport order.
+                self.outbox.push((self.now, from, to, msg));
+                continue;
+            };
+            if self.cfg.drop_rate > 0.0 && self.rng.gen::<f64>() < self.cfg.drop_rate {
+                self.stats.messages_dropped += 1;
+                continue;
+            }
+            let mut at = self.now
+                + self.cfg.base_latency
+                + if self.cfg.jitter > 0 { self.rng.gen_range(0..=self.cfg.jitter) } else { 0 };
+            if self.cfg.processing > 0 {
+                at = at.max(self.busy_until[to_li]);
+                self.busy_until[to_li] = at + self.cfg.processing;
+            }
+            let seq = self.next_seq();
+            let inc = self.incarnation[to_li];
+            self.queue.push(Reverse(LocalEvent {
+                at,
+                seq,
+                to,
+                inc,
+                kind: LocalEventKind::Deliver { from, msg },
+            }));
+        }
+        for (delay, timer) in timers {
+            let at = self.now + delay.max(1);
+            let seq = self.next_seq();
+            let inc = self.incarnation[from_li];
+            self.queue.push(Reverse(LocalEvent {
+                at,
+                seq,
+                to: from,
+                inc,
+                kind: LocalEventKind::Timer { timer },
+            }));
+        }
+    }
+
+    fn dispatch(&mut self, ev: LocalEvent<A::Msg>) {
+        let li = self.local(ev.to).expect("local event for local node");
+        if self.crashed[li] {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        if ev.inc != EXTERNAL_INC && ev.inc != self.incarnation[li] {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        match ev.kind {
+            LocalEventKind::Deliver { from, msg } => {
+                self.stats.messages_delivered += 1;
+                let (sends, timers) =
+                    self.with_ctx(li, |node, ctx| node.on_message(from, msg, ctx));
+                self.schedule_outputs(li, sends, timers);
+            }
+            LocalEventKind::Timer { timer } => {
+                self.stats.timers_fired += 1;
+                let (sends, timers) = self.with_ctx(li, |node, ctx| node.on_timer(timer, ctx));
+                self.schedule_outputs(li, sends, timers);
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, fault: NodeFault<A>) {
+        match fault {
+            NodeFault::Crash(n) => {
+                let li = self.local(n).expect("fault for local node");
+                if !self.crashed[li] {
+                    self.crashed[li] = true;
+                    self.incarnation[li] = self.incarnation[li].wrapping_add(1);
+                    self.stats.crashes += 1;
+                }
+            }
+            NodeFault::Recover(n) => {
+                let li = self.local(n).expect("fault for local node");
+                if self.crashed[li] {
+                    self.crashed[li] = false;
+                    self.busy_until[li] = self.now;
+                    self.stats.recoveries += 1;
+                    if self.started {
+                        self.start_node(li);
+                    }
+                }
+            }
+            NodeFault::Restart(n, actor) => {
+                let li = self.local(n).expect("fault for local node");
+                self.nodes[li] = actor;
+                self.crashed[li] = false;
+                self.incarnation[li] = self.incarnation[li].wrapping_add(1);
+                self.busy_until[li] = self.now;
+                self.stats.restarts_with_loss += 1;
+                if self.started {
+                    self.start_node(li);
+                }
+            }
+        }
+    }
+
+    /// Runs the engine through `[now, until)`: enqueues the inbound
+    /// cross-shard arrivals, interleaves scheduled faults with local
+    /// events in time order, and processes every event with `at <
+    /// until`. Returns the epoch outputs.
+    fn run_epoch(
+        &mut self,
+        until: u64,
+        inbound: Vec<CrossArrival<A::Msg>>,
+        faults: Vec<(u64, NodeFault<A>)>,
+    ) -> EpochOut<A::Msg, P> {
+        self.ensure_started();
+        for arr in inbound {
+            // Cross-shard deliveries keep the coordinator's order via
+            // fresh local seqs; they are not pinned to an incarnation.
+            let mut at = arr.at;
+            if let Some(to_li) = self.local(arr.to) {
+                if self.cfg.processing > 0 && !self.crashed[to_li] {
+                    at = at.max(self.busy_until[to_li]);
+                    self.busy_until[to_li] = at + self.cfg.processing;
+                }
+            }
+            let seq = self.next_seq();
+            self.queue.push(Reverse(LocalEvent {
+                at,
+                seq,
+                to: arr.to,
+                inc: EXTERNAL_INC,
+                kind: LocalEventKind::Deliver { from: arr.from, msg: arr.msg },
+            }));
+        }
+        let mut faults: VecDeque<(u64, NodeFault<A>)> = faults.into();
+        loop {
+            let next_fault = faults.front().map(|(t, _)| *t);
+            let next_event = self.queue.peek().map(|Reverse(e)| e.at);
+            // Faults win ties, as in the single-threaded simulator.
+            match (next_fault, next_event) {
+                (Some(tf), te) if tf < until && te.is_none_or(|t| tf <= t) => {
+                    let (tf, fault) = faults.pop_front().expect("peeked");
+                    self.now = self.now.max(tf);
+                    self.apply_fault(fault);
+                }
+                (_, Some(te)) if te < until => {
+                    let Reverse(ev) = self.queue.pop().expect("peeked");
+                    self.now = ev.at;
+                    self.dispatch(ev);
+                }
+                _ => break,
+            }
+        }
+        // Any fault scheduled in this epoch but after the last event
+        // still applies before the barrier.
+        while let Some((tf, fault)) = faults.pop_front() {
+            self.now = self.now.max(tf);
+            self.apply_fault(fault);
+        }
+        self.now = until;
+        let probe = Arc::clone(&self.probe);
+        let probes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(li, node)| (self.node_ids[li], probe(node)))
+            .collect();
+        EpochOut { outbox: std::mem::take(&mut self.outbox), probes, stats: self.stats }
+    }
+}
+
+struct Worker<A: Actor, P> {
+    tx: Sender<Cmd<A>>,
+    rx: Receiver<Reply<A, P>>,
+    join: JoinHandle<()>,
+}
+
+/// Builds a fresh actor for a node restarted with state loss.
+type NodeFactory<A> = Box<dyn FnMut(NodeId) -> A>;
+
+/// The shard-per-thread parallel simulator.
+///
+/// `P` is the *probe* type: a cheap, `Send` summary of one actor's
+/// state (e.g. a completion count) computed by every engine at each
+/// epoch barrier. Run-loop predicates observe probes rather than the
+/// actors themselves, which live on their shard's thread; the full
+/// actors come back via [`ParallelSim::into_nodes`].
+pub struct ParallelSim<A: Actor, P> {
+    workers: Vec<Worker<A, P>>,
+    /// shard id per node (dense).
+    shard_of: Vec<ShardId>,
+    n_shards: usize,
+    cfg: ParallelConfig,
+    now: u64,
+    /// Coordinator event sequencer (cross arrivals + injections).
+    seq: u64,
+    /// Undelivered cross-shard arrivals per destination shard.
+    pending: Vec<Vec<PendingArrival<A::Msg>>>,
+    /// External injections not yet released: `(at, seq, from, to, msg)`.
+    injections: Vec<(u64, u64, NodeId, NodeId, A::Msg)>,
+    /// Scheduled fault events not yet applied, sorted by time.
+    pending_faults: VecDeque<(u64, ParallelFaultEvent)>,
+    /// Active shard-granular partition at the head of the timeline,
+    /// plus the in-epoch change log used to route by send time.
+    partition_timeline: Vec<(u64, Option<Vec<usize>>)>,
+    factory: Option<NodeFactory<A>>,
+    /// Per-edge RNGs for cross-shard latency draws.
+    edge_rng: HashMap<(ShardId, ShardId), StdRng>,
+    /// Coordinator-level stats (cross-shard partition drops).
+    local_stats: SimStats,
+    /// Latest cumulative stats per shard.
+    shard_stats: Vec<SimStats>,
+    /// Latest probe value per node.
+    probes: Vec<P>,
+}
+
+impl<A, P> ParallelSim<A, P>
+where
+    A: Actor + Send + 'static,
+    A::Msg: Send + 'static,
+    P: Send + Default + Clone + 'static,
+{
+    /// Creates the parallel simulation: `shard_of[i]` assigns node `i`
+    /// to a shard (shard ids must be dense `0..n_shards`), `probe`
+    /// summarizes an actor for run-loop predicates. Spawns one worker
+    /// thread per shard.
+    pub fn new(
+        nodes: Vec<A>,
+        shard_of: Vec<ShardId>,
+        cfg: ParallelConfig,
+        probe: impl Fn(&A) -> P + Send + Sync + 'static,
+    ) -> Self {
+        assert_eq!(nodes.len(), shard_of.len());
+        assert!(cfg.epoch > 0, "epoch must be positive");
+        assert!(
+            cfg.cross_base >= cfg.epoch,
+            "cross-shard base latency ({}) must cover the epoch lookahead ({})",
+            cfg.cross_base,
+            cfg.epoch
+        );
+        let n_shards = shard_of.iter().copied().max().map_or(0, |m| m + 1);
+        let n_global = nodes.len();
+        let probe: Arc<dyn Fn(&A) -> P + Send + Sync> = Arc::new(probe);
+        let mut per_shard: Vec<Vec<(NodeId, A)>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for (id, (node, &s)) in nodes.into_iter().zip(shard_of.iter()).enumerate() {
+            per_shard[s].push((id, node));
+        }
+        let workers = per_shard
+            .into_iter()
+            .enumerate()
+            .map(|(shard, members)| {
+                assert!(!members.is_empty(), "shard {shard} has no nodes");
+                let node_ids: Vec<NodeId> = members.iter().map(|(id, _)| *id).collect();
+                let index = node_ids.iter().enumerate().map(|(li, &id)| (id, li)).collect();
+                let n = node_ids.len();
+                let mut engine = Engine {
+                    node_ids,
+                    index,
+                    n_global,
+                    nodes: members.into_iter().map(|(_, a)| a).collect(),
+                    crashed: vec![false; n],
+                    incarnation: vec![0; n],
+                    busy_until: vec![0; n],
+                    queue: BinaryHeap::new(),
+                    rng: StdRng::seed_from_u64(mix(cfg.seed, mix(0x5aad, shard as u64))),
+                    now: 0,
+                    seq: 0,
+                    stats: SimStats::default(),
+                    cfg: cfg.net.clone(),
+                    outbox: Vec::new(),
+                    probe: Arc::clone(&probe),
+                    started: false,
+                };
+                let (tx, cmd_rx) = channel::<Cmd<A>>();
+                let (reply_tx, rx) = channel::<Reply<A, P>>();
+                let join = std::thread::spawn(move || {
+                    while let Ok(cmd) = cmd_rx.recv() {
+                        match cmd {
+                            Cmd::Epoch { until, inbound, faults } => {
+                                let out = engine.run_epoch(until, inbound, faults);
+                                if reply_tx.send(Reply::Epoch(out)).is_err() {
+                                    return;
+                                }
+                            }
+                            Cmd::Finish => {
+                                let nodes = engine
+                                    .node_ids
+                                    .iter()
+                                    .copied()
+                                    .zip(std::mem::take(&mut engine.nodes))
+                                    .collect();
+                                let _ = reply_tx.send(Reply::Done(nodes));
+                                return;
+                            }
+                        }
+                    }
+                });
+                Worker { tx, rx, join }
+            })
+            .collect();
+        ParallelSim {
+            workers,
+            shard_of,
+            n_shards,
+            cfg,
+            now: 0,
+            seq: 0,
+            pending: (0..n_shards).map(|_| Vec::new()).collect(),
+            injections: Vec::new(),
+            pending_faults: VecDeque::new(),
+            partition_timeline: vec![(0, None)],
+            factory: None,
+            edge_rng: HashMap::new(),
+            local_stats: SimStats::default(),
+            shard_stats: vec![SimStats::default(); n_shards],
+            probes: vec![P::default(); n_global],
+        }
+    }
+
+    /// Current virtual time (advances in whole epochs).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of worker threads (= shards).
+    pub fn n_threads(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Aggregate statistics: sum of the shard engines plus the
+    /// coordinator's cross-shard drops.
+    pub fn stats(&self) -> SimStats {
+        let mut total = self.local_stats;
+        for s in &self.shard_stats {
+            total.messages_sent += s.messages_sent;
+            total.messages_delivered += s.messages_delivered;
+            total.messages_dropped += s.messages_dropped;
+            total.timers_fired += s.timers_fired;
+            total.messages_duplicated += s.messages_duplicated;
+            total.messages_corrupted += s.messages_corrupted;
+            total.crashes += s.crashes;
+            total.recoveries += s.recoveries;
+            total.restarts_with_loss += s.restarts_with_loss;
+            total.disk_faults += s.disk_faults;
+        }
+        total
+    }
+
+    /// Latest probe value per node (updated at every epoch barrier).
+    pub fn probes(&self) -> &[P] {
+        &self.probes
+    }
+
+    /// Installs the fault plan (replacing any previous one).
+    pub fn set_fault_plan(&mut self, plan: ParallelFaultPlan) {
+        self.pending_faults = plan.sorted_events().into();
+    }
+
+    /// Registers the factory used for
+    /// [`ParallelFaultEvent::RestartWithLoss`] events.
+    pub fn set_node_factory(&mut self, factory: impl FnMut(NodeId) -> A + 'static) {
+        self.factory = Some(Box::new(factory));
+    }
+
+    /// Injects an external (client) message to `to`, arriving at
+    /// absolute time `at` (≥ now). Delivered to whatever process is
+    /// alive at `at`.
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: A::Msg, at: u64) {
+        assert!(at >= self.now, "cannot inject into the past");
+        self.seq += 1;
+        self.injections.push((at, self.seq, from, to, msg));
+    }
+
+    /// The partition state in effect at send time `at`.
+    fn partition_at(&self, at: u64) -> Option<&Vec<usize>> {
+        self.partition_timeline
+            .iter()
+            .rev()
+            .find(|(t, _)| *t <= at)
+            .and_then(|(_, p)| p.as_ref())
+    }
+
+    /// Runs one epoch across all shards.
+    fn step_epoch(&mut self) {
+        let until = self.now + self.cfg.epoch;
+        // 1. Collect this epoch's faults: partitions change the
+        //    coordinator's routing timeline; node faults are forwarded
+        //    to the owning engine.
+        let mut shard_faults: Vec<Vec<(u64, NodeFault<A>)>> =
+            (0..self.n_shards).map(|_| Vec::new()).collect();
+        while self.pending_faults.front().is_some_and(|(t, _)| *t < until) {
+            let (t, ev) = self.pending_faults.pop_front().expect("peeked");
+            match ev {
+                ParallelFaultEvent::Partition(groups) => {
+                    assert_eq!(groups.len(), self.n_shards, "partition groups are per shard");
+                    self.partition_timeline.push((t, Some(groups)));
+                }
+                ParallelFaultEvent::Heal => self.partition_timeline.push((t, None)),
+                ParallelFaultEvent::Crash(n) => {
+                    shard_faults[self.shard_of[n]].push((t, NodeFault::Crash(n)));
+                }
+                ParallelFaultEvent::Recover(n) => {
+                    shard_faults[self.shard_of[n]].push((t, NodeFault::Recover(n)));
+                }
+                ParallelFaultEvent::RestartWithLoss(n) => {
+                    let mut factory = self.factory.take().expect(
+                        "ParallelFaultEvent::RestartWithLoss requires set_node_factory",
+                    );
+                    let fresh = factory(n);
+                    self.factory = Some(factory);
+                    shard_faults[self.shard_of[n]].push((t, NodeFault::Restart(n, fresh)));
+                }
+            }
+        }
+        // 2. Release injections and pending cross arrivals due this
+        //    epoch, merged per destination shard in (at, seq) order
+        //    (injections carry a coordinator seq from inject time, so
+        //    the merge is a stable total order).
+        let (due, later): (Vec<_>, Vec<_>) = std::mem::take(&mut self.injections)
+            .into_iter()
+            .partition(|(at, ..)| *at < until);
+        self.injections = later;
+        for (at, seq, from, to, msg) in due {
+            let shard = self.shard_of[to];
+            self.pending[shard].push((at, seq, CrossArrival { at, from, to, msg }));
+        }
+        let mut inbound: Vec<Vec<CrossArrival<A::Msg>>> =
+            (0..self.n_shards).map(|_| Vec::new()).collect();
+        for (shard, bucket) in inbound.iter_mut().enumerate() {
+            let (mut ready, later): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending[shard])
+                .into_iter()
+                .partition(|(at, ..)| *at < until);
+            self.pending[shard] = later;
+            ready.sort_by_key(|(at, seq, _)| (*at, *seq));
+            *bucket = ready.into_iter().map(|(_, _, a)| a).collect();
+        }
+        // 3. Barrier: run every shard's epoch in parallel.
+        for (shard, worker) in self.workers.iter().enumerate() {
+            worker
+                .tx
+                .send(Cmd::Epoch {
+                    until,
+                    inbound: std::mem::take(&mut inbound[shard]),
+                    faults: std::mem::take(&mut shard_faults[shard]),
+                })
+                .expect("worker alive");
+        }
+        // 4. Collect results in fixed shard order and route outboxes
+        //    deterministically.
+        let mut outboxes: Vec<Vec<CrossSend<A::Msg>>> =
+            Vec::with_capacity(self.n_shards);
+        for (shard, worker) in self.workers.iter().enumerate() {
+            match worker.rx.recv().expect("worker alive") {
+                Reply::Epoch(out) => {
+                    self.shard_stats[shard] = out.stats;
+                    for (id, p) in out.probes {
+                        self.probes[id] = p;
+                    }
+                    outboxes.push(out.outbox);
+                }
+                Reply::Done(_) => unreachable!("Finish not requested"),
+            }
+        }
+        for (src_shard, outbox) in outboxes.into_iter().enumerate() {
+            for (sent_at, from, to, msg) in outbox {
+                let dst_shard = self.shard_of[to];
+                if let Some(groups) = self.partition_at(sent_at) {
+                    if groups[src_shard] != groups[dst_shard] {
+                        self.local_stats.messages_dropped += 1;
+                        continue;
+                    }
+                }
+                let rng = self
+                    .edge_rng
+                    .entry((src_shard, dst_shard))
+                    .or_insert_with(|| {
+                        let edge = ((src_shard as u64) << 32) | dst_shard as u64;
+                        StdRng::seed_from_u64(mix(self.cfg.seed, mix(0xed6e, edge)))
+                    });
+                let jitter = if self.cfg.cross_jitter > 0 {
+                    rng.gen_range(0..=self.cfg.cross_jitter)
+                } else {
+                    0
+                };
+                // Conservative bound: never before the next epoch.
+                let at = (sent_at + self.cfg.cross_base + jitter).max(until);
+                self.seq += 1;
+                self.pending[dst_shard].push((at, self.seq, CrossArrival { at, from, to, msg }));
+            }
+        }
+        self.now = until;
+    }
+
+    /// Runs epochs until virtual time reaches `deadline`.
+    pub fn run_until(&mut self, deadline: u64) {
+        while self.now < deadline {
+            self.step_epoch();
+        }
+    }
+
+    /// Runs epochs until `pred` over the per-node probes holds
+    /// (checked at each barrier) or `deadline` virtual µs pass.
+    /// Returns true iff the predicate held.
+    pub fn run_until_probe(
+        &mut self,
+        deadline: u64,
+        mut pred: impl FnMut(&[P]) -> bool,
+    ) -> bool {
+        if pred(&self.probes) {
+            return true;
+        }
+        while self.now < deadline {
+            self.step_epoch();
+            if pred(&self.probes) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Shuts the workers down and returns the actors in global node
+    /// order (final-state assertions).
+    pub fn into_nodes(self) -> Vec<A> {
+        let n = self.shard_of.len();
+        let mut slots: Vec<Option<A>> = (0..n).map(|_| None).collect();
+        for worker in &self.workers {
+            worker.tx.send(Cmd::Finish).expect("worker alive");
+        }
+        for worker in self.workers {
+            match worker.rx.recv().expect("worker alive") {
+                Reply::Done(nodes) => {
+                    for (id, node) in nodes {
+                        slots[id] = Some(node);
+                    }
+                }
+                Reply::Epoch(_) => unreachable!("no epoch in flight"),
+            }
+            worker.join.join().expect("worker thread panicked");
+        }
+        slots.into_iter().map(|s| s.expect("every node returned")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Node 0 (shard 0) pings node 1 (shard 1); node 1 echoes.
+    #[derive(Clone, Default)]
+    struct Pinger {
+        pings: u32,
+        pongs: u32,
+        last_at: u64,
+    }
+
+    #[derive(Clone)]
+    enum PP {
+        Ping,
+        Pong,
+    }
+
+    impl Actor for Pinger {
+        type Msg = PP;
+        fn on_start(&mut self, ctx: &mut Ctx<PP>) {
+            if ctx.id() == 0 {
+                for _ in 0..10 {
+                    ctx.send(1, PP::Ping);
+                }
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: PP, ctx: &mut Ctx<PP>) {
+            self.last_at = ctx.now();
+            match msg {
+                PP::Ping => {
+                    self.pings += 1;
+                    ctx.send(from, PP::Pong);
+                }
+                PP::Pong => self.pongs += 1,
+            }
+        }
+    }
+
+    fn cross_sim(seed: u64) -> ParallelSim<Pinger, (u32, u32, u64)> {
+        ParallelSim::new(
+            vec![Pinger::default(), Pinger::default()],
+            vec![0, 1],
+            ParallelConfig { seed, ..Default::default() },
+            |p| (p.pings, p.pongs, p.last_at),
+        )
+    }
+
+    #[test]
+    fn cross_shard_messages_deliver() {
+        let mut sim = cross_sim(3);
+        let ok = sim.run_until_probe(1_000_000, |p| p[0].1 >= 10 && p[1].0 >= 10);
+        assert!(ok, "pings/pongs did not cross the shard boundary");
+        let nodes = sim.into_nodes();
+        assert_eq!(nodes[1].pings, 10);
+        assert_eq!(nodes[0].pongs, 10);
+    }
+
+    #[test]
+    fn parallel_runs_are_bit_identical() {
+        let run = |seed: u64| {
+            let mut sim = cross_sim(seed);
+            sim.run_until(50_000);
+            let stats = sim.stats();
+            let nodes = sim.into_nodes();
+            (stats, nodes[0].pongs, nodes[1].pings, nodes[0].last_at, nodes[1].last_at)
+        };
+        assert_eq!(run(7), run(7), "same seed must replay bit-identically");
+        assert_ne!(run(7), run(8), "different seeds should differ (jitter)");
+    }
+
+    #[test]
+    fn shard_partition_blocks_cross_traffic_by_send_time() {
+        let mut sim = cross_sim(5);
+        sim.set_fault_plan(ParallelFaultPlan::new().partition_at(0, vec![0, 1]));
+        sim.run_until(100_000);
+        assert_eq!(sim.probes()[1].0, 0, "partition must drop cross-shard pings");
+        assert!(sim.stats().messages_dropped >= 10);
+    }
+
+    #[test]
+    fn heal_then_inject_delivers() {
+        let mut sim = cross_sim(6);
+        sim.set_fault_plan(
+            ParallelFaultPlan::new().partition_at(0, vec![0, 1]).heal_at(50_000),
+        );
+        sim.run_until(60_000);
+        sim.inject(1, 1, PP::Ping, sim.now() + 10);
+        let ok = sim.run_until_probe(1_000_000, |p| p[1].0 >= 1);
+        assert!(ok, "post-heal injection must deliver");
+    }
+
+    #[test]
+    fn crash_and_recover_follow_single_threaded_semantics() {
+        let mut sim = cross_sim(9);
+        sim.set_fault_plan(
+            ParallelFaultPlan::new().crash_at(100, 1).recover_at(400_000, 1),
+        );
+        // Pings arrive ~1 ms; node 1 is down, so they drop.
+        sim.run_until(500_000);
+        assert_eq!(sim.probes()[1].0, 0);
+        let crashes = sim.stats().crashes;
+        assert_eq!(crashes, 1);
+        // Recovered: a fresh injection lands.
+        sim.inject(1, 1, PP::Ping, sim.now() + 10);
+        let ok = sim.run_until_probe(2_000_000, |p| p[1].0 >= 1);
+        assert!(ok);
+    }
+
+    #[test]
+    fn restart_with_loss_uses_factory() {
+        let mut sim = cross_sim(11);
+        sim.set_node_factory(|_| Pinger::default());
+        sim.set_fault_plan(ParallelFaultPlan::new().restart_with_loss_at(50_000, 0));
+        sim.run_until(40_000);
+        assert_eq!(sim.probes()[0].1, 10, "initial exchange completes");
+        // The fresh node 0 re-runs on_start: 10 more pings on the wire.
+        let ok = sim.run_until_probe(1_000_000, |p| p[1].0 >= 20);
+        assert!(ok, "restarted node must re-send from on_start");
+        assert_eq!(sim.stats().restarts_with_loss, 1);
+    }
+}

@@ -2,7 +2,6 @@
 //! PBFT-ordered commands are journaled identically at every replica;
 //! Paxos and PBFT produce equivalent logs for the same client stream.
 
-use bytes::Bytes;
 use prever_consensus::pbft::{self, PbftMsg};
 use prever_consensus::paxos::{self, PaxosMsg};
 use prever_consensus::Command;
@@ -25,7 +24,7 @@ fn pbft_replicas_build_identical_journals() {
             let mut j = Journal::new();
             for d in sim.node(r).executed() {
                 // Deterministic timestamps (the slot) keep digests equal.
-                j.append(d.slot, Bytes::from(d.command.payload.clone()));
+                j.append(d.slot, d.command.payload.clone());
             }
             j.digest()
         })
@@ -36,7 +35,7 @@ fn pbft_replicas_build_identical_journals() {
     // And the journal verifies.
     let mut j = Journal::new();
     for d in sim.node(0).executed() {
-        j.append(d.slot, Bytes::from(d.command.payload.clone()));
+        j.append(d.slot, d.command.payload.clone());
     }
     Journal::verify_chain(j.entries(), &digests[0]).unwrap();
 }

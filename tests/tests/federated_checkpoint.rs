@@ -35,7 +35,7 @@ fn pbft_ordered_journals_co_sign_into_a_checkpoint() {
     for (r, key) in keys.iter().enumerate() {
         let mut journal = Journal::new();
         for d in sim.node(r).executed() {
-            journal.append(d.slot, Bytes::from(d.command.payload.clone()));
+            journal.append(d.slot, d.command.payload.clone());
         }
         let digest = journal.digest();
         digests.push(digest.clone());
