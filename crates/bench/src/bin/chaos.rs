@@ -19,18 +19,26 @@
 //! Exit code is non-zero iff any run violated an invariant, so the
 //! binary doubles as a CI gate (see `.github/workflows/ci.yml`).
 
-use prever_bench::chaos::{run_seed, sweep, ChaosOutcome, Protocol};
+use prever_bench::chaos::{run_seed, ChaosOutcome, Protocol};
 use prever_bench::Table;
+use prever_obs::trace;
 
 struct Args {
     protocols: Vec<Protocol>,
     seed: Option<u64>,
     seeds: Option<u64>,
     commands: Option<u64>,
+    flight_check: bool,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { protocols: Protocol::ALL.to_vec(), seed: None, seeds: None, commands: None };
+    let mut args = Args {
+        protocols: Protocol::ALL.to_vec(),
+        seed: None,
+        seeds: None,
+        commands: None,
+        flight_check: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| -> String {
@@ -53,11 +61,12 @@ fn parse_args() -> Args {
             "--seed" => args.seed = Some(parse_u64(&value("--seed"))),
             "--seeds" => args.seeds = Some(parse_u64(&value("--seeds"))),
             "--commands" => args.commands = Some(parse_u64(&value("--commands"))),
+            "--flight-check" => args.flight_check = true,
             "--help" | "-h" => {
                 println!(
                     "usage: chaos [--protocol pbft|pbft-batched|paxos|sharded\
                      |sharded-parallel|pbft-disk|ledger-disk] [--seed N] [--seeds N] \
-                     [--commands N]"
+                     [--commands N] [--flight-check]"
                 );
                 std::process::exit(0);
             }
@@ -104,6 +113,16 @@ fn report_violation(outcome: &ChaosOutcome) {
             println!("    {line}");
         }
     }
+    // The flight recorder's merged postmortem: the last ring-buffered
+    // pipeline-stage events of every node in causal (virtual-time)
+    // order — what each replica was doing when the invariant broke.
+    let flight = trace::flight_dump_lines(16);
+    if !flight.is_empty() {
+        println!("  flight recorder ({} events, causal order):", flight.len());
+        for line in &flight {
+            println!("    {line}");
+        }
+    }
     println!(
         "  reproduce: cargo run --release -p prever-bench --bin chaos -- \
          --protocol {} --seed {} --commands {}",
@@ -115,6 +134,39 @@ fn main() {
     let args = parse_args();
     let mut violations = 0usize;
 
+    // Flight recording (bounded per-node rings, not the unbounded trace
+    // collector) is on for every chaos run: on a violation the merged
+    // postmortem is dumped alongside the event-trace tail. Enabled only
+    // here in the binary — the library and tests stay untraced so
+    // determinism tests and parallel `cargo test` are unaffected.
+    trace::set_flight_enabled(true);
+
+    if args.flight_check {
+        // CI self-test: one healthy replay must leave events in the
+        // rings, proving the postmortem would be non-empty on a real
+        // violation.
+        trace::reset();
+        let protocol = args.protocols.first().copied().unwrap_or(Protocol::Pbft);
+        let commands = args.commands.unwrap_or(defaults(protocol).1);
+        let outcome = run_seed(protocol, args.seed.unwrap_or(1), commands);
+        let dump = trace::flight_dump_lines(8);
+        println!(
+            "flight check: protocol={} seed={} — {} ring events",
+            outcome.protocol,
+            outcome.seed,
+            dump.len()
+        );
+        for line in dump.iter().take(40) {
+            println!("  {line}");
+        }
+        if dump.is_empty() {
+            eprintln!("chaos: flight recorder captured no events — stage hooks unplugged?");
+            std::process::exit(1);
+        }
+        println!("flight recorder OK");
+        return;
+    }
+
     if let Some(seed) = args.seed {
         // Replay mode: one seed, one protocol, full detail.
         if args.protocols.len() != 1 {
@@ -122,6 +174,7 @@ fn main() {
         }
         let protocol = args.protocols[0];
         let commands = args.commands.unwrap_or(defaults(protocol).1);
+        trace::reset();
         let outcome = run_seed(protocol, seed, commands);
         println!(
             "protocol={} seed={} commands={} executed={} synced={}",
@@ -155,16 +208,28 @@ fn main() {
             let (default_seeds, default_commands) = defaults(protocol);
             let seeds = args.seeds.unwrap_or(default_seeds);
             let commands = args.commands.unwrap_or(default_commands);
-            let outcomes = sweep(protocol, 0, seeds, commands);
-            let bad: Vec<&ChaosOutcome> = outcomes.iter().filter(|o| !o.ok()).collect();
-            for outcome in &bad {
-                report_violation(outcome);
-            }
-            violations += bad.len();
+            // The sweep loop lives here (not `chaos::sweep`) so the
+            // flight rings can be reset per seed: a violation's
+            // postmortem then shows only the offending run, reported
+            // while its rings are still intact.
+            let outcomes: Vec<ChaosOutcome> = (0..seeds)
+                .map(|seed| {
+                    prever_obs::counter("chaos.runs").inc();
+                    trace::reset();
+                    let outcome = run_seed(protocol, seed, commands);
+                    if !outcome.ok() {
+                        prever_obs::counter("chaos.violations").inc();
+                        report_violation(&outcome);
+                    }
+                    outcome
+                })
+                .collect();
+            let bad = outcomes.iter().filter(|o| !o.ok()).count();
+            violations += bad;
             table.row(vec![
                 protocol.name().to_string(),
                 seeds.to_string(),
-                bad.len().to_string(),
+                bad.to_string(),
                 outcomes.iter().map(|o| o.stats.crashes).sum::<u64>().to_string(),
                 outcomes
                     .iter()

@@ -22,14 +22,16 @@
 //! wired up" check.
 
 use bytes::Bytes;
-use prever_bench::experiments as e;
-use prever_consensus::pbft::{self, PbftMsg};
-use prever_consensus::Command;
+use prever_bench::{experiments as e, meta};
+use prever_consensus::durable::DurableLog;
+use prever_consensus::pbft::{Byzantine, PbftMsg, PbftNode};
+use prever_consensus::{BatchConfig, Command};
 use prever_crypto::paillier;
 use prever_dp::BudgetAccountant;
 use prever_ledger::{Journal, PersistentJournal};
-use prever_obs::export;
 use prever_obs::registry::Snapshot;
+use prever_obs::trace::{self, TraceEvent, STAGES};
+use prever_obs::{export, TraceCtx};
 use prever_pir::cpir::{retrieve as cpir_retrieve, CpirClient, CpirServer};
 use prever_sim::{NetConfig, Simulation};
 use prever_storage::SharedDisk;
@@ -57,11 +59,24 @@ const REQUIRED_COUNTERS: [&str; 4] = [
     "sharded.cross_shard.aborts",
 ];
 
+/// Command-id bases keeping each obs phase's trace ids disjoint (the
+/// trace sink is process-global; see DESIGN.md §13).
+const CONSENSUS_BASE: u64 = 0x0b5_0000;
+const SHARD_BASE: u64 = 0x0b5_8000;
+
 fn run_consensus(quick: bool) {
     let commands: u64 = if quick { 10 } else { 50 };
-    let mut sim = Simulation::new(pbft::cluster(4), NetConfig::default(), 42);
+    // Durable, batched replicas: the full traced pipeline through the
+    // group-commit flush barrier (queue → … → wal-flush).
+    let nodes: Vec<PbftNode> = (0..4)
+        .map(|id| {
+            PbftNode::with_durable(id, 4, Byzantine::Honest, DurableLog::new())
+                .with_batching(BatchConfig::new(8, 20_000, 4))
+        })
+        .collect();
+    let mut sim = Simulation::new(nodes, NetConfig::default(), 42);
     for i in 0..commands {
-        sim.inject(0, 0, PbftMsg::request(Command::new(i, "x")), 1 + i);
+        sim.inject(0, 0, PbftMsg::request(Command::new(CONSENSUS_BASE + i, "x")), 1 + i);
     }
     let done = sim.run_until_pred(40_000_000, |nodes| {
         nodes[0].core.executed_commands() as u64 >= commands
@@ -79,9 +94,9 @@ fn run_sharded() {
     use prever_consensus::sharded::{self, Topology};
     let topo = Topology { n_shards: 2, replicas_per_shard: 4 };
     let mut sim = Simulation::new(sharded::cluster(topo), NetConfig::default(), 9);
-    sharded::submit(&mut sim, topo, Command::new(0, "intra"), vec![0], 1);
-    sharded::submit(&mut sim, topo, Command::new(1, "intra"), vec![1], 2);
-    sharded::submit(&mut sim, topo, Command::new(2, "cross"), vec![0, 1], 3);
+    sharded::submit(&mut sim, topo, Command::new(SHARD_BASE, "intra"), vec![0], 1);
+    sharded::submit(&mut sim, topo, Command::new(SHARD_BASE + 1, "intra"), vec![1], 2);
+    sharded::submit(&mut sim, topo, Command::new(SHARD_BASE + 2, "cross"), vec![0, 1], 3);
     let done = sim.run_until_pred(10_000_000, |nodes: &[sharded::ShardedNode]| {
         nodes[0].completed_count() >= 2 && nodes[4].completed_count() >= 2
     });
@@ -92,7 +107,7 @@ fn run_sharded() {
     let groups: Vec<usize> = (0..topo.n_nodes()).map(|id| topo.shard_of(id)).collect();
     sim.set_partition(groups);
     let at = sim.now() + 10;
-    sharded::submit(&mut sim, topo, Command::new(3, "doomed"), vec![0, 1], at);
+    sharded::submit(&mut sim, topo, Command::new(SHARD_BASE + 3, "doomed"), vec![0, 1], at);
     let done = sim.run_until_pred(40_000_000, |nodes: &[sharded::ShardedNode]| {
         nodes[0].aborted_count() >= 1
     });
@@ -194,8 +209,17 @@ fn main() {
         .position(|a| a == "--json")
         .map(|i| args.get(i + 1).expect("--json needs a path").clone())
         .unwrap_or_else(|| "BENCH_obs.json".to_string());
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).expect("--trace needs a path").clone());
     let mode = if quick { "quick" } else { "full" };
     prever_obs::log!(Info, "obs run starting ({mode} mode)");
+
+    // Causal tracing on for the whole run: this binary is the
+    // observability showcase, and the exported Chrome trace / critical
+    // path sections below read from the process-global sink.
+    trace::set_trace_enabled(true);
 
     let sw = prever_obs::Stopwatch::start();
     run_consensus(quick);
@@ -206,19 +230,85 @@ fn main() {
     run_storage(quick);
     run_durability(quick);
     run_dp();
+    // The critical-path attribution runs (E3a: durable PBFT pipeline,
+    // E7a: cross-shard lock/order/commit), traced with disjoint id
+    // bases.
+    let cp_pbft = e::e3_consensus::pbft_stage_breakdown(
+        4,
+        if quick { 32 } else { 128 },
+        BatchConfig::new(8, 20_000, 4),
+    );
+    let cp_cross = e::e7_sharded::cross_shard_stage_breakdown(if quick { 12 } else { 32 });
     let total_ns = sw.elapsed_ns();
 
     let snap = prever_obs::snapshot();
     println!("# PReVer observability run ({mode} mode)\n");
     println!("{}", ycsb_table.render());
+    println!(
+        "{}",
+        e::critical_path_table(
+            "E3a — PBFT commit-latency critical path (n = 4, durable, batch 8 window 4; virtual µs)",
+            &cp_pbft
+        )
+        .render()
+    );
+    println!(
+        "{}",
+        e::critical_path_table(
+            "E7a — cross-shard commit critical path (2 shards × 4 replicas; virtual µs)",
+            &cp_cross
+        )
+        .render()
+    );
     print!("{}", export::render_table(&snap));
     print!("{}", export::render_jsonl(&snap));
+
+    // Every pipeline stage must have been observed somewhere in the run
+    // — a renamed hook or a dropped propagation path fails the binary,
+    // which is the CI "tracing still wired up" gate.
+    let all_events = trace::events();
+    let missing_stages: Vec<&str> = STAGES
+        .iter()
+        .copied()
+        .filter(|s| !all_events.iter().any(|e| e.stage == *s))
+        .collect();
+    if !missing_stages.is_empty() {
+        eprintln!("obs: pipeline stages never traced: {missing_stages:?}");
+        std::process::exit(1);
+    }
+
+    // Chrome trace-event export of the sharded phase (intra- and
+    // cross-shard commits plus the timeout abort): loads in Perfetto /
+    // chrome://tracing with pid = shard, tid = replica.
+    if let Some(path) = &trace_path {
+        let ids: std::collections::HashSet<u64> =
+            (0..4).map(|i| TraceCtx::for_command(SHARD_BASE + i).trace_id).collect();
+        let events: Vec<TraceEvent> =
+            all_events.iter().filter(|e| ids.contains(&e.trace_id)).cloned().collect();
+        let chrome = trace::export_chrome_trace(&events, |node| node / 4);
+        std::fs::write(path, &chrome).unwrap_or_else(|err| panic!("writing {path}: {err}"));
+        println!("wrote {path} ({} trace events)", events.len());
+    }
 
     let consensus_ns = phase_ns(&snap, &["pbft.", "paxos.", "sharded.", "consensus."]);
     let crypto_ns = phase_ns(&snap, &["paillier.", "pir."]);
     let storage_ns = phase_ns(&snap, &["ledger.", "pipeline.", "wal."]);
     let extra = [
         ("mode", format!("\"{mode}\"")),
+        (
+            "metadata",
+            meta::metadata_json(
+                "virtual-us+wall-ns",
+                &[
+                    ("mode", format!("\"{mode}\"")),
+                    ("pbft_n", "4".into()),
+                    ("batch", "8".into()),
+                    ("window", "4".into()),
+                    ("shards", "2".into()),
+                    ("replicas_per_shard", "4".into()),
+                ],
+            ),
+        ),
         ("total_wall_ns", total_ns.to_string()),
         (
             "phase_breakdown_ns",
@@ -226,6 +316,8 @@ fn main() {
                 "{{\"consensus\":{consensus_ns},\"crypto\":{crypto_ns},\"storage\":{storage_ns}}}"
             ),
         ),
+        ("critical_path_pbft", cp_pbft.render_json()),
+        ("critical_path_cross_shard", cp_cross.render_json()),
     ];
     let doc = export::render_json_document("PReVer observability run", &extra, &snap);
     std::fs::write(&json_path, &doc)

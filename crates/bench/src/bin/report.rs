@@ -51,10 +51,14 @@ fn main() {
         e::e1_ycsb::run(quick),
         e::e2_private_verify::run(quick),
         e::e3_consensus::run(quick),
+        // E3a/E7a: causal-trace critical-path attribution of commit
+        // latency (DESIGN.md §13), alongside the throughput tables.
+        e::e3_consensus::stage_table(quick),
         e::e4_tokens::run(quick),
         e::e5_pir::run(quick),
         e::e6_ledger::run(quick),
         e::e7_sharded::run(quick),
+        e::e7_sharded::stage_table(quick),
         e::e8_mpc::run(quick),
         e::e9_dp::run(quick),
         e::e10_tpcc::run(quick),

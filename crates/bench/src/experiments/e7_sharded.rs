@@ -25,6 +25,8 @@
 use crate::Table;
 use prever_consensus::sharded::{self, ShardProbe, Topology};
 use prever_consensus::{BatchConfig, Command};
+use prever_obs::trace::{self, CriticalPath};
+use prever_obs::TraceCtx;
 use prever_sim::{NetConfig, ParallelConfig, Simulation};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -168,6 +170,48 @@ pub fn run_single(shards: usize, ratio: f64, txs: u64) -> ShardPoint {
     }
 }
 
+/// Command-id base for the traced cross-shard breakdown: disjoint from
+/// every other workload sharing the process-global trace sink.
+const E7_TRACE_BASE: u64 = 0xe7_0000;
+
+/// Runs a traced 2-shard workload (every tx cross-shard) on the
+/// single-threaded runtime and attributes commit latency across the
+/// full pipeline *including* the cross-shard exchange: queue →
+/// batch-cut → … → exec, then cross-lock → cross-decide →
+/// cross-outcome (DESIGN.md §12/§13). Virtual µs throughout.
+pub fn cross_shard_stage_breakdown(txs: u64) -> CriticalPath {
+    trace::set_trace_enabled(true);
+    let topology = Topology { n_shards: 2, replicas_per_shard: 4 };
+    let net = NetConfig { processing: PROCESSING, ..NetConfig::default() };
+    let mut sim = Simulation::new(sharded::cluster_batched(topology, batch()), net, 7);
+    for i in 0..txs {
+        let id = E7_TRACE_BASE + i;
+        sharded::submit(&mut sim, topology, Command::new(id, "xtx"), vec![0, 1], 1 + i);
+    }
+    let done = sim.run_until_pred(120_000_000, |nodes| {
+        (0..2).all(|s| nodes[topology.members(s)[0]].completed_count() as u64 >= txs)
+    });
+    assert!(done, "traced cross-shard run did not finish");
+    // The sink stays enabled: disabling would race concurrent traced
+    // runs sharing the process-global sink.
+    let mine: std::collections::HashSet<u64> =
+        (0..txs).map(|i| TraceCtx::for_command(E7_TRACE_BASE + i).trace_id).collect();
+    let events: Vec<trace::TraceEvent> =
+        trace::events().into_iter().filter(|e| mine.contains(&e.trace_id)).collect();
+    trace::critical_path(&events)
+}
+
+/// The E7 cross-shard latency-attribution table (published alongside
+/// the surface in `BENCH_obs.json`; see the `obs` binary).
+pub fn stage_table(quick: bool) -> Table {
+    let txs: u64 = if quick { 16 } else { 48 };
+    let cp = cross_shard_stage_breakdown(txs);
+    super::critical_path_table(
+        "E7a — cross-shard commit critical path (2 shards × 4 replicas, 100% cross; virtual µs)",
+        &cp,
+    )
+}
+
 /// Per-shard offered load for the surface (full mode). Fixed per shard
 /// so the ideal aggregate scaling is exactly linear.
 const TXS_PER_SHARD: u64 = 48;
@@ -299,6 +343,22 @@ pub fn write_bench_json(path: &std::path::Path) -> std::io::Result<()> {
          cross-shard lock/order/commit\",\n",
     );
     out.push_str(&format!("  \"txs_per_shard\": {TXS_PER_SHARD},\n"));
+    out.push_str(&format!(
+        "  \"metadata\": {},\n",
+        crate::meta::metadata_json(
+            "virtual-us+wall-ns",
+            &[
+                ("txs_per_shard", TXS_PER_SHARD.to_string()),
+                ("replicas_per_shard", "4".into()),
+                ("shard_axis", "[1, 2, 4, 8, 16, 32, 64]".into()),
+                ("cross_ratio_axis", "[0.0, 0.05, 0.20]".into()),
+                ("batch", "8".into()),
+                ("window", "4".into()),
+                ("fill_delay_us", FILL_DELAY.to_string()),
+                ("net_processing_us", PROCESSING.to_string()),
+            ],
+        )
+    ));
     out.push_str(&format!(
         "  \"network\": \"simulated 1 ms RTT intra-shard, 2 ms cross-shard, \
          {PROCESSING} us CPU per message, batch 8 window 4 fill-delay {FILL_DELAY} us\",\n"

@@ -18,6 +18,29 @@ pub mod e10_tpcc;
 pub mod e11_chaos;
 pub mod e12_durability;
 
+/// Renders a [`prever_obs::trace::CriticalPath`] as a per-stage latency
+/// table (shared by the E3/E7 stage breakdowns and the `obs` binary).
+pub fn critical_path_table(title: &str, cp: &prever_obs::trace::CriticalPath) -> crate::Table {
+    let mut table = crate::Table::new(title, &["stage", "traces", "p50 (µs)", "p99 (µs)", "mean (µs)"]);
+    for s in &cp.stages {
+        table.row(vec![
+            s.stage.to_string(),
+            s.count.to_string(),
+            s.p50_us.to_string(),
+            s.p99_us.to_string(),
+            format!("{:.0}", s.mean_us),
+        ]);
+    }
+    table.row(vec![
+        "total (p50/p99)".into(),
+        cp.traces.to_string(),
+        cp.p50_total_us.to_string(),
+        cp.p99_total_us.to_string(),
+        "".into(),
+    ]);
+    table
+}
+
 /// Times `f` over `iters` iterations; returns mean µs per iteration.
 ///
 /// The mean per-op latency (in ns) is also recorded into the `metric`

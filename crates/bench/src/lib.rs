@@ -19,6 +19,7 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod meta;
 pub mod table;
 
 pub use table::Table;

@@ -1,0 +1,59 @@
+//! Run metadata stamped into every `BENCH_*.json` artifact.
+//!
+//! Perf numbers are only comparable across PRs when each artifact says
+//! what produced it: the git commit, the workload configuration, and —
+//! crucial in this repo — whether the numbers are **virtual-time**
+//! (deterministic simulator µs, host-independent) or **wall-clock**
+//! (host-dependent ns). Emitters pass their config as key → raw-JSON
+//! pairs and embed the returned object under a `"metadata"` key.
+
+/// The short git commit hash of the working tree, or `"unknown"` when
+/// git is unavailable (e.g. a source tarball).
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Renders the metadata object. `clock_basis` should be `"virtual-us"`
+/// for simulator-time numbers or `"wall-ns"` for host-clock numbers
+/// (or `"virtual-us+wall-ns"` for artifacts mixing both). `config`
+/// values are raw JSON fragments (already-quoted strings or bare
+/// numbers), keeping the helper dependency-free.
+pub fn metadata_json(clock_basis: &str, config: &[(&str, String)]) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"git_commit\": \"{}\", ", git_commit()));
+    out.push_str(&format!("\"clock_basis\": \"{clock_basis}\", "));
+    out.push_str("\"config\": {");
+    for (i, (k, v)) in config.iter().enumerate() {
+        out.push_str(&format!("\"{k}\": {v}{}", if i + 1 < config.len() { ", " } else { "" }));
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_is_balanced_json_with_required_keys() {
+        let m = metadata_json(
+            "virtual-us",
+            &[("batch", "8".into()), ("proto", "\"pbft\"".into())],
+        );
+        assert_eq!(m.matches('{').count(), m.matches('}').count());
+        assert!(m.contains("\"git_commit\": \""));
+        assert!(m.contains("\"clock_basis\": \"virtual-us\""));
+        assert!(m.contains("\"batch\": 8"));
+        assert!(m.contains("\"proto\": \"pbft\""));
+        // The commit is a short hash or the documented fallback.
+        assert!(!m.contains("\"git_commit\": \"\""));
+    }
+}

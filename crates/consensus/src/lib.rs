@@ -48,6 +48,7 @@ pub mod sharded;
 use bytes::Bytes;
 use prever_crypto::merkle::MerkleTree;
 use prever_crypto::Digest;
+use prever_obs::TraceCtx;
 use std::sync::{Arc, OnceLock};
 
 /// An opaque replicated command (e.g. an encoded PReVer update).
@@ -72,12 +73,22 @@ pub struct Command {
     /// path hashes each command exactly once, batching then reuses the
     /// cached leaves for the Merkle batch digest).
     cached_digest: OnceLock<Digest>,
+    /// Causal trace context, minted at submission (DESIGN.md §13). A
+    /// pure function of `id`, so wire decode and id-only pipeline paths
+    /// (the cross-shard decision fan-out) re-derive the identical
+    /// context; excluded from equality/hash/ordering for that reason.
+    pub trace: TraceCtx,
 }
 
 impl Command {
-    /// Builds a command.
+    /// Builds a command, minting its deterministic trace context.
     pub fn new(id: u64, payload: impl Into<Bytes>) -> Self {
-        Command { id, payload: payload.into(), cached_digest: OnceLock::new() }
+        Command {
+            id,
+            payload: payload.into(),
+            cached_digest: OnceLock::new(),
+            trace: TraceCtx::for_command(id),
+        }
     }
 
     /// A content digest used where PBFT messages carry `D(m)`.
@@ -97,6 +108,7 @@ impl Clone for Command {
             id: self.id,
             payload: self.payload.clone(),
             cached_digest: self.cached_digest.clone(),
+            trace: self.trace,
         }
     }
 }

@@ -277,6 +277,9 @@ impl PaxosNode {
         if self.already_known(&command) || self.accum.iter().any(|(c, _)| c.id == command.id) {
             return;
         }
+        if prever_obs::trace::active() {
+            prever_obs::trace::event(self.id as u64, now, command.trace, "queue", command.id);
+        }
         self.accum.push_back((command, now));
     }
 
@@ -307,6 +310,11 @@ impl PaxosNode {
             prever_obs::histogram("consensus.batch.fill_delay").record(now.saturating_sub(oldest));
             let slot = self.next_slot;
             self.next_slot += 1;
+            if prever_obs::trace::active() {
+                for c in &commands {
+                    prever_obs::trace::event(self.id as u64, now, c.trace, "batch-cut", slot);
+                }
+            }
             self.propose_at(slot, Batch::new(commands), ctx);
         }
     }
@@ -345,6 +353,23 @@ impl PaxosNode {
         self.backlog.retain(|c| !batch.contains_id(c.id));
         self.accum.retain(|(c, _)| !batch.contains_id(c.id));
         for command in batch.commands() {
+            if prever_obs::trace::active() {
+                let me = self.id as u64;
+                prever_obs::trace::event(
+                    me,
+                    ctx.now(),
+                    command.trace.child("batch-cut", me),
+                    "commit-quorum",
+                    slot,
+                );
+                prever_obs::trace::event(
+                    me,
+                    ctx.now(),
+                    command.trace.child("commit-quorum", me),
+                    "exec",
+                    slot,
+                );
+            }
             self.decided_log.push(Decided { slot, command: command.clone(), at: ctx.now() });
         }
         self.decided.insert(slot, batch);

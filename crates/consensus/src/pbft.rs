@@ -490,6 +490,11 @@ impl PbftCore {
         }
     }
 
+    /// This replica's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
     /// The current view.
     pub fn view(&self) -> u64 {
         self.view
@@ -828,6 +833,9 @@ impl PbftCore {
             return;
         }
         if !self.pending.iter().any(|(c, _)| c.id == command.id) {
+            if prever_obs::trace::active() {
+                prever_obs::trace::event(self.id as u64, now, command.trace, "queue", command.id);
+            }
             self.pending.push_back((command.clone(), now));
             if relay {
                 self.relay_accum.push_back((command.clone(), now));
@@ -899,7 +907,7 @@ impl PbftCore {
             prever_obs::histogram("consensus.batch.size").record(drained.len() as u64);
             prever_obs::histogram("consensus.batch.fill_delay").record(now.saturating_sub(oldest));
             let commands: Vec<Command> = drained.into_iter().map(|(c, _)| c).collect();
-            self.propose_batch(commands, out);
+            self.propose_batch(commands, now, out);
         }
         if self.accum.is_empty() && self.relay_accum.is_empty() {
             self.urgent = false;
@@ -937,7 +945,7 @@ impl PbftCore {
         out
     }
 
-    fn propose_batch(&mut self, commands: Vec<Command>, out: &mut Outbox) {
+    fn propose_batch(&mut self, commands: Vec<Command>, now: u64, out: &mut Outbox) {
         // Drop anything that raced to execution (e.g. via state
         // transfer) or into another slot since it was queued.
         let commands: Vec<Command> = commands
@@ -957,6 +965,18 @@ impl PbftCore {
         let seq = self.next_seq;
         let batch = Batch::new(commands);
         let digest = batch.digest();
+        if prever_obs::trace::active() {
+            for c in batch.commands() {
+                prever_obs::trace::event(self.id as u64, now, c.trace, "batch-cut", seq);
+                prever_obs::trace::event(
+                    self.id as u64,
+                    now,
+                    c.trace.child("batch-cut", self.id as u64),
+                    "pre-prepare",
+                    seq,
+                );
+            }
+        }
 
         if self.byz == Byzantine::EquivocatingPrimary {
             // Send batch A to the first half, a conflicting batch to
@@ -1332,6 +1352,19 @@ impl PbftCore {
             prever_obs::log!(Debug, "replica {} prepared seq {seq} view {view}", self.id);
             slot.sent_commit = true;
             slot.commits.add(self.id);
+            if prever_obs::trace::active() {
+                if let Some(b) = &slot.batch {
+                    for c in b.commands() {
+                        prever_obs::trace::event(
+                            self.id as u64,
+                            now,
+                            c.trace.child("pre-prepare", self.id as u64),
+                            "prepare-quorum",
+                            seq,
+                        );
+                    }
+                }
+            }
             let prep = slot.batch.clone().map(|b| (seq, slot.view, b));
             // A commit vote claims "I hold a prepared certificate"; the
             // certificate must outlive view changes (and, for a
@@ -1348,6 +1381,19 @@ impl PbftCore {
         if slot.commits.len() >= quorum && !slot.committed {
             prever_obs::log!(Debug, "replica {} committed seq {seq} view {view}", self.id);
             slot.committed = true;
+            if prever_obs::trace::active() {
+                if let Some(b) = &slot.batch {
+                    for c in b.commands() {
+                        prever_obs::trace::event(
+                            self.id as u64,
+                            now,
+                            c.trace.child("prepare-quorum", self.id as u64),
+                            "commit-quorum",
+                            seq,
+                        );
+                    }
+                }
+            }
         }
         self.execute_ready(now, out);
     }
@@ -1366,6 +1412,15 @@ impl PbftCore {
             // checkpoint/heartbeat step for the slot.
             for command in batch.commands() {
                 self.executed_ids.insert(command.id);
+                if prever_obs::trace::active() {
+                    prever_obs::trace::event(
+                        self.id as u64,
+                        now,
+                        command.trace.child("commit-quorum", self.id as u64),
+                        "exec",
+                        next,
+                    );
+                }
                 if let Some((_, since)) = self.pending.iter().find(|(c, _)| c.id == command.id) {
                     // Virtual µs → ns for the span-style histogram.
                     prever_obs::observe_ns(
@@ -1814,6 +1869,20 @@ impl PbftNode {
             // Group-commit point: one flush barrier per dispatch covers
             // every exec record staged above (bind/prep flushed eagerly).
             log.commit_dispatch();
+            if prever_obs::trace::active() {
+                let me = self.core.id() as u64;
+                for (seq, batch, at) in &self.core.executed_batches()[self.exec_cursor..] {
+                    for c in batch.commands() {
+                        prever_obs::trace::event(
+                            me,
+                            *at,
+                            c.trace.child("exec", me),
+                            "wal-flush",
+                            *seq,
+                        );
+                    }
+                }
+            }
         }
         self.exec_cursor = self.core.executed_batches().len();
     }

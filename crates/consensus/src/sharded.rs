@@ -458,6 +458,17 @@ impl ShardedNode {
             self.complete(tx_id, ctx.now(), false);
             return;
         }
+        // The local log position is the lock (SharPer): this shard has
+        // now ordered the cross-shard tx in its own log.
+        if prever_obs::trace::active() {
+            prever_obs::trace::event(
+                self.core.id() as u64,
+                at,
+                prever_obs::TraceCtx::for_command(tx_id).child("exec", self.core.id() as u64),
+                "cross-lock",
+                tx_id,
+            );
+        }
         self.watch_if_coordinator(tx_id, &involved, at);
         match self.outcome.get(&tx_id).copied() {
             Some(true) => self.complete(tx_id, ctx.now(), true),
@@ -563,6 +574,15 @@ impl ShardedNode {
         self.outcome.insert(tx_id, commit);
         self.watchdog.remove(&tx_id);
         self.first_seen.entry(tx_id).or_insert(at);
+        if prever_obs::trace::active() {
+            prever_obs::trace::event(
+                self.core.id() as u64,
+                at,
+                prever_obs::TraceCtx::for_command(tx_id).child("cross-lock", self.core.id() as u64),
+                "cross-decide",
+                tx_id,
+            );
+        }
         self.apply_outcome(tx_id, commit, ctx.now());
         self.announce_outcome(tx_id, ctx);
     }
@@ -618,6 +638,16 @@ impl ShardedNode {
             prever_obs::counter("sharded.completed.cross_shard").inc();
             prever_obs::histogram("sharded.cross_shard.commit_latency")
                 .record(now.saturating_sub(seen));
+            if prever_obs::trace::active() {
+                let me = self.core.id() as u64;
+                prever_obs::trace::event(
+                    me,
+                    now,
+                    prever_obs::TraceCtx::for_command(tx_id).child("cross-decide", me),
+                    "cross-outcome",
+                    tx_id,
+                );
+            }
             prever_obs::log!(Debug, "cross-shard tx {tx_id} committed");
         } else {
             prever_obs::counter("sharded.completed.intra_shard").inc();

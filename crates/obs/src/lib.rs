@@ -36,6 +36,7 @@ pub mod export;
 pub mod logger;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use export::{render_json_document, render_jsonl, render_table};
 pub use logger::{log_enabled, max_level, set_max_level, Level};
@@ -43,4 +44,5 @@ pub use registry::{
     counter, enabled, gauge, global, histogram, observe_ns, set_enabled, snapshot, Counter, Gauge,
     Histogram, HistogramSnapshot, Registry, Snapshot,
 };
-pub use span::{current_span, parent_of, Span, Stopwatch};
+pub use span::{adopt_parent, current_span, parent_of, Span, Stopwatch};
+pub use trace::TraceCtx;

@@ -220,12 +220,43 @@ impl Histogram {
 
     /// Estimates the `q`-quantile (`0.0..=1.0`) from the bucket
     /// midpoints, clamped to the observed min/max. Returns 0 if empty.
+    ///
+    /// Uses the continuous-rank estimator (linear interpolation between
+    /// the order statistics at `floor(h)` and `ceil(h)` for fractional
+    /// rank `h = q·(n−1)`), so nearby quantiles stay distinct even at
+    /// small sample counts — a pure ceil-rank lookup reported identical
+    /// p95/p99 whenever both ranks landed on the same observation (for
+    /// n < 20, p95 and p99 *always* shared the top sample). Values
+    /// between order statistics are still bucket-midpoint estimates;
+    /// resolution is bounded by the bucket width (±1/16 per octave).
     pub fn quantile(&self, q: f64) -> u64 {
         let count = self.count();
         if count == 0 {
             return 0;
         }
-        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let h = q.clamp(0.0, 1.0) * (count - 1) as f64;
+        let lo_rank = h.floor() as u64 + 1; // 1-based order statistic
+        let frac = h - h.floor();
+        let lo = self.value_at_rank(lo_rank);
+        let v = if frac < 1e-9 || lo_rank >= count {
+            lo as f64
+        } else {
+            let hi = self.value_at_rank(lo_rank + 1);
+            lo as f64 + (hi as f64 - lo as f64) * frac
+        };
+        (v.round() as u64).clamp(self.min(), self.max())
+    }
+
+    /// The bucket-midpoint estimate of the `rank`-th smallest
+    /// observation (1-based). The extreme ranks are exact: the 1st
+    /// order statistic is the tracked min, the nth the tracked max.
+    fn value_at_rank(&self, rank: u64) -> u64 {
+        if rank <= 1 {
+            return self.min();
+        }
+        if rank >= self.count() {
+            return self.max();
+        }
         let mut cum = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             cum += b.load(Ordering::Relaxed);
@@ -570,6 +601,37 @@ mod tests {
             let est = h.quantile(q) as f64;
             let rel = (est - exact).abs() / exact;
             assert!(rel < 0.0725, "q={q}: est {est} vs exact {exact} (rel {rel:.4})");
+        }
+    }
+
+    #[test]
+    fn small_sample_quantiles_are_distinct() {
+        // Pins the n < 20 semantics: with the continuous-rank
+        // estimator, p95 and p99 interpolate at different fractional
+        // ranks between the same pair of top order statistics, so they
+        // differ whenever the top two samples differ — the old
+        // ceil-rank lookup returned the identical top sample for both.
+        let h = Histogram::default();
+        for v in [100u64, 200, 300, 400, 500, 600, 700, 800, 900, 10_000] {
+            h.record(v);
+        }
+        let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+        // n = 10: h95 = 8.55, h99 = 8.91 — both between ranks 9 and 10,
+        // but at different fractions of the 900..10_000 gap.
+        assert!(p95 < p99, "p95 {p95} must be < p99 {p99} at n=10");
+        assert!(p50 < p95);
+        // Interpolated values stay inside the observed range (bucket
+        // midpoints are clamped to min/max).
+        assert!(p99 <= h.max() && h.min() <= p50);
+        // Exact-rank quantiles hit the order statistic's bucket
+        // midpoint: p0/p100 are exactly min/max after clamping.
+        assert_eq!(h.quantile(0.0), h.min());
+        assert_eq!(h.quantile(1.0), h.max());
+        // Degenerate n = 1: every quantile is the single sample.
+        let one = Histogram::default();
+        one.record(42);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 42);
         }
     }
 

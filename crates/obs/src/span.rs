@@ -26,6 +26,9 @@ use std::time::Instant;
 
 thread_local! {
     static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// Parent adopted from a spawning thread (see [`adopt_parent`]):
+    /// used as the parent of this thread's *root* spans only.
+    static ADOPTED: RefCell<Option<String>> = const { RefCell::new(None) };
 }
 
 /// Observed parent edges: child span name → most recent parent name.
@@ -44,6 +47,26 @@ pub fn parent_of(name: &str) -> Option<String> {
 /// The name of the innermost active span on this thread.
 pub fn current_span() -> Option<String> {
     STACK.with(|s| s.borrow().last().cloned())
+}
+
+/// Carries parent attribution across a thread spawn: spans entered on
+/// this thread while its own stack is empty use `parent` as their
+/// parent, instead of losing the causal edge to the spawning thread's
+/// (inaccessible) stack. Pass the spawner's [`current_span`] into the
+/// worker closure:
+///
+/// ```
+/// let parent = prever_obs::current_span();
+/// std::thread::spawn(move || {
+///     prever_obs::adopt_parent(parent);
+///     // root spans here now attribute to the spawner's span
+/// });
+/// ```
+///
+/// Opt-in by design: threads that never call this keep the historical
+/// behavior (root spans have no parent). Pass `None` to clear.
+pub fn adopt_parent(parent: Option<String>) {
+    ADOPTED.with(|a| *a.borrow_mut() = parent);
 }
 
 /// Creates a span guard; prefer the [`span!`](crate::span!) macro.
@@ -71,7 +94,10 @@ impl Span {
         let name = name.into();
         let (parent, depth) = STACK.with(|s| {
             let mut stack = s.borrow_mut();
-            let parent = stack.last().cloned();
+            let parent = stack
+                .last()
+                .cloned()
+                .or_else(|| ADOPTED.with(|a| a.borrow().clone()));
             let depth = stack.len();
             stack.push(name.to_string());
             (parent, depth)
@@ -204,6 +230,42 @@ mod tests {
         })
         .join()
         .unwrap();
+    }
+
+    #[test]
+    fn adopted_parent_spans_nest_across_threads() {
+        // Regression: ParallelSim shard workers spawn with an empty span
+        // stack, so their spans used to lose the parent edge to the
+        // spawning thread. adopt_parent carries it across explicitly.
+        let _outer = Span::enter("test.span.adopt_outer");
+        let parent = current_span();
+        std::thread::spawn(move || {
+            adopt_parent(parent);
+            let root = Span::enter("test.span.adopt_root");
+            assert_eq!(root.parent(), Some("test.span.adopt_outer"));
+            {
+                // Nesting on the worker still tracks the worker's own
+                // stack, not the adopted parent.
+                let inner = Span::enter("test.span.adopt_inner");
+                assert_eq!(inner.parent(), Some("test.span.adopt_root"));
+            }
+            drop(root);
+            // After the root span closes, the stack is empty again and
+            // new roots re-adopt the cross-thread parent.
+            let again = Span::enter("test.span.adopt_again");
+            assert_eq!(again.parent(), Some("test.span.adopt_outer"));
+            // Clearing restores the historical orphan behavior.
+            adopt_parent(None);
+            drop(again);
+            let orphan = Span::enter("test.span.adopt_orphan");
+            assert_eq!(orphan.parent(), None);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(
+            parent_of("test.span.adopt_root").as_deref(),
+            Some("test.span.adopt_outer")
+        );
     }
 
     #[test]

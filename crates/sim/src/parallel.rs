@@ -619,7 +619,12 @@ where
                 };
                 let (tx, cmd_rx) = channel::<Cmd<A>>();
                 let (reply_tx, rx) = channel::<Reply<A, P>>();
+                // Spans opened on the worker would otherwise lose their
+                // parent edge to this (spawning) thread's span stack —
+                // carry it across explicitly (prever-obs satellite fix).
+                let span_parent = prever_obs::current_span();
                 let join = std::thread::spawn(move || {
+                    prever_obs::adopt_parent(span_parent);
                     while let Ok(cmd) = cmd_rx.recv() {
                         match cmd {
                             Cmd::Epoch { until, inbound, faults } => {
