@@ -53,7 +53,7 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| {
                         die(&format!(
                             "unknown protocol {v:?} (pbft|pbft-batched|paxos|sharded\
-                             |sharded-parallel|pbft-disk|ledger-disk)"
+                             |sharded-parallel|pbft-disk|ledger-disk|server-overload)"
                         ))
                     });
                 args.protocols = vec![p];
@@ -65,8 +65,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: chaos [--protocol pbft|pbft-batched|paxos|sharded\
-                     |sharded-parallel|pbft-disk|ledger-disk] [--seed N] [--seeds N] \
-                     [--commands N] [--flight-check]"
+                     |sharded-parallel|pbft-disk|ledger-disk|server-overload] [--seed N] \
+                     [--seeds N] [--commands N] [--flight-check]"
                 );
                 std::process::exit(0);
             }
@@ -95,6 +95,7 @@ fn defaults(protocol: Protocol) -> (u64, u64) {
         Protocol::ShardedParallel => (10, 12),
         Protocol::PbftDisk => (30, 20),
         Protocol::LedgerDisk => (120, 60),
+        Protocol::ServerOverload => (50, 10),
     }
 }
 

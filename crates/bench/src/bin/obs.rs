@@ -4,9 +4,12 @@
 //! Phases: a 4-replica PBFT burst on the deterministic simulator, a
 //! sharded commit/abort pass (intra- and cross-shard commits plus a
 //! partition-forced cross-shard abort, so the `sharded.*` metrics all
-//! fire), the E1 YCSB comparison (plain / ledger / Paillier-private
-//! engines), a Paillier encrypt–decrypt loop, a CPIR retrieval, a
-//! ledger append + Merkle-root pass, a durable-journal
+//! fire), a serving-cluster overload pass (a flooding tenant against a
+//! tiny front end, so `server.admitted`/`server.shed`/`server.retry`
+//! and the `enqueue → admit | shed` trace stages all fire), the E1
+//! YCSB comparison (plain / ledger / Paillier-private engines), a
+//! Paillier encrypt–decrypt loop, a CPIR retrieval, a ledger append +
+//! Merkle-root pass, a durable-journal
 //! append/flush/compact/crash/recover cycle (WAL + snapshot metrics),
 //! and a DP budget drain.
 //! Afterwards the
@@ -33,13 +36,15 @@ use prever_obs::registry::Snapshot;
 use prever_obs::trace::{self, TraceEvent, STAGES};
 use prever_obs::{export, TraceCtx};
 use prever_pir::cpir::{retrieve as cpir_retrieve, CpirClient, CpirServer};
+use prever_server::{server_cluster, ClientCfg, FrontConfig, LoadMode, ServerPeer};
 use prever_sim::{NetConfig, Simulation};
+use prever_wire::Class;
 use prever_storage::SharedDisk;
 use rand::{rngs::StdRng, SeedableRng};
 
 /// Spans/histograms that must have recorded at least one sample for the
 /// run to count as instrumented.
-const REQUIRED_SPANS: [&str; 8] = [
+const REQUIRED_SPANS: [&str; 9] = [
     "pbft.prepare",
     "pbft.commit",
     "consensus.commit.latency",
@@ -48,21 +53,32 @@ const REQUIRED_SPANS: [&str; 8] = [
     "pir.answer",
     "ledger.append",
     "wal.flush",
+    "server.admission.latency",
 ];
 
-/// Counters that must be nonzero — the sharded commit/abort metrics the
-/// CI instrumentation gate watches.
-const REQUIRED_COUNTERS: [&str; 4] = [
+/// Counters that must be nonzero — the sharded commit/abort metrics and
+/// the serving-layer admission metrics the CI instrumentation gate
+/// watches.
+const REQUIRED_COUNTERS: [&str; 8] = [
     "sharded.batch.committed",
     "sharded.completed.intra_shard",
     "sharded.completed.cross_shard",
     "sharded.cross_shard.aborts",
+    "server.admitted",
+    "server.shed",
+    "server.retry",
+    "server.acked",
 ];
+
+/// Gauges that must have been written at least once (value may
+/// legitimately be zero once the run drains).
+const REQUIRED_GAUGES: [&str; 2] = ["server.queue_depth", "server.degrade.level"];
 
 /// Command-id bases keeping each obs phase's trace ids disjoint (the
 /// trace sink is process-global; see DESIGN.md §13).
 const CONSENSUS_BASE: u64 = 0x0b5_0000;
 const SHARD_BASE: u64 = 0x0b5_8000;
+const SERVER_BASE: u64 = 0x0b6_0000;
 
 fn run_consensus(quick: bool) {
     let commands: u64 = if quick { 10 } else { 50 };
@@ -113,6 +129,61 @@ fn run_sharded() {
     });
     assert!(done, "sharded abort phase did not time out");
     prever_obs::log!(Info, "sharded phase: 2 intra + 1 cross committed, 1 cross aborted");
+}
+
+fn run_server(quick: bool) {
+    let n: u64 = if quick { 24 } else { 96 };
+    // A deliberately tiny front end against a flooding low-priority
+    // tenant: guarantees admissions, sheds, and client retries, so the
+    // server.* metrics and the enqueue → admit | shed trace stages all
+    // provably fire.
+    let front = FrontConfig {
+        queue_cap: 8,
+        inflight_cap: 4,
+        tenant_rate: 400,
+        tenant_burst: 4,
+        service_estimate_us: 500,
+    };
+    let clients = [
+        ClientCfg {
+            tenant: 1,
+            class: Class::High,
+            mode: LoadMode::Closed { window: 2, think_us: 0 },
+            requests: n,
+            id_base: SERVER_BASE,
+            seed: 1,
+            ..ClientCfg::default()
+        },
+        ClientCfg {
+            tenant: 2,
+            class: Class::Low,
+            mode: LoadMode::Open { interval_us: 300 },
+            requests: n,
+            deadline_us: 30_000,
+            timeout_us: 40_000,
+            retry_budget: 3,
+            backoff_base_us: 2_000,
+            backoff_cap_us: 16_000,
+            id_base: SERVER_BASE + 0x4000,
+            seed: 2,
+            ..ClientCfg::default()
+        },
+    ];
+    let nodes = server_cluster(4, front, BatchConfig::new(8, 2_000, 4), &clients);
+    let mut sim = Simulation::new(nodes, NetConfig::default(), 77);
+    let done = sim.run_until_pred(40_000_000, |nodes: &[ServerPeer]| {
+        nodes.iter().filter_map(|p| p.as_client()).all(|c| c.conn.done())
+    });
+    assert!(done, "server phase did not finish");
+    let front_stats = sim.node(0).as_gateway().expect("gateway").front.stats().clone();
+    assert!(front_stats.shed_overload > 0, "overload phase produced no sheds");
+    prever_obs::log!(
+        Info,
+        "server phase: {} admitted, {} shed, {} acked through the gateway",
+        front_stats.admitted,
+        front_stats.shed_overload + front_stats.shed_deadline,
+        front_stats.acked
+    );
 }
 
 fn run_crypto(quick: bool) {
@@ -224,6 +295,7 @@ fn main() {
     let sw = prever_obs::Stopwatch::start();
     run_consensus(quick);
     run_sharded();
+    run_server(quick);
     let ycsb_table = e::e1_ycsb::run(quick);
     run_crypto(quick);
     run_pir(quick);
@@ -344,6 +416,12 @@ fn main() {
         .collect();
     if !unwired.is_empty() {
         eprintln!("obs: required counters never incremented: {unwired:?}");
+        std::process::exit(1);
+    }
+    let unset: Vec<&str> =
+        REQUIRED_GAUGES.iter().copied().filter(|name| snap.gauge(name).is_none()).collect();
+    if !unset.is_empty() {
+        eprintln!("obs: required gauges never written: {unset:?}");
         std::process::exit(1);
     }
 }

@@ -1,4 +1,4 @@
-//! Prints every experiment table (E1–E12).
+//! Prints every experiment table (E1–E13).
 //!
 //! `cargo run --release -p prever-bench --bin report` — full parameters.
 //! `cargo run --release -p prever-bench --bin report -- --quick` — small.
@@ -10,6 +10,13 @@
 //! `cargo run --release -p prever-bench --bin report -- --e7-smoke`
 //! — CI gate: 8 shards must beat 1 shard by ≥ 3× aggregate virtual
 //! throughput on the parallel runtime; exits nonzero otherwise.
+//! `cargo run --release -p prever-bench --bin report -- --e13`
+//! — just the E13 serving-layer overload sweep (full parameters).
+//! `cargo run --release -p prever-bench --bin report -- --server-json PATH`
+//! — emit the E13 offered-load sweep as `BENCH_server.json`.
+//! `cargo run --release -p prever-bench --bin report -- --e13-smoke`
+//! — CI gate: goodput at 10× offered load must retain ≥ 70% of the 1×
+//! goodput; exits nonzero otherwise.
 
 use prever_bench::experiments as e;
 
@@ -28,6 +35,33 @@ fn main() {
         e::e7_sharded::write_bench_json(std::path::Path::new(path))
             .unwrap_or_else(|err| panic!("writing {path}: {err}"));
         println!("wrote {path}");
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--server-json") {
+        let path = args.get(i + 1).expect("--server-json needs a path");
+        e::e13_server::write_bench_json(std::path::Path::new(path))
+            .unwrap_or_else(|err| panic!("writing {path}: {err}"));
+        println!("wrote {path}");
+        return;
+    }
+    if args.iter().any(|a| a == "--e13") {
+        println!("{}", e::e13_server::run(quick).render());
+        return;
+    }
+    if args.iter().any(|a| a == "--e13-smoke") {
+        let (g1, g10, retention) = e::e13_server::e13_smoke();
+        println!(
+            "e13 smoke: goodput {g1:.0} rps at 1x offered load, {g10:.0} rps at 10x \
+             ({:.0}% retained)",
+            retention * 100.0
+        );
+        if retention < 0.7 {
+            eprintln!(
+                "e13 smoke FAILED: 10x-overload goodput retained only {:.0}% of 1x (need >= 70%)",
+                retention * 100.0
+            );
+            std::process::exit(1);
+        }
         return;
     }
     if args.iter().any(|a| a == "--e7-smoke") {
@@ -64,6 +98,7 @@ fn main() {
         e::e10_tpcc::run(quick),
         e::e11_chaos::run(quick),
         e::e12_durability::run(quick),
+        e::e13_server::run(quick),
     ];
     for t in &tables {
         println!("{}", t.render());

@@ -25,12 +25,16 @@
 use bytes::Bytes;
 use prever_consensus::durable::{DurableLog, DurableMedia, FlushPolicy};
 use prever_consensus::paxos::{self, PaxosMsg, PaxosNode};
-use prever_consensus::pbft::{chain_digest, Byzantine, PbftMsg, PbftNode};
+use prever_consensus::pbft::{chain_digest, Byzantine, PbftCore, PbftMsg, PbftNode};
 use prever_consensus::sharded::{self, ShardedMsg, ShardedNode, Topology};
 use prever_consensus::{BatchConfig, Command};
 use prever_crypto::Digest;
 use prever_ledger::{Journal, LedgerError, PersistentJournal};
+use prever_server::{
+    ClientCfg, ClientPeer, FrontConfig, Gateway, LoadMode, Replica, ServerMsg, ServerPeer,
+};
 use prever_sim::{DiskFault, FaultPlan, LinkFault, NetConfig, SimStats, Simulation};
+use prever_wire::Class;
 use prever_storage::SharedDisk;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -66,11 +70,17 @@ pub enum Protocol {
     /// The standalone persistent ledger journal under the same disk
     /// faults, no consensus in the loop.
     LedgerDisk,
+    /// The serving front end under overload: a flooding low-priority
+    /// tenant, a well-behaved tenant behind a stalled connection, and a
+    /// gateway crash + restart-with-state-loss mid-flood. Checks that
+    /// acked writes survive the crash, that well-behaved tenants finish
+    /// despite the flood, and that the admission queue stays bounded.
+    ServerOverload,
 }
 
 impl Protocol {
     /// All protocols, sweep order.
-    pub const ALL: [Protocol; 7] = [
+    pub const ALL: [Protocol; 8] = [
         Protocol::Pbft,
         Protocol::PbftBatched,
         Protocol::Paxos,
@@ -78,6 +88,7 @@ impl Protocol {
         Protocol::ShardedParallel,
         Protocol::PbftDisk,
         Protocol::LedgerDisk,
+        Protocol::ServerOverload,
     ];
 
     /// Display name.
@@ -90,6 +101,7 @@ impl Protocol {
             Protocol::ShardedParallel => "sharded-parallel",
             Protocol::PbftDisk => "pbft-disk",
             Protocol::LedgerDisk => "ledger-disk",
+            Protocol::ServerOverload => "server-overload",
         }
     }
 }
@@ -146,6 +158,7 @@ pub fn run_seed(protocol: Protocol, seed: u64, commands: u64) -> ChaosOutcome {
         Protocol::ShardedParallel => sharded_parallel_chaos(seed, commands),
         Protocol::PbftDisk => pbft_disk_chaos(seed, commands),
         Protocol::LedgerDisk => ledger_disk_chaos(seed, commands),
+        Protocol::ServerOverload => server_overload_chaos(seed, commands),
     }
 }
 
@@ -361,6 +374,294 @@ fn pbft_chaos_with(
         history: sim
             .node(1)
             .core
+            .executed()
+            .iter()
+            .map(|d| (d.slot, d.command.id))
+            .collect(),
+        trace_tail,
+        recovered_frames: 0,
+        truncated_bytes: 0,
+        detected_corruptions: 0,
+    }
+}
+
+/// The consensus core of a serving-cluster node (clients have none).
+fn serving_core(peer: &ServerPeer) -> &PbftCore {
+    match peer {
+        ServerPeer::Gateway(g) => &g.adapter.core,
+        ServerPeer::Replica(r) => &r.adapter.core,
+        ServerPeer::Client(_) => unreachable!("clients carry no consensus core"),
+    }
+}
+
+/// Serving-layer overload scenario: a 4-replica durable cluster whose
+/// gateway fronts three tenants — a well-behaved high-priority tenant,
+/// a well-behaved tenant behind a stalled connection (hundreds of ms of
+/// link delay until heal), and a flooding low-priority tenant pushing
+/// several times its token-bucket rate — while the gateway itself
+/// crashes mid-flood and is rebuilt from its durable log with
+/// state-loss, under rough consensus links.
+///
+/// On top of the usual consensus safety/ledger/recovery invariants this
+/// checks the serving-layer contract:
+///
+/// * **Acked writes are durable** — every id *any* client saw
+///   `Committed` (including the flooder, including acks sent before the
+///   crash) is executed at a correct replica after the run.
+/// * **Fairness under flood** — both well-behaved tenants finish their
+///   full workloads even while the flooding tenant is being shed and
+///   the gateway restarts.
+/// * **Bounded queue** — the admission queue never exceeds its cap;
+///   overload surfaces as explicit `Overloaded` sheds, not silent
+///   buffering.
+pub fn server_overload_chaos(seed: u64, commands: u64) -> ChaosOutcome {
+    const N: usize = 4;
+    const HIGH: usize = 4; // well-behaved high-priority tenant
+    const SLOW: usize = 5; // well-behaved tenant behind a stalled link
+    const FLOOD: usize = 6; // flooding low-priority tenant
+    let mut rng = StdRng::seed_from_u64(seed ^ SEED_MIX);
+
+    let batch = BatchConfig::new(8, 5_000, 4);
+    let front = FrontConfig {
+        queue_cap: 64,
+        inflight_cap: 16,
+        tenant_rate: 800,
+        tenant_burst: 16,
+        service_estimate_us: 500,
+    };
+    // The two well-behaved tenants run closed-loop (their offered load
+    // collapses when the cluster slows, like a real interactive client)
+    // with a retry budget generous enough to ride out the whole crash
+    // window. The flooder runs open-loop well above its bucket rate
+    // with a tight deadline and a small budget — its requests are the
+    // ones the ladder and the bucket are expected to shed.
+    let patient = ClientCfg {
+        server: 0,
+        mode: LoadMode::Closed { window: 2, think_us: 0 },
+        requests: commands,
+        deadline_us: 0,
+        timeout_us: 150_000,
+        retry_budget: 64,
+        backoff_base_us: 4_000,
+        backoff_cap_us: 200_000,
+        ..ClientCfg::default()
+    };
+    let clients = [
+        ClientCfg { tenant: 1, class: Class::High, id_base: 1_000, seed: seed ^ 0xa5a5, ..patient },
+        ClientCfg { tenant: 2, class: Class::Normal, id_base: 2_000, seed: seed ^ 0x5a5a, ..patient },
+        ClientCfg {
+            tenant: 3,
+            class: Class::Low,
+            server: 0,
+            mode: LoadMode::Open { interval_us: 600 },
+            requests: 200 + commands * 20,
+            deadline_us: 40_000,
+            timeout_us: 50_000,
+            retry_budget: 2,
+            backoff_base_us: 2_000,
+            backoff_cap_us: 20_000,
+            id_base: 1_000_000,
+            seed: seed ^ 0x3c3c,
+        },
+    ];
+
+    let logs: Vec<DurableLog> = (0..N).map(|_| DurableLog::new()).collect();
+    let mut nodes = Vec::with_capacity(N + clients.len());
+    nodes.push(ServerPeer::Gateway(Box::new(Gateway::with_durable(
+        N,
+        front,
+        batch,
+        logs[0].clone(),
+    ))));
+    for (id, log) in logs.iter().enumerate().skip(1) {
+        nodes.push(ServerPeer::Replica(Box::new(Replica::with_durable(
+            id,
+            N,
+            batch,
+            log.clone(),
+        ))));
+    }
+    for cfg in &clients {
+        nodes.push(ServerPeer::Client(Box::new(ClientPeer::new(*cfg))));
+    }
+
+    let crash_at = 120_000 + rng.gen_range(0..200_000u64);
+    let restart_at = crash_at + 80_000 + rng.gen_range(0..150_000u64);
+    let heal_at = restart_at + 150_000;
+    // Rough links on the consensus mesh only (nodes 0..N): what clients
+    // observe must be shaped by admission decisions, not by a lossy
+    // client network — except the SLOW tenant, whose connection stalls
+    // for hundreds of ms each way until the heal clears it.
+    let stall = LinkFault { delay_max: 300_000, ..LinkFault::default() };
+    let plan = rough_links(FaultPlan::new(), N, &mut rng)
+        .link(0, SLOW, stall)
+        .link(SLOW, 0, stall)
+        .crash_at(crash_at, 0)
+        .restart_with_loss_at(restart_at, 0)
+        .clear_links_at(heal_at);
+
+    let mut sim = Simulation::new(nodes, NetConfig::default(), seed);
+    sim.set_fault_plan(plan);
+    let factory_logs = logs.clone();
+    sim.set_node_factory(move |id| match id {
+        0 => ServerPeer::Gateway(Box::new(Gateway::recover_with(
+            N,
+            front,
+            batch,
+            factory_logs[0].clone(),
+        ))),
+        i if i < N => ServerPeer::Replica(Box::new(Replica::recover_with(
+            i,
+            N,
+            batch,
+            factory_logs[i].clone(),
+        ))),
+        i => ServerPeer::Client(Box::new(ClientPeer::new(clients[i - N]))),
+    });
+    sim.enable_trace(
+        |m: &ServerMsg| match m {
+            ServerMsg::Pbft(p) => p.kind().to_string(),
+            ServerMsg::Frame(buf) => format!("frame[{}]", buf.len()),
+        },
+        256,
+    );
+
+    sim.run_until(heal_at);
+    // Liveness after heal: both well-behaved tenants resolve their full
+    // workloads (the flooder may legitimately end shed or given-up).
+    let live = sim.run_until_pred(6_000_000, |nodes: &[ServerPeer]| {
+        [HIGH, SLOW].iter().all(|&i| nodes[i].as_client().is_some_and(|c| c.conn.done()))
+    });
+    if live {
+        let settle_until = sim.now() + 2_000_000;
+        sim.run_until(settle_until);
+    }
+
+    let mut violations = Vec::new();
+    // Safety: the gateway (post-recovery) and the three replicas agree
+    // on every slot both executed.
+    for a in 0..N {
+        for b in a + 1..N {
+            let other = serving_core(sim.node(b)).executed();
+            for (da, db) in serving_core(sim.node(a)).executed().iter().zip(other) {
+                if da.slot != db.slot || da.command.digest() != db.command.digest() {
+                    violations.push(format!(
+                        "safety: nodes {a} and {b} diverge at slot {} ({} vs {})",
+                        da.slot, da.command.id, db.command.id
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    // Committed prefix matches the durable ledger on every node,
+    // including the gateway's post-restart journal.
+    for (i, log) in logs.iter().enumerate() {
+        match log.replay() {
+            Ok(replayed) => {
+                let mut d = Digest::ZERO;
+                let mut journal_commands = 0usize;
+                for (_, batch, _) in &replayed.entries {
+                    for c in batch.commands() {
+                        d = chain_digest(d, c);
+                        journal_commands += 1;
+                    }
+                }
+                let core = serving_core(sim.node(i));
+                if d != core.state_digest() {
+                    violations.push(format!("ledger: node {i} journal digest mismatch"));
+                }
+                if journal_commands != core.executed().len() {
+                    violations.push(format!(
+                        "ledger: node {i} journal has {} commands, memory has {}",
+                        journal_commands,
+                        core.executed().len()
+                    ));
+                }
+            }
+            Err(e) => violations.push(format!("ledger: node {i} replay failed: {e:?}")),
+        }
+    }
+    // Durability of acks: every id any client saw `Committed` — before
+    // or after the gateway crash — must be executed at replica 1, which
+    // never crashed.
+    for &i in &[HIGH, SLOW, FLOOD] {
+        let conn = &sim.node(i).as_client().expect("client node").conn;
+        let mut acked: Vec<u64> = conn.acked_ids().iter().copied().collect();
+        acked.sort_unstable();
+        for id in acked {
+            if !serving_core(sim.node(1)).has_executed(id) {
+                violations.push(format!(
+                    "durability: client {i} holds an ack for id {id} that replica 1 never executed"
+                ));
+            }
+        }
+    }
+    // Fairness: the flood and the crash may slow the well-behaved
+    // tenants down, but must not starve them out.
+    if live {
+        for (i, label) in [(HIGH, "high-priority"), (SLOW, "stalled")] {
+            let stats = sim.node(i).as_client().expect("client node").conn.stats();
+            if stats.committed < commands {
+                violations.push(format!(
+                    "fairness: well-behaved {label} tenant committed {}/{commands} \
+                     (gave_up={}, overloaded={})",
+                    stats.committed, stats.gave_up, stats.overloaded
+                ));
+            }
+        }
+    } else {
+        violations.push(format!(
+            "liveness: well-behaved tenants unresolved after heal (high={}, stalled={})",
+            sim.node(HIGH).as_client().expect("client node").conn.unresolved(),
+            sim.node(SLOW).as_client().expect("client node").conn.unresolved()
+        ));
+    }
+    // Bounded queue: overload must surface as explicit sheds, never as
+    // an admission queue growing past its cap. (The stat covers the
+    // post-restart front end; the pre-crash one enforced the same cap.)
+    let fstats = sim.node(0).as_gateway().expect("gateway node").front.stats();
+    if fstats.max_queue_depth > front.queue_cap {
+        violations.push(format!(
+            "backpressure: admission queue reached {} entries, cap is {}",
+            fstats.max_queue_depth, front.queue_cap
+        ));
+    }
+    // Provable catch-up: the restarted gateway's history digest matches
+    // the quorum's.
+    if live && serving_core(sim.node(0)).state_digest() != serving_core(sim.node(1)).state_digest()
+    {
+        violations
+            .push("recovery: restarted gateway state digest differs from the quorum's".into());
+    }
+
+    if !violations.is_empty() && std::env::var("CHAOS_DEBUG").is_ok() {
+        eprintln!("crash_at={crash_at} restart_at={restart_at} heal_at={heal_at} now={}", sim.now());
+        eprintln!("front: {fstats:?}");
+        for &i in &[HIGH, SLOW, FLOOD] {
+            let conn = &sim.node(i).as_client().expect("client node").conn;
+            eprintln!("client {i}: {:?} unresolved={}", conn.stats(), conn.unresolved());
+        }
+        for i in 0..N {
+            let core = serving_core(sim.node(i));
+            eprintln!(
+                "node {i} view={} executed={} digest={:?}",
+                core.view(),
+                core.executed().len(),
+                core.state_digest()
+            );
+        }
+    }
+    let trace_tail = if violations.is_empty() { Vec::new() } else { sim.trace_tail(80) };
+    ChaosOutcome {
+        seed,
+        protocol: "server-overload",
+        commands,
+        executed: serving_core(sim.node(1)).executed_commands() as u64,
+        synced: serving_core(sim.node(0)).synced(),
+        violations,
+        stats: sim.stats(),
+        history: serving_core(sim.node(1))
             .executed()
             .iter()
             .map(|d| (d.slot, d.command.id))
@@ -1273,6 +1574,23 @@ mod tests {
         let outcome = ledger_disk_chaos(2, 60);
         assert!(outcome.ok(), "violations: {:?}", outcome.violations);
         assert_eq!(outcome.detected_corruptions, 1);
+    }
+
+    #[test]
+    fn server_overload_chaos_smoke_seeds_are_clean() {
+        // Flooding tenant + stalled client + gateway restart-with-loss:
+        // acked writes survive, well-behaved tenants finish, the
+        // admission queue stays bounded.
+        for seed in 0..3 {
+            let outcome = server_overload_chaos(seed, 10);
+            assert!(
+                outcome.ok(),
+                "seed {seed} violated invariants: {:?}\ntrace:\n{}",
+                outcome.violations,
+                outcome.trace_tail.join("\n")
+            );
+            assert!(outcome.stats.restarts_with_loss >= 1);
+        }
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! E13 — serving-layer overload behavior: goodput, shed rate, and
+//! per-class latency vs offered load.
+//!
+//! The cluster under test is the full serving stack from
+//! `prever_server`: open-loop clients (one per priority class) →
+//! wire-framed gateway with token-bucket admission, bounded queue,
+//! inflight window, and the degradation ladder → 4-replica PBFT.
+//!
+//! Method: first **calibrate** the cluster's saturation throughput
+//! with greedy closed-loop clients and admission opened wide, then
+//! sweep offered load at 1×, 2×, and 10× of that measured saturation.
+//! The robustness claim ([`e13_smoke`], gated in CI): goodput at 10×
+//! offered load stays ≥ 70% of goodput at 1× — overload sheds excess
+//! at the door instead of collapsing the part of the load the cluster
+//! can serve, and p99 for admitted work stays bounded because the
+//! queue cannot grow past its cap.
+
+use crate::Table;
+use prever_consensus::BatchConfig;
+use prever_server::{server_cluster, ClientCfg, FrontConfig, LoadMode, ServerPeer};
+use prever_sim::{NetConfig, Simulation};
+use prever_wire::Class;
+
+/// Replicas in the cluster (gateway + 3 peers).
+const REPLICAS: usize = 4;
+/// Per-message CPU service time. Kept small so the gateway's network
+/// ingress does NOT saturate before admission control does: frame
+/// decode + admission is cheap, consensus ordering is the expensive
+/// resource (bounded below by the 3-phase network round trips × the
+/// pipeline window). With ingress-bound saturation, consensus votes
+/// from replicas queue behind flooding client frames *below* the
+/// admission layer, and no policy can protect goodput.
+const PROCESSING: u64 = 2;
+/// Batch fill delay.
+const FILL_DELAY: u64 = 2_000;
+
+fn batch() -> BatchConfig {
+    BatchConfig::new(8, FILL_DELAY, 2)
+}
+
+fn net() -> NetConfig {
+    NetConfig { processing: PROCESSING, ..NetConfig::default() }
+}
+
+/// The three tenant classes under test, highest priority first.
+const CLASSES: [Class; 3] = [Class::High, Class::Normal, Class::Low];
+
+/// Measured behavior of one tenant class at one offered-load point.
+pub struct ClassPoint {
+    /// Priority class.
+    pub class: Class,
+    /// Requests offered (launched) per virtual second.
+    pub offered_rps: f64,
+    /// Requests committed per virtual second.
+    pub goodput_rps: f64,
+    /// Requests committed.
+    pub committed: u64,
+    /// `Overloaded` replies observed by this class's client.
+    pub overloaded: u64,
+    /// Requests abandoned after the retry budget.
+    pub gave_up: u64,
+    /// p50 commit latency (first send → ack), µs.
+    pub p50_us: u64,
+    /// p99 commit latency, µs.
+    pub p99_us: u64,
+}
+
+/// One point on the offered-load sweep.
+pub struct LoadPoint {
+    /// Offered load as a multiple of measured saturation.
+    pub multiplier: f64,
+    /// Aggregate offered requests per virtual second.
+    pub offered_rps: f64,
+    /// Aggregate goodput (committed requests per virtual second).
+    pub goodput_rps: f64,
+    /// Fraction of admission decisions that shed (0..1).
+    pub shed_rate: f64,
+    /// Gateway queue high-water mark (must stay ≤ the configured cap).
+    pub max_queue_depth: usize,
+    /// Per-class breakdown.
+    pub per_class: Vec<ClassPoint>,
+}
+
+/// Command-id base per client: disjoint from every other harness
+/// sharing the process-global registries.
+const E13_BASE: u64 = 0x0e13_0000;
+/// Id stride between clients within one run.
+const ID_STRIDE: u64 = 0x1_0000;
+
+/// Measures the cluster's saturation throughput (committed requests
+/// per virtual second) with greedy closed-loop clients and admission
+/// opened wide, so the bottleneck is consensus capacity, not policy.
+pub fn calibrate_saturation(quick: bool) -> f64 {
+    let per_client: u64 = if quick { 60 } else { 240 };
+    let clients: Vec<ClientCfg> = CLASSES
+        .iter()
+        .enumerate()
+        .map(|(i, &class)| ClientCfg {
+            tenant: i as u32 + 1,
+            class,
+            mode: LoadMode::Closed { window: 16, think_us: 0 },
+            requests: per_client,
+            timeout_us: 2_000_000,
+            retry_budget: 64,
+            id_base: E13_BASE + ID_STRIDE * i as u64,
+            seed: 11 + i as u64,
+            ..ClientCfg::default()
+        })
+        .collect();
+    let front = FrontConfig {
+        tenant_rate: 1_000_000,
+        tenant_burst: 1_000_000,
+        queue_cap: 1024,
+        inflight_cap: 64,
+        ..FrontConfig::default()
+    };
+    let nodes = server_cluster(REPLICAS, front, batch(), &clients);
+    let mut sim = Simulation::new(nodes, net(), 13);
+    let done = sim.run_until_pred(50_000_000, |nodes: &[ServerPeer]| {
+        nodes.iter().filter_map(|n| n.as_client()).all(|c| c.conn.done())
+    });
+    assert!(done, "calibration run did not finish");
+    let mut committed = 0u64;
+    for i in REPLICAS..REPLICAS + CLASSES.len() {
+        committed += sim.node(i).as_client().expect("client node").conn.stats().committed;
+    }
+    // Finish time = when the last command executed on the gateway.
+    let g = sim.node(0).as_gateway().expect("gateway");
+    let finish = g.adapter.core.executed().iter().map(|d| d.at).max().unwrap_or(1);
+    committed as f64 / (finish as f64 / 1e6)
+}
+
+/// Runs one offered-load point at `multiplier`× the measured
+/// `saturation_rps`, split evenly across the three tenant classes.
+pub fn run_point(multiplier: f64, saturation_rps: f64, quick: bool) -> LoadPoint {
+    let duration_us: u64 = if quick { 1_500_000 } else { 4_000_000 };
+    let settle_us: u64 = 2_000_000;
+    let per_class_rps = multiplier * saturation_rps / CLASSES.len() as f64;
+    let interval_us = (1e6 / per_class_rps).max(1.0) as u64;
+    let per_client = (duration_us / interval_us.max(1)).max(1);
+    // Admission sized to capacity: each tenant's bucket refills at its
+    // fair share of saturation (with headroom so 1× flows unshed);
+    // excess beyond the burst is shed at the door.
+    let fair = (saturation_rps / CLASSES.len() as f64 * 1.3).ceil() as u64;
+    let front = FrontConfig {
+        tenant_rate: fair.max(1),
+        tenant_burst: 32,
+        queue_cap: 128,
+        inflight_cap: 32,
+        ..FrontConfig::default()
+    };
+    let clients: Vec<ClientCfg> = CLASSES
+        .iter()
+        .enumerate()
+        .map(|(i, &class)| ClientCfg {
+            tenant: i as u32 + 1,
+            class,
+            mode: LoadMode::Open { interval_us },
+            requests: per_client,
+            timeout_us: 1_000_000,
+            retry_budget: 3,
+            backoff_base_us: 4_000,
+            backoff_cap_us: 128_000,
+            id_base: E13_BASE + ID_STRIDE * (i as u64 + 8),
+            seed: 101 + i as u64,
+            ..ClientCfg::default()
+        })
+        .collect();
+    let nodes = server_cluster(REPLICAS, front, batch(), &clients);
+    let mut sim = Simulation::new(nodes, net(), 17);
+    sim.run_until(duration_us + settle_us);
+
+    let duration_s = duration_us as f64 / 1e6;
+    let mut per_class = Vec::new();
+    let mut committed_total = 0u64;
+    for (i, &class) in CLASSES.iter().enumerate() {
+        let c = sim.node(REPLICAS + i).as_client().expect("client node");
+        let s = c.conn.stats();
+        committed_total += s.committed;
+        per_class.push(ClassPoint {
+            class,
+            offered_rps: per_client as f64 / duration_s,
+            goodput_rps: s.committed as f64 / duration_s,
+            committed: s.committed,
+            overloaded: s.overloaded,
+            gave_up: s.gave_up,
+            p50_us: s.latency_percentile(50.0),
+            p99_us: s.latency_percentile(99.0),
+        });
+    }
+    let g = sim.node(0).as_gateway().expect("gateway");
+    let fs = g.front.stats();
+    let decisions = fs.admitted + fs.shed_overload + fs.shed_deadline;
+    LoadPoint {
+        multiplier,
+        offered_rps: per_class.iter().map(|c| c.offered_rps).sum(),
+        goodput_rps: committed_total as f64 / duration_s,
+        shed_rate: if decisions == 0 {
+            0.0
+        } else {
+            (fs.shed_overload + fs.shed_deadline) as f64 / decisions as f64
+        },
+        max_queue_depth: fs.max_queue_depth,
+        per_class,
+    }
+}
+
+/// The published sweep multipliers.
+pub const MULTIPLIERS: [f64; 3] = [1.0, 2.0, 10.0];
+
+/// Runs E13.
+pub fn run(quick: bool) -> Table {
+    let sat = calibrate_saturation(quick);
+    let mut table = Table::new(
+        "E13 — serving-layer overload: goodput and per-class latency vs offered load \
+         (4-replica PBFT behind admission control)",
+        &[
+            "offered (x sat)",
+            "class",
+            "offered (req/vsec)",
+            "goodput (req/vsec)",
+            "overloaded",
+            "gave up",
+            "p50 (µs)",
+            "p99 (µs)",
+            "shed rate",
+        ],
+    );
+    for &m in &MULTIPLIERS {
+        let p = run_point(m, sat, quick);
+        for c in &p.per_class {
+            table.row(vec![
+                format!("{m:.0}x"),
+                c.class.name().to_string(),
+                format!("{:.0}", c.offered_rps),
+                format!("{:.0}", c.goodput_rps),
+                c.overloaded.to_string(),
+                c.gave_up.to_string(),
+                c.p50_us.to_string(),
+                c.p99_us.to_string(),
+                String::new(),
+            ]);
+        }
+        table.row(vec![
+            format!("{m:.0}x"),
+            "all".into(),
+            format!("{:.0}", p.offered_rps),
+            format!("{:.0}", p.goodput_rps),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("{:.2}", p.shed_rate),
+        ]);
+    }
+    table
+}
+
+/// CI gate: goodput at 10× offered load must retain ≥ 70% of goodput
+/// at 1×. Returns `(goodput_1x, goodput_10x, retention)`.
+pub fn e13_smoke() -> (f64, f64, f64) {
+    let sat = calibrate_saturation(true);
+    let one = run_point(1.0, sat, true);
+    let ten = run_point(10.0, sat, true);
+    (one.goodput_rps, ten.goodput_rps, ten.goodput_rps / one.goodput_rps)
+}
+
+fn class_json(c: &ClassPoint) -> String {
+    format!(
+        "{{\"class\": \"{}\", \"offered_rps\": {:.1}, \"goodput_rps\": {:.1}, \
+         \"committed\": {}, \"overloaded_replies\": {}, \"gave_up\": {}, \
+         \"p50_us\": {}, \"p99_us\": {}}}",
+        c.class.name(),
+        c.offered_rps,
+        c.goodput_rps,
+        c.committed,
+        c.overloaded,
+        c.gave_up,
+        c.p50_us,
+        c.p99_us
+    )
+}
+
+/// Writes the full offered-load sweep as `BENCH_server.json`.
+pub fn write_bench_json(path: &std::path::Path) -> std::io::Result<()> {
+    let sat = calibrate_saturation(false);
+    let points: Vec<LoadPoint> =
+        MULTIPLIERS.iter().map(|&m| run_point(m, sat, false)).collect();
+    let g1 = points[0].goodput_rps;
+    let g10 = points[2].goodput_rps;
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"title\": \"E13 serving-layer overload sweep: goodput, shed rate, and \
+         per-class latency at 1x/2x/10x measured saturation\",\n",
+    );
+    out.push_str(&format!(
+        "  \"metadata\": {},\n",
+        crate::meta::metadata_json(
+            "virtual-us",
+            &[
+                ("replicas", REPLICAS.to_string()),
+                ("classes", "[\"high\", \"normal\", \"low\"]".into()),
+                ("multipliers", "[1, 2, 10]".into()),
+                ("batch", "8".into()),
+                ("fill_delay_us", FILL_DELAY.to_string()),
+                ("net_processing_us", PROCESSING.to_string()),
+                ("queue_cap", "128".into()),
+                ("inflight_cap", "32".into()),
+            ],
+        )
+    ));
+    out.push_str(
+        "  \"method\": \"closed-loop calibration finds saturation; open-loop tenants \
+         (one per class, equal shares) then offer 1x/2x/10x of it; shedding is explicit \
+         Overloaded{retry_after}, never silent queueing\",\n",
+    );
+    out.push_str(&format!("  \"saturation_rps\": {sat:.1},\n"));
+    out.push_str(&format!(
+        "  \"goodput_retention_10x_vs_1x\": {:.3},\n",
+        if g1 > 0.0 { g10 / g1 } else { 0.0 }
+    ));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"multiplier\": {:.0}, \"offered_rps\": {:.1}, \"goodput_rps\": {:.1}, \
+             \"shed_rate\": {:.3}, \"max_queue_depth\": {}, \"per_class\": [\n",
+            p.multiplier, p.offered_rps, p.goodput_rps, p.shed_rate, p.max_queue_depth
+        ));
+        for (j, c) in p.per_class.iter().enumerate() {
+            let csep = if j + 1 == p.per_class.len() { "" } else { "," };
+            out.push_str(&format!("      {}{csep}\n", class_json(c)));
+        }
+        out.push_str(&format!("    ]}}{sep}\n"));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}

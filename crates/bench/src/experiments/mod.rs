@@ -1,4 +1,4 @@
-//! Experiment implementations E1–E12 (see DESIGN.md §3 and
+//! Experiment implementations E1–E13 (see DESIGN.md §3 and
 //! EXPERIMENTS.md for the paper mapping).
 //!
 //! Every experiment is a function `run(quick: bool) -> Table`; `quick`
@@ -17,6 +17,7 @@ pub mod e9_dp;
 pub mod e10_tpcc;
 pub mod e11_chaos;
 pub mod e12_durability;
+pub mod e13_server;
 
 /// Renders a [`prever_obs::trace::CriticalPath`] as a per-stage latency
 /// table (shared by the E3/E7 stage breakdowns and the `obs` binary).
@@ -94,6 +95,7 @@ mod tests {
             super::e10_tpcc::run(true),
             super::e11_chaos::run(true),
             super::e12_durability::run(true),
+            super::e13_server::run(true),
         ];
         for t in &tables {
             assert!(!t.rows.is_empty(), "{} produced no rows", t.title);

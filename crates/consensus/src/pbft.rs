@@ -557,6 +557,13 @@ impl PbftCore {
         self.next_seq.saturating_sub(self.last_exec) as usize
     }
 
+    /// Consensus-side backlog visible to callers: unexecuted batch slots
+    /// in flight. The serving front end uses this to size its
+    /// `retry_after` hint under load.
+    pub fn backlog(&self) -> usize {
+        self.in_flight()
+    }
+
     /// Highest stable checkpoint sequence (0 before the first).
     pub fn stable_seq(&self) -> u64 {
         self.stable_seq

@@ -4,7 +4,8 @@
 //! — a trace id plus the span id of the stage that caused it — minted
 //! deterministically at submission ([`TraceCtx::for_command`]). Protocol
 //! code records [`TraceEvent`]s at named pipeline stages (see
-//! [`STAGES`]): `queue → batch-cut → pre-prepare → prepare-quorum →
+//! [`STAGES`]): `enqueue → admit | shed` for the serving front end,
+//! `queue → batch-cut → pre-prepare → prepare-quorum →
 //! commit-quorum → exec → wal-flush` for ordering, and `cross-lock →
 //! cross-decide → cross-outcome` for the SharPer-style cross-shard
 //! path. Events are stamped with **virtual time** from the simulator,
@@ -94,7 +95,17 @@ impl TraceCtx {
 /// The named pipeline stages in causal order. The exporter uses the
 /// position in this list as the canonical stage rank; unknown stage
 /// names sort after all known ones (alphabetically).
-pub const STAGES: [&str; 10] = [
+///
+/// The first three are serving-layer stages (DESIGN.md §14): a request
+/// is `enqueue`d at the gateway, then either `admit`ted into the
+/// consensus path or `shed` (overload, deadline, or degradation
+/// ladder). Separating them from `queue` (consensus-side request
+/// arrival) lets `critical_path` attribute admission queueing delay
+/// apart from consensus ordering delay.
+pub const STAGES: [&str; 13] = [
+    "enqueue",
+    "admit",
+    "shed",
     "queue",
     "batch-cut",
     "pre-prepare",
@@ -629,6 +640,9 @@ mod tests {
 
     #[test]
     fn stage_ranks_follow_pipeline_order() {
+        assert!(stage_rank("enqueue") < stage_rank("admit"));
+        assert!(stage_rank("admit") < stage_rank("shed"));
+        assert!(stage_rank("shed") < stage_rank("queue"));
         assert!(stage_rank("queue") < stage_rank("batch-cut"));
         assert!(stage_rank("prepare-quorum") < stage_rank("commit-quorum"));
         assert!(stage_rank("exec") < stage_rank("wal-flush"));

@@ -1,0 +1,544 @@
+//! Open-loop / closed-loop load-generator client with timeouts,
+//! jittered exponential backoff, and a per-request retry budget.
+//!
+//! Like [`crate::frontend::FrontEnd`], the client core is sans-IO: it
+//! consumes timer fires and decoded response frames and emits
+//! [`ClientAction`]s. Retries reuse the original command id, so a
+//! resend after a lost ack is idempotent end to end (the consensus
+//! layer dedups, the front end re-acks durable commands).
+
+use std::collections::HashSet;
+
+use bytes::Bytes;
+use prever_sim::NodeId;
+use prever_wire::{Class, Frame, Request, Response, Submission};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Arrival process for the generator.
+#[derive(Clone, Copy, Debug)]
+pub enum LoadMode {
+    /// Open loop: a new request every `interval_us`, regardless of
+    /// completions. Models outside demand that does not slow down when
+    /// the server does — the regime where overload control matters.
+    Open {
+        /// Virtual µs between launches.
+        interval_us: u64,
+    },
+    /// Closed loop: at most `window` requests outstanding; each
+    /// completion triggers the next launch after `think_us`.
+    Closed {
+        /// Max outstanding requests.
+        window: usize,
+        /// Think time between a completion and the next launch.
+        think_us: u64,
+    },
+}
+
+/// Client configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientCfg {
+    /// Tenant id stamped on every request.
+    pub tenant: u32,
+    /// Priority class for all requests.
+    pub class: Class,
+    /// Simulator node id of the server.
+    pub server: NodeId,
+    /// Arrival process.
+    pub mode: LoadMode,
+    /// Total requests to issue.
+    pub requests: u64,
+    /// Relative deadline per request (0 = none); made absolute at
+    /// first send and carried on retries so the server can shed
+    /// expired work.
+    pub deadline_us: u64,
+    /// Resend the current attempt if unanswered after this long.
+    pub timeout_us: u64,
+    /// Max attempts per request before giving up.
+    pub retry_budget: u32,
+    /// First backoff step after an `Overloaded` reply.
+    pub backoff_base_us: u64,
+    /// Backoff ceiling.
+    pub backoff_cap_us: u64,
+    /// Command ids are `id_base + index` (keep bases disjoint across
+    /// clients).
+    pub id_base: u64,
+    /// Seed for backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for ClientCfg {
+    fn default() -> Self {
+        ClientCfg {
+            tenant: 1,
+            class: Class::Normal,
+            server: 0,
+            mode: LoadMode::Closed { window: 4, think_us: 0 },
+            requests: 16,
+            deadline_us: 0,
+            timeout_us: 400_000,
+            retry_budget: 8,
+            backoff_base_us: 2_000,
+            backoff_cap_us: 256_000,
+            id_base: 1,
+            seed: 1,
+        }
+    }
+}
+
+/// What the client core wants the surrounding actor to do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientAction {
+    /// Send an encoded frame to the server.
+    Send(Vec<u8>),
+    /// Arm a timer: (delay µs, timer id for [`ClientConn::on_timer`]).
+    Timer(u64, u64),
+}
+
+/// Timer id: launch the next request (open-loop tick / closed-loop
+/// post-think launch).
+pub const T_NEXT: u64 = 100;
+const T_TIMEOUT: u64 = 1 << 32;
+const T_RETRY: u64 = 2 << 32;
+const T_KIND_MASK: u64 = 0xffff_ffff_0000_0000;
+
+/// Terminal state of one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Outcome {
+    Committed,
+    DeadlineExceeded,
+    GaveUp,
+}
+
+#[derive(Clone, Debug)]
+struct ReqState {
+    launched: bool,
+    first_sent_at: u64,
+    deadline: u64,
+    attempts: u32,
+    backoff_us: u64,
+    /// An attempt is outstanding (guards stale timeout fires).
+    waiting: bool,
+    timeout_at: u64,
+    outcome: Option<Outcome>,
+}
+
+/// Aggregate client-side results.
+#[derive(Clone, Debug, Default)]
+pub struct ClientStats {
+    /// Requests acknowledged `Committed`.
+    pub committed: u64,
+    /// `Overloaded` replies received (each triggers backoff or give-up).
+    pub overloaded: u64,
+    /// Requests the server shed on deadline.
+    pub deadline_exceeded: u64,
+    /// Requests rejected outright (bad frame / reads degraded).
+    pub rejected: u64,
+    /// Resends (timeout or post-backoff retry).
+    pub retries: u64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub gave_up: u64,
+    /// First-send→commit latency of every committed request, µs.
+    pub latencies_us: Vec<u64>,
+}
+
+impl ClientStats {
+    /// The `p`-th percentile (0–100) of commit latency, 0 if none.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut v = self.latencies_us.clone();
+        v.sort_unstable();
+        let rank = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[rank.min(v.len() - 1)]
+    }
+}
+
+/// One simulated client connection. Drive it with `on_start`,
+/// `on_timer`, and `on_frame`; it is done when every request has a
+/// terminal outcome.
+#[derive(Clone, Debug)]
+pub struct ClientConn {
+    cfg: ClientCfg,
+    reqs: Vec<ReqState>,
+    next_idx: usize,
+    stats: ClientStats,
+    acked_ids: HashSet<u64>,
+    rng: StdRng,
+}
+
+impl ClientConn {
+    /// A fresh client for `cfg`.
+    pub fn new(cfg: ClientCfg) -> Self {
+        let reqs = (0..cfg.requests)
+            .map(|_| ReqState {
+                launched: false,
+                first_sent_at: 0,
+                deadline: 0,
+                attempts: 0,
+                backoff_us: cfg.backoff_base_us,
+                waiting: false,
+                timeout_at: 0,
+                outcome: None,
+            })
+            .collect();
+        ClientConn {
+            cfg,
+            reqs,
+            next_idx: 0,
+            stats: ClientStats::default(),
+            acked_ids: HashSet::new(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+        }
+    }
+
+    /// Aggregate results so far.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Command ids this client has seen acked `Committed` — the
+    /// ground-truth set for the durability invariant (an acked write
+    /// must survive any server crash).
+    pub fn acked_ids(&self) -> &HashSet<u64> {
+        &self.acked_ids
+    }
+
+    /// True once every request has a terminal outcome.
+    pub fn done(&self) -> bool {
+        self.next_idx >= self.reqs.len() && self.reqs.iter().all(|r| r.outcome.is_some())
+    }
+
+    /// Requests not yet terminal (for liveness diagnostics).
+    pub fn unresolved(&self) -> u64 {
+        self.reqs.iter().filter(|r| r.outcome.is_none()).count() as u64
+    }
+
+    fn id_of(&self, idx: usize) -> u64 {
+        self.cfg.id_base + idx as u64
+    }
+
+    fn idx_of(&self, id: u64) -> Option<usize> {
+        let idx = id.checked_sub(self.cfg.id_base)? as usize;
+        (idx < self.reqs.len()).then_some(idx)
+    }
+
+    fn encode_submit(&self, idx: usize, deadline: u64) -> Vec<u8> {
+        let id = self.id_of(idx);
+        Frame::Request(Request::Submit {
+            tenant: self.cfg.tenant,
+            class: self.cfg.class,
+            deadline,
+            submission: Submission {
+                id,
+                payload: Bytes::from(id.to_le_bytes().to_vec()),
+            },
+        })
+        .encode()
+    }
+
+    fn send_attempt(&mut self, idx: usize, now: u64, actions: &mut Vec<ClientAction>) {
+        let timeout = self.cfg.timeout_us;
+        let r = &mut self.reqs[idx];
+        if !r.launched {
+            r.launched = true;
+            r.first_sent_at = now;
+            r.deadline = if self.cfg.deadline_us == 0 { 0 } else { now + self.cfg.deadline_us };
+        }
+        r.attempts += 1;
+        r.waiting = true;
+        r.timeout_at = now + timeout;
+        let deadline = r.deadline;
+        actions.push(ClientAction::Send(self.encode_submit(idx, deadline)));
+        actions.push(ClientAction::Timer(timeout, T_TIMEOUT | idx as u64));
+    }
+
+    fn launch_next(&mut self, now: u64, actions: &mut Vec<ClientAction>) {
+        if self.next_idx >= self.reqs.len() {
+            return;
+        }
+        let idx = self.next_idx;
+        self.next_idx += 1;
+        self.send_attempt(idx, now, actions);
+    }
+
+    fn retry_or_give_up(&mut self, idx: usize, delay_floor: u64, actions: &mut Vec<ClientAction>) {
+        if self.reqs[idx].outcome.is_some() {
+            return;
+        }
+        if self.reqs[idx].attempts >= self.cfg.retry_budget {
+            self.reqs[idx].outcome = Some(Outcome::GaveUp);
+            self.stats.gave_up += 1;
+            self.after_completion(actions);
+            return;
+        }
+        // Jittered exponential backoff: honor the server's retry_after
+        // floor, add up to half a step of jitter to decorrelate a
+        // retry storm.
+        let step = self.reqs[idx].backoff_us;
+        let jitter = self.rng.gen_range(0..=step / 2 + 1);
+        let delay = delay_floor.max(step) + jitter;
+        self.reqs[idx].backoff_us = (step * 2).min(self.cfg.backoff_cap_us);
+        actions.push(ClientAction::Timer(delay, T_RETRY | idx as u64));
+    }
+
+    /// Closed-loop only: a completion frees a window slot.
+    fn after_completion(&mut self, actions: &mut Vec<ClientAction>) {
+        if let LoadMode::Closed { think_us, .. } = self.cfg.mode {
+            if self.next_idx < self.reqs.len() {
+                actions.push(ClientAction::Timer(think_us.max(1), T_NEXT));
+            }
+        }
+    }
+
+    /// Kick off the arrival process.
+    pub fn on_start(&mut self, now: u64) -> Vec<ClientAction> {
+        let mut actions = Vec::new();
+        match self.cfg.mode {
+            LoadMode::Open { interval_us } => {
+                self.launch_next(now, &mut actions);
+                if self.next_idx < self.reqs.len() {
+                    actions.push(ClientAction::Timer(interval_us.max(1), T_NEXT));
+                }
+            }
+            LoadMode::Closed { window, .. } => {
+                for _ in 0..window.max(1) {
+                    self.launch_next(now, &mut actions);
+                }
+            }
+        }
+        actions
+    }
+
+    /// Handle a timer fire previously requested via
+    /// [`ClientAction::Timer`].
+    pub fn on_timer(&mut self, timer: u64, now: u64) -> Vec<ClientAction> {
+        let mut actions = Vec::new();
+        if timer == T_NEXT {
+            match self.cfg.mode {
+                LoadMode::Open { interval_us } => {
+                    self.launch_next(now, &mut actions);
+                    if self.next_idx < self.reqs.len() {
+                        actions.push(ClientAction::Timer(interval_us.max(1), T_NEXT));
+                    }
+                }
+                LoadMode::Closed { .. } => self.launch_next(now, &mut actions),
+            }
+            return actions;
+        }
+        let idx = (timer & !T_KIND_MASK) as usize;
+        if idx >= self.reqs.len() || self.reqs[idx].outcome.is_some() {
+            return actions;
+        }
+        match timer & T_KIND_MASK {
+            // Stale if a reply arrived (waiting cleared) or the attempt
+            // was rescheduled past this fire.
+            T_TIMEOUT if self.reqs[idx].waiting && now >= self.reqs[idx].timeout_at => {
+                self.reqs[idx].waiting = false;
+                self.stats.retries += 1;
+                prever_obs::counter("server.retry").inc();
+                self.retry_or_give_up(idx, 0, &mut actions);
+            }
+            T_RETRY if !self.reqs[idx].waiting => {
+                self.stats.retries += 1;
+                prever_obs::counter("server.retry").inc();
+                self.send_attempt(idx, now, &mut actions);
+            }
+            _ => {}
+        }
+        actions
+    }
+
+    /// Handle an encoded response frame from the server.
+    pub fn on_frame(&mut self, buf: &[u8], now: u64) -> Vec<ClientAction> {
+        let mut actions = Vec::new();
+        let Ok((Frame::Response(resp), _)) = Frame::decode(buf) else {
+            // A client never trusts the wire either: garbage is
+            // counted and dropped, not crashed on.
+            prever_obs::counter("server.wire.bad_frames").inc();
+            return actions;
+        };
+        match resp {
+            Response::Committed { id, .. } => {
+                if let Some(idx) = self.idx_of(id) {
+                    if self.reqs[idx].outcome.is_none() {
+                        self.reqs[idx].outcome = Some(Outcome::Committed);
+                        self.reqs[idx].waiting = false;
+                        self.stats.committed += 1;
+                        self.stats
+                            .latencies_us
+                            .push(now.saturating_sub(self.reqs[idx].first_sent_at));
+                        self.acked_ids.insert(id);
+                        self.after_completion(&mut actions);
+                    }
+                }
+            }
+            Response::Overloaded { retry_after_us, id } => {
+                if let Some(idx) = self.idx_of(id) {
+                    if self.reqs[idx].outcome.is_none() && self.reqs[idx].waiting {
+                        self.reqs[idx].waiting = false;
+                        self.stats.overloaded += 1;
+                        self.retry_or_give_up(idx, retry_after_us, &mut actions);
+                    }
+                }
+            }
+            Response::DeadlineExceeded { id } => {
+                if let Some(idx) = self.idx_of(id) {
+                    if self.reqs[idx].outcome.is_none() {
+                        self.reqs[idx].outcome = Some(Outcome::DeadlineExceeded);
+                        self.reqs[idx].waiting = false;
+                        self.stats.deadline_exceeded += 1;
+                        self.after_completion(&mut actions);
+                    }
+                }
+            }
+            Response::Rejected { .. } => {
+                // No id on a Rejected frame: it answers malformed
+                // input, which a well-formed client never sends; count
+                // it for diagnostics.
+                self.stats.rejected += 1;
+            }
+            Response::QueryResult { .. } | Response::AuditDigest { .. } => {}
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed_frame(id: u64, slot: u64) -> Vec<u8> {
+        Frame::Response(Response::Committed { id, slot }).encode()
+    }
+
+    #[test]
+    fn closed_loop_keeps_window_outstanding() {
+        let mut c = ClientConn::new(ClientCfg {
+            mode: LoadMode::Closed { window: 2, think_us: 10 },
+            requests: 4,
+            id_base: 100,
+            ..ClientCfg::default()
+        });
+        let acts = c.on_start(0);
+        assert_eq!(acts.iter().filter(|a| matches!(a, ClientAction::Send(_))).count(), 2);
+        // First commit frees a slot → think timer → next launch.
+        let acts = c.on_frame(&committed_frame(100, 1), 50);
+        assert!(acts.iter().any(|a| matches!(a, ClientAction::Timer(10, T_NEXT))));
+        let acts = c.on_timer(T_NEXT, 60);
+        assert_eq!(acts.iter().filter(|a| matches!(a, ClientAction::Send(_))).count(), 1);
+        assert_eq!(c.stats().committed, 1);
+        assert_eq!(c.stats().latencies_us, vec![50]);
+    }
+
+    #[test]
+    fn open_loop_launches_on_schedule_regardless_of_replies() {
+        let mut c = ClientConn::new(ClientCfg {
+            mode: LoadMode::Open { interval_us: 1_000 },
+            requests: 3,
+            id_base: 1,
+            ..ClientCfg::default()
+        });
+        let _ = c.on_start(0);
+        let acts = c.on_timer(T_NEXT, 1_000);
+        assert!(acts.iter().any(|a| matches!(a, ClientAction::Send(_))));
+        let acts = c.on_timer(T_NEXT, 2_000);
+        assert!(acts.iter().any(|a| matches!(a, ClientAction::Send(_))));
+        // All three launched with zero replies received.
+        assert!(!c.done());
+    }
+
+    #[test]
+    fn overload_reply_backs_off_with_jitter_and_honors_retry_after() {
+        let mut c = ClientConn::new(ClientCfg {
+            requests: 1,
+            id_base: 5,
+            backoff_base_us: 1_000,
+            ..ClientCfg::default()
+        });
+        let _ = c.on_start(0);
+        let over = Frame::Response(Response::Overloaded { retry_after_us: 50_000, id: 5 })
+            .encode();
+        let acts = c.on_frame(&over, 10);
+        let Some(ClientAction::Timer(delay, t)) = acts
+            .iter()
+            .find(|a| matches!(a, ClientAction::Timer(_, t) if t & T_KIND_MASK == T_RETRY))
+        else {
+            panic!("expected a retry timer, got {acts:?}");
+        };
+        assert_eq!(*t & !T_KIND_MASK, 0);
+        assert!(*delay >= 50_000, "backoff floor is the server's retry_after: {delay}");
+        // The retry resends the SAME command id (idempotent).
+        let acts = c.on_timer(T_RETRY, 60_000);
+        let sent = acts.iter().find_map(|a| match a {
+            ClientAction::Send(buf) => Some(buf.clone()),
+            _ => None,
+        });
+        let (frame, _) = Frame::decode(&sent.expect("retry sends")).unwrap();
+        match frame {
+            Frame::Request(Request::Submit { submission, .. }) => assert_eq!(submission.id, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.stats().retries, 1);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_gives_up() {
+        let mut c = ClientConn::new(ClientCfg {
+            requests: 1,
+            retry_budget: 2,
+            id_base: 9,
+            ..ClientCfg::default()
+        });
+        let _ = c.on_start(0);
+        let over =
+            Frame::Response(Response::Overloaded { retry_after_us: 10, id: 9 }).encode();
+        let _ = c.on_frame(&over, 10); // attempt 1 answered → retry scheduled
+        let _ = c.on_timer(T_RETRY, 100); // attempt 2
+        let _ = c.on_frame(&over, 110); // budget hit → gave up
+        assert!(c.done());
+        assert_eq!(c.stats().gave_up, 1);
+    }
+
+    #[test]
+    fn timeout_resends_same_id_and_counts_retry() {
+        let mut c = ClientConn::new(ClientCfg {
+            requests: 1,
+            timeout_us: 1_000,
+            id_base: 7,
+            ..ClientCfg::default()
+        });
+        let _ = c.on_start(0);
+        // Fire the timeout with no reply seen: resend happens (after
+        // backoff).
+        let acts = c.on_timer(T_TIMEOUT, 1_000);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ClientAction::Timer(_, t) if t & T_KIND_MASK == T_RETRY)));
+        assert_eq!(c.stats().retries, 1);
+        // A late commit for the original send still completes it.
+        let _ = c.on_frame(&committed_frame(7, 2), 2_000);
+        assert!(c.done());
+        assert_eq!(c.stats().committed, 1);
+    }
+
+    #[test]
+    fn stale_timeout_after_reply_is_ignored() {
+        let mut c = ClientConn::new(ClientCfg { requests: 1, id_base: 3, ..ClientCfg::default() });
+        let _ = c.on_start(0);
+        let _ = c.on_frame(&committed_frame(3, 1), 50);
+        let acts = c.on_timer(T_TIMEOUT, 400_000);
+        assert!(acts.is_empty());
+        assert_eq!(c.stats().retries, 0);
+    }
+
+    #[test]
+    fn percentiles_come_from_recorded_latencies() {
+        let mut s = ClientStats::default();
+        s.latencies_us = (1..=100).collect();
+        assert_eq!(s.latency_percentile(50.0), 51);
+        assert_eq!(s.latency_percentile(99.0), 99);
+        assert_eq!(ClientStats::default().latency_percentile(99.0), 0);
+    }
+}

@@ -1,0 +1,541 @@
+//! Simulator wiring: the gateway (front end + consensus replica 0),
+//! peer replicas, and client connections, all speaking one message
+//! type so a single deterministic [`prever_sim::Simulation`] hosts the
+//! full serving stack.
+//!
+//! Topology: node 0 is the **gateway** — a full consensus member that
+//! also runs the [`FrontEnd`]. Nodes `1..n_replicas` are plain
+//! replicas. Nodes `≥ n_replicas` are clients, which talk to the
+//! gateway exclusively in encoded [`prever_wire`] frames (clients
+//! never see consensus messages, and a hostile client frame can never
+//! reach the replication layer un-decoded).
+
+use prever_consensus::durable::DurableLog;
+use prever_consensus::pbft::{Byzantine, PbftCore, PbftMsg, VIEW_TIMEOUT};
+use prever_consensus::{BatchConfig, Command};
+use prever_sim::{Actor, Ctx, NodeId};
+use prever_wire::{Frame, Request, Response};
+
+use crate::client::{ClientAction, ClientCfg, ClientConn};
+use crate::frontend::{Action, FrontConfig, FrontEnd};
+
+/// The one message type every node in a serving cluster speaks.
+#[derive(Clone, Debug)]
+pub enum ServerMsg {
+    /// Replica-to-replica consensus traffic.
+    Pbft(PbftMsg),
+    /// An encoded wire frame (client↔gateway).
+    Frame(Vec<u8>),
+}
+
+const TIMER_TICK: u64 = 1;
+const TIMER_BATCH: u64 = 2;
+/// Gateway-only: periodic deadline sweep + pump.
+const TIMER_FRONT: u64 = 3;
+const TICK_EVERY: u64 = 25_000;
+/// Gateway front-end housekeeping period.
+const FRONT_EVERY: u64 = 10_000;
+
+/// [`prever_consensus::pbft::PbftNode`] reimplemented over
+/// [`ServerMsg`]: the same persist-before-send and batch-timer
+/// discipline, but emitting wrapped messages so it can live inside the
+/// serving cluster's actor enum.
+#[derive(Clone, Debug)]
+pub struct ConsensusAdapter {
+    /// The protocol core (public for harness inspection).
+    pub core: PbftCore,
+    durable: Option<DurableLog>,
+    exec_cursor: usize,
+    recovering: bool,
+    batch_timer_at: Option<u64>,
+}
+
+impl ConsensusAdapter {
+    /// Honest replica `id` of `n`, no persistence.
+    pub fn new(id: NodeId, n: usize) -> Self {
+        ConsensusAdapter {
+            core: PbftCore::new(id, (0..n).collect(), Byzantine::Honest),
+            durable: None,
+            exec_cursor: 0,
+            recovering: false,
+            batch_timer_at: None,
+        }
+    }
+
+    /// Sets the batching configuration (builder style).
+    pub fn with_batching(mut self, cfg: BatchConfig) -> Self {
+        self.core.set_batch_config(cfg);
+        self
+    }
+
+    /// Honest replica persisting to a fresh `log`.
+    pub fn with_durable(id: NodeId, n: usize, log: DurableLog) -> Self {
+        let mut a = Self::new(id, n);
+        a.core.set_record_bindings(true);
+        a.durable = Some(log);
+        a
+    }
+
+    /// Rebuilds replica `id` from a surviving durable `log` after a
+    /// crash-with-state-loss. Panics if the log fails verification.
+    pub fn recover_with(id: NodeId, n: usize, log: DurableLog) -> Self {
+        let replayed = log.replay().expect("durable log failed verification");
+        let mut a = Self::new(id, n);
+        a.core.set_record_bindings(true);
+        a.core.install_history(replayed.entries, replayed.bindings, replayed.prepared);
+        a.exec_cursor = a.core.executed_batches().len();
+        a.durable = Some(log);
+        a.recovering = true;
+        prever_obs::counter("pbft.recoveries").inc();
+        a
+    }
+
+    /// The attached durable log, if any.
+    pub fn durable(&self) -> Option<&DurableLog> {
+        self.durable.as_ref()
+    }
+
+    /// Same persist discipline as `PbftNode`: bindings and prepared
+    /// certificates before our votes hit the network, then newly
+    /// executed commands, one group-commit flush per dispatch.
+    fn persist(&mut self) {
+        if let Some(log) = &self.durable {
+            for (seq, view, digest) in self.core.take_bindings() {
+                log.append_bind(seq, view, &digest);
+            }
+            for (seq, view, batch) in self.core.take_prepared() {
+                log.append_prep(seq, view, &batch);
+            }
+            for (seq, batch, at) in &self.core.executed_batches()[self.exec_cursor..] {
+                log.append_exec(*seq, batch, *at);
+            }
+            log.commit_dispatch();
+            if prever_obs::trace::active() {
+                let me = self.core.id() as u64;
+                for (seq, batch, at) in &self.core.executed_batches()[self.exec_cursor..] {
+                    for c in batch.commands() {
+                        prever_obs::trace::event(
+                            me,
+                            *at,
+                            c.trace.child("exec", me),
+                            "wal-flush",
+                            *seq,
+                        );
+                    }
+                }
+            }
+        }
+        self.exec_cursor = self.core.executed_batches().len();
+    }
+
+    fn ship(&mut self, out: Vec<(NodeId, PbftMsg)>, ctx: &mut Ctx<ServerMsg>) {
+        self.persist();
+        for (to, m) in out {
+            ctx.send(to, ServerMsg::Pbft(m));
+        }
+        self.arm_batch_timer(ctx);
+    }
+
+    fn arm_batch_timer(&mut self, ctx: &mut Ctx<ServerMsg>) {
+        if let Some(deadline) = self.core.next_batch_deadline() {
+            let due = deadline.max(ctx.now() + 1);
+            if self.batch_timer_at.is_none_or(|t| t > due) {
+                self.batch_timer_at = Some(due);
+                ctx.set_timer(due - ctx.now(), TIMER_BATCH);
+            }
+        }
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<ServerMsg>) {
+        ctx.set_timer(TICK_EVERY, TIMER_TICK);
+        if self.recovering {
+            self.recovering = false;
+            let out = self.core.request_sync(ctx.now());
+            self.ship(out, ctx);
+        }
+    }
+
+    fn deliver(&mut self, from: NodeId, msg: PbftMsg, ctx: &mut Ctx<ServerMsg>) {
+        let out = self.core.on_message(from, msg, ctx.now());
+        self.ship(out, ctx);
+    }
+
+    /// Submits a client command on the gateway's replica.
+    fn submit(&mut self, command: Command, urgent: bool, ctx: &mut Ctx<ServerMsg>) {
+        let out = if urgent {
+            self.core.on_urgent_request(command, ctx.now())
+        } else {
+            self.core.on_request(command, ctx.now())
+        };
+        self.ship(out, ctx);
+    }
+
+    fn on_timer(&mut self, timer: u64, ctx: &mut Ctx<ServerMsg>) {
+        match timer {
+            TIMER_TICK => {
+                let out = self.core.on_tick(ctx.now(), VIEW_TIMEOUT);
+                self.ship(out, ctx);
+                ctx.set_timer(TICK_EVERY, TIMER_TICK);
+            }
+            TIMER_BATCH => {
+                self.batch_timer_at = None;
+                let out = self.core.on_batch_timer(ctx.now());
+                self.ship(out, ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Node 0: consensus member plus the serving front end.
+#[derive(Clone, Debug)]
+pub struct Gateway {
+    /// The embedded consensus replica.
+    pub adapter: ConsensusAdapter,
+    /// The admission-control front end.
+    pub front: FrontEnd,
+    /// How many `core.executed()` entries have been acked to clients.
+    ack_cursor: usize,
+}
+
+impl Gateway {
+    /// Fresh gateway for an `n`-replica cluster.
+    pub fn new(n: usize, front: FrontConfig, batch: BatchConfig) -> Self {
+        Gateway {
+            adapter: ConsensusAdapter::new(0, n).with_batching(batch),
+            front: FrontEnd::new(0, front),
+            ack_cursor: 0,
+        }
+    }
+
+    /// Fresh gateway persisting to `log`.
+    pub fn with_durable(n: usize, front: FrontConfig, batch: BatchConfig, log: DurableLog) -> Self {
+        Gateway {
+            adapter: ConsensusAdapter::with_durable(0, n, log).with_batching(batch),
+            front: FrontEnd::new(0, front),
+            ack_cursor: 0,
+        }
+    }
+
+    /// Gateway rebuilt from a surviving durable log after a crash. The
+    /// front end starts empty (queued-but-unacked requests die with
+    /// the process — clients retry them), but the committed map is
+    /// reseeded from the recovered history so resubmissions of durable
+    /// commands are acked, not re-ordered.
+    pub fn recover_with(
+        n: usize,
+        front: FrontConfig,
+        batch: BatchConfig,
+        log: DurableLog,
+    ) -> Self {
+        let adapter = ConsensusAdapter::recover_with(0, n, log).with_batching(batch);
+        let mut fe = FrontEnd::new(0, front);
+        fe.install_committed(
+            adapter
+                .core
+                .executed()
+                .iter()
+                .filter(|d| d.command.id != prever_consensus::pbft::NOOP_ID)
+                .map(|d| (d.command.id, d.slot)),
+        );
+        let ack_cursor = adapter.core.executed().len();
+        Gateway { adapter, front: fe, ack_cursor }
+    }
+
+    fn process(&mut self, actions: Vec<Action>, ctx: &mut Ctx<ServerMsg>) {
+        for a in actions {
+            match a {
+                Action::Reply(to, resp) => {
+                    ctx.send(to, ServerMsg::Frame(Frame::Response(resp).encode()));
+                }
+                Action::Submit { id, payload, urgent } => {
+                    self.adapter.submit(Command::new(id, payload), urgent, ctx);
+                }
+            }
+        }
+    }
+
+    /// Acks every newly executed command, then refills the inflight
+    /// window from the queue.
+    fn drain_and_pump(&mut self, ctx: &mut Ctx<ServerMsg>) {
+        let now = ctx.now();
+        let executed = self.adapter.core.executed();
+        let newly: Vec<(u64, u64)> = executed[self.ack_cursor.min(executed.len())..]
+            .iter()
+            .filter(|d| d.command.id != prever_consensus::pbft::NOOP_ID)
+            .map(|d| (d.command.id, d.slot))
+            .collect();
+        self.ack_cursor = executed.len();
+        for (id, slot) in newly {
+            if let Some((to, resp)) = self.front.on_committed(id, slot, now) {
+                ctx.send(to, ServerMsg::Frame(Frame::Response(resp).encode()));
+            }
+        }
+        let actions = self.front.pump(now);
+        self.process(actions, ctx);
+    }
+
+    fn on_frame(&mut self, from: NodeId, buf: Vec<u8>, ctx: &mut Ctx<ServerMsg>) {
+        // Audit digests come from replica state the sans-IO front end
+        // cannot see; answer them here.
+        if let Ok((Frame::Request(Request::AuditDigest { .. }), _)) = Frame::decode(&buf) {
+            let digest = *self.adapter.core.state_digest().as_bytes();
+            ctx.send(from, ServerMsg::Frame(Frame::Response(Response::AuditDigest { digest }).encode()));
+            return;
+        }
+        let actions = self.front.handle_frame(from, &buf, ctx.now());
+        self.process(actions, ctx);
+        self.drain_and_pump(ctx);
+    }
+}
+
+/// Nodes `1..n`: plain consensus replicas.
+#[derive(Clone, Debug)]
+pub struct Replica {
+    /// The consensus replica.
+    pub adapter: ConsensusAdapter,
+}
+
+impl Replica {
+    /// Fresh replica `id` of `n`.
+    pub fn new(id: NodeId, n: usize, batch: BatchConfig) -> Self {
+        Replica { adapter: ConsensusAdapter::new(id, n).with_batching(batch) }
+    }
+
+    /// Fresh replica persisting to `log`.
+    pub fn with_durable(id: NodeId, n: usize, batch: BatchConfig, log: DurableLog) -> Self {
+        Replica { adapter: ConsensusAdapter::with_durable(id, n, log).with_batching(batch) }
+    }
+
+    /// Replica rebuilt from a surviving durable log.
+    pub fn recover_with(id: NodeId, n: usize, batch: BatchConfig, log: DurableLog) -> Self {
+        Replica { adapter: ConsensusAdapter::recover_with(id, n, log).with_batching(batch) }
+    }
+}
+
+/// Nodes `≥ n`: one simulated client connection.
+#[derive(Clone, Debug)]
+pub struct ClientPeer {
+    /// The sans-IO client core.
+    pub conn: ClientConn,
+    server: NodeId,
+}
+
+impl ClientPeer {
+    /// A client that talks to the gateway named in `cfg.server`.
+    pub fn new(cfg: ClientCfg) -> Self {
+        ClientPeer { server: cfg.server, conn: ClientConn::new(cfg) }
+    }
+
+    fn process(&mut self, actions: Vec<ClientAction>, ctx: &mut Ctx<ServerMsg>) {
+        for a in actions {
+            match a {
+                ClientAction::Send(buf) => ctx.send(self.server, ServerMsg::Frame(buf)),
+                ClientAction::Timer(delay, id) => ctx.set_timer(delay.max(1), id),
+            }
+        }
+    }
+}
+
+/// One node of a serving cluster (gateway, replica, or client).
+///
+/// Boxed: the variants differ in size by an order of magnitude and the
+/// simulator stores one per node.
+#[derive(Clone, Debug)]
+pub enum ServerPeer {
+    /// Node 0.
+    Gateway(Box<Gateway>),
+    /// Nodes `1..n_replicas`.
+    Replica(Box<Replica>),
+    /// Nodes `≥ n_replicas`.
+    Client(Box<ClientPeer>),
+}
+
+impl ServerPeer {
+    /// This peer as a gateway, if it is one.
+    pub fn as_gateway(&self) -> Option<&Gateway> {
+        match self {
+            ServerPeer::Gateway(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// This peer as a replica, if it is one.
+    pub fn as_replica(&self) -> Option<&Replica> {
+        match self {
+            ServerPeer::Replica(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// This peer as a client, if it is one.
+    pub fn as_client(&self) -> Option<&ClientPeer> {
+        match self {
+            ServerPeer::Client(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl Actor for ServerPeer {
+    type Msg = ServerMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<ServerMsg>) {
+        match self {
+            ServerPeer::Gateway(g) => {
+                g.adapter.on_start(ctx);
+                ctx.set_timer(FRONT_EVERY, TIMER_FRONT);
+            }
+            ServerPeer::Replica(r) => r.adapter.on_start(ctx),
+            ServerPeer::Client(c) => {
+                let now = ctx.now();
+                let actions = c.conn.on_start(now);
+                c.process(actions, ctx);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: ServerMsg, ctx: &mut Ctx<ServerMsg>) {
+        match (self, msg) {
+            (ServerPeer::Gateway(g), ServerMsg::Frame(buf)) => g.on_frame(from, buf, ctx),
+            (ServerPeer::Gateway(g), ServerMsg::Pbft(m)) => {
+                g.adapter.deliver(from, m, ctx);
+                g.drain_and_pump(ctx);
+            }
+            (ServerPeer::Replica(r), ServerMsg::Pbft(m)) => r.adapter.deliver(from, m, ctx),
+            (ServerPeer::Client(c), ServerMsg::Frame(buf)) => {
+                let now = ctx.now();
+                let actions = c.conn.on_frame(&buf, now);
+                c.process(actions, ctx);
+            }
+            // A frame at a replica or consensus traffic at a client is
+            // topology-impossible; dropping it keeps a confused or
+            // hostile sender from crashing the receiver.
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, timer: u64, ctx: &mut Ctx<ServerMsg>) {
+        match self {
+            ServerPeer::Gateway(g) => {
+                if timer == TIMER_FRONT {
+                    let now = ctx.now();
+                    let actions = g.front.sweep_deadlines(now);
+                    g.process(actions, ctx);
+                    g.drain_and_pump(ctx);
+                    ctx.set_timer(FRONT_EVERY, TIMER_FRONT);
+                } else {
+                    g.adapter.on_timer(timer, ctx);
+                    g.drain_and_pump(ctx);
+                }
+            }
+            ServerPeer::Replica(r) => r.adapter.on_timer(timer, ctx),
+            ServerPeer::Client(c) => {
+                let now = ctx.now();
+                let actions = c.conn.on_timer(timer, now);
+                c.process(actions, ctx);
+            }
+        }
+    }
+}
+
+/// Builds a non-durable serving cluster: gateway at node 0,
+/// `n_replicas - 1` peer replicas, then one node per client config (in
+/// order, at ids `n_replicas..`). Client `server` fields are forced to
+/// the gateway.
+pub fn server_cluster(
+    n_replicas: usize,
+    front: FrontConfig,
+    batch: BatchConfig,
+    clients: &[ClientCfg],
+) -> Vec<ServerPeer> {
+    let mut nodes = Vec::with_capacity(n_replicas + clients.len());
+    nodes.push(ServerPeer::Gateway(Box::new(Gateway::new(n_replicas, front, batch))));
+    for id in 1..n_replicas {
+        nodes.push(ServerPeer::Replica(Box::new(Replica::new(id, n_replicas, batch))));
+    }
+    for cfg in clients {
+        let cfg = ClientCfg { server: 0, ..*cfg };
+        nodes.push(ServerPeer::Client(Box::new(ClientPeer::new(cfg))));
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prever_sim::{NetConfig, Simulation};
+    use prever_wire::Class;
+
+    fn all_clients_done(nodes: &[ServerPeer]) -> bool {
+        nodes.iter().filter_map(|n| n.as_client()).all(|c| c.conn.done())
+    }
+
+    #[test]
+    fn closed_loop_clients_commit_through_the_gateway() {
+        let clients = vec![
+            ClientCfg {
+                tenant: 1,
+                requests: 8,
+                id_base: 1_000,
+                mode: crate::client::LoadMode::Closed { window: 2, think_us: 0 },
+                ..ClientCfg::default()
+            },
+            ClientCfg {
+                tenant: 2,
+                requests: 8,
+                id_base: 2_000,
+                class: Class::High,
+                ..ClientCfg::default()
+            },
+        ];
+        let nodes = server_cluster(
+            4,
+            FrontConfig::default(),
+            BatchConfig::new(8, 2_000, 4),
+            &clients,
+        );
+        let mut sim = Simulation::new(nodes, NetConfig::default(), 7);
+        assert!(
+            sim.run_until_pred(2_000_000, all_clients_done),
+            "clients must finish under a healthy cluster"
+        );
+        let total: u64 = (4..6)
+            .filter_map(|i| sim.node(i).as_client())
+            .map(|c| c.conn.stats().committed)
+            .sum();
+        assert_eq!(total, 16);
+        // The gateway's replica and a peer replica agree on history.
+        let g = sim.node(0).as_gateway().unwrap();
+        let r = sim.node(1).as_replica().unwrap();
+        assert_eq!(g.adapter.core.distinct_executed_commands(), 16);
+        assert_eq!(
+            g.adapter.core.state_digest(),
+            r.adapter.core.state_digest(),
+            "gateway and replica diverged"
+        );
+    }
+
+    #[test]
+    fn cluster_is_deterministic_per_seed() {
+        let build = || {
+            server_cluster(
+                4,
+                FrontConfig::default(),
+                BatchConfig::new(4, 1_000, 4),
+                &[ClientCfg { requests: 6, id_base: 10, ..ClientCfg::default() }],
+            )
+        };
+        let run = || {
+            let mut sim = Simulation::new(build(), NetConfig::default(), 99);
+            sim.run_until_pred(1_000_000, all_clients_done);
+            let c = sim.node(4).as_client().unwrap();
+            (
+                c.conn.stats().committed,
+                c.conn.stats().latencies_us.clone(),
+                sim.node(0).as_gateway().unwrap().adapter.core.state_digest(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}
