@@ -53,7 +53,8 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| {
                         die(&format!(
                             "unknown protocol {v:?} (pbft|pbft-batched|paxos|sharded\
-                             |sharded-parallel|pbft-disk|ledger-disk|server-overload)"
+                             |sharded-parallel|pbft-disk|ledger-disk|server-overload\
+                             |gateway-failover)"
                         ))
                     });
                 args.protocols = vec![p];
@@ -65,8 +66,9 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: chaos [--protocol pbft|pbft-batched|paxos|sharded\
-                     |sharded-parallel|pbft-disk|ledger-disk|server-overload] [--seed N] \
-                     [--seeds N] [--commands N] [--flight-check]"
+                     |sharded-parallel|pbft-disk|ledger-disk|server-overload\
+                     |gateway-failover] [--seed N] [--seeds N] [--commands N] \
+                     [--flight-check]"
                 );
                 std::process::exit(0);
             }
@@ -96,6 +98,7 @@ fn defaults(protocol: Protocol) -> (u64, u64) {
         Protocol::PbftDisk => (30, 20),
         Protocol::LedgerDisk => (120, 60),
         Protocol::ServerOverload => (50, 10),
+        Protocol::GatewayFailover => (50, 10),
     }
 }
 

@@ -36,8 +36,11 @@ use prever_obs::registry::Snapshot;
 use prever_obs::trace::{self, TraceEvent, STAGES};
 use prever_obs::{export, TraceCtx};
 use prever_pir::cpir::{retrieve as cpir_retrieve, CpirClient, CpirServer};
-use prever_server::{server_cluster, ClientCfg, FrontConfig, LoadMode, ServerPeer};
-use prever_sim::{NetConfig, Simulation};
+use prever_server::{
+    multi_gateway_cluster, server_cluster, ClientCfg, FrontConfig, LoadMode, QuotaUpdate,
+    ServerMsg, ServerPeer,
+};
+use prever_sim::{FaultPlan, NetConfig, Simulation};
 use prever_wire::Class;
 use prever_storage::SharedDisk;
 use rand::{rngs::StdRng, SeedableRng};
@@ -59,7 +62,7 @@ const REQUIRED_SPANS: [&str; 9] = [
 /// Counters that must be nonzero — the sharded commit/abort metrics and
 /// the serving-layer admission metrics the CI instrumentation gate
 /// watches.
-const REQUIRED_COUNTERS: [&str; 8] = [
+const REQUIRED_COUNTERS: [&str; 12] = [
     "sharded.batch.committed",
     "sharded.completed.intra_shard",
     "sharded.completed.cross_shard",
@@ -68,6 +71,10 @@ const REQUIRED_COUNTERS: [&str; 8] = [
     "server.shed",
     "server.retry",
     "server.acked",
+    "server.session.hello",
+    "server.failover.resume",
+    "server.read.fresh",
+    "server.quota.applied",
 ];
 
 /// Gauges that must have been written at least once (value may
@@ -143,6 +150,7 @@ fn run_server(quick: bool) {
         tenant_rate: 400,
         tenant_burst: 4,
         service_estimate_us: 500,
+        retry_after_cap_us: 2_000_000,
     };
     let clients = [
         ClientCfg {
@@ -183,6 +191,49 @@ fn run_server(quick: bool) {
         front_stats.admitted,
         front_stats.shed_overload + front_stats.shed_deadline,
         front_stats.acked
+    );
+}
+
+fn run_failover(quick: bool) {
+    let n: u64 = if quick { 10 } else { 24 };
+    // A gateway-per-replica cluster with the client's home gateway
+    // crashed mid-workload: provably fires the session metrics
+    // (`server.session.hello`, `server.failover.resume`,
+    // `server.failover.count`), the verified-read counters
+    // (`server.read.fresh`/`stale`), the consensus-carried quota path
+    // (`server.quota.applied`), and the `hello`/`resume` trace stages.
+    let clients = [ClientCfg {
+        tenant: 1,
+        mode: LoadMode::Open { interval_us: 10_000 },
+        requests: n,
+        timeout_us: 150_000,
+        retry_budget: 30,
+        failover_after: 1,
+        verify_reads: true,
+        servers: vec![0, 1, 2, 3],
+        id_base: SERVER_BASE + 0x8000,
+        seed: 3,
+        ..ClientCfg::default()
+    }];
+    let nodes =
+        multi_gateway_cluster(4, FrontConfig::default(), BatchConfig::new(8, 2_000, 4), &clients);
+    let mut sim = Simulation::new(nodes, NetConfig::default(), 78);
+    sim.set_fault_plan(FaultPlan::new().crash_at(20_000, 0));
+    let update = QuotaUpdate { tenant: 1, rate: 900, burst: 20 };
+    sim.inject(3, 3, ServerMsg::Quota { update, nonce: 0x0b5 }, 10_000);
+    let done = sim.run_until_pred(40_000_000, |nodes: &[ServerPeer]| {
+        nodes.iter().filter_map(|p| p.as_client()).all(|c| c.conn.done())
+    });
+    assert!(done, "failover phase did not finish");
+    let stats = sim.node(4).as_client().expect("client").conn.stats().clone();
+    assert!(stats.failovers >= 1, "failover phase never rotated endpoints");
+    assert_eq!(stats.read_violations, 0, "failover phase broke read-your-writes");
+    prever_obs::log!(
+        Info,
+        "failover phase: {} committed across {} failovers, {} fresh reads verified",
+        stats.committed,
+        stats.failovers,
+        stats.fresh_reads
     );
 }
 
@@ -296,6 +347,7 @@ fn main() {
     run_consensus(quick);
     run_sharded();
     run_server(quick);
+    run_failover(quick);
     let ycsb_table = e::e1_ycsb::run(quick);
     run_crypto(quick);
     run_pir(quick);

@@ -1,4 +1,4 @@
-//! Prints every experiment table (E1–E13).
+//! Prints every experiment table (E1–E14).
 //!
 //! `cargo run --release -p prever-bench --bin report` — full parameters.
 //! `cargo run --release -p prever-bench --bin report -- --quick` — small.
@@ -17,6 +17,12 @@
 //! `cargo run --release -p prever-bench --bin report -- --e13-smoke`
 //! — CI gate: goodput at 10× offered load must retain ≥ 70% of the 1×
 //! goodput; exits nonzero otherwise.
+//! `cargo run --release -p prever-bench --bin report -- --e14`
+//! — just the E14 multi-gateway rolling-crash sweep (full parameters).
+//! `cargo run --release -p prever-bench --bin report -- --e14-smoke`
+//! — CI gate: goodput under rolling gateway crashes (one every 600 ms)
+//! must retain ≥ 80% of the crash-free baseline; exits nonzero
+//! otherwise.
 
 use prever_bench::experiments as e;
 
@@ -64,6 +70,27 @@ fn main() {
         }
         return;
     }
+    if args.iter().any(|a| a == "--e14") {
+        println!("{}", e::e14_failover::run(quick).render());
+        return;
+    }
+    if args.iter().any(|a| a == "--e14-smoke") {
+        let (base, rolled, retention) = e::e14_failover::e14_smoke();
+        println!(
+            "e14 smoke: goodput {base:.0} rps crash-free, {rolled:.0} rps under a \
+             600 ms rolling gateway crash schedule ({:.0}% retained)",
+            retention * 100.0
+        );
+        if retention < 0.8 {
+            eprintln!(
+                "e14 smoke FAILED: rolling-crash goodput retained only {:.0}% of the \
+                 crash-free baseline (need >= 80%)",
+                retention * 100.0
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--e7-smoke") {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let (t1, t8, ratio) = e::e7_sharded::scaling_smoke();
@@ -99,6 +126,7 @@ fn main() {
         e::e11_chaos::run(quick),
         e::e12_durability::run(quick),
         e::e13_server::run(quick),
+        e::e14_failover::run(quick),
     ];
     for t in &tables {
         println!("{}", t.render());

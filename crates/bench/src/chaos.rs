@@ -31,7 +31,8 @@ use prever_consensus::{BatchConfig, Command};
 use prever_crypto::Digest;
 use prever_ledger::{Journal, LedgerError, PersistentJournal};
 use prever_server::{
-    ClientCfg, ClientPeer, FrontConfig, Gateway, LoadMode, Replica, ServerMsg, ServerPeer,
+    ClientCfg, ClientPeer, FrontConfig, Gateway, LoadMode, QuotaUpdate, Replica, ServerMsg,
+    ServerPeer,
 };
 use prever_sim::{DiskFault, FaultPlan, LinkFault, NetConfig, SimStats, Simulation};
 use prever_wire::Class;
@@ -76,11 +77,20 @@ pub enum Protocol {
     /// acked writes survive the crash, that well-behaved tenants finish
     /// despite the flood, and that the admission queue stays bounded.
     ServerOverload,
+    /// Multi-gateway serving under gateway faults: every replica fronts
+    /// its own gateway, clients hold ranked endpoint lists with
+    /// verified read-your-writes probes, and one gateway suffers a
+    /// seed-chosen fate (long-outage crash, partition, restart with
+    /// state loss, or flapping) mid-session. Checks exactly-once execution
+    /// across resumed sessions, durability of every ack, zero
+    /// read-your-writes violations, and consensus-carried quota
+    /// agreement across gateways.
+    GatewayFailover,
 }
 
 impl Protocol {
     /// All protocols, sweep order.
-    pub const ALL: [Protocol; 8] = [
+    pub const ALL: [Protocol; 9] = [
         Protocol::Pbft,
         Protocol::PbftBatched,
         Protocol::Paxos,
@@ -89,6 +99,7 @@ impl Protocol {
         Protocol::PbftDisk,
         Protocol::LedgerDisk,
         Protocol::ServerOverload,
+        Protocol::GatewayFailover,
     ];
 
     /// Display name.
@@ -102,6 +113,7 @@ impl Protocol {
             Protocol::PbftDisk => "pbft-disk",
             Protocol::LedgerDisk => "ledger-disk",
             Protocol::ServerOverload => "server-overload",
+            Protocol::GatewayFailover => "gateway-failover",
         }
     }
 }
@@ -159,6 +171,7 @@ pub fn run_seed(protocol: Protocol, seed: u64, commands: u64) -> ChaosOutcome {
         Protocol::PbftDisk => pbft_disk_chaos(seed, commands),
         Protocol::LedgerDisk => ledger_disk_chaos(seed, commands),
         Protocol::ServerOverload => server_overload_chaos(seed, commands),
+        Protocol::GatewayFailover => gateway_failover_chaos(seed, commands),
     }
 }
 
@@ -428,6 +441,7 @@ pub fn server_overload_chaos(seed: u64, commands: u64) -> ChaosOutcome {
         tenant_rate: 800,
         tenant_burst: 16,
         service_estimate_us: 500,
+        retry_after_cap_us: 2_000_000,
     };
     // The two well-behaved tenants run closed-loop (their offered load
     // collapses when the cluster slows, like a real interactive client)
@@ -436,7 +450,7 @@ pub fn server_overload_chaos(seed: u64, commands: u64) -> ChaosOutcome {
     // with a tight deadline and a small budget — its requests are the
     // ones the ladder and the bucket are expected to shed.
     let patient = ClientCfg {
-        server: 0,
+        servers: vec![0],
         mode: LoadMode::Closed { window: 2, think_us: 0 },
         requests: commands,
         deadline_us: 0,
@@ -447,12 +461,23 @@ pub fn server_overload_chaos(seed: u64, commands: u64) -> ChaosOutcome {
         ..ClientCfg::default()
     };
     let clients = [
-        ClientCfg { tenant: 1, class: Class::High, id_base: 1_000, seed: seed ^ 0xa5a5, ..patient },
-        ClientCfg { tenant: 2, class: Class::Normal, id_base: 2_000, seed: seed ^ 0x5a5a, ..patient },
+        ClientCfg {
+            tenant: 1,
+            class: Class::High,
+            id_base: 1_000,
+            seed: seed ^ 0xa5a5,
+            ..patient.clone()
+        },
+        ClientCfg {
+            tenant: 2,
+            class: Class::Normal,
+            id_base: 2_000,
+            seed: seed ^ 0x5a5a,
+            ..patient.clone()
+        },
         ClientCfg {
             tenant: 3,
             class: Class::Low,
-            server: 0,
             mode: LoadMode::Open { interval_us: 600 },
             requests: 200 + commands * 20,
             deadline_us: 40_000,
@@ -462,12 +487,14 @@ pub fn server_overload_chaos(seed: u64, commands: u64) -> ChaosOutcome {
             backoff_cap_us: 20_000,
             id_base: 1_000_000,
             seed: seed ^ 0x3c3c,
+            ..patient
         },
     ];
 
     let logs: Vec<DurableLog> = (0..N).map(|_| DurableLog::new()).collect();
     let mut nodes = Vec::with_capacity(N + clients.len());
     nodes.push(ServerPeer::Gateway(Box::new(Gateway::with_durable(
+        0,
         N,
         front,
         batch,
@@ -482,7 +509,7 @@ pub fn server_overload_chaos(seed: u64, commands: u64) -> ChaosOutcome {
         ))));
     }
     for cfg in &clients {
-        nodes.push(ServerPeer::Client(Box::new(ClientPeer::new(*cfg))));
+        nodes.push(ServerPeer::Client(Box::new(ClientPeer::new(cfg.clone()))));
     }
 
     let crash_at = 120_000 + rng.gen_range(0..200_000u64);
@@ -505,6 +532,7 @@ pub fn server_overload_chaos(seed: u64, commands: u64) -> ChaosOutcome {
     let factory_logs = logs.clone();
     sim.set_node_factory(move |id| match id {
         0 => ServerPeer::Gateway(Box::new(Gateway::recover_with(
+            0,
             N,
             front,
             batch,
@@ -516,12 +544,13 @@ pub fn server_overload_chaos(seed: u64, commands: u64) -> ChaosOutcome {
             batch,
             factory_logs[i].clone(),
         ))),
-        i => ServerPeer::Client(Box::new(ClientPeer::new(clients[i - N]))),
+        i => ServerPeer::Client(Box::new(ClientPeer::new(clients[i - N].clone()))),
     });
     sim.enable_trace(
         |m: &ServerMsg| match m {
             ServerMsg::Pbft(p) => p.kind().to_string(),
             ServerMsg::Frame(buf) => format!("frame[{}]", buf.len()),
+            ServerMsg::Quota { update, .. } => format!("quota[{}]", update.tenant),
         },
         256,
     );
@@ -662,6 +691,405 @@ pub fn server_overload_chaos(seed: u64, commands: u64) -> ChaosOutcome {
         violations,
         stats: sim.stats(),
         history: serving_core(sim.node(1))
+            .executed()
+            .iter()
+            .map(|d| (d.slot, d.command.id))
+            .collect(),
+        trace_tail,
+        recovered_frames: 0,
+        truncated_bytes: 0,
+        detected_corruptions: 0,
+    }
+}
+
+/// Multi-gateway failover scenario: a 4-node durable cluster where
+/// *every* replica fronts its own gateway, three closed-session clients
+/// hold rotated endpoint lists with read-your-writes verification on,
+/// and one non-reference gateway suffers a seed-chosen fate mid-run:
+///
+/// * `seed % 4 == 0` — **long-outage crash**: the gateway dies with
+///   sessions open and retries in flight, stays down for many client
+///   timeouts and several view-timeout windows, then recovers.
+/// * `seed % 4 == 1` — **partition**: the gateway is isolated from the
+///   rest of the cluster *and* from every client, then healed.
+/// * `seed % 4 == 2` — **restart with state loss**: the gateway crashes
+///   and is rebuilt from its journal; its ack/session state must be
+///   reconstructible from the replayed log.
+/// * `seed % 4 == 3` — **flapping**: two crash/recover cycles in quick
+///   succession.
+///
+/// A tenant quota change is injected at the never-faulted reference
+/// gateway early in the run; consensus must carry it to every gateway.
+///
+/// On top of the consensus safety/ledger invariants this checks the
+/// multi-gateway serving contract:
+///
+/// * **Transparent failover** — the client homed on the victim resumes
+///   its session at a surviving gateway and finishes its workload.
+/// * **Exactly once** — resumed retries never double-execute: every
+///   gateway's executed history contains each command id exactly once.
+/// * **Acked writes are durable** — every id any client saw
+///   `Committed`, through any gateway, is executed at the reference.
+/// * **Read-your-writes** — no client ever observes a verified-fresh
+///   replica that is missing one of its acked writes, nor conflicting
+///   digests for the same ledger position.
+/// * **Quota agreement** — every gateway that executed the quota
+///   command reports the same effective quota, and the full
+///   non-victim quorum has executed it.
+pub fn gateway_failover_chaos(seed: u64, commands: u64) -> ChaosOutcome {
+    const N: usize = 4;
+    const REF: usize = 3; // never-faulted gateway: durability reference
+    const CLIENTS: usize = 3;
+    let mut rng = StdRng::seed_from_u64(seed ^ SEED_MIX);
+
+    let batch = BatchConfig::new(8, 5_000, 4);
+    let front = FrontConfig {
+        queue_cap: 64,
+        inflight_cap: 16,
+        tenant_rate: 800,
+        tenant_burst: 16,
+        service_estimate_us: 500,
+        retry_after_cap_us: 2_000_000,
+    };
+
+    let victim = rng.gen_range(0..REF);
+    let flavor = seed % 4;
+
+    // Open-loop arrivals so the workload spans the fault window: the
+    // client homed on the victim still has traffic to move when the
+    // gateway goes down, which is what forces a real mid-session
+    // failover rather than a clean reconnect.
+    let base = ClientCfg {
+        mode: LoadMode::Open { interval_us: 10_000 },
+        requests: commands,
+        deadline_us: 0,
+        timeout_us: 60_000,
+        retry_budget: 64,
+        backoff_base_us: 4_000,
+        backoff_cap_us: 200_000,
+        failover_after: 1,
+        verify_reads: true,
+        ..ClientCfg::default()
+    };
+    let clients: Vec<ClientCfg> = (0..CLIENTS)
+        .map(|i| ClientCfg {
+            tenant: 1 + i as u32,
+            class: if i == 0 { Class::High } else { Class::Normal },
+            servers: (0..N).map(|k| (k + i) % N).collect(),
+            id_base: 1_000 * (1 + i as u64),
+            seed: seed ^ (0x1111 * (i as u64 + 1)),
+            ..base.clone()
+        })
+        .collect();
+
+    let logs: Vec<DurableLog> = (0..N).map(|_| DurableLog::new()).collect();
+    let mut nodes = Vec::with_capacity(N + CLIENTS);
+    for (id, log) in logs.iter().enumerate() {
+        nodes.push(ServerPeer::Gateway(Box::new(Gateway::with_durable(
+            id,
+            N,
+            front,
+            batch,
+            log.clone(),
+        ))));
+    }
+    for cfg in &clients {
+        nodes.push(ServerPeer::Client(Box::new(ClientPeer::new(cfg.clone()))));
+    }
+
+    let fault_at = 30_000 + rng.gen_range(0..50_000u64);
+    let mut plan = rough_links(FaultPlan::new(), N, &mut rng);
+    let end_of_faults;
+    match flavor {
+        0 => {
+            // Long outage: far beyond the client timeout (forcing real
+            // mid-session failovers) and spanning several view-timeout
+            // windows (exercising view churn with a member missing —
+            // the adjacent-view deadlock territory). The victim does
+            // come back before the drain: with n = 4 a permanently
+            // dead replica can leave rough-link-starved laggards
+            // unable to assemble the f + 1 agreeing state-transfer
+            // responses verification requires — the remaining history
+            // then lives on one replica alone, which no vote-counting
+            // sync can prove. Recovery restores the second source and
+            // the cluster must fully reconverge.
+            let back = fault_at + 400_000 + rng.gen_range(0..200_000u64);
+            plan = plan.crash_at(fault_at, victim).recover_at(back, victim);
+            end_of_faults = back;
+        }
+        1 => {
+            let heal = fault_at + 150_000 + rng.gen_range(0..100_000u64);
+            let groups: Vec<usize> =
+                (0..N + CLIENTS).map(|i| usize::from(i == victim)).collect();
+            plan = plan.partition_at(fault_at, groups).heal_at(heal);
+            end_of_faults = heal;
+        }
+        2 => {
+            let restart = fault_at + 80_000 + rng.gen_range(0..120_000u64);
+            plan = plan.crash_at(fault_at, victim).restart_with_loss_at(restart, victim);
+            end_of_faults = restart;
+        }
+        _ => {
+            let step = 70_000 + rng.gen_range(0..50_000u64);
+            plan = plan
+                .crash_at(fault_at, victim)
+                .recover_at(fault_at + step, victim)
+                .crash_at(fault_at + 2 * step, victim)
+                .recover_at(fault_at + 3 * step, victim);
+            end_of_faults = fault_at + 3 * step;
+        }
+    }
+
+    let mut sim = Simulation::new(nodes, NetConfig::default(), seed);
+    sim.set_fault_plan(plan);
+    let factory_logs = logs.clone();
+    let factory_clients = clients.clone();
+    sim.set_node_factory(move |id| {
+        if id < N {
+            ServerPeer::Gateway(Box::new(Gateway::recover_with(
+                id,
+                N,
+                front,
+                batch,
+                factory_logs[id].clone(),
+            )))
+        } else {
+            ServerPeer::Client(Box::new(ClientPeer::new(factory_clients[id - N].clone())))
+        }
+    });
+    sim.enable_trace(
+        |m: &ServerMsg| match m {
+            ServerMsg::Pbft(p) => p.kind().to_string(),
+            ServerMsg::Frame(buf) => format!("frame[{}]", buf.len()),
+            ServerMsg::Quota { update, .. } => format!("quota[{}]", update.tenant),
+        },
+        256,
+    );
+
+    // A quota change lands at the reference gateway before the fault;
+    // consensus must carry it to every gateway (including the victim,
+    // once it is back and caught up).
+    let quota = QuotaUpdate {
+        tenant: 2,
+        rate: 500 + rng.gen_range(0..500u64),
+        burst: 8 + rng.gen_range(0..24u64),
+    };
+    let quota_nonce = seed | 1;
+    let quota_id = QuotaUpdate::command_id(quota_nonce);
+    sim.inject(REF, REF, ServerMsg::Quota { update: quota, nonce: quota_nonce }, 15_000);
+
+    // Pause at the fault instant to record whether the victim-homed
+    // client still had work outstanding: only then is a failover
+    // actually forced (flavor 3's outages can be shorter than the
+    // client timeout, so flapping does not hard-require one).
+    sim.run_until(fault_at);
+    let victim_client = N + victim; // client i is homed on gateway i
+    let failover_expected = flavor != 3
+        && sim.node(victim_client).as_client().expect("client node").conn.unresolved() >= 2;
+
+    sim.run_until(end_of_faults);
+    let live = sim.run_until_pred(8_000_000, |nodes: &[ServerPeer]| {
+        (N..N + CLIENTS).all(|i| nodes[i].as_client().is_some_and(|c| c.conn.done()))
+    });
+    if live {
+        let settle_until = sim.now() + 2_000_000;
+        sim.run_until(settle_until);
+    }
+
+    let mut violations = Vec::new();
+    // Safety: all gateways agree on every slot both executed.
+    for a in 0..N {
+        for b in a + 1..N {
+            let other = serving_core(sim.node(b)).executed();
+            for (da, db) in serving_core(sim.node(a)).executed().iter().zip(other) {
+                if da.slot != db.slot || da.command.digest() != db.command.digest() {
+                    violations.push(format!(
+                        "safety: gateways {a} and {b} diverge at slot {} ({} vs {})",
+                        da.slot, da.command.id, db.command.id
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    // Committed prefix matches the durable journal on every gateway.
+    for (i, log) in logs.iter().enumerate() {
+        match log.replay() {
+            Ok(replayed) => {
+                let mut d = Digest::ZERO;
+                let mut journal_commands = 0usize;
+                for (_, batch, _) in &replayed.entries {
+                    for c in batch.commands() {
+                        d = chain_digest(d, c);
+                        journal_commands += 1;
+                    }
+                }
+                let core = serving_core(sim.node(i));
+                if d != core.state_digest() {
+                    violations.push(format!("ledger: gateway {i} journal digest mismatch"));
+                }
+                if journal_commands != core.executed().len() {
+                    violations.push(format!(
+                        "ledger: gateway {i} journal has {} commands, memory has {}",
+                        journal_commands,
+                        core.executed().len()
+                    ));
+                }
+            }
+            Err(e) => violations.push(format!("ledger: gateway {i} replay failed: {e:?}")),
+        }
+    }
+    // Exactly once across resumed sessions: no gateway's history holds
+    // a command id twice (a double-execute of a resumed retry would).
+    for i in 0..N {
+        let core = serving_core(sim.node(i));
+        if core.distinct_executed_commands() != core.executed_commands() {
+            violations.push(format!(
+                "exactly-once: gateway {i} executed {} commands but only {} distinct ids",
+                core.executed_commands(),
+                core.distinct_executed_commands()
+            ));
+        }
+    }
+    // Durability of acks: every id any client saw `Committed` — via any
+    // gateway, before or after failover — is in the cluster's committed
+    // history. Judged at the most advanced never-faulted gateway: with
+    // f = 1 a correct replica may legitimately trail the commit quorum,
+    // so "the longest correct history" is the cluster's history (the
+    // pairwise prefix check above already proved they agree).
+    let longest = (0..N)
+        .filter(|&i| i != victim)
+        .max_by_key(|&i| serving_core(sim.node(i)).executed().len())
+        .expect("non-victim gateway exists");
+    for i in N..N + CLIENTS {
+        let conn = &sim.node(i).as_client().expect("client node").conn;
+        let mut acked: Vec<u64> = conn.acked_ids().iter().copied().collect();
+        acked.sort_unstable();
+        for id in acked {
+            if !serving_core(sim.node(longest)).has_executed(id) {
+                violations.push(format!(
+                    "durability: client {i} holds an ack for id {id} that gateway {longest} \
+                     (longest correct history) never executed"
+                ));
+            }
+        }
+    }
+    // Liveness + transparent failover: every client finishes, and the
+    // victim-homed client that had work outstanding at the crash must
+    // have rotated to a survivor.
+    if live {
+        for i in N..N + CLIENTS {
+            let stats = sim.node(i).as_client().expect("client node").conn.stats();
+            if stats.committed < commands {
+                violations.push(format!(
+                    "liveness: client {i} committed {}/{commands} (gave_up={})",
+                    stats.committed, stats.gave_up
+                ));
+            }
+        }
+        let vstats = sim.node(victim_client).as_client().expect("client node").conn.stats();
+        if failover_expected && vstats.failovers == 0 {
+            violations.push(format!(
+                "failover: victim-homed client had {} commands outstanding at the fault \
+                 but never rotated endpoints",
+                vstats.committed
+            ));
+        }
+    } else {
+        let unresolved: Vec<u64> = (N..N + CLIENTS)
+            .map(|i| sim.node(i).as_client().expect("client node").conn.unresolved())
+            .collect();
+        violations.push(format!("liveness: clients unresolved after faults cleared: {unresolved:?}"));
+    }
+    // Read-your-writes: verified-fresh replicas are never missing acked
+    // writes and never present conflicting digests; and the read path
+    // was actually exercised.
+    let mut fresh_total = 0;
+    for i in N..N + CLIENTS {
+        let stats = sim.node(i).as_client().expect("client node").conn.stats();
+        fresh_total += stats.fresh_reads;
+        if stats.read_violations > 0 {
+            violations.push(format!(
+                "read-your-writes: client {i} recorded {} violations \
+                 (fresh={}, stale={}, abandoned={})",
+                stats.read_violations, stats.fresh_reads, stats.stale_reads, stats.reads_abandoned
+            ));
+        }
+    }
+    if live && fresh_total == 0 {
+        violations.push("read-your-writes: no client ever verified a fresh read".into());
+    }
+    // Quota agreement: the consensus-carried update reaches the whole
+    // non-victim quorum, and everyone who executed it agrees on the
+    // effective value.
+    if live {
+        for i in 0..N {
+            let executed_quota = serving_core(sim.node(i)).has_executed(quota_id);
+            if !executed_quota && i != victim {
+                violations.push(format!("quota: gateway {i} never executed the quota command"));
+            }
+            if !executed_quota && i == victim && flavor != 3 {
+                // A recovered (journal-rebuilt or healed) victim must
+                // catch up past the pre-fault quota slot; a flapping
+                // victim may legitimately still be syncing.
+                violations.push(format!(
+                    "quota: recovered victim gateway {i} never caught up to the quota command"
+                ));
+            }
+            if executed_quota {
+                let got = sim.node(i).as_gateway().expect("gateway node").front.quota_for(2);
+                if got != (quota.rate, quota.burst) {
+                    violations.push(format!(
+                        "quota: gateway {i} reports {:?}, consensus carried {:?}",
+                        got,
+                        (quota.rate, quota.burst)
+                    ));
+                }
+            }
+        }
+    }
+
+    if !violations.is_empty() && std::env::var("CHAOS_DEBUG").is_ok() {
+        eprintln!(
+            "victim={victim} flavor={flavor} fault_at={fault_at} \
+             end_of_faults={end_of_faults} now={}",
+            sim.now()
+        );
+        for i in N..N + CLIENTS {
+            let conn = &sim.node(i).as_client().expect("client node").conn;
+            eprintln!(
+                "client {i}: {:?} unresolved={} server={}",
+                conn.stats(),
+                conn.unresolved(),
+                conn.current_server()
+            );
+        }
+        for i in 0..N {
+            let core = serving_core(sim.node(i));
+            eprintln!(
+                "gateway {i} view={} executed={} quota={:?} probe={} front={:?}",
+                core.view(),
+                core.executed().len(),
+                sim.node(i).as_gateway().expect("gateway node").front.quota_for(2),
+                core.debug_probe(),
+                sim.node(i).as_gateway().expect("gateway node").front.stats()
+            );
+            eprintln!(
+                "gateway {i} history={:?}",
+                core.executed().iter().map(|d| (d.slot, d.command.id)).collect::<Vec<_>>()
+            );
+        }
+    }
+    let trace_tail = if violations.is_empty() { Vec::new() } else { sim.trace_tail(80) };
+    ChaosOutcome {
+        seed,
+        protocol: "gateway-failover",
+        commands,
+        executed: serving_core(sim.node(longest)).executed_commands() as u64,
+        synced: serving_core(sim.node(victim)).synced(),
+        violations,
+        stats: sim.stats(),
+        history: serving_core(sim.node(longest))
             .executed()
             .iter()
             .map(|d| (d.slot, d.command.id))
@@ -1590,6 +2018,22 @@ mod tests {
                 outcome.trace_tail.join("\n")
             );
             assert!(outcome.stats.restarts_with_loss >= 1);
+        }
+    }
+
+    #[test]
+    fn gateway_failover_chaos_smoke_seeds_are_clean() {
+        // Seeds 0..4 cover all four fault flavors (seed % 4):
+        // long-outage crash, partition, restart-with-loss, and
+        // flapping — each with a victim-homed client mid-session.
+        for seed in 0..4 {
+            let outcome = gateway_failover_chaos(seed, 10);
+            assert!(
+                outcome.ok(),
+                "seed {seed} violated invariants: {:?}\ntrace:\n{}",
+                outcome.violations,
+                outcome.trace_tail.join("\n")
+            );
         }
     }
 

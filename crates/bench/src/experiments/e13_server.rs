@@ -335,7 +335,11 @@ pub fn write_bench_json(path: &std::path::Path) -> std::io::Result<()> {
         }
         out.push_str(&format!("    ]}}{sep}\n"));
     }
-    out.push_str("  ]\n");
+    out.push_str("  ],\n");
+    // The E14 failover sweep lives in the same document: both
+    // experiments characterise the serving layer, E13 under overload
+    // and E14 under gateway loss.
+    out.push_str(&format!("  \"e14\": {}\n", super::e14_failover::bench_json_section()));
     out.push_str("}\n");
     std::fs::write(path, out)
 }

@@ -1,0 +1,313 @@
+//! E14 — multi-gateway availability: goodput under rolling gateway
+//! crashes vs a crash-free baseline.
+//!
+//! The cluster under test is the gateway-per-replica serving stack
+//! from `prever_server` (DESIGN.md §15): every replica fronts its own
+//! wire-framed gateway, and each open-loop client holds a ranked list
+//! of all four endpoints with session resumption and read-your-writes
+//! verification enabled. The sweep crashes gateways in a rolling
+//! pattern — one down at a time, cycling through all four — at
+//! increasing frequency, and measures how much goodput the failover
+//! machinery preserves relative to the crash-free run.
+//!
+//! The availability claim ([`e14_smoke`], gated in CI): with a gateway
+//! crashing every 600 ms (each down for half the period), goodput
+//! stays ≥ 80% of the crash-free baseline — transparent failover turns
+//! gateway loss into a latency blip, not an outage — while zero
+//! read-your-writes violations and zero duplicate acks prove the
+//! resumed sessions stayed exactly-once.
+
+use crate::Table;
+use prever_consensus::BatchConfig;
+use prever_server::{multi_gateway_cluster, ClientCfg, FrontConfig, LoadMode};
+use prever_sim::{FaultPlan, NetConfig, Simulation};
+use prever_wire::Class;
+
+/// Gateways (= replicas; every node fronts one).
+const GATEWAYS: usize = 4;
+/// Open-loop clients, one per tenant.
+const CLIENTS: usize = 3;
+/// Per-message CPU service time (see E13's rationale).
+const PROCESSING: u64 = 2;
+/// Batch fill delay.
+const FILL_DELAY: u64 = 2_000;
+/// Per-client launch interval: 3 ms → ~333 req/vsec each, ~1000
+/// aggregate — comfortably below saturation, so retention measures
+/// availability, not capacity.
+const INTERVAL_US: u64 = 3_000;
+/// Command-id base (disjoint from other harnesses in the process).
+const E14_BASE: u64 = 0x0e14_0000;
+const ID_STRIDE: u64 = 0x1_0000;
+
+/// The published crash periods (µs between successive crashes; each
+/// victim is down for half the period). `None` = crash-free baseline.
+pub const CRASH_PERIODS: [Option<u64>; 4] =
+    [None, Some(1_200_000), Some(600_000), Some(300_000)];
+
+fn batch() -> BatchConfig {
+    BatchConfig::new(8, FILL_DELAY, 2)
+}
+
+fn net() -> NetConfig {
+    NetConfig { processing: PROCESSING, ..NetConfig::default() }
+}
+
+fn front() -> FrontConfig {
+    FrontConfig {
+        tenant_rate: 2_000,
+        tenant_burst: 64,
+        queue_cap: 128,
+        inflight_cap: 32,
+        ..FrontConfig::default()
+    }
+}
+
+/// One point on the crash-frequency sweep.
+pub struct FailoverPoint {
+    /// µs between successive gateway crashes (`None` = no crashes).
+    pub crash_period_us: Option<u64>,
+    /// Gateway crashes scheduled during the measurement window.
+    pub crashes: u64,
+    /// Aggregate offered requests per virtual second.
+    pub offered_rps: f64,
+    /// Aggregate goodput (committed requests per virtual second).
+    pub goodput_rps: f64,
+    /// Endpoint rotations clients performed.
+    pub failovers: u64,
+    /// `Resume` frames sent after failovers.
+    pub resumes: u64,
+    /// Read probes verified fresh.
+    pub fresh_reads: u64,
+    /// Read probes rejected as stale (retried elsewhere).
+    pub stale_reads: u64,
+    /// Read-your-writes violations observed (must be 0).
+    pub read_violations: u64,
+    /// Requests abandoned after the retry budget.
+    pub gave_up: u64,
+    /// Aggregate p99 commit latency (first send → ack), µs.
+    pub p99_us: u64,
+}
+
+/// Runs one point: the fixed open-loop workload under a rolling crash
+/// schedule with the given period (one gateway down at a time, cycling
+/// 0→1→2→3, each down for half the period).
+pub fn run_point(crash_period_us: Option<u64>, quick: bool) -> FailoverPoint {
+    let duration_us: u64 = if quick { 2_000_000 } else { 6_000_000 };
+    let settle_us: u64 = 2_000_000;
+    let per_client = duration_us / INTERVAL_US;
+    let clients: Vec<ClientCfg> = (0..CLIENTS)
+        .map(|i| ClientCfg {
+            tenant: i as u32 + 1,
+            class: Class::Normal,
+            // Empty list → multi_gateway_cluster hands out all four
+            // endpoints, rotated per client.
+            servers: vec![],
+            mode: LoadMode::Open { interval_us: INTERVAL_US },
+            requests: per_client,
+            timeout_us: 60_000,
+            retry_budget: 64,
+            backoff_base_us: 2_000,
+            backoff_cap_us: 64_000,
+            failover_after: 1,
+            verify_reads: true,
+            id_base: E14_BASE + ID_STRIDE * i as u64,
+            seed: 211 + i as u64,
+            ..ClientCfg::default()
+        })
+        .collect();
+    let nodes = multi_gateway_cluster(GATEWAYS, front(), batch(), &clients);
+    let mut sim = Simulation::new(nodes, net(), 19);
+
+    let mut crashes = 0u64;
+    if let Some(period) = crash_period_us {
+        let mut plan = FaultPlan::new();
+        let mut at = 200_000;
+        let mut victim = 0usize;
+        while at + period / 2 < duration_us {
+            plan = plan.crash_at(at, victim).recover_at(at + period / 2, victim);
+            crashes += 1;
+            at += period;
+            victim = (victim + 1) % GATEWAYS;
+        }
+        sim.set_fault_plan(plan);
+    }
+    sim.run_until(duration_us + settle_us);
+
+    let duration_s = duration_us as f64 / 1e6;
+    let mut committed = 0u64;
+    let mut failovers = 0u64;
+    let mut resumes = 0u64;
+    let mut fresh = 0u64;
+    let mut stale = 0u64;
+    let mut violations = 0u64;
+    let mut gave_up = 0u64;
+    let mut lats: Vec<u64> = Vec::new();
+    for i in GATEWAYS..GATEWAYS + CLIENTS {
+        let s = sim.node(i).as_client().expect("client node").conn.stats().clone();
+        committed += s.committed;
+        failovers += s.failovers;
+        resumes += s.resumes_sent;
+        fresh += s.fresh_reads;
+        stale += s.stale_reads;
+        violations += s.read_violations;
+        gave_up += s.gave_up;
+        lats.extend(&s.latencies_us);
+    }
+    lats.sort_unstable();
+    let p99 = if lats.is_empty() {
+        0
+    } else {
+        lats[((lats.len() - 1) as f64 * 0.99) as usize]
+    };
+    FailoverPoint {
+        crash_period_us,
+        crashes,
+        offered_rps: (per_client * CLIENTS as u64) as f64 / duration_s,
+        goodput_rps: committed as f64 / duration_s,
+        failovers,
+        resumes,
+        fresh_reads: fresh,
+        stale_reads: stale,
+        read_violations: violations,
+        gave_up,
+        p99_us: p99,
+    }
+}
+
+fn period_label(p: Option<u64>) -> String {
+    match p {
+        None => "baseline".into(),
+        Some(us) => format!("every {} ms", us / 1_000),
+    }
+}
+
+/// Runs E14.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E14 — multi-gateway failover: goodput under rolling gateway crashes \
+         (4 gateways, sessions resumed, reads verified)",
+        &[
+            "crashes",
+            "offered (req/vsec)",
+            "goodput (req/vsec)",
+            "retention",
+            "failovers",
+            "resumes",
+            "fresh reads",
+            "stale reads",
+            "violations",
+            "p99 (µs)",
+        ],
+    );
+    let mut baseline = 0.0f64;
+    for &period in &CRASH_PERIODS {
+        let p = run_point(period, quick);
+        if period.is_none() {
+            baseline = p.goodput_rps;
+        }
+        table.row(vec![
+            period_label(period),
+            format!("{:.0}", p.offered_rps),
+            format!("{:.0}", p.goodput_rps),
+            if baseline > 0.0 {
+                format!("{:.0}%", 100.0 * p.goodput_rps / baseline)
+            } else {
+                String::new()
+            },
+            p.failovers.to_string(),
+            p.resumes.to_string(),
+            p.fresh_reads.to_string(),
+            p.stale_reads.to_string(),
+            p.read_violations.to_string(),
+            p.p99_us.to_string(),
+        ]);
+    }
+    table
+}
+
+/// CI gate: goodput under a 600 ms rolling crash schedule must retain
+/// ≥ 80% of the crash-free baseline, with zero read-your-writes
+/// violations in either run. Returns `(baseline, crashed, retention)`.
+pub fn e14_smoke() -> (f64, f64, f64) {
+    let base = run_point(None, true);
+    let rolled = run_point(Some(600_000), true);
+    assert_eq!(
+        base.read_violations + rolled.read_violations,
+        0,
+        "e14 smoke observed read-your-writes violations"
+    );
+    (base.goodput_rps, rolled.goodput_rps, rolled.goodput_rps / base.goodput_rps)
+}
+
+fn point_json(p: &FailoverPoint, baseline: f64) -> String {
+    format!(
+        "{{\"crash_period_us\": {}, \"crashes\": {}, \"offered_rps\": {:.1}, \
+         \"goodput_rps\": {:.1}, \"retention\": {:.3}, \"failovers\": {}, \
+         \"resumes\": {}, \"fresh_reads\": {}, \"stale_reads\": {}, \
+         \"read_violations\": {}, \"gave_up\": {}, \"p99_us\": {}}}",
+        p.crash_period_us.map_or("null".into(), |us| us.to_string()),
+        p.crashes,
+        p.offered_rps,
+        p.goodput_rps,
+        if baseline > 0.0 { p.goodput_rps / baseline } else { 0.0 },
+        p.failovers,
+        p.resumes,
+        p.fresh_reads,
+        p.stale_reads,
+        p.read_violations,
+        p.gave_up,
+        p.p99_us
+    )
+}
+
+/// The E14 sweep as a JSON object (embedded in `BENCH_server.json`
+/// alongside the E13 overload sweep).
+pub fn bench_json_section() -> String {
+    let points: Vec<FailoverPoint> =
+        CRASH_PERIODS.iter().map(|&p| run_point(p, false)).collect();
+    let baseline = points[0].goodput_rps;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "    \"title\": \"E14 multi-gateway failover: goodput under rolling gateway \
+         crashes vs crash-free baseline\",\n",
+    );
+    out.push_str(&format!(
+        "    \"metadata\": {},\n",
+        crate::meta::metadata_json(
+            "virtual-us",
+            &[
+                ("gateways", GATEWAYS.to_string()),
+                ("clients", CLIENTS.to_string()),
+                ("launch_interval_us", INTERVAL_US.to_string()),
+                ("crash_periods_us", "[null, 1200000, 600000, 300000]".into()),
+                ("down_fraction", "0.5".into()),
+                ("batch", "8".into()),
+                ("fill_delay_us", FILL_DELAY.to_string()),
+                ("net_processing_us", PROCESSING.to_string()),
+            ],
+        )
+    ));
+    out.push_str(
+        "    \"method\": \"fixed open-loop load over 4 gateway-per-replica endpoints; \
+         rolling crashes cycle one gateway down at a time (down half the period); \
+         clients fail over after one timeout, resume sessions, and verify \
+         read-your-writes on every ack\",\n",
+    );
+    let g600 = points
+        .iter()
+        .find(|p| p.crash_period_us == Some(600_000))
+        .map_or(0.0, |p| p.goodput_rps);
+    out.push_str(&format!(
+        "    \"goodput_retention_600ms_rolling\": {:.3},\n",
+        if baseline > 0.0 { g600 / baseline } else { 0.0 }
+    ));
+    out.push_str("    \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        out.push_str(&format!("      {}{sep}\n", point_json(p, baseline)));
+    }
+    out.push_str("    ]\n");
+    out.push_str("  }");
+    out
+}

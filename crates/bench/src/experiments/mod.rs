@@ -18,6 +18,7 @@ pub mod e10_tpcc;
 pub mod e11_chaos;
 pub mod e12_durability;
 pub mod e13_server;
+pub mod e14_failover;
 
 /// Renders a [`prever_obs::trace::CriticalPath`] as a per-stage latency
 /// table (shared by the E3/E7 stage breakdowns and the `obs` binary).

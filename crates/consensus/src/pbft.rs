@@ -324,6 +324,16 @@ struct Slot {
 impl Slot {
     /// Fixes the slot's digest and counts buffered votes that match it.
     fn fix_digest(&mut self, view: u64, digest: Digest, batch: Batch) {
+        if self.digest.is_some_and(|d| d != digest) {
+            // The slot is being re-resolved to a different batch (a
+            // view-change merge). Every recorded vote and flag refers
+            // to the OLD digest — carrying them over would let the new
+            // batch execute on the strength of a quorum it never had.
+            self.prepares = VoteSet::new();
+            self.commits = VoteSet::new();
+            self.sent_commit = false;
+            self.committed = false;
+        }
         self.view = view;
         self.digest = Some(digest);
         self.batch = Some(batch);
@@ -377,6 +387,14 @@ pub struct PbftCore {
     urgent: bool,
     /// View-change votes: new_view → voters and their prepared sets.
     vc_votes: BTreeMap<u64, BTreeMap<NodeId, Vec<PreparedCert>>>,
+    /// Last time we re-sent an old-view vote to a laggard, keyed by
+    /// (view, peer). The help reply is itself a ViewChange frame, so
+    /// two replicas both past that view would answer each other's
+    /// answers forever — and duplicating links turn that ping-pong
+    /// into an exponential storm. One reply per timeout window is
+    /// enough: a genuinely stuck laggard re-broadcasts its demand on
+    /// every view-change retransmit tick.
+    vc_helped: BTreeMap<(u64, NodeId), u64>,
     /// Set while this replica has abandoned `view` and waits for NewView.
     view_changing: bool,
     /// Chained digest over the executed history (the checkpoint state).
@@ -464,6 +482,7 @@ impl PbftCore {
             relay_accum: VecDeque::new(),
             urgent: false,
             vc_votes: BTreeMap::new(),
+            vc_helped: BTreeMap::new(),
             view_changing: false,
             running_state: Digest::ZERO,
             checkpoint_votes: BTreeMap::new(),
@@ -567,6 +586,32 @@ impl PbftCore {
     /// Highest stable checkpoint sequence (0 before the first).
     pub fn stable_seq(&self) -> u64 {
         self.stable_seq
+    }
+
+    /// The executed-slot count covered by the highest stable
+    /// checkpoint *that this replica has locally executed*: the number
+    /// of commands in executed batches with sequence ≤
+    /// [`Self::stable_seq`]. Serving-layer caches keyed by slot (the
+    /// gateway committed-map) may evict entries below this floor — a
+    /// client still retrying a command that old has fallen behind the
+    /// whole cluster's checkpoint horizon.
+    pub fn stable_slot_floor(&self) -> u64 {
+        let mut slots = 0u64;
+        for (seq, batch, _) in &self.executed_batches {
+            if *seq > self.stable_seq {
+                break;
+            }
+            slots += batch.commands().len() as u64;
+        }
+        slots
+    }
+
+    /// The executed slot of command `id`, if this replica has executed
+    /// it. Linear scan from the tail (recent ids are the common case);
+    /// only used on the rare resubmission of an id old enough to have
+    /// been evicted from the gateway committed-map.
+    pub fn slot_of(&self, id: u64) -> Option<u64> {
+        self.executed.iter().rev().find(|d| d.command.id == id).map(|d| d.slot)
     }
 
     /// Current in-memory log size (bounded by checkpoint truncation).
@@ -969,6 +1014,14 @@ impl PbftCore {
             return;
         }
         self.next_seq = self.next_seq.max(self.last_exec) + 1;
+        // Never assign a seq whose slot is already resolved: a primary
+        // whose execution lags (e.g. just state-transferred into the
+        // view) may still hold committed-but-unexecuted slots from an
+        // earlier view above `last_exec`, and proposing over one would
+        // overwrite a decided batch.
+        while self.log.get(&self.next_seq).is_some_and(|s| s.digest.is_some()) {
+            self.next_seq += 1;
+        }
         let seq = self.next_seq;
         let batch = Batch::new(commands);
         let digest = batch.digest();
@@ -1161,15 +1214,51 @@ impl PbftCore {
                     // The sender is still assembling a quorum for a
                     // view we moved past. Re-send our own vote for it
                     // (the original may have been dropped), or the
-                    // sender could wait on that quorum forever.
-                    let mine = self
+                    // sender could wait on that quorum forever. If our
+                    // recorded vote was pruned (adopt_view drops votes
+                    // at or below the adopted view), synthesize a fresh
+                    // one: a view-change vote is a monotonic demand, so
+                    // voting for an older view is always sound, and our
+                    // current certificates are a superset of whatever
+                    // the original vote carried. Without this, a
+                    // cluster running with a replica permanently down
+                    // can deadlock across adjacent views: the laggards
+                    // can never assemble the old-view quorum (we were
+                    // its missing voter) and we can never assemble
+                    // f + 1 demands for the higher view.
+                    //
+                    // Rate-limited per (view, peer): the reply is
+                    // itself a ViewChange, so if the sender has ALSO
+                    // moved past this view, its laggard-help path
+                    // would answer ours and the pair would ping-pong
+                    // forever (worse than forever on duplicating
+                    // links). A stuck laggard re-broadcasts on its
+                    // retransmit tick, so one reply per window keeps
+                    // liveness. The window is one tick: short enough
+                    // not to slow real convergence (duplicated demands
+                    // inside a tick are noise, distinct ones are not),
+                    // long enough that the ping-pong stays a trickle.
+                    let window_start = now.saturating_sub(TICK_EVERY);
+                    self.vc_helped.retain(|_, &mut at| at > window_start);
+                    if self.vc_helped.contains_key(&(new_view, from)) {
+                        return out;
+                    }
+                    self.vc_helped.insert((new_view, from), now);
+                    let prepared = self
                         .vc_votes
                         .get(&new_view)
                         .and_then(|m| m.get(&self.id))
-                        .cloned();
-                    if let Some(prepared) = mine {
-                        self.send(&mut out, from, PbftMsg::ViewChange { new_view, prepared });
-                    }
+                        .cloned()
+                        .unwrap_or_else(|| {
+                            let mut mine = self.prepared_certificates();
+                            mine.extend(
+                                self.executed_batches
+                                    .iter()
+                                    .map(|(seq, batch, _)| (*seq, COMMITTED_VIEW, batch.clone())),
+                            );
+                            mine
+                        });
+                    self.send(&mut out, from, PbftMsg::ViewChange { new_view, prepared });
                     return out;
                 }
                 if new_view == self.view && !self.view_changing {
@@ -1479,7 +1568,15 @@ impl PbftCore {
                 }
             }
             match counts.into_values().find(|(n, _)| *n >= need) {
-                Some((_, batch)) => self.apply_synced_batch(batch, now),
+                Some((_, batch)) => {
+                    prever_obs::log!(
+                        Debug,
+                        "replica {} sync-applies seq {next} ({} commands) at {now}",
+                        self.id,
+                        batch.len()
+                    );
+                    self.apply_synced_batch(batch, now)
+                }
                 None => break,
             }
         }
@@ -1490,7 +1587,23 @@ impl PbftCore {
         if views.len() >= need {
             let v = views[need - 1];
             if v > self.view {
+                prever_obs::log!(Debug, "replica {} sync-adopts view {v} at {now}", self.id);
                 self.adopt_view(v);
+                if self.primary() == self.id {
+                    // We would be this view's primary, but we never
+                    // assembled its view-change quorum — the responders
+                    // may merely be DEMANDING the view (StateResponse
+                    // reports the demanded view while view-changing).
+                    // Acting as an active primary here mints fresh
+                    // batches at sequences whose committed resolution
+                    // we cannot know, which is how a recovered replica
+                    // once executed a quorum-less batch (seed 332 of
+                    // the gateway-failover sweep). Stay passive: if the
+                    // cluster truly needs this view, our view-change
+                    // timer escalates and the normal install path —
+                    // which reconciles prepared certificates — runs.
+                    self.view_changing = true;
+                }
             }
         }
         if self.sync_responses.len() >= self.quorum() {

@@ -96,13 +96,17 @@ impl TraceCtx {
 /// position in this list as the canonical stage rank; unknown stage
 /// names sort after all known ones (alphabetically).
 ///
-/// The first three are serving-layer stages (DESIGN.md §14): a request
-/// is `enqueue`d at the gateway, then either `admit`ted into the
-/// consensus path or `shed` (overload, deadline, or degradation
-/// ladder). Separating them from `queue` (consensus-side request
-/// arrival) lets `critical_path` attribute admission queueing delay
-/// apart from consensus ordering delay.
-pub const STAGES: [&str; 13] = [
+/// The first five are serving-layer stages (DESIGN.md §14–15): a
+/// session attaches with `hello` (or re-attaches on a new gateway with
+/// `resume` after a failover), then each request is `enqueue`d at the
+/// gateway and either `admit`ted into the consensus path or `shed`
+/// (overload, deadline, or degradation ladder). Separating them from
+/// `queue` (consensus-side request arrival) lets `critical_path`
+/// attribute admission queueing delay apart from consensus ordering
+/// delay.
+pub const STAGES: [&str; 15] = [
+    "hello",
+    "resume",
     "enqueue",
     "admit",
     "shed",

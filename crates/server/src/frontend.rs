@@ -13,7 +13,7 @@
 //! [`Response::Overloaded`] (naming a backoff), `DeadlineExceeded`, or
 //! `Rejected` — so a client can always distinguish "wait" from "lost".
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use bytes::Bytes;
 use prever_obs::trace::{self, TraceCtx};
@@ -21,6 +21,7 @@ use prever_sim::NodeId;
 use prever_wire::{Class, Frame, RejectReason, Request, Response, Submission};
 
 use crate::admission::{DegradeLevel, TokenBucket};
+use crate::quota::{is_quota_id, QuotaUpdate};
 
 /// Front-end tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +39,10 @@ pub struct FrontConfig {
     /// Rough per-request service estimate (µs) used to compute the
     /// `retry_after` hint from the current backlog.
     pub service_estimate_us: u64,
+    /// Hard ceiling on the advertised `retry_after` hint (µs). A
+    /// backlog spike must never tell a well-behaved client to go away
+    /// for minutes — the hint is a pacing signal, not an outage notice.
+    pub retry_after_cap_us: u64,
 }
 
 impl Default for FrontConfig {
@@ -48,6 +53,7 @@ impl Default for FrontConfig {
             tenant_rate: 2_000,
             tenant_burst: 64,
             service_estimate_us: 500,
+            retry_after_cap_us: 2_000_000,
         }
     }
 }
@@ -88,6 +94,17 @@ struct Pending {
     enqueued_at: u64,
 }
 
+/// One client session (DESIGN.md §15). Sessions exist so a client that
+/// fails over can prove to the new gateway how far its acks got; the
+/// gateway's half of exactly-once lives in `committed`, which every
+/// gateway reconstructs from the replayed journal.
+#[derive(Clone, Debug)]
+struct Session {
+    tenant: u32,
+    /// Highest command id the client reported acked (from `Resume`).
+    high_acked: u64,
+}
+
 /// Monotonic front-end counters (mirrored into the global metrics
 /// registry; kept here as plain fields so chaos invariants can read
 /// them without a registry snapshot).
@@ -112,6 +129,16 @@ pub struct FrontStats {
     pub acked: u64,
     /// High-water mark of the admit queue (bounded-queue invariant).
     pub max_queue_depth: usize,
+    /// `Resume` frames accepted (session carried over after failover).
+    pub resumes: u64,
+    /// Committed-map entries evicted below the checkpoint floor.
+    pub evicted: u64,
+    /// `ReadFresh` requests answered from state at least as new as the
+    /// client's high-water mark.
+    pub fresh_reads: u64,
+    /// `ReadFresh` requests answered from state *older* than the
+    /// client's high-water mark (client will retry elsewhere).
+    pub stale_reads: u64,
 }
 
 /// The sans-IO front-end core. See the module docs.
@@ -125,10 +152,26 @@ pub struct FrontEnd {
     queued_ids: HashSet<u64>,
     inflight: HashMap<u64, Pending>,
     /// Executed id → slot, for idempotent resubmissions and queries.
-    committed: HashMap<u64, u64>,
+    /// Bounded: entries below the consensus checkpoint floor are
+    /// evicted by [`Self::evict_committed_below`]; resubmissions of
+    /// evicted ids are answered by the gateway from consensus state.
+    committed: BTreeMap<u64, u64>,
+    /// Slot floor below which `committed` has been evicted.
+    committed_floor: u64,
     /// Every id this front end has acked `Committed` (the durability
     /// invariant set: acked writes must survive any crash).
     acked_ids: HashSet<u64>,
+    /// Live client sessions, by session token.
+    sessions: HashMap<u64, Session>,
+    /// Consensus-carried per-tenant quota overrides (rate, burst);
+    /// identical at every gateway because they are applied in
+    /// execution order. Tenants not present use `cfg` defaults.
+    quotas: BTreeMap<u32, (u64, u64)>,
+    /// Ledger position of the replica state behind this gateway:
+    /// number of executed commands, stamped on `ReadFreshResult`.
+    applied_slot: u64,
+    /// Hash-chain digest of that state (fork evidence for clients).
+    applied_digest: [u8; 32],
     stats: FrontStats,
 }
 
@@ -142,8 +185,13 @@ impl FrontEnd {
             queue: VecDeque::new(),
             queued_ids: HashSet::new(),
             inflight: HashMap::new(),
-            committed: HashMap::new(),
+            committed: BTreeMap::new(),
+            committed_floor: 0,
             acked_ids: HashSet::new(),
+            sessions: HashMap::new(),
+            quotas: BTreeMap::new(),
+            applied_slot: 0,
+            applied_digest: [0u8; 32],
             stats: FrontStats::default(),
         }
     }
@@ -182,17 +230,82 @@ impl FrontEnd {
         self.inflight.len()
     }
 
+    /// Entries currently held in the committed (id → slot) map. The
+    /// bounded-memory regression test pins this below a multiple of
+    /// the checkpoint interval.
+    pub fn committed_len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// The (tenant, high_acked) recorded for `session`, if this
+    /// gateway knows it (harness/diagnostic view of session state).
+    pub fn session_info(&self, session: u64) -> Option<(u32, u64)> {
+        self.sessions.get(&session).map(|s| (s.tenant, s.high_acked))
+    }
+
+    /// Effective (rate, burst) for `tenant`: the consensus-carried
+    /// override if one exists, else the static defaults.
+    pub fn quota_for(&self, tenant: u32) -> (u64, u64) {
+        self.quotas
+            .get(&tenant)
+            .copied()
+            .unwrap_or((self.cfg.tenant_rate, self.cfg.tenant_burst))
+    }
+
+    /// Applies a consensus-carried quota update. Called by the gateway
+    /// in execution order, so every gateway converges on the same
+    /// effective quotas. The tenant's bucket is rebuilt at the new
+    /// parameters (full burst) — deterministic across gateways even
+    /// though their old fill levels differed.
+    pub fn apply_quota(&mut self, q: QuotaUpdate) {
+        self.quotas.insert(q.tenant, (q.rate, q.burst));
+        self.buckets.insert(q.tenant, TokenBucket::new(q.rate, q.burst));
+        prever_obs::counter("server.quota.applied").inc();
+    }
+
+    /// Records the replica's current ledger position and hash-chain
+    /// digest (fed by the gateway after each execution drain). Stamped
+    /// on every `ReadFreshResult` so clients can verify freshness and
+    /// cross-check replicas for forks.
+    pub fn note_applied(&mut self, slot: u64, digest: [u8; 32]) {
+        self.applied_slot = slot;
+        self.applied_digest = digest;
+    }
+
+    /// Evicts committed-map entries whose slot is below the consensus
+    /// checkpoint floor. Resubmissions of evicted ids cannot be
+    /// answered from this map any more — the gateway answers them from
+    /// consensus execution state instead — so the map stays bounded by
+    /// (floor lag + inflight) rather than growing with history.
+    pub fn evict_committed_below(&mut self, floor_slot: u64) {
+        if floor_slot <= self.committed_floor {
+            return;
+        }
+        self.committed_floor = floor_slot;
+        let before = self.committed.len();
+        self.committed.retain(|_, slot| *slot >= floor_slot);
+        let evicted = (before - self.committed.len()) as u64;
+        if evicted > 0 {
+            self.stats.evicted += evicted;
+            prever_obs::counter("server.committed.evicted").add(evicted);
+        }
+        prever_obs::gauge("server.committed.size").set(self.committed.len() as i64);
+    }
+
     /// The advertised client backoff, derived from the backlog the
     /// request would sit behind: queue + inflight, paced by the service
-    /// estimate, floored at one estimate so a shed is never "retry now".
+    /// estimate, floored at one estimate so a shed is never "retry
+    /// now", and clamped at `retry_after_cap_us` so a backlog spike
+    /// never advertises a multi-minute exile.
     fn retry_after(&self) -> u64 {
         let backlog = (self.queue.len() + self.inflight.len()) as u64;
         (backlog * self.cfg.service_estimate_us / (self.cfg.inflight_cap.max(1) as u64))
             .max(self.cfg.service_estimate_us)
+            .min(self.cfg.retry_after_cap_us.max(self.cfg.service_estimate_us))
     }
 
     fn bucket(&mut self, tenant: u32) -> &mut TokenBucket {
-        let (rate, burst) = (self.cfg.tenant_rate, self.cfg.tenant_burst);
+        let (rate, burst) = self.quota_for(tenant);
         self.buckets.entry(tenant).or_insert_with(|| TokenBucket::new(rate, burst))
     }
 
@@ -241,6 +354,69 @@ impl FrontEnd {
                     self.on_submission(from, tenant, class, deadline, s, now, actions);
                 }
             }
+            Request::Hello { tenant, session } => {
+                if trace::active() {
+                    trace::event(self.node, now, TraceCtx::for_command(session), "hello", session);
+                }
+                self.sessions.insert(session, Session { tenant, high_acked: 0 });
+                prever_obs::counter("server.session.hello").inc();
+                actions.push(Action::Reply(
+                    from,
+                    Response::SessionAck {
+                        session,
+                        resumed: false,
+                        applied_slot: self.applied_slot,
+                    },
+                ));
+            }
+            Request::Resume { tenant, session, high_acked } => {
+                if trace::active() {
+                    trace::event(self.node, now, TraceCtx::for_command(session), "resume", session);
+                }
+                // `resumed: true` means this gateway had never seen the
+                // session — i.e. a genuine failover, not a reconnect to
+                // the same gateway.
+                let resumed = !self.sessions.contains_key(&session);
+                self.sessions.insert(session, Session { tenant, high_acked });
+                self.stats.resumes += 1;
+                prever_obs::counter("server.failover.resume").inc();
+                actions.push(Action::Reply(
+                    from,
+                    Response::SessionAck { session, resumed, applied_slot: self.applied_slot },
+                ));
+            }
+            Request::ReadFresh { tenant: _, id, min_slot } => {
+                if self.level().sheds_reads() {
+                    self.stats.shed_reads += 1;
+                    prever_obs::counter("server.shed").inc();
+                    actions.push(Action::Reply(
+                        from,
+                        Response::Rejected { reason: RejectReason::ReadsDegraded },
+                    ));
+                } else {
+                    // Answer from local state, stamped with the ledger
+                    // position + digest. The *client* judges freshness
+                    // against its own high-water mark; the server only
+                    // counts what it served.
+                    if self.applied_slot >= min_slot {
+                        self.stats.fresh_reads += 1;
+                        prever_obs::counter("server.read.fresh").inc();
+                    } else {
+                        self.stats.stale_reads += 1;
+                        prever_obs::counter("server.read.stale").inc();
+                    }
+                    actions.push(Action::Reply(
+                        from,
+                        Response::ReadFreshResult {
+                            id,
+                            slot: self.committed.get(&id).copied(),
+                            applied_slot: self.applied_slot,
+                            digest: self.applied_digest,
+                            floor: self.committed_floor,
+                        },
+                    ));
+                }
+            }
             Request::Query { tenant: _, id } => {
                 if self.level().sheds_reads() {
                     self.stats.shed_reads += 1;
@@ -279,6 +455,15 @@ impl FrontEnd {
         actions: &mut Vec<Action>,
     ) {
         let Submission { id, payload } = submission;
+        // The reserved (quota / no-op) id space is server-internal: a
+        // client submission there is hostile or confused, and admitting
+        // it would let a tenant forge configuration commands.
+        if is_quota_id(id) || id == prever_consensus::pbft::NOOP_ID {
+            self.stats.bad_frames += 1;
+            prever_obs::counter("server.wire.bad_frames").inc();
+            actions.push(Action::Reply(from, Response::Rejected { reason: RejectReason::BadFrame }));
+            return;
+        }
         if trace::active() {
             trace::event(self.node, now, TraceCtx::for_command(id), "enqueue", id);
         }
@@ -319,7 +504,8 @@ impl FrontEnd {
         if let Err(wait) = self.bucket(tenant).try_take(now) {
             self.stats.shed_overload += 1;
             self.shed(id, now);
-            let retry_after_us = wait.max(self.retry_after());
+            let cap = self.cfg.retry_after_cap_us.max(self.cfg.service_estimate_us);
+            let retry_after_us = wait.max(self.retry_after()).min(cap);
             actions.push(Action::Reply(from, Response::Overloaded { retry_after_us, id }));
             return;
         }
@@ -433,6 +619,7 @@ mod tests {
             tenant_rate: 1_000,
             tenant_burst: 100,
             service_estimate_us: 500,
+            retry_after_cap_us: 2_000_000,
         }
     }
 
@@ -566,6 +753,171 @@ mod tests {
             .any(|a| matches!(a, Action::Reply(9, Response::Committed { id: 5, slot: 3 }))));
         // Acked set never shrinks (durability invariant anchor).
         assert!(fe.acked_ids().contains(&5));
+    }
+
+    #[test]
+    fn retry_after_hint_is_clamped() {
+        // A pathological backlog estimate must not advertise a
+        // multi-minute exile: the hint is capped.
+        let mut fe = FrontEnd::new(
+            0,
+            FrontConfig {
+                queue_cap: 100_000,
+                inflight_cap: 1,
+                service_estimate_us: 1_000_000,
+                retry_after_cap_us: 2_000_000,
+                tenant_rate: 1,
+                tenant_burst: 1,
+            },
+        );
+        // One admit drains the burst; floods afterwards hit both the
+        // bucket-wait and backlog paths.
+        for i in 0..50u64 {
+            for a in fe.handle_frame(9, &submit_frame(1, Class::Normal, 0, i), 100) {
+                if let Action::Reply(_, Response::Overloaded { retry_after_us, .. }) = a {
+                    assert!(
+                        retry_after_us <= 2_000_000,
+                        "hint {retry_after_us} exceeds the 2s cap"
+                    );
+                    assert!(retry_after_us > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn committed_map_is_bounded_by_checkpoint_eviction() {
+        let mut fe = FrontEnd::new(0, FrontConfig { queue_cap: 8, inflight_cap: 8, ..cfg() });
+        // Run 10_000 commands through commit, evicting below a rolling
+        // checkpoint floor every 16 slots (the consensus interval).
+        let mut max_len = 0usize;
+        for slot in 1..=10_000u64 {
+            let id = slot;
+            fe.handle_frame(9, &submit_frame(1, Class::Normal, 0, id), slot);
+            let _ = fe.pump(slot);
+            let _ = fe.on_committed(id, slot, slot);
+            if slot % 16 == 0 {
+                fe.evict_committed_below(slot.saturating_sub(16));
+            }
+            max_len = max_len.max(fe.committed_len());
+        }
+        assert!(
+            max_len <= 64,
+            "committed map grew to {max_len} entries despite eviction"
+        );
+        assert!(fe.stats().evicted > 9_000);
+        // Recent entries (above the floor) still answer idempotent
+        // resubmissions from the map.
+        let acts = fe.handle_frame(9, &submit_frame(1, Class::Normal, 0, 10_000), 10_001);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::Reply(9, Response::Committed { id: 10_000, .. }))));
+    }
+
+    #[test]
+    fn hello_then_resume_reports_failover_state() {
+        let mut fe = FrontEnd::new(0, cfg());
+        let hello = Frame::Request(Request::Hello { tenant: 1, session: 42 }).encode();
+        let acts = fe.handle_frame(9, &hello, 100);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Reply(9, Response::SessionAck { session: 42, resumed: false, .. })
+        )));
+        // Resume of a session this gateway already knows: reconnect.
+        let resume =
+            Frame::Request(Request::Resume { tenant: 1, session: 42, high_acked: 7 }).encode();
+        let acts = fe.handle_frame(9, &resume, 200);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Reply(9, Response::SessionAck { session: 42, resumed: false, .. })
+        )));
+        // Resume of an unknown session: genuine failover onto this
+        // gateway.
+        let mut other = FrontEnd::new(1, cfg());
+        let acts = other.handle_frame(9, &resume, 300);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Reply(9, Response::SessionAck { session: 42, resumed: true, .. })
+        )));
+        assert_eq!(other.stats().resumes, 1);
+    }
+
+    #[test]
+    fn read_fresh_stamps_ledger_position_and_digest() {
+        let mut fe = FrontEnd::new(0, cfg());
+        fe.handle_frame(9, &submit_frame(1, Class::Normal, 0, 5), 100);
+        let _ = fe.pump(100);
+        let _ = fe.on_committed(5, 3, 200);
+        fe.note_applied(3, [0xab; 32]);
+        let rf = Frame::Request(Request::ReadFresh { tenant: 1, id: 5, min_slot: 3 }).encode();
+        let acts = fe.handle_frame(9, &rf, 300);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Reply(
+                9,
+                Response::ReadFreshResult {
+                    id: 5,
+                    slot: Some(3),
+                    applied_slot: 3,
+                    digest,
+                    floor: 0,
+                }
+            ) if *digest == [0xab; 32]
+        )));
+        assert_eq!(fe.stats().fresh_reads, 1);
+        // A replica behind the client's high-water mark still answers
+        // (stamped with its older position) — the client rejects it.
+        let rf = Frame::Request(Request::ReadFresh { tenant: 1, id: 5, min_slot: 9 }).encode();
+        let acts = fe.handle_frame(9, &rf, 400);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Reply(9, Response::ReadFreshResult { applied_slot: 3, .. })
+        )));
+        assert_eq!(fe.stats().stale_reads, 1);
+    }
+
+    #[test]
+    fn reserved_id_space_submissions_are_rejected() {
+        use crate::quota::QuotaUpdate;
+        let mut fe = FrontEnd::new(0, cfg());
+        for id in [QuotaUpdate::command_id(9), prever_consensus::pbft::NOOP_ID] {
+            let acts = fe.handle_frame(9, &submit_frame(1, Class::Normal, 0, id), 100);
+            assert!(acts.iter().any(|a| matches!(
+                a,
+                Action::Reply(9, Response::Rejected { reason: RejectReason::BadFrame })
+            )));
+        }
+        assert_eq!(fe.queue_depth(), 0, "reserved ids never reach the queue");
+    }
+
+    #[test]
+    fn quota_update_overrides_the_default_bucket() {
+        let mut fe = FrontEnd::new(
+            0,
+            FrontConfig {
+                tenant_rate: 10,
+                tenant_burst: 2,
+                queue_cap: 64,
+                inflight_cap: 64,
+                ..cfg()
+            },
+        );
+        // Default burst 2: third request shed.
+        for i in 0..3u64 {
+            fe.handle_frame(9, &submit_frame(7, Class::Normal, 0, i), 100);
+        }
+        assert_eq!(fe.stats().shed_overload, 1);
+        // Consensus raises tenant 7's quota; the rebuilt bucket admits
+        // a fresh burst of 10.
+        fe.apply_quota(QuotaUpdate { tenant: 7, rate: 1_000, burst: 10 });
+        assert_eq!(fe.quota_for(7), (1_000, 10));
+        for i in 10..20u64 {
+            let acts = fe.handle_frame(9, &submit_frame(7, Class::Normal, 0, i), 200);
+            assert!(
+                !acts.iter().any(|a| matches!(a, Action::Reply(_, Response::Overloaded { .. }))),
+                "raised quota must admit the new burst"
+            );
+        }
     }
 
     #[test]

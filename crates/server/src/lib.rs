@@ -24,9 +24,14 @@
 pub mod admission;
 pub mod client;
 pub mod frontend;
+pub mod quota;
 pub mod sim;
 
 pub use admission::{DegradeLevel, TokenBucket};
 pub use client::{ClientCfg, ClientConn, ClientStats, LoadMode};
 pub use frontend::{Action, FrontConfig, FrontEnd, FrontStats};
-pub use sim::{server_cluster, ClientPeer, ConsensusAdapter, Gateway, Replica, ServerMsg, ServerPeer};
+pub use quota::{is_quota_id, QuotaUpdate, QUOTA_ID_BIT};
+pub use sim::{
+    multi_gateway_cluster, server_cluster, ClientPeer, ConsensusAdapter, Gateway, Replica,
+    ServerMsg, ServerPeer,
+};

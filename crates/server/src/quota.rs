@@ -1,0 +1,117 @@
+//! Consensus-carried tenant quota configuration (DESIGN.md §15).
+//!
+//! With one gateway per replica, per-tenant token-bucket *parameters*
+//! can no longer live as gateway-local state: a client admitted at
+//! gateway A must see the same budget at gateway B after a failover.
+//! Quota changes therefore travel as ordinary consensus commands in a
+//! reserved id space — every gateway applies them to its front end in
+//! execution order, so all gateways converge on identical effective
+//! quotas without any side-channel gossip.
+//!
+//! (Bucket *fill* remains per-gateway: it is a rate limiter over the
+//! traffic that gateway actually sees. What consensus carries is the
+//! configuration — rate and burst — which is what "the same budget"
+//! means across gateways.)
+
+use bytes::Bytes;
+
+/// Reserved command-id bit marking a quota-update command. Client
+/// command ids never set it ([`prever_wire`] ids are client-assigned
+/// but gateways shed ids in the reserved space at admission), and
+/// gateways filter these commands out of the client ack path the same
+/// way consensus no-ops are filtered.
+pub const QUOTA_ID_BIT: u64 = 1 << 62;
+
+/// Payload magic so a hostile or corrupted command in the reserved id
+/// space cannot be misread as a quota change.
+const QUOTA_MAGIC: &[u8; 4] = b"PQU1";
+
+/// One tenant's admission quota: token-bucket rate and burst.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuotaUpdate {
+    /// The tenant whose quota changes.
+    pub tenant: u32,
+    /// New token-bucket rate (requests per virtual second).
+    pub rate: u64,
+    /// New burst allowance (tokens).
+    pub burst: u64,
+}
+
+impl QuotaUpdate {
+    /// Encodes the update as a consensus-command payload.
+    pub fn encode(&self) -> Bytes {
+        let mut b = Vec::with_capacity(4 + 4 + 8 + 8);
+        b.extend_from_slice(QUOTA_MAGIC);
+        b.extend_from_slice(&self.tenant.to_le_bytes());
+        b.extend_from_slice(&self.rate.to_le_bytes());
+        b.extend_from_slice(&self.burst.to_le_bytes());
+        Bytes::from(b)
+    }
+
+    /// Decodes a quota-update payload. `None` for anything that is not
+    /// an exact, magic-prefixed encoding — a damaged quota command is
+    /// dropped loudly by the caller, never half-applied.
+    pub fn decode(payload: &[u8]) -> Option<QuotaUpdate> {
+        if payload.len() != 4 + 4 + 8 + 8 || &payload[..4] != QUOTA_MAGIC {
+            return None;
+        }
+        Some(QuotaUpdate {
+            tenant: u32::from_le_bytes(payload[4..8].try_into().ok()?),
+            rate: u64::from_le_bytes(payload[8..16].try_into().ok()?),
+            burst: u64::from_le_bytes(payload[16..24].try_into().ok()?),
+        })
+    }
+
+    /// The command id a gateway stamps on this update: reserved bit +
+    /// a caller-chosen nonce (keep nonces distinct per update; the
+    /// consensus idempotency gate dedups retried submissions by id).
+    /// The nonce is masked below the reserved bit, so the result can
+    /// never collide with the consensus no-op id (`u64::MAX`).
+    pub fn command_id(nonce: u64) -> u64 {
+        QUOTA_ID_BIT | (nonce & (QUOTA_ID_BIT - 1))
+    }
+}
+
+/// True iff `id` sits in the reserved quota-command id space.
+pub fn is_quota_id(id: u64) -> bool {
+    id & QUOTA_ID_BIT != 0 && id != prever_consensus::pbft::NOOP_ID
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_update_round_trips() {
+        let q = QuotaUpdate { tenant: 7, rate: 1_234, burst: 56 };
+        assert_eq!(QuotaUpdate::decode(&q.encode()), Some(q));
+    }
+
+    #[test]
+    fn hostile_payloads_are_rejected() {
+        let q = QuotaUpdate { tenant: 7, rate: 1_234, burst: 56 };
+        let enc = q.encode();
+        // Wrong magic.
+        let mut bad = enc.to_vec();
+        bad[0] ^= 0xff;
+        assert_eq!(QuotaUpdate::decode(&bad), None);
+        // Truncated.
+        assert_eq!(QuotaUpdate::decode(&enc[..enc.len() - 1]), None);
+        // Trailing garbage.
+        let mut long = enc.to_vec();
+        long.push(0);
+        assert_eq!(QuotaUpdate::decode(&long), None);
+        // Empty.
+        assert_eq!(QuotaUpdate::decode(&[]), None);
+    }
+
+    #[test]
+    fn quota_id_space_is_disjoint_from_clients_and_noops() {
+        assert!(is_quota_id(QuotaUpdate::command_id(3)));
+        assert!(!is_quota_id(42));
+        assert!(!is_quota_id(prever_consensus::pbft::NOOP_ID));
+        // Even an all-ones nonce cannot collide with the no-op id.
+        assert!(is_quota_id(QuotaUpdate::command_id(u64::MAX)));
+        assert_ne!(QuotaUpdate::command_id(u64::MAX), prever_consensus::pbft::NOOP_ID);
+    }
+}

@@ -1,12 +1,20 @@
-//! Simulator wiring: the gateway (front end + consensus replica 0),
-//! peer replicas, and client connections, all speaking one message
-//! type so a single deterministic [`prever_sim::Simulation`] hosts the
-//! full serving stack.
+//! Simulator wiring: gateways (front end + consensus replica), peer
+//! replicas, and client connections, all speaking one message type so a
+//! single deterministic [`prever_sim::Simulation`] hosts the full
+//! serving stack.
 //!
-//! Topology: node 0 is the **gateway** — a full consensus member that
-//! also runs the [`FrontEnd`]. Nodes `1..n_replicas` are plain
-//! replicas. Nodes `≥ n_replicas` are clients, which talk to the
-//! gateway exclusively in encoded [`prever_wire`] frames (clients
+//! Two topologies (DESIGN.md §14–15):
+//!
+//! * [`server_cluster`] — node 0 is the **gateway** (a full consensus
+//!   member that also runs the [`FrontEnd`]); nodes `1..n_replicas`
+//!   are plain replicas. Clients talk to the gateway exclusively.
+//! * [`multi_gateway_cluster`] — **every** replica runs a gateway, so
+//!   clients can fail over between them and serve reads from any of
+//!   them. Tenant quotas travel as consensus commands
+//!   ([`crate::quota`]) so all gateways converge on the same admission
+//!   configuration.
+//!
+//! In both, clients speak encoded [`prever_wire`] frames only (clients
 //! never see consensus messages, and a hostile client frame can never
 //! reach the replication layer un-decoded).
 
@@ -18,6 +26,7 @@ use prever_wire::{Frame, Request, Response};
 
 use crate::client::{ClientAction, ClientCfg, ClientConn};
 use crate::frontend::{Action, FrontConfig, FrontEnd};
+use crate::quota::{is_quota_id, QuotaUpdate};
 
 /// The one message type every node in a serving cluster speaks.
 #[derive(Clone, Debug)]
@@ -26,11 +35,21 @@ pub enum ServerMsg {
     Pbft(PbftMsg),
     /// An encoded wire frame (client↔gateway).
     Frame(Vec<u8>),
+    /// An operator quota change handed to a gateway (e.g. via
+    /// `Simulation::inject`). The gateway turns it into a consensus
+    /// command so every other gateway applies it in the same order.
+    Quota {
+        /// The quota change.
+        update: QuotaUpdate,
+        /// Distinct per update: the consensus command id is derived
+        /// from it, and consensus dedups by id.
+        nonce: u64,
+    },
 }
 
 const TIMER_TICK: u64 = 1;
 const TIMER_BATCH: u64 = 2;
-/// Gateway-only: periodic deadline sweep + pump.
+/// Gateway-only: periodic deadline sweep + pump + cache eviction.
 const TIMER_FRONT: u64 = 3;
 const TICK_EVERY: u64 = 25_000;
 /// Gateway front-end housekeeping period.
@@ -160,7 +179,7 @@ impl ConsensusAdapter {
         self.ship(out, ctx);
     }
 
-    /// Submits a client command on the gateway's replica.
+    /// Submits a client command on this gateway's replica.
     fn submit(&mut self, command: Command, urgent: bool, ctx: &mut Ctx<ServerMsg>) {
         let out = if urgent {
             self.core.on_urgent_request(command, ctx.now())
@@ -187,7 +206,9 @@ impl ConsensusAdapter {
     }
 }
 
-/// Node 0: consensus member plus the serving front end.
+/// A consensus member that also runs the serving front end. In
+/// [`server_cluster`] only node 0 is one; in [`multi_gateway_cluster`]
+/// every replica is.
 #[derive(Clone, Debug)]
 pub struct Gateway {
     /// The embedded consensus replica.
@@ -199,20 +220,26 @@ pub struct Gateway {
 }
 
 impl Gateway {
-    /// Fresh gateway for an `n`-replica cluster.
-    pub fn new(n: usize, front: FrontConfig, batch: BatchConfig) -> Self {
+    /// Fresh gateway at node `id` of an `n`-replica cluster.
+    pub fn new(id: NodeId, n: usize, front: FrontConfig, batch: BatchConfig) -> Self {
         Gateway {
-            adapter: ConsensusAdapter::new(0, n).with_batching(batch),
-            front: FrontEnd::new(0, front),
+            adapter: ConsensusAdapter::new(id, n).with_batching(batch),
+            front: FrontEnd::new(id as u64, front),
             ack_cursor: 0,
         }
     }
 
     /// Fresh gateway persisting to `log`.
-    pub fn with_durable(n: usize, front: FrontConfig, batch: BatchConfig, log: DurableLog) -> Self {
+    pub fn with_durable(
+        id: NodeId,
+        n: usize,
+        front: FrontConfig,
+        batch: BatchConfig,
+        log: DurableLog,
+    ) -> Self {
         Gateway {
-            adapter: ConsensusAdapter::with_durable(0, n, log).with_batching(batch),
-            front: FrontEnd::new(0, front),
+            adapter: ConsensusAdapter::with_durable(id, n, log).with_batching(batch),
+            front: FrontEnd::new(id as u64, front),
             ack_cursor: 0,
         }
     }
@@ -221,25 +248,50 @@ impl Gateway {
     /// front end starts empty (queued-but-unacked requests die with
     /// the process — clients retry them), but the committed map is
     /// reseeded from the recovered history so resubmissions of durable
-    /// commands are acked, not re-ordered.
+    /// commands are acked, not re-ordered — the ack state a resumed
+    /// session relies on is exactly the replayed journal.
     pub fn recover_with(
+        id: NodeId,
         n: usize,
         front: FrontConfig,
         batch: BatchConfig,
         log: DurableLog,
     ) -> Self {
-        let adapter = ConsensusAdapter::recover_with(0, n, log).with_batching(batch);
-        let mut fe = FrontEnd::new(0, front);
+        let adapter = ConsensusAdapter::recover_with(id, n, log).with_batching(batch);
+        let mut fe = FrontEnd::new(id as u64, front);
         fe.install_committed(
             adapter
                 .core
                 .executed()
                 .iter()
                 .filter(|d| d.command.id != prever_consensus::pbft::NOOP_ID)
+                .filter(|d| !is_quota_id(d.command.id))
                 .map(|d| (d.command.id, d.slot)),
         );
+        // Recovered quota commands must be re-applied too, or this
+        // gateway would admit with stale buckets after a restart.
+        let quotas: Vec<QuotaUpdate> = adapter
+            .core
+            .executed()
+            .iter()
+            .filter(|d| is_quota_id(d.command.id))
+            .filter_map(|d| QuotaUpdate::decode(&d.command.payload))
+            .collect();
+        for q in quotas {
+            fe.apply_quota(q);
+        }
         let ack_cursor = adapter.core.executed().len();
-        Gateway { adapter, front: fe, ack_cursor }
+        let mut g = Gateway { adapter, front: fe, ack_cursor };
+        g.note_applied();
+        g
+    }
+
+    /// Stamp the front end with the replica's current ledger position
+    /// and hash-chain digest (what `ReadFreshResult` carries).
+    fn note_applied(&mut self) {
+        let slot = self.adapter.core.executed().len() as u64;
+        let digest = *self.adapter.core.state_digest().as_bytes();
+        self.front.note_applied(slot, digest);
     }
 
     fn process(&mut self, actions: Vec<Action>, ctx: &mut Ctx<ServerMsg>) {
@@ -249,27 +301,65 @@ impl Gateway {
                     ctx.send(to, ServerMsg::Frame(Frame::Response(resp).encode()));
                 }
                 Action::Submit { id, payload, urgent } => {
+                    // A resubmission of a command so old its
+                    // committed-map entry was evicted still reaches
+                    // here (admission no longer remembers it). The
+                    // consensus layer does: ack it from execution
+                    // state instead of submitting a no-op duplicate —
+                    // otherwise consensus would silently dedup it and
+                    // the client would never get its ack.
+                    if self.adapter.core.has_executed(id) {
+                        if let Some(slot) = self.adapter.core.slot_of(id) {
+                            if let Some((to, resp)) = self.front.on_committed(id, slot, ctx.now())
+                            {
+                                ctx.send(
+                                    to,
+                                    ServerMsg::Frame(Frame::Response(resp).encode()),
+                                );
+                            }
+                            continue;
+                        }
+                    }
                     self.adapter.submit(Command::new(id, payload), urgent, ctx);
                 }
             }
         }
     }
 
-    /// Acks every newly executed command, then refills the inflight
-    /// window from the queue.
+    /// Acks every newly executed command, applies consensus-carried
+    /// quota updates, then refills the inflight window from the queue.
     fn drain_and_pump(&mut self, ctx: &mut Ctx<ServerMsg>) {
         let now = ctx.now();
         let executed = self.adapter.core.executed();
-        let newly: Vec<(u64, u64)> = executed[self.ack_cursor.min(executed.len())..]
+        let newly: Vec<(u64, u64, Option<QuotaUpdate>)> = executed
+            [self.ack_cursor.min(executed.len())..]
             .iter()
             .filter(|d| d.command.id != prever_consensus::pbft::NOOP_ID)
-            .map(|d| (d.command.id, d.slot))
+            .map(|d| {
+                let quota = is_quota_id(d.command.id)
+                    .then(|| QuotaUpdate::decode(&d.command.payload))
+                    .flatten();
+                (d.command.id, d.slot, quota)
+            })
             .collect();
         self.ack_cursor = executed.len();
-        for (id, slot) in newly {
+        let any_new = !newly.is_empty();
+        for (id, slot, quota) in newly {
+            if let Some(q) = quota {
+                self.front.apply_quota(q);
+                continue;
+            }
+            if is_quota_id(id) {
+                // Reserved-space command with a payload that fails the
+                // magic check: never acked to clients, never applied.
+                continue;
+            }
             if let Some((to, resp)) = self.front.on_committed(id, slot, now) {
                 ctx.send(to, ServerMsg::Frame(Frame::Response(resp).encode()));
             }
+        }
+        if any_new {
+            self.note_applied();
         }
         let actions = self.front.pump(now);
         self.process(actions, ctx);
@@ -287,9 +377,14 @@ impl Gateway {
         self.process(actions, ctx);
         self.drain_and_pump(ctx);
     }
+
+    fn on_quota(&mut self, update: QuotaUpdate, nonce: u64, ctx: &mut Ctx<ServerMsg>) {
+        let id = QuotaUpdate::command_id(nonce);
+        self.adapter.submit(Command::new(id, update.encode()), true, ctx);
+    }
 }
 
-/// Nodes `1..n`: plain consensus replicas.
+/// Plain consensus replicas (no front end; [`server_cluster`] only).
 #[derive(Clone, Debug)]
 pub struct Replica {
     /// The consensus replica.
@@ -318,19 +413,18 @@ impl Replica {
 pub struct ClientPeer {
     /// The sans-IO client core.
     pub conn: ClientConn,
-    server: NodeId,
 }
 
 impl ClientPeer {
-    /// A client that talks to the gateway named in `cfg.server`.
+    /// A client that talks to the gateways named in `cfg.servers`.
     pub fn new(cfg: ClientCfg) -> Self {
-        ClientPeer { server: cfg.server, conn: ClientConn::new(cfg) }
+        ClientPeer { conn: ClientConn::new(cfg) }
     }
 
     fn process(&mut self, actions: Vec<ClientAction>, ctx: &mut Ctx<ServerMsg>) {
         for a in actions {
             match a {
-                ClientAction::Send(buf) => ctx.send(self.server, ServerMsg::Frame(buf)),
+                ClientAction::Send(to, buf) => ctx.send(to, ServerMsg::Frame(buf)),
                 ClientAction::Timer(delay, id) => ctx.set_timer(delay.max(1), id),
             }
         }
@@ -343,9 +437,9 @@ impl ClientPeer {
 /// simulator stores one per node.
 #[derive(Clone, Debug)]
 pub enum ServerPeer {
-    /// Node 0.
+    /// A consensus member with a front end.
     Gateway(Box<Gateway>),
-    /// Nodes `1..n_replicas`.
+    /// A consensus member without one.
     Replica(Box<Replica>),
     /// Nodes `≥ n_replicas`.
     Client(Box<ClientPeer>),
@@ -375,6 +469,15 @@ impl ServerPeer {
             _ => None,
         }
     }
+
+    /// The consensus core behind this peer, if it has one.
+    pub fn core(&self) -> Option<&PbftCore> {
+        match self {
+            ServerPeer::Gateway(g) => Some(&g.adapter.core),
+            ServerPeer::Replica(r) => Some(&r.adapter.core),
+            ServerPeer::Client(_) => None,
+        }
+    }
 }
 
 impl Actor for ServerPeer {
@@ -402,6 +505,9 @@ impl Actor for ServerPeer {
                 g.adapter.deliver(from, m, ctx);
                 g.drain_and_pump(ctx);
             }
+            (ServerPeer::Gateway(g), ServerMsg::Quota { update, nonce }) => {
+                g.on_quota(update, nonce, ctx);
+            }
             (ServerPeer::Replica(r), ServerMsg::Pbft(m)) => r.adapter.deliver(from, m, ctx),
             (ServerPeer::Client(c), ServerMsg::Frame(buf)) => {
                 let now = ctx.now();
@@ -422,6 +528,11 @@ impl Actor for ServerPeer {
                     let now = ctx.now();
                     let actions = g.front.sweep_deadlines(now);
                     g.process(actions, ctx);
+                    // Bound the committed map: evict below the
+                    // checkpoint floor (the cluster-wide horizon no
+                    // well-behaved retry can still be below).
+                    let floor = g.adapter.core.stable_slot_floor();
+                    g.front.evict_committed_below(floor);
                     g.drain_and_pump(ctx);
                     ctx.set_timer(FRONT_EVERY, TIMER_FRONT);
                 } else {
@@ -441,8 +552,8 @@ impl Actor for ServerPeer {
 
 /// Builds a non-durable serving cluster: gateway at node 0,
 /// `n_replicas - 1` peer replicas, then one node per client config (in
-/// order, at ids `n_replicas..`). Client `server` fields are forced to
-/// the gateway.
+/// order, at ids `n_replicas..`). Client `servers` lists are forced to
+/// the single gateway.
 pub fn server_cluster(
     n_replicas: usize,
     front: FrontConfig,
@@ -450,12 +561,36 @@ pub fn server_cluster(
     clients: &[ClientCfg],
 ) -> Vec<ServerPeer> {
     let mut nodes = Vec::with_capacity(n_replicas + clients.len());
-    nodes.push(ServerPeer::Gateway(Box::new(Gateway::new(n_replicas, front, batch))));
+    nodes.push(ServerPeer::Gateway(Box::new(Gateway::new(0, n_replicas, front, batch))));
     for id in 1..n_replicas {
         nodes.push(ServerPeer::Replica(Box::new(Replica::new(id, n_replicas, batch))));
     }
     for cfg in clients {
-        let cfg = ClientCfg { server: 0, ..*cfg };
+        let cfg = ClientCfg { servers: vec![0], ..cfg.clone() };
+        nodes.push(ServerPeer::Client(Box::new(ClientPeer::new(cfg))));
+    }
+    nodes
+}
+
+/// Builds a gateway-per-replica cluster: every node `0..n_replicas` is
+/// a [`Gateway`], then one node per client config. A client cfg with
+/// an empty `servers` list is given all gateways (rotated by client
+/// index so initial load spreads instead of piling on gateway 0).
+pub fn multi_gateway_cluster(
+    n_replicas: usize,
+    front: FrontConfig,
+    batch: BatchConfig,
+    clients: &[ClientCfg],
+) -> Vec<ServerPeer> {
+    let mut nodes = Vec::with_capacity(n_replicas + clients.len());
+    for id in 0..n_replicas {
+        nodes.push(ServerPeer::Gateway(Box::new(Gateway::new(id, n_replicas, front, batch))));
+    }
+    for (i, cfg) in clients.iter().enumerate() {
+        let mut cfg = cfg.clone();
+        if cfg.servers.is_empty() {
+            cfg.servers = (0..n_replicas).map(|k| (k + i) % n_replicas).collect();
+        }
         nodes.push(ServerPeer::Client(Box::new(ClientPeer::new(cfg))));
     }
     nodes
@@ -464,7 +599,7 @@ pub fn server_cluster(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prever_sim::{NetConfig, Simulation};
+    use prever_sim::{FaultPlan, NetConfig, Simulation};
     use prever_wire::Class;
 
     fn all_clients_done(nodes: &[ServerPeer]) -> bool {
@@ -537,5 +672,104 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn multi_gateway_commits_through_any_gateway_and_histories_agree() {
+        // Clients pinned to different gateways; all commands execute
+        // on every replica and every gateway acks its own clients.
+        let clients = vec![
+            ClientCfg { requests: 6, id_base: 1_000, servers: vec![1], ..ClientCfg::default() },
+            ClientCfg { requests: 6, id_base: 2_000, servers: vec![3], ..ClientCfg::default() },
+        ];
+        let nodes = multi_gateway_cluster(
+            4,
+            FrontConfig::default(),
+            BatchConfig::new(8, 2_000, 4),
+            &clients,
+        );
+        let mut sim = Simulation::new(nodes, NetConfig::default(), 11);
+        assert!(sim.run_until_pred(4_000_000, all_clients_done));
+        for i in 4..6 {
+            assert_eq!(sim.node(i).as_client().unwrap().conn.stats().committed, 6);
+        }
+        let d0 = sim.node(0).as_gateway().unwrap().adapter.core.state_digest();
+        for id in 1..4 {
+            assert_eq!(
+                d0,
+                sim.node(id).as_gateway().unwrap().adapter.core.state_digest(),
+                "gateway {id} diverged"
+            );
+        }
+        assert_eq!(
+            sim.node(0).as_gateway().unwrap().adapter.core.distinct_executed_commands(),
+            12
+        );
+    }
+
+    #[test]
+    fn client_fails_over_to_surviving_gateway_and_completes() {
+        let clients = vec![ClientCfg {
+            requests: 10,
+            id_base: 1_000,
+            servers: vec![0, 1, 2, 3],
+            // Open loop stretched over 100ms so the crash below lands
+            // mid-workload, with some requests already acked and some
+            // in flight.
+            mode: crate::client::LoadMode::Open { interval_us: 10_000 },
+            timeout_us: 150_000,
+            failover_after: 1,
+            retry_budget: 30,
+            verify_reads: true,
+            ..ClientCfg::default()
+        }];
+        let nodes = multi_gateway_cluster(
+            4,
+            FrontConfig::default(),
+            BatchConfig::new(8, 2_000, 4),
+            &clients,
+        );
+        // Crash the client's home gateway early, mid-workload; the
+        // client must finish via the others (f=1 tolerated by n=4
+        // consensus).
+        let mut sim = Simulation::new(nodes, NetConfig::default(), 23);
+        sim.set_fault_plan(FaultPlan::new().crash_at(20_000, 0));
+        assert!(
+            sim.run_until_pred(30_000_000, all_clients_done),
+            "client must complete on surviving gateways"
+        );
+        let c = sim.node(4).as_client().unwrap();
+        assert_eq!(c.conn.stats().committed, 10, "all writes acked exactly once");
+        assert!(c.conn.stats().failovers >= 1, "the crash must have forced a failover");
+        assert_eq!(c.conn.stats().read_violations, 0, "read-your-writes held");
+        // No surviving gateway double-executed a command.
+        for id in 1..4 {
+            let core = sim.node(id).core().unwrap();
+            assert_eq!(core.distinct_executed_commands(), core.executed_commands());
+        }
+    }
+
+    #[test]
+    fn quota_update_travels_through_consensus_to_all_gateways() {
+        let clients = vec![ClientCfg { requests: 4, id_base: 500, ..ClientCfg::default() }];
+        let nodes = multi_gateway_cluster(
+            4,
+            FrontConfig::default(),
+            BatchConfig::new(4, 1_000, 4),
+            &clients,
+        );
+        let mut sim = Simulation::new(nodes, NetConfig::default(), 5);
+        let update = QuotaUpdate { tenant: 9, rate: 77, burst: 7 };
+        sim.inject(0, 2, ServerMsg::Quota { update, nonce: 1 }, 10_000);
+        assert!(sim.run_until_pred(4_000_000, all_clients_done));
+        let later = sim.now() + 500_000;
+        sim.run_until(later);
+        for id in 0..4 {
+            assert_eq!(
+                sim.node(id).as_gateway().unwrap().front.quota_for(9),
+                (77, 7),
+                "gateway {id} missed the consensus-carried quota"
+            );
+        }
     }
 }

@@ -19,6 +19,27 @@
 //! server can shed work that expired while queued instead of spending a
 //! consensus slot on it.
 //!
+//! ## Sessions and failover (DESIGN.md §15)
+//!
+//! A client opens its connection with [`Request::Hello`] carrying a
+//! client-chosen session token. After a gateway failure it re-attaches
+//! to a *different* gateway with [`Request::Resume`], naming the same
+//! token plus the highest command id it has seen acked — the new
+//! gateway answers with [`Response::SessionAck`] stamped with its own
+//! applied ledger position, and in-flight retries then flow through
+//! the ordinary idempotency gate (retries reuse command ids).
+//!
+//! ## Read-your-writes replica reads
+//!
+//! [`Request::ReadFresh`] asks any replica for the commit status of a
+//! command id *together with a freshness proof*: the reply
+//! ([`Response::ReadFreshResult`]) is stamped with the replica's
+//! applied ledger position and its hash-chain digest at that position.
+//! The client checks the position against its own high-water mark (the
+//! highest slot it has been acked) and rejects stale replicas; two
+//! replies claiming the same position with different digests are
+//! fork evidence.
+//!
 //! ## Hostile-input discipline
 //!
 //! Decoding mirrors `ChangeRecord::decode`: every read is
@@ -172,6 +193,36 @@ pub enum Request {
         /// Admission-control tenant.
         tenant: u32,
     },
+    /// Open a session: the first frame on a fresh connection.
+    Hello {
+        /// Admission-control tenant.
+        tenant: u32,
+        /// Client-chosen session token (unique per client).
+        session: u64,
+    },
+    /// Re-attach an existing session after a gateway failure.
+    Resume {
+        /// Admission-control tenant.
+        tenant: u32,
+        /// The session token from the original `Hello`.
+        session: u64,
+        /// Highest command id this client has seen acked `Committed`
+        /// (0 = none). In-flight retries above this id follow,
+        /// reusing their original command ids.
+        high_acked: u64,
+    },
+    /// Read-your-writes query: commit status of `id`, answerable by
+    /// any replica, with a freshness stamp the client can check
+    /// against `min_slot` (its own high-water mark).
+    ReadFresh {
+        /// Admission-control tenant.
+        tenant: u32,
+        /// The command id to look up.
+        id: u64,
+        /// The client's read-your-writes floor: the reply is only
+        /// fresh if the replica has applied at least this many slots.
+        min_slot: u64,
+    },
 }
 
 impl Request {
@@ -181,7 +232,10 @@ impl Request {
             Request::Submit { tenant, .. }
             | Request::SubmitBatch { tenant, .. }
             | Request::Query { tenant, .. }
-            | Request::AuditDigest { tenant } => *tenant,
+            | Request::AuditDigest { tenant }
+            | Request::Hello { tenant, .. }
+            | Request::Resume { tenant, .. }
+            | Request::ReadFresh { tenant, .. } => *tenant,
         }
     }
 }
@@ -225,6 +279,43 @@ pub enum Response {
     Rejected {
         /// Coarse machine-readable reason.
         reason: RejectReason,
+    },
+    /// Answers `Hello` and `Resume`: the session is attached at this
+    /// gateway.
+    SessionAck {
+        /// The session token being acknowledged.
+        session: u64,
+        /// True iff this was a `Resume` of a session the gateway had
+        /// not seen before (i.e. a failover onto a new gateway).
+        resumed: bool,
+        /// The gateway's applied ledger position (executed slots) at
+        /// ack time — lets the client judge this gateway's freshness
+        /// immediately.
+        applied_slot: u64,
+    },
+    /// Answers `ReadFresh`: commit status plus a freshness stamp.
+    ReadFreshResult {
+        /// The queried id.
+        id: u64,
+        /// Executed slot, if the id has committed *and* this replica
+        /// has applied it.
+        slot: Option<u64>,
+        /// The replica's applied ledger position (executed slots) at
+        /// answer time. `applied_slot < min_slot` means this replica
+        /// is stale for the asking client — retry elsewhere.
+        applied_slot: u64,
+        /// The replica's hash-chain digest over its executed history
+        /// at `applied_slot`. Two replies naming the same
+        /// `applied_slot` with different digests are fork evidence.
+        digest: [u8; 32],
+        /// The replica's committed-map eviction floor: per-id commit
+        /// records below this slot were evicted once a consensus
+        /// checkpoint made them stable. `slot == None` with
+        /// `min_slot < floor` therefore does NOT mean the write is
+        /// missing — it means the write sits inside the
+        /// quorum-certified stable prefix this replica no longer
+        /// indexes by id.
+        floor: u64,
     },
 }
 
@@ -273,12 +364,17 @@ const K_SUBMIT: u8 = 0x01;
 const K_SUBMIT_BATCH: u8 = 0x02;
 const K_QUERY: u8 = 0x03;
 const K_AUDIT: u8 = 0x04;
+const K_HELLO: u8 = 0x05;
+const K_RESUME: u8 = 0x06;
+const K_READ_FRESH: u8 = 0x07;
 const K_COMMITTED: u8 = 0x81;
 const K_QUERY_RESULT: u8 = 0x82;
 const K_AUDIT_DIGEST: u8 = 0x83;
 const K_OVERLOADED: u8 = 0x84;
 const K_DEADLINE: u8 = 0x85;
 const K_REJECTED: u8 = 0x86;
+const K_SESSION_ACK: u8 = 0x87;
+const K_READ_FRESH_RESULT: u8 = 0x88;
 
 // ---------------------------------------------------------------------
 // Body writer/reader helpers.
@@ -358,12 +454,17 @@ impl Frame {
             Frame::Request(Request::SubmitBatch { .. }) => K_SUBMIT_BATCH,
             Frame::Request(Request::Query { .. }) => K_QUERY,
             Frame::Request(Request::AuditDigest { .. }) => K_AUDIT,
+            Frame::Request(Request::Hello { .. }) => K_HELLO,
+            Frame::Request(Request::Resume { .. }) => K_RESUME,
+            Frame::Request(Request::ReadFresh { .. }) => K_READ_FRESH,
             Frame::Response(Response::Committed { .. }) => K_COMMITTED,
             Frame::Response(Response::QueryResult { .. }) => K_QUERY_RESULT,
             Frame::Response(Response::AuditDigest { .. }) => K_AUDIT_DIGEST,
             Frame::Response(Response::Overloaded { .. }) => K_OVERLOADED,
             Frame::Response(Response::DeadlineExceeded { .. }) => K_DEADLINE,
             Frame::Response(Response::Rejected { .. }) => K_REJECTED,
+            Frame::Response(Response::SessionAck { .. }) => K_SESSION_ACK,
+            Frame::Response(Response::ReadFreshResult { .. }) => K_READ_FRESH_RESULT,
         }
     }
 
@@ -392,6 +493,20 @@ impl Frame {
             Frame::Request(Request::AuditDigest { tenant }) => {
                 put_u32(&mut b, *tenant);
             }
+            Frame::Request(Request::Hello { tenant, session }) => {
+                put_u32(&mut b, *tenant);
+                put_u64(&mut b, *session);
+            }
+            Frame::Request(Request::Resume { tenant, session, high_acked }) => {
+                put_u32(&mut b, *tenant);
+                put_u64(&mut b, *session);
+                put_u64(&mut b, *high_acked);
+            }
+            Frame::Request(Request::ReadFresh { tenant, id, min_slot }) => {
+                put_u32(&mut b, *tenant);
+                put_u64(&mut b, *id);
+                put_u64(&mut b, *min_slot);
+            }
             Frame::Response(Response::Committed { id, slot }) => {
                 put_u64(&mut b, *id);
                 put_u64(&mut b, *slot);
@@ -418,6 +533,24 @@ impl Frame {
             }
             Frame::Response(Response::Rejected { reason }) => {
                 b.push(reason.to_u8());
+            }
+            Frame::Response(Response::SessionAck { session, resumed, applied_slot }) => {
+                put_u64(&mut b, *session);
+                b.push(u8::from(*resumed));
+                put_u64(&mut b, *applied_slot);
+            }
+            Frame::Response(Response::ReadFreshResult { id, slot, applied_slot, digest, floor }) => {
+                put_u64(&mut b, *id);
+                match slot {
+                    Some(s) => {
+                        b.push(1);
+                        put_u64(&mut b, *s);
+                    }
+                    None => b.push(0),
+                }
+                put_u64(&mut b, *applied_slot);
+                b.extend_from_slice(digest);
+                put_u64(&mut b, *floor);
             }
         }
         b
@@ -518,6 +651,23 @@ impl Frame {
                 let tenant = r.u32()?;
                 Frame::Request(Request::AuditDigest { tenant })
             }
+            K_HELLO => {
+                let tenant = r.u32()?;
+                let session = r.u64()?;
+                Frame::Request(Request::Hello { tenant, session })
+            }
+            K_RESUME => {
+                let tenant = r.u32()?;
+                let session = r.u64()?;
+                let high_acked = r.u64()?;
+                Frame::Request(Request::Resume { tenant, session, high_acked })
+            }
+            K_READ_FRESH => {
+                let tenant = r.u32()?;
+                let id = r.u64()?;
+                let min_slot = r.u64()?;
+                Frame::Request(Request::ReadFresh { tenant, id, min_slot })
+            }
             K_COMMITTED => {
                 let id = r.u64()?;
                 let slot = r.u64()?;
@@ -549,6 +699,29 @@ impl Frame {
             K_REJECTED => {
                 let reason = RejectReason::from_u8(r.u8()?)?;
                 Frame::Response(Response::Rejected { reason })
+            }
+            K_SESSION_ACK => {
+                let session = r.u64()?;
+                let resumed = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed),
+                };
+                let applied_slot = r.u64()?;
+                Frame::Response(Response::SessionAck { session, resumed, applied_slot })
+            }
+            K_READ_FRESH_RESULT => {
+                let id = r.u64()?;
+                let slot = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u64()?),
+                    _ => return Err(WireError::Malformed),
+                };
+                let applied_slot = r.u64()?;
+                let digest: [u8; 32] =
+                    r.take(32)?.try_into().map_err(|_| WireError::Malformed)?;
+                let floor = r.u64()?;
+                Frame::Response(Response::ReadFreshResult { id, slot, applied_slot, digest, floor })
             }
             _ => return Err(WireError::Malformed),
         };
@@ -582,6 +755,13 @@ mod tests {
             }),
             Frame::Request(Request::Query { tenant: 9, id: 77 }),
             Frame::Request(Request::AuditDigest { tenant: 3 }),
+            Frame::Request(Request::Hello { tenant: 4, session: 0xdead_beef }),
+            Frame::Request(Request::Resume {
+                tenant: 4,
+                session: 0xdead_beef,
+                high_acked: 1_041,
+            }),
+            Frame::Request(Request::ReadFresh { tenant: 4, id: 1_042, min_slot: 37 }),
             Frame::Response(Response::Committed { id: 42, slot: 12 }),
             Frame::Response(Response::QueryResult { id: 42, slot: Some(12) }),
             Frame::Response(Response::QueryResult { id: 43, slot: None }),
@@ -589,6 +769,25 @@ mod tests {
             Frame::Response(Response::Overloaded { retry_after_us: 5_000, id: 42 }),
             Frame::Response(Response::DeadlineExceeded { id: 42 }),
             Frame::Response(Response::Rejected { reason: RejectReason::BadFrame }),
+            Frame::Response(Response::SessionAck {
+                session: 0xdead_beef,
+                resumed: true,
+                applied_slot: 55,
+            }),
+            Frame::Response(Response::ReadFreshResult {
+                id: 1_042,
+                slot: Some(37),
+                applied_slot: 55,
+                digest: [0xcd; 32],
+                floor: 8,
+            }),
+            Frame::Response(Response::ReadFreshResult {
+                id: 1_043,
+                slot: None,
+                applied_slot: 12,
+                digest: [0x11; 32],
+                floor: 0,
+            }),
         ]
     }
 
@@ -725,6 +924,70 @@ mod tests {
         assert_eq!(Frame::decode(&enc), Err(WireError::Malformed));
     }
 
+    /// Builds a frame with `kind` and a hand-rolled `body`, CRC'd so
+    /// only body validation can trip.
+    fn raw_frame(kind: u8, body: &[u8]) -> Vec<u8> {
+        let mut enc = Vec::new();
+        enc.extend_from_slice(&MAGIC.to_le_bytes());
+        enc.push(PROTOCOL_VERSION);
+        enc.push(kind);
+        super::put_u32(&mut enc, body.len() as u32);
+        let mut crc_input = enc.clone();
+        crc_input.extend_from_slice(body);
+        super::put_u32(&mut enc, crc32(&crc_input));
+        enc.extend_from_slice(body);
+        enc
+    }
+
+    #[test]
+    fn session_ack_with_non_boolean_resumed_flag_is_malformed() {
+        let mut body = Vec::new();
+        super::put_u64(&mut body, 7); // session
+        body.push(2); // hostile resumed flag
+        super::put_u64(&mut body, 9); // applied_slot
+        assert_eq!(
+            Frame::decode(&raw_frame(super::K_SESSION_ACK, &body)),
+            Err(WireError::Malformed)
+        );
+    }
+
+    #[test]
+    fn read_fresh_result_with_bad_slot_tag_or_short_digest_is_malformed() {
+        // Hostile slot tag.
+        let mut body = Vec::new();
+        super::put_u64(&mut body, 7); // id
+        body.push(7); // hostile slot tag
+        super::put_u64(&mut body, 9);
+        body.extend_from_slice(&[0u8; 32]);
+        assert_eq!(
+            Frame::decode(&raw_frame(super::K_READ_FRESH_RESULT, &body)),
+            Err(WireError::Malformed)
+        );
+        // Digest truncated to 31 bytes inside an otherwise valid body.
+        let mut body = Vec::new();
+        super::put_u64(&mut body, 7);
+        body.push(0);
+        super::put_u64(&mut body, 9);
+        body.extend_from_slice(&[0u8; 31]);
+        assert_eq!(
+            Frame::decode(&raw_frame(super::K_READ_FRESH_RESULT, &body)),
+            Err(WireError::Malformed)
+        );
+    }
+
+    #[test]
+    fn resume_with_trailing_bytes_is_malformed() {
+        let mut body = Vec::new();
+        super::put_u32(&mut body, 1);
+        super::put_u64(&mut body, 2);
+        super::put_u64(&mut body, 3);
+        body.push(0xee);
+        assert_eq!(
+            Frame::decode(&raw_frame(super::K_RESUME, &body)),
+            Err(WireError::Malformed)
+        );
+    }
+
     fn arb_class() -> BoxedStrategy<Class> {
         prop_oneof![Just(Class::High), Just(Class::Normal), Just(Class::Low)].boxed()
     }
@@ -762,6 +1025,35 @@ mod tests {
             (any::<u64>(), any::<u64>()).prop_map(|(retry_after_us, id)| Frame::Response(
                 Response::Overloaded { retry_after_us, id }
             )),
+            (any::<u32>(), any::<u64>())
+                .prop_map(|(tenant, session)| Frame::Request(Request::Hello { tenant, session })),
+            (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(
+                |(tenant, session, high_acked)| Frame::Request(Request::Resume {
+                    tenant,
+                    session,
+                    high_acked
+                })
+            ),
+            (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(tenant, id, min_slot)| {
+                Frame::Request(Request::ReadFresh { tenant, id, min_slot })
+            }),
+            (any::<u64>(), any::<bool>(), any::<u64>()).prop_map(
+                |(session, resumed, applied_slot)| Frame::Response(Response::SessionAck {
+                    session,
+                    resumed,
+                    applied_slot
+                })
+            ),
+            (any::<u64>(), any::<bool>(), any::<u64>(), any::<u64>(), any::<u8>(), any::<u64>())
+                .prop_map(|(id, has_slot, slot, applied_slot, fill, floor)| Frame::Response(
+                    Response::ReadFreshResult {
+                        id,
+                        slot: has_slot.then_some(slot),
+                        applied_slot,
+                        digest: [fill; 32],
+                        floor,
+                    }
+                )),
         ]
         .boxed()
     }
