@@ -104,6 +104,89 @@ fn bench(c: &mut Criterion) {
         }
         group.finish();
     }
+
+    // Fixed-base comb vs generic exponentiation, and amortized
+    // (precomputed h_n, short exponent) vs standard (r^n) Paillier
+    // encryption — the amortized-engine headline numbers.
+    {
+        let mut group = c.benchmark_group("crypto_fixed_base");
+        group.sample_size(20);
+        let g256 = SchnorrGroup::test_group_256();
+        let key = prever_crypto::schnorr::KeyPair::generate(&g256, &mut rng);
+        group.bench_function("schnorr_sign_comb", |b| {
+            b.iter(|| schnorr::sign(&g256, &key, b"bench message", &mut rng));
+        });
+        let k = g256.random_exponent(&mut rng);
+        group.bench_function("pow_g_comb", |b| {
+            b.iter(|| g256.pow_g(&k));
+        });
+        group.bench_function("pow_g_generic", |b| {
+            b.iter(|| g256.pow(&g256.g, &k));
+        });
+        let pkey = prever_crypto::paillier::keygen(96, &mut rng);
+        let m = BigUint::from_u64(40);
+        group.bench_function("paillier_encrypt_amortized", |b| {
+            b.iter(|| pkey.public.encrypt(&m, &mut rng).unwrap());
+        });
+        group.bench_function("paillier_encrypt_standard", |b| {
+            b.iter(|| pkey.public.encrypt_standard(&m, &mut rng).unwrap());
+        });
+        group.finish();
+    }
+
+    // Batched signature verification: one RLC multi-exponentiation for
+    // the whole batch vs one verification per signature.
+    {
+        let mut group = c.benchmark_group("crypto_batch_verify");
+        group.sample_size(10);
+        let g256 = SchnorrGroup::test_group_256();
+        let keys: Vec<prever_crypto::schnorr::KeyPair> =
+            (0..256).map(|_| prever_crypto::schnorr::KeyPair::generate(&g256, &mut rng)).collect();
+        let msgs: Vec<Vec<u8>> = (0..256).map(|i| format!("batch-msg-{i}").into_bytes()).collect();
+        let sigs: Vec<prever_crypto::schnorr::SchnorrSignature> =
+            keys.iter().zip(&msgs).map(|(k, m)| schnorr::sign(&g256, k, m, &mut rng)).collect();
+        for n in [1usize, 8, 64, 256] {
+            let items: Vec<_> = keys[..n]
+                .iter()
+                .zip(&msgs[..n])
+                .zip(&sigs[..n])
+                .map(|((k, m), s)| (&k.public, m.as_slice(), s))
+                .collect();
+            group.bench_with_input(BenchmarkId::new("batch", n), &n, |b, _| {
+                b.iter(|| schnorr::batch_verify(&g256, &items).unwrap());
+            });
+            group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+                b.iter(|| {
+                    for ((k, m), s) in keys[..n].iter().zip(&msgs[..n]).zip(&sigs[..n]) {
+                        schnorr::verify(&g256, &k.public, m, s).unwrap();
+                    }
+                });
+            });
+        }
+        group.finish();
+    }
+
+    // Merkle root over large leaf counts: `root()` auto-dispatches to
+    // subtree-parallel hashing on multi-core hosts; `root_at(len)`
+    // always takes the sequential fold, so the pair shows the win (or
+    // its absence on one core).
+    {
+        let mut group = c.benchmark_group("crypto_merkle");
+        group.sample_size(10);
+        for leaves in [1_024usize, 65_536] {
+            let mut t = prever_crypto::merkle::MerkleTree::new();
+            for i in 0..leaves {
+                t.append(format!("leaf-{i}").as_bytes());
+            }
+            group.bench_with_input(BenchmarkId::new("root_dispatch", leaves), &leaves, |b, _| {
+                b.iter(|| t.root());
+            });
+            group.bench_with_input(BenchmarkId::new("root_sequential", leaves), &leaves, |b, _| {
+                b.iter(|| t.root_at(leaves).unwrap());
+            });
+        }
+        group.finish();
+    }
 }
 
 criterion_group!(benches, bench);

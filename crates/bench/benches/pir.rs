@@ -51,6 +51,37 @@ fn bench(c: &mut Criterion) {
         }
     }
     group2.finish();
+
+    // Multi-query batch: k answers in one matrix pass (shared nonzero
+    // filter + exponent-digit schedule, Pippenger buckets per query)
+    // vs k independent `answer` calls over the same query vector.
+    let mut group3 = c.benchmark_group("e5_cpir_multi");
+    group3.sample_size(10);
+    {
+        let n = 512usize;
+        let mut rng = StdRng::seed_from_u64(4);
+        let client = CpirClient::new(96, &mut rng);
+        // Full-width random records — the realistic regime, and the one
+        // where the shared bucket schedule amortizes across queries.
+        let records: Vec<u64> = (0..n).map(|_| rand::Rng::gen::<u64>(&mut rng).max(1)).collect();
+        let mut server = CpirServer::new(records);
+        let query = client.query(n / 2, n, &mut rng).unwrap();
+        for k in [1usize, 4, 8, 16] {
+            let qrefs: Vec<&[prever_crypto::paillier::Ciphertext]> =
+                (0..k).map(|_| query.as_slice()).collect();
+            group3.bench_with_input(BenchmarkId::new("answer_many", k), &k, |b, _| {
+                b.iter(|| server.answer_many(client.public_key(), &qrefs).unwrap());
+            });
+            group3.bench_with_input(BenchmarkId::new("answer_sequential", k), &k, |b, &k| {
+                b.iter(|| {
+                    for _ in 0..k {
+                        server.answer(client.public_key(), &query).unwrap();
+                    }
+                });
+            });
+        }
+    }
+    group3.finish();
 }
 
 criterion_group!(benches, bench);

@@ -1,0 +1,93 @@
+//! Emits the "after" side of BENCH_crypto.json's `amortized` section:
+//! best-of-trials wall-clock minima for fixed-base Schnorr/Paillier,
+//! RLC batch verification at n ∈ {1, 8, 64, 256}, multi-query CPIR at
+//! k ∈ {1, 4, 8, 16}, and Merkle roots at 1k/64k leaves, one JSON line
+//! each. The "before" numbers were produced by this same harness
+//! backported onto the pre-amortization commit (same seeds, same
+//! workloads, the then-current single-item APIs).
+
+use prever_bench::amortized::best_ns_per_iter as best_ns;
+use prever_crypto::bignum::BigUint;
+use prever_crypto::merkle::MerkleTree;
+use prever_crypto::schnorr::{self, SchnorrGroup};
+use prever_pir::cpir::{CpirClient, CpirServer};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let group = SchnorrGroup::test_group_256();
+
+    // Schnorr sign (fixed-base comb tables).
+    let key = schnorr::KeyPair::generate(&group, &mut rng);
+    let sign_ns = best_ns(5, 50, || {
+        schnorr::sign(&group, &key, b"bench message", &mut rng);
+    });
+    println!("{{\"id\": \"schnorr_sign\", \"ns\": {sign_ns:.1}}}");
+
+    // Batched verification via one RLC multi-exponentiation.
+    let n = 256usize;
+    let keys: Vec<schnorr::KeyPair> =
+        (0..n).map(|_| schnorr::KeyPair::generate(&group, &mut rng)).collect();
+    let msgs: Vec<Vec<u8>> = (0..n).map(|i| format!("batch-msg-{i}").into_bytes()).collect();
+    let sigs: Vec<_> =
+        keys.iter().zip(&msgs).map(|(k, m)| schnorr::sign(&group, k, m, &mut rng)).collect();
+    for count in [1usize, 8, 64, 256] {
+        let items: Vec<_> = keys[..count]
+            .iter()
+            .zip(&msgs[..count])
+            .zip(&sigs[..count])
+            .map(|((k, m), s)| (&k.public, m.as_slice(), s))
+            .collect();
+        let ns = best_ns(3, 3, || {
+            schnorr::batch_verify(&group, &items).unwrap();
+        });
+        println!("{{\"id\": \"batch_verify/{count}\", \"ns\": {ns:.1}}}");
+        let seq_ns = best_ns(3, 3, || {
+            for ((k, m), s) in keys[..count].iter().zip(&msgs[..count]).zip(&sigs[..count]) {
+                schnorr::verify(&group, &k.public, m, s).unwrap();
+            }
+        });
+        println!("{{\"id\": \"verify_seq/{count}\", \"ns\": {seq_ns:.1}}}");
+    }
+
+    // Paillier encrypt (amortized g^m via comb, precomputed h_n path).
+    let pkey = prever_crypto::paillier::keygen(96, &mut rng);
+    let m = BigUint::from_u64(40);
+    let enc_ns = best_ns(5, 50, || {
+        pkey.public.encrypt(&m, &mut rng).unwrap();
+    });
+    println!("{{\"id\": \"paillier_encrypt\", \"ns\": {enc_ns:.1}}}");
+
+    // Multi-query CPIR: one matrix pass for k queries at n=512.
+    let pir_n = 512usize;
+    let client = CpirClient::new(96, &mut rng);
+    let records: Vec<u64> = (0..pir_n).map(|_| rng.gen::<u64>().max(1)).collect();
+    let mut server = CpirServer::new(records);
+    let query = client.query(pir_n / 2, pir_n, &mut rng).unwrap();
+    for k in [1usize, 4, 8, 16] {
+        let qrefs: Vec<_> = (0..k).map(|_| query.as_slice()).collect();
+        let ns = best_ns(3, 2, || {
+            server.answer_many(client.public_key(), &qrefs).unwrap();
+        });
+        println!("{{\"id\": \"answer_many/{k}\", \"ns\": {ns:.1}}}");
+        let seq_ns = best_ns(3, 2, || {
+            for _ in 0..k {
+                server.answer(client.public_key(), &query).unwrap();
+            }
+        });
+        println!("{{\"id\": \"answer_seq/{k}\", \"ns\": {seq_ns:.1}}}");
+    }
+
+    // Merkle root through the parallel dispatch.
+    for leaves in [1024usize, 65_536] {
+        let mut t = MerkleTree::new();
+        for i in 0..leaves {
+            t.append(format!("leaf-{i}").as_bytes());
+        }
+        let iters = if leaves > 10_000 { 5 } else { 50 };
+        let ns = best_ns(3, iters, || {
+            t.root();
+        });
+        println!("{{\"id\": \"merkle_root/{leaves}\", \"ns\": {ns:.1}}}");
+    }
+}

@@ -29,7 +29,8 @@ use prever_bench::{experiments as e, meta};
 use prever_consensus::durable::DurableLog;
 use prever_consensus::pbft::{Byzantine, PbftMsg, PbftNode};
 use prever_consensus::{BatchConfig, Command};
-use prever_crypto::paillier;
+use prever_crypto::paillier::{self, Ciphertext};
+use prever_crypto::schnorr;
 use prever_dp::BudgetAccountant;
 use prever_ledger::{Journal, PersistentJournal};
 use prever_obs::registry::Snapshot;
@@ -62,7 +63,10 @@ const REQUIRED_SPANS: [&str; 9] = [
 /// Counters that must be nonzero — the sharded commit/abort metrics and
 /// the serving-layer admission metrics the CI instrumentation gate
 /// watches.
-const REQUIRED_COUNTERS: [&str; 12] = [
+const REQUIRED_COUNTERS: [&str; 15] = [
+    "crypto.fixed_base.hits",
+    "crypto.batch_verify.size",
+    "pir.multi_query.batch",
     "sharded.batch.committed",
     "sharded.completed.intra_shard",
     "sharded.completed.cross_shard",
@@ -246,7 +250,23 @@ fn run_crypto(quick: bool) {
         let m = key.decrypt(&c).expect("decrypt");
         assert_eq!(m.to_u64(), Some(i));
     }
-    prever_obs::log!(Info, "crypto phase: {iters} Paillier encrypt/decrypt round trips");
+    // A co-signing round batch-verified in one RLC check: fires the
+    // fixed-base (comb signing) and batch-verification counters the CI
+    // instrumentation gate watches.
+    let group = schnorr::SchnorrGroup::test_group_256();
+    let n_sigs = if quick { 4 } else { 8 };
+    let keys: Vec<schnorr::KeyPair> =
+        (0..n_sigs).map(|_| schnorr::KeyPair::generate(&group, &mut rng)).collect();
+    let msg = b"obs audit digest";
+    let sigs: Vec<schnorr::SchnorrSignature> =
+        keys.iter().map(|k| schnorr::sign(&group, k, msg, &mut rng)).collect();
+    let items: Vec<(&prever_crypto::BigUint, &[u8], &schnorr::SchnorrSignature)> =
+        keys.iter().zip(&sigs).map(|(k, s)| (&k.public, msg.as_slice(), s)).collect();
+    schnorr::batch_verify(&group, &items).expect("batch verify");
+    prever_obs::log!(
+        Info,
+        "crypto phase: {iters} Paillier round trips, {n_sigs} Schnorr signatures batch-verified"
+    );
 }
 
 fn run_pir(quick: bool) {
@@ -259,7 +279,20 @@ fn run_pir(quick: bool) {
         let got = cpir_retrieve(&client, &mut server, (n / 2 + i) % n, &mut rng).expect("retrieve");
         assert_eq!(got, (((n / 2 + i) % n) + 1) as u64);
     }
-    prever_obs::log!(Info, "pir phase: {iters} CPIR retrievals over {n} records");
+    // Multi-query batch: k answers in one matrix pass (fires the
+    // pir.multi_query.batch counter).
+    let k = if quick { 2 } else { 4 };
+    let queries: Vec<Vec<Ciphertext>> =
+        (0..k).map(|j| client.query(j, n, &mut rng).expect("query")).collect();
+    let qrefs: Vec<&[Ciphertext]> = queries.iter().map(|q| q.as_slice()).collect();
+    let answers = server.answer_many(client.public_key(), &qrefs).expect("answer_many");
+    for (j, a) in answers.iter().enumerate() {
+        assert_eq!(client.decode(a).expect("decode"), (j + 1) as u64);
+    }
+    prever_obs::log!(
+        Info,
+        "pir phase: {iters} CPIR retrievals + one {k}-query batch over {n} records"
+    );
 }
 
 fn run_storage(quick: bool) {

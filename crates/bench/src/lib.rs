@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod amortized;
 pub mod chaos;
 pub mod experiments;
 pub mod meta;

@@ -553,6 +553,77 @@ impl BigUint {
         a
     }
 
+    /// Jacobi symbol `(self / n)` for odd `n > 1`.
+    ///
+    /// Returns `1` or `-1` when `gcd(self, n) = 1`, `0` otherwise.
+    /// For a safe prime `p = 2q + 1` the symbol decides membership in
+    /// the order-`q` subgroup of `Z_p^*` (the quadratic residues)
+    /// without any exponentiation — the division chain here costs
+    /// about as much as a gcd, versus `log q` Montgomery squarings for
+    /// the `x^q = 1` test. Batch proof verification leans on this.
+    pub fn jacobi(&self, n: &BigUint) -> Result<i32> {
+        if n.is_even() || n.is_zero() || n.is_one() {
+            return Err(CryptoError::OutOfRange("jacobi modulus must be odd and > 1"));
+        }
+        // Binary Jacobi on raw limb vectors: one initial reduction, then
+        // only in-place shifts, compares, and subtractions — no BigUint
+        // allocations or divisions in the loop. Each subtraction of two
+        // odd values leaves an even value, so every pass strips at least
+        // one bit and the loop runs O(bits) cheap iterations.
+        if n.limbs.len() <= 4 {
+            // Moduli up to 256 bits (every Schnorr subgroup check in the
+            // batch-verify hot path) run on stack arrays with fully
+            // unrolled limb loops — no heap traffic at all.
+            let reduced;
+            let a_src = if self.cmp_to(n) == Ordering::Less {
+                self.limbs()
+            } else {
+                reduced = self.rem(n)?;
+                reduced.limbs()
+            };
+            let mut a4 = [0u64; 4];
+            a4[..a_src.len()].copy_from_slice(a_src);
+            let mut m4 = [0u64; 4];
+            m4[..n.limbs.len()].copy_from_slice(&n.limbs);
+            return Ok(jacobi_fixed4(a4, m4));
+        }
+        let mut a = self.rem(n)?.limbs().to_vec();
+        let mut m = n.limbs().to_vec();
+        let mut t = 1i32;
+        loop {
+            limbs_trim(&mut a);
+            if a.is_empty() {
+                break;
+            }
+            // Pull out factors of two: (2/m) = -1 iff m = ±3 mod 8.
+            let z = limbs_trailing_zeros(&a);
+            if z > 0 {
+                limbs_shr(&mut a, z);
+                if z & 1 == 1 {
+                    let r = m[0] & 7;
+                    if r == 3 || r == 5 {
+                        t = -t;
+                    }
+                }
+            }
+            // Both odd. Quadratic reciprocity on swap: flip sign iff
+            // both are 3 mod 4.
+            if limbs_cmp(&a, &m) == Ordering::Less {
+                if (a[0] & 3 == 3) && (m[0] & 3 == 3) {
+                    t = -t;
+                }
+                std::mem::swap(&mut a, &mut m);
+            }
+            limbs_sub_assign(&mut a, &m);
+        }
+        limbs_trim(&mut m);
+        if m == [1] {
+            Ok(t)
+        } else {
+            Ok(0)
+        }
+    }
+
     /// Modular inverse: `self^-1 mod modulus`.
     ///
     /// Extended Euclid with explicitly signed Bézout coefficients.
@@ -697,6 +768,155 @@ impl BigUint {
     }
 }
 
+/// Trims trailing zero limbs in place (zero becomes the empty vector,
+/// matching `normalize`).
+fn limbs_trim(v: &mut Vec<u64>) {
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+}
+
+/// Trailing zero bits of a little-endian limb vector (nonzero input).
+fn limbs_trailing_zeros(v: &[u64]) -> usize {
+    let mut z = 0usize;
+    for &l in v {
+        if l == 0 {
+            z += 64;
+        } else {
+            return z + l.trailing_zeros() as usize;
+        }
+    }
+    z
+}
+
+/// In-place right shift by `k` bits.
+fn limbs_shr(v: &mut Vec<u64>, k: usize) {
+    let words = k / 64;
+    let bits = k % 64;
+    if words > 0 {
+        v.drain(..words.min(v.len()));
+    }
+    if bits > 0 {
+        for i in 0..v.len() {
+            let hi = if i + 1 < v.len() { v[i + 1] } else { 0 };
+            v[i] = (v[i] >> bits) | (hi << (64 - bits));
+        }
+    }
+    limbs_trim(v);
+}
+
+/// Compares two trimmed little-endian limb vectors.
+fn limbs_cmp(a: &[u64], b: &[u64]) -> Ordering {
+    match a.len().cmp(&b.len()) {
+        Ordering::Equal => {}
+        o => return o,
+    }
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+    }
+    Ordering::Equal
+}
+
+/// `a -= b` in place; caller guarantees `a >= b`.
+fn limbs_sub_assign(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for (i, ai) in a.iter_mut().enumerate() {
+        let bv = b.get(i).copied().unwrap_or(0);
+        let (d1, b1) = ai.overflowing_sub(bv);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *ai = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+/// Binary Jacobi specialised to 4-limb (≤256-bit) operands on stack
+/// arrays: same algorithm as the vector path in [`BigUint::jacobi`],
+/// but every limb loop has a fixed trip count the compiler unrolls.
+fn jacobi_fixed4(mut a: [u64; 4], mut m: [u64; 4]) -> i32 {
+    let mut t = 1i32;
+    loop {
+        if a == [0u64; 4] {
+            break;
+        }
+        let z = tz4(&a);
+        if z > 0 {
+            shr4(&mut a, z);
+            if z & 1 == 1 {
+                let r = m[0] & 7;
+                if r == 3 || r == 5 {
+                    t = -t;
+                }
+            }
+        }
+        if cmp4(&a, &m) == Ordering::Less {
+            if (a[0] & 3 == 3) && (m[0] & 3 == 3) {
+                t = -t;
+            }
+            std::mem::swap(&mut a, &mut m);
+        }
+        sub4(&mut a, &m);
+    }
+    if m == [1, 0, 0, 0] {
+        t
+    } else {
+        0
+    }
+}
+
+/// Trailing zero bits of a nonzero 4-limb value.
+fn tz4(v: &[u64; 4]) -> usize {
+    for (i, &l) in v.iter().enumerate() {
+        if l != 0 {
+            return i * 64 + l.trailing_zeros() as usize;
+        }
+    }
+    256
+}
+
+/// In-place right shift of a 4-limb value by `k < 256` bits.
+fn shr4(v: &mut [u64; 4], k: usize) {
+    let words = k / 64;
+    let bits = k % 64;
+    if words > 0 {
+        for i in 0..4 {
+            v[i] = if i + words < 4 { v[i + words] } else { 0 };
+        }
+    }
+    if bits > 0 {
+        for i in 0..4 {
+            let hi = if i + 1 < 4 { v[i + 1] } else { 0 };
+            v[i] = (v[i] >> bits) | (hi << (64 - bits));
+        }
+    }
+}
+
+/// Compares two 4-limb values.
+fn cmp4(a: &[u64; 4], b: &[u64; 4]) -> Ordering {
+    for i in (0..4).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+    }
+    Ordering::Equal
+}
+
+/// `a -= b` over 4 limbs; caller guarantees `a >= b`.
+fn sub4(a: &mut [u64; 4], b: &[u64; 4]) {
+    let mut borrow = 0u64;
+    for i in 0..4 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
 /// Signed subtraction of (magnitude, negative?) pairs: `a - b`.
 fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
     match (a.1, b.1) {
@@ -761,6 +981,39 @@ mod tests {
 
     fn b(v: u128) -> BigUint {
         BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn jacobi_matches_euler_criterion() {
+        // Against an odd prime p, (a/p) is the Legendre symbol, which
+        // Euler's criterion computes as a^((p-1)/2) mod p.
+        let mut rng = StdRng::seed_from_u64(31);
+        for bits in [64usize, 128, 192] {
+            let p = BigUint::gen_prime(bits, &mut rng);
+            let exp = p.sub(&BigUint::one()).shr(1);
+            for _ in 0..12 {
+                let a = BigUint::random_below(&p, &mut rng);
+                let euler = a.mod_exp(&exp, &p).unwrap();
+                let want = if a.is_zero() {
+                    0
+                } else if euler.is_one() {
+                    1
+                } else {
+                    -1
+                };
+                assert_eq!(a.jacobi(&p).unwrap(), want);
+            }
+        }
+        // Shared factors give 0; composite odd moduli multiply symbols.
+        assert_eq!(b(6).jacobi(&b(9)).unwrap(), 0);
+        assert_eq!(b(2).jacobi(&b(15)).unwrap(), 1); // (2/3)(2/5) = (-1)(-1)
+        // Known small table: (a/7) for a = 1..6 is 1,1,-1,1,-1,-1.
+        for (a, want) in [(1, 1), (2, 1), (3, -1), (4, 1), (5, -1), (6, -1)] {
+            assert_eq!(b(a).jacobi(&b(7)).unwrap(), want);
+        }
+        // Even or trivial moduli are rejected.
+        assert!(b(3).jacobi(&b(8)).is_err());
+        assert!(b(3).jacobi(&b(1)).is_err());
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   modular exponentiation, inversion, and Miller–Rabin primality testing.
 //! * [`field`] — the 61-bit Mersenne prime field [`field::Fp61`] used by
 //!   secret sharing and MPC.
+//! * [`fixed_base`] — Lim–Lee comb precomputation for the generators every
+//!   request reuses, plus batch-verification support in [`schnorr`].
 //! * [`merkle`] — append-only Merkle trees with RFC-6962-style inclusion and
 //!   consistency proofs.
 //! * [`shamir`] — Shamir and additive secret sharing over `Fp61`.
@@ -39,6 +41,7 @@
 
 pub mod bignum;
 pub mod field;
+pub mod fixed_base;
 pub mod hmac;
 pub mod merkle;
 pub mod montgomery;
@@ -51,6 +54,7 @@ pub mod transcript;
 
 pub use bignum::BigUint;
 pub use field::Fp61;
+pub use fixed_base::FixedBaseTable;
 pub use merkle::MerkleTree;
 pub use sha256::{sha256, Digest, Sha256};
 
@@ -59,6 +63,14 @@ pub use sha256::{sha256, Digest, Sha256};
 pub enum CryptoError {
     /// A proof or signature failed verification.
     VerificationFailed(&'static str),
+    /// A batch verification failed; bisection isolated the first
+    /// offending item at this index.
+    BatchItemInvalid {
+        /// Index of the first invalid item in the batch.
+        index: usize,
+        /// What kind of item failed.
+        what: &'static str,
+    },
     /// An operand was outside the valid range (e.g. message ≥ modulus).
     OutOfRange(&'static str),
     /// A modular inverse does not exist (operand not coprime to modulus).
@@ -81,6 +93,9 @@ impl std::fmt::Display for CryptoError {
         match self {
             CryptoError::VerificationFailed(what) => {
                 write!(f, "verification failed: {what}")
+            }
+            CryptoError::BatchItemInvalid { index, what } => {
+                write!(f, "batch verification failed: {what} at index {index}")
             }
             CryptoError::OutOfRange(what) => write!(f, "operand out of range: {what}"),
             CryptoError::NotInvertible => write!(f, "modular inverse does not exist"),

@@ -74,8 +74,21 @@ impl MerkleTree {
 
     /// The root digest over all leaves (SHA-256 of empty string for an
     /// empty tree, per RFC 6962).
+    ///
+    /// For large trees on multi-core hosts the top of the tree is split
+    /// into independent RFC 6962 subtrees that hash in parallel; the
+    /// result is bit-identical to the sequential fold because every
+    /// subtree boundary is a node the sequential recursion also visits.
     pub fn root(&self) -> Digest {
-        self.root_of_range(0, self.leaves.len())
+        let n = self.leaves.len();
+        let threads = available_threads();
+        if n >= PARALLEL_LEAF_THRESHOLD && threads > 1 {
+            // Spawn down ceil(log2(threads)) levels: one subtree per core.
+            let depth = usize::BITS - (threads - 1).leading_zeros();
+            self.root_of_range_parallel(0, n, depth as usize)
+        } else {
+            self.root_of_range(0, n)
+        }
     }
 
     /// The root the tree had when it contained only the first `n` leaves.
@@ -84,6 +97,25 @@ impl MerkleTree {
             return Err(CryptoError::OutOfRange("root_at beyond tree size"));
         }
         Ok(self.root_of_range(0, n))
+    }
+
+    /// Parallel variant of [`Self::root_of_range`]: recurses down the RFC
+    /// 6962 split, handing the left subtree to a scoped worker thread
+    /// until the spawn-depth budget (or the leaf threshold) runs out,
+    /// then falls back to the sequential fold. Leaf hashes are read-only,
+    /// so workers borrow `self` directly.
+    fn root_of_range_parallel(&self, lo: usize, hi: usize, depth: usize) -> Digest {
+        let n = hi - lo;
+        if depth == 0 || n < PARALLEL_LEAF_THRESHOLD / 2 || n < 2 {
+            return self.root_of_range(lo, hi);
+        }
+        let k = largest_power_of_two_below(n);
+        let (left, right) = std::thread::scope(|s| {
+            let left = s.spawn(move || self.root_of_range_parallel(lo, lo + k, depth - 1));
+            let right = self.root_of_range_parallel(lo + k, hi, depth - 1);
+            (left.join().expect("merkle subtree worker panicked"), right)
+        });
+        node_hash(&left, &right)
     }
 
     fn root_of_range(&self, lo: usize, hi: usize) -> Digest {
@@ -302,6 +334,16 @@ impl ConsistencyProof {
     }
 }
 
+/// Leaf count below which a parallel root computation is not worth the
+/// thread-spawn overhead: at ~0.5 µs per SHA-256 node hash, 4096 leaves
+/// is ~2 ms of hashing against ~10 µs of scoped-thread setup.
+const PARALLEL_LEAF_THRESHOLD: usize = 4096;
+
+/// Worker threads available for subtree hashing (1 when unknown).
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 /// Largest power of two strictly less than `n` (n ≥ 2).
 fn largest_power_of_two_below(n: usize) -> usize {
     debug_assert!(n >= 2);
@@ -448,6 +490,31 @@ mod tests {
         t.append(b"another");
         assert_ne!(t.root(), r1);
         assert_eq!(t.root_at(5).unwrap(), r1);
+    }
+
+    #[test]
+    fn parallel_root_matches_sequential() {
+        // Exercise the parallel recursion directly (the container running
+        // CI may report a single core, which would skip it via `root()`)
+        // across ragged sizes straddling the spawn-depth budget.
+        for n in [2usize, 3, 1000, 4096, 4097, 6000] {
+            let t = tree_of(n);
+            for depth in 1..=3 {
+                assert_eq!(
+                    t.root_of_range_parallel(0, n, depth),
+                    t.root_of_range(0, n),
+                    "n={n} depth={depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_root_uses_dispatch_and_matches_prefix_roots() {
+        // `root()` (whichever path it picks) must agree with root_at of
+        // the full size, which always takes the sequential fold.
+        let t = tree_of(PARALLEL_LEAF_THRESHOLD + 37);
+        assert_eq!(t.root(), t.root_at(t.len()).unwrap());
     }
 
     proptest! {

@@ -89,12 +89,22 @@ impl MontgomeryCtx {
         &self.n
     }
 
+    /// Limb width `k` of this context's residues.
+    pub(crate) fn limb_count(&self) -> usize {
+        self.k
+    }
+
+    /// `R mod n` — the Montgomery form of 1 (identity accumulator).
+    pub(crate) fn mont_one(&self) -> &[u64] {
+        &self.r1
+    }
+
     /// CIOS Montgomery multiplication: `a * b * R^-1 mod n`.
     ///
     /// Inputs are `k`-limb vectors representing values `< n`; the
     /// output is likewise `< n` (at most one trailing subtraction is
     /// needed because `a, b < n` keeps the accumulator below `2n`).
-    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+    pub(crate) fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let k = self.k;
         let n = &self.n_limbs;
         let mut t = vec![0u64; k + 2];
@@ -134,15 +144,29 @@ impl MontgomeryCtx {
     }
 
     /// Maps a reduced value into Montgomery form: `a * R mod n`.
-    fn to_mont(&self, a: &[u64]) -> Vec<u64> {
+    pub(crate) fn to_mont(&self, a: &[u64]) -> Vec<u64> {
         self.mont_mul(a, &self.r2)
     }
 
     /// Maps a Montgomery-form value back: `a * R^-1 mod n`.
-    fn redc(&self, a: &[u64]) -> Vec<u64> {
+    pub(crate) fn redc(&self, a: &[u64]) -> Vec<u64> {
         let mut one = vec![0u64; self.k];
         one[0] = 1;
         self.mont_mul(a, &one)
+    }
+
+    /// Reduces (only if needed) and maps a value into Montgomery form.
+    ///
+    /// Values already `< n` — ciphertexts, group elements, anything
+    /// produced by this context — skip the Knuth division and the limb
+    /// copy `rem` would allocate just to throw away; the padded buffer
+    /// is borrowed straight from the caller's limbs.
+    pub(crate) fn prepare(&self, v: &BigUint) -> Result<Vec<u64>> {
+        if v.cmp_to(&self.n) == std::cmp::Ordering::Less {
+            Ok(self.to_mont(&pad(v, self.k)))
+        } else {
+            Ok(self.to_mont(&pad(&v.rem(&self.n)?, self.k)))
+        }
     }
 
     /// `(a * b) mod n` without division.
@@ -151,9 +175,12 @@ impl MontgomeryCtx {
     /// to `aR` and multiplying by plain `b` yields `aR * b * R^-1 =
     /// ab mod n` directly.
     pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> Result<BigUint> {
-        let a = pad(&a.rem(&self.n)?, self.k);
-        let b = pad(&b.rem(&self.n)?, self.k);
-        let am = self.to_mont(&a);
+        let am = self.prepare(a)?;
+        let b = if b.cmp_to(&self.n) == std::cmp::Ordering::Less {
+            pad(b, self.k)
+        } else {
+            pad(&b.rem(&self.n)?, self.k)
+        };
         Ok(BigUint::from_limbs(self.mont_mul(&am, &b)))
     }
 
@@ -167,8 +194,7 @@ impl MontgomeryCtx {
         if exp.is_zero() {
             return Ok(BigUint::one());
         }
-        let base = pad(&base.rem(&self.n)?, self.k);
-        let bm = self.to_mont(&base);
+        let bm = self.prepare(base)?;
 
         // Short exponents (scalar weights, small plaintexts): the
         // 8-entry window table would cost more multiplications than it
@@ -237,7 +263,7 @@ impl MontgomeryCtx {
         }
         let bases_m: Vec<Vec<u64>> = bases
             .iter()
-            .map(|b| Ok(self.to_mont(&pad(&b.rem(&self.n)?, self.k))))
+            .map(|b| self.prepare(b))
             .collect::<Result<_>>()?;
         let max_bits = exps.iter().map(|e| 64 - e.leading_zeros()).max().unwrap_or(0);
 
@@ -252,10 +278,191 @@ impl MontgomeryCtx {
         }
         Ok(BigUint::from_limbs(self.redc(&acc)))
     }
+
+    /// Shared-exponent multi-exponentiation over a whole batch:
+    /// `out[j] = Π_i rows[j][i]^{exps[i]} mod n` for every row, with ONE
+    /// digit decomposition of the shared exponent vector.
+    ///
+    /// Pippenger's bucket method: exponents split into `w`-bit digits
+    /// (width chosen to minimize total multiplications); per digit
+    /// position each base lands in the bucket of its digit (one
+    /// multiplication per *nonzero digit*, versus one per *set bit* in
+    /// [`Self::multi_pow_u64`]), and buckets collapse with the
+    /// descending running-product trick (≤ 2·2^w multiplications per
+    /// position). The digit schedule depends only on `exps`, so it is
+    /// computed once and reused by every row — the multi-query PIR
+    /// server's matrix pass is the intended caller. Rows with no work
+    /// return 1.
+    pub fn multi_pow_u64_rows(&self, rows: &[&[&BigUint]], exps: &[u64]) -> Result<Vec<BigUint>> {
+        let n = exps.len();
+        for row in rows {
+            if row.len() != n {
+                return Err(CryptoError::OutOfRange("multi_pow row length mismatch"));
+            }
+        }
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let max_bits = exps.iter().map(|e| 64 - e.leading_zeros()).max().unwrap_or(0) as usize;
+        if max_bits == 0 {
+            return Ok(vec![BigUint::one(); rows.len()]);
+        }
+        // Window width minimizing positions·(per-row muls + bucket merge).
+        let (mut w, mut best) = (1usize, usize::MAX);
+        for cand in 1..=16usize {
+            let cost = max_bits.div_ceil(cand) * (n + 2 * ((1usize << cand) - 1));
+            if cost < best {
+                (w, best) = (cand, cost);
+            }
+        }
+        let positions = max_bits.div_ceil(w);
+        let mask = (1u64 << w) - 1;
+        // Shared digit schedule: digits[p] lists (base index, digit)
+        // pairs with a nonzero digit at position p, plus the largest
+        // digit seen there (bounds the merge walk).
+        let mut digits: Vec<(Vec<(u32, u32)>, usize)> = vec![(Vec::new(), 0); positions];
+        for (i, &e) in exps.iter().enumerate() {
+            let (mut e, mut p) = (e, 0usize);
+            while e != 0 {
+                let d = (e & mask) as usize;
+                if d != 0 {
+                    digits[p].0.push((i as u32, d as u32));
+                    digits[p].1 = digits[p].1.max(d);
+                }
+                e >>= w;
+                p += 1;
+            }
+        }
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            let row_m: Vec<Vec<u64>> =
+                row.iter().map(|b| self.prepare(b)).collect::<Result<_>>()?;
+            // `None` accumulators stand for the identity, so empty
+            // positions cost nothing.
+            let mut acc: Option<Vec<u64>> = None;
+            for p in (0..positions).rev() {
+                if let Some(a) = acc.as_mut() {
+                    for _ in 0..w {
+                        *a = self.mont_mul(a, a);
+                    }
+                }
+                let (events, max_d) = &digits[p];
+                if events.is_empty() {
+                    continue;
+                }
+                let mut buckets: Vec<Option<Vec<u64>>> = vec![None; max_d + 1];
+                for &(i, d) in events {
+                    let slot = &mut buckets[d as usize];
+                    *slot = Some(match slot.take() {
+                        Some(prev) => self.mont_mul(&prev, &row_m[i as usize]),
+                        None => row_m[i as usize].clone(),
+                    });
+                }
+                // W_p = Π_d bucket[d]^d: walking d downward, `running`
+                // is Π_{d'≥d} bucket[d'] and folds into `sum` once per
+                // step, so bucket[d'] ends up multiplied in d' times.
+                let (mut running, mut sum): (Option<Vec<u64>>, Option<Vec<u64>>) = (None, None);
+                for d in (1..=*max_d).rev() {
+                    if let Some(b) = &buckets[d] {
+                        running = Some(match running.take() {
+                            Some(r) => self.mont_mul(&r, b),
+                            None => b.clone(),
+                        });
+                    }
+                    if let Some(r) = &running {
+                        sum = Some(match sum.take() {
+                            Some(s) => self.mont_mul(&s, r),
+                            None => r.clone(),
+                        });
+                    }
+                }
+                if let Some(s) = sum {
+                    acc = Some(match acc.take() {
+                        Some(a) => self.mont_mul(&a, &s),
+                        None => s,
+                    });
+                }
+            }
+            out.push(match acc {
+                Some(a) => BigUint::from_limbs(self.redc(&a)),
+                None => BigUint::one(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Simultaneous multi-exponentiation for full-width exponents:
+    /// `Π bᵢ^{eᵢ} mod n` with arbitrary [`BigUint`] exponents.
+    ///
+    /// Interleaved sliding-window Straus: one squaring chain driven by
+    /// the *longest* exponent, shared by every base, plus per base an
+    /// 8-entry odd-power table and one multiplication per ~5-bit
+    /// greedy window. For `m` bases of `b`-bit exponents this costs
+    /// `b` squarings + `m·(8 + b/5)` multiplications versus
+    /// `m·(b + 8 + b/5)` for independent pows — the collapse that
+    /// makes random-linear-combination batch verification profitable.
+    pub fn multi_pow(&self, bases: &[&BigUint], exps: &[&BigUint]) -> Result<BigUint> {
+        if bases.len() != exps.len() {
+            return Err(CryptoError::OutOfRange("multi_pow operand length mismatch"));
+        }
+        let max_bits = exps.iter().map(|e| e.bits()).max().unwrap_or(0);
+        if max_bits == 0 {
+            return Ok(BigUint::one());
+        }
+        // Per-base odd-power table (base^1, base^3, …, base^15) and a
+        // greedy sliding-window recoding of its exponent — the same
+        // recoding `pow` uses, but all bases ride one squaring chain.
+        // `events[pos]` lists the (base, table-entry) multiplications
+        // that fire once the chain has squared down to bit `pos`.
+        let mut events: Vec<Vec<(u32, u8)>> = vec![Vec::new(); max_bits];
+        let mut tables: Vec<Vec<Vec<u64>>> = Vec::with_capacity(bases.len());
+        for (bi, (b, e)) in bases.iter().zip(exps).enumerate() {
+            if e.is_zero() {
+                tables.push(Vec::new());
+                continue;
+            }
+            let bm = self.prepare(b)?;
+            let b2 = self.mont_mul(&bm, &bm);
+            let mut table: Vec<Vec<u64>> = Vec::with_capacity(8);
+            table.push(bm);
+            for i in 1..8 {
+                let next = self.mont_mul(&table[i - 1], &b2);
+                table.push(next);
+            }
+            tables.push(table);
+
+            let mut i = e.bits() as isize - 1;
+            while i >= 0 {
+                if !e.bit(i as usize) {
+                    i -= 1;
+                    continue;
+                }
+                let mut lo = (i - 3).max(0);
+                while !e.bit(lo as usize) {
+                    lo += 1;
+                }
+                let mut val: u64 = 0;
+                for bit in (lo..=i).rev() {
+                    val = (val << 1) | e.bit(bit as usize) as u64;
+                }
+                events[lo as usize].push((bi as u32, ((val - 1) / 2) as u8));
+                i = lo - 1;
+            }
+        }
+
+        let mut acc = self.r1.clone();
+        for pos in (0..max_bits).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            for &(bi, idx) in &events[pos] {
+                acc = self.mont_mul(&acc, &tables[bi as usize][idx as usize]);
+            }
+        }
+        Ok(BigUint::from_limbs(self.redc(&acc)))
+    }
 }
 
 /// Pads a reduced value out to exactly `k` limbs.
-fn pad(v: &BigUint, k: usize) -> Vec<u64> {
+pub(crate) fn pad(v: &BigUint, k: usize) -> Vec<u64> {
     let mut limbs = v.limbs().to_vec();
     debug_assert!(limbs.len() <= k);
     limbs.resize(k, 0);
@@ -398,6 +605,76 @@ mod tests {
         assert_eq!(mctx.multi_pow_u64(&[], &[]).unwrap(), BigUint::one());
         // Length mismatch is rejected.
         assert!(mctx.multi_pow_u64(&refs, &exps[1..]).is_err());
+    }
+
+    #[test]
+    fn multi_pow_rows_matches_per_row_multi_pow() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let m = BigUint::gen_prime(160, &mut rng);
+        let mctx = MontgomeryCtx::new(&m).unwrap();
+        // Mixed exponent regimes: full 64-bit, small values (flag-like
+        // records), zeros, and single bits — every bucket-width choice.
+        for exps in [
+            vec![u64::MAX, 0, 1, 0x1234_5678_9abc_def0, 7, 2, 255, 1 << 63],
+            vec![1, 2, 3, 0, 1, 2, 3, 0],
+            vec![0, 0, 0, 0, 0, 0, 0, 0],
+            (1..=8u64).collect(),
+        ] {
+            let rows_data: Vec<Vec<BigUint>> = (0..3)
+                .map(|_| (0..exps.len()).map(|_| BigUint::random_below(&m, &mut rng)).collect())
+                .collect();
+            let rows_refs: Vec<Vec<&BigUint>> =
+                rows_data.iter().map(|r| r.iter().collect()).collect();
+            let rows: Vec<&[&BigUint]> = rows_refs.iter().map(|r| r.as_slice()).collect();
+            let got = mctx.multi_pow_u64_rows(&rows, &exps).unwrap();
+            for (row, g) in rows.iter().zip(&got) {
+                assert_eq!(g, &mctx.multi_pow_u64(row, &exps).unwrap());
+            }
+        }
+        // Empty batch, empty rows, and length mismatches.
+        assert!(mctx.multi_pow_u64_rows(&[], &[1, 2]).unwrap().is_empty());
+        let empty: &[&BigUint] = &[];
+        assert_eq!(mctx.multi_pow_u64_rows(&[empty], &[]).unwrap(), vec![BigUint::one()]);
+        let b = BigUint::from_u64(5);
+        let one_row: &[&BigUint] = &[&b];
+        assert!(mctx.multi_pow_u64_rows(&[one_row], &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn multi_pow_full_width_matches_per_base_pow() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let m = BigUint::gen_prime(192, &mut rng);
+        let mctx = MontgomeryCtx::new(&m).unwrap();
+        let bases: Vec<BigUint> =
+            (0..8).map(|_| BigUint::random_below(&m, &mut rng)).collect();
+        // Mixed widths: zero, single-bit, full-width, and ragged exponents.
+        let mut exps: Vec<BigUint> = vec![
+            BigUint::zero(),
+            BigUint::one(),
+            BigUint::random_bits(192, &mut rng),
+            BigUint::from_u64(0xffff_ffff_ffff_ffff),
+        ];
+        while exps.len() < bases.len() {
+            let w = 1 + 29 * exps.len();
+            exps.push(BigUint::random_bits(w, &mut rng));
+        }
+        let mut want = BigUint::one();
+        for (b, e) in bases.iter().zip(&exps) {
+            let term = mctx.pow(b, e).unwrap();
+            want = want.mul_mod(&term, &m).unwrap();
+        }
+        let base_refs: Vec<&BigUint> = bases.iter().collect();
+        let exp_refs: Vec<&BigUint> = exps.iter().collect();
+        assert_eq!(mctx.multi_pow(&base_refs, &exp_refs).unwrap(), want);
+        // Empty product is 1, as is the all-zero-exponent product.
+        assert_eq!(mctx.multi_pow(&[], &[]).unwrap(), BigUint::one());
+        let zero = BigUint::zero();
+        assert_eq!(
+            mctx.multi_pow(&[&bases[0]], &[&zero]).unwrap(),
+            BigUint::one()
+        );
+        // Length mismatch is rejected.
+        assert!(mctx.multi_pow(&base_refs, &exp_refs[1..]).is_err());
     }
 
     mod props {

@@ -20,6 +20,7 @@
 //! `p = 2q + 1`; exponents live in `Z_q`.
 
 use crate::bignum::BigUint;
+use crate::fixed_base::FixedBaseTable;
 use crate::montgomery::MontgomeryCtx;
 use crate::transcript::Transcript;
 use crate::{CryptoError, Result};
@@ -29,7 +30,10 @@ use std::cmp::Ordering;
 /// A Schnorr group: the order-`q` subgroup of `Z_p^*`, `p = 2q + 1` safe.
 ///
 /// Caches a [`MontgomeryCtx`] for `p`, so all group exponentiations
-/// share one precomputed reduction state.
+/// share one precomputed reduction state, plus Lim–Lee comb tables
+/// for the fixed generators `g` and `h` — every signature, proof and
+/// commitment exponentiates those two, so the per-group table build
+/// (about one exponentiation each) repays itself immediately.
 #[derive(Clone, Debug)]
 pub struct SchnorrGroup {
     /// Safe prime modulus.
@@ -41,6 +45,8 @@ pub struct SchnorrGroup {
     /// Second generator with unknown discrete log w.r.t. `g` (for Pedersen).
     pub h: BigUint,
     mont_p: MontgomeryCtx,
+    fb_g: FixedBaseTable,
+    fb_h: FixedBaseTable,
 }
 
 impl PartialEq for SchnorrGroup {
@@ -99,22 +105,36 @@ impl SchnorrGroup {
             h = g.mul_mod(&g, &p).expect("p > 1");
         }
         let mont_p = MontgomeryCtx::new(&p).expect("safe prime is odd and > 1");
-        SchnorrGroup { p, q, g, h, mont_p }
+        // Exponents live in Z_q, so the combs cover q's width.
+        let fb_g = FixedBaseTable::new(&mont_p, &g, q.bits()).expect("group generator");
+        let fb_h = FixedBaseTable::new(&mont_p, &h, q.bits()).expect("group generator");
+        SchnorrGroup { p, q, g, h, mont_p, fb_g, fb_h }
     }
 
-    /// `g^e mod p`.
+    /// `g^e mod p` through the fixed-base comb.
     pub fn pow_g(&self, e: &BigUint) -> BigUint {
-        self.mont_p.pow(&self.g, e).expect("p > 1")
+        self.fb_g.pow(e).expect("p > 1")
     }
 
-    /// `h^e mod p`.
+    /// `h^e mod p` through the fixed-base comb.
     pub fn pow_h(&self, e: &BigUint) -> BigUint {
-        self.mont_p.pow(&self.h, e).expect("p > 1")
+        self.fb_h.pow(e).expect("p > 1")
     }
 
-    /// `base^e mod p`.
+    /// `g^a · h^b mod p` on one shared squaring chain — the Pedersen
+    /// commitment shape, for barely more than a single fixed-base pow.
+    pub fn pow_gh(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.fb_g.mul_pow(a, &self.fb_h, b).expect("p > 1")
+    }
+
+    /// `base^e mod p` (variable base: sliding-window Montgomery).
     pub fn pow(&self, base: &BigUint, e: &BigUint) -> BigUint {
         self.mont_p.pow(base, e).expect("p > 1")
+    }
+
+    /// `Π bᵢ^{eᵢ} mod p` (variable bases, shared squaring chain).
+    pub fn multi_pow(&self, bases: &[&BigUint], exps: &[&BigUint]) -> Result<BigUint> {
+        self.mont_p.multi_pow(bases, exps)
     }
 
     /// Product in the group.
@@ -138,11 +158,18 @@ impl SchnorrGroup {
     }
 
     /// Checks that `x` is a valid element of the order-`q` subgroup.
+    ///
+    /// For a safe prime `p = 2q + 1` the order-`q` subgroup is exactly
+    /// the quadratic residues, so membership reduces to the Jacobi
+    /// symbol `(x/p) = 1` — a gcd-priced division chain instead of the
+    /// full `x^q = 1` exponentiation. This runs on every signature and
+    /// proof verification (and twice per item in the batch paths), so
+    /// the difference is material.
     pub fn check_element(&self, x: &BigUint) -> Result<()> {
         if x.is_zero() || x.cmp_to(&self.p) != Ordering::Less {
             return Err(CryptoError::OutOfRange("element outside Z_p"));
         }
-        if !self.pow(x, &self.q).is_one() {
+        if x.jacobi(&self.p)? != 1 {
             return Err(CryptoError::Malformed("element not in order-q subgroup"));
         }
         Ok(())
@@ -167,11 +194,26 @@ impl KeyPair {
     }
 }
 
-/// A Schnorr signature `(e, s)`.
+/// A Schnorr signature `(r, s)`: the commitment `r = g^k` travels with
+/// the response, so verification is the group equation
+/// `g^s = r · y^e` with `e = H(y, r, msg)`.
+///
+/// The commitment form (rather than the `(e, s)` hash form) is what
+/// makes signatures *batchable*: a random linear combination of many
+/// such equations is still one equation over known group elements.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SchnorrSignature {
-    e: BigUint,
+    r: BigUint,
     s: BigUint,
+}
+
+/// The challenge `e = H(y, r, msg)` of the signature equation.
+fn sig_challenge(group: &SchnorrGroup, y: &BigUint, r: &BigUint, msg: &[u8]) -> BigUint {
+    let mut t = Transcript::new("prever-schnorr-sig");
+    t.append_biguint("y", y);
+    t.append_biguint("r", r);
+    t.append_bytes("msg", msg);
+    t.challenge_below("e", &group.q)
 }
 
 /// Signs `msg` under `key` in `group`.
@@ -183,14 +225,10 @@ pub fn sign<R: Rng + ?Sized>(
 ) -> SchnorrSignature {
     let k = group.random_exponent(rng);
     let r = group.pow_g(&k);
-    let mut t = Transcript::new("prever-schnorr-sig");
-    t.append_biguint("y", &key.public);
-    t.append_biguint("r", &r);
-    t.append_bytes("msg", msg);
-    let e = t.challenge_below("e", &group.q);
+    let e = sig_challenge(group, &key.public, &r, msg);
     // s = k + e·x mod q.
     let s = k.add(&e.mul_mod(&key.secret, &group.q).expect("q > 1")).rem(&group.q).expect("q > 1");
-    SchnorrSignature { e, s }
+    SchnorrSignature { r, s }
 }
 
 /// Verifies a Schnorr signature on `msg` under public key `y`.
@@ -201,22 +239,167 @@ pub fn verify(
     sig: &SchnorrSignature,
 ) -> Result<()> {
     group.check_element(y)?;
-    if sig.s.cmp_to(&group.q) != Ordering::Less || sig.e.cmp_to(&group.q) != Ordering::Less {
+    group.check_element(&sig.r)?;
+    if sig.s.cmp_to(&group.q) != Ordering::Less {
         return Err(CryptoError::OutOfRange("signature scalar"));
     }
-    // r' = g^s · y^{-e}; accept iff H(y, r', msg) == e.
-    let y_e = group.pow(y, &sig.e);
-    let r = group.mul(&group.pow_g(&sig.s), &group.inv(&y_e)?);
-    let mut t = Transcript::new("prever-schnorr-sig");
-    t.append_biguint("y", y);
-    t.append_biguint("r", &r);
-    t.append_bytes("msg", msg);
-    let e = t.challenge_below("e", &group.q);
-    if e == sig.e {
+    let e = sig_challenge(group, y, &sig.r, msg);
+    // g^s == r · y^e.
+    let lhs = group.pow_g(&sig.s);
+    let rhs = group.mul(&sig.r, &group.pow(y, &e));
+    if lhs == rhs {
         Ok(())
     } else {
         Err(CryptoError::VerificationFailed("Schnorr signature"))
     }
+}
+
+/// One verification equation `g^s = t · y^e` prepared for the random-
+/// linear-combination batch: both signatures and sigma proofs reduce
+/// to this shape.
+struct RlcItem<'a> {
+    y: &'a BigUint,
+    t: &'a BigUint,
+    e: BigUint,
+    s: &'a BigUint,
+}
+
+/// Draws the `n` 128-bit batch weights from a transcript that has
+/// absorbed every item — an adversary committing to proofs cannot
+/// steer weights they have not seen, and any post-hoc tweak to any
+/// item reshuffles all of them.
+fn rlc_weights(domain: &'static str, items: &[RlcItem<'_>]) -> Vec<BigUint> {
+    let mut t = Transcript::new(domain);
+    for it in items {
+        t.append_biguint("y", it.y);
+        t.append_biguint("t", it.t);
+        t.append_biguint("e", &it.e);
+        t.append_biguint("s", it.s);
+    }
+    items
+        .iter()
+        .map(|_| {
+            // The weight bound is exactly 2^128, so the low 16 bytes of
+            // one challenge digest are already uniform — no reduction
+            // (and none of `challenge_below`'s extra squeezing) needed.
+            let w = BigUint::from_bytes_be(&t.challenge_bytes("w").as_bytes()[..16]);
+            // A zero weight would drop its item from the equation.
+            if w.is_zero() {
+                BigUint::one()
+            } else {
+                w
+            }
+        })
+        .collect()
+}
+
+/// Checks the combined equation `g^(Σ wᵢsᵢ) = Π tᵢ^{wᵢ} · Π yᵢ^{wᵢeᵢ}`
+/// for a sub-range of items. Soundness: all elements are in the prime-
+/// order-q subgroup (checked by the caller), so a single invalid item
+/// survives the random weights with probability ≤ 2⁻¹²⁸ + 1/q.
+fn rlc_check(group: &SchnorrGroup, domain: &'static str, items: &[RlcItem<'_>]) -> Result<bool> {
+    let weights = rlc_weights(domain, items);
+    let q = &group.q;
+    let mut s_sum = BigUint::zero();
+    let mut bases: Vec<&BigUint> = Vec::with_capacity(2 * items.len());
+    let mut exps: Vec<BigUint> = Vec::with_capacity(2 * items.len());
+    for (it, w) in items.iter().zip(&weights) {
+        s_sum = s_sum.add(&w.mul_mod(it.s, q)?).rem(q)?;
+        bases.push(it.t);
+        exps.push(w.clone());
+        bases.push(it.y);
+        exps.push(w.mul_mod(&it.e, q)?);
+    }
+    let lhs = group.fb_g.pow(&s_sum)?;
+    let exp_refs: Vec<&BigUint> = exps.iter().collect();
+    let rhs = group.multi_pow(&bases, &exp_refs)?;
+    Ok(lhs == rhs)
+}
+
+/// Verifies each item's equation directly (no RLC) — the size-1 leaf
+/// of the bisection.
+fn direct_check(group: &SchnorrGroup, it: &RlcItem<'_>) -> Result<bool> {
+    let lhs = group.fb_g.pow(it.s)?;
+    let rhs = group.mul(it.t, &group.pow(it.y, &it.e));
+    Ok(lhs == rhs)
+}
+
+/// Batch-verifies prepared equations; on failure, bisects to the first
+/// offending index. Range/membership checks must already have passed.
+fn rlc_verify(
+    group: &SchnorrGroup,
+    domain: &'static str,
+    what: &'static str,
+    items: &[RlcItem<'_>],
+) -> Result<()> {
+    if items.is_empty() {
+        return Ok(());
+    }
+    prever_obs::counter("crypto.batch_verify.size").add(items.len() as u64);
+    if items.len() == 1 {
+        return if direct_check(group, &items[0])? {
+            Ok(())
+        } else {
+            Err(CryptoError::BatchItemInvalid { index: 0, what })
+        };
+    }
+    if rlc_check(group, domain, items)? {
+        return Ok(());
+    }
+    // Bisect: re-run the RLC on halves (fresh weights per sub-batch)
+    // until a single offender remains. A batch can only fail its RLC
+    // while both halves pass with negligible probability; the linear
+    // sweep at the end covers even that.
+    let mut lo = 0usize;
+    let mut hi = items.len();
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let left_bad = !rlc_check(group, domain, &items[lo..mid])?;
+        if left_bad {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    if !direct_check(group, &items[lo])? {
+        return Err(CryptoError::BatchItemInvalid { index: lo, what });
+    }
+    for (i, it) in items.iter().enumerate() {
+        if !direct_check(group, it)? {
+            return Err(CryptoError::BatchItemInvalid { index: i, what });
+        }
+    }
+    Err(CryptoError::VerificationFailed(what))
+}
+
+/// Batch-verifies Schnorr signatures `(yᵢ, msgᵢ, sigᵢ)` with one
+/// random-linear-combination multi-exponentiation.
+///
+/// Accepts iff every signature verifies individually (up to the
+/// 2⁻¹²⁸ RLC soundness slack); on failure the error carries the index
+/// of the first invalid signature, isolated by bisection.
+pub fn batch_verify(
+    group: &SchnorrGroup,
+    items: &[(&BigUint, &[u8], &SchnorrSignature)],
+) -> Result<()> {
+    for (i, (y, _, sig)) in items.iter().enumerate() {
+        if sig.s.cmp_to(&group.q) != Ordering::Less {
+            return Err(CryptoError::BatchItemInvalid { index: i, what: "signature scalar" });
+        }
+        if group.check_element(y).is_err() || group.check_element(&sig.r).is_err() {
+            return Err(CryptoError::BatchItemInvalid { index: i, what: "group element" });
+        }
+    }
+    let prepared: Vec<RlcItem<'_>> = items
+        .iter()
+        .map(|&(y, msg, sig)| RlcItem {
+            y,
+            t: &sig.r,
+            e: sig_challenge(group, y, &sig.r, msg),
+            s: &sig.s,
+        })
+        .collect();
+    rlc_verify(group, "prever-schnorr-batch", "Schnorr signature", &prepared)
 }
 
 /// A Pedersen commitment `C = g^m · h^r` to value `m` with randomness `r`.
@@ -241,7 +424,7 @@ pub fn commit_with(group: &SchnorrGroup, m: &BigUint, r: &BigUint) -> Result<Com
     if m.cmp_to(&group.q) != Ordering::Less {
         return Err(CryptoError::OutOfRange("committed value >= q"));
     }
-    Ok(Commitment(group.mul(&group.pow_g(m), &group.pow_h(r))))
+    Ok(Commitment(group.pow_gh(m, r)))
 }
 
 /// Verifies an opening `(m, r)` of commitment `c`.
@@ -297,6 +480,38 @@ impl ProofOfKnowledge {
         } else {
             Err(CryptoError::VerificationFailed("proof of knowledge"))
         }
+    }
+
+    /// Batch-verifies proofs of knowledge `(yᵢ, contextᵢ, proofᵢ)` via
+    /// the same random-linear-combination collapse as signature
+    /// [`batch_verify`] — a PoK is the equation `g^s = t · y^c` with a
+    /// transcript-derived challenge, exactly the batchable shape.
+    ///
+    /// Accepts iff every proof verifies individually; on failure the
+    /// error pinpoints the first invalid proof by bisection.
+    pub fn batch_verify(
+        group: &SchnorrGroup,
+        items: &[(&BigUint, &[u8], &ProofOfKnowledge)],
+    ) -> Result<()> {
+        for (i, (y, _, proof)) in items.iter().enumerate() {
+            if proof.response.cmp_to(&group.q) != Ordering::Less {
+                return Err(CryptoError::BatchItemInvalid { index: i, what: "proof scalar" });
+            }
+            if group.check_element(y).is_err() || group.check_element(&proof.commitment).is_err()
+            {
+                return Err(CryptoError::BatchItemInvalid { index: i, what: "group element" });
+            }
+        }
+        let prepared: Vec<RlcItem<'_>> = items
+            .iter()
+            .map(|&(y, context, proof)| RlcItem {
+                y,
+                t: &proof.commitment,
+                e: pok_challenge(group, y, &proof.commitment, context),
+                s: &proof.response,
+            })
+            .collect();
+        rlc_verify(group, "prever-pok-batch", "proof of knowledge", &prepared)
     }
 }
 
@@ -663,6 +878,148 @@ mod tests {
     }
 
     #[test]
+    fn batch_verify_accepts_valid_batches() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(40);
+        for n in [0usize, 1, 2, 3, 17] {
+            let sigs: Vec<(KeyPair, Vec<u8>, SchnorrSignature)> = (0..n)
+                .map(|i| {
+                    let key = KeyPair::generate(&g, &mut rng);
+                    let msg = format!("digest-{i}").into_bytes();
+                    let sig = sign(&g, &key, &msg, &mut rng);
+                    (key, msg, sig)
+                })
+                .collect();
+            let items: Vec<(&BigUint, &[u8], &SchnorrSignature)> = sigs
+                .iter()
+                .map(|(k, m, s)| (&k.public, m.as_slice(), s))
+                .collect();
+            batch_verify(&g, &items).unwrap();
+        }
+    }
+
+    #[test]
+    fn batch_verify_pinpoints_tampered_signature() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(41);
+        let n = 9;
+        let mut sigs: Vec<(KeyPair, Vec<u8>, SchnorrSignature)> = (0..n)
+            .map(|i| {
+                let key = KeyPair::generate(&g, &mut rng);
+                let msg = format!("digest-{i}").into_bytes();
+                let sig = sign(&g, &key, &msg, &mut rng);
+                (key, msg, sig)
+            })
+            .collect();
+        // Tamper with the response scalar of item 5.
+        let bad = 5usize;
+        sigs[bad].2.s = sigs[bad].2.s.add(&BigUint::one()).rem(&g.q).unwrap();
+        let items: Vec<(&BigUint, &[u8], &SchnorrSignature)> = sigs
+            .iter()
+            .map(|(k, m, s)| (&k.public, m.as_slice(), s))
+            .collect();
+        match batch_verify(&g, &items) {
+            Err(CryptoError::BatchItemInvalid { index, .. }) => assert_eq!(index, bad),
+            other => panic!("expected BatchItemInvalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_verify_rejects_out_of_subgroup_commitment() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(42);
+        let key = KeyPair::generate(&g, &mut rng);
+        let mut sig = sign(&g, &key, b"msg", &mut rng);
+        // A quadratic non-residue is outside the order-q subgroup; a
+        // batch that skipped membership checks would have soundness
+        // error 1/2 against it.
+        let mut x = BigUint::from_u64(2);
+        while x.jacobi(&g.p).unwrap() == 1 {
+            x = x.add(&BigUint::one());
+        }
+        sig.r = x;
+        let items: Vec<(&BigUint, &[u8], &SchnorrSignature)> =
+            vec![(&key.public, b"msg".as_slice(), &sig)];
+        match batch_verify(&g, &items) {
+            Err(CryptoError::BatchItemInvalid { index: 0, what }) => {
+                assert_eq!(what, "group element")
+            }
+            other => panic!("expected group-element rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_weights_are_transcript_bound() {
+        // Cancellation attack: shift two responses by ±δ. Under any
+        // *attacker-known equal* weights (w, w) the combined equation
+        // still balances — w(s₀+δ) + w(s₁−δ) = w·s₀ + w·s₁ — so a
+        // verifier with fixed or predictable weights accepts two
+        // individually-invalid signatures. Transcript-derived 128-bit
+        // weights make the collision probability 2⁻¹²⁸.
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(43);
+        let k0 = KeyPair::generate(&g, &mut rng);
+        let k1 = KeyPair::generate(&g, &mut rng);
+        let s0 = sign(&g, &k0, b"m0", &mut rng);
+        let s1 = sign(&g, &k1, b"m1", &mut rng);
+        let delta = BigUint::from_u64(12345);
+        let mut f0 = s0.clone();
+        let mut f1 = s1.clone();
+        f0.s = f0.s.add(&delta).rem(&g.q).unwrap();
+        f1.s = f1.s.sub_mod(&delta, &g.q).unwrap();
+        // Both forgeries are individually invalid…
+        assert!(verify(&g, &k0.public, b"m0", &f0).is_err());
+        assert!(verify(&g, &k1.public, b"m1", &f1).is_err());
+        // …and the naive equal-weight combination *does* balance,
+        // which is exactly what the attack exploits:
+        let e0 = sig_challenge(&g, &k0.public, &f0.r, b"m0");
+        let e1 = sig_challenge(&g, &k1.public, &f1.r, b"m1");
+        let s_sum = f0.s.add(&f1.s).rem(&g.q).unwrap();
+        let lhs = g.pow_g(&s_sum);
+        let rhs = g.mul(
+            &g.mul(&f0.r, &g.pow(&k0.public, &e0)),
+            &g.mul(&f1.r, &g.pow(&k1.public, &e1)),
+        );
+        assert_eq!(lhs, rhs, "equal-weight combination must balance (attack setup)");
+        // The transcript-weighted batch still rejects, and isolates
+        // the first forged index.
+        let items: Vec<(&BigUint, &[u8], &SchnorrSignature)> = vec![
+            (&k0.public, b"m0".as_slice(), &f0),
+            (&k1.public, b"m1".as_slice(), &f1),
+        ];
+        match batch_verify(&g, &items) {
+            Err(CryptoError::BatchItemInvalid { index: 0, .. }) => {}
+            other => panic!("expected rejection at index 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pok_batch_verify_roundtrip_and_pinpoint() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(44);
+        let proofs: Vec<(KeyPair, Vec<u8>, ProofOfKnowledge)> = (0..6)
+            .map(|i| {
+                let key = KeyPair::generate(&g, &mut rng);
+                let ctx = format!("ctx-{i}").into_bytes();
+                let proof = ProofOfKnowledge::prove(&g, &key, &ctx, &mut rng);
+                (key, ctx, proof)
+            })
+            .collect();
+        let items: Vec<(&BigUint, &[u8], &ProofOfKnowledge)> = proofs
+            .iter()
+            .map(|(k, c, p)| (&k.public, c.as_slice(), p))
+            .collect();
+        ProofOfKnowledge::batch_verify(&g, &items).unwrap();
+        // A context mismatch on item 3 is caught and attributed.
+        let mut items = items;
+        items[3].1 = b"wrong-context";
+        match ProofOfKnowledge::batch_verify(&g, &items) {
+            Err(CryptoError::BatchItemInvalid { index, .. }) => assert_eq!(index, 3),
+            other => panic!("expected BatchItemInvalid, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn commitment_roundtrip_and_hiding() {
         let g = group();
         let mut rng = StdRng::seed_from_u64(3);
@@ -791,5 +1148,160 @@ mod tests {
         let (c, r) = commit(&g, &m, &mut rng).unwrap();
         let proof = RangeProof::prove(&g, &c, &m, &r, 6, b"ctx", &mut rng).unwrap();
         assert!(proof.verify(&g, &c, 7, b"ctx").is_err());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        fn shared_group() -> &'static SchnorrGroup {
+            static GROUP: OnceLock<SchnorrGroup> = OnceLock::new();
+            GROUP.get_or_init(SchnorrGroup::test_group_256)
+        }
+
+        /// The ways a single batch item can go bad.
+        #[derive(Debug, Clone, Copy)]
+        enum Tamper {
+            /// Response scalar shifted by a nonzero δ.
+            ShiftResponse,
+            /// Commitment replaced by an unrelated group element.
+            SwapCommitment,
+            /// Signature presented against a different message.
+            SwapMessage,
+            /// Signature presented under a different public key.
+            SwapKey,
+        }
+
+        fn arb_tamper() -> impl Strategy<Value = Tamper> {
+            prop_oneof![
+                Just(Tamper::ShiftResponse),
+                Just(Tamper::SwapCommitment),
+                Just(Tamper::SwapMessage),
+                Just(Tamper::SwapKey),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            // batch_verify accepts exactly when every signature
+            // verifies individually — tampered subsets of any shape
+            // flip both answers together.
+            #[test]
+            fn prop_batch_accepts_iff_each_verifies(
+                seed in any::<u64>(),
+                n in 1usize..8,
+                bad_mask in any::<u8>(),
+            ) {
+                let g = shared_group();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut sigs: Vec<(KeyPair, Vec<u8>, SchnorrSignature)> = (0..n)
+                    .map(|i| {
+                        let key = KeyPair::generate(g, &mut rng);
+                        let msg = format!("m{i}").into_bytes();
+                        let sig = sign(g, &key, &msg, &mut rng);
+                        (key, msg, sig)
+                    })
+                    .collect();
+                for (i, entry) in sigs.iter_mut().enumerate() {
+                    if bad_mask & (1 << i) != 0 {
+                        entry.2.s = entry.2.s.add(&BigUint::from_u64(7)).rem(&g.q).unwrap();
+                    }
+                }
+                let items: Vec<(&BigUint, &[u8], &SchnorrSignature)> = sigs
+                    .iter()
+                    .map(|(k, m, s)| (&k.public, m.as_slice(), s))
+                    .collect();
+                let each_ok = items.iter().all(|(y, m, s)| verify(g, y, m, s).is_ok());
+                let batch = batch_verify(g, &items);
+                prop_assert_eq!(each_ok, batch.is_ok());
+                if let Err(CryptoError::BatchItemInvalid { index, .. }) = batch {
+                    // The attributed index really is the first bad one.
+                    let first_bad = (0..n).find(|i| bad_mask & (1 << i) != 0).unwrap();
+                    prop_assert_eq!(index, first_bad);
+                }
+            }
+
+            // A single corrupted item — whatever the corruption — is
+            // rejected and attributed to its exact index.
+            #[test]
+            fn prop_batch_pinpoints_single_corruption(
+                seed in any::<u64>(),
+                n in 1usize..8,
+                bad_offset in any::<usize>(),
+                tamper in arb_tamper(),
+            ) {
+                let g = shared_group();
+                let bad = bad_offset % n;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut sigs: Vec<(KeyPair, Vec<u8>, SchnorrSignature)> = (0..n)
+                    .map(|i| {
+                        let key = KeyPair::generate(g, &mut rng);
+                        let msg = format!("m{i}").into_bytes();
+                        let sig = sign(g, &key, &msg, &mut rng);
+                        (key, msg, sig)
+                    })
+                    .collect();
+                match tamper {
+                    Tamper::ShiftResponse => {
+                        sigs[bad].2.s =
+                            sigs[bad].2.s.add(&BigUint::from_u64(3)).rem(&g.q).unwrap();
+                    }
+                    Tamper::SwapCommitment => {
+                        sigs[bad].2.r = g.pow_g(&BigUint::from_u64(99));
+                    }
+                    Tamper::SwapMessage => {
+                        sigs[bad].1 = b"substituted".to_vec();
+                    }
+                    Tamper::SwapKey => {
+                        let other = KeyPair::generate(g, &mut rng);
+                        sigs[bad].0 = other;
+                    }
+                }
+                let items: Vec<(&BigUint, &[u8], &SchnorrSignature)> = sigs
+                    .iter()
+                    .map(|(k, m, s)| (&k.public, m.as_slice(), s))
+                    .collect();
+                match batch_verify(g, &items) {
+                    Err(CryptoError::BatchItemInvalid { index, .. }) => {
+                        prop_assert_eq!(index, bad)
+                    }
+                    other => prop_assert!(false, "expected BatchItemInvalid, got {:?}", other),
+                }
+            }
+
+            // PoK batches obey the same accept-iff-all-valid contract.
+            #[test]
+            fn prop_pok_batch_accepts_iff_each_verifies(
+                seed in any::<u64>(),
+                n in 1usize..6,
+                bad_mask in any::<u8>(),
+            ) {
+                let g = shared_group();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut proofs: Vec<(KeyPair, Vec<u8>, ProofOfKnowledge)> = (0..n)
+                    .map(|i| {
+                        let key = KeyPair::generate(g, &mut rng);
+                        let ctx = format!("c{i}").into_bytes();
+                        let proof = ProofOfKnowledge::prove(g, &key, &ctx, &mut rng);
+                        (key, ctx, proof)
+                    })
+                    .collect();
+                for (i, entry) in proofs.iter_mut().enumerate() {
+                    if bad_mask & (1 << i) != 0 {
+                        entry.1 = format!("corrupted-{i}").into_bytes();
+                    }
+                }
+                let items: Vec<(&BigUint, &[u8], &ProofOfKnowledge)> = proofs
+                    .iter()
+                    .map(|(k, c, p)| (&k.public, c.as_slice(), p))
+                    .collect();
+                let each_ok = items
+                    .iter()
+                    .all(|(y, c, p)| p.verify(g, y, c).is_ok());
+                prop_assert_eq!(each_ok, ProofOfKnowledge::batch_verify(g, &items).is_ok());
+            }
+        }
     }
 }

@@ -111,12 +111,20 @@ impl CoSignedDigest {
             return Err(LedgerError::TamperDetected("below co-signing threshold"));
         }
         let msg = digest_message(digest);
-        for (signer, sig) in &self.signatures {
+        for (signer, _) in &self.signatures {
             if !managers.contains(signer) {
                 return Err(LedgerError::TamperDetected("co-signer not a known manager"));
             }
-            schnorr::verify(group, signer, &msg, sig)?;
         }
+        // One random-linear-combination check covers the whole
+        // certificate; a forged co-signature surfaces as
+        // `BatchItemInvalid` naming the offending index.
+        let items: Vec<(&BigUint, &[u8], &SchnorrSignature)> = self
+            .signatures
+            .iter()
+            .map(|(signer, sig)| (signer, msg.as_slice(), sig))
+            .collect();
+        schnorr::batch_verify(group, &items)?;
         Ok(())
     }
 }
@@ -193,6 +201,23 @@ mod tests {
             cert.verify(&group, &managers, 1),
             Err(LedgerError::TamperDetected(_))
         ));
+    }
+
+    #[test]
+    fn forged_co_signature_pinpointed() {
+        let (group, keys, digest, mut rng) = setup(4);
+        let managers: Vec<BigUint> = keys.iter().map(|k| k.public.clone()).collect();
+        let mut cert = CoSignedDigest::new();
+        for k in &keys {
+            cert.add(&group, k, &digest, &mut rng).unwrap();
+        }
+        cert.verify(&group, &managers, 4).unwrap();
+        // Cross-wire two co-signatures: each signer now carries the
+        // other's signature, so index 2 is the first invalid pair.
+        let sig3 = cert.signatures[3].1.clone();
+        cert.signatures[3].1 = std::mem::replace(&mut cert.signatures[2].1, sig3);
+        let err = cert.verify(&group, &managers, 4).unwrap_err();
+        assert!(err.to_string().contains("index 2"), "got: {err}");
     }
 
     #[test]

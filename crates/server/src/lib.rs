@@ -5,6 +5,8 @@
 //!
 //! * [`admission`] — per-tenant token buckets and the overload
 //!   degradation ladder, both pure virtual-time state machines;
+//! * [`audit`] — signed audit-digest attestations; a whole round of
+//!   gateway signatures verifies as one batched Schnorr check;
 //! * [`frontend`] — the admission/backpressure engine: bounded queue,
 //!   global inflight window, deadline propagation, explicit
 //!   `Overloaded { retry_after }` shedding (never silent queueing);
@@ -22,12 +24,14 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod audit;
 pub mod client;
 pub mod frontend;
 pub mod quota;
 pub mod sim;
 
 pub use admission::{DegradeLevel, TokenBucket};
+pub use audit::{attest, verify_round, AuditError, DigestAttestation};
 pub use client::{ClientCfg, ClientConn, ClientStats, LoadMode};
 pub use frontend::{Action, FrontConfig, FrontEnd, FrontStats};
 pub use quota::{is_quota_id, QuotaUpdate, QUOTA_ID_BIT};

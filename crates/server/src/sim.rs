@@ -705,6 +705,20 @@ mod tests {
             sim.node(0).as_gateway().unwrap().adapter.core.distinct_executed_commands(),
             12
         );
+
+        // Audit round: every gateway signs the digest it serves; the
+        // auditor verifies the whole round with one batched check.
+        let group = prever_crypto::schnorr::SchnorrGroup::test_group_256();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(12);
+        let attests: Vec<crate::audit::DigestAttestation> = (0..4)
+            .map(|id| {
+                let key = prever_crypto::schnorr::KeyPair::generate(&group, &mut rng);
+                let digest =
+                    *sim.node(id).as_gateway().unwrap().adapter.core.state_digest().as_bytes();
+                crate::audit::attest(&group, &key, id as u64, digest, &mut rng)
+            })
+            .collect();
+        assert_eq!(crate::audit::verify_round(&group, &attests).unwrap(), *d0.as_bytes());
     }
 
     #[test]
